@@ -1,0 +1,58 @@
+// E11 (paper §II-C / §VIII): air-quality ensembles. Sweeps ensemble size and
+// the decision threshold margin, reporting corrected wind RMSE, decision
+// outcomes, and average cost. Expected shape: larger ensembles reduce RMSE
+// and the total cost of wrong decisions (missed peaks are 4x a reduction
+// day).
+
+#include <cstdio>
+
+#include "support/table.hpp"
+#include "usecases/airquality.hpp"
+
+namespace aq = everest::usecases::airquality;
+
+int main() {
+  std::printf("== E11: air-quality ensemble forecasting & decisions ==\n\n");
+
+  const int runs = 60;
+  everest::support::Table table({"ensemble", "wind RMSE [m/s]",
+                                 "miss rate", "false-alarm rate",
+                                 "avg cost [kEUR]"});
+  double first_rmse = 0.0, last_rmse = 0.0;
+  for (int ensemble : {1, 2, 3, 5, 9, 15}) {
+    double rmse = 0, cost = 0;
+    int misses = 0, alarms = 0, decisions = 0;
+    for (int seed = 0; seed < runs; ++seed) {
+      aq::Config config;
+      config.ensemble_size = ensemble;
+      config.seed = 9000 + static_cast<std::uint64_t>(seed);
+      auto report = aq::run_scenario(config);
+      if (!report) {
+        std::fprintf(stderr, "scenario failed: %s\n",
+                     report.error().message.c_str());
+        return 1;
+      }
+      rmse += report->forecast_rmse_speed;
+      cost += report->cost_keur;
+      misses += report->missed_peaks;
+      alarms += report->false_alarms;
+      decisions += 3;  // three daily decisions per 72h scenario
+    }
+    if (ensemble == 1) first_rmse = rmse / runs;
+    last_rmse = rmse / runs;
+    char r[32], mr[32], fr[32], c[32];
+    std::snprintf(r, sizeof r, "%.3f", rmse / runs);
+    std::snprintf(mr, sizeof mr, "%.3f",
+                  static_cast<double>(misses) / decisions);
+    std::snprintf(fr, sizeof fr, "%.3f",
+                  static_cast<double>(alarms) / decisions);
+    std::snprintf(c, sizeof c, "%.1f", cost / runs);
+    table.add_row({std::to_string(ensemble), r, mr, fr, c});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape: RMSE falls with ensemble size (%.3f -> %.3f m/s);\n"
+              "decision cost follows. A reduction day costs 30 kEUR, a\n"
+              "missed pollution peak 120 kEUR.\n",
+              first_rmse, last_rmse);
+  return last_rmse < first_rmse ? 0 : 1;
+}

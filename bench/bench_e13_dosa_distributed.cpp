@@ -1,0 +1,94 @@
+// E13 (paper §V-C, refs [18][19]): DOSA — organic compilation of DNN
+// inference onto distributed network-attached cloudFPGA nodes. Partitions
+// the traffic use case's speed-prediction CNN across 1..6 nodes and reports
+// the latency/throughput tradeoff: throughput rises with nodes until the
+// 10G ZRLMPI hops become the bottleneck, while single-inference latency
+// strictly grows with hop count.
+
+#include <cstdio>
+
+#include "olympus/dosa.hpp"
+#include "support/table.hpp"
+#include "usecases/speednet.hpp"
+
+namespace dosa = everest::olympus::dosa;
+namespace sn = everest::usecases::speednet;
+
+int main() {
+  std::printf("== E13: DOSA distributed DNN inference on cloudFPGA ==\n\n");
+
+  auto model = sn::load_model(42);
+  if (!model) return 1;
+  auto layers = dosa::analyze_model(*model);
+  if (!layers) {
+    std::fprintf(stderr, "analyze failed: %s\n", layers.error().message.c_str());
+    return 1;
+  }
+
+  everest::support::Table per_layer({"layer", "op", "MACs", "weights [B]",
+                                     "activation [B]", "DSP"});
+  for (const auto &l : *layers) {
+    char macs[32];
+    std::snprintf(macs, sizeof macs, "%.0f", l.macs);
+    per_layer.add_row({l.name, l.op, macs, std::to_string(l.weight_bytes),
+                       std::to_string(l.activation_bytes),
+                       std::to_string(l.area.dsps)});
+  }
+  std::printf("%s\n", per_layer.render().c_str());
+
+  auto sweep = [](const std::vector<dosa::LayerCost> &ls, const char *label) {
+    std::printf("-- %s --\n", label);
+    everest::support::Table plans({"nodes", "stages", "latency [us]",
+                                   "network [us]", "throughput [inf/s]",
+                                   "feasible"});
+    for (int nodes = 1; nodes <= 6; ++nodes) {
+      auto plan = dosa::partition(ls, nodes);
+      if (!plan) return false;
+      char lat[32], net[32], tp[32];
+      std::snprintf(lat, sizeof lat, "%.1f", plan->pipeline_latency_us);
+      std::snprintf(net, sizeof net, "%.1f", plan->network_us_per_inference);
+      std::snprintf(tp, sizeof tp, "%.0f", plan->throughput_inf_per_s);
+      plans.add_row({std::to_string(nodes),
+                     std::to_string(plan->stages.size()), lat, net, tp,
+                     plan->feasible ? "yes" : "NO"});
+    }
+    std::printf("%s", plans.render().c_str());
+    auto best = dosa::best_plan(ls, 6);
+    if (!best) return false;
+    std::printf("best: %d node(s), %.0f inf/s, %.1f us latency\n\n",
+                best->nodes, best->throughput_inf_per_s,
+                best->pipeline_latency_us);
+    return true;
+  };
+
+  if (!sweep(*layers, "speednet (tiny: 29 us total compute)")) return 1;
+
+  // A compute-heavy CNN (8 x Conv1D 64ch/len256/k9) where stage compute
+  // dwarfs a ZRLMPI hop.
+  everest::frontend::OnnxModel deep;
+  deep.name = "deepnet";
+  deep.inputs.push_back({"x", {64, 256}});
+  std::string prev = "x";
+  for (int i = 0; i < 8; ++i) {
+    std::string w = "w" + std::to_string(i);
+    deep.initializers.emplace(w,
+                              everest::numerics::Tensor({64, 64, 9}, 0.01));
+    everest::frontend::OnnxNode node;
+    node.op = "Conv1D";
+    node.name = "conv" + std::to_string(i);
+    node.inputs = {prev, w};
+    node.output = "a" + std::to_string(i);
+    deep.nodes.push_back(node);
+    prev = node.output;
+  }
+  deep.outputs.push_back(prev);
+  auto deep_layers = dosa::analyze_model(deep);
+  if (!deep_layers) return 1;
+  if (!sweep(*deep_layers, "deepnet (heavy: 8 x Conv1D 64ch)")) return 1;
+
+  std::printf("shape: for the tiny model the 30+ us ZRLMPI hop never pays\n"
+              "off (1 node optimal); for the heavy model stage balancing\n"
+              "raises throughput until hop time caps it — DOSA's best_plan\n"
+              "picks the knee in both cases.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// E1 (paper §V-C, ref [24]): Olympus kernel replication with the memory bus
+// split into lanes. Two sweeps:
+//   (a) a compiled compute-bound streaming kernel: speedup is linear in
+//       replicas until the fabric (BRAM for datapath buffers) is exhausted;
+//   (b) a memory-bound kernel (synthetic cycles/byte knob): speedup
+//       flattens exactly where the lanes saturate the HBM.
+
+#include <cstdio>
+
+#include "frontend/ekl_parser.hpp"
+#include "hls/scheduler.hpp"
+#include "numerics/tensor.hpp"
+#include "olympus/olympus.hpp"
+#include "support/table.hpp"
+#include "transforms/ekl_to_teil.hpp"
+#include "transforms/teil_to_loops.hpp"
+
+namespace et = everest::transforms;
+namespace eo = everest::olympus;
+namespace eh = everest::hls;
+
+namespace {
+
+void sweep(const eh::KernelReport &kernel, const eo::Options &base,
+           const char *label) {
+  std::printf("-- %s --\n", label);
+  eo::SystemGenerator gen(everest::platform::alveo_u55c());
+  everest::support::Table table({"replicas", "lanes(ch/repl)", "compute [us]",
+                                 "memory [us]", "total [us]", "speedup",
+                                 "eff. BW [GB/s]", "fits"});
+  double baseline = 0.0;
+  for (int replicas : {1, 2, 4, 8, 16, 32}) {
+    eo::Options options = base;
+    options.replicas = replicas;
+    auto est = gen.estimate(kernel, options);
+    if (!est) return;
+    if (replicas == 1) baseline = est->total_us;
+    char c[32], m[32], t[32], s[32], bw[32];
+    std::snprintf(c, sizeof c, "%.1f", est->compute_us);
+    std::snprintf(m, sizeof m, "%.1f", est->memory_us);
+    std::snprintf(t, sizeof t, "%.1f", est->total_us);
+    std::snprintf(s, sizeof s, "%.2fx", baseline / est->total_us);
+    std::snprintf(bw, sizeof bw, "%.0f", est->effective_bandwidth_gbps);
+    table.add_row({std::to_string(replicas),
+                   std::to_string(est->channels_per_replica), c, m, t, s, bw,
+                   est->fits ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E1: Olympus bus lanes & kernel replication ==\n\n");
+
+  // (a) Compiled streaming kernel (compute-bound at one replica).
+  auto module = everest::frontend::parse_ekl(R"(
+kernel saxpy
+index i
+input x[i]
+input y[i]
+input a
+r = a * x[i] + y[i]
+output r
+)").value();
+  et::EklBindings bind;
+  const std::int64_t n = 16384;
+  bind.inputs.emplace("x", everest::numerics::Tensor({n}));
+  bind.inputs.emplace("y", everest::numerics::Tensor({n}));
+  bind.inputs.emplace("a", everest::numerics::Tensor::scalar(2.0));
+  auto teil = et::lower_ekl_to_teil(*module, bind).value();
+  auto loops = et::lower_teil_to_loops(*teil).value();
+  auto kernel = eh::schedule_kernel(*loops).value();
+  eo::Options tiled;
+  tiled.plm_tile_bytes = 16 * 1024;
+  sweep(kernel, tiled, "compiled saxpy, 16k elements (compute-bound)");
+
+  // (b) Memory-bound kernel: 0.006 cycles of work per byte, 256 MiB stream.
+  eh::KernelReport heavy;
+  heavy.name = "stream_scan";
+  heavy.input_bytes = 256LL * 1024 * 1024;
+  heavy.output_bytes = 32LL * 1024 * 1024;
+  heavy.total_cycles = static_cast<std::int64_t>(heavy.input_bytes * 0.006);
+  heavy.dataflow_cycles = heavy.total_cycles;
+  heavy.area = {20'000, 25'000, 32, 16};
+  eh::StageReport stage;
+  stage.label = "nest0";
+  stage.trip_count = heavy.input_bytes / 64;
+  stage.ii = 1;
+  stage.depth = 12;
+  stage.latency_cycles = heavy.total_cycles;
+  heavy.stages.push_back(stage);
+  sweep(heavy, eo::Options{}, "synthetic stream kernel (memory-bound past "
+                              "~8 replicas)");
+
+  std::printf("shape: (a) linear speedup while compute-bound; the BRAM cost\n"
+              "of replicated datapath buffers is what stops fitting first.\n"
+              "(b) speedup follows compute until memory_us becomes the max()\n"
+              "term — the lanes already move 460 GB/s, so more replicas stop\n"
+              "helping: the bandwidth wall of ref [24].\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E2 (paper §V-C, ref [25] "Iris"): data packing for bandwidth. Sweeps
+// element widths and compares naive one-element-per-bus-word transport
+// against packed words; reports effective bandwidth and transfer time on the
+// u55c HBM model. Expected shape: packing wins grow as elements narrow
+// (512/16 = 32x), and packing of 64-bit data is a no-op.
+
+#include <cstdio>
+
+#include "platform/memory.hpp"
+#include "support/table.hpp"
+
+namespace ep = everest::platform;
+
+int main() {
+  std::printf("== E2: data packing for high bandwidth utilization ==\n\n");
+
+  auto memory = ep::alveo_u55c().memory;
+  const std::int64_t payload = 512LL * 1024 * 1024;  // 512 MiB stream
+  const int bus_bits = 512;
+
+  everest::support::Table table({"element bits", "naive eff.", "packed eff.",
+                                 "naive [ms]", "packed [ms]", "speedup"});
+  for (int bits : {8, 16, 24, 32, 48, 64}) {
+    double eff_naive = ep::naive_packing_efficiency(bits, bus_bits);
+    double eff_packed = ep::packed_packing_efficiency(bits, bus_bits);
+
+    auto time_ms = [&](double eff) {
+      ep::MemoryStream s;
+      s.bytes = payload;
+      s.packing_efficiency = eff;
+      for (int c = 0; c < 8; ++c) s.channels.push_back(c);
+      return ep::contention_time_seconds({s}, memory) * 1e3;
+    };
+    double t_naive = time_ms(eff_naive);
+    double t_packed = time_ms(eff_packed);
+
+    char en[32], epk[32], tn[32], tp[32], sp[32];
+    std::snprintf(en, sizeof en, "%.3f", eff_naive);
+    std::snprintf(epk, sizeof epk, "%.3f", eff_packed);
+    std::snprintf(tn, sizeof tn, "%.2f", t_naive);
+    std::snprintf(tp, sizeof tp, "%.2f", t_packed);
+    std::snprintf(sp, sizeof sp, "%.1fx", t_naive / t_packed);
+    table.add_row({std::to_string(bits), en, epk, tn, tp, sp});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape: speedup = bus/element for divisors of 512; 48-bit\n"
+              "packs imperfectly (10 per word, 93.8%%); 64-bit is already\n"
+              "bus-aligned.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E3 (paper §V-C, ref [16]): PLM double buffering and read/execute/write
+// pipelining. Ablates the two Olympus options on kernels with controlled
+// compute-to-memory ratios; the theory the table should confirm:
+//   serialized            = compute + memory
+//   db + dataflow         = max(compute, memory) + one tile fill
+// so the overlap hides the smaller of the two phases. A compiled dot-product
+// row grounds the sweep in a real kernel.
+
+#include <cstdio>
+
+#include "frontend/ekl_parser.hpp"
+#include "hls/scheduler.hpp"
+#include "numerics/tensor.hpp"
+#include "olympus/olympus.hpp"
+#include "support/table.hpp"
+#include "transforms/ekl_to_teil.hpp"
+#include "transforms/teil_to_loops.hpp"
+
+namespace et = everest::transforms;
+namespace eo = everest::olympus;
+namespace eh = everest::hls;
+
+namespace {
+
+/// Synthetic kernel moving 64 MiB with `ratio` = compute_us : memory_us.
+eh::KernelReport ratio_kernel(double ratio) {
+  eh::KernelReport r;
+  r.name = "ratio";
+  r.input_bytes = 56LL * 1024 * 1024;
+  r.output_bytes = 8LL * 1024 * 1024;
+  // 64 MiB over 460 GB/s ~= 146 us of memory time.
+  double memory_us = 146.0;
+  r.total_cycles = static_cast<std::int64_t>(ratio * memory_us * 300.0);
+  r.dataflow_cycles = r.total_cycles;
+  r.area = {30'000, 35'000, 64, 32};
+  eh::StageReport stage;
+  stage.label = "nest0";
+  stage.trip_count = r.input_bytes / 64;
+  stage.ii = 1;
+  stage.depth = 16;
+  stage.latency_cycles = r.total_cycles;
+  r.stages.push_back(stage);
+  return r;
+}
+
+struct Row {
+  double compute, memory, serial, db, full;
+};
+
+Row measure(const eh::KernelReport &kernel) {
+  eo::SystemGenerator gen(everest::platform::alveo_u55c());
+  eo::Options serial;
+  serial.double_buffering = false;
+  serial.dataflow_pipelining = false;
+  eo::Options db = serial;
+  db.double_buffering = true;
+  eo::Options full;
+  full.double_buffering = true;
+  full.dataflow_pipelining = true;
+
+  auto e_serial = gen.estimate(kernel, serial).value();
+  auto e_db = gen.estimate(kernel, db).value();
+  auto e_full = gen.estimate(kernel, full).value();
+  return {e_serial.compute_us, e_serial.memory_us, e_serial.total_us,
+          e_db.total_us, e_full.total_us};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E3: double buffering + read/execute/write pipelining ==\n\n");
+
+  everest::support::Table table({"kernel", "compute [us]", "memory [us]",
+                                 "serialized [us]", "double-buffer [us]",
+                                 "db+dataflow [us]", "hidden"});
+  auto add = [&](const char *label, const Row &r) {
+    char c[32], m[32], s[32], d[32], f[32], h[32];
+    std::snprintf(c, sizeof c, "%.1f", r.compute);
+    std::snprintf(m, sizeof m, "%.1f", r.memory);
+    std::snprintf(s, sizeof s, "%.1f", r.serial);
+    std::snprintf(d, sizeof d, "%.1f", r.db);
+    std::snprintf(f, sizeof f, "%.1f", r.full);
+    std::snprintf(h, sizeof h, "%.0f%%", 100.0 * (r.serial - r.full) / r.serial);
+    table.add_row({label, c, m, s, d, f, h});
+  };
+
+  add("memory-heavy (1:4)", measure(ratio_kernel(0.25)));
+  add("balanced (1:1)", measure(ratio_kernel(1.0)));
+  add("compute-heavy (4:1)", measure(ratio_kernel(4.0)));
+
+  // A compiled kernel for grounding (compute-dominated dot product).
+  {
+    auto module = everest::frontend::parse_ekl(R"(
+kernel dot
+index i
+input a[i]
+input b[i]
+d = sum(i) a[i] * b[i]
+output d
+)").value();
+    et::EklBindings bind;
+    bind.inputs.emplace("a", everest::numerics::Tensor({1 << 20}));
+    bind.inputs.emplace("b", everest::numerics::Tensor({1 << 20}));
+    auto teil = et::lower_ekl_to_teil(*module, bind).value();
+    auto loops = et::lower_teil_to_loops(*teil).value();
+    auto kernel = eh::schedule_kernel(*loops).value();
+    add("compiled dot 1M", measure(kernel));
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape: serialized = compute + memory exactly; db+dataflow\n"
+              "tracks max(compute, memory) + one tile fill, so the hidden\n"
+              "fraction peaks for the balanced kernel (~50%%) and shrinks as\n"
+              "either phase dominates — the ref [16] overlap result.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E5 (paper §VI-A): the resource manager. Three sub-experiments on a
+// traffic-pipeline-shaped DAG: (a) makespan vs cluster size with HEFT vs
+// FIFO; (b) transfer-aware vs naive placement under big intermediates;
+// (c) rescheduling cost after a node failure.
+
+#include <cstdio>
+
+#include "runtime/resource_manager.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace er = everest::runtime;
+
+namespace {
+
+/// Daily traffic-processing DAG: per-district map-match fans out of an
+/// ingest task, aggregation joins districts, model update chains at the end.
+void build_traffic_dag(er::ResourceManager &rm, int districts,
+                       std::uint64_t seed) {
+  everest::support::Pcg32 rng(seed);
+  er::TaskSpec ingest{"ingest", {}, 30.0};
+  ingest.output_bytes = 200'000'000;
+  auto ingest_f = rm.submit(ingest).value();
+
+  std::vector<er::TaskId> matches;
+  for (int d = 0; d < districts; ++d) {
+    er::TaskSpec match{"match" + std::to_string(d), {ingest_f.id},
+                       rng.uniform(40.0, 80.0)};
+    match.fpga_ms = match.cpu_ms / 8.0;
+    match.output_bytes = 20'000'000;
+    matches.push_back(rm.submit(match).value().id);
+  }
+  er::TaskSpec aggregate{"aggregate", matches, 25.0};
+  aggregate.output_bytes = 50'000'000;
+  auto agg = rm.submit(aggregate).value();
+  er::TaskSpec train{"train_model", {agg.id}, 60.0};
+  train.fpga_ms = 15.0;
+  (void)rm.submit(train).value();
+}
+
+er::ClusterSpec cluster_of(int nodes) {
+  er::ClusterSpec c;
+  for (int i = 0; i < nodes; ++i)
+    c.nodes.push_back({"node" + std::to_string(i), 8, i == 0, 1.0});
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E5: resource manager scheduling ==\n\n");
+
+  // (a) makespan vs nodes, HEFT vs FIFO.
+  everest::support::Table scale({"nodes", "HEFT makespan [ms]",
+                                 "FIFO makespan [ms]", "HEFT util",
+                                 "transfers [MB]"});
+  for (int nodes : {2, 4, 8, 16, 32}) {
+    er::ResourceManager rm(cluster_of(nodes));
+    build_traffic_dag(rm, 48, 7);
+    er::SchedulerOptions fifo;
+    fifo.policy = er::SchedulerOptions::Policy::Fifo;
+    auto heft_r = rm.run().value();
+    auto fifo_r = rm.run(fifo).value();
+    char h[32], f[32], u[32], t[32];
+    std::snprintf(h, sizeof h, "%.0f", heft_r.makespan_ms);
+    std::snprintf(f, sizeof f, "%.0f", fifo_r.makespan_ms);
+    std::snprintf(u, sizeof u, "%.2f", heft_r.avg_core_utilization);
+    std::snprintf(t, sizeof t, "%.0f",
+                  static_cast<double>(heft_r.bytes_transferred) / 1e6);
+    scale.add_row({std::to_string(nodes), h, f, u, t});
+  }
+  std::printf("%s\n", scale.render().c_str());
+
+  // (b) transfer-aware vs naive placement.
+  everest::support::Table locality({"placement", "makespan [ms]",
+                                    "bytes moved [MB]"});
+  for (bool aware : {true, false}) {
+    er::ClusterSpec slow_net = cluster_of(8);
+    slow_net.net_gbps = 1.0;
+    er::ResourceManager rm(slow_net);
+    build_traffic_dag(rm, 24, 7);
+    er::SchedulerOptions opt;
+    opt.transfer_aware = aware;
+    auto r = rm.run(opt).value();
+    char m[32], b[32];
+    std::snprintf(m, sizeof m, "%.0f", r.makespan_ms);
+    std::snprintf(b, sizeof b, "%.0f",
+                  static_cast<double>(r.bytes_transferred) / 1e6);
+    locality.add_row({aware ? "transfer-aware" : "naive", m, b});
+  }
+  std::printf("%s\n", locality.render().c_str());
+
+  // (c) failure rescheduling.
+  everest::support::Table failure({"scenario", "makespan [ms]",
+                                   "rescheduled tasks"});
+  {
+    er::ResourceManager rm(cluster_of(8));
+    build_traffic_dag(rm, 48, 7);
+    auto healthy = rm.run().value();
+    char m[32];
+    std::snprintf(m, sizeof m, "%.0f", healthy.makespan_ms);
+    failure.add_row({"healthy", m, "0"});
+    rm.inject_failure("node1", healthy.makespan_ms * 0.3);
+    auto degraded = rm.run().value();
+    std::snprintf(m, sizeof m, "%.0f", degraded.makespan_ms);
+    failure.add_row({"node1 dies at 30%",
+                     m, std::to_string(degraded.rescheduled_tasks)});
+  }
+  std::printf("%s\n", failure.render().c_str());
+  std::printf("shape: makespan falls with nodes until the chain dominates;\n"
+              "HEFT <= FIFO; transfer-aware placement moves fewer bytes;\n"
+              "failures cost a bounded makespan hit via rescheduling.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E6 (paper §VI-C): mARGOt dynamic autotuning. A PTDR-like application has
+// three variants (cpu-1-thread, cpu-8-threads, fpga) whose real performance
+// shifts as the environment changes (CPU contention appears, then the FPGA
+// VF is unplugged). The autotuner's corrected expectations must track the
+// environment and re-select the best variant, subject to an error
+// constraint.
+
+#include <cstdio>
+
+#include "autotune/autotuner.hpp"
+#include "support/table.hpp"
+
+namespace ea = everest::autotune;
+
+namespace {
+
+/// Ground-truth latency per variant in each environment phase.
+double true_latency(int variant, int phase) {
+  // variant: 0 = cpu x1, 1 = cpu x8, 2 = fpga
+  // phase 0: idle node. phase 1: CPU contended. phase 2: FPGA lost (VF
+  // unplugged => falls back to PCIe-emulated path, very slow).
+  static const double lat[3][3] = {
+      {80.0, 20.0, 6.0},    // phase 0
+      {240.0, 60.0, 6.5},   // phase 1 (CPU 3x slower)
+      {240.0, 60.0, 500.0}, // phase 2 (FPGA path broken)
+  };
+  return lat[phase][variant];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E6: mARGOt-style dynamic autotuning ==\n\n");
+
+  // Application knowledge from design-time profiling on an idle node. The
+  // sampling-count knob trades error for time; the FPGA variant runs more
+  // samples in the same budget.
+  ea::Autotuner tuner;
+  tuner.add_knowledge({{{"variant", 0}, {"samples", 1e4}},
+                       {{"time_ms", 80.0}, {"error", 0.010}}});
+  tuner.add_knowledge({{{"variant", 1}, {"samples", 1e4}},
+                       {{"time_ms", 20.0}, {"error", 0.010}}});
+  tuner.add_knowledge({{{"variant", 2}, {"samples", 1e5}},
+                       {{"time_ms", 6.0}, {"error", 0.003}}});
+  tuner.add_constraint({"error", ea::Constraint::Kind::LessEqual, 0.02, 2});
+  tuner.set_rank({"time_ms", false});
+
+  // Per-variant correction requires one tuner per variant family in this
+  // compact implementation; model mARGOt's per-configuration monitors by
+  // tracking observed/expected per variant.
+  std::map<int, double> correction{{0, 1.0}, {1, 1.0}, {2, 1.0}};
+
+  everest::support::Table table({"step", "phase", "selected variant",
+                                 "predicted [ms]", "measured [ms]",
+                                 "running best?"});
+  const char *phase_names[] = {"idle", "cpu-contended", "fpga-lost"};
+  int correct_picks = 0, steps = 0;
+
+  for (int step = 0; step < 18; ++step) {
+    int phase = step / 6;
+
+    // Select using corrected expectations.
+    int best_variant = 0;
+    double best_time = 1e300;
+    for (int v = 0; v < 3; ++v) {
+      double base = v == 0 ? 80.0 : (v == 1 ? 20.0 : 6.0);
+      double expected = base * correction[v];
+      if (expected < best_time) {
+        best_time = expected;
+        best_variant = v;
+      }
+    }
+
+    double measured = true_latency(best_variant, phase);
+    // mARGOt feedback: EMA of observed/expected on the chosen configuration.
+    double base = best_variant == 0 ? 80.0 : (best_variant == 1 ? 20.0 : 6.0);
+    double ratio = measured / base;
+    correction[best_variant] =
+        0.6 * correction[best_variant] + 0.4 * ratio;
+
+    // Which variant is truly best this phase?
+    int truly_best = 0;
+    for (int v = 1; v < 3; ++v) {
+      if (true_latency(v, phase) < true_latency(truly_best, phase))
+        truly_best = v;
+    }
+    bool good = best_variant == truly_best;
+    correct_picks += good;
+    ++steps;
+
+    char p[32], m[32];
+    std::snprintf(p, sizeof p, "%.1f", best_time);
+    std::snprintf(m, sizeof m, "%.1f", measured);
+    static const char *variant_names[] = {"cpu-x1", "cpu-x8", "fpga"};
+    table.add_row({std::to_string(step), phase_names[phase],
+                   variant_names[best_variant], p, m, good ? "yes" : "no"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("adaptation quality: %d/%d steps on the truly-best variant\n",
+              correct_picks, steps);
+  std::printf("shape: fpga is chosen while available; after the VF unplug the\n"
+              "observed 500 ms inflates its correction and the tuner falls\n"
+              "back to cpu-x8 within a couple of observations.\n");
+
+  // Also exercise the library-level Autotuner API end to end.
+  auto pick = tuner.select();
+  if (!pick || pick->knobs.at("variant") != 2) {
+    std::fprintf(stderr, "library select() should pick the fpga variant\n");
+    return 1;
+  }
+  return correct_picks >= steps - 3 ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// F5 (paper Fig. 5): the EVEREST dialect stack and its lowering paths.
+// Regenerates the figure as executable evidence: every frontend enters the
+// MLIR-like stack, every lowering path verifies, and the esn contraction
+// reordering (the compiler-level optimization the stack decouples) is
+// measured against the naive order.
+
+#include <cstdio>
+
+#include "dialects/registry.hpp"
+#include "frontend/cfdlang_parser.hpp"
+#include "frontend/condrust_parser.hpp"
+#include "frontend/ekl_parser.hpp"
+#include "numerics/tensor.hpp"
+#include "support/table.hpp"
+#include "transforms/cfdlang_to_teil.hpp"
+#include "transforms/ekl_to_teil.hpp"
+#include "transforms/esn_extract.hpp"
+#include "transforms/teil_to_loops.hpp"
+#include "usecases/rrtmg.hpp"
+#include "usecases/traffic.hpp"
+
+namespace et = everest::transforms;
+namespace rr = everest::usecases::rrtmg;
+
+int main() {
+  std::printf("== F5: dialect lowering paths (Fig. 5) ==\n\n");
+  everest::ir::Context ctx;
+  everest::dialects::register_everest_dialects(ctx);
+
+  std::printf("registered dialects:");
+  for (const auto &name : ctx.dialect_names()) std::printf(" %s", name.c_str());
+  std::printf("\n\n");
+
+  everest::support::Table paths({"path", "ops in", "ops out", "verified"});
+  auto verified = [&](const everest::ir::Module &m) {
+    return ctx.verify(m).is_ok() ? "yes" : "NO";
+  };
+
+  // ekl -> teil -> loops.
+  rr::Config cfg;
+  cfg.ncells = 32;
+  rr::Data data = rr::make_data(cfg);
+  auto ekl = everest::frontend::parse_ekl(rr::ekl_source()).value();
+  auto teil = et::lower_ekl_to_teil(*ekl, rr::bindings(data)).value();
+  paths.add_row({"ekl -> teil", std::to_string(ekl->op_count()),
+                 std::to_string(teil->op_count()), verified(*teil)});
+  auto loops = et::lower_teil_to_loops(*teil).value();
+  paths.add_row({"teil -> scf/memref loops", std::to_string(teil->op_count()),
+                 std::to_string(loops->op_count()), verified(*loops)});
+
+  // cfdlang -> teil.
+  auto cfd = everest::frontend::parse_cfdlang(R"(
+program helmholtz
+input A : [8, 8]
+input B : [8, 8]
+output C = contract(outer(A, B), 1, 2)
+)").value();
+  auto cfd_teil = et::lower_cfdlang_to_teil(*cfd).value();
+  paths.add_row({"cfdlang -> teil", std::to_string(cfd->op_count()),
+                 std::to_string(cfd_teil->op_count()), verified(*cfd_teil)});
+
+  // condrust -> dfg.
+  auto dfg = everest::frontend::parse_condrust(
+                 everest::usecases::traffic::mapmatch_condrust_source())
+                 .value();
+  paths.add_row({"condrust -> dfg", "-", std::to_string(dfg->op_count()),
+                 verified(*dfg)});
+
+  // teil -> esn -> teil (contraction raising + lowering).
+  auto chain = everest::frontend::parse_ekl(R"(
+kernel chain
+index i, j, k, l
+input a[i, j]
+input b[j, k]
+input c[k, l]
+r = sum(j, k) a[i, j] * b[j, k] * c[k, l]
+output r
+)").value();
+  et::EklBindings bind;
+  bind.inputs.emplace("a", everest::numerics::Tensor({48, 64}));
+  bind.inputs.emplace("b", everest::numerics::Tensor({64, 32}));
+  bind.inputs.emplace("c", everest::numerics::Tensor({32, 8}));
+  auto chain_teil = et::lower_ekl_to_teil(*chain, bind).value();
+  std::size_t raised = et::extract_einsums(*chain_teil);
+  et::eliminate_dead_code(*chain_teil);
+  paths.add_row({"teil -> esn (einsums raised)", "-", std::to_string(raised),
+                 verified(*chain_teil)});
+
+  auto einsum = chain_teil->find_all("esn.einsum").at(0);
+  auto naive = et::plan_einsum(*einsum, false);
+  auto greedy = et::plan_einsum(*einsum, true);
+  double esn_flops = et::lower_esn(*chain_teil, true).value();
+  (void)esn_flops;
+  et::eliminate_dead_code(*chain_teil);
+  paths.add_row({"esn -> teil.contract chain", "-",
+                 std::to_string(chain_teil->op_count()),
+                 verified(*chain_teil)});
+  std::printf("%s\n", paths.render().c_str());
+
+  everest::support::Table esn({"contraction order", "estimated flops"});
+  char n[32], g[32];
+  std::snprintf(n, sizeof n, "%.0f", naive.estimated_flops);
+  std::snprintf(g, sizeof g, "%.0f", greedy.estimated_flops);
+  esn.add_row({"naive left-to-right", n});
+  esn.add_row({"esn greedy reorder", g});
+  std::printf("%s\nshape: greedy < naive when the chain has a small late "
+              "operand.\n",
+              esn.render().c_str());
+  return 0;
+}

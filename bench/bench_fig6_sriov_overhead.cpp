@@ -1,0 +1,74 @@
+// F6 (paper Fig. 6 + §VI-B): the virtualization stack. Measures VM I/O
+// overhead across transfer sizes for SR-IOV passthrough ("near-native
+// performance") versus software-emulated devices, and the dynamic VF
+// plug/unplug latency that mitigates SR-IOV's static pool.
+
+#include <cstdio>
+
+#include "platform/xrt.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "virt/virt.hpp"
+
+namespace ev = everest::virt;
+namespace ep = everest::platform;
+
+namespace {
+
+double transfer_time_us(ep::Device &dev, std::int64_t bytes) {
+  double before = dev.now_us();
+  auto bo = dev.alloc(bytes);
+  if (!bo) return -1.0;
+  (void)dev.sync_to_device(*bo);
+  (void)dev.free(*bo);
+  return dev.now_us() - before;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== F6: SR-IOV virtualization overhead (Fig. 6) ==\n\n");
+
+  ev::VirtNode node("phys0", 32, {ep::alveo_u55c()}, 8);
+  auto vm = node.create_vm("guest", 8).value();
+  auto vf_sriov = node.attach_vf(vm, 0, ev::IoMode::SrIov).value();
+  auto vf_emul = node.attach_vf(vm, 0, ev::IoMode::Emulated).value();
+  auto *dev_sriov = node.vm_device(vm, vf_sriov).value();
+  auto *dev_emul = node.vm_device(vm, vf_emul).value();
+  auto &dev_native = node.native_device(0);
+
+  everest::support::Table table({"transfer", "native [us]", "SR-IOV [us]",
+                                 "SR-IOV ovh", "emulated [us]",
+                                 "emulated ovh"});
+  for (std::int64_t kb : {4, 64, 1024, 16384, 262144}) {
+    std::int64_t bytes = kb * 1024;
+    double native = transfer_time_us(dev_native, bytes);
+    double sriov = transfer_time_us(*dev_sriov, bytes);
+    double emul = transfer_time_us(*dev_emul, bytes);
+    char n[32], s[32], so[32], e[32], eo[32];
+    std::snprintf(n, sizeof n, "%.1f", native);
+    std::snprintf(s, sizeof s, "%.1f", sriov);
+    std::snprintf(so, sizeof so, "+%.0f%%", (sriov / native - 1.0) * 100.0);
+    std::snprintf(e, sizeof e, "%.1f", emul);
+    std::snprintf(eo, sizeof eo, "+%.0f%%", (emul / native - 1.0) * 100.0);
+    table.add_row({everest::support::format_bytes(static_cast<double>(bytes)),
+                   n, s, so, e, eo});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Dynamic plug/unplug latency vs attached-VF count.
+  everest::support::Table plug({"attached VFs before op", "hotplug [ms]"});
+  ev::VirtNode fresh("phys1", 64, {ep::alveo_u55c()}, 8);
+  auto vm2 = fresh.create_vm("guest", 8).value();
+  for (int i = 0; i < 5; ++i) {
+    char ms[32];
+    std::snprintf(ms, sizeof ms, "%.0f", fresh.plug_latency_ms());
+    plug.add_row({std::to_string(i), ms});
+    (void)fresh.attach_vf(vm2, 0);
+  }
+  std::printf("%s\n", plug.render().c_str());
+  std::printf("shape: SR-IOV stays within ~5%% of native at all sizes;\n"
+              "emulated I/O is >2x; hotplug costs ~120-160 ms, cheap enough\n"
+              "for the resource allocator's dynamic VF reassignment.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Air-quality monitoring example (paper §II-C / §VIII): ensemble weather
+// forecasts, observation-forced correction, ADMS-like dispersion, and the
+// daily emission-reduction decision with its cost consequences.
+//
+//   $ ./examples/airquality_ensemble
+
+#include <cstdio>
+
+#include "support/table.hpp"
+#include "usecases/airquality.hpp"
+
+namespace aq = everest::usecases::airquality;
+
+int main() {
+  std::printf("== Air-quality impact forecasting (72h horizon) ==\n\n");
+
+  everest::support::Table table({"ensemble", "wind RMSE [m/s]",
+                                 "reduction days", "missed peaks",
+                                 "false alarms", "avg cost [kEUR]"});
+  for (int ensemble : {1, 3, 5, 9}) {
+    double rmse = 0, cost = 0;
+    int reductions = 0, misses = 0, alarms = 0;
+    const int runs = 40;
+    for (int seed = 0; seed < runs; ++seed) {
+      aq::Config config;
+      config.ensemble_size = ensemble;
+      config.seed = 7000 + static_cast<std::uint64_t>(seed);
+      auto report = aq::run_scenario(config);
+      if (!report) {
+        std::fprintf(stderr, "scenario failed: %s\n",
+                     report.error().message.c_str());
+        return 1;
+      }
+      rmse += report->forecast_rmse_speed;
+      cost += report->cost_keur;
+      reductions += report->reduction_days;
+      misses += report->missed_peaks;
+      alarms += report->false_alarms;
+    }
+    char r[32], c[32];
+    std::snprintf(r, sizeof r, "%.3f", rmse / runs);
+    std::snprintf(c, sizeof c, "%.1f", cost / runs);
+    table.add_row({std::to_string(ensemble), r, std::to_string(reductions),
+                   std::to_string(misses), std::to_string(alarms), c});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected shape: wind RMSE and average decision cost fall as the\n"
+      "ensemble grows; a reduction day costs 30 kEUR, a missed peak 120 kEUR.\n");
+  return 0;
+}

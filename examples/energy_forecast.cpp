@@ -1,0 +1,40 @@
+// Renewable-energy prediction example (paper §II-B): backtest the Kernel
+// Ridge wind-farm power forecaster against persistence and raw-forecast
+// baselines, sweeping the WRF ensemble size — the §VIII claim that more and
+// fresher WRF runs improve the prediction.
+//
+//   $ ./examples/energy_forecast
+
+#include <cstdio>
+
+#include "support/table.hpp"
+#include "usecases/energy.hpp"
+
+namespace en = everest::usecases::energy;
+
+int main() {
+  std::printf("== Wind-farm energy prediction backtest ==\n");
+  std::printf("(synthetic site, 120 days hourly, test on last 20 days)\n\n");
+
+  everest::support::Table table({"ensemble", "MAE model [MW]",
+                                 "MAE raw forecast [MW]",
+                                 "MAE persistence [MW]"});
+  for (int ensemble : {1, 2, 3, 5, 8}) {
+    auto result = en::backtest(24 * 120, ensemble, /*seed=*/42);
+    if (!result) {
+      std::fprintf(stderr, "backtest failed: %s\n",
+                   result.error().message.c_str());
+      return 1;
+    }
+    char model[32], raw[32], persist[32];
+    std::snprintf(model, sizeof model, "%.3f", result->mae_model);
+    std::snprintf(raw, sizeof raw, "%.3f", result->mae_forecast);
+    std::snprintf(persist, sizeof persist, "%.3f", result->mae_persistence);
+    table.add_row({std::to_string(ensemble), model, raw, persist});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected shape: model < raw forecast < persistence, and the raw\n"
+      "forecast improves with ensemble size (uncertainty averaging).\n");
+  return 0;
+}

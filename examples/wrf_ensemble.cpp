@@ -1,0 +1,83 @@
+// Accelerated WRF ensemble example (paper §VIII): derive the RRTMG radiation
+// speedup from the actual compiled kernel (basecamp + HLS + Olympus vs the
+// measured CPU reference), then run the WRF ensemble workflow on the
+// resource manager with and without FPGA nodes.
+//
+//   $ ./examples/wrf_ensemble
+
+#include <chrono>
+#include <cstdio>
+
+#include "sdk/basecamp.hpp"
+#include "support/table.hpp"
+#include "usecases/rrtmg.hpp"
+#include "usecases/wrf_workflow.hpp"
+
+namespace rr = everest::usecases::rrtmg;
+namespace wrf = everest::usecases::wrf;
+
+int main() {
+  std::printf("== Accelerated WRF ensemble forecasting ==\n\n");
+
+  // 1. Measure the CPU radiation kernel and compile its FPGA counterpart.
+  rr::Config config;
+  config.ncells = 2048;
+  config.ng = 16;
+  rr::Data data = rr::make_data(config);
+
+  auto start = std::chrono::steady_clock::now();
+  auto tau = rr::reference_tau(data);
+  auto stop = std::chrono::steady_clock::now();
+  double cpu_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  (void)tau;
+
+  everest::sdk::Basecamp basecamp;
+  everest::sdk::CompileOptions options;
+  options.olympus.replicas = 2;
+  auto compiled =
+      basecamp.compile_ekl(rr::ekl_source(), rr::bindings(data), options);
+  if (!compiled) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 compiled.error().message.c_str());
+    return 1;
+  }
+  double fpga_ms = compiled->estimate.total_us / 1000.0;
+  double speedup = cpu_ms / fpga_ms;
+  std::printf("RRTMG radiation step (%lld cells x %lld g-points):\n",
+              static_cast<long long>(config.ncells),
+              static_cast<long long>(config.ng));
+  std::printf("  CPU reference %.2f ms | u55c system %.2f ms | speedup %.1fx\n\n",
+              cpu_ms, fpga_ms, speedup);
+
+  // 2. The ensemble workflow across cluster shapes.
+  everest::support::Table table({"FPGA nodes", "makespan [ms]",
+                                 "CPU-only [ms]", "workflow speedup",
+                                 "radiation tasks on FPGA"});
+  for (int fpga_nodes : {0, 1, 2, 4}) {
+    wrf::WorkflowConfig wf;
+    wf.ensemble_members = 8;
+    wf.timesteps = 12;
+    wf.radiation_speedup = speedup;
+    wf.nodes = 8;
+    wf.fpga_nodes = fpga_nodes;
+    auto report = wrf::run_ensemble(wf);
+    if (!report) {
+      std::fprintf(stderr, "workflow failed: %s\n",
+                   report.error().message.c_str());
+      return 1;
+    }
+    char m[32], c[32], s[32];
+    std::snprintf(m, sizeof m, "%.0f", report->makespan_ms);
+    std::snprintf(c, sizeof c, "%.0f", report->cpu_only_makespan_ms);
+    std::snprintf(s, sizeof s, "%.2fx", report->speedup);
+    table.add_row({std::to_string(fpga_nodes), m, c, s,
+                   std::to_string(report->radiation_tasks_on_fpga)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "shape: radiation is ~30%% of a timestep, so Amdahl caps the workflow\n"
+      "speedup around 1.3x; the first FPGA node captures most of it because\n"
+      "the accelerated kernel is so fast that one card serves the whole\n"
+      "ensemble's radiation tasks — state-transfer time eats the remainder.\n");
+  return 0;
+}

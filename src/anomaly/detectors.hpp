@@ -1,0 +1,128 @@
+// everest/anomaly/detectors.hpp
+//
+// Anomaly detectors for the EVEREST anomaly-detection service (paper §VII).
+// The model-selection node searches over these families and their
+// hyperparameters; the detection node runs the selected model and emits the
+// anomalous indices. All detectors are deterministic given their seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/expected.hpp"
+
+namespace everest::anomaly {
+
+using Row = std::vector<double>;
+using Table = std::vector<Row>;
+
+/// Base interface: fit on a table, then score rows (higher = more anomalous).
+class Detector {
+public:
+  virtual ~Detector() = default;
+  virtual support::Status fit(const Table &rows) = 0;
+  [[nodiscard]] virtual double score(const Row &row) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Per-feature z-score; score is the max |z| across features.
+class ZScoreDetector final : public Detector {
+public:
+  support::Status fit(const Table &rows) override;
+  [[nodiscard]] double score(const Row &row) const override;
+  [[nodiscard]] std::string name() const override { return "zscore"; }
+
+private:
+  std::vector<double> mean_, stddev_;
+};
+
+/// Tukey fences per feature; score is the max normalized fence violation.
+class IqrDetector final : public Detector {
+public:
+  explicit IqrDetector(double k = 1.5) : k_(k) {}
+  support::Status fit(const Table &rows) override;
+  [[nodiscard]] double score(const Row &row) const override;
+  [[nodiscard]] std::string name() const override { return "iqr"; }
+
+private:
+  double k_;
+  std::vector<double> lo_, hi_, iqr_;
+};
+
+/// Mahalanobis distance with a ridge-regularized covariance.
+class MahalanobisDetector final : public Detector {
+public:
+  explicit MahalanobisDetector(double ridge = 1e-3) : ridge_(ridge) {}
+  support::Status fit(const Table &rows) override;
+  [[nodiscard]] double score(const Row &row) const override;
+  [[nodiscard]] std::string name() const override { return "mahalanobis"; }
+
+private:
+  double ridge_;
+  std::vector<double> mean_;
+  std::vector<std::vector<double>> chol_;  // lower-triangular factor
+};
+
+/// Isolation forest (Liu et al.): average isolation path length over random
+/// trees; short paths = anomalous.
+class IsolationForest final : public Detector {
+public:
+  IsolationForest(int trees = 64, int subsample = 128,
+                  std::uint64_t seed = 42)
+      : trees_(trees), subsample_(subsample), seed_(seed) {}
+  support::Status fit(const Table &rows) override;
+  [[nodiscard]] double score(const Row &row) const override;
+  [[nodiscard]] std::string name() const override { return "isolation_forest"; }
+
+private:
+  struct Node {
+    int feature = -1;      // -1 = leaf
+    double threshold = 0;
+    int left = -1, right = -1;
+    int size = 0;          // leaf: points that landed here
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+  double path_length(const Tree &tree, const Row &row) const;
+
+  int trees_;
+  int subsample_;
+  std::uint64_t seed_;
+  std::vector<Tree> forest_;
+  double c_norm_ = 1.0;  // expected path length normalizer c(n)
+};
+
+/// k-nearest-neighbor distance detector (LOF-style global variant):
+/// score = mean distance to the k nearest training rows.
+class KnnDetector final : public Detector {
+public:
+  explicit KnnDetector(int k = 8) : k_(k) {}
+  support::Status fit(const Table &rows) override;
+  [[nodiscard]] double score(const Row &row) const override;
+  [[nodiscard]] std::string name() const override { return "knn"; }
+
+private:
+  int k_;
+  Table train_;
+};
+
+/// Names of all detector families, in search order.
+std::vector<std::string> detector_names();
+
+/// Builds a detector by family name with numeric hyperparameters:
+///   iqr: k;  mahalanobis: ridge;  isolation_forest: trees, subsample;
+///   knn: k.  Unknown keys are ignored; missing keys use defaults.
+support::Expected<std::unique_ptr<Detector>> make_detector(
+    const std::string &name, const std::map<std::string, double> &hyper,
+    std::uint64_t seed = 42);
+
+/// Indices of the `contamination` fraction of rows with the highest scores.
+std::vector<std::size_t> detect_anomalies(const Detector &detector,
+                                          const Table &rows,
+                                          double contamination);
+
+}  // namespace everest::anomaly

@@ -1,0 +1,113 @@
+#include "anomaly/service.hpp"
+
+#include <algorithm>
+
+#include "support/stats.hpp"
+
+namespace everest::anomaly {
+
+using support::Error;
+using support::Expected;
+using support::Json;
+using support::Status;
+
+std::vector<ParamSpec> hyper_space(const std::string &family) {
+  if (family == "iqr") return {{"k", 0.5, 4.0, false, false}};
+  if (family == "mahalanobis") return {{"ridge", 1e-6, 1.0, true, false}};
+  if (family == "isolation_forest")
+    return {{"trees", 8, 128, false, true}, {"subsample", 32, 512, true, true}};
+  if (family == "knn") return {{"k", 1, 32, false, true}};
+  return {};  // zscore has no hyperparameters
+}
+
+Expected<SelectionResult> select_model(const Table &rows,
+                                       const std::vector<std::size_t> &truth,
+                                       const SelectionConfig &config) {
+  if (rows.empty()) return Error::make("select_model: empty data");
+  if (config.max_trials < 1)
+    return Error::make("select_model: max_trials must be >= 1");
+
+  auto families = detector_names();
+  int per_family = std::max(
+      1, config.max_trials / static_cast<int>(families.size()));
+
+  SelectionResult result;
+  result.best_ap = -1.0;
+
+  std::uint64_t seed_stream = config.seed;
+  for (const auto &family : families) {
+    auto space = hyper_space(family);
+    TpeSampler sampler(space, ++seed_stream, /*gamma=*/0.25,
+                       /*candidates=*/24, config.startup_trials);
+    std::vector<Trial> family_history;
+
+    int trials = space.empty() ? 1 : per_family;
+    for (int t = 0; t < trials; ++t) {
+      auto params = config.use_tpe ? sampler.suggest(family_history)
+                                   : sampler.sample_random();
+      auto detector = make_detector(family, params, config.seed + 17);
+      if (!detector) return detector.error();
+      if (auto s = (*detector)->fit(rows); !s.is_ok()) continue;
+
+      // Objective: average precision of the anomaly ranking.
+      std::vector<double> scores;
+      scores.reserve(rows.size());
+      for (const auto &row : rows) scores.push_back((*detector)->score(row));
+      double ap = support::average_precision(scores, truth);
+
+      Trial trial;
+      trial.params = params;
+      trial.loss = 1.0 - ap;
+      family_history.push_back(trial);
+      result.history.push_back(trial);
+      if (ap > result.best_ap) {
+        result.best_ap = ap;
+        result.model = family;
+        result.hyperparams = params;
+        auto predicted =
+            detect_anomalies(**detector, rows, config.contamination);
+        result.best_f1 = support::score_detection(predicted, truth).f1;
+      }
+      result.best_curve.push_back(result.best_ap);
+    }
+  }
+
+  if (result.model.empty())
+    return Error::make("select_model: no detector could be fitted");
+  return result;
+}
+
+Status DetectionNode::fit(const Table &rows) {
+  recent_ = rows;
+  if (recent_.size() > window_) {
+    recent_.erase(recent_.begin(),
+                  recent_.end() - static_cast<std::ptrdiff_t>(window_));
+  }
+  return detector_->fit(recent_);
+}
+
+Expected<Json> DetectionNode::process(const Table &batch) {
+  if (recent_.empty())
+    return Error::make("detection node: fit() before process()");
+  auto anomalies = detect_anomalies(*detector_, batch, contamination_);
+
+  Json doc = Json::object();
+  Json idx = Json::array();
+  for (std::size_t i : anomalies) idx.push_back(static_cast<std::int64_t>(i));
+  doc.set("anomalies", std::move(idx));
+  doc.set("model", detector_->name());
+  doc.set("count", static_cast<std::int64_t>(anomalies.size()));
+  doc.set("batch_size", static_cast<std::int64_t>(batch.size()));
+
+  // Continuous update: fold the batch into the window and refit.
+  recent_.insert(recent_.end(), batch.begin(), batch.end());
+  if (recent_.size() > window_) {
+    recent_.erase(recent_.begin(),
+                  recent_.end() - static_cast<std::ptrdiff_t>(window_));
+  }
+  if (auto s = detector_->fit(recent_); !s.is_ok())
+    return Error::make(s.message());
+  return doc;
+}
+
+}  // namespace everest::anomaly

@@ -1,0 +1,79 @@
+// everest/anomaly/service.hpp
+//
+// The two nodes developers drop into their workflows (paper §VII): *model
+// selection* — AutoML over the detector families with TPE hyperparameter
+// sampling, returning the best model found within the trial budget — and
+// *detection* — runs the selected model over incoming data and produces a
+// JSON document with the indexes of anomalous points; the model is
+// continuously updated with current data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "anomaly/detectors.hpp"
+#include "anomaly/tpe.hpp"
+#include "support/json.hpp"
+
+namespace everest::anomaly {
+
+/// Budget and objective settings for model selection.
+struct SelectionConfig {
+  int max_trials = 60;           // "specified amount of time" stand-in
+  double contamination = 0.05;   // expected anomaly fraction
+  std::uint64_t seed = 42;
+  bool use_tpe = true;           // false = pure random search (E7 baseline)
+  std::size_t startup_trials = 8;  // random trials before TPE guidance
+};
+
+/// Result of the model-selection node. The search objective is average
+/// precision of the anomaly ranking (continuous, so hyperparameters are
+/// distinguishable); F1 at the contamination threshold is reported for the
+/// winning model.
+struct SelectionResult {
+  std::string model;
+  std::map<std::string, double> hyperparams;
+  double best_ap = 0.0;           // search objective of the winner
+  double best_f1 = 0.0;           // thresholded F1 of the winner
+  std::vector<Trial> history;     // all evaluated trials (loss = 1 - AP)
+  std::vector<double> best_curve; // best AP after each trial
+};
+
+/// Runs model selection on `rows` with validation labels `truth` (indices of
+/// truly anomalous rows). Trials are split across detector families; each
+/// family gets its own TPE sampler over its hyperparameter space.
+support::Expected<SelectionResult> select_model(const Table &rows,
+                                                const std::vector<std::size_t> &truth,
+                                                const SelectionConfig &config);
+
+/// The detection node: holds a fitted model, scores incoming batches, emits
+/// the JSON contract, and refits on a sliding window of recent data.
+class DetectionNode {
+public:
+  DetectionNode(std::unique_ptr<Detector> detector, double contamination,
+                std::size_t window = 4096)
+      : detector_(std::move(detector)),
+        contamination_(contamination),
+        window_(window) {}
+
+  /// Fits the model on initial data.
+  support::Status fit(const Table &rows);
+
+  /// Scores a batch, updates the sliding window, refits, and returns the
+  /// JSON document: {"anomalies": [indices...], "model": name, "count": n}.
+  support::Expected<support::Json> process(const Table &batch);
+
+  [[nodiscard]] const Detector &detector() const { return *detector_; }
+
+private:
+  std::unique_ptr<Detector> detector_;
+  double contamination_;
+  std::size_t window_;
+  Table recent_;
+};
+
+/// Hyperparameter search space of a detector family (shared between the
+/// service and the E7 bench).
+std::vector<ParamSpec> hyper_space(const std::string &family);
+
+}  // namespace everest::anomaly

@@ -1,0 +1,117 @@
+#include "anomaly/tpe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace everest::anomaly {
+
+double TpeSampler::to_internal(const ParamSpec &p, double external) const {
+  return p.log_scale ? std::log(std::max(external, 1e-300)) : external;
+}
+
+double TpeSampler::to_external(const ParamSpec &p, double internal) const {
+  double v = p.log_scale ? std::exp(internal) : internal;
+  v = std::clamp(v, p.lo, p.hi);
+  if (p.integral) v = std::round(v);
+  return v;
+}
+
+std::map<std::string, double> TpeSampler::sample_random() {
+  std::map<std::string, double> out;
+  for (const auto &p : space_) {
+    double lo = to_internal(p, p.lo);
+    double hi = to_internal(p, p.hi);
+    out[p.name] = to_external(p, rng_.uniform(lo, hi));
+  }
+  return out;
+}
+
+double TpeSampler::parzen_log_density(const std::vector<double> &centers,
+                                      double bandwidth, double x) const {
+  // Mixture of equal-weight Gaussians at the centers.
+  double acc = 0.0;
+  const double inv = 1.0 / bandwidth;
+  const double norm =
+      1.0 / (bandwidth * std::sqrt(2.0 * std::numbers::pi) *
+             static_cast<double>(centers.size()));
+  for (double c : centers) {
+    double z = (x - c) * inv;
+    acc += std::exp(-0.5 * z * z);
+  }
+  return std::log(std::max(acc * norm, 1e-300));
+}
+
+std::map<std::string, double> TpeSampler::suggest(
+    const std::vector<Trial> &history) {
+  if (history.size() < startup_) return sample_random();
+
+  // Split at the gamma quantile of loss: good (low loss) vs bad.
+  std::vector<std::size_t> order(history.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return history[a].loss < history[b].loss;
+  });
+  auto n_good = static_cast<std::size_t>(std::max<double>(
+      2.0, std::ceil(gamma_ * static_cast<double>(history.size()))));
+  n_good = std::min(n_good, history.size() - 1);
+
+  // Per-parameter centers for l (good) and g (bad).
+  std::map<std::string, std::vector<double>> good, bad;
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const Trial &t = history[order[rank]];
+    for (const auto &p : space_) {
+      auto it = t.params.find(p.name);
+      if (it == t.params.end()) continue;
+      (rank < n_good ? good[p.name] : bad[p.name])
+          .push_back(to_internal(p, it->second));
+    }
+  }
+
+  // Scott-rule-ish bandwidth per parameter over its internal range.
+  auto bandwidth = [&](const ParamSpec &p, std::size_t n) {
+    double range = to_internal(p, p.hi) - to_internal(p, p.lo);
+    return std::max(range / std::sqrt(static_cast<double>(std::max<std::size_t>(n, 1))),
+                    1e-6 * std::max(range, 1.0));
+  };
+
+  // Draw candidates from l(x) (perturbed good centers), keep the best EI
+  // surrogate log l(x) - log g(x), summed over parameters.
+  std::map<std::string, double> best;
+  double best_score = -1e300;
+  for (int c = 0; c < candidates_; ++c) {
+    std::map<std::string, double> candidate;
+    double score = 0.0;
+    for (const auto &p : space_) {
+      const auto &centers = good[p.name];
+      if (centers.empty()) {
+        candidate[p.name] = sample_random()[p.name];
+        continue;
+      }
+      double bw_l = bandwidth(p, centers.size());
+      double center = centers[rng_.bounded(
+          static_cast<std::uint32_t>(centers.size()))];
+      double x = center + bw_l * rng_.normal();
+      x = std::clamp(x, to_internal(p, p.lo), to_internal(p, p.hi));
+      candidate[p.name] = to_external(p, x);
+
+      double log_l = parzen_log_density(centers, bw_l, x);
+      const auto &bad_centers = bad[p.name];
+      double log_g =
+          bad_centers.empty()
+              ? std::log(1.0 / std::max(to_internal(p, p.hi) -
+                                            to_internal(p, p.lo),
+                                        1e-12))
+              : parzen_log_density(bad_centers, bandwidth(p, bad_centers.size()),
+                                   x);
+      score += log_l - log_g;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace everest::anomaly

@@ -1,0 +1,98 @@
+#include "autotune/autotuner.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace everest::autotune {
+
+using support::Error;
+using support::Expected;
+
+void SlidingMonitor::push(double value) {
+  values_.push_back(value);
+  while (values_.size() > window_) values_.pop_front();
+}
+
+double SlidingMonitor::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+void Autotuner::add_knowledge(OperatingPoint point) {
+  knowledge_.push_back(std::move(point));
+  current_ = nullptr;  // pointers into knowledge_ may be invalidated
+}
+
+void Autotuner::add_constraint(Constraint constraint) {
+  constraints_.push_back(std::move(constraint));
+}
+
+double Autotuner::correction(const std::string &metric) const {
+  auto it = corrections_.find(metric);
+  return it == corrections_.end() ? 1.0 : it->second;
+}
+
+double Autotuner::corrected(const OperatingPoint &point,
+                            const std::string &metric) const {
+  auto it = point.metrics.find(metric);
+  if (it == point.metrics.end()) return 0.0;
+  return it->second * correction(metric);
+}
+
+Expected<OperatingPoint> Autotuner::select() {
+  if (knowledge_.empty())
+    return Error::make("autotuner: no application knowledge");
+
+  // Constraint priorities sorted ascending: relax from the lowest.
+  std::set<int> priorities;
+  for (const auto &c : constraints_) priorities.insert(c.priority);
+  std::vector<int> relax_order(priorities.begin(), priorities.end());
+
+  last_relaxations_ = 0;
+  // Level 0: all constraints. Level k: drop the k lowest priorities.
+  for (std::size_t level = 0; level <= relax_order.size(); ++level) {
+    std::vector<const OperatingPoint *> feasible;
+    for (const auto &point : knowledge_) {
+      bool ok = true;
+      for (const auto &c : constraints_) {
+        // Dropped if its priority is among the `level` lowest.
+        bool dropped = false;
+        for (std::size_t k = 0; k < level; ++k) {
+          if (c.priority == relax_order[k]) dropped = true;
+        }
+        if (dropped) continue;
+        double value = corrected(point, c.metric);
+        if (c.kind == Constraint::Kind::LessEqual && value > c.bound) ok = false;
+        if (c.kind == Constraint::Kind::GreaterEqual && value < c.bound)
+          ok = false;
+      }
+      if (ok) feasible.push_back(&point);
+    }
+    if (feasible.empty()) continue;
+
+    last_relaxations_ = static_cast<int>(level);
+    const OperatingPoint *best = feasible.front();
+    for (const OperatingPoint *p : feasible) {
+      double pv = corrected(*p, rank_.metric);
+      double bv = corrected(*best, rank_.metric);
+      if (rank_.maximize ? pv > bv : pv < bv) best = p;
+    }
+    current_ = best;
+    return *best;
+  }
+  return Error::make("autotuner: no feasible operating point even after "
+                     "relaxing all constraints");
+}
+
+void Autotuner::observe(const std::string &metric, double measured) {
+  if (!current_) return;
+  auto it = current_->metrics.find(metric);
+  if (it == current_->metrics.end() || it->second == 0.0) return;
+  double ratio = measured / it->second;
+  double &corr = corrections_.try_emplace(metric, 1.0).first->second;
+  corr = (1.0 - ema_alpha_) * corr + ema_alpha_ * ratio;
+}
+
+}  // namespace everest::autotune

@@ -1,0 +1,98 @@
+// everest/autotune/autotuner.hpp
+//
+// The EVEREST dynamic autotuner, modeled on mARGOt (paper §VI-C, ref [8]):
+// an application-level library working on *knobs* (variables the library
+// controls: parameters, code variants) and *metrics* (observed properties).
+// Application knowledge is a list of operating points mapping knob settings
+// to expected metric values; constraints (with priorities) filter the
+// points, a rank objective orders them, and runtime monitors feed back
+// measured metrics that continuously correct the expectations — so the best
+// configuration tracks the actual execution environment (available
+// resources, data characteristics).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/expected.hpp"
+
+namespace everest::autotune {
+
+/// Knob settings and expected metrics of one configuration.
+struct OperatingPoint {
+  std::map<std::string, double> knobs;
+  std::map<std::string, double> metrics;
+};
+
+/// A constraint on a (corrected) metric. Higher priority = relaxed last.
+struct Constraint {
+  std::string metric;
+  enum class Kind { LessEqual, GreaterEqual } kind = Kind::LessEqual;
+  double bound = 0.0;
+  int priority = 1;
+};
+
+/// Rank objective over a metric.
+struct Rank {
+  std::string metric;
+  bool maximize = false;
+};
+
+/// Sliding-window runtime monitor (mARGOt's monitors).
+class SlidingMonitor {
+public:
+  explicit SlidingMonitor(std::size_t window = 16) : window_(window) {}
+  void push(double value);
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double last() const { return values_.empty() ? 0.0 : values_.back(); }
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  void clear() { values_.clear(); }
+
+private:
+  std::size_t window_;
+  std::deque<double> values_;
+};
+
+/// The autotuner.
+class Autotuner {
+public:
+  /// Adds one operating point to the application knowledge.
+  void add_knowledge(OperatingPoint point);
+  [[nodiscard]] std::size_t knowledge_size() const { return knowledge_.size(); }
+
+  void add_constraint(Constraint constraint);
+  void set_rank(Rank rank) { rank_ = std::move(rank); }
+
+  /// Selects the best operating point: satisfy constraints (relaxing the
+  /// lowest-priority ones when infeasible), then optimize the rank metric.
+  /// The selection becomes the "current" point for observation feedback.
+  support::Expected<OperatingPoint> select();
+
+  /// Feeds a measured metric for the current point. The ratio measured /
+  /// expected updates a global correction factor (EMA) applied to every
+  /// point's expectation of that metric — mARGOt's runtime adaptation.
+  void observe(const std::string &metric, double measured);
+
+  /// Current correction factor for a metric (1.0 when unobserved).
+  [[nodiscard]] double correction(const std::string &metric) const;
+
+  /// Expected value of `metric` for `point` after correction.
+  [[nodiscard]] double corrected(const OperatingPoint &point,
+                                 const std::string &metric) const;
+
+  /// Number of constraint-relaxation levels used by the last select().
+  [[nodiscard]] int last_relaxations() const { return last_relaxations_; }
+
+private:
+  std::vector<OperatingPoint> knowledge_;
+  std::vector<Constraint> constraints_;
+  Rank rank_;
+  std::map<std::string, double> corrections_;
+  const OperatingPoint *current_ = nullptr;
+  int last_relaxations_ = 0;
+  double ema_alpha_ = 0.4;
+};
+
+}  // namespace everest::autotune

@@ -1,0 +1,241 @@
+// Core-like dialects: arith, func, scf, tensor, memref. These mirror the
+// MLIR builtin dialects the EVEREST lowerings target (green boxes in Fig. 5).
+
+#include "dialects/registry.hpp"
+
+using everest::ir::Attribute;
+using everest::ir::Context;
+using everest::ir::OpDef;
+using everest::ir::Operation;
+using everest::support::Status;
+
+namespace everest::dialects {
+
+void register_arith(Context &ctx) {
+  auto &d = ctx.make_dialect("arith");
+
+  OpDef constant;
+  constant.num_operands = 0;
+  constant.num_results = 1;
+  constant.summary = "materializes a compile-time constant";
+  constant.required_attrs = {"value"};
+  d.add_op("constant", constant);
+
+  auto binary = [&](const char *name, const char *summary) {
+    OpDef def;
+    def.num_operands = 2;
+    def.num_results = 1;
+    def.summary = summary;
+    def.verifier = [](const Operation &op) -> Status {
+      if (op.operand(0)->type() != op.operand(1)->type())
+        return Status::failure("arith: operand types must match in " +
+                               op.name());
+      return Status::ok();
+    };
+    d.add_op(name, def);
+  };
+  binary("addf", "floating-point addition");
+  binary("subf", "floating-point subtraction");
+  binary("mulf", "floating-point multiplication");
+  binary("divf", "floating-point division");
+  binary("minf", "floating-point minimum");
+  binary("maxf", "floating-point maximum");
+  binary("addi", "integer addition");
+  binary("subi", "integer subtraction");
+  binary("muli", "integer multiplication");
+
+  OpDef cmpf;
+  cmpf.num_operands = 2;
+  cmpf.num_results = 1;
+  cmpf.summary = "floating-point comparison";
+  cmpf.required_attrs = {"predicate"};
+  d.add_op("cmpf", cmpf);
+
+  OpDef cmpi = cmpf;
+  cmpi.summary = "integer comparison";
+  d.add_op("cmpi", cmpi);
+
+  OpDef select;
+  select.num_operands = 3;
+  select.num_results = 1;
+  select.summary = "ternary select on an i1 condition";
+  select.verifier = [](const Operation &op) -> Status {
+    if (op.operand(1)->type() != op.operand(2)->type())
+      return Status::failure("arith.select: branch types must match");
+    return Status::ok();
+  };
+  d.add_op("select", select);
+
+  auto unary = [&](const char *name, const char *summary) {
+    OpDef def;
+    def.num_operands = 1;
+    def.num_results = 1;
+    def.summary = summary;
+    d.add_op(name, def);
+  };
+  unary("negf", "floating-point negation");
+  unary("exp", "exponential");
+  unary("log", "natural logarithm");
+  unary("sqrt", "square root");
+  unary("floor", "floor");
+  unary("index_cast", "cast between index and integer types");
+  unary("sitofp", "signed integer to floating point");
+  unary("fptosi", "floating point to signed integer");
+  unary("truncf", "floating-point truncation to a narrower type");
+  unary("extf", "floating-point extension to a wider type");
+}
+
+void register_func(Context &ctx) {
+  auto &d = ctx.make_dialect("func");
+
+  OpDef func;
+  func.num_operands = 0;
+  func.num_results = 0;
+  func.num_regions = 1;
+  func.summary = "a named function with one body region";
+  func.required_attrs = {"sym_name"};
+  d.add_op("func", func);
+
+  OpDef ret;
+  ret.num_operands = -1;
+  ret.num_results = 0;
+  ret.summary = "returns from the enclosing function";
+  d.add_op("return", ret);
+
+  OpDef call;
+  call.num_operands = -1;
+  call.num_results = -1;
+  call.summary = "direct call to a named function";
+  call.required_attrs = {"callee"};
+  d.add_op("call", call);
+}
+
+void register_scf(Context &ctx) {
+  auto &d = ctx.make_dialect("scf");
+
+  OpDef forop;
+  forop.num_operands = -1;  // lo, hi, step, init values...
+  forop.num_results = -1;
+  forop.num_regions = 1;
+  forop.summary = "counted loop (lo, hi, step, iter_args...)";
+  forop.verifier = [](const Operation &op) -> Status {
+    if (op.num_operands() < 3)
+      return Status::failure("scf.for: needs at least lo, hi, step");
+    if (op.region(0).empty() || op.region(0).front().num_arguments() < 1)
+      return Status::failure("scf.for: body needs an induction variable");
+    return Status::ok();
+  };
+  d.add_op("for", forop);
+
+  OpDef parallel = forop;
+  parallel.summary = "parallel counted loop nest";
+  parallel.verifier = nullptr;
+  d.add_op("parallel", parallel);
+
+  OpDef ifop;
+  ifop.num_operands = 1;
+  ifop.num_results = -1;
+  ifop.num_regions = 2;
+  ifop.summary = "conditional with then/else regions";
+  d.add_op("if", ifop);
+
+  OpDef yield;
+  yield.num_operands = -1;
+  yield.num_results = 0;
+  yield.summary = "terminates an scf region, forwarding values";
+  d.add_op("yield", yield);
+
+  OpDef execute;
+  execute.num_operands = -1;
+  execute.num_results = -1;
+  execute.num_regions = 1;
+  execute.summary = "region executed as a pipeline stage";
+  d.add_op("execute_region", execute);
+}
+
+void register_tensor(Context &ctx) {
+  auto &d = ctx.make_dialect("tensor");
+
+  OpDef empty;
+  empty.num_operands = 0;
+  empty.num_results = 1;
+  empty.summary = "creates an uninitialized tensor";
+  d.add_op("empty", empty);
+
+  OpDef extract;
+  extract.num_operands = -1;  // tensor + indices
+  extract.num_results = 1;
+  extract.summary = "reads one element of a tensor";
+  extract.verifier = [](const Operation &op) -> Status {
+    if (op.num_operands() < 1 || !op.operand(0)->type().is_tensor())
+      return Status::failure("tensor.extract: first operand must be a tensor");
+    return Status::ok();
+  };
+  d.add_op("extract", extract);
+
+  OpDef insert;
+  insert.num_operands = -1;  // scalar, tensor, indices
+  insert.num_results = 1;
+  insert.summary = "writes one element, yielding the updated tensor";
+  d.add_op("insert", insert);
+
+  OpDef dim;
+  dim.num_operands = 1;
+  dim.num_results = 1;
+  dim.summary = "queries a dimension size";
+  dim.required_attrs = {"index"};
+  d.add_op("dim", dim);
+}
+
+void register_memref(Context &ctx) {
+  auto &d = ctx.make_dialect("memref");
+
+  OpDef alloc;
+  alloc.num_operands = 0;
+  alloc.num_results = 1;
+  alloc.summary = "allocates a buffer";
+  d.add_op("alloc", alloc);
+
+  OpDef load;
+  load.num_operands = -1;  // buffer + indices
+  load.num_results = 1;
+  load.summary = "loads an element from a buffer";
+  d.add_op("load", load);
+
+  OpDef store;
+  store.num_operands = -1;  // value, buffer, indices
+  store.num_results = 0;
+  store.summary = "stores an element into a buffer";
+  d.add_op("store", store);
+
+  OpDef copy;
+  copy.num_operands = 2;
+  copy.num_results = 0;
+  copy.summary = "bulk copy between buffers";
+  d.add_op("copy", copy);
+
+  OpDef dealloc;
+  dealloc.num_operands = 1;
+  dealloc.num_results = 0;
+  dealloc.summary = "frees a buffer";
+  d.add_op("dealloc", dealloc);
+}
+
+void register_everest_dialects(Context &ctx) {
+  register_arith(ctx);
+  register_func(ctx);
+  register_scf(ctx);
+  register_tensor(ctx);
+  register_memref(ctx);
+  register_ekl(ctx);
+  register_cfdlang(ctx);
+  register_teil(ctx);
+  register_esn(ctx);
+  register_dfg(ctx);
+  register_base2(ctx);
+  register_bit(ctx);
+  register_evp(ctx);
+  register_olympus(ctx);
+}
+
+}  // namespace everest::dialects

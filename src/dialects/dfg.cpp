@@ -1,0 +1,93 @@
+// The dfg (dataflow/coordination) dialect: target of the ConDRust frontend
+// (paper §V-A.2, Fig. 4). A dfg.graph contains nodes connected by typed
+// streams; nodes carry placement hints consumed by the CPU/FPGA partitioner.
+
+#include "dialects/registry.hpp"
+
+using everest::ir::Attribute;
+using everest::ir::Context;
+using everest::ir::OpDef;
+using everest::ir::Operation;
+using everest::ir::Type;
+using everest::support::Status;
+
+namespace everest::dialects {
+
+void register_dfg(Context &ctx) {
+  auto &d = ctx.make_dialect("dfg");
+
+  OpDef graph;
+  graph.num_operands = 0;
+  graph.num_results = 0;
+  graph.num_regions = 1;
+  graph.summary = "a deterministic dataflow graph (ConDRust semantics)";
+  graph.required_attrs = {"sym_name"};
+  d.add_op("graph", graph);
+
+  OpDef input;
+  input.num_operands = 0;
+  input.num_results = 1;
+  input.summary = "external input stream";
+  input.required_attrs = {"name"};
+  input.verifier = [](const Operation &op) -> Status {
+    const Type &t = op.result(0)->type();
+    if (!t.is_custom() || t.dialect() != "dfg" || t.name() != "stream")
+      return Status::failure("dfg.input: result must be !dfg.stream<...>");
+    return Status::ok();
+  };
+  d.add_op("input", input);
+
+  OpDef node;
+  node.num_operands = -1;
+  node.num_results = -1;
+  node.summary = "a stateless operator applied per stream element";
+  node.required_attrs = {"callee"};
+  node.verifier = [](const Operation &op) -> Status {
+    std::string placement = op.attr_string("placement", "any");
+    if (placement != "any" && placement != "cpu" && placement != "fpga")
+      return Status::failure("dfg.node: placement must be any/cpu/fpga");
+    return Status::ok();
+  };
+  d.add_op("node", node);
+
+  OpDef smap;
+  smap.num_operands = -1;
+  smap.num_results = -1;
+  smap.num_regions = 1;
+  smap.summary = "data-parallel map over a stream (order-preserving)";
+  d.add_op("smap", smap);
+
+  OpDef fold;
+  fold.num_operands = -1;
+  fold.num_results = -1;
+  fold.summary = "ordered stateful fold (runs sequentially; preserves determinism)";
+  fold.required_attrs = {"callee"};
+  d.add_op("fold", fold);
+
+  OpDef split;
+  split.num_operands = 1;
+  split.num_results = -1;
+  split.summary = "round-robin splits a stream for parallel workers";
+  d.add_op("split", split);
+
+  OpDef merge;
+  merge.num_operands = -1;
+  merge.num_results = 1;
+  merge.summary = "order-restoring merge of split streams";
+  d.add_op("merge", merge);
+
+  OpDef yield;
+  yield.num_operands = -1;
+  yield.num_results = 0;
+  yield.summary = "terminates an smap body, forwarding element results";
+  d.add_op("yield", yield);
+
+  OpDef output;
+  output.num_operands = 1;
+  output.num_results = 0;
+  output.summary = "external output stream";
+  output.required_attrs = {"name"};
+  d.add_op("output", output);
+}
+
+}  // namespace everest::dialects

@@ -1,0 +1,263 @@
+#include "dialects/ekl.hpp"
+
+#include <algorithm>
+
+#include "dialects/registry.hpp"
+
+namespace everest::dialects {
+
+using ir::Attribute;
+using ir::OpDef;
+using ir::Operation;
+using ir::Type;
+using ir::Value;
+using support::Status;
+
+namespace {
+
+/// All value-producing EKL ops must carry "indices" naming result dims.
+Status verify_has_indices(const Operation &op) {
+  const Attribute *a = op.attr("indices");
+  if (!a || !a->is_array())
+    return Status::failure(op.name() + ": missing 'indices' array attribute");
+  return Status::ok();
+}
+
+}  // namespace
+
+void register_ekl(ir::Context &ctx) {
+  auto &d = ctx.make_dialect("ekl");
+
+  OpDef kernel;
+  kernel.num_operands = 0;
+  kernel.num_results = 0;
+  kernel.num_regions = 1;
+  kernel.summary = "an EVEREST Kernel Language program";
+  kernel.required_attrs = {"sym_name"};
+  d.add_op("kernel", kernel);
+
+  OpDef input;
+  input.num_operands = 0;
+  input.num_results = 1;
+  input.summary = "declares a named input tensor with named indices";
+  input.required_attrs = {"name", "indices"};
+  d.add_op("input", input);
+
+  OpDef index;
+  index.num_operands = 0;
+  index.num_results = 1;
+  index.summary = "the value of an iteration index (i64, indexed by itself)";
+  index.required_attrs = {"name", "indices"};
+  d.add_op("index", index);
+
+  OpDef literal;
+  literal.num_operands = 0;
+  literal.num_results = 1;
+  literal.summary = "scalar literal";
+  literal.required_attrs = {"value", "indices"};
+  d.add_op("literal", literal);
+
+  OpDef binary;
+  binary.num_operands = 2;
+  binary.num_results = 1;
+  binary.summary = "broadcasting elementwise binary op (fn: add/sub/mul/div/min/max)";
+  binary.required_attrs = {"fn", "indices"};
+  binary.verifier = [](const Operation &op) -> Status {
+    static const char *fns[] = {"add", "sub", "mul", "div", "min", "max"};
+    std::string fn = op.attr_string("fn");
+    if (std::find(std::begin(fns), std::end(fns), fn) == std::end(fns))
+      return Status::failure("ekl.binary: unknown fn '" + fn + "'");
+    return verify_has_indices(op);
+  };
+  d.add_op("binary", binary);
+
+  OpDef compare;
+  compare.num_operands = 2;
+  compare.num_results = 1;
+  compare.summary = "broadcasting comparison producing 0/1";
+  compare.required_attrs = {"predicate", "indices"};
+  d.add_op("compare", compare);
+
+  OpDef select;
+  select.num_operands = 3;
+  select.num_results = 1;
+  select.summary = "elementwise select(cond, a, b)";
+  select.required_attrs = {"indices"};
+  d.add_op("select", select);
+
+  OpDef sum;
+  sum.num_operands = 1;
+  sum.num_results = 1;
+  sum.summary = "sum-reduction over the named indices";
+  sum.required_attrs = {"reduce", "indices"};
+  sum.verifier = [](const Operation &op) -> Status {
+    if (auto s = verify_has_indices(op); !s.is_ok()) return s;
+    // Reduced indices must be part of the operand's index set.
+    auto operand_idx = ekl::result_indices(*op.operand(0));
+    for (const auto &r : op.attr("reduce")->as_string_vector()) {
+      if (std::find(operand_idx.begin(), operand_idx.end(), r) ==
+          operand_idx.end())
+        return Status::failure("ekl.sum: reduced index '" + r +
+                               "' not present in operand");
+    }
+    return Status::ok();
+  };
+  d.add_op("sum", sum);
+
+  OpDef gather;
+  gather.num_operands = -1;  // source + one index expression per source dim
+  gather.num_results = 1;
+  gather.summary = "subscripted subscripts: src[e0[...], e1[...], ...]";
+  gather.required_attrs = {"indices"};
+  gather.verifier = [](const Operation &op) -> Status {
+    if (op.num_operands() < 2)
+      return Status::failure("ekl.gather: needs source + >=1 index expr");
+    return verify_has_indices(op);
+  };
+  d.add_op("gather", gather);
+
+  OpDef stack;
+  stack.num_operands = -1;
+  stack.num_results = 1;
+  stack.summary = "in-place construction: stacks operands along a new index";
+  stack.required_attrs = {"new_index", "indices"};
+  stack.verifier = [](const Operation &op) -> Status {
+    if (op.num_operands() < 1)
+      return Status::failure("ekl.stack: needs at least one operand");
+    return verify_has_indices(op);
+  };
+  d.add_op("stack", stack);
+
+  OpDef output;
+  output.num_operands = 1;
+  output.num_results = 0;
+  output.summary = "binds the operand to a named kernel output";
+  output.required_attrs = {"name"};
+  d.add_op("output", output);
+}
+
+namespace ekl {
+
+std::vector<std::string> result_indices(const Value &value) {
+  const Operation *def = value.defining_op();
+  if (!def) return {};
+  const Attribute *a = def->attr("indices");
+  if (!a || !a->is_array()) return {};
+  return a->as_string_vector();
+}
+
+std::vector<std::string> union_indices(const std::vector<std::string> &a,
+                                       const std::vector<std::string> &b) {
+  std::vector<std::string> out = a;
+  for (const auto &x : b) {
+    if (std::find(out.begin(), out.end(), x) == out.end()) out.push_back(x);
+  }
+  return out;
+}
+
+namespace {
+
+/// EKL values are dynamically-shaped f64 tensors, one dim per named index.
+Type ekl_type(const std::vector<std::string> &indices) {
+  if (indices.empty()) return Type::floating(64);
+  return Type::tensor(std::vector<std::int64_t>(indices.size(), -1),
+                      Type::floating(64));
+}
+
+Attribute indices_attr(const std::vector<std::string> &indices) {
+  return Attribute::string_array(indices);
+}
+
+}  // namespace
+
+Value *make_input(ir::OpBuilder &b, const std::string &name,
+                  const std::vector<std::string> &indices) {
+  return b.create_value(
+      "ekl.input", {}, ekl_type(indices),
+      {{"name", Attribute(name)}, {"indices", indices_attr(indices)}});
+}
+
+Value *make_index(ir::OpBuilder &b, const std::string &name) {
+  std::vector<std::string> indices{name};
+  return b.create_value(
+      "ekl.index", {}, ekl_type(indices),
+      {{"name", Attribute(name)}, {"indices", indices_attr(indices)}});
+}
+
+Value *make_literal(ir::OpBuilder &b, double value) {
+  return b.create_value(
+      "ekl.literal", {}, Type::floating(64),
+      {{"value", Attribute(value)}, {"indices", indices_attr({})}});
+}
+
+Value *make_binary(ir::OpBuilder &b, const std::string &fn, Value *lhs,
+                   Value *rhs) {
+  auto indices = union_indices(result_indices(*lhs), result_indices(*rhs));
+  return b.create_value(
+      "ekl.binary", {lhs, rhs}, ekl_type(indices),
+      {{"fn", Attribute(fn)}, {"indices", indices_attr(indices)}});
+}
+
+Value *make_compare(ir::OpBuilder &b, const std::string &predicate, Value *lhs,
+                    Value *rhs) {
+  auto indices = union_indices(result_indices(*lhs), result_indices(*rhs));
+  return b.create_value(
+      "ekl.compare", {lhs, rhs}, ekl_type(indices),
+      {{"predicate", Attribute(predicate)}, {"indices", indices_attr(indices)}});
+}
+
+Value *make_select(ir::OpBuilder &b, Value *cond, Value *then_v, Value *else_v) {
+  auto indices = union_indices(
+      result_indices(*cond),
+      union_indices(result_indices(*then_v), result_indices(*else_v)));
+  return b.create_value("ekl.select", {cond, then_v, else_v}, ekl_type(indices),
+                        {{"indices", indices_attr(indices)}});
+}
+
+Value *make_sum(ir::OpBuilder &b, Value *operand,
+                const std::vector<std::string> &reduce) {
+  std::vector<std::string> indices;
+  for (const auto &i : result_indices(*operand)) {
+    if (std::find(reduce.begin(), reduce.end(), i) == reduce.end())
+      indices.push_back(i);
+  }
+  return b.create_value("ekl.sum", {operand}, ekl_type(indices),
+                        {{"reduce", Attribute::string_array(reduce)},
+                         {"indices", indices_attr(indices)}});
+}
+
+Value *make_gather(ir::OpBuilder &b, Value *source,
+                   const std::vector<Value *> &index_exprs) {
+  std::vector<std::string> indices;
+  for (Value *e : index_exprs)
+    indices = union_indices(indices, result_indices(*e));
+  std::vector<Value *> operands{source};
+  operands.insert(operands.end(), index_exprs.begin(), index_exprs.end());
+  return b.create_value("ekl.gather", operands, ekl_type(indices),
+                        {{"indices", indices_attr(indices)}});
+}
+
+Value *make_stack(ir::OpBuilder &b, const std::vector<Value *> &parts,
+                  const std::string &new_index) {
+  std::vector<std::string> indices;
+  for (Value *p : parts) indices = union_indices(indices, result_indices(*p));
+  indices.push_back(new_index);
+  return b.create_value("ekl.stack", parts, ekl_type(indices),
+                        {{"new_index", Attribute(new_index)},
+                         {"indices", indices_attr(indices)}});
+}
+
+void make_output(ir::OpBuilder &b, const std::string &name, Value *value) {
+  b.create("ekl.output", {value}, {}, {{"name", Attribute(name)}});
+}
+
+Operation &make_kernel(ir::Block &parent, const std::string &name) {
+  auto op = Operation::create("ekl.kernel", {}, {},
+                              {{"sym_name", Attribute(name)}}, 1);
+  op->region(0).add_block();
+  return parent.push_back(std::move(op));
+}
+
+}  // namespace ekl
+
+}  // namespace everest::dialects

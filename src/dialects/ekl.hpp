@@ -1,0 +1,54 @@
+// everest/dialects/ekl.hpp
+//
+// The EVEREST Kernel Language dialect (paper §V-A.1, Fig. 3): a tensor
+// expression IR with named indices supporting the four extensions the paper
+// calls out beyond classic tensor DSLs:
+//   - in-place construction        (ekl.stack:   i_T = [j_T, j_T+1])
+//   - broadcasting                 (index-set union on ekl.binary)
+//   - index re-association         (named index sets per value)
+//   - subscripted subscripts       (ekl.gather:  k[i_eta[x,e], g])
+//
+// Every value-producing EKL op carries an "indices" string-array attribute
+// naming the result dimensions, aligned with the result tensor type.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "ir/dialect.hpp"
+
+namespace everest::dialects::ekl {
+
+/// Index names of an EKL value (empty for scalars / non-EKL values).
+std::vector<std::string> result_indices(const ir::Value &value);
+
+/// Union of two index sets preserving first-seen order (broadcast rule).
+std::vector<std::string> union_indices(const std::vector<std::string> &a,
+                                       const std::vector<std::string> &b);
+
+/// Builder helpers producing verified EKL ops. Types are tensor<?x..xf64>
+/// with one dynamic dim per index (extents are bound at evaluation time).
+ir::Value *make_input(ir::OpBuilder &b, const std::string &name,
+                      const std::vector<std::string> &indices);
+ir::Value *make_index(ir::OpBuilder &b, const std::string &name);
+ir::Value *make_literal(ir::OpBuilder &b, double value);
+ir::Value *make_binary(ir::OpBuilder &b, const std::string &fn, ir::Value *lhs,
+                       ir::Value *rhs);
+ir::Value *make_compare(ir::OpBuilder &b, const std::string &predicate,
+                        ir::Value *lhs, ir::Value *rhs);
+ir::Value *make_select(ir::OpBuilder &b, ir::Value *cond, ir::Value *then_v,
+                       ir::Value *else_v);
+ir::Value *make_sum(ir::OpBuilder &b, ir::Value *operand,
+                    const std::vector<std::string> &reduce);
+ir::Value *make_gather(ir::OpBuilder &b, ir::Value *source,
+                       const std::vector<ir::Value *> &index_exprs);
+ir::Value *make_stack(ir::OpBuilder &b, const std::vector<ir::Value *> &parts,
+                      const std::string &new_index);
+void make_output(ir::OpBuilder &b, const std::string &name, ir::Value *value);
+
+/// Creates an `ekl.kernel` op with one region/one block inside `block` and
+/// returns a builder positioned in its body.
+ir::Operation &make_kernel(ir::Block &parent, const std::string &name);
+
+}  // namespace everest::dialects::ekl

@@ -1,0 +1,37 @@
+// everest/dialects/registry.hpp
+//
+// Registration of the EVEREST dialect stack (paper Fig. 5):
+//
+//   frontends:   ekl, cfdlang, dfg            (kernel / legacy / coordination)
+//   tensor IRs:  teil, esn                    (tensor intermediate, Einstein)
+//   data types:  base2, bit                   (binary numeral types)
+//   system:      evp, olympus                 (platform, system-level dataflow)
+//   core-like:   arith, func, scf, tensor, memref
+//
+// Each register_* adds one dialect with op arities, required attributes, and
+// semantic verifiers to a Context. register_everest_dialects wires them all.
+#pragma once
+
+#include "ir/dialect.hpp"
+
+namespace everest::dialects {
+
+void register_arith(ir::Context &ctx);
+void register_func(ir::Context &ctx);
+void register_scf(ir::Context &ctx);
+void register_tensor(ir::Context &ctx);
+void register_memref(ir::Context &ctx);
+void register_ekl(ir::Context &ctx);
+void register_cfdlang(ir::Context &ctx);
+void register_teil(ir::Context &ctx);
+void register_esn(ir::Context &ctx);
+void register_dfg(ir::Context &ctx);
+void register_base2(ir::Context &ctx);
+void register_bit(ir::Context &ctx);
+void register_evp(ir::Context &ctx);
+void register_olympus(ir::Context &ctx);
+
+/// Registers every dialect above (the full Fig. 5 stack).
+void register_everest_dialects(ir::Context &ctx);
+
+}  // namespace everest::dialects

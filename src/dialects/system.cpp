@@ -1,0 +1,203 @@
+// System-side dialects: base2/bit (custom binary numeral types, ref [7]),
+// evp (EVEREST platform integration), olympus (system-level dataflow and
+// memory architecture, refs [16][24][25][26]).
+
+#include "dialects/registry.hpp"
+
+using everest::ir::Attribute;
+using everest::ir::Context;
+using everest::ir::OpDef;
+using everest::ir::Operation;
+using everest::ir::Type;
+using everest::support::Status;
+
+namespace everest::dialects {
+
+namespace {
+
+/// Accepts !base2.fixed<t,f>, !base2.float<e,m>, !base2.posit<n,es>.
+bool is_base2_type(const Type &t) {
+  return t.is_custom() && t.dialect() == "base2" &&
+         (t.name() == "fixed" || t.name() == "float" || t.name() == "posit") &&
+         t.params().size() == 2;
+}
+
+}  // namespace
+
+void register_base2(Context &ctx) {
+  auto &d = ctx.make_dialect("base2");
+
+  OpDef quantize;
+  quantize.num_operands = 1;
+  quantize.num_results = 1;
+  quantize.summary = "converts f64/tensor to a custom binary numeral type";
+  quantize.verifier = [](const Operation &op) -> Status {
+    const Type &t = op.result(0)->type();
+    const Type &elem = t.is_tensor() ? t.element() : t;
+    if (!is_base2_type(elem))
+      return Status::failure("base2.quantize: result must be a base2 type");
+    return Status::ok();
+  };
+  d.add_op("quantize", quantize);
+
+  OpDef dequantize;
+  dequantize.num_operands = 1;
+  dequantize.num_results = 1;
+  dequantize.summary = "converts a base2 value back to f64";
+  d.add_op("dequantize", dequantize);
+
+  OpDef cast;
+  cast.num_operands = 1;
+  cast.num_results = 1;
+  cast.summary = "converts between base2 formats (round-to-nearest)";
+  d.add_op("cast", cast);
+
+  auto arith = [&](const char *name) {
+    OpDef def;
+    def.num_operands = 2;
+    def.num_results = 1;
+    def.summary = std::string("base2 ") + name + " in the operand format";
+    def.verifier = [](const Operation &op) -> Status {
+      if (op.operand(0)->type() != op.operand(1)->type())
+        return Status::failure(op.name() + ": operand formats must match");
+      return Status::ok();
+    };
+    d.add_op(name, def);
+  };
+  arith("add");
+  arith("sub");
+  arith("mul");
+  arith("div");
+}
+
+void register_bit(Context &ctx) {
+  auto &d = ctx.make_dialect("bit");
+
+  auto binary = [&](const char *name, const char *summary) {
+    OpDef def;
+    def.num_operands = 2;
+    def.num_results = 1;
+    def.summary = summary;
+    d.add_op(name, def);
+  };
+  binary("and", "bitwise and");
+  binary("or", "bitwise or");
+  binary("xor", "bitwise xor");
+  binary("shl", "shift left");
+  binary("shr", "logical shift right");
+  binary("concat", "bit concatenation");
+
+  OpDef extract;
+  extract.num_operands = 1;
+  extract.num_results = 1;
+  extract.summary = "extracts bits [lo, lo+width)";
+  extract.required_attrs = {"lo", "width"};
+  d.add_op("extract", extract);
+}
+
+void register_evp(Context &ctx) {
+  auto &d = ctx.make_dialect("evp");
+
+  OpDef platform;
+  platform.num_operands = 0;
+  platform.num_results = 0;
+  platform.summary = "declares the target platform for the enclosing module";
+  platform.required_attrs = {"name"};
+  d.add_op("platform", platform);
+
+  OpDef offload;
+  offload.num_operands = 0;
+  offload.num_results = 0;
+  offload.summary = "marks a kernel for FPGA offloading";
+  offload.required_attrs = {"kernel"};
+  d.add_op("offload", offload);
+
+  OpDef requirement;
+  requirement.num_operands = 0;
+  requirement.num_results = 0;
+  requirement.summary = "resource requirement hint for the runtime";
+  d.add_op("require", requirement);
+}
+
+void register_olympus(Context &ctx) {
+  auto &d = ctx.make_dialect("olympus");
+
+  OpDef system;
+  system.num_operands = 0;
+  system.num_results = 0;
+  system.num_regions = 1;
+  system.summary = "an FPGA system architecture under construction";
+  system.required_attrs = {"sym_name", "platform"};
+  d.add_op("system", system);
+
+  OpDef kernel;
+  kernel.num_operands = 0;
+  kernel.num_results = 1;
+  kernel.summary = "a kernel instance (HLS-scheduled accelerator)";
+  kernel.required_attrs = {"name"};
+  kernel.verifier = [](const Operation &op) -> Status {
+    if (op.attr_int("replicas", 1) < 1)
+      return Status::failure("olympus.kernel: replicas must be >= 1");
+    return Status::ok();
+  };
+  d.add_op("kernel", kernel);
+
+  OpDef plm;
+  plm.num_operands = 0;
+  plm.num_results = 1;
+  plm.summary = "private local memory (BRAM/URAM buffer)";
+  plm.required_attrs = {"name", "bytes"};
+  plm.verifier = [](const Operation &op) -> Status {
+    if (op.attr_int("bytes") <= 0)
+      return Status::failure("olympus.plm: bytes must be positive");
+    if (op.attr_int("banks", 1) < 1)
+      return Status::failure("olympus.plm: banks must be >= 1");
+    return Status::ok();
+  };
+  d.add_op("plm", plm);
+
+  OpDef bus;
+  bus.num_operands = 0;
+  bus.num_results = 1;
+  bus.summary = "memory bus with optional lane split (ref [24])";
+  bus.required_attrs = {"width_bits"};
+  bus.verifier = [](const Operation &op) -> Status {
+    std::int64_t width = op.attr_int("width_bits");
+    std::int64_t lanes = op.attr_int("lanes", 1);
+    if (width <= 0 || lanes <= 0)
+      return Status::failure("olympus.bus: width/lanes must be positive");
+    if (width % lanes != 0)
+      return Status::failure("olympus.bus: width must divide evenly into lanes");
+    return Status::ok();
+  };
+  d.add_op("bus", bus);
+
+  OpDef memory;
+  memory.num_operands = 0;
+  memory.num_results = 1;
+  memory.summary = "external memory node (hbm/ddr/host)";
+  memory.required_attrs = {"kind"};
+  d.add_op("memory", memory);
+
+  OpDef bind;
+  bind.num_operands = 2;
+  bind.num_results = 0;
+  bind.summary = "connects a kernel port to a PLM/bus/memory";
+  bind.required_attrs = {"port", "direction"};
+  bind.verifier = [](const Operation &op) -> Status {
+    std::string dir = op.attr_string("direction");
+    if (dir != "read" && dir != "write" && dir != "readwrite")
+      return Status::failure("olympus.bind: direction must be read/write/readwrite");
+    return Status::ok();
+  };
+  d.add_op("bind", bind);
+
+  OpDef transfer;
+  transfer.num_operands = 0;
+  transfer.num_results = 0;
+  transfer.summary = "host<->device data transfer in the generated driver";
+  transfer.required_attrs = {"direction", "bytes"};
+  d.add_op("host_transfer", transfer);
+}
+
+}  // namespace everest::dialects

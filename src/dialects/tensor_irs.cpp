@@ -1,0 +1,223 @@
+// Tensor intermediate dialects: teil (typed imperative tensor language,
+// ref [23]), esn (Einstein notation), cfdlang (legacy frontend, ref [22]).
+
+#include <algorithm>
+
+#include "dialects/registry.hpp"
+
+using everest::ir::Attribute;
+using everest::ir::Context;
+using everest::ir::OpDef;
+using everest::ir::Operation;
+using everest::support::Status;
+
+namespace everest::dialects {
+
+namespace {
+
+Status verify_static_tensor_result(const Operation &op) {
+  for (std::size_t i = 0; i < op.num_results(); ++i) {
+    const auto &t = op.result(i)->type();
+    if (!t.is_tensor() && !t.is_scalar_numeric())
+      return Status::failure(op.name() + ": result must be tensor or scalar");
+    if (t.is_tensor()) {
+      for (auto d : t.dims()) {
+        if (d < 0)
+          return Status::failure(op.name() +
+                                 ": teil tensors must have static shapes");
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+void register_teil(Context &ctx) {
+  auto &d = ctx.make_dialect("teil");
+
+  OpDef func;
+  func.num_operands = 0;
+  func.num_results = 0;
+  func.num_regions = 1;
+  func.summary = "a TeIL tensor program with static shapes";
+  func.required_attrs = {"sym_name"};
+  d.add_op("func", func);
+
+  OpDef input;
+  input.num_operands = 0;
+  input.num_results = 1;
+  input.summary = "named program input";
+  input.required_attrs = {"name"};
+  input.verifier = verify_static_tensor_result;
+  d.add_op("input", input);
+
+  OpDef constant;
+  constant.num_operands = 0;
+  constant.num_results = 1;
+  constant.summary = "splat constant tensor or scalar";
+  constant.required_attrs = {"value"};
+  constant.verifier = verify_static_tensor_result;
+  d.add_op("constant", constant);
+
+  OpDef iota;
+  iota.num_operands = 0;
+  iota.num_results = 1;
+  iota.summary = "rank-1 tensor [0, 1, ..., n-1]";
+  iota.verifier = verify_static_tensor_result;
+  d.add_op("iota", iota);
+
+  OpDef map;
+  map.num_operands = -1;
+  map.num_results = 1;
+  map.summary = "elementwise map (fn: add/sub/mul/div/min/max/select/cmp_*)";
+  map.required_attrs = {"fn"};
+  map.verifier = [](const Operation &op) -> Status {
+    if (op.num_operands() < 1)
+      return Status::failure("teil.map: needs at least one operand");
+    return verify_static_tensor_result(op);
+  };
+  d.add_op("map", map);
+
+  OpDef broadcast;
+  broadcast.num_operands = 1;
+  broadcast.num_results = 1;
+  broadcast.summary = "broadcast into a larger shape; 'map' gives source dim per output dim (-1 = new)";
+  broadcast.required_attrs = {"map"};
+  broadcast.verifier = verify_static_tensor_result;
+  d.add_op("broadcast", broadcast);
+
+  OpDef reduce;
+  reduce.num_operands = 1;
+  reduce.num_results = 1;
+  reduce.summary = "sum-reduction over axes";
+  reduce.required_attrs = {"axes"};
+  reduce.verifier = verify_static_tensor_result;
+  d.add_op("reduce", reduce);
+
+  OpDef contract;
+  contract.num_operands = 2;
+  contract.num_results = 1;
+  contract.summary = "binary tensor contraction (einsum subscripts)";
+  contract.required_attrs = {"lhs", "rhs", "out"};
+  contract.verifier = verify_static_tensor_result;
+  d.add_op("contract", contract);
+
+  OpDef gather;
+  gather.num_operands = -1;
+  gather.num_results = 1;
+  gather.summary = "src indexed by integer index tensors (one per src dim)";
+  gather.verifier = [](const Operation &op) -> Status {
+    if (op.num_operands() < 2)
+      return Status::failure("teil.gather: needs source + index tensors");
+    return verify_static_tensor_result(op);
+  };
+  d.add_op("gather", gather);
+
+  OpDef stack;
+  stack.num_operands = -1;
+  stack.num_results = 1;
+  stack.summary = "stacks operands along a new trailing axis";
+  stack.verifier = verify_static_tensor_result;
+  d.add_op("stack", stack);
+
+  OpDef transpose;
+  transpose.num_operands = 1;
+  transpose.num_results = 1;
+  transpose.summary = "permutes dimensions";
+  transpose.required_attrs = {"perm"};
+  transpose.verifier = verify_static_tensor_result;
+  d.add_op("transpose", transpose);
+
+  OpDef output;
+  output.num_operands = 1;
+  output.num_results = 0;
+  output.summary = "binds a value to a named program output";
+  output.required_attrs = {"name"};
+  d.add_op("output", output);
+}
+
+void register_esn(Context &ctx) {
+  auto &d = ctx.make_dialect("esn");
+
+  OpDef einsum;
+  einsum.num_operands = -1;
+  einsum.num_results = 1;
+  einsum.summary = "n-ary Einstein summation; subscripts per operand + output";
+  einsum.required_attrs = {"subscripts", "out"};
+  einsum.verifier = [](const Operation &op) -> Status {
+    const Attribute *subs = op.attr("subscripts");
+    if (!subs->is_array() || subs->as_array().size() != op.num_operands())
+      return Status::failure(
+          "esn.einsum: one subscript string required per operand");
+    return Status::ok();
+  };
+  d.add_op("einsum", einsum);
+
+  OpDef elementwise;
+  elementwise.num_operands = -1;
+  elementwise.num_results = 1;
+  elementwise.summary = "elementwise op over aligned subscripts";
+  elementwise.required_attrs = {"fn", "subscripts", "out"};
+  d.add_op("elementwise", elementwise);
+}
+
+void register_cfdlang(Context &ctx) {
+  auto &d = ctx.make_dialect("cfdlang");
+
+  OpDef program;
+  program.num_operands = 0;
+  program.num_results = 0;
+  program.num_regions = 1;
+  program.summary = "a CFDlang program (legacy tensor DSL)";
+  program.required_attrs = {"sym_name"};
+  d.add_op("program", program);
+
+  OpDef input;
+  input.num_operands = 0;
+  input.num_results = 1;
+  input.summary = "declared input tensor";
+  input.required_attrs = {"name"};
+  d.add_op("input", input);
+
+  OpDef outer;
+  outer.num_operands = 2;
+  outer.num_results = 1;
+  outer.summary = "tensor (outer) product: result rank = sum of ranks";
+  d.add_op("outer", outer);
+
+  OpDef contract;
+  contract.num_operands = 1;
+  contract.num_results = 1;
+  contract.summary = "contracts dimension pairs of the operand";
+  contract.required_attrs = {"pairs"};
+  contract.verifier = [](const Operation &op) -> Status {
+    const Attribute *pairs = op.attr("pairs");
+    if (!pairs->is_array() || pairs->as_array().size() % 2 != 0)
+      return Status::failure("cfdlang.contract: 'pairs' must list dim pairs");
+    return Status::ok();
+  };
+  d.add_op("contract", contract);
+
+  OpDef add;
+  add.num_operands = 2;
+  add.num_results = 1;
+  add.summary = "elementwise addition of same-shape tensors";
+  d.add_op("add", add);
+
+  OpDef transpose;
+  transpose.num_operands = 1;
+  transpose.num_results = 1;
+  transpose.summary = "dimension permutation";
+  transpose.required_attrs = {"perm"};
+  d.add_op("transpose", transpose);
+
+  OpDef output;
+  output.num_operands = 1;
+  output.num_results = 0;
+  output.summary = "program output";
+  output.required_attrs = {"name"};
+  d.add_op("output", output);
+}
+
+}  // namespace everest::dialects

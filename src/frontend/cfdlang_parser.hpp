@@ -1,0 +1,31 @@
+// everest/frontend/cfdlang_parser.hpp
+//
+// Frontend for the legacy CFDlang tensor DSL (paper §V-A, ref [22]).
+//
+// Grammar (line oriented; '#' comments):
+//   program <name>
+//   input  <id> : [d0, d1, ...]
+//   output <id> = <expr>
+//   <id> = <expr>
+//   expr := outer(e, e) | contract(e, i, j {, i, j}) | add(e, e)
+//         | transpose(e, p0, p1, ...) | <id>
+//
+// `contract(e, i, j)` sums over the diagonal of dims i and j (0-based);
+// `outer` is the tensor product. This matches CFDlang's product/contraction
+// core; the richer surface syntax of the original is normalized by its own
+// frontend before reaching this level.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "ir/ir.hpp"
+#include "support/expected.hpp"
+
+namespace everest::frontend {
+
+/// Parses a CFDlang program into a module with one `cfdlang.program`.
+support::Expected<std::shared_ptr<ir::Module>> parse_cfdlang(
+    std::string_view text);
+
+}  // namespace everest::frontend

@@ -1,0 +1,169 @@
+#include "frontend/condrust_parser.hpp"
+
+#include <map>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "support/strings.hpp"
+
+namespace everest::frontend {
+
+namespace {
+
+using ir::Attribute;
+using ir::Operation;
+using ir::Type;
+using ir::Value;
+using support::Error;
+using support::Expected;
+
+Type stream_type(const std::string &elem = "f64") {
+  return Type::custom("dfg", "stream", {elem});
+}
+
+/// Extracts "name(arg1, arg2)" -> {name, {arg1, arg2}}.
+struct Call {
+  std::string callee;
+  std::vector<std::string> args;
+};
+
+Expected<Call> parse_call(std::string_view text) {
+  auto lp = text.find('(');
+  auto rp = text.rfind(')');
+  if (lp == std::string_view::npos || rp == std::string_view::npos || rp < lp)
+    return Error::make("condrust: expected a call expression in '" +
+                       std::string(text) + "'");
+  Call call;
+  call.callee = std::string(support::trim(text.substr(0, lp)));
+  if (!support::is_identifier(call.callee))
+    return Error::make("condrust: bad callee name '" + call.callee + "'");
+  auto body = text.substr(lp + 1, rp - lp - 1);
+  for (auto &tok : support::split(body, ',')) {
+    auto t = support::trim(tok);
+    if (!t.empty()) call.args.emplace_back(t);
+  }
+  return call;
+}
+
+}  // namespace
+
+Expected<std::shared_ptr<ir::Module>> parse_condrust(std::string_view text) {
+  auto module = std::make_shared<ir::Module>();
+  std::map<std::string, Value *> symbols;
+
+  std::string fn_name = "graph";
+  std::string pending_placement;
+  ir::Block *body = nullptr;
+  std::unique_ptr<ir::OpBuilder> b;
+  bool saw_return = false;
+
+  for (const auto &raw : support::split(text, '\n')) {
+    auto line = support::trim(raw);
+    if (line.empty() || support::starts_with(line, "//")) continue;
+
+    if (support::starts_with(line, "#[")) {
+      auto close = line.find(']');
+      if (close == std::string_view::npos)
+        return Error::make("condrust: unterminated attribute");
+      pending_placement = std::string(line.substr(2, close - 2));
+      if (pending_placement != "cpu" && pending_placement != "fpga")
+        return Error::make("condrust: unknown placement attribute '" +
+                           pending_placement + "'");
+      continue;
+    }
+
+    if (support::starts_with(line, "fn ")) {
+      auto lp = line.find('(');
+      auto rp = line.find(')');
+      if (lp == std::string_view::npos || rp == std::string_view::npos)
+        return Error::make("condrust: malformed fn signature");
+      fn_name = std::string(support::trim(line.substr(3, lp - 3)));
+      auto graph = Operation::create("dfg.graph", {}, {},
+                                     {{"sym_name", Attribute(fn_name)}}, 1);
+      body = &graph->region(0).add_block();
+      module->body().push_back(std::move(graph));
+      b = std::make_unique<ir::OpBuilder>(body);
+
+      // Parameters: "name: Stream<T>" separated by commas.
+      for (auto &param : support::split(line.substr(lp + 1, rp - lp - 1), ',')) {
+        auto p = support::trim(param);
+        if (p.empty()) continue;
+        auto colon = p.find(':');
+        std::string pname(
+            support::trim(colon == std::string_view::npos ? p
+                                                          : p.substr(0, colon)));
+        symbols[pname] = b->create_value("dfg.input", {}, stream_type(),
+                                         {{"name", Attribute(pname)}});
+      }
+      continue;
+    }
+
+    if (!b) return Error::make("condrust: statement before fn signature");
+
+    if (line == "}") continue;
+
+    if (support::starts_with(line, "return ")) {
+      std::string name(support::trim(line.substr(7)));
+      if (!name.empty() && name.back() == ';') name.pop_back();
+      name = std::string(support::trim(name));
+      auto it = symbols.find(name);
+      if (it == symbols.end())
+        return Error::make("condrust: return of undefined value '" + name + "'");
+      b->create("dfg.output", {it->second}, {}, {{"name", Attribute(name)}});
+      saw_return = true;
+      continue;
+    }
+
+    if (support::starts_with(line, "let ")) {
+      auto eq = line.find('=');
+      if (eq == std::string_view::npos)
+        return Error::make("condrust: let without '='");
+      std::string lhs(support::trim(line.substr(4, eq - 4)));
+      // Strip "mut " and type ascription.
+      if (support::starts_with(lhs, "mut ")) lhs = lhs.substr(4);
+      auto colon = lhs.find(':');
+      if (colon != std::string::npos)
+        lhs = std::string(support::trim(lhs.substr(0, colon)));
+      std::string rhs(support::trim(line.substr(eq + 1)));
+      if (!rhs.empty() && rhs.back() == ';') rhs.pop_back();
+      rhs = std::string(support::trim(rhs));
+
+      bool is_fold = support::starts_with(rhs, "fold ");
+      if (is_fold) rhs = std::string(support::trim(rhs.substr(5)));
+
+      auto call = parse_call(rhs);
+      if (!call) return call.error();
+
+      std::vector<Value *> operands;
+      for (const auto &arg : call->args) {
+        auto it = symbols.find(arg);
+        if (it == symbols.end())
+          return Error::make("condrust: use of undefined value '" + arg + "'");
+        operands.push_back(it->second);
+      }
+
+      std::map<std::string, Attribute> attrs{
+          {"callee", Attribute(call->callee)}};
+      if (!pending_placement.empty()) {
+        attrs["placement"] = Attribute(pending_placement);
+        pending_placement.clear();
+      }
+      Value *result =
+          b->create_value(is_fold ? "dfg.fold" : "dfg.node", operands,
+                          stream_type(), std::move(attrs));
+      if (symbols.count(lhs))
+        return Error::make("condrust: rebinding of '" + lhs +
+                           "' (ownership violation)");
+      symbols[lhs] = result;
+      continue;
+    }
+
+    return Error::make("condrust: cannot parse line: " + std::string(line));
+  }
+
+  if (!b) return Error::make("condrust: no fn found");
+  if (!saw_return) return Error::make("condrust: fn has no return");
+  return module;
+}
+
+}  // namespace everest::frontend

@@ -1,0 +1,34 @@
+// everest/frontend/condrust_parser.hpp
+//
+// Frontend for the ConDRust coordination language (paper §V-A.2, Fig. 4;
+// ref [27]): an imperative Rust subset whose safe-ownership structure makes
+// the extracted dataflow graph deterministic. This parser accepts the
+// coordination-level subset — function signature over streams, straight-line
+// `let` bindings calling named operators, ordered folds, and a return — and
+// emits a dfg.graph.
+//
+//   #[fpga]                         -- placement attribute for the next let
+//   fn map_match(points: Stream<Point>) -> Stream<Seg> {
+//       let cands  = candidates(points);
+//       let scored = emission_score(cands, points);
+//       let path   = fold viterbi_step(scored);   -- ordered stateful fold
+//       return path;
+//   }
+//
+// Every `let` becomes a dfg.node (or dfg.fold); data dependencies come from
+// argument names. Determinism: folds are ordered, maps are order-preserving.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "ir/ir.hpp"
+#include "support/expected.hpp"
+
+namespace everest::frontend {
+
+/// Parses a ConDRust coordination function into a module with one dfg.graph.
+support::Expected<std::shared_ptr<ir::Module>> parse_condrust(
+    std::string_view text);
+
+}  // namespace everest::frontend

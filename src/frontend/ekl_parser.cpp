@@ -1,0 +1,356 @@
+#include "frontend/ekl_parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "dialects/ekl.hpp"
+#include "ir/builder.hpp"
+#include "support/strings.hpp"
+
+namespace everest::frontend {
+
+namespace {
+
+using support::Error;
+using support::Expected;
+
+struct Token {
+  enum Kind { Ident, Number, Punct, End } kind;
+  std::string text;
+  std::size_t line;
+};
+
+Expected<std::vector<Token>> tokenize(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '#') {  // comment to end of line
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_'))
+        ++i;
+      out.push_back({Token::Ident, std::string(text.substr(start, i - start)),
+                     line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::size_t start = i;
+      while (i < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) ||
+              text[i] == '.' || text[i] == 'e' || text[i] == 'E' ||
+              ((text[i] == '+' || text[i] == '-') &&
+               (text[i - 1] == 'e' || text[i - 1] == 'E'))))
+        ++i;
+      out.push_back({Token::Number, std::string(text.substr(start, i - start)),
+                     line});
+      continue;
+    }
+    // Two-character operators.
+    static const char *two_chars[] = {"<=", ">=", "==", "!="};
+    bool matched = false;
+    for (const char *op : two_chars) {
+      if (text.substr(i, 2) == op) {
+        out.push_back({Token::Punct, op, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string singles = "+-*/()[],=<>";
+    if (singles.find(c) != std::string::npos) {
+      out.push_back({Token::Punct, std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    return Error::make("ekl: unexpected character '" + std::string(1, c) +
+                       "' at line " + std::to_string(line));
+  }
+  out.push_back({Token::End, "", line});
+  return out;
+}
+
+class EklParser {
+public:
+  explicit EklParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Expected<std::shared_ptr<ir::Module>> run() {
+    auto module = std::make_shared<ir::Module>();
+    std::string kernel_name = "kernel";
+    if (peek().kind == Token::Ident && peek().text == "kernel") {
+      next();
+      if (peek().kind != Token::Ident) return fail("expected kernel name");
+      kernel_name = next().text;
+    }
+    ir::Operation &kernel =
+        dialects::ekl::make_kernel(module->body(), kernel_name);
+    builder_ = std::make_unique<ir::OpBuilder>(&kernel.region(0).front());
+
+    while (peek().kind != Token::End) {
+      if (auto s = parse_statement(); !s) return s.error();
+    }
+    if (outputs_ == 0)
+      return Error::make("ekl: program declares no outputs");
+    return module;
+  }
+
+private:
+  const Token &peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool consume_punct(const std::string &p) {
+    if (peek().kind == Token::Punct && peek().text == p) {
+      next();
+      return true;
+    }
+    return false;
+  }
+  Error fail(const std::string &msg) {
+    return Error::make("ekl: " + msg + " at line " +
+                       std::to_string(peek().line) + " (near '" +
+                       peek().text + "')");
+  }
+
+  Expected<bool> parse_statement() {
+    if (peek().kind != Token::Ident) return fail("expected a statement");
+    const std::string &head = peek().text;
+
+    if (head == "index") {
+      next();
+      while (true) {
+        if (peek().kind != Token::Ident) return fail("expected index name");
+        indices_.insert(next().text);
+        if (!consume_punct(",")) break;
+      }
+      return true;
+    }
+
+    if (head == "input") {
+      next();
+      if (peek().kind != Token::Ident) return fail("expected input name");
+      std::string name = next().text;
+      std::vector<std::string> dims;
+      if (consume_punct("[")) {
+        while (true) {
+          if (peek().kind != Token::Ident)
+            return fail("expected index name in input dims");
+          std::string dim = next().text;
+          indices_.insert(dim);
+          dims.push_back(dim);
+          if (!consume_punct(",")) break;
+        }
+        if (!consume_punct("]")) return fail("expected ']' after input dims");
+      }
+      if (symbols_.count(name))
+        return Error::make("ekl: duplicate definition of '" + name + "'");
+      symbols_[name] = dialects::ekl::make_input(*builder_, name, dims);
+      return true;
+    }
+
+    if (head == "output") {
+      next();
+      if (peek().kind != Token::Ident) return fail("expected output name");
+      std::string name = next().text;
+      auto it = symbols_.find(name);
+      if (it == symbols_.end())
+        return Error::make("ekl: output of undefined name '" + name + "'");
+      dialects::ekl::make_output(*builder_, name, it->second);
+      ++outputs_;
+      return true;
+    }
+
+    // Assignment: name = expr
+    std::string name = next().text;
+    if (!consume_punct("=")) return fail("expected '=' in assignment");
+    if (indices_.count(name))
+      return Error::make("ekl: cannot assign to iteration index '" + name + "'");
+    auto value = parse_expr();
+    if (!value) return value.error();
+    if (symbols_.count(name))
+      return Error::make("ekl: duplicate definition of '" + name + "'");
+    symbols_[name] = *value;
+    return true;
+  }
+
+  Expected<ir::Value *> parse_expr() {
+    auto lhs = parse_term();
+    if (!lhs) return lhs;
+    while (peek().kind == Token::Punct &&
+           (peek().text == "+" || peek().text == "-")) {
+      std::string op = next().text == "+" ? "add" : "sub";
+      auto rhs = parse_term();
+      if (!rhs) return rhs;
+      lhs = dialects::ekl::make_binary(*builder_, op, *lhs, *rhs);
+    }
+    return lhs;
+  }
+
+  Expected<ir::Value *> parse_term() {
+    auto lhs = parse_factor();
+    if (!lhs) return lhs;
+    while (peek().kind == Token::Punct &&
+           (peek().text == "*" || peek().text == "/")) {
+      std::string op = next().text == "*" ? "mul" : "div";
+      auto rhs = parse_factor();
+      if (!rhs) return rhs;
+      lhs = dialects::ekl::make_binary(*builder_, op, *lhs, *rhs);
+    }
+    return lhs;
+  }
+
+  Expected<ir::Value *> parse_factor() {
+    if (peek().kind == Token::Number) {
+      return dialects::ekl::make_literal(*builder_,
+                                         std::strtod(next().text.c_str(), nullptr));
+    }
+
+    if (consume_punct("(")) {
+      auto inner = parse_expr();
+      if (!inner) return inner;
+      if (!consume_punct(")")) return fail("expected ')'");
+      return inner;
+    }
+
+    if (consume_punct("[")) {  // in-place construction
+      std::vector<ir::Value *> parts;
+      while (true) {
+        auto part = parse_expr();
+        if (!part) return part;
+        parts.push_back(*part);
+        if (!consume_punct(",")) break;
+      }
+      if (!consume_punct("]")) return fail("expected ']' after stack");
+      std::string new_index = "_s" + std::to_string(stack_counter_++);
+      indices_.insert(new_index);
+      return dialects::ekl::make_stack(*builder_, parts, new_index);
+    }
+
+    if (peek().kind != Token::Ident) return fail("expected expression");
+
+    if (peek().text == "sum") {
+      next();
+      if (!consume_punct("(")) return fail("expected '(' after sum");
+      std::vector<std::string> reduce;
+      while (true) {
+        if (peek().kind != Token::Ident) return fail("expected index in sum");
+        reduce.push_back(next().text);
+        if (!consume_punct(",")) break;
+      }
+      if (!consume_punct(")")) return fail("expected ')' after sum indices");
+      // sum binds the whole following term (product chain), matching the
+      // paper's  tau = sum(dT) sum(dp) ... r * alpha * k  reading.
+      auto body = parse_term();
+      if (!body) return body;
+      return dialects::ekl::make_sum(*builder_, *body, reduce);
+    }
+
+    if (peek().text == "select") {
+      next();
+      if (!consume_punct("(")) return fail("expected '(' after select");
+      auto lhs = parse_expr();
+      if (!lhs) return lhs;
+      if (peek().kind != Token::Punct) return fail("expected comparison");
+      std::string cmp = next().text;
+      static const std::map<std::string, std::string> predicates = {
+          {"<=", "le"}, {"<", "lt"}, {">=", "ge"},
+          {">", "gt"},  {"==", "eq"}, {"!=", "ne"}};
+      auto pit = predicates.find(cmp);
+      if (pit == predicates.end())
+        return fail("unknown comparison '" + cmp + "'");
+      auto rhs = parse_expr();
+      if (!rhs) return rhs;
+      ir::Value *cond =
+          dialects::ekl::make_compare(*builder_, pit->second, *lhs, *rhs);
+      if (!consume_punct(",")) return fail("expected ',' after condition");
+      auto then_v = parse_expr();
+      if (!then_v) return then_v;
+      if (!consume_punct(",")) return fail("expected ',' in select");
+      auto else_v = parse_expr();
+      if (!else_v) return else_v;
+      if (!consume_punct(")")) return fail("expected ')' after select");
+      return dialects::ekl::make_select(*builder_, cond, *then_v, *else_v);
+    }
+
+    // Identifier: index reference, symbol reference, optionally subscripted.
+    std::string name = next().text;
+    ir::Value *base = nullptr;
+    if (indices_.count(name)) {
+      base = dialects::ekl::make_index(*builder_, name);
+    } else {
+      auto it = symbols_.find(name);
+      if (it == symbols_.end())
+        return Error::make("ekl: use of undefined name '" + name +
+                           "' at line " + std::to_string(peek().line));
+      base = it->second;
+    }
+
+    if (consume_punct("[")) {
+      std::vector<ir::Value *> subs;
+      while (true) {
+        auto sub = parse_expr();
+        if (!sub) return sub;
+        subs.push_back(*sub);
+        if (!consume_punct(",")) break;
+      }
+      if (!consume_punct("]")) return fail("expected ']' after subscripts");
+      auto rank = dialects::ekl::result_indices(*base).size();
+      if (subs.size() > rank)
+        return Error::make("ekl: '" + name + "' subscripted with " +
+                           std::to_string(subs.size()) + " exprs but has rank " +
+                           std::to_string(rank));
+      return dialects::ekl::make_gather(*builder_, base, subs);
+    }
+    return base;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::unique_ptr<ir::OpBuilder> builder_;
+  std::map<std::string, ir::Value *> symbols_;
+  std::set<std::string> indices_;
+  int stack_counter_ = 0;
+  int outputs_ = 0;
+};
+
+}  // namespace
+
+Expected<std::shared_ptr<ir::Module>> parse_ekl(std::string_view text) {
+  auto tokens = tokenize(text);
+  if (!tokens) return tokens.error();
+  return EklParser(std::move(*tokens)).run();
+}
+
+std::size_t count_ekl_lines(std::string_view text) {
+  std::size_t n = 0;
+  for (const auto &line : support::split(text, '\n')) {
+    auto t = support::trim(line);
+    if (!t.empty() && t[0] != '#') ++n;
+  }
+  return n;
+}
+
+}  // namespace everest::frontend

@@ -1,0 +1,46 @@
+// everest/frontend/ekl_parser.hpp
+//
+// Text frontend for the EVEREST Kernel Language (paper §V-A.1, Fig. 3).
+//
+// Grammar (statements separated by newlines; '#' comments):
+//
+//   kernel    <name>
+//   index     i, j, ...                     -- iteration indices
+//   input     t[i, j]                       -- input tensor with named dims
+//   <name> = <expr>                         -- assignment
+//   output    <name>                        -- marks a defined name as output
+//
+//   expr   := term (('+'|'-') term)*
+//   term   := factor (('*'|'/') factor)*
+//   factor := 'sum' '(' idx {',' idx} ')' term         -- reduction (binds
+//                                                         the product chain)
+//           | 'select' '(' expr cmp expr ',' expr ',' expr ')'
+//           | '[' expr {',' expr} ']'                  -- in-place construction
+//           | ident '[' expr {',' expr} ']'            -- (re-)association /
+//                                                         subscripted subscripts
+//           | ident | number | '(' expr ')'
+//   cmp    := '<=' | '<' | '>=' | '>' | '==' | '!='
+//
+// Subscripting binds index expressions positionally to the leading dims of a
+// tensor; unsubscripted trailing dims keep their index names (this is what
+// lets Fig. 3 write i_flav[x] for the 2-d tensor i_flav). A bare identifier
+// in subscript position that names a declared iteration index is the identity
+// over that index.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "ir/ir.hpp"
+#include "support/expected.hpp"
+
+namespace everest::frontend {
+
+/// Parses an EKL program into a module containing one `ekl.kernel`.
+support::Expected<std::shared_ptr<ir::Module>> parse_ekl(std::string_view text);
+
+/// Counts the non-comment, non-blank source lines of an EKL program (used by
+/// the Fig. 3 code-size comparison).
+std::size_t count_ekl_lines(std::string_view text);
+
+}  // namespace everest::frontend

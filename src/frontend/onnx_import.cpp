@@ -1,0 +1,239 @@
+#include "frontend/onnx_import.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/json.hpp"
+
+namespace everest::frontend {
+
+namespace {
+
+using numerics::Shape;
+using numerics::Tensor;
+using support::Error;
+using support::Expected;
+using support::Json;
+
+Expected<Shape> parse_shape(const Json &j) {
+  if (!j.is_array()) return Error::make("onnx: shape must be an array");
+  Shape s;
+  for (std::size_t i = 0; i < j.size(); ++i) s.push_back(j[i].as_int());
+  return s;
+}
+
+Expected<Tensor> parse_tensor(const Json &j) {
+  auto shape = parse_shape(j["shape"]);
+  if (!shape) return shape.error();
+  const Json &data = j["data"];
+  if (!data.is_array()) return Error::make("onnx: tensor data must be array");
+  std::vector<double> values;
+  values.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    values.push_back(data[i].as_number());
+  if (static_cast<std::int64_t>(values.size()) != numerics::num_elements(*shape))
+    return Error::make("onnx: tensor data size does not match shape");
+  return Tensor(std::move(*shape), std::move(values));
+}
+
+}  // namespace
+
+std::size_t OnnxModel::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto &[_, t] : initializers)
+    n += static_cast<std::size_t>(t.size());
+  return n;
+}
+
+Expected<OnnxModel> import_onnx_json(std::string_view json_text) {
+  auto parsed = Json::parse(json_text);
+  if (!parsed) return parsed.error();
+  const Json &j = *parsed;
+
+  OnnxModel m;
+  m.name = j["name"].is_string() ? j["name"].as_string() : "model";
+
+  const Json &inputs = j["inputs"];
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    auto shape = parse_shape(inputs[i]["shape"]);
+    if (!shape) return shape.error();
+    m.inputs.push_back({inputs[i]["name"].as_string(), std::move(*shape)});
+  }
+
+  const Json &inits = j["initializers"];
+  if (inits.is_array()) {
+    for (std::size_t i = 0; i < inits.size(); ++i) {
+      auto t = parse_tensor(inits[i]);
+      if (!t) return t.error();
+      m.initializers.emplace(inits[i]["name"].as_string(), std::move(*t));
+    }
+  }
+
+  const Json &nodes = j["nodes"];
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    OnnxNode n;
+    n.op = nodes[i]["op"].as_string();
+    n.name = nodes[i]["name"].is_string() ? nodes[i]["name"].as_string()
+                                          : n.op + std::to_string(i);
+    const Json &ins = nodes[i]["inputs"];
+    for (std::size_t k = 0; k < ins.size(); ++k)
+      n.inputs.push_back(ins[k].as_string());
+    n.output = nodes[i]["output"].as_string();
+    const Json &attrs = nodes[i]["attrs"];
+    if (attrs.is_object()) {
+      for (const auto &[key, value] : attrs.fields())
+        n.attrs[key] = value.as_number();
+    }
+    if (n.op.empty() || n.output.empty())
+      return Error::make("onnx: node " + std::to_string(i) +
+                         " missing op/output");
+    m.nodes.push_back(std::move(n));
+  }
+
+  const Json &outs = j["outputs"];
+  for (std::size_t i = 0; i < outs.size(); ++i)
+    m.outputs.push_back(outs[i].as_string());
+  if (m.outputs.empty()) return Error::make("onnx: model has no outputs");
+  return m;
+}
+
+namespace {
+
+/// Conv1D: x [C_in, L], w [C_out, C_in, K], optional bias [C_out];
+/// 'same' zero padding, stride 1. Returns [C_out, L].
+Tensor conv1d(const Tensor &x, const Tensor &w, const Tensor *bias) {
+  std::int64_t cin = x.dim(0), len = x.dim(1);
+  std::int64_t cout = w.dim(0), k = w.dim(2);
+  std::int64_t pad = k / 2;
+  Tensor y(Shape{cout, len});
+  for (std::int64_t oc = 0; oc < cout; ++oc) {
+    double b = bias ? bias->flat(oc) : 0.0;
+    for (std::int64_t i = 0; i < len; ++i) {
+      double acc = b;
+      for (std::int64_t ic = 0; ic < cin; ++ic) {
+        for (std::int64_t t = 0; t < k; ++t) {
+          std::int64_t src = i + t - pad;
+          if (src < 0 || src >= len) continue;
+          acc += x(ic, src) * w(oc, ic, t);
+        }
+      }
+      y(oc, i) = acc;
+    }
+  }
+  return y;
+}
+
+Tensor maxpool1d(const Tensor &x, std::int64_t window) {
+  std::int64_t c = x.dim(0), len = x.dim(1);
+  std::int64_t out_len = len / window;
+  Tensor y(Shape{c, out_len});
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t i = 0; i < out_len; ++i) {
+      double m = x(ch, i * window);
+      for (std::int64_t t = 1; t < window; ++t)
+        m = std::max(m, x(ch, i * window + t));
+      y(ch, i) = m;
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+Expected<std::map<std::string, Tensor>> run_onnx(
+    const OnnxModel &model, const std::map<std::string, Tensor> &inputs) {
+  std::map<std::string, Tensor> env = model.initializers;
+  for (const auto &in : model.inputs) {
+    auto it = inputs.find(in.name);
+    if (it == inputs.end())
+      return Error::make("onnx run: missing input '" + in.name + "'");
+    if (it->second.shape() != in.shape)
+      return Error::make("onnx run: input '" + in.name + "' shape mismatch");
+    env.emplace(in.name, it->second);
+  }
+
+  auto get = [&](const std::string &name) -> Expected<const Tensor *> {
+    auto it = env.find(name);
+    if (it == env.end())
+      return Error::make("onnx run: undefined tensor '" + name + "'");
+    return &it->second;
+  };
+
+  for (const auto &node : model.nodes) {
+    auto arg = [&](std::size_t i) { return get(node.inputs.at(i)); };
+    Tensor result;
+
+    if (node.op == "Conv1D") {
+      auto x = arg(0), w = arg(1);
+      if (!x) return x.error();
+      if (!w) return w.error();
+      const Tensor *bias = nullptr;
+      if (node.inputs.size() > 2) {
+        auto b = arg(2);
+        if (!b) return b.error();
+        bias = *b;
+      }
+      result = conv1d(**x, **w, bias);
+    } else if (node.op == "Relu") {
+      auto x = arg(0);
+      if (!x) return x.error();
+      result = **x;
+      for (auto &v : result.data()) v = std::max(v, 0.0);
+    } else if (node.op == "Sigmoid") {
+      auto x = arg(0);
+      if (!x) return x.error();
+      result = **x;
+      for (auto &v : result.data()) v = 1.0 / (1.0 + std::exp(-v));
+    } else if (node.op == "MaxPool1D") {
+      auto x = arg(0);
+      if (!x) return x.error();
+      auto window = static_cast<std::int64_t>(
+          node.attrs.count("window") ? node.attrs.at("window") : 2);
+      result = maxpool1d(**x, window);
+    } else if (node.op == "Flatten") {
+      auto x = arg(0);
+      if (!x) return x.error();
+      result = (*x)->reshaped({(*x)->size()});
+    } else if (node.op == "Gemm") {
+      // y = W x + b with W [out, in], x [in], b [out].
+      auto w = arg(1), x = arg(0);
+      if (!x) return x.error();
+      if (!w) return w.error();
+      std::int64_t out_dim = (*w)->dim(0), in_dim = (*w)->dim(1);
+      if ((*x)->size() != in_dim)
+        return Error::make("onnx run: Gemm dimension mismatch in " + node.name);
+      result = Tensor(Shape{out_dim});
+      for (std::int64_t o = 0; o < out_dim; ++o) {
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < in_dim; ++i)
+          acc += (**w)(o, i) * (*x)->flat(i);
+        result(o) = acc;
+      }
+      if (node.inputs.size() > 2) {
+        auto b = arg(2);
+        if (!b) return b.error();
+        result += **b;
+      }
+    } else if (node.op == "Add") {
+      auto a = arg(0), b2 = arg(1);
+      if (!a) return a.error();
+      if (!b2) return b2.error();
+      result = **a;
+      result += **b2;
+    } else {
+      return Error::make("onnx run: unsupported op '" + node.op + "'");
+    }
+
+    env.insert_or_assign(node.output, std::move(result));
+  }
+
+  std::map<std::string, Tensor> outputs;
+  for (const auto &name : model.outputs) {
+    auto t = get(name);
+    if (!t) return t.error();
+    outputs.emplace(name, **t);
+  }
+  return outputs;
+}
+
+}  // namespace everest::frontend

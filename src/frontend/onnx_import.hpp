@@ -1,0 +1,55 @@
+// everest/frontend/onnx_import.hpp
+//
+// Importer for ONNX-style ML models (paper §V-A: "As input, the SDK supports
+// standard ONNX ML models"). Models arrive as JSON (a textual isomorph of the
+// ONNX protobuf graph: inputs, initializers, nodes, outputs) and are loaded
+// into a graph structure consumed by the jabbah-level optimizations and by
+// the reference inference executor below.
+//
+// Supported operators (the set the traffic use case's speed-prediction CNN
+// needs): Conv1D, Relu, Sigmoid, MaxPool1D, Flatten, Gemm, Add.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "numerics/tensor.hpp"
+#include "support/expected.hpp"
+
+namespace everest::frontend {
+
+struct OnnxValueInfo {
+  std::string name;
+  numerics::Shape shape;
+};
+
+struct OnnxNode {
+  std::string op;
+  std::string name;
+  std::vector<std::string> inputs;
+  std::string output;
+  std::map<std::string, double> attrs;
+};
+
+struct OnnxModel {
+  std::string name;
+  std::vector<OnnxValueInfo> inputs;
+  std::map<std::string, numerics::Tensor> initializers;  // weights
+  std::vector<OnnxNode> nodes;
+  std::vector<std::string> outputs;
+
+  /// Total parameter count across initializers.
+  [[nodiscard]] std::size_t parameter_count() const;
+};
+
+/// Parses the JSON model format.
+support::Expected<OnnxModel> import_onnx_json(std::string_view json_text);
+
+/// Runs reference inference; returns tensors for every declared output.
+support::Expected<std::map<std::string, numerics::Tensor>> run_onnx(
+    const OnnxModel &model,
+    const std::map<std::string, numerics::Tensor> &inputs);
+
+}  // namespace everest::frontend

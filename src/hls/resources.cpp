@@ -1,0 +1,94 @@
+#include "hls/resources.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace everest::hls {
+
+namespace {
+
+/// Width scale factor relative to the 64-bit characterization; area scales
+/// roughly quadratically for multipliers and linearly for adders.
+double linear_scale(int width_bits) {
+  return std::max(width_bits, 1) / 64.0;
+}
+double quadratic_scale(int width_bits) {
+  double s = linear_scale(width_bits);
+  return s * s;
+}
+
+int scaled_latency(int base, int width_bits) {
+  // Narrow fixed-point datapaths need fewer pipeline stages.
+  int l = static_cast<int>(std::ceil(base * std::sqrt(linear_scale(width_bits))));
+  return std::max(l, 1);
+}
+
+}  // namespace
+
+OpSpec op_spec(const std::string &op_name, int width_bits) {
+  const double lin = linear_scale(width_bits);
+  const double quad = quadratic_scale(width_bits);
+  auto luts = [&](double base) { return static_cast<std::int64_t>(base * lin); };
+  auto dsps = [&](double base) {
+    return static_cast<std::int64_t>(std::ceil(base * quad));
+  };
+
+  OpSpec spec;
+  if (op_name == "arith.addf" || op_name == "arith.subf" ||
+      op_name == "arith.minf" || op_name == "arith.maxf") {
+    spec.latency = scaled_latency(8, width_bits);
+    spec.area = {luts(650), luts(800), dsps(3), 0};
+  } else if (op_name == "arith.mulf") {
+    spec.latency = scaled_latency(9, width_bits);
+    spec.area = {luts(250), luts(400), dsps(11), 0};
+  } else if (op_name == "arith.divf") {
+    spec.latency = scaled_latency(30, width_bits);
+    spec.ii = 2;
+    spec.area = {luts(3200), luts(3600), 0, 0};
+  } else if (op_name == "arith.exp" || op_name == "arith.log") {
+    spec.latency = scaled_latency(22, width_bits);
+    spec.area = {luts(2600), luts(3000), dsps(20), 0};
+  } else if (op_name == "arith.sqrt") {
+    spec.latency = scaled_latency(28, width_bits);
+    spec.ii = 2;
+    spec.area = {luts(2100), luts(2500), 0, 0};
+  } else if (op_name == "arith.cmpf" || op_name == "arith.cmpi") {
+    spec.latency = 1;
+    spec.area = {luts(100), luts(60), 0, 0};
+  } else if (op_name == "arith.select") {
+    spec.latency = 1;
+    spec.area = {luts(64), luts(64), 0, 0};
+  } else if (op_name == "arith.negf") {
+    spec.latency = 1;
+    spec.area = {luts(32), luts(32), 0, 0};
+  } else if (op_name == "arith.addi" || op_name == "arith.subi" ||
+             op_name == "arith.muli") {
+    spec.latency = 1;
+    spec.area = {luts(80), luts(80), op_name == "arith.muli" ? dsps(2) : 0, 0};
+  } else if (op_name == "arith.sitofp" || op_name == "arith.fptosi" ||
+             op_name == "arith.index_cast" || op_name == "arith.truncf" ||
+             op_name == "arith.extf") {
+    spec.latency = 2;
+    spec.area = {luts(120), luts(150), 0, 0};
+  } else if (op_name == "memref.load") {
+    spec.latency = 2;  // BRAM read
+    spec.area = {luts(20), luts(20), 0, 0};
+  } else if (op_name == "memref.store") {
+    spec.latency = 1;
+    spec.area = {luts(20), luts(20), 0, 0};
+  } else if (op_name == "arith.constant") {
+    spec.latency = 0;
+    spec.area = {luts(1), 0, 0, 0};
+  } else {
+    spec.latency = 1;
+    spec.area = {luts(16), luts(16), 0, 0};
+  }
+  return spec;
+}
+
+std::int64_t brams_for_bytes(std::int64_t bytes) {
+  constexpr std::int64_t kBramBytes = 4608;  // 36Kb
+  return std::max<std::int64_t>(1, (bytes + kBramBytes - 1) / kBramBytes);
+}
+
+}  // namespace everest::hls

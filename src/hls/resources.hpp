@@ -1,0 +1,51 @@
+// everest/hls/resources.hpp
+//
+// Operator and resource models for the HLS engine: per-operation latency /
+// initiation interval / area as a function of datapath width. Numbers follow
+// the shape of Vitis HLS f64/f32 operator characterizations on UltraScale+
+// fabric at ~300 MHz; narrower base2 formats get proportionally cheaper
+// (the paper's "custom data formats ... trading off resource requirements
+// and accuracy", §VIII).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace everest::hls {
+
+/// FPGA area of one operator or one whole kernel.
+struct Resources {
+  std::int64_t luts = 0;
+  std::int64_t ffs = 0;
+  std::int64_t dsps = 0;
+  std::int64_t brams = 0;  // 36Kb blocks
+
+  Resources &operator+=(const Resources &other) {
+    luts += other.luts;
+    ffs += other.ffs;
+    dsps += other.dsps;
+    brams += other.brams;
+    return *this;
+  }
+  Resources operator*(std::int64_t n) const {
+    return Resources{luts * n, ffs * n, dsps * n, brams * n};
+  }
+};
+
+/// Timing/area characterization of one scheduled operator instance.
+struct OpSpec {
+  int latency = 1;  // pipeline depth in cycles
+  int ii = 1;       // initiation interval of the unit itself
+  Resources area;
+};
+
+/// Returns the operator spec for an IR op name ("arith.mulf", "memref.load",
+/// ...) at the given datapath width in bits. Unknown ops cost one cycle and
+/// a handful of LUTs (control logic).
+OpSpec op_spec(const std::string &op_name, int width_bits);
+
+/// BRAM blocks needed for a buffer of `bytes` (36Kb = 4.5 KB per block,
+/// minimum one block per buffer).
+std::int64_t brams_for_bytes(std::int64_t bytes);
+
+}  // namespace everest::hls

@@ -1,0 +1,240 @@
+#include "hls/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace everest::hls {
+
+namespace {
+
+using ir::Operation;
+using ir::Value;
+using support::Error;
+using support::Expected;
+
+bool is_float_arith(const std::string &name) {
+  static const char *ops[] = {"arith.addf", "arith.subf", "arith.mulf",
+                              "arith.divf", "arith.minf", "arith.maxf",
+                              "arith.negf", "arith.exp",  "arith.log",
+                              "arith.sqrt", "arith.cmpf"};
+  return std::find(std::begin(ops), std::end(ops), name) != std::end(ops);
+}
+
+/// Follows a loop nest down to the innermost body, multiplying trip counts.
+const ir::Block *innermost_body(const Operation &for_op, std::int64_t &trips) {
+  trips *= std::max<std::int64_t>(for_op.attr_int("trip_count", 1), 1);
+  const ir::Block &body = for_op.region(0).front();
+  for (const auto &op : body.operations()) {
+    if (op->name() == "scf.for") return innermost_body(*op, trips);
+  }
+  return &body;
+}
+
+/// The root buffer an access targets (load: operand 0; store: operand 1).
+const Value *accessed_buffer(const Operation &op) {
+  if (op.name() == "memref.load") return op.operand(0);
+  if (op.name() == "memref.store") return op.operand(1);
+  return nullptr;
+}
+
+struct StageSchedule {
+  StageReport report;
+};
+
+StageSchedule schedule_stage(const Operation &for_op, const HlsOptions &opt,
+                             std::size_t index) {
+  StageSchedule out;
+  StageReport &r = out.report;
+  r.label = "nest" + std::to_string(index);
+
+  std::int64_t trips = 1;
+  const ir::Block *body = innermost_body(for_op, trips);
+  r.trip_count = trips;
+
+  // ASAP schedule of the innermost body (straight-line; scf.yield ignored).
+  std::map<const Value *, int> ready_at;   // when a value becomes available
+  std::map<const Operation *, int> start;  // issue cycle per op
+  std::map<std::string, int> op_counts;
+  int end_time = 1;
+
+  for (const auto &op_ptr : body->operations()) {
+    const Operation &op = *op_ptr;
+    if (op.name() == "scf.yield" || op.name() == "scf.for") continue;
+    OpSpec spec = op_spec(op.name(), opt.datapath_bits);
+    int t = 0;
+    for (std::size_t i = 0; i < op.num_operands(); ++i) {
+      auto it = ready_at.find(op.operand(i));
+      if (it != ready_at.end()) t = std::max(t, it->second);
+    }
+    start[&op] = t;
+    int done = t + spec.latency;
+    end_time = std::max(end_time, done);
+    for (std::size_t k = 0; k < op.num_results(); ++k)
+      ready_at[op.result(k)] = done;
+    ++op_counts[op.name()];
+
+    if (op.name() == "memref.load") ++r.loads;
+    if (op.name() == "memref.store") ++r.stores;
+    if (is_float_arith(op.name())) ++r.flops;
+  }
+  r.depth = std::max(end_time, 1);
+
+  // resMII: per-buffer port pressure.
+  std::map<const Value *, std::pair<int, int>> per_buffer;  // loads, stores
+  for (const auto &op_ptr : body->operations()) {
+    const Value *buf = accessed_buffer(*op_ptr);
+    if (!buf) continue;
+    if (op_ptr->name() == "memref.load") per_buffer[buf].first++;
+    else per_buffer[buf].second++;
+  }
+  int res_mii = 1;
+  for (const auto &[buf, counts] : per_buffer) {
+    res_mii = std::max(
+        res_mii, (counts.first + opt.mem_read_ports - 1) / opt.mem_read_ports);
+    res_mii = std::max(res_mii, (counts.second + opt.mem_write_ports - 1) /
+                                    opt.mem_write_ports);
+  }
+
+  // recMII: loop-carried accumulation — a store whose stored value depends on
+  // a load from the same buffer at the SAME address every iteration. When
+  // the access is indexed by the innermost induction variable, consecutive
+  // iterations touch different addresses and the dependence distance exceeds
+  // the II window (HLS pipelines it at II=1).
+  const Value *innermost_iv =
+      body->num_arguments() > 0 ? &body->argument(0) : nullptr;
+  int rec_mii = 1;
+  for (const auto &store_ptr : body->operations()) {
+    if (store_ptr->name() != "memref.store") continue;
+    const Value *buf = store_ptr->operand(1);
+    bool varies_per_iteration = false;
+    for (std::size_t i = 2; i < store_ptr->num_operands(); ++i) {
+      if (store_ptr->operand(i) == innermost_iv) varies_per_iteration = true;
+    }
+    if (varies_per_iteration) continue;
+    // Breadth-first over the stored value's def chain within the body.
+    std::set<const Operation *> visited;
+    std::vector<const Operation *> frontier;
+    if (const Operation *def = store_ptr->operand(0)->defining_op())
+      frontier.push_back(def);
+    while (!frontier.empty()) {
+      const Operation *def = frontier.back();
+      frontier.pop_back();
+      if (!visited.insert(def).second) continue;
+      if (def->name() == "memref.load" && def->operand(0) == buf) {
+        OpSpec store_spec = op_spec("memref.store", opt.datapath_bits);
+        int length = start.at(store_ptr.get()) + store_spec.latency -
+                     start.at(def);
+        rec_mii = std::max(rec_mii, std::max(length, 1));
+        r.has_recurrence = true;
+      }
+      for (std::size_t i = 0; i < def->num_operands(); ++i) {
+        if (const Operation *next = def->operand(i)->defining_op())
+          frontier.push_back(next);
+      }
+    }
+  }
+
+  r.ii = std::max(res_mii, rec_mii);
+  if (opt.enable_pipelining) {
+    r.latency_cycles = r.depth + static_cast<std::int64_t>(r.ii) *
+                                     std::max<std::int64_t>(r.trip_count - 1, 0);
+  } else {
+    r.latency_cycles = static_cast<std::int64_t>(r.depth) * r.trip_count;
+  }
+
+  // Area with functional-unit sharing across II slots.
+  for (const auto &[name, count] : op_counts) {
+    OpSpec spec = op_spec(name, opt.datapath_bits);
+    std::int64_t units = (count + r.ii - 1) / r.ii;
+    r.area += spec.area * units;
+  }
+  return out;
+}
+
+}  // namespace
+
+Expected<KernelReport> schedule_kernel(const ir::Module &loops,
+                                       const HlsOptions &options) {
+  const Operation *func = nullptr;
+  for (const auto &op : loops.body().operations()) {
+    if (op->name() == "func.func") {
+      func = op.get();
+      break;
+    }
+  }
+  if (!func) return Error::make("hls: no func.func in module");
+
+  KernelReport report;
+  report.name = func->attr_string("sym_name");
+  report.clock_mhz = options.clock_mhz;
+
+  std::size_t nest_index = 0;
+  for (const auto &op : func->region(0).front().operations()) {
+    if (op->name() == "memref.alloc") {
+      std::int64_t bytes = op->attr_int("bytes");
+      std::string kind = op->attr_string("kind", "");
+      if (kind == "input") {
+        report.input_bytes += bytes;  // external: streamed over the bus
+      } else if (kind == "output") {
+        report.output_bytes += bytes;
+      } else {
+        // Only internal buffers occupy on-fabric BRAM; I/O-tagged buffers
+        // live in HBM/DDR behind the AXI interfaces Olympus generates.
+        report.buffer_bytes += bytes;
+        report.area.brams += brams_for_bytes(bytes);
+      }
+    } else if (op->name() == "scf.for") {
+      auto stage = schedule_stage(*op, options, nest_index++);
+      report.total_cycles += stage.report.latency_cycles;
+      report.area += stage.report.area;
+      report.stages.push_back(std::move(stage.report));
+    }
+  }
+  if (report.stages.empty())
+    return Error::make("hls: kernel has no loop nests to schedule");
+
+  // Dataflow (read/execute/write pipelining, ref [16]): stages overlap, so
+  // steady-state cost is the slowest stage; other stages contribute their
+  // fill depth once.
+  std::int64_t max_stage = 0;
+  std::int64_t fill = 0;
+  for (const auto &s : report.stages) {
+    max_stage = std::max(max_stage, s.latency_cycles);
+    fill += s.depth;
+  }
+  report.dataflow_cycles = max_stage + fill;
+  return report;
+}
+
+std::string render_report(const KernelReport &r) {
+  std::string out;
+  out += "== EVEREST HLS synthesis report: " + r.name + " ==\n";
+  out += "clock: " + support::format_double(r.clock_mhz) + " MHz\n";
+  support::Table t({"stage", "trips", "depth", "II", "cycles", "loads",
+                    "stores", "flops", "rec"});
+  for (const auto &s : r.stages) {
+    t.add_row({s.label, std::to_string(s.trip_count), std::to_string(s.depth),
+               std::to_string(s.ii), std::to_string(s.latency_cycles),
+               std::to_string(s.loads), std::to_string(s.stores),
+               std::to_string(s.flops), s.has_recurrence ? "yes" : "no"});
+  }
+  out += t.render();
+  out += "total cycles (sequential): " + std::to_string(r.total_cycles) +
+         "  (" + support::format_double(r.latency_us(false)) + " us)\n";
+  out += "total cycles (dataflow):   " + std::to_string(r.dataflow_cycles) +
+         "  (" + support::format_double(r.latency_us(true)) + " us)\n";
+  out += "area: " + std::to_string(r.area.luts) + " LUT, " +
+         std::to_string(r.area.ffs) + " FF, " + std::to_string(r.area.dsps) +
+         " DSP, " + std::to_string(r.area.brams) + " BRAM\n";
+  out += "host traffic: in " + support::format_bytes(static_cast<double>(r.input_bytes)) +
+         ", out " + support::format_bytes(static_cast<double>(r.output_bytes)) +
+         "; PLM " + support::format_bytes(static_cast<double>(r.buffer_bytes)) + "\n";
+  return out;
+}
+
+}  // namespace everest::hls

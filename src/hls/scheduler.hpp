@@ -1,0 +1,77 @@
+// everest/hls/scheduler.hpp
+//
+// The EVEREST HLS engine (stand-in for Vitis HLS / Bambu in the SDK, §IV):
+// consumes loop-level IR (func.func with scf.for nests over memref buffers,
+// produced by lower_teil_to_loops), schedules each loop nest, and emits a
+// synthesis report with latency and resource estimates:
+//
+//   - ASAP scheduling of the innermost body DFG gives the pipeline depth;
+//   - initiation interval II = max(resMII, recMII):
+//       resMII from memory-port contention (reads/writes per iteration vs
+//       available BRAM ports), recMII from loop-carried accumulation cycles
+//       (load -> arith chain -> store to the same buffer);
+//   - pipelined nest latency = depth + II * (trips - 1); unpipelined
+//     latency = depth * trips;
+//   - functional units are shared across II slots; buffer BRAM usage from
+//     the alloc sizes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/resources.hpp"
+#include "ir/ir.hpp"
+#include "support/expected.hpp"
+
+namespace everest::hls {
+
+/// Scheduling options (a subset of Vitis-like knobs).
+struct HlsOptions {
+  double clock_mhz = 300.0;
+  int datapath_bits = 64;      // overridden by base2 legalization
+  int mem_read_ports = 2;      // per buffer (true dual-port BRAM)
+  int mem_write_ports = 1;
+  bool enable_pipelining = true;
+};
+
+/// Report for one scheduled loop nest (one tensor-op stage).
+struct StageReport {
+  std::string label;           // e.g. "nest0"
+  std::int64_t trip_count = 1; // product over the nest
+  int depth = 1;               // pipeline depth of one iteration
+  int ii = 1;
+  std::int64_t latency_cycles = 0;
+  int loads = 0;
+  int stores = 0;
+  int flops = 0;               // floating/fixed arithmetic ops per iteration
+  bool has_recurrence = false;
+  Resources area;
+};
+
+/// Full kernel synthesis report.
+struct KernelReport {
+  std::string name;
+  std::vector<StageReport> stages;
+  std::int64_t total_cycles = 0;      // stages executed back-to-back
+  std::int64_t dataflow_cycles = 0;   // stages overlapped (read/exec/write
+                                      // pipelining, ref [16])
+  double clock_mhz = 300.0;
+  Resources area;                     // shared-unit estimate + buffers
+  std::int64_t input_bytes = 0;       // host -> device per invocation
+  std::int64_t output_bytes = 0;      // device -> host per invocation
+  std::int64_t buffer_bytes = 0;      // on-fabric PLM footprint
+
+  [[nodiscard]] double latency_us(bool dataflow = false) const {
+    double cycles = static_cast<double>(dataflow ? dataflow_cycles : total_cycles);
+    return cycles / clock_mhz;  // cycles / (cycles/us)
+  }
+};
+
+/// Schedules the first func.func in `loops`.
+support::Expected<KernelReport> schedule_kernel(const ir::Module &loops,
+                                                const HlsOptions &options = {});
+
+/// Renders a Vitis-style text report (used by examples and EXPERIMENTS.md).
+std::string render_report(const KernelReport &report);
+
+}  // namespace everest::hls

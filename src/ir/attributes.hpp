@@ -1,0 +1,101 @@
+// everest/ir/attributes.hpp
+//
+// Attributes: compile-time constant data attached to operations. A compact
+// analogue of MLIR attributes: unit, bool, integer, float, string, type,
+// and arrays thereof.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ir/types.hpp"
+
+namespace everest::ir {
+
+/// A constant attribute value with structural equality and a canonical
+/// textual form.
+class Attribute {
+public:
+  /// Unit attribute (presence-only flag).
+  Attribute() : value_(std::monostate{}) {}
+  Attribute(bool b) : value_(b) {}
+  Attribute(std::int64_t i) : value_(i) {}
+  Attribute(int i) : value_(static_cast<std::int64_t>(i)) {}
+  Attribute(double d) : value_(d) {}
+  Attribute(const char *s) : value_(std::string(s)) {}
+  Attribute(std::string s) : value_(std::move(s)) {}
+  Attribute(Type t) : value_(std::move(t)) {}
+  Attribute(std::vector<Attribute> items) : value_(std::move(items)) {}
+
+  /// Builds an array attribute from a vector of integers.
+  static Attribute int_array(const std::vector<std::int64_t> &xs) {
+    std::vector<Attribute> items;
+    items.reserve(xs.size());
+    for (auto x : xs) items.emplace_back(x);
+    return Attribute(std::move(items));
+  }
+
+  /// Builds an array attribute from a vector of strings.
+  static Attribute string_array(const std::vector<std::string> &xs) {
+    std::vector<Attribute> items;
+    items.reserve(xs.size());
+    for (const auto &x : xs) items.emplace_back(x);
+    return Attribute(std::move(items));
+  }
+
+  [[nodiscard]] bool is_unit() const {
+    return std::holds_alternative<std::monostate>(value_);
+  }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_int() const {
+    return std::holds_alternative<std::int64_t>(value_);
+  }
+  [[nodiscard]] bool is_double() const {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_type() const { return std::holds_alternative<Type>(value_); }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<std::vector<Attribute>>(value_);
+  }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(value_); }
+  [[nodiscard]] double as_double() const {
+    if (is_int()) return static_cast<double>(as_int());
+    return std::get<double>(value_);
+  }
+  [[nodiscard]] const std::string &as_string() const {
+    return std::get<std::string>(value_);
+  }
+  [[nodiscard]] const Type &as_type() const { return std::get<Type>(value_); }
+  [[nodiscard]] const std::vector<Attribute> &as_array() const {
+    return std::get<std::vector<Attribute>>(value_);
+  }
+
+  /// Convenience: array-of-int attribute back to a plain vector.
+  [[nodiscard]] std::vector<std::int64_t> as_int_vector() const;
+  /// Convenience: array-of-string attribute back to a plain vector.
+  [[nodiscard]] std::vector<std::string> as_string_vector() const;
+
+  bool operator==(const Attribute &other) const { return value_ == other.value_; }
+  bool operator!=(const Attribute &other) const { return !(*this == other); }
+
+  /// Canonical textual form: `unit`, `true`, `42`, `3.5 : f64`, `"s"`,
+  /// `[a, b]`, or a type.
+  [[nodiscard]] std::string str() const;
+
+  /// Parses the canonical textual form.
+  static support::Expected<Attribute> parse(std::string_view text);
+
+private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string, Type,
+               std::vector<Attribute>>
+      value_;
+};
+
+}  // namespace everest::ir

@@ -1,0 +1,71 @@
+// everest/ir/builder.hpp
+//
+// OpBuilder: the construction API used by the frontends and lowering passes.
+// Maintains an insertion point (block + iterator) and creates operations.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace everest::ir {
+
+/// Creates operations at a movable insertion point.
+class OpBuilder {
+public:
+  explicit OpBuilder(Block *block)
+      : block_(block), insert_(block->operations().end()) {}
+
+  /// Positions the builder at the end of `block`.
+  void set_insertion_point_to_end(Block *block) {
+    block_ = block;
+    insert_ = block->operations().end();
+  }
+
+  /// Positions the builder directly before `op`.
+  void set_insertion_point(Operation *op) {
+    block_ = op->parent_block();
+    insert_ = block_->iterator_to(op);
+  }
+
+  [[nodiscard]] Block *insertion_block() const { return block_; }
+
+  /// Creates an op at the insertion point and returns it.
+  Operation &create(std::string name, std::vector<Value *> operands,
+                    std::vector<Type> result_types,
+                    std::map<std::string, Attribute> attributes = {},
+                    std::size_t num_regions = 0) {
+    auto op = Operation::create(std::move(name), std::move(operands),
+                                std::move(result_types), std::move(attributes),
+                                num_regions);
+    return block_->insert(insert_, std::move(op));
+  }
+
+  /// Creates a single-result op and returns the result value.
+  Value *create_value(std::string name, std::vector<Value *> operands,
+                      Type result_type,
+                      std::map<std::string, Attribute> attributes = {}) {
+    return create(std::move(name), std::move(operands), {std::move(result_type)},
+                  std::move(attributes))
+        .result(0);
+  }
+
+  /// Emits `arith.constant` with a float value.
+  Value *constant_f64(double v) {
+    return create_value("arith.constant", {}, Type::floating(64),
+                        {{"value", Attribute(v)}});
+  }
+  /// Emits `arith.constant` with an integer value.
+  Value *constant_index(std::int64_t v) {
+    return create_value("arith.constant", {}, Type::index(),
+                        {{"value", Attribute(v)}});
+  }
+
+private:
+  Block *block_;
+  Block::OpList::iterator insert_;
+};
+
+}  // namespace everest::ir

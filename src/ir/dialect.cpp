@@ -1,0 +1,120 @@
+#include "ir/dialect.hpp"
+
+#include <set>
+
+namespace everest::ir {
+
+Dialect &Context::register_dialect(std::unique_ptr<Dialect> dialect) {
+  const std::string name = dialect->name();
+  auto &slot = dialects_[name];
+  slot = std::move(dialect);
+  return *slot;
+}
+
+Dialect &Context::make_dialect(const std::string &name) {
+  return register_dialect(std::make_unique<Dialect>(name));
+}
+
+Dialect *Context::find_dialect(const std::string &name) const {
+  auto it = dialects_.find(name);
+  return it == dialects_.end() ? nullptr : it->second.get();
+}
+
+const OpDef *Context::find_op(const std::string &full_name) const {
+  auto dot = full_name.find('.');
+  if (dot == std::string::npos) return nullptr;
+  const Dialect *d = find_dialect(full_name.substr(0, dot));
+  return d ? d->find_op(full_name.substr(dot + 1)) : nullptr;
+}
+
+std::vector<std::string> Context::dialect_names() const {
+  std::vector<std::string> out;
+  out.reserve(dialects_.size());
+  for (const auto &[name, _] : dialects_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+support::Status verify_op_rec(const Context &ctx, const Operation &op,
+                              std::set<const Value *> &visible);
+
+support::Status verify_block(const Context &ctx, const Block &block,
+                             std::set<const Value *> visible) {
+  for (std::size_t i = 0; i < block.num_arguments(); ++i)
+    visible.insert(&block.argument(i));
+  for (const auto &op : block.operations()) {
+    // All operands must already be visible (SSA order; values from enclosing
+    // regions were inserted by the caller).
+    for (std::size_t i = 0; i < op->num_operands(); ++i) {
+      if (!visible.count(op->operand(i))) {
+        return support::Status::failure("verify: op '" + op->name() +
+                                        "' uses a value before its definition");
+      }
+    }
+    if (auto s = verify_op_rec(ctx, *op, visible); !s.is_ok()) return s;
+    for (std::size_t r = 0; r < op->num_results(); ++r)
+      visible.insert(op->result(r));
+  }
+  return support::Status::ok();
+}
+
+support::Status verify_op_rec(const Context &ctx, const Operation &op,
+                              std::set<const Value *> &visible) {
+  if (op.dialect().empty()) {
+    return support::Status::failure("verify: op '" + op.name() +
+                                    "' has no dialect prefix");
+  }
+  const Dialect *dialect = ctx.find_dialect(op.dialect());
+  const OpDef *def = dialect ? dialect->find_op(op.mnemonic()) : nullptr;
+  if (dialect && !def && ctx.strict() && op.name() != "builtin.module") {
+    return support::Status::failure("verify: unknown op '" + op.name() +
+                                    "' in registered dialect");
+  }
+  if (def) {
+    auto mismatch = [&](const char *what, int want, std::size_t have) {
+      return support::Status::failure(
+          "verify: op '" + op.name() + "' expects " + std::to_string(want) +
+          " " + what + ", has " + std::to_string(have));
+    };
+    if (def->num_operands >= 0 &&
+        op.num_operands() != static_cast<std::size_t>(def->num_operands))
+      return mismatch("operands", def->num_operands, op.num_operands());
+    if (def->num_results >= 0 &&
+        op.num_results() != static_cast<std::size_t>(def->num_results))
+      return mismatch("results", def->num_results, op.num_results());
+    if (def->num_regions >= 0 &&
+        op.num_regions() != static_cast<std::size_t>(def->num_regions))
+      return mismatch("regions", def->num_regions, op.num_regions());
+    for (const auto &key : def->required_attrs) {
+      if (!op.has_attr(key)) {
+        return support::Status::failure("verify: op '" + op.name() +
+                                        "' missing required attribute '" +
+                                        key + "'");
+      }
+    }
+    if (def->verifier) {
+      if (auto s = def->verifier(op); !s.is_ok()) return s;
+    }
+  }
+  for (std::size_t r = 0; r < op.num_regions(); ++r) {
+    for (const auto &block : op.region(r).blocks()) {
+      if (auto s = verify_block(ctx, *block, visible); !s.is_ok()) return s;
+    }
+  }
+  return support::Status::ok();
+}
+
+}  // namespace
+
+support::Status Context::verify(const Operation &op) const {
+  std::set<const Value *> visible;
+  return verify_op_rec(*this, op, visible);
+}
+
+support::Status Context::verify(const Module &module) const {
+  std::set<const Value *> visible;
+  return verify_block(*this, module.body(), visible);
+}
+
+}  // namespace everest::ir

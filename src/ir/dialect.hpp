@@ -1,0 +1,93 @@
+// everest/ir/dialect.hpp
+//
+// Dialect registry: each dialect declares its operations (operand/result
+// arities, region counts, a verifier, and a one-line summary). The Context
+// owns all dialects and drives module verification against them.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "support/expected.hpp"
+
+namespace everest::ir {
+
+/// Static description of one operation kind within a dialect.
+struct OpDef {
+  /// Exact operand count, or -1 for variadic.
+  int num_operands = -1;
+  /// Exact result count, or -1 for variadic.
+  int num_results = -1;
+  /// Exact region count, or -1 for any.
+  int num_regions = 0;
+  /// One-line human documentation.
+  std::string summary;
+  /// Attribute keys that must be present.
+  std::vector<std::string> required_attrs;
+  /// Extra semantic checks beyond arity/attribute presence.
+  std::function<support::Status(const Operation &)> verifier;
+};
+
+/// A dialect: a namespace of operation definitions.
+class Dialect {
+public:
+  explicit Dialect(std::string name) : name_(std::move(name)) {}
+  virtual ~Dialect() = default;
+
+  [[nodiscard]] const std::string &name() const { return name_; }
+
+  /// Registers an op under this dialect ("contract" -> "ekl.contract").
+  void add_op(const std::string &mnemonic, OpDef def) {
+    ops_[mnemonic] = std::move(def);
+  }
+
+  [[nodiscard]] const OpDef *find_op(const std::string &mnemonic) const {
+    auto it = ops_.find(mnemonic);
+    return it == ops_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, OpDef> &ops() const { return ops_; }
+
+private:
+  std::string name_;
+  std::map<std::string, OpDef> ops_;
+};
+
+/// Owns dialects and provides module-level verification. The EVEREST SDK
+/// registers the Fig. 5 dialect stack here (see dialects/registry.hpp).
+class Context {
+public:
+  Context() = default;
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  /// Registers a dialect; returns a stable reference to it.
+  Dialect &register_dialect(std::unique_ptr<Dialect> dialect);
+  /// Creates and registers an empty dialect with the given name.
+  Dialect &make_dialect(const std::string &name);
+
+  [[nodiscard]] Dialect *find_dialect(const std::string &name) const;
+  [[nodiscard]] const OpDef *find_op(const std::string &full_name) const;
+  [[nodiscard]] std::vector<std::string> dialect_names() const;
+
+  /// When true (default), verification fails on ops whose dialect is
+  /// registered but whose mnemonic is not.
+  void set_strict(bool strict) { strict_ = strict; }
+  [[nodiscard]] bool strict() const { return strict_; }
+
+  /// Verifies the whole module: SSA order within blocks, arity constraints,
+  /// required attributes, and per-op semantic verifiers.
+  [[nodiscard]] support::Status verify(const Module &module) const;
+  /// Verifies a single operation subtree.
+  [[nodiscard]] support::Status verify(const Operation &op) const;
+
+private:
+  std::map<std::string, std::unique_ptr<Dialect>> dialects_;
+  bool strict_ = true;
+};
+
+}  // namespace everest::ir

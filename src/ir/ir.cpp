@@ -1,0 +1,240 @@
+#include "ir/ir.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace everest::ir {
+
+// -------------------------------------------------------------------- Region
+
+Block &Region::add_block() {
+  blocks_.push_back(std::make_unique<Block>(this));
+  return *blocks_.back();
+}
+
+// --------------------------------------------------------------------- Block
+
+Operation *Block::parent_op() const {
+  return parent_ ? parent_->parent_op() : nullptr;
+}
+
+Value &Block::add_argument(Type type) {
+  arguments_.push_back(
+      std::make_unique<Value>(std::move(type), this, arguments_.size()));
+  return *arguments_.back();
+}
+
+Operation &Block::push_back(std::unique_ptr<Operation> op) {
+  op->parent_ = this;
+  ops_.push_back(std::move(op));
+  return *ops_.back();
+}
+
+Operation &Block::insert(OpList::iterator pos, std::unique_ptr<Operation> op) {
+  op->parent_ = this;
+  auto it = ops_.insert(pos, std::move(op));
+  return **it;
+}
+
+Block::OpList::iterator Block::iterator_to(Operation *op) {
+  return std::find_if(ops_.begin(), ops_.end(),
+                      [&](const std::unique_ptr<Operation> &p) {
+                        return p.get() == op;
+                      });
+}
+
+std::unique_ptr<Operation> Block::take(Operation *op) {
+  auto it = iterator_to(op);
+  if (it == ops_.end())
+    throw std::logic_error("block: op not found in take()");
+  std::unique_ptr<Operation> owned = std::move(*it);
+  ops_.erase(it);
+  owned->parent_ = nullptr;
+  return owned;
+}
+
+void Block::erase(Operation *op) {
+  auto owned = take(op);
+  owned->drop_all_operands();
+  // owned destructor runs here; result values must be unused by now.
+}
+
+// ----------------------------------------------------------------- Operation
+
+Operation::Operation(std::string name, std::vector<Value *> operands,
+                     std::map<std::string, Attribute> attributes)
+    : name_(std::move(name)),
+      operands_(std::move(operands)),
+      attributes_(std::move(attributes)) {}
+
+std::unique_ptr<Operation> Operation::create(
+    std::string name, std::vector<Value *> operands,
+    std::vector<Type> result_types, std::map<std::string, Attribute> attributes,
+    std::size_t num_regions) {
+  auto op = std::unique_ptr<Operation>(
+      new Operation(std::move(name), std::move(operands), std::move(attributes)));
+  for (Value *v : op->operands_) {
+    assert(v != nullptr && "null operand");
+    v->users_.push_back(op.get());
+  }
+  op->results_.reserve(result_types.size());
+  for (std::size_t i = 0; i < result_types.size(); ++i) {
+    op->results_.push_back(
+        std::make_unique<Value>(std::move(result_types[i]), op.get(), i));
+  }
+  for (std::size_t i = 0; i < num_regions; ++i) op->add_region();
+  return op;
+}
+
+Operation::~Operation() = default;
+
+std::string Operation::dialect() const {
+  auto dot = name_.find('.');
+  return dot == std::string::npos ? std::string() : name_.substr(0, dot);
+}
+
+std::string Operation::mnemonic() const {
+  auto dot = name_.find('.');
+  return dot == std::string::npos ? name_ : name_.substr(dot + 1);
+}
+
+namespace {
+
+void remove_one_use(Value *v, Operation *user) {
+  auto &users = const_cast<std::vector<Operation *> &>(v->users());
+  auto it = std::find(users.begin(), users.end(), user);
+  if (it != users.end()) users.erase(it);
+}
+
+}  // namespace
+
+void Operation::set_operand(std::size_t i, Value *v) {
+  Value *old = operands_.at(i);
+  if (old == v) return;
+  remove_one_use(old, this);
+  operands_[i] = v;
+  const_cast<std::vector<Operation *> &>(v->users()).push_back(this);
+}
+
+void Operation::append_operand(Value *v) {
+  operands_.push_back(v);
+  const_cast<std::vector<Operation *> &>(v->users()).push_back(this);
+}
+
+void Operation::drop_all_operands() {
+  for (Value *v : operands_) remove_one_use(v, this);
+  operands_.clear();
+}
+
+std::int64_t Operation::attr_int(const std::string &key,
+                                 std::int64_t fallback) const {
+  const Attribute *a = attr(key);
+  return a && a->is_int() ? a->as_int() : fallback;
+}
+
+double Operation::attr_double(const std::string &key, double fallback) const {
+  const Attribute *a = attr(key);
+  if (!a) return fallback;
+  if (a->is_double() || a->is_int()) return a->as_double();
+  return fallback;
+}
+
+std::string Operation::attr_string(const std::string &key,
+                                   std::string fallback) const {
+  const Attribute *a = attr(key);
+  return a && a->is_string() ? a->as_string() : fallback;
+}
+
+Region &Operation::add_region() {
+  regions_.push_back(std::make_unique<Region>(this));
+  return *regions_.back();
+}
+
+Operation *Operation::parent_op() const {
+  return parent_ ? parent_->parent_op() : nullptr;
+}
+
+void Operation::replace_all_uses_with(const std::vector<Value *> &replacements) {
+  if (replacements.size() != results_.size())
+    throw std::invalid_argument("replace_all_uses_with: result count mismatch");
+  for (std::size_t r = 0; r < results_.size(); ++r) {
+    Value *from = results_[r].get();
+    Value *to = replacements[r];
+    // Snapshot users: set_operand mutates the use list.
+    std::vector<Operation *> users = from->users();
+    for (Operation *user : users) {
+      for (std::size_t i = 0; i < user->num_operands(); ++i) {
+        if (user->operand(i) == from) user->set_operand(i, to);
+      }
+    }
+  }
+}
+
+void Operation::walk(const std::function<void(Operation &)> &fn) {
+  fn(*this);
+  for (auto &region : regions_) {
+    for (auto &block : region->blocks()) {
+      // Snapshot pointers: fn may erase/modify the list it's iterating.
+      std::vector<Operation *> ops;
+      ops.reserve(block->operations().size());
+      for (auto &op : block->operations()) ops.push_back(op.get());
+      for (Operation *op : ops) op->walk(fn);
+    }
+  }
+}
+
+void Operation::walk(const std::function<void(const Operation &)> &fn) const {
+  fn(*this);
+  for (const auto &region : regions_) {
+    for (const auto &block : region->blocks()) {
+      for (const auto &op : block->operations()) {
+        static_cast<const Operation *>(op.get())->walk(fn);
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------------- Module
+
+Module::Module() {
+  op_ = Operation::create("builtin.module", {}, {}, {}, 1);
+  op_->region(0).add_block();
+}
+
+void Module::walk(const std::function<void(Operation &)> &fn) {
+  // Walk children only, not the module op itself.
+  std::vector<Operation *> ops;
+  for (auto &op : body().operations()) ops.push_back(op.get());
+  for (Operation *op : ops) op->walk(fn);
+}
+
+void Module::walk(const std::function<void(const Operation &)> &fn) const {
+  for (const auto &op : body().operations()) {
+    static_cast<const Operation *>(op.get())->walk(fn);
+  }
+}
+
+Operation *Module::find_first(const std::string &name) {
+  Operation *found = nullptr;
+  walk([&](Operation &op) {
+    if (!found && op.name() == name) found = &op;
+  });
+  return found;
+}
+
+std::vector<Operation *> Module::find_all(const std::string &name) {
+  std::vector<Operation *> out;
+  walk([&](Operation &op) {
+    if (op.name() == name) out.push_back(&op);
+  });
+  return out;
+}
+
+std::size_t Module::op_count() const {
+  std::size_t n = 0;
+  walk([&](const Operation &) { ++n; });
+  return n;
+}
+
+}  // namespace everest::ir

@@ -1,0 +1,259 @@
+// everest/ir/ir.hpp
+//
+// Core IR data structures: Value, Operation, Block, Region, Module. This is
+// the EVEREST SDK's analogue of MLIR's core IR (paper §V-B): operations carry
+// a dialect-qualified name, typed operands/results, an attribute dictionary,
+// and nested regions; SSA def-use chains are maintained automatically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/attributes.hpp"
+#include "ir/types.hpp"
+
+namespace everest::ir {
+
+class Operation;
+class Block;
+class Region;
+
+/// An SSA value: either an operation result or a block argument.
+class Value {
+public:
+  Value(Type type, Operation *defining_op, std::size_t index)
+      : type_(std::move(type)), defining_op_(defining_op), index_(index) {}
+  Value(Type type, Block *owner_block, std::size_t index)
+      : type_(std::move(type)), owner_block_(owner_block), index_(index) {}
+
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+
+  [[nodiscard]] const Type &type() const { return type_; }
+  void set_type(Type t) { type_ = std::move(t); }
+
+  /// The op producing this value, or nullptr for block arguments.
+  [[nodiscard]] Operation *defining_op() const { return defining_op_; }
+  /// The block owning this argument, or nullptr for op results.
+  [[nodiscard]] Block *owner_block() const { return owner_block_; }
+  /// Result index or argument index.
+  [[nodiscard]] std::size_t index() const { return index_; }
+  [[nodiscard]] bool is_block_argument() const { return owner_block_ != nullptr; }
+
+  /// Operations currently using this value (duplicates per use).
+  [[nodiscard]] const std::vector<Operation *> &users() const { return users_; }
+  [[nodiscard]] bool has_uses() const { return !users_.empty(); }
+
+private:
+  friend class Operation;
+  Type type_;
+  Operation *defining_op_ = nullptr;
+  Block *owner_block_ = nullptr;
+  std::size_t index_ = 0;
+  std::vector<Operation *> users_;
+};
+
+/// A region: an ordered list of blocks owned by an operation.
+class Region {
+public:
+  explicit Region(Operation *parent) : parent_(parent) {}
+  Region(const Region &) = delete;
+  Region &operator=(const Region &) = delete;
+
+  [[nodiscard]] Operation *parent_op() const { return parent_; }
+  [[nodiscard]] bool empty() const { return blocks_.empty(); }
+  [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+
+  /// Appends a new empty block and returns it.
+  Block &add_block();
+
+  [[nodiscard]] Block &front() { return *blocks_.front(); }
+  [[nodiscard]] const Block &front() const { return *blocks_.front(); }
+
+  [[nodiscard]] std::list<std::unique_ptr<Block>> &blocks() { return blocks_; }
+  [[nodiscard]] const std::list<std::unique_ptr<Block>> &blocks() const {
+    return blocks_;
+  }
+
+private:
+  Operation *parent_;
+  std::list<std::unique_ptr<Block>> blocks_;
+};
+
+/// A basic block: typed arguments plus an ordered operation list.
+class Block {
+public:
+  explicit Block(Region *parent) : parent_(parent) {}
+  Block(const Block &) = delete;
+  Block &operator=(const Block &) = delete;
+
+  [[nodiscard]] Region *parent_region() const { return parent_; }
+  /// Re-parents a block after moving it between regions (parser/transform
+  /// internal use).
+  void set_parent_region(Region *region) { parent_ = region; }
+  /// The operation owning the parent region (nullptr for detached blocks).
+  [[nodiscard]] Operation *parent_op() const;
+
+  Value &add_argument(Type type);
+  [[nodiscard]] std::size_t num_arguments() const { return arguments_.size(); }
+  [[nodiscard]] Value &argument(std::size_t i) { return *arguments_.at(i); }
+  [[nodiscard]] const Value &argument(std::size_t i) const {
+    return *arguments_.at(i);
+  }
+
+  using OpList = std::list<std::unique_ptr<Operation>>;
+  [[nodiscard]] OpList &operations() { return ops_; }
+  [[nodiscard]] const OpList &operations() const { return ops_; }
+  [[nodiscard]] bool empty() const { return ops_.empty(); }
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  [[nodiscard]] Operation &front() { return *ops_.front(); }
+  [[nodiscard]] Operation &back() { return *ops_.back(); }
+
+  /// Appends `op` and takes ownership.
+  Operation &push_back(std::unique_ptr<Operation> op);
+  /// Inserts `op` before `pos` and takes ownership.
+  Operation &insert(OpList::iterator pos, std::unique_ptr<Operation> op);
+  /// Removes `op` from this block and returns ownership (drops its operand uses).
+  std::unique_ptr<Operation> take(Operation *op);
+  /// Erases `op` (operand use-lists are updated; op must have no used results).
+  void erase(Operation *op);
+
+  /// Returns the iterator pointing at `op` within this block.
+  OpList::iterator iterator_to(Operation *op);
+
+private:
+  Region *parent_;
+  std::vector<std::unique_ptr<Value>> arguments_;
+  OpList ops_;
+};
+
+/// A generic operation. Ops are identified by a "dialect.mnemonic" name and
+/// are extensible via attributes and regions; dialects attach verifiers
+/// through the Context registry.
+class Operation {
+public:
+  /// Creates a detached operation. Use Block::push_back / OpBuilder to place it.
+  static std::unique_ptr<Operation> create(
+      std::string name, std::vector<Value *> operands,
+      std::vector<Type> result_types,
+      std::map<std::string, Attribute> attributes = {},
+      std::size_t num_regions = 0);
+
+  ~Operation();
+  Operation(const Operation &) = delete;
+  Operation &operator=(const Operation &) = delete;
+
+  [[nodiscard]] const std::string &name() const { return name_; }
+  /// Dialect prefix of the name ("ekl" for "ekl.contract").
+  [[nodiscard]] std::string dialect() const;
+  /// Mnemonic suffix of the name ("contract" for "ekl.contract").
+  [[nodiscard]] std::string mnemonic() const;
+
+  [[nodiscard]] std::size_t num_operands() const { return operands_.size(); }
+  [[nodiscard]] Value *operand(std::size_t i) const { return operands_.at(i); }
+  [[nodiscard]] const std::vector<Value *> &operands() const { return operands_; }
+  void set_operand(std::size_t i, Value *v);
+  void append_operand(Value *v);
+  void drop_all_operands();
+
+  [[nodiscard]] std::size_t num_results() const { return results_.size(); }
+  [[nodiscard]] Value *result(std::size_t i = 0) {
+    return results_.at(i).get();
+  }
+  [[nodiscard]] const Value *result(std::size_t i = 0) const {
+    return results_.at(i).get();
+  }
+
+  [[nodiscard]] const std::map<std::string, Attribute> &attributes() const {
+    return attributes_;
+  }
+  void set_attr(const std::string &key, Attribute value) {
+    attributes_[key] = std::move(value);
+  }
+  [[nodiscard]] bool has_attr(const std::string &key) const {
+    return attributes_.count(key) > 0;
+  }
+  /// Returns the attribute or nullptr when absent.
+  [[nodiscard]] const Attribute *attr(const std::string &key) const {
+    auto it = attributes_.find(key);
+    return it == attributes_.end() ? nullptr : &it->second;
+  }
+  /// Typed attribute getters with fallback defaults.
+  [[nodiscard]] std::int64_t attr_int(const std::string &key,
+                                      std::int64_t fallback = 0) const;
+  [[nodiscard]] double attr_double(const std::string &key,
+                                   double fallback = 0.0) const;
+  [[nodiscard]] std::string attr_string(const std::string &key,
+                                        std::string fallback = "") const;
+
+  [[nodiscard]] std::size_t num_regions() const { return regions_.size(); }
+  [[nodiscard]] Region &region(std::size_t i = 0) { return *regions_.at(i); }
+  [[nodiscard]] const Region &region(std::size_t i = 0) const {
+    return *regions_.at(i);
+  }
+  Region &add_region();
+
+  [[nodiscard]] Block *parent_block() const { return parent_; }
+  /// The op owning the region this op lives in (nullptr at module level).
+  [[nodiscard]] Operation *parent_op() const;
+
+  /// Replaces every use of this op's results with `replacements` (one value
+  /// per result).
+  void replace_all_uses_with(const std::vector<Value *> &replacements);
+
+  /// Pre-order walk over this op and all nested ops.
+  void walk(const std::function<void(Operation &)> &fn);
+  void walk(const std::function<void(const Operation &)> &fn) const;
+
+  /// Prints the op in generic textual form (see printer.cpp).
+  [[nodiscard]] std::string str() const;
+
+private:
+  friend class Block;
+  Operation(std::string name, std::vector<Value *> operands,
+            std::map<std::string, Attribute> attributes);
+
+  std::string name_;
+  std::vector<Value *> operands_;
+  std::vector<std::unique_ptr<Value>> results_;
+  std::map<std::string, Attribute> attributes_;
+  std::vector<std::unique_ptr<Region>> regions_;
+  Block *parent_ = nullptr;
+};
+
+/// The top-level container: an op named "builtin.module" with one region
+/// holding one block.
+class Module {
+public:
+  Module();
+
+  [[nodiscard]] Operation &op() { return *op_; }
+  [[nodiscard]] const Operation &op() const { return *op_; }
+  [[nodiscard]] Block &body() { return op_->region(0).front(); }
+  [[nodiscard]] const Block &body() const { return op_->region(0).front(); }
+
+  /// Pre-order walk over all ops in the module (excluding the module op).
+  void walk(const std::function<void(Operation &)> &fn);
+  void walk(const std::function<void(const Operation &)> &fn) const;
+
+  /// Finds the first op with the given name, or nullptr.
+  [[nodiscard]] Operation *find_first(const std::string &name);
+  /// Collects all ops with the given name.
+  [[nodiscard]] std::vector<Operation *> find_all(const std::string &name);
+
+  /// Total number of ops in the module (excluding the module op itself).
+  [[nodiscard]] std::size_t op_count() const;
+
+  /// Prints the whole module in generic textual form.
+  [[nodiscard]] std::string str() const;
+
+private:
+  std::unique_ptr<Operation> op_;
+};
+
+}  // namespace everest::ir

@@ -1,0 +1,18 @@
+// everest/ir/parser.hpp
+//
+// Parser for the generic textual form emitted by the printer, enabling full
+// round-tripping of modules (tested property: parse(print(m)) == print(m)).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "ir/ir.hpp"
+#include "support/expected.hpp"
+
+namespace everest::ir {
+
+/// Parses a module in generic form ("module { ... }").
+support::Expected<std::shared_ptr<Module>> parse_module(std::string_view text);
+
+}  // namespace everest::ir

@@ -1,0 +1,38 @@
+#include "ir/pass.hpp"
+
+namespace everest::ir {
+
+support::Status PassManager::run(Module &module) {
+  timings_.clear();
+  if (verify_each_) {
+    if (auto s = ctx_.verify(module); !s.is_ok()) {
+      return support::Status::failure("pre-pipeline verification failed: " +
+                                      s.message());
+    }
+  }
+  for (auto &pass : passes_) {
+    PassTiming timing;
+    timing.name = pass->name();
+    timing.ops_before = module.op_count();
+    auto start = std::chrono::steady_clock::now();
+    auto result = pass->run(module, ctx_);
+    auto stop = std::chrono::steady_clock::now();
+    timing.milliseconds =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    timing.ops_after = module.op_count();
+    timings_.push_back(timing);
+    if (!result.is_ok()) {
+      return support::Status::failure("pass '" + pass->name() +
+                                      "' failed: " + result.message());
+    }
+    if (verify_each_) {
+      if (auto s = ctx_.verify(module); !s.is_ok()) {
+        return support::Status::failure("verification failed after pass '" +
+                                        pass->name() + "': " + s.message());
+      }
+    }
+  }
+  return support::Status::ok();
+}
+
+}  // namespace everest::ir

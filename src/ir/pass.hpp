@@ -1,0 +1,85 @@
+// everest/ir/pass.hpp
+//
+// Pass infrastructure: named module passes composed in a PassManager that
+// verifies the module between passes and records per-pass timing (the
+// Fig. 5 bench reports these timings per lowering path).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/dialect.hpp"
+#include "ir/ir.hpp"
+#include "support/expected.hpp"
+
+namespace everest::ir {
+
+/// A module-level transformation.
+class Pass {
+public:
+  explicit Pass(std::string name) : name_(std::move(name)) {}
+  virtual ~Pass() = default;
+
+  [[nodiscard]] const std::string &name() const { return name_; }
+  virtual support::Status run(Module &module, Context &ctx) = 0;
+
+private:
+  std::string name_;
+};
+
+/// Adapts a plain function into a Pass.
+class LambdaPass final : public Pass {
+public:
+  using Fn = std::function<support::Status(Module &, Context &)>;
+  LambdaPass(std::string name, Fn fn) : Pass(std::move(name)), fn_(std::move(fn)) {}
+  support::Status run(Module &module, Context &ctx) override {
+    return fn_(module, ctx);
+  }
+
+private:
+  Fn fn_;
+};
+
+/// Timing record for one executed pass.
+struct PassTiming {
+  std::string name;
+  double milliseconds = 0.0;
+  std::size_t ops_before = 0;
+  std::size_t ops_after = 0;
+};
+
+/// Runs a pipeline of passes with inter-pass verification.
+class PassManager {
+public:
+  explicit PassManager(Context &ctx, bool verify_each = true)
+      : ctx_(ctx), verify_each_(verify_each) {}
+
+  void add_pass(std::unique_ptr<Pass> pass) {
+    passes_.push_back(std::move(pass));
+  }
+  void add_pass(std::string name, LambdaPass::Fn fn) {
+    passes_.push_back(
+        std::make_unique<LambdaPass>(std::move(name), std::move(fn)));
+  }
+
+  [[nodiscard]] std::size_t size() const { return passes_.size(); }
+
+  /// Runs all passes in order; stops at the first failure. When verification
+  /// is enabled, a verifier failure after pass P reports P by name.
+  support::Status run(Module &module);
+
+  [[nodiscard]] const std::vector<PassTiming> &timings() const {
+    return timings_;
+  }
+
+private:
+  Context &ctx_;
+  bool verify_each_;
+  std::vector<std::unique_ptr<Pass>> passes_;
+  std::vector<PassTiming> timings_;
+};
+
+}  // namespace everest::ir

@@ -1,0 +1,139 @@
+// Textual printer for the generic operation form:
+//
+//   %0 = "arith.constant"() {value = 3.0} : () -> f64
+//   %1 = "scf.for"(%lo, %hi) ({
+//   ^bb0(%a0: index):
+//     ...
+//   }) : (index, index) -> f64
+//
+// Value names are assigned in program order; block arguments print as %aN.
+
+#include <map>
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace everest::ir {
+
+namespace {
+
+class Printer {
+public:
+  std::string print_module(const Operation &module_op) {
+    out_ += "module {\n";
+    for (const auto &op : module_op.region(0).front().operations())
+      print_op(*op, 1);
+    out_ += "}\n";
+    return out_;
+  }
+
+  std::string print_single(const Operation &op) {
+    print_op(op, 0);
+    return out_;
+  }
+
+private:
+  void indent(int depth) { out_.append(static_cast<std::size_t>(depth) * 2, ' '); }
+
+  std::string name_of(const Value *v) {
+    auto it = names_.find(v);
+    if (it != names_.end()) return it->second;
+    std::string name = v->is_block_argument()
+                           ? "%a" + std::to_string(next_arg_++)
+                           : "%" + std::to_string(next_result_++);
+    names_.emplace(v, name);
+    return name;
+  }
+
+  void print_op(const Operation &op, int depth) {
+    indent(depth);
+    if (op.num_results() > 0) {
+      for (std::size_t i = 0; i < op.num_results(); ++i) {
+        if (i != 0) out_ += ", ";
+        out_ += name_of(op.result(i));
+      }
+      out_ += " = ";
+    }
+    out_ += '"' + op.name() + "\"(";
+    for (std::size_t i = 0; i < op.num_operands(); ++i) {
+      if (i != 0) out_ += ", ";
+      out_ += name_of(op.operand(i));
+    }
+    out_ += ')';
+
+    if (op.num_regions() > 0) {
+      out_ += " (";
+      for (std::size_t r = 0; r < op.num_regions(); ++r) {
+        if (r != 0) out_ += ", ";
+        out_ += "{\n";
+        for (const auto &block : op.region(r).blocks())
+          print_block(*block, depth + 1);
+        indent(depth);
+        out_ += '}';
+      }
+      out_ += ')';
+    }
+
+    if (!op.attributes().empty()) {
+      out_ += " {";
+      bool first = true;
+      for (const auto &[key, value] : op.attributes()) {
+        if (!first) out_ += ", ";
+        first = false;
+        out_ += key + " = " + value.str();
+      }
+      out_ += '}';
+    }
+
+    out_ += " : (";
+    for (std::size_t i = 0; i < op.num_operands(); ++i) {
+      if (i != 0) out_ += ", ";
+      out_ += op.operand(i)->type().str();
+    }
+    out_ += ") -> ";
+    if (op.num_results() == 1) {
+      out_ += op.result(0)->type().str();
+    } else {
+      out_ += '(';
+      for (std::size_t i = 0; i < op.num_results(); ++i) {
+        if (i != 0) out_ += ", ";
+        out_ += op.result(i)->type().str();
+      }
+      out_ += ')';
+    }
+    out_ += '\n';
+  }
+
+  void print_block(const Block &block, int depth) {
+    indent(depth - 1);
+    out_ += "^bb" + std::to_string(next_block_++);
+    if (block.num_arguments() > 0) {
+      out_ += '(';
+      for (std::size_t i = 0; i < block.num_arguments(); ++i) {
+        if (i != 0) out_ += ", ";
+        out_ += name_of(&block.argument(i)) + ": " +
+                block.argument(i).type().str();
+      }
+      out_ += ')';
+    }
+    out_ += ":\n";
+    for (const auto &op : block.operations()) print_op(*op, depth);
+  }
+
+  std::string out_;
+  std::map<const Value *, std::string> names_;
+  int next_result_ = 0;
+  int next_arg_ = 0;
+  int next_block_ = 0;
+};
+
+}  // namespace
+
+std::string Operation::str() const {
+  if (name_ == "builtin.module") return Printer().print_module(*this);
+  return Printer().print_single(*this);
+}
+
+std::string Module::str() const { return op_->str(); }
+
+}  // namespace everest::ir

@@ -1,0 +1,59 @@
+#include "ir/rewrite.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace everest::ir {
+
+RewriteStats apply_patterns_greedily(
+    Module &module,
+    const std::vector<std::shared_ptr<RewritePattern>> &patterns,
+    std::size_t max_iterations) {
+  // Sort by descending benefit; stable to keep registration order for ties.
+  std::vector<std::shared_ptr<RewritePattern>> sorted = patterns;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto &a, const auto &b) {
+                     return a->benefit() > b->benefit();
+                   });
+
+  RewriteStats stats;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    ++stats.iterations;
+    std::vector<Operation *> pending_erasure;
+    PatternRewriter rewriter(pending_erasure);
+    std::size_t fired = 0;
+
+    // Snapshot ops first: rewrites may append new ops (visited next sweep).
+    std::vector<Operation *> ops;
+    module.walk([&](Operation &op) { ops.push_back(&op); });
+
+    std::set<Operation *> erased;
+    for (Operation *op : ops) {
+      if (erased.count(op)) continue;
+      for (const auto &pattern : sorted) {
+        if (!pattern->root_name().empty() && pattern->root_name() != op->name())
+          continue;
+        if (pattern->match_and_rewrite(*op, rewriter)) {
+          ++fired;
+          for (Operation *e : pending_erasure) erased.insert(e);
+          break;  // one pattern per op per sweep
+        }
+      }
+    }
+
+    // Erase in reverse discovery order so nested ops go before parents.
+    for (auto it = pending_erasure.rbegin(); it != pending_erasure.rend(); ++it) {
+      Operation *op = *it;
+      if (op->parent_block() != nullptr) op->parent_block()->erase(op);
+    }
+
+    stats.rewrites += fired;
+    if (fired == 0) {
+      stats.converged = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace everest::ir

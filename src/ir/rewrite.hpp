@@ -1,0 +1,82 @@
+// everest/ir/rewrite.hpp
+//
+// Pattern-rewrite infrastructure: patterns match a root op name and rewrite
+// in place; the greedy driver applies them to fixpoint (bounded).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "ir/ir.hpp"
+
+namespace everest::ir {
+
+/// Mutation helper passed to patterns: erase/replace with correct use-list
+/// bookkeeping. Erasures are deferred to the end of the driver sweep.
+class PatternRewriter {
+public:
+  explicit PatternRewriter(std::vector<Operation *> &pending_erasure)
+      : pending_erasure_(pending_erasure) {}
+
+  /// Replaces all uses of op's results and schedules it for erasure.
+  void replace_op(Operation *op, const std::vector<Value *> &replacements) {
+    op->replace_all_uses_with(replacements);
+    erase_op(op);
+  }
+
+  /// Schedules op for erasure (its results must be unused).
+  void erase_op(Operation *op) { pending_erasure_.push_back(op); }
+
+private:
+  std::vector<Operation *> &pending_erasure_;
+};
+
+/// A rewrite pattern anchored on ops named `root_name` ("" matches any op).
+class RewritePattern {
+public:
+  explicit RewritePattern(std::string root_name, int benefit = 1)
+      : root_name_(std::move(root_name)), benefit_(benefit) {}
+  virtual ~RewritePattern() = default;
+
+  [[nodiscard]] const std::string &root_name() const { return root_name_; }
+  [[nodiscard]] int benefit() const { return benefit_; }
+
+  /// Attempts the rewrite; returns true if the IR changed.
+  virtual bool match_and_rewrite(Operation &op, PatternRewriter &rewriter) = 0;
+
+private:
+  std::string root_name_;
+  int benefit_;
+};
+
+/// Pattern from a lambda.
+class LambdaPattern final : public RewritePattern {
+public:
+  using Fn = std::function<bool(Operation &, PatternRewriter &)>;
+  LambdaPattern(std::string root_name, Fn fn, int benefit = 1)
+      : RewritePattern(std::move(root_name), benefit), fn_(std::move(fn)) {}
+  bool match_and_rewrite(Operation &op, PatternRewriter &rewriter) override {
+    return fn_(op, rewriter);
+  }
+
+private:
+  Fn fn_;
+};
+
+/// Result of a greedy rewrite run.
+struct RewriteStats {
+  std::size_t iterations = 0;
+  std::size_t rewrites = 0;
+  bool converged = false;
+};
+
+/// Applies patterns greedily over the module until no pattern fires or
+/// `max_iterations` full sweeps elapse.
+RewriteStats apply_patterns_greedily(
+    Module &module, const std::vector<std::shared_ptr<RewritePattern>> &patterns,
+    std::size_t max_iterations = 32);
+
+}  // namespace everest::ir

@@ -1,0 +1,203 @@
+#include "ir/types.hpp"
+
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace everest::ir {
+
+Type Type::none() { return Type(); }
+
+Type Type::integer(int width) {
+  Type t;
+  t.kind_ = Kind::Integer;
+  t.width_ = width;
+  return t;
+}
+
+Type Type::floating(int width) {
+  Type t;
+  t.kind_ = Kind::Float;
+  t.width_ = width;
+  return t;
+}
+
+Type Type::index() {
+  Type t;
+  t.kind_ = Kind::Index;
+  return t;
+}
+
+Type Type::tensor(std::vector<std::int64_t> dims, Type element) {
+  Type t;
+  t.kind_ = Kind::Tensor;
+  t.dims_ = std::move(dims);
+  t.element_ = std::make_shared<const Type>(std::move(element));
+  return t;
+}
+
+Type Type::custom(std::string dialect, std::string name,
+                  std::vector<std::string> params) {
+  Type t;
+  t.kind_ = Kind::Custom;
+  t.dialect_ = std::move(dialect);
+  t.name_ = std::move(name);
+  t.params_ = std::move(params);
+  return t;
+}
+
+Type Type::element() const {
+  return element_ ? *element_ : Type();
+}
+
+std::int64_t Type::num_elements() const {
+  if (!is_tensor()) return 1;
+  std::int64_t n = 1;
+  for (auto d : dims_) {
+    if (d < 0) return -1;
+    n *= d;
+  }
+  return n;
+}
+
+bool Type::operator==(const Type &other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::None:
+    case Kind::Index:
+      return true;
+    case Kind::Integer:
+    case Kind::Float:
+      return width_ == other.width_;
+    case Kind::Tensor:
+      return dims_ == other.dims_ && element() == other.element();
+    case Kind::Custom:
+      return dialect_ == other.dialect_ && name_ == other.name_ &&
+             params_ == other.params_;
+  }
+  return false;
+}
+
+std::string Type::str() const {
+  switch (kind_) {
+    case Kind::None:
+      return "none";
+    case Kind::Integer:
+      return "i" + std::to_string(width_);
+    case Kind::Float:
+      return "f" + std::to_string(width_);
+    case Kind::Index:
+      return "index";
+    case Kind::Tensor: {
+      std::string out = "tensor<";
+      for (auto d : dims_) {
+        out += d < 0 ? std::string("?") : std::to_string(d);
+        out += 'x';
+      }
+      out += element().str();
+      out += '>';
+      return out;
+    }
+    case Kind::Custom: {
+      std::string out = "!" + dialect_ + "." + name_;
+      if (!params_.empty()) {
+        out += '<';
+        out += support::join(params_, ",");
+        out += '>';
+      }
+      return out;
+    }
+  }
+  return "none";
+}
+
+namespace {
+
+/// Splits "<...>" parameter text at top-level commas (angle brackets nest).
+std::vector<std::string> split_params(std::string_view body) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string cur;
+  for (char c : body) {
+    if (c == '<') ++depth;
+    if (c == '>') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(std::string(support::trim(cur)));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!support::trim(cur).empty() || !out.empty())
+    out.push_back(std::string(support::trim(cur)));
+  return out;
+}
+
+}  // namespace
+
+support::Expected<Type> Type::parse(std::string_view text) {
+  text = support::trim(text);
+  if (text.empty()) return support::Error::make("type: empty text");
+  if (text == "none") return Type::none();
+  if (text == "index") return Type::index();
+
+  if (text[0] == 'i' || text[0] == 'f') {
+    std::string width_text(text.substr(1));
+    if (!width_text.empty()) {
+      char *end = nullptr;
+      long w = std::strtol(width_text.c_str(), &end, 10);
+      if (end && *end == '\0' && w > 0 && w <= 128) {
+        return text[0] == 'i' ? Type::integer(static_cast<int>(w))
+                              : Type::floating(static_cast<int>(w));
+      }
+    }
+  }
+
+  if (support::starts_with(text, "tensor<") && text.back() == '>') {
+    std::string_view body = text.substr(7, text.size() - 8);
+    // Dimensions are 'x'-separated; the trailing component is the element
+    // type, which may itself contain 'x' only inside tensor<> (not allowed
+    // nested here) — find last 'x' that ends a digit/? run.
+    std::vector<std::int64_t> dims;
+    std::size_t pos = 0;
+    while (true) {
+      std::size_t x = body.find('x', pos);
+      if (x == std::string_view::npos) break;
+      std::string_view tok = support::trim(body.substr(pos, x - pos));
+      bool numeric = !tok.empty();
+      for (char c : tok) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '?')
+          numeric = false;
+      }
+      if (!numeric) break;
+      dims.push_back(tok == "?" ? -1 : std::strtoll(std::string(tok).c_str(),
+                                                    nullptr, 10));
+      pos = x + 1;
+    }
+    auto elem = Type::parse(body.substr(pos));
+    if (!elem) return elem;
+    return Type::tensor(std::move(dims), std::move(*elem));
+  }
+
+  if (text[0] == '!') {
+    std::string_view rest = text.substr(1);
+    std::vector<std::string> params;
+    std::size_t angle = rest.find('<');
+    std::string_view qual = rest;
+    if (angle != std::string_view::npos) {
+      if (rest.back() != '>')
+        return support::Error::make("type: unterminated custom params");
+      params = split_params(rest.substr(angle + 1, rest.size() - angle - 2));
+      qual = rest.substr(0, angle);
+    }
+    std::size_t dot = qual.find('.');
+    if (dot == std::string_view::npos)
+      return support::Error::make("type: custom type needs dialect.name");
+    return Type::custom(std::string(qual.substr(0, dot)),
+                        std::string(qual.substr(dot + 1)), std::move(params));
+  }
+
+  return support::Error::make("type: cannot parse '" + std::string(text) + "'");
+}
+
+}  // namespace everest::ir

@@ -1,0 +1,90 @@
+// everest/ir/types.hpp
+//
+// The type system of the EVEREST IR: a compact analogue of MLIR's builtin
+// types plus dialect-defined custom types (printed `!dialect.name<params>`).
+// Types are immutable values with structural equality.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/expected.hpp"
+
+namespace everest::ir {
+
+/// An immutable type. Value-semantic: copies share the payload.
+class Type {
+public:
+  enum class Kind {
+    None,     // absence of a value
+    Integer,  // iN (i1, i8, i16, i32, i64)
+    Float,    // fN (f16, f32, f64)
+    Index,    // platform-sized index type
+    Tensor,   // tensor<d0xd1x...xelem>, dim -1 prints '?'
+    Custom,   // !dialect.name<p0,p1,...>
+  };
+
+  /// Default-constructed type is None.
+  Type() = default;
+
+  static Type none();
+  static Type integer(int width);
+  static Type floating(int width);
+  static Type index();
+  static Type tensor(std::vector<std::int64_t> dims, Type element);
+  static Type custom(std::string dialect, std::string name,
+                     std::vector<std::string> params = {});
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_none() const { return kind_ == Kind::None; }
+  [[nodiscard]] bool is_integer() const { return kind_ == Kind::Integer; }
+  [[nodiscard]] bool is_float() const { return kind_ == Kind::Float; }
+  [[nodiscard]] bool is_index() const { return kind_ == Kind::Index; }
+  [[nodiscard]] bool is_tensor() const { return kind_ == Kind::Tensor; }
+  [[nodiscard]] bool is_custom() const { return kind_ == Kind::Custom; }
+
+  /// Width of an integer/float type; 0 otherwise.
+  [[nodiscard]] int width() const { return width_; }
+
+  /// Tensor shape (empty for non-tensors). Dim value -1 means dynamic.
+  [[nodiscard]] const std::vector<std::int64_t> &dims() const { return dims_; }
+
+  /// Tensor element type; None for non-tensors.
+  [[nodiscard]] Type element() const;
+
+  /// Custom type coordinates.
+  [[nodiscard]] const std::string &dialect() const { return dialect_; }
+  [[nodiscard]] const std::string &name() const { return name_; }
+  [[nodiscard]] const std::vector<std::string> &params() const { return params_; }
+
+  /// True if this is a scalar numeric type (integer/float/index).
+  [[nodiscard]] bool is_scalar_numeric() const {
+    return is_integer() || is_float() || is_index();
+  }
+
+  /// Total static element count of a tensor (1 for scalars); -1 if dynamic.
+  [[nodiscard]] std::int64_t num_elements() const;
+
+  bool operator==(const Type &other) const;
+  bool operator!=(const Type &other) const { return !(*this == other); }
+
+  /// Renders the canonical textual form ("f64", "tensor<4x?xf32>",
+  /// "!base2.fixed<16,8>").
+  [[nodiscard]] std::string str() const;
+
+  /// Parses a type from its textual form.
+  static support::Expected<Type> parse(std::string_view text);
+
+private:
+  Kind kind_ = Kind::None;
+  int width_ = 0;
+  std::vector<std::int64_t> dims_;
+  std::shared_ptr<const Type> element_;
+  std::string dialect_;
+  std::string name_;
+  std::vector<std::string> params_;
+};
+
+}  // namespace everest::ir

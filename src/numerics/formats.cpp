@@ -1,0 +1,217 @@
+#include "numerics/formats.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace everest::numerics {
+
+// ---------------------------------------------------------------- FixedPoint
+
+FixedPointFormat::FixedPointFormat(int total_bits, int frac_bits,
+                                   bool is_signed)
+    : total_bits_(total_bits), frac_bits_(frac_bits), is_signed_(is_signed) {
+  if (total_bits < 2 || total_bits > 62)
+    throw std::invalid_argument("fixed: total_bits must be in [2, 62]");
+  if (frac_bits < 0 || frac_bits >= total_bits + 32)
+    throw std::invalid_argument("fixed: bad frac_bits");
+  scale_ = std::ldexp(1.0, frac_bits_);
+  scale_inv_ = std::ldexp(1.0, -frac_bits_);
+  if (is_signed_) {
+    max_code_ = (std::int64_t{1} << (total_bits_ - 1)) - 1;
+    min_code_ = -(std::int64_t{1} << (total_bits_ - 1));
+  } else {
+    max_code_ = (std::int64_t{1} << total_bits_) - 1;
+    min_code_ = 0;
+  }
+}
+
+std::int64_t FixedPointFormat::encode(double x) const {
+  if (std::isnan(x)) return 0;
+  double scaled = x * scale_;
+  if (scaled >= static_cast<double>(max_code_)) return max_code_;
+  if (scaled <= static_cast<double>(min_code_)) return min_code_;
+  return static_cast<std::int64_t>(std::nearbyint(scaled));
+}
+
+double FixedPointFormat::decode(std::int64_t code) const {
+  return static_cast<double>(code) * scale_inv_;
+}
+
+double FixedPointFormat::quantize(double x) const { return decode(encode(x)); }
+
+double FixedPointFormat::max_value() const { return decode(max_code_); }
+double FixedPointFormat::min_value() const { return decode(min_code_); }
+
+std::string FixedPointFormat::name() const {
+  return std::string(is_signed_ ? "fixed<" : "ufixed<") +
+         std::to_string(total_bits_) + "," + std::to_string(frac_bits_) + ">";
+}
+
+// ----------------------------------------------------------------- MiniFloat
+
+MiniFloatFormat::MiniFloatFormat(int exp_bits, int mant_bits)
+    : exp_bits_(exp_bits), mant_bits_(mant_bits) {
+  if (exp_bits < 2 || exp_bits > 11)
+    throw std::invalid_argument("minifloat: exp_bits must be in [2, 11]");
+  if (mant_bits < 1 || mant_bits > 52)
+    throw std::invalid_argument("minifloat: mant_bits must be in [1, 52]");
+  bias_ = (1 << (exp_bits_ - 1)) - 1;
+  // Max exponent field (all ones) encodes inf/nan, so emax == bias.
+  max_finite_ =
+      (2.0 - std::ldexp(1.0, -mant_bits_)) * std::ldexp(1.0, bias_);
+  min_normal_ = std::ldexp(1.0, 1 - bias_);
+}
+
+double MiniFloatFormat::quantize(double x) const {
+  if (std::isnan(x) || x == 0.0 || std::isinf(x)) return x;
+  bool neg = std::signbit(x);
+  double a = std::fabs(x);
+  int emin = 1 - bias_;
+  int p = std::ilogb(a);
+  if (p < emin) p = emin;  // subnormal range has a fixed quantum
+  double quantum = std::ldexp(1.0, p - mant_bits_);
+  double v = std::nearbyint(a / quantum) * quantum;
+  if (v > max_finite_)
+    return neg ? -std::numeric_limits<double>::infinity()
+               : std::numeric_limits<double>::infinity();
+  return neg ? -v : v;
+}
+
+std::string MiniFloatFormat::name() const {
+  return "float<" + std::to_string(exp_bits_) + "," +
+         std::to_string(mant_bits_) + ">";
+}
+
+// --------------------------------------------------------------------- Posit
+
+PositFormat::PositFormat(int nbits, int es) : nbits_(nbits), es_(es) {
+  if (nbits < 3 || nbits > 63)
+    throw std::invalid_argument("posit: nbits must be in [3, 63]");
+  if (es < 0 || es > 4) throw std::invalid_argument("posit: es must be in [0, 4]");
+  mask_ = (std::uint64_t{1} << nbits_) - 1;
+}
+
+std::uint64_t PositFormat::encode(double x) const {
+  if (x == 0.0) return 0;
+  std::uint64_t nar = std::uint64_t{1} << (nbits_ - 1);
+  if (!std::isfinite(x)) return nar;  // NaR
+
+  bool neg = x < 0.0;
+  double a = std::fabs(x);
+  int p = std::ilogb(a);
+  double m = std::ldexp(a, -p);  // significand in [1, 2)
+  if (m >= 2.0) {
+    m *= 0.5;
+    ++p;
+  }
+  int k = p >> es_;  // floor division (C++20 defines >> for negatives)
+  int e = p - (k << es_);
+
+  // Assemble the unrounded bit pattern after the sign bit, MSB first:
+  // regime | es exponent bits | fraction bits.
+  std::vector<int> bits;
+  if (k >= 0) {
+    bits.insert(bits.end(), static_cast<std::size_t>(k) + 1, 1);
+    bits.push_back(0);
+  } else {
+    bits.insert(bits.end(), static_cast<std::size_t>(-k), 0);
+    bits.push_back(1);
+  }
+  for (int i = es_ - 1; i >= 0; --i) bits.push_back((e >> i) & 1);
+  double frac = m - 1.0;
+  for (int i = 0; i < 64; ++i) {
+    frac *= 2.0;
+    int b = frac >= 1.0 ? 1 : 0;
+    bits.push_back(b);
+    frac -= b;
+  }
+
+  // Posit rounding is round-to-nearest-even in pattern space: round the
+  // (nbits-1)-bit unsigned integer formed by the pattern prefix.
+  int avail = nbits_ - 1;
+  std::uint64_t val = 0;
+  for (int i = 0; i < avail; ++i)
+    val = (val << 1) |
+          static_cast<std::uint64_t>(i < static_cast<int>(bits.size()) ? bits[static_cast<std::size_t>(i)] : 0);
+  int guard = avail < static_cast<int>(bits.size()) ? bits[static_cast<std::size_t>(avail)] : 0;
+  bool sticky = false;
+  for (std::size_t i = static_cast<std::size_t>(avail) + 1; i < bits.size(); ++i) {
+    if (bits[i]) {
+      sticky = true;
+      break;
+    }
+  }
+  if (guard && (sticky || (val & 1))) ++val;
+
+  std::uint64_t maxpos = (std::uint64_t{1} << avail) - 1;
+  if (val == 0) val = 1;        // underflow rounds to minpos, never to zero
+  if (val > maxpos) val = maxpos;  // overflow saturates at maxpos
+
+  std::uint64_t code = val;
+  if (neg) code = (~code + 1) & mask_;
+  return code;
+}
+
+double PositFormat::decode(std::uint64_t code) const {
+  code &= mask_;
+  if (code == 0) return 0.0;
+  std::uint64_t nar = std::uint64_t{1} << (nbits_ - 1);
+  if (code == nar) return std::numeric_limits<double>::quiet_NaN();
+
+  bool neg = (code & nar) != 0;
+  if (neg) code = (~code + 1) & mask_;
+
+  int avail = nbits_ - 1;
+  auto bit = [&](int i) -> int {
+    return static_cast<int>((code >> (avail - 1 - i)) & 1);
+  };
+
+  int r0 = bit(0);
+  int i = 1;
+  while (i < avail && bit(i) == r0) ++i;
+  int run = i;
+  int k = r0 ? run - 1 : -run;
+  int pos = run + (i < avail ? 1 : 0);  // skip the regime terminator
+
+  int e = 0;
+  for (int j = 0; j < es_; ++j) {
+    e <<= 1;
+    if (pos < avail) {
+      e |= bit(pos);
+      ++pos;
+    }
+  }
+
+  double frac = 1.0;
+  double w = 0.5;
+  for (; pos < avail; ++pos) {
+    if (bit(pos)) frac += w;
+    w *= 0.5;
+  }
+
+  double val = std::ldexp(frac, (k << es_) + e);
+  return neg ? -val : val;
+}
+
+double PositFormat::quantize(double x) const { return decode(encode(x)); }
+
+std::string PositFormat::name() const {
+  return "posit<" + std::to_string(nbits_) + "," + std::to_string(es_) + ">";
+}
+
+// ----------------------------------------------------------------- utilities
+
+double quantize_span(const NumberFormat &fmt, std::span<double> xs) {
+  double max_err = 0.0;
+  for (double &x : xs) {
+    double q = fmt.quantize(x);
+    double err = std::fabs(q - x);
+    if (err > max_err) max_err = err;
+    x = q;
+  }
+  return max_err;
+}
+
+}  // namespace everest::numerics

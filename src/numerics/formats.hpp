@@ -1,0 +1,102 @@
+// everest/numerics/formats.hpp
+//
+// Custom binary numeral types backing the EVEREST `base2`/`bit` dialects
+// (paper §V-B, refs [7][12][24]): parametric fixed-point, minifloat, and
+// posit formats with exact encode/decode semantics. The HLS engine consumes
+// the bit widths for area modeling; the quantization pipeline (experiment E4)
+// uses them to measure accuracy/resource tradeoffs on real kernels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace everest::numerics {
+
+/// Common interface: a format quantizes a double to the nearest representable
+/// value and reports its storage width.
+class NumberFormat {
+public:
+  virtual ~NumberFormat() = default;
+  /// Rounds `x` to the nearest representable value (saturating).
+  [[nodiscard]] virtual double quantize(double x) const = 0;
+  /// Storage width in bits.
+  [[nodiscard]] virtual int bit_width() const = 0;
+  /// Human-readable name, e.g. "fixed<16,8>", "posit<16,1>".
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Two's-complement fixed point with `total_bits` total and `frac_bits`
+/// fractional bits. Round-to-nearest-even, saturating at the range limits.
+class FixedPointFormat final : public NumberFormat {
+public:
+  FixedPointFormat(int total_bits, int frac_bits, bool is_signed = true);
+
+  [[nodiscard]] double quantize(double x) const override;
+  [[nodiscard]] int bit_width() const override { return total_bits_; }
+  [[nodiscard]] std::string name() const override;
+
+  /// Raw encode/decode to the underlying integer code (for bit-true tests).
+  [[nodiscard]] std::int64_t encode(double x) const;
+  [[nodiscard]] double decode(std::int64_t code) const;
+
+  [[nodiscard]] double resolution() const { return scale_inv_; }
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] double min_value() const;
+
+private:
+  int total_bits_;
+  int frac_bits_;
+  bool is_signed_;
+  double scale_;      // 2^frac_bits
+  double scale_inv_;  // 2^-frac_bits
+  std::int64_t max_code_;
+  std::int64_t min_code_;
+};
+
+/// IEEE-style minifloat with parametric exponent/mantissa widths, one sign
+/// bit, subnormals, and round-to-nearest-even. exp_bits in [2,11],
+/// mant_bits in [1,52].
+class MiniFloatFormat final : public NumberFormat {
+public:
+  MiniFloatFormat(int exp_bits, int mant_bits);
+
+  [[nodiscard]] double quantize(double x) const override;
+  [[nodiscard]] int bit_width() const override { return 1 + exp_bits_ + mant_bits_; }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double max_finite() const { return max_finite_; }
+
+private:
+  int exp_bits_;
+  int mant_bits_;
+  int bias_;
+  double max_finite_;
+  double min_normal_;
+};
+
+/// Posit<nbits, es> per the posit standard: sign, regime (run-length encoded),
+/// es exponent bits, fraction. No subnormals/overflow — tapered precision.
+class PositFormat final : public NumberFormat {
+public:
+  PositFormat(int nbits, int es);
+
+  [[nodiscard]] double quantize(double x) const override;
+  [[nodiscard]] int bit_width() const override { return nbits_; }
+  [[nodiscard]] std::string name() const override;
+
+  /// Bit-level encode/decode (codes are nbits-wide two's complement values).
+  [[nodiscard]] std::uint64_t encode(double x) const;
+  [[nodiscard]] double decode(std::uint64_t code) const;
+
+private:
+  int nbits_;
+  int es_;
+  std::uint64_t mask_;  // low nbits set
+};
+
+/// Quantizes every element of `xs` in place with `fmt`; returns the max
+/// absolute quantization error introduced.
+double quantize_span(const NumberFormat &fmt, std::span<double> xs);
+
+}  // namespace everest::numerics

@@ -1,0 +1,117 @@
+#include "numerics/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace everest::numerics {
+
+namespace {
+
+void require_matrix(const Tensor &t, const char *what) {
+  if (t.rank() != 2) throw std::invalid_argument(std::string(what) + ": expected rank-2 tensor");
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor &a, const Tensor &b) {
+  require_matrix(a, "matmul lhs");
+  require_matrix(b, "matmul rhs");
+  std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dims differ");
+  Tensor c(Shape{m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      double aip = a(i, p);
+      if (aip == 0.0) continue;
+      for (std::int64_t j = 0; j < n; ++j) c(i, j) += aip * b(p, j);
+    }
+  }
+  return c;
+}
+
+Tensor matvec(const Tensor &a, const Tensor &x) {
+  require_matrix(a, "matvec lhs");
+  if (x.rank() != 1) throw std::invalid_argument("matvec: rhs must be rank-1");
+  std::int64_t m = a.dim(0), k = a.dim(1);
+  if (x.dim(0) != k) throw std::invalid_argument("matvec: dims differ");
+  Tensor y(Shape{m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (std::int64_t p = 0; p < k; ++p) s += a(i, p) * x(p);
+    y(i) = s;
+  }
+  return y;
+}
+
+Tensor transpose(const Tensor &a) {
+  require_matrix(a, "transpose");
+  Tensor t(Shape{a.dim(1), a.dim(0)});
+  for (std::int64_t i = 0; i < a.dim(0); ++i)
+    for (std::int64_t j = 0; j < a.dim(1); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+support::Expected<Tensor> cholesky(const Tensor &a) {
+  require_matrix(a, "cholesky");
+  std::int64_t n = a.dim(0);
+  if (a.dim(1) != n)
+    return support::Error::make("cholesky: matrix must be square");
+  Tensor l(Shape{n, n});
+  for (std::int64_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::int64_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0)
+      return support::Error::make("cholesky: matrix is not positive definite");
+    double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::int64_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::int64_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return l;
+}
+
+Tensor forward_substitute(const Tensor &l, const Tensor &b) {
+  std::int64_t n = l.dim(0);
+  Tensor y(Shape{n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    double s = b(i);
+    for (std::int64_t k = 0; k < i; ++k) s -= l(i, k) * y(k);
+    y(i) = s / l(i, i);
+  }
+  return y;
+}
+
+Tensor backward_substitute_transposed(const Tensor &l, const Tensor &y) {
+  std::int64_t n = l.dim(0);
+  Tensor x(Shape{n});
+  for (std::int64_t i = n - 1; i >= 0; --i) {
+    double s = y(i);
+    for (std::int64_t k = i + 1; k < n; ++k) s -= l(k, i) * x(k);
+    x(i) = s / l(i, i);
+  }
+  return x;
+}
+
+support::Expected<Tensor> cholesky_solve(const Tensor &a, const Tensor &b) {
+  auto l = cholesky(a);
+  if (!l) return l.error();
+  Tensor y = forward_substitute(*l, b);
+  return backward_substitute_transposed(*l, y);
+}
+
+Tensor identity(std::int64_t n) {
+  Tensor i(Shape{n, n});
+  for (std::int64_t k = 0; k < n; ++k) i(k, k) = 1.0;
+  return i;
+}
+
+double log_det_from_cholesky(const Tensor &l) {
+  double s = 0.0;
+  for (std::int64_t i = 0; i < l.dim(0); ++i) s += std::log(l(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace everest::numerics

@@ -1,0 +1,39 @@
+// everest/numerics/linalg.hpp
+//
+// Dense linear algebra on rank-2 tensors: enough for the use-case kernels
+// (Kernel Ridge regression solve, GMM covariance handling, CNN layers).
+#pragma once
+
+#include "numerics/tensor.hpp"
+#include "support/expected.hpp"
+
+namespace everest::numerics {
+
+/// C = A * B for rank-2 tensors with inner dimensions matching.
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/// y = A * x for rank-2 A and rank-1 x.
+Tensor matvec(const Tensor &a, const Tensor &x);
+
+/// Transpose of a rank-2 tensor.
+Tensor transpose(const Tensor &a);
+
+/// Cholesky factorization of a symmetric positive-definite matrix:
+/// returns lower-triangular L with A = L L^T, or an error if A is not SPD.
+support::Expected<Tensor> cholesky(const Tensor &a);
+
+/// Solves A x = b via Cholesky for SPD A (used by Kernel Ridge with the
+/// ridge term guaranteeing positive definiteness).
+support::Expected<Tensor> cholesky_solve(const Tensor &a, const Tensor &b);
+
+/// Solves L y = b (forward) and L^T x = y (backward) given lower L.
+Tensor forward_substitute(const Tensor &l, const Tensor &b);
+Tensor backward_substitute_transposed(const Tensor &l, const Tensor &y);
+
+/// Identity matrix of size n.
+Tensor identity(std::int64_t n);
+
+/// Log-determinant of SPD matrix from its Cholesky factor.
+double log_det_from_cholesky(const Tensor &l);
+
+}  // namespace everest::numerics

@@ -1,0 +1,24 @@
+#include "numerics/tensor.hpp"
+
+#include "support/strings.hpp"
+
+namespace everest::numerics {
+
+std::string Tensor::to_string(std::size_t max_elems) const {
+  std::string out = "tensor<";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i != 0) out += 'x';
+    out += std::to_string(shape_[i]);
+  }
+  out += ">[";
+  std::size_t n = std::min(max_elems, data_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) out += ", ";
+    out += support::format_double(data_[i]);
+  }
+  if (n < data_.size()) out += ", ...";
+  out += ']';
+  return out;
+}
+
+}  // namespace everest::numerics

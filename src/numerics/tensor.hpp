@@ -1,0 +1,147 @@
+// everest/numerics/tensor.hpp
+//
+// Dense dynamic-rank tensor of doubles: the runtime data structure behind the
+// EKL / TeIL / ESN interpreters and the use-case kernels. Row-major layout.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace everest::numerics {
+
+/// Shape of a tensor; empty shape denotes a scalar.
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements in a shape (1 for scalars).
+inline std::int64_t num_elements(const Shape &shape) {
+  std::int64_t n = 1;
+  for (auto d : shape) n *= d;
+  return n;
+}
+
+/// Row-major strides for a shape.
+inline std::vector<std::int64_t> row_major_strides(const Shape &shape) {
+  std::vector<std::int64_t> strides(shape.size(), 1);
+  for (std::size_t i = shape.size(); i > 1; --i)
+    strides[i - 2] = strides[i - 1] * shape[i - 1];
+  return strides;
+}
+
+/// Dense row-major tensor of doubles with value semantics.
+class Tensor {
+public:
+  Tensor() = default;
+
+  explicit Tensor(Shape shape, double fill = 0.0)
+      : shape_(validated(std::move(shape))),
+        strides_(row_major_strides(shape_)),
+        data_(static_cast<std::size_t>(num_elements(shape_)), fill) {}
+
+  Tensor(Shape shape, std::vector<double> data)
+      : shape_(validated(std::move(shape))),
+        strides_(row_major_strides(shape_)),
+        data_(std::move(data)) {
+    if (static_cast<std::int64_t>(data_.size()) != num_elements(shape_))
+      throw std::invalid_argument("tensor: data size does not match shape");
+  }
+
+  static Tensor scalar(double v) { return Tensor(Shape{}, {v}); }
+
+  [[nodiscard]] const Shape &shape() const { return shape_; }
+  [[nodiscard]] std::size_t rank() const { return shape_.size(); }
+  [[nodiscard]] std::int64_t size() const {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  [[nodiscard]] std::int64_t dim(std::size_t i) const { return shape_.at(i); }
+
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+  [[nodiscard]] std::span<double> data() { return data_; }
+
+  /// Flat element access.
+  double &flat(std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  double flat(std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// Multi-index access; index count must equal rank.
+  double &at(std::span<const std::int64_t> idx) {
+    return data_[static_cast<std::size_t>(offset(idx))];
+  }
+  double at(std::span<const std::int64_t> idx) const {
+    return data_[static_cast<std::size_t>(offset(idx))];
+  }
+
+  /// Variadic convenience accessors.
+  template <typename... I>
+  double &operator()(I... is) {
+    std::int64_t idx[] = {static_cast<std::int64_t>(is)...};
+    return at(std::span<const std::int64_t>(idx, sizeof...(is)));
+  }
+  template <typename... I>
+  double operator()(I... is) const {
+    std::int64_t idx[] = {static_cast<std::int64_t>(is)...};
+    return at(std::span<const std::int64_t>(idx, sizeof...(is)));
+  }
+
+  /// Returns a copy with the same data and a new compatible shape.
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const {
+    if (num_elements(new_shape) != size())
+      throw std::invalid_argument("tensor: reshape changes element count");
+    return Tensor(std::move(new_shape), data_);
+  }
+
+  /// Elementwise in-place operations.
+  Tensor &operator+=(const Tensor &rhs) { return zip(rhs, [](double &a, double b) { a += b; }); }
+  Tensor &operator-=(const Tensor &rhs) { return zip(rhs, [](double &a, double b) { a -= b; }); }
+  Tensor &operator*=(const Tensor &rhs) { return zip(rhs, [](double &a, double b) { a *= b; }); }
+  Tensor &operator*=(double s) {
+    for (double &x : data_) x *= s;
+    return *this;
+  }
+
+  bool same_shape(const Tensor &other) const { return shape_ == other.shape_; }
+
+  /// Sum of all elements.
+  [[nodiscard]] double sum() const {
+    return std::accumulate(data_.begin(), data_.end(), 0.0);
+  }
+
+  /// Short debug rendering: "tensor<2x3>[...first elems...]".
+  [[nodiscard]] std::string to_string(std::size_t max_elems = 8) const;
+
+private:
+  static Shape validated(Shape shape) {
+    for (auto d : shape) {
+      if (d < 0) throw std::invalid_argument("tensor: negative dimension");
+    }
+    return shape;
+  }
+
+  template <typename F>
+  Tensor &zip(const Tensor &rhs, F f) {
+    if (!same_shape(rhs))
+      throw std::invalid_argument("tensor: shape mismatch in elementwise op");
+    for (std::size_t i = 0; i < data_.size(); ++i) f(data_[i], rhs.data_[i]);
+    return *this;
+  }
+
+  [[nodiscard]] std::int64_t offset(std::span<const std::int64_t> idx) const {
+    assert(idx.size() == shape_.size());
+    std::int64_t off = 0;
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      assert(idx[i] >= 0 && idx[i] < shape_[i]);
+      off += idx[i] * strides_[i];
+    }
+    return off;
+  }
+
+  Shape shape_;
+  std::vector<std::int64_t> strides_;
+  std::vector<double> data_;
+};
+
+}  // namespace everest::numerics

@@ -1,0 +1,211 @@
+#include "olympus/dosa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace everest::olympus::dosa {
+
+using support::Error;
+using support::Expected;
+
+namespace {
+
+/// Shape bookkeeping mirrors frontend::run_onnx without touching data.
+using Shape = numerics::Shape;
+
+std::int64_t elems(const Shape &s) { return numerics::num_elements(s); }
+
+/// Sizes the layer engine: DSP-parallel MAC array with control overhead.
+hls::Resources engine_area(double macs, std::int64_t resident_bytes) {
+  hls::Resources area;
+  auto dsps = static_cast<std::int64_t>(
+      std::clamp(std::ceil(macs / 2048.0), 4.0, 96.0));
+  area.dsps = dsps;
+  area.luts = 3000 + dsps * 120;
+  area.ffs = 4000 + dsps * 160;
+  area.brams = hls::brams_for_bytes(std::max<std::int64_t>(resident_bytes, 1));
+  return area;
+}
+
+}  // namespace
+
+Expected<std::vector<LayerCost>> analyze_model(
+    const frontend::OnnxModel &model) {
+  std::map<std::string, Shape> shapes;
+  for (const auto &in : model.inputs) shapes[in.name] = in.shape;
+  for (const auto &[name, tensor] : model.initializers)
+    shapes[name] = tensor.shape();
+
+  auto weight_bytes_of = [&](const frontend::OnnxNode &node) {
+    std::int64_t bytes = 0;
+    for (const auto &input : node.inputs) {
+      auto it = model.initializers.find(input);
+      if (it != model.initializers.end()) bytes += it->second.size() * 8;
+    }
+    return bytes;
+  };
+
+  std::vector<LayerCost> layers;
+  for (const auto &node : model.nodes) {
+    auto shape_of = [&](std::size_t i) -> Expected<Shape> {
+      auto it = shapes.find(node.inputs.at(i));
+      if (it == shapes.end())
+        return Error::make("dosa: unknown tensor '" + node.inputs.at(i) + "'");
+      return it->second;
+    };
+
+    LayerCost cost;
+    cost.name = node.name;
+    cost.op = node.op;
+    Shape out;
+
+    if (node.op == "Conv1D") {
+      auto x = shape_of(0), w = shape_of(1);
+      if (!x) return x.error();
+      if (!w) return w.error();
+      std::int64_t co = (*w)[0], ci = (*w)[1], k = (*w)[2], len = (*x)[1];
+      out = {co, len};
+      cost.macs = static_cast<double>(co * len * ci * k);
+    } else if (node.op == "Relu" || node.op == "Sigmoid") {
+      auto x = shape_of(0);
+      if (!x) return x.error();
+      out = *x;
+      cost.macs = static_cast<double>(elems(out));
+    } else if (node.op == "MaxPool1D") {
+      auto x = shape_of(0);
+      if (!x) return x.error();
+      auto window = static_cast<std::int64_t>(
+          node.attrs.count("window") ? node.attrs.at("window") : 2);
+      out = {(*x)[0], (*x)[1] / window};
+      cost.macs = static_cast<double>(elems(*x));
+    } else if (node.op == "Flatten") {
+      auto x = shape_of(0);
+      if (!x) return x.error();
+      out = {elems(*x)};
+      cost.macs = 0.0;
+    } else if (node.op == "Gemm") {
+      auto w = shape_of(1);
+      if (!w) return w.error();
+      out = {(*w)[0]};
+      cost.macs = static_cast<double>((*w)[0] * (*w)[1]);
+    } else if (node.op == "Add") {
+      auto x = shape_of(0);
+      if (!x) return x.error();
+      out = *x;
+      cost.macs = static_cast<double>(elems(out));
+    } else {
+      return Error::make("dosa: unsupported op '" + node.op + "'");
+    }
+
+    cost.weight_bytes = weight_bytes_of(node);
+    cost.activation_bytes = elems(out) * 8;
+    cost.area = engine_area(cost.macs, cost.weight_bytes + cost.activation_bytes);
+    shapes[node.output] = out;
+    layers.push_back(std::move(cost));
+  }
+  if (layers.empty()) return Error::make("dosa: model has no layers");
+  return layers;
+}
+
+Expected<Plan> partition(const std::vector<LayerCost> &layers, int nodes,
+                         const platform::DeviceSpec &device,
+                         const platform::NetworkSpec &network) {
+  if (nodes < 1) return Error::make("dosa: nodes must be >= 1");
+  auto n = static_cast<int>(layers.size());
+  int k = std::min(nodes, n);
+
+  auto layer_us = [&](std::size_t i) {
+    const auto &l = layers[i];
+    double dsps = std::max<double>(1.0, static_cast<double>(l.area.dsps));
+    return l.macs / (dsps * device.clock_mhz);  // 1 MAC per DSP per cycle
+  };
+
+  // Linear partition DP: minimize the maximum stage compute time over k
+  // contiguous stages.
+  std::vector<double> prefix(static_cast<std::size_t>(n) + 1, 0.0);
+  for (int i = 0; i < n; ++i)
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] + layer_us(static_cast<std::size_t>(i));
+  auto range_us = [&](int a, int b) {  // layers [a, b)
+    return prefix[static_cast<std::size_t>(b)] - prefix[static_cast<std::size_t>(a)];
+  };
+
+  const double inf = 1e300;
+  std::vector<std::vector<double>> dp(
+      static_cast<std::size_t>(k) + 1,
+      std::vector<double>(static_cast<std::size_t>(n) + 1, inf));
+  std::vector<std::vector<int>> cut(
+      static_cast<std::size_t>(k) + 1,
+      std::vector<int>(static_cast<std::size_t>(n) + 1, 0));
+  dp[0][0] = 0.0;
+  for (int s = 1; s <= k; ++s) {
+    for (int i = 1; i <= n; ++i) {
+      for (int j = s - 1; j < i; ++j) {
+        double candidate =
+            std::max(dp[static_cast<std::size_t>(s) - 1][static_cast<std::size_t>(j)],
+                     range_us(j, i));
+        if (candidate < dp[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)]) {
+          dp[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)] = candidate;
+          cut[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)] = j;
+        }
+      }
+    }
+  }
+
+  // Reconstruct stage boundaries.
+  std::vector<int> bounds{n};
+  for (int s = k, i = n; s >= 1; --s) {
+    i = cut[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)];
+    bounds.push_back(i);
+  }
+  std::sort(bounds.begin(), bounds.end());
+
+  Plan plan;
+  plan.nodes = k;
+  double slowest = 0.0;
+  for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {
+    Stage stage;
+    for (int i = bounds[s]; i < bounds[s + 1]; ++i) {
+      stage.layers.push_back(static_cast<std::size_t>(i));
+      stage.compute_us += layer_us(static_cast<std::size_t>(i));
+      stage.area += layers[static_cast<std::size_t>(i)].area;
+    }
+    if (!stage.layers.empty()) {
+      stage.egress_bytes = layers[stage.layers.back()].activation_bytes;
+    }
+    stage.fits = platform::fits(stage.area, device.capacity);
+    plan.feasible = plan.feasible && stage.fits;
+    plan.pipeline_latency_us += stage.compute_us;
+    slowest = std::max(slowest, stage.compute_us);
+    plan.stages.push_back(std::move(stage));
+  }
+
+  // ZRLMPI hops between consecutive stages (activations over the 10G fabric).
+  double hop_bound_us = 0.0;
+  for (std::size_t s = 0; s + 1 < plan.stages.size(); ++s) {
+    double hop_us =
+        platform::message_seconds(network, plan.stages[s].egress_bytes) * 1e6;
+    plan.network_us_per_inference += hop_us;
+    hop_bound_us = std::max(hop_bound_us, hop_us);
+  }
+  plan.pipeline_latency_us += plan.network_us_per_inference;
+  double bottleneck = std::max(slowest, hop_bound_us);
+  plan.throughput_inf_per_s = bottleneck > 0.0 ? 1e6 / bottleneck : 0.0;
+  return plan;
+}
+
+Expected<Plan> best_plan(const std::vector<LayerCost> &layers, int max_nodes) {
+  Expected<Plan> best = Error::make("dosa: no feasible plan");
+  for (int nodes = 1; nodes <= max_nodes; ++nodes) {
+    auto plan = partition(layers, nodes);
+    if (!plan || !plan->feasible) continue;
+    if (!best.has_value() ||
+        plan->throughput_inf_per_s > best->throughput_inf_per_s + 1e-9) {
+      best = std::move(plan);
+    }
+  }
+  return best;
+}
+
+}  // namespace everest::olympus::dosa

@@ -1,0 +1,71 @@
+// everest/olympus/dosa.hpp
+//
+// DOSA: organic compilation of neural-network inference onto distributed
+// network-attached FPGAs (paper §V-C, refs [18][19]: "The EVEREST hardware
+// system generation tools, Olympus and DOSA for network attached FPGAs").
+// Given an imported ONNX model, DOSA estimates per-layer compute and
+// activation traffic, partitions consecutive layers into per-node stages
+// under the cloudFPGA resource budget, inserts ZRLMPI communication between
+// stages, and reports pipeline latency/throughput per node count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/onnx_import.hpp"
+#include "hls/resources.hpp"
+#include "platform/device.hpp"
+#include "platform/network.hpp"
+#include "support/expected.hpp"
+
+namespace everest::olympus::dosa {
+
+/// Per-layer cost estimate (one ONNX node = one layer).
+struct LayerCost {
+  std::string name;
+  std::string op;
+  double macs = 0.0;              // multiply-accumulates per inference
+  std::int64_t weight_bytes = 0;  // parameters resident on the node
+  std::int64_t activation_bytes = 0;  // output activation per inference
+  hls::Resources area;            // fabric cost of the layer engine
+};
+
+/// Analyzes a model: propagates shapes and costs each layer.
+support::Expected<std::vector<LayerCost>> analyze_model(
+    const frontend::OnnxModel &model);
+
+/// One pipeline stage = consecutive layers mapped to one FPGA node.
+struct Stage {
+  std::vector<std::size_t> layers;   // indices into the LayerCost vector
+  double compute_us = 0.0;
+  std::int64_t egress_bytes = 0;     // activations shipped to the next stage
+  hls::Resources area;
+  bool fits = true;
+};
+
+/// A complete distributed deployment plan.
+struct Plan {
+  std::vector<Stage> stages;
+  double pipeline_latency_us = 0.0;    // one inference through all stages
+  double throughput_inf_per_s = 0.0;   // steady state (slowest stage bound)
+  double network_us_per_inference = 0.0;
+  int nodes = 0;
+  bool feasible = true;
+};
+
+/// Partitions the model over `nodes` cloudFPGA devices, balancing stage
+/// compute while respecting the fabric budget. Communication uses the
+/// ZRLMPI message model over the 10G fabric.
+support::Expected<Plan> partition(const std::vector<LayerCost> &layers,
+                                  int nodes,
+                                  const platform::DeviceSpec &device =
+                                      platform::cloudfpga(),
+                                  const platform::NetworkSpec &network = {});
+
+/// Sweeps node counts 1..max_nodes and returns the plan with the highest
+/// throughput (ties broken toward fewer nodes).
+support::Expected<Plan> best_plan(const std::vector<LayerCost> &layers,
+                                  int max_nodes);
+
+}  // namespace everest::olympus::dosa

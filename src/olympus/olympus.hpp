@@ -1,0 +1,83 @@
+// everest/olympus/olympus.hpp
+//
+// Olympus: platform-aware FPGA system-architecture generation (paper §V-C,
+// refs [16][24][25][26]). Given an HLS-scheduled kernel and a target device,
+// Olympus builds the data-movement infrastructure:
+//
+//   - private local memories (PLMs) with optional double buffering [16],
+//   - read / execute / write pipelining,
+//   - kernel replication with the memory bus split into "lanes" so each
+//     replica gets dedicated HBM pseudo-channels [24],
+//   - data packing to fill bus words with narrow elements [25],
+//
+// and produces (a) the olympus-dialect IR of the system, (b) an analytic
+// performance/area estimate, and (c) a host driver plan executable against
+// the XRT-like device model.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hls/scheduler.hpp"
+#include "ir/ir.hpp"
+#include "platform/memory.hpp"
+#include "platform/xrt.hpp"
+#include "support/expected.hpp"
+
+namespace everest::olympus {
+
+/// System-generation knobs (the levers of experiments E1–E3).
+struct Options {
+  int replicas = 1;                       // kernel copies working in parallel
+  bool double_buffering = true;           // ping-pong PLMs hide transfers
+  bool dataflow_pipelining = true;        // read/execute/write overlap
+  bool pack_data = true;                  // Iris-style bus packing
+  int element_bits = 64;                  // datapath element width
+  int bus_bits = 512;                     // AXI bus width at the memory
+  std::int64_t plm_tile_bytes = 256 * 1024;  // tile staged in PLM
+};
+
+/// Analytic prediction for the generated system.
+struct SystemEstimate {
+  double compute_us = 0.0;       // per replica, after replication
+  double memory_us = 0.0;        // HBM streaming time under contention
+  double total_us = 0.0;         // composition per the pipelining options
+  double effective_bandwidth_gbps = 0.0;
+  double packing_efficiency = 1.0;
+  int replicas = 1;
+  int channels_per_replica = 1;
+  std::int64_t tiles = 1;
+  hls::Resources area;
+  bool fits = true;
+  double utilization = 0.0;
+};
+
+/// Generates and evaluates system architectures for one kernel on one device.
+class SystemGenerator {
+public:
+  explicit SystemGenerator(platform::DeviceSpec device)
+      : device_(std::move(device)) {}
+
+  [[nodiscard]] const platform::DeviceSpec &device() const { return device_; }
+
+  /// Analytic performance/area estimate for the configuration.
+  support::Expected<SystemEstimate> estimate(const hls::KernelReport &kernel,
+                                             const Options &options) const;
+
+  /// Builds the olympus-dialect IR of the system (verifiable with the
+  /// registered dialects).
+  support::Expected<std::shared_ptr<ir::Module>> generate_ir(
+      const hls::KernelReport &kernel, const Options &options) const;
+
+  /// Executes the generated host driver plan against an XRT-like device:
+  /// program, transfer inputs, launch, transfer outputs. Returns end-to-end
+  /// microseconds on the device timeline.
+  support::Expected<double> execute_on(platform::Device &dev,
+                                       const hls::KernelReport &kernel,
+                                       const Options &options) const;
+
+private:
+  platform::DeviceSpec device_;
+};
+
+}  // namespace everest::olympus

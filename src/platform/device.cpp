@@ -1,0 +1,67 @@
+#include "platform/device.hpp"
+
+#include <algorithm>
+
+namespace everest::platform {
+
+DeviceSpec alveo_u55c() {
+  DeviceSpec d;
+  d.name = "alveo-u55c";
+  d.clock_mhz = 300.0;
+  d.capacity = {1'303'680, 2'607'360, 9'024, 2'016};
+  d.memory.hbm_channels = 32;
+  d.memory.hbm_gbps_per_channel = 14.375;  // 32 * 14.375 = 460 GB/s
+  d.memory.hbm_bytes = 16LL * 1024 * 1024 * 1024;
+  d.link.kind = LinkSpec::Kind::Pcie;
+  d.link.gbps = 12.0 * 8.0;  // PCIe Gen3 x16 effective ~12 GB/s payload
+  d.link.latency_us = 5.0;
+  return d;
+}
+
+DeviceSpec alveo_u280() {
+  DeviceSpec d;
+  d.name = "alveo-u280";
+  d.clock_mhz = 300.0;
+  d.capacity = {1'304'000, 2'607'000, 9'024, 2'016};
+  d.memory.hbm_channels = 32;
+  d.memory.hbm_gbps_per_channel = 14.375;
+  d.memory.hbm_bytes = 8LL * 1024 * 1024 * 1024;
+  d.memory.ddr_gbps = 38.0;
+  d.memory.ddr_bytes = 32LL * 1024 * 1024 * 1024;
+  d.link.kind = LinkSpec::Kind::Pcie;
+  d.link.gbps = 12.0 * 8.0;
+  d.link.latency_us = 5.0;
+  return d;
+}
+
+DeviceSpec cloudfpga() {
+  DeviceSpec d;
+  d.name = "cloudfpga";
+  d.clock_mhz = 156.25;  // typical shell clock of the cloudFPGA platform
+  d.capacity = {523'000, 1'045'000, 1'963, 984};
+  d.memory.ddr_gbps = 19.0;
+  d.memory.ddr_bytes = 8LL * 1024 * 1024 * 1024;
+  d.link.kind = LinkSpec::Kind::Network;
+  d.link.gbps = 10.0;      // 10G TCP/UDP network stack
+  d.link.latency_us = 30.0;
+  return d;
+}
+
+bool fits(const hls::Resources &required, const hls::Resources &capacity) {
+  return required.luts <= capacity.luts && required.ffs <= capacity.ffs &&
+         required.dsps <= capacity.dsps && required.brams <= capacity.brams;
+}
+
+double utilization(const hls::Resources &required,
+                   const hls::Resources &capacity) {
+  auto frac = [](std::int64_t need, std::int64_t have) {
+    return have > 0 ? static_cast<double>(need) / static_cast<double>(have)
+                    : (need > 0 ? 1.0 : 0.0);
+  };
+  return std::max({frac(required.luts, capacity.luts),
+                   frac(required.ffs, capacity.ffs),
+                   frac(required.dsps, capacity.dsps),
+                   frac(required.brams, capacity.brams)});
+}
+
+}  // namespace everest::platform

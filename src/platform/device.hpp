@@ -1,0 +1,65 @@
+// everest/platform/device.hpp
+//
+// Models of the EVEREST target devices (paper §III): PCIe-attached AMD Alveo
+// cards (u55c, u280) with HBM2 and network-attached IBM cloudFPGA nodes on a
+// 10 Gb/s TCP/UDP fabric. Capacities follow the public datasheets; timing is
+// cycle-approximate and deterministic so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hls/resources.hpp"
+
+namespace everest::platform {
+
+/// External memory subsystem parameters.
+struct MemorySpec {
+  int hbm_channels = 0;            // HBM2 pseudo-channels
+  double hbm_gbps_per_channel = 0; // per-pseudo-channel bandwidth
+  double ddr_gbps = 0;             // DDR4 aggregate bandwidth
+  std::int64_t hbm_bytes = 0;
+  std::int64_t ddr_bytes = 0;
+};
+
+/// Host attachment.
+struct LinkSpec {
+  enum class Kind { Pcie, Network } kind = Kind::Pcie;
+  double gbps = 12.0;          // effective payload bandwidth
+  double latency_us = 5.0;     // per-transfer setup / round-trip component
+};
+
+/// One FPGA device.
+struct DeviceSpec {
+  std::string name;
+  double clock_mhz = 300.0;
+  hls::Resources capacity;  // total fabric resources
+  MemorySpec memory;
+  LinkSpec link;
+
+  /// Seconds to move `bytes` across the host link (one direction).
+  [[nodiscard]] double link_seconds(std::int64_t bytes) const {
+    return link.latency_us * 1e-6 +
+           static_cast<double>(bytes) / (link.gbps * 1e9 / 8.0);
+  }
+};
+
+/// AMD Alveo u55c: 1.3M LUT-class fabric, 16 GB HBM2 (32 pseudo-channels,
+/// ~460 GB/s aggregate), PCIe Gen3 x16.
+DeviceSpec alveo_u55c();
+
+/// AMD Alveo u280: similar fabric, 8 GB HBM2 + 32 GB DDR4.
+DeviceSpec alveo_u280();
+
+/// IBM cloudFPGA: mid-size fabric, DDR only, network-attached at 10 Gb/s
+/// TCP/UDP (no host PCIe; ~30 us message latency).
+DeviceSpec cloudfpga();
+
+/// True if `required` fits inside `capacity`.
+bool fits(const hls::Resources &required, const hls::Resources &capacity);
+
+/// Highest utilization fraction across the four resource classes.
+double utilization(const hls::Resources &required,
+                   const hls::Resources &capacity);
+
+}  // namespace everest::platform

@@ -1,0 +1,86 @@
+#include "platform/memory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace everest::platform {
+
+double contention_time_seconds(const std::vector<MemoryStream> &streams,
+                               const MemorySpec &memory) {
+  // hbm_gbps_per_channel is GB/s of payload; the filling loop works in bits.
+  const double channel_bps = memory.hbm_gbps_per_channel * 1e9 * 8.0;
+  struct State {
+    double remaining_bits;
+    bool done;
+  };
+  std::vector<State> state;
+  state.reserve(streams.size());
+  for (const auto &s : streams) {
+    double payload_bits = static_cast<double>(s.bytes) * 8.0;
+    double wire_bits =
+        payload_bits / std::max(s.packing_efficiency, 1e-9);
+    state.push_back({wire_bits, s.bytes <= 0});
+  }
+
+  double now = 0.0;
+  for (std::size_t guard = 0; guard < streams.size() + 1; ++guard) {
+    // Current rate per stream: sum over its channels of the channel rate
+    // divided by the number of active streams on that channel.
+    std::vector<int> sharers(static_cast<std::size_t>(memory.hbm_channels), 0);
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (state[i].done) continue;
+      for (int c : streams[i].channels) {
+        if (c >= 0 && c < memory.hbm_channels) ++sharers[static_cast<std::size_t>(c)];
+      }
+    }
+    std::vector<double> rate(streams.size(), 0.0);
+    bool any_active = false;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (state[i].done) continue;
+      any_active = true;
+      for (int c : streams[i].channels) {
+        if (c >= 0 && c < memory.hbm_channels && sharers[static_cast<std::size_t>(c)] > 0)
+          rate[i] += channel_bps / sharers[static_cast<std::size_t>(c)];
+      }
+    }
+    if (!any_active) break;
+
+    // Advance to the next completion.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (state[i].done || rate[i] <= 0.0) continue;
+      dt = std::min(dt, state[i].remaining_bits / rate[i]);
+    }
+    if (!std::isfinite(dt)) break;  // stalled streams (no channels)
+    now += dt;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (state[i].done) continue;
+      state[i].remaining_bits -= rate[i] * dt;
+      if (state[i].remaining_bits <= 1e-6) state[i].done = true;
+    }
+  }
+  return now;
+}
+
+double effective_bandwidth_gbps(const std::vector<MemoryStream> &streams,
+                                const MemorySpec &memory) {
+  double total_bytes = 0.0;
+  for (const auto &s : streams) total_bytes += static_cast<double>(s.bytes);
+  double t = contention_time_seconds(streams, memory);
+  return t > 0.0 ? total_bytes / t / 1e9 : 0.0;
+}
+
+double naive_packing_efficiency(int element_bits, int bus_bits) {
+  if (element_bits <= 0 || bus_bits <= 0) return 1.0;
+  // One element per bus beat regardless of width.
+  return std::min(1.0, static_cast<double>(element_bits) / bus_bits);
+}
+
+double packed_packing_efficiency(int element_bits, int bus_bits) {
+  if (element_bits <= 0 || bus_bits <= 0) return 1.0;
+  int per_word = std::max(1, bus_bits / element_bits);
+  return std::min(1.0, static_cast<double>(per_word * element_bits) / bus_bits);
+}
+
+}  // namespace everest::platform

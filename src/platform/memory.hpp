@@ -1,0 +1,39 @@
+// everest/platform/memory.hpp
+//
+// HBM pseudo-channel bandwidth model used by Olympus (paper §V-C, refs
+// [24][25]): kernels/replicas are assigned channel sets ("lanes"); streams
+// sharing a channel contend for its bandwidth; packing efficiency scales the
+// useful fraction of each bus word.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/device.hpp"
+
+namespace everest::platform {
+
+/// One memory stream: a reader or writer bound to a set of pseudo-channels.
+struct MemoryStream {
+  std::int64_t bytes = 0;            // payload bytes the stream must move
+  std::vector<int> channels;         // pseudo-channels it may use
+  double packing_efficiency = 1.0;   // useful bits / transferred bits
+};
+
+/// Computes the time (seconds) until all streams complete, with fair sharing
+/// of each channel among the streams bound to it. Uses progressive filling:
+/// repeatedly advance to the next stream completion at current rates.
+double contention_time_seconds(const std::vector<MemoryStream> &streams,
+                               const MemorySpec &memory);
+
+/// Effective aggregate bandwidth achieved by the streams (GB/s of payload).
+double effective_bandwidth_gbps(const std::vector<MemoryStream> &streams,
+                                const MemorySpec &memory);
+
+/// Packing efficiency when `element_bits`-wide data is transported in
+/// `bus_bits`-wide words: naive (one element per word) vs packed
+/// (floor(bus/element) elements per word), ref [25] (Iris).
+double naive_packing_efficiency(int element_bits, int bus_bits);
+double packed_packing_efficiency(int element_bits, int bus_bits);
+
+}  // namespace everest::platform

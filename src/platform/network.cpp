@@ -1,0 +1,56 @@
+#include "platform/network.hpp"
+
+#include <cmath>
+
+namespace everest::platform {
+
+double message_seconds(const NetworkSpec &net, std::int64_t bytes) {
+  if (bytes <= 0) return net.latency_us * 1e-6;
+  double packets = std::ceil(static_cast<double>(bytes) / net.mtu_bytes);
+  double wire = static_cast<double>(bytes) / (net.gbps * 1e9 / 8.0);
+  return net.latency_us * 1e-6 + packets * net.per_packet_us * 1e-6 + wire;
+}
+
+support::Status ZrlmpiCommunicator::check_rank(int rank) const {
+  if (rank < 0 || rank >= world_size_)
+    return support::Status::failure("zrlmpi: rank " + std::to_string(rank) +
+                                    " out of range");
+  return support::Status::ok();
+}
+
+support::Status ZrlmpiCommunicator::send(int from, int to, std::int64_t bytes) {
+  if (auto s = check_rank(from); !s.is_ok()) return s;
+  if (auto s = check_rank(to); !s.is_ok()) return s;
+  if (from == to)
+    return support::Status::failure("zrlmpi: self-send is not allowed");
+  clock_us_ += message_seconds(net_, bytes) * 1e6;
+  bytes_moved_ += bytes;
+  ++messages_;
+  return support::Status::ok();
+}
+
+support::Status ZrlmpiCommunicator::broadcast(int root, std::int64_t bytes) {
+  if (auto s = check_rank(root); !s.is_ok()) return s;
+  for (int r = 0; r < world_size_; ++r) {
+    if (r == root) continue;
+    if (auto s = send(root, r, bytes); !s.is_ok()) return s;
+  }
+  return support::Status::ok();
+}
+
+support::Status ZrlmpiCommunicator::gather(int root,
+                                           std::int64_t bytes_per_rank) {
+  if (auto s = check_rank(root); !s.is_ok()) return s;
+  for (int r = 0; r < world_size_; ++r) {
+    if (r == root) continue;
+    if (auto s = send(r, root, bytes_per_rank); !s.is_ok()) return s;
+  }
+  return support::Status::ok();
+}
+
+support::Status ZrlmpiCommunicator::scatter(int root,
+                                            std::int64_t bytes_per_rank) {
+  return broadcast(root, bytes_per_rank);
+}
+
+}  // namespace everest::platform

@@ -1,0 +1,61 @@
+// everest/platform/network.hpp
+//
+// Network model for IBM cloudFPGA nodes (paper §III: "Network-attached FPGAs
+// directly connected to a 10Gbps TCP/UDP network stack") and the ZRLMPI
+// unified messaging layer (ref [21]) used to generate hardware-agnostic
+// synchronous communication routines (§V-C).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/expected.hpp"
+
+namespace everest::platform {
+
+/// Simple deterministic model of the 10 Gb data-center fabric.
+struct NetworkSpec {
+  double gbps = 10.0;
+  double latency_us = 30.0;      // one-way message latency
+  double per_packet_us = 0.6;    // per-MTU processing overhead
+  int mtu_bytes = 1408;          // cloudFPGA UDP payload per packet
+};
+
+/// Seconds to deliver one message of `bytes` over the fabric.
+double message_seconds(const NetworkSpec &net, std::int64_t bytes);
+
+/// A ZRLMPI communicator over `world_size` ranks (rank 0 is the host; the
+/// rest are network-attached FPGA nodes). Calls advance a shared simulated
+/// clock and tally traffic, mirroring the synchronous MPI-like semantics.
+class ZrlmpiCommunicator {
+public:
+  explicit ZrlmpiCommunicator(int world_size, NetworkSpec net = {})
+      : world_size_(world_size), net_(net) {}
+
+  [[nodiscard]] int world_size() const { return world_size_; }
+  [[nodiscard]] double now_us() const { return clock_us_; }
+  [[nodiscard]] std::int64_t bytes_moved() const { return bytes_moved_; }
+  [[nodiscard]] std::int64_t messages() const { return messages_; }
+
+  /// Point-to-point send (synchronous: completes when delivered).
+  support::Status send(int from, int to, std::int64_t bytes);
+  /// Broadcast from `root` to all other ranks (sequential sends on the
+  /// root's 10G link — the shell has a single network port).
+  support::Status broadcast(int root, std::int64_t bytes);
+  /// Gather to `root` from all other ranks.
+  support::Status gather(int root, std::int64_t bytes_per_rank);
+  /// Scatter equal chunks from root.
+  support::Status scatter(int root, std::int64_t bytes_per_rank);
+
+private:
+  support::Status check_rank(int rank) const;
+
+  int world_size_;
+  NetworkSpec net_;
+  double clock_us_ = 0.0;
+  std::int64_t bytes_moved_ = 0;
+  std::int64_t messages_ = 0;
+};
+
+}  // namespace everest::platform

@@ -1,0 +1,77 @@
+#include "platform/xrt.hpp"
+
+namespace everest::platform {
+
+using support::Error;
+using support::Expected;
+using support::Status;
+
+Expected<BufferHandle> Device::alloc(std::int64_t bytes) {
+  if (bytes <= 0) return Error::make("xrt: buffer size must be positive");
+  std::int64_t capacity = spec_.memory.hbm_bytes + spec_.memory.ddr_bytes;
+  if (allocated_ + bytes > capacity)
+    return Error::make("xrt: out of device memory on " + spec_.name);
+  BufferHandle h{next_id_++};
+  buffers_[h.id] = bytes;
+  allocated_ += bytes;
+  return h;
+}
+
+Status Device::free(BufferHandle handle) {
+  auto it = buffers_.find(handle.id);
+  if (it == buffers_.end()) return Status::failure("xrt: invalid buffer handle");
+  allocated_ -= it->second;
+  buffers_.erase(it);
+  return Status::ok();
+}
+
+Status Device::sync_to_device(BufferHandle handle) {
+  auto it = buffers_.find(handle.id);
+  if (it == buffers_.end()) return Status::failure("xrt: invalid buffer handle");
+  double us = transfer_us(it->second);
+  clock_us_ += us;
+  stats_.transfer_us += us;
+  stats_.bytes_to_device += it->second;
+  return Status::ok();
+}
+
+Status Device::sync_from_device(BufferHandle handle) {
+  auto it = buffers_.find(handle.id);
+  if (it == buffers_.end()) return Status::failure("xrt: invalid buffer handle");
+  double us = transfer_us(it->second);
+  clock_us_ += us;
+  stats_.transfer_us += us;
+  stats_.bytes_from_device += it->second;
+  return Status::ok();
+}
+
+Status Device::load_kernel(const std::string &name,
+                           const hls::KernelReport &report) {
+  hls::Resources combined = programmed_;
+  combined += report.area;
+  if (!fits(combined, spec_.capacity)) {
+    return Status::failure("xrt: kernel '" + name + "' does not fit on " +
+                           spec_.name + " (utilization " +
+                           std::to_string(utilization(combined, spec_.capacity)) +
+                           ")");
+  }
+  programmed_ = combined;
+  kernels_[name] = report;
+  return Status::ok();
+}
+
+Expected<double> Device::run(const std::string &name, bool dataflow) {
+  auto it = kernels_.find(name);
+  if (it == kernels_.end())
+    return Error::make("xrt: kernel '" + name + "' not programmed");
+  // Kernel clock may differ from the report's assumed clock; rescale.
+  double cycles = static_cast<double>(dataflow ? it->second.dataflow_cycles
+                                               : it->second.total_cycles);
+  double us = cycles / spec_.clock_mhz;
+  clock_us_ += us;
+  stats_.compute_us += us;
+  ++stats_.kernel_launches;
+  return us;
+}
+
+}  // namespace everest::platform

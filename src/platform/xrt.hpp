@@ -1,0 +1,85 @@
+// everest/platform/xrt.hpp
+//
+// XRT-like host runtime over the simulated devices (paper §III: "PCIe-
+// attached FPGAs ... with Xilinx Runtime (XRT)"). The API mirrors the XRT
+// buffer-object flow: allocate BOs, sync to device, launch kernels, sync
+// back — against a deterministic simulated clock, so examples and benches
+// measure reproducible device timelines.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hls/scheduler.hpp"
+#include "platform/device.hpp"
+#include "support/expected.hpp"
+
+namespace everest::platform {
+
+/// Handle to a device buffer object.
+struct BufferHandle {
+  std::int64_t id = -1;
+  [[nodiscard]] bool valid() const { return id >= 0; }
+};
+
+/// Cumulative device statistics.
+struct DeviceStats {
+  std::int64_t bytes_to_device = 0;
+  std::int64_t bytes_from_device = 0;
+  std::int64_t kernel_launches = 0;
+  double transfer_us = 0.0;
+  double compute_us = 0.0;
+};
+
+/// A simulated FPGA device with an XRT-flavored host API. All calls advance
+/// the device-local simulated clock; `now_us()` exposes the timeline.
+class Device {
+public:
+  explicit Device(DeviceSpec spec, double io_overhead_factor = 1.0)
+      : spec_(std::move(spec)), io_overhead_(io_overhead_factor) {}
+
+  [[nodiscard]] const DeviceSpec &spec() const { return spec_; }
+  [[nodiscard]] double now_us() const { return clock_us_; }
+  [[nodiscard]] const DeviceStats &stats() const { return stats_; }
+
+  /// Allocates a buffer object; fails when device memory is exhausted.
+  support::Expected<BufferHandle> alloc(std::int64_t bytes);
+  /// Frees a buffer object.
+  support::Status free(BufferHandle handle);
+  [[nodiscard]] std::int64_t allocated_bytes() const { return allocated_; }
+
+  /// Host -> device sync (PCIe DMA or network transfer, per the link spec).
+  support::Status sync_to_device(BufferHandle handle);
+  /// Device -> host sync.
+  support::Status sync_from_device(BufferHandle handle);
+
+  /// Programs a kernel (i.e. records its HLS report under a name). Fails if
+  /// the combined area of programmed kernels exceeds the fabric.
+  support::Status load_kernel(const std::string &name,
+                              const hls::KernelReport &report);
+  /// Launches a programmed kernel; returns the kernel latency in us.
+  /// `dataflow` selects the overlapped read/execute/write schedule.
+  support::Expected<double> run(const std::string &name, bool dataflow = false);
+
+  /// Advances the clock without device work (host-side think time).
+  void host_wait_us(double us) { clock_us_ += us; }
+
+private:
+  double transfer_us(std::int64_t bytes) const {
+    return spec_.link_seconds(bytes) * 1e6 * io_overhead_;
+  }
+
+  DeviceSpec spec_;
+  double io_overhead_;
+  double clock_us_ = 0.0;
+  std::int64_t next_id_ = 0;
+  std::int64_t allocated_ = 0;
+  std::map<std::int64_t, std::int64_t> buffers_;  // id -> bytes
+  std::map<std::string, hls::KernelReport> kernels_;
+  hls::Resources programmed_;
+  DeviceStats stats_;
+};
+
+}  // namespace everest::platform

@@ -1,0 +1,166 @@
+#include "runtime/dfg_executor.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace everest::runtime {
+
+namespace {
+
+using ir::Operation;
+using ir::Value;
+using support::Error;
+using support::Expected;
+
+/// Applies a stateless node element-wise with `workers` threads. Elements
+/// are written into a pre-sized output vector, so completion order cannot
+/// perturb the result (order-restoring merge).
+Stream parallel_map(const NodeFn &fn,
+                    const std::vector<const Stream *> &input_streams,
+                    std::size_t count, int workers,
+                    std::atomic<std::size_t> &invocations) {
+  Stream out(count);
+  auto work = [&](std::size_t begin, std::size_t end) {
+    std::vector<const Record *> args(input_streams.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t s = 0; s < input_streams.size(); ++s)
+        args[s] = &(*input_streams[s])[i];
+      out[i] = fn(args);
+      invocations.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  if (workers <= 1 || count < 2) {
+    work(0, count);
+    return out;
+  }
+  std::vector<std::thread> pool;
+  std::size_t per = (count + static_cast<std::size_t>(workers) - 1) /
+                    static_cast<std::size_t>(workers);
+  for (int w = 0; w < workers; ++w) {
+    std::size_t begin = static_cast<std::size_t>(w) * per;
+    std::size_t end = std::min(begin + per, count);
+    if (begin >= end) break;
+    pool.emplace_back(work, begin, end);
+  }
+  for (auto &t : pool) t.join();
+  return out;
+}
+
+}  // namespace
+
+Expected<std::map<std::string, Stream>> execute_dfg(
+    const ir::Module &module, const NodeRegistry &registry,
+    const std::map<std::string, Stream> &inputs, int workers,
+    DfgRunStats *stats) {
+  const Operation *graph = nullptr;
+  for (const auto &op : module.body().operations()) {
+    if (op->name() == "dfg.graph") {
+      graph = op.get();
+      break;
+    }
+  }
+  if (!graph) return Error::make("dfg exec: no dfg.graph in module");
+  if (workers < 1) return Error::make("dfg exec: workers must be >= 1");
+
+  std::map<const Value *, Stream> streams;
+  std::map<std::string, Stream> outputs;
+  std::size_t element_count = 0;
+  bool have_count = false;
+  std::atomic<std::size_t> node_invocations{0};
+  std::size_t fold_invocations = 0;
+
+  for (const auto &op_ptr : graph->region(0).front().operations()) {
+    const Operation &op = *op_ptr;
+    const std::string &name = op.name();
+
+    if (name == "dfg.input") {
+      auto it = inputs.find(op.attr_string("name"));
+      if (it == inputs.end())
+        return Error::make("dfg exec: missing input stream '" +
+                           op.attr_string("name") + "'");
+      if (have_count && it->second.size() != element_count)
+        return Error::make("dfg exec: input streams must be element-aligned");
+      element_count = it->second.size();
+      have_count = true;
+      streams[op.result(0)] = it->second;
+      continue;
+    }
+
+    if (name == "dfg.output") {
+      auto it = streams.find(op.operand(0));
+      if (it == streams.end())
+        return Error::make("dfg exec: output of unevaluated stream");
+      outputs[op.attr_string("name")] = it->second;
+      continue;
+    }
+
+    if (name == "dfg.node") {
+      const NodeFn *fn = registry.find_node(op.attr_string("callee"));
+      if (!fn)
+        return Error::make("dfg exec: no registered operator '" +
+                           op.attr_string("callee") + "'");
+      std::vector<const Stream *> args;
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < op.num_operands(); ++i) {
+        const Stream &s = streams.at(op.operand(i));
+        args.push_back(&s);
+        count = std::max(count, s.size());
+      }
+      // Fold outputs have length 1 and broadcast; general case requires
+      // aligned lengths.
+      for (const Stream *s : args) {
+        if (s->size() != count && s->size() != 1)
+          return Error::make("dfg exec: stream length mismatch at node '" +
+                             op.attr_string("callee") + "'");
+      }
+      std::vector<Stream> broadcast_storage;
+      std::vector<const Stream *> aligned = args;
+      for (auto &s : aligned) {
+        if (s->size() == 1 && count > 1) {
+          broadcast_storage.emplace_back(count, (*s)[0]);
+          s = &broadcast_storage.back();
+        }
+      }
+      streams[op.result(0)] =
+          parallel_map(*fn, aligned, count, workers, node_invocations);
+      continue;
+    }
+
+    if (name == "dfg.fold") {
+      const NodeRegistry::Fold *fold =
+          registry.find_fold(op.attr_string("callee"));
+      if (!fold)
+        return Error::make("dfg exec: no registered fold '" +
+                           op.attr_string("callee") + "'");
+      std::vector<const Stream *> args;
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < op.num_operands(); ++i) {
+        const Stream &s = streams.at(op.operand(i));
+        args.push_back(&s);
+        count = std::max(count, s.size());
+      }
+      Record state = fold->initial;
+      std::vector<const Record *> element(args.size());
+      for (std::size_t i = 0; i < count; ++i) {
+        for (std::size_t s = 0; s < args.size(); ++s)
+          element[s] = args[s]->size() == 1 ? &(*args[s])[0] : &(*args[s])[i];
+        state = fold->fn(state, element);
+        ++fold_invocations;
+      }
+      streams[op.result(0)] = Stream{state};
+      continue;
+    }
+
+    return Error::make("dfg exec: unsupported op '" + name + "'");
+  }
+
+  if (stats) {
+    stats->elements = element_count;
+    stats->node_invocations = node_invocations.load();
+    stats->fold_invocations = fold_invocations;
+    stats->workers = workers;
+  }
+  return outputs;
+}
+
+}  // namespace everest::runtime

@@ -1,0 +1,78 @@
+// everest/runtime/dfg_executor.hpp
+//
+// Deterministic parallel executor for dfg.graph coordination programs
+// (ConDRust semantics, paper §V-A.2: "provable determinism ... and exposes
+// parallelism"). Stateless dfg.node stages run data-parallel over worker
+// threads with order-restoring merges; dfg.fold stages run sequentially in
+// stream order. The output is therefore bit-identical for any worker count —
+// a property the tests check.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "support/expected.hpp"
+
+namespace everest::runtime {
+
+/// Stream elements are flat double records (the coordination level is typed
+/// by the frontend; execution uses this neutral representation).
+using Record = std::vector<double>;
+using Stream = std::vector<Record>;
+
+/// A stateless operator: one record per input stream -> one output record.
+using NodeFn =
+    std::function<Record(const std::vector<const Record *> &inputs)>;
+
+/// An ordered fold: (state, element inputs) -> new state. The final state is
+/// broadcast as the single element of the output stream.
+using FoldFn = std::function<Record(const Record &state,
+                                    const std::vector<const Record *> &inputs)>;
+
+/// Registry binding dfg callee names to executable operators.
+class NodeRegistry {
+public:
+  void register_node(const std::string &name, NodeFn fn) {
+    nodes_[name] = std::move(fn);
+  }
+  void register_fold(const std::string &name, Record initial_state, FoldFn fn) {
+    folds_[name] = {std::move(initial_state), std::move(fn)};
+  }
+  [[nodiscard]] const NodeFn *find_node(const std::string &name) const {
+    auto it = nodes_.find(name);
+    return it == nodes_.end() ? nullptr : &it->second;
+  }
+  struct Fold {
+    Record initial;
+    FoldFn fn;
+  };
+  [[nodiscard]] const Fold *find_fold(const std::string &name) const {
+    auto it = folds_.find(name);
+    return it == folds_.end() ? nullptr : &it->second;
+  }
+
+private:
+  std::map<std::string, NodeFn> nodes_;
+  std::map<std::string, Fold> folds_;
+};
+
+/// Execution statistics.
+struct DfgRunStats {
+  std::size_t elements = 0;
+  std::size_t node_invocations = 0;
+  std::size_t fold_invocations = 0;
+  int workers = 1;
+};
+
+/// Executes the first dfg.graph in `module` over the named input streams.
+/// All input streams must have equal length (element-aligned). `workers`
+/// bounds the thread-level parallelism of stateless stages.
+support::Expected<std::map<std::string, Stream>> execute_dfg(
+    const ir::Module &module, const NodeRegistry &registry,
+    const std::map<std::string, Stream> &inputs, int workers = 1,
+    DfgRunStats *stats = nullptr);
+
+}  // namespace everest::runtime

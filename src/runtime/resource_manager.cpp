@@ -1,0 +1,291 @@
+#include "runtime/resource_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+namespace everest::runtime {
+
+namespace {
+
+using support::Error;
+using support::Expected;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct NodeState {
+  std::vector<double> core_free;  // per-core busy-until
+  double fpga_free = 0.0;
+  double fail_at = kInf;
+};
+
+/// Earliest time `cores` cores are simultaneously free, and which they are.
+double earliest_cores(const NodeState &n, int cores,
+                      std::vector<std::size_t> &picked) {
+  std::vector<std::size_t> order(n.core_free.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return n.core_free[a] < n.core_free[b];
+  });
+  picked.assign(order.begin(), order.begin() + cores);
+  return n.core_free[picked.back()];
+}
+
+}  // namespace
+
+Expected<Future> ResourceManager::submit(TaskSpec spec) {
+  for (TaskId dep : spec.deps) {
+    if (dep < 0 || dep >= static_cast<TaskId>(tasks_.size()))
+      return Error::make("resman: dependency " + std::to_string(dep) +
+                         " not submitted yet");
+  }
+  if (spec.cores < 1) return Error::make("resman: cores must be >= 1");
+  if (spec.cpu_ms < 0 && spec.fpga_ms < 0)
+    return Error::make("resman: task has no executable variant");
+  tasks_.push_back(std::move(spec));
+  return Future{static_cast<TaskId>(tasks_.size()) - 1};
+}
+
+void ResourceManager::inject_failure(const std::string &node_name,
+                                     double at_ms) {
+  failures_[node_name] = at_ms;
+}
+
+Expected<RunReport> ResourceManager::run(const SchedulerOptions &options) const {
+  if (tasks_.empty()) return Error::make("resman: no tasks submitted");
+  for (const auto &t : tasks_) {
+    if (t.cores > 0) {
+      bool fits_somewhere = false;
+      for (const auto &n : cluster_.nodes) {
+        if (t.cores <= n.cores && (!t.needs_fpga || n.has_fpga))
+          fits_somewhere = true;
+      }
+      if (!fits_somewhere)
+        return Error::make("resman: task '" + t.name +
+                           "' fits on no cluster node");
+    }
+  }
+
+  // Consumers, for HEFT ranks and transfer accounting.
+  std::vector<std::vector<TaskId>> consumers(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    for (TaskId dep : tasks_[i].deps)
+      consumers[static_cast<std::size_t>(dep)].push_back(
+          static_cast<TaskId>(i));
+  }
+
+  // Mean duration per task across nodes (for ranking only).
+  auto mean_duration = [&](const TaskSpec &t) {
+    double sum = 0.0;
+    int count = 0;
+    for (const auto &n : cluster_.nodes) {
+      if (t.needs_fpga && !n.has_fpga) continue;
+      double d = t.cpu_ms / n.speed;
+      if (n.has_fpga && t.fpga_ms >= 0.0) d = std::min(d, t.fpga_ms);
+      sum += d;
+      ++count;
+    }
+    return count > 0 ? sum / count : t.cpu_ms;
+  };
+
+  // HEFT upward rank (memoized, graph is a DAG).
+  std::vector<double> rank(tasks_.size(), -1.0);
+  std::function<double(TaskId)> upward = [&](TaskId id) -> double {
+    auto idx = static_cast<std::size_t>(id);
+    if (rank[idx] >= 0.0) return rank[idx];
+    double best_child = 0.0;
+    for (TaskId c : consumers[idx]) {
+      double transfer = cluster_.transfer_ms(tasks_[idx].output_bytes);
+      best_child = std::max(best_child, transfer + upward(c));
+    }
+    rank[idx] = mean_duration(tasks_[idx]) + best_child;
+    return rank[idx];
+  };
+  for (std::size_t i = 0; i < tasks_.size(); ++i)
+    upward(static_cast<TaskId>(i));
+
+  // Two passes: first without failure constraints to find killed tasks, then
+  // final with kill-aware constraints (rescheduled tasks restart after the
+  // failure time, modeling the monitor's re-submission).
+  std::vector<bool> killed(tasks_.size(), false);
+
+  auto simulate = [&](bool enforce_failures,
+                      RunReport &report) -> support::Status {
+    std::vector<NodeState> nodes(cluster_.nodes.size());
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+      nodes[n].core_free.assign(static_cast<std::size_t>(
+                                    cluster_.nodes[n].cores),
+                                0.0);
+      auto it = failures_.find(cluster_.nodes[n].name);
+      if (enforce_failures && it != failures_.end())
+        nodes[n].fail_at = it->second;
+    }
+
+    std::vector<double> finish(tasks_.size(), -1.0);
+    std::vector<int> placed_node(tasks_.size(), -1);
+    std::vector<bool> done(tasks_.size(), false);
+    std::size_t completed = 0;
+    double busy_core_ms = 0.0;
+
+    // Scheduling order.
+    std::vector<TaskId> order(tasks_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+      order[i] = static_cast<TaskId>(i);
+    if (options.policy == SchedulerOptions::Policy::Heft) {
+      std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+        return rank[static_cast<std::size_t>(a)] >
+               rank[static_cast<std::size_t>(b)];
+      });
+    }
+
+    // List scheduling: repeatedly take the highest-priority ready task.
+    while (completed < tasks_.size()) {
+      TaskId chosen = -1;
+      for (TaskId id : order) {
+        auto idx = static_cast<std::size_t>(id);
+        if (done[idx]) continue;
+        bool ready = true;
+        for (TaskId dep : tasks_[idx].deps) {
+          if (!done[static_cast<std::size_t>(dep)]) ready = false;
+        }
+        if (ready) {
+          chosen = id;
+          break;
+        }
+      }
+      if (chosen < 0)
+        return support::Status::failure(
+            "resman: dependency cycle detected in task graph");
+
+      auto idx = static_cast<std::size_t>(chosen);
+      const TaskSpec &t = tasks_[idx];
+
+      // Evaluate EFT on every node.
+      int best_node = -1;
+      double best_eft = kInf, best_start = 0.0, best_duration = 0.0;
+      bool best_fpga = false;
+      std::vector<std::size_t> best_cores;
+      double actual_data_ready_best = 0.0;
+
+      for (std::size_t n = 0; n < nodes.size(); ++n) {
+        const NodeSpec &spec = cluster_.nodes[n];
+        if (t.cores > spec.cores) continue;
+        if (t.needs_fpga && !spec.has_fpga) continue;
+
+        double duration = t.cpu_ms / spec.speed;
+        bool use_fpga = false;
+        if (spec.has_fpga && t.fpga_ms >= 0.0 && t.fpga_ms < duration) {
+          duration = t.fpga_ms;
+          use_fpga = true;
+        }
+
+        // Data arrival: cross-node inputs pay a transfer.
+        double data_ready = 0.0, data_ready_for_placement = 0.0;
+        for (TaskId dep : t.deps) {
+          auto d = static_cast<std::size_t>(dep);
+          double arrive = finish[d];
+          if (placed_node[d] != static_cast<int>(n))
+            arrive += cluster_.transfer_ms(tasks_[d].output_bytes);
+          data_ready = std::max(data_ready, arrive);
+          data_ready_for_placement = std::max(
+              data_ready_for_placement,
+              options.transfer_aware ? arrive : finish[d]);
+        }
+
+        std::vector<std::size_t> cores;
+        double cores_free = earliest_cores(nodes[n], t.cores, cores);
+        double start = std::max(cores_free, data_ready);
+        if (use_fpga) start = std::max(start, nodes[n].fpga_free);
+        if (enforce_failures && killed[idx] &&
+            nodes[n].fail_at < kInf) {
+          // Nothing extra: rescheduled tasks simply cannot land on the dead
+          // node (checked below) and restart after the failure.
+        }
+        if (enforce_failures && killed[idx]) {
+          double fail_time = kInf;
+          for (const auto &[name, at] : failures_) fail_time = std::min(fail_time, at);
+          start = std::max(start, fail_time);
+        }
+        double finish_here = start + duration;
+        if (finish_here > nodes[n].fail_at) continue;  // node dies mid-task
+
+        double placement_start =
+            std::max(cores_free, data_ready_for_placement);
+        double placement_eft = placement_start + duration;
+        if (placement_eft < best_eft) {
+          best_eft = placement_eft;
+          best_node = static_cast<int>(n);
+          best_start = start;
+          best_duration = duration;
+          best_fpga = use_fpga;
+          best_cores = cores;
+          actual_data_ready_best = data_ready;
+        }
+      }
+      (void)actual_data_ready_best;
+      if (best_node < 0)
+        return support::Status::failure("resman: task '" + t.name +
+                                        "' has no feasible placement");
+
+      NodeState &n = nodes[static_cast<std::size_t>(best_node)];
+      double finish_time = best_start + best_duration;
+      for (std::size_t c : best_cores) n.core_free[c] = finish_time;
+      if (best_fpga) n.fpga_free = finish_time;
+      finish[idx] = finish_time;
+      placed_node[idx] = best_node;
+      done[idx] = true;
+      ++completed;
+      busy_core_ms += best_duration * t.cores;
+
+      TaskOutcome outcome;
+      outcome.node = cluster_.nodes[static_cast<std::size_t>(best_node)].name;
+      outcome.start_ms = best_start;
+      outcome.finish_ms = finish_time;
+      outcome.used_fpga = best_fpga;
+      outcome.attempts = killed[idx] && enforce_failures ? 2 : 1;
+      report.tasks[chosen] = outcome;
+      report.makespan_ms = std::max(report.makespan_ms, finish_time);
+    }
+
+    // Transfers actually incurred.
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      for (TaskId dep : tasks_[i].deps) {
+        auto d = static_cast<std::size_t>(dep);
+        if (placed_node[d] != placed_node[i]) {
+          report.bytes_transferred += tasks_[d].output_bytes;
+          report.total_transfer_ms +=
+              cluster_.transfer_ms(tasks_[d].output_bytes);
+        }
+      }
+    }
+    int total_cores = 0;
+    for (const auto &spec : cluster_.nodes) total_cores += spec.cores;
+    if (report.makespan_ms > 0.0 && total_cores > 0)
+      report.avg_core_utilization =
+          busy_core_ms / (report.makespan_ms * total_cores);
+    return support::Status::ok();
+  };
+
+  RunReport first;
+  if (auto s = simulate(false, first); !s.is_ok())
+    return Error::make(s.message());
+  if (failures_.empty()) return first;
+
+  // Find tasks the failures kill, then re-run with constraints.
+  int rescheduled = 0;
+  for (const auto &[id, outcome] : first.tasks) {
+    auto it = failures_.find(outcome.node);
+    if (it != failures_.end() && outcome.finish_ms > it->second) {
+      killed[static_cast<std::size_t>(id)] = true;
+      ++rescheduled;
+    }
+  }
+  RunReport final_report;
+  if (auto s = simulate(true, final_report); !s.is_ok())
+    return Error::make(s.message());
+  final_report.rescheduled_tasks = rescheduled;
+  return final_report;
+}
+
+}  // namespace everest::runtime

@@ -1,0 +1,112 @@
+// everest/runtime/resource_manager.hpp
+//
+// The EVEREST resource manager (paper §VI-A): "(1) schedules and assigns the
+// workflow tasks to the computational nodes while respecting their
+// dependencies and resource requests; (2) load-balances the computation;
+// (3) performs data transfers when an input of a task is computed on a
+// different node; (4) monitors the cluster and reschedules tasks if needed."
+//
+// Applications talk to it through a Dask-like API (submit returning
+// futures, extended with EVEREST resource requests — §VI-A). Execution is an
+// event-driven simulation over a cluster model, so scheduling policies are
+// measurable and deterministic (experiment E5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/expected.hpp"
+
+namespace everest::runtime {
+
+using TaskId = std::int64_t;
+
+/// One compute node of the cluster (paper §III: Xeon/EPYC hosts, some with
+/// Alveo cards).
+struct NodeSpec {
+  std::string name;
+  int cores = 8;
+  bool has_fpga = false;
+  double speed = 1.0;  // relative CPU speed factor
+};
+
+/// Cluster topology: homogeneous interconnect model.
+struct ClusterSpec {
+  std::vector<NodeSpec> nodes;
+  double net_gbps = 10.0;
+  double net_latency_ms = 0.05;
+
+  [[nodiscard]] double transfer_ms(std::int64_t bytes) const {
+    return net_latency_ms + static_cast<double>(bytes) / (net_gbps * 1e6 / 8.0);
+  }
+};
+
+/// Task description with EVEREST-specific resource requests.
+struct TaskSpec {
+  std::string name;
+  std::vector<TaskId> deps;
+  double cpu_ms = 1.0;      // duration on one CPU core (speed 1.0)
+  double fpga_ms = -1.0;    // duration when offloaded; < 0 => CPU only
+  int cores = 1;            // CPU cores requested
+  bool needs_fpga = false;  // hard FPGA requirement
+  std::int64_t output_bytes = 0;
+};
+
+/// Dask-like future: resolved after run() with placement and timing.
+struct Future {
+  TaskId id = -1;
+};
+
+/// Scheduling policy knobs (E5 ablation).
+struct SchedulerOptions {
+  enum class Policy { Heft, Fifo } policy = Policy::Heft;
+  bool transfer_aware = true;  // account for data locality when placing
+};
+
+/// Per-task outcome.
+struct TaskOutcome {
+  std::string node;
+  double start_ms = 0.0;
+  double finish_ms = 0.0;
+  int attempts = 1;
+  bool used_fpga = false;
+};
+
+/// Whole-run report.
+struct RunReport {
+  double makespan_ms = 0.0;
+  double total_transfer_ms = 0.0;
+  std::int64_t bytes_transferred = 0;
+  double avg_core_utilization = 0.0;  // busy core-ms / (makespan * cores)
+  int rescheduled_tasks = 0;
+  std::map<TaskId, TaskOutcome> tasks;
+};
+
+/// The resource manager / Dask-like client.
+class ResourceManager {
+public:
+  explicit ResourceManager(ClusterSpec cluster)
+      : cluster_(std::move(cluster)) {}
+
+  /// Submits a task; dependencies must already be submitted.
+  support::Expected<Future> submit(TaskSpec spec);
+
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+
+  /// Injects a node failure at `at_ms` into the next run: the node stops
+  /// accepting tasks and everything running there is rescheduled.
+  void inject_failure(const std::string &node_name, double at_ms);
+
+  /// Runs the event-driven schedule simulation. Can be called repeatedly
+  /// with different options (state is rebuilt per run).
+  support::Expected<RunReport> run(const SchedulerOptions &options = {}) const;
+
+private:
+  ClusterSpec cluster_;
+  std::vector<TaskSpec> tasks_;
+  std::map<std::string, double> failures_;  // node -> failure time
+};
+
+}  // namespace everest::runtime

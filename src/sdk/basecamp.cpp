@@ -1,0 +1,188 @@
+#include "sdk/basecamp.hpp"
+
+#include <chrono>
+
+#include "dialects/registry.hpp"
+#include "frontend/cfdlang_parser.hpp"
+#include "frontend/ekl_parser.hpp"
+#include "transforms/base2_legalize.hpp"
+#include "transforms/canonicalize.hpp"
+#include "transforms/cfdlang_to_teil.hpp"
+#include "transforms/ekl_to_teil.hpp"
+#include "transforms/esn_extract.hpp"
+#include "ir/builder.hpp"
+#include "transforms/teil_to_loops.hpp"
+
+namespace everest::sdk {
+
+using support::Error;
+using support::Expected;
+
+namespace {
+
+/// Runs fn() and appends its wall time under `stage`.
+template <typename F>
+auto timed(std::vector<StageTiming> &timings, const char *stage, F &&fn) {
+  auto start = std::chrono::steady_clock::now();
+  auto result = fn();
+  auto stop = std::chrono::steady_clock::now();
+  timings.push_back(
+      {stage, std::chrono::duration<double, std::milli>(stop - start).count()});
+  return result;
+}
+
+}  // namespace
+
+Basecamp::Basecamp() { dialects::register_everest_dialects(ctx_); }
+
+Expected<platform::DeviceSpec> Basecamp::device_by_name(
+    const std::string &name) const {
+  if (name == "alveo-u55c") return platform::alveo_u55c();
+  if (name == "alveo-u280") return platform::alveo_u280();
+  if (name == "cloudfpga") return platform::cloudfpga();
+  return Error::make("basecamp: unknown target '" + name +
+                     "' (alveo-u55c, alveo-u280, cloudfpga)");
+}
+
+Expected<CompileResult> Basecamp::compile_ekl(
+    const std::string &source, const transforms::EklBindings &bindings,
+    const CompileOptions &options) {
+  std::vector<StageTiming> timings;
+
+  auto parsed = timed(timings, "parse-ekl",
+                      [&] { return frontend::parse_ekl(source); });
+  if (!parsed) return parsed.error();
+  if (auto s = ctx_.verify(**parsed); !s.is_ok())
+    return Error::make("basecamp: frontend IR invalid: " + s.message());
+
+  auto teil = timed(timings, "lower-ekl-to-teil", [&] {
+    return transforms::lower_ekl_to_teil(**parsed, bindings);
+  });
+  if (!teil) return teil.error();
+
+  auto result = backend(*parsed, *teil, options, std::move(timings));
+  if (result) result->ekl_source_lines = frontend::count_ekl_lines(source);
+  return result;
+}
+
+Expected<CompileResult> Basecamp::compile_cfdlang(const std::string &source,
+                                                  const CompileOptions &options) {
+  std::vector<StageTiming> timings;
+  auto parsed = timed(timings, "parse-cfdlang",
+                      [&] { return frontend::parse_cfdlang(source); });
+  if (!parsed) return parsed.error();
+  if (auto s = ctx_.verify(**parsed); !s.is_ok())
+    return Error::make("basecamp: frontend IR invalid: " + s.message());
+  auto teil = timed(timings, "lower-cfdlang-to-teil",
+                    [&] { return transforms::lower_cfdlang_to_teil(**parsed); });
+  if (!teil) return teil.error();
+  return backend(*parsed, *teil, options, std::move(timings));
+}
+
+Expected<CompileResult> Basecamp::backend(std::shared_ptr<ir::Module> frontend_ir,
+                                          std::shared_ptr<ir::Module> teil_ir,
+                                          const CompileOptions &options,
+                                          std::vector<StageTiming> timings) {
+  CompileResult result;
+  result.frontend_ir = std::move(frontend_ir);
+
+  if (auto s = ctx_.verify(*teil_ir); !s.is_ok())
+    return Error::make("basecamp: teil IR invalid: " + s.message());
+
+  if (options.canonicalize) {
+    timed(timings, "canonicalize",
+          [&] { return transforms::canonicalize(*teil_ir); });
+    if (auto s = ctx_.verify(*teil_ir); !s.is_ok())
+      return Error::make("basecamp: teil IR invalid after canonicalize: " +
+                         s.message());
+  }
+
+  // esn: raise einsums, pick the contraction order, lower back.
+  if (options.optimize_einsum_order) {
+    auto status = timed(timings, "esn-reorder", [&]() -> support::Status {
+      transforms::extract_einsums(*teil_ir);
+      transforms::eliminate_dead_code(*teil_ir);
+      auto flops = transforms::lower_esn(*teil_ir, /*optimize_order=*/true);
+      if (!flops) return support::Status::failure(flops.error().message);
+      transforms::eliminate_dead_code(*teil_ir);
+      return support::Status::ok();
+    });
+    if (!status.is_ok()) return Error::make(status.message());
+    if (auto s = ctx_.verify(*teil_ir); !s.is_ok())
+      return Error::make("basecamp: teil IR invalid after esn: " + s.message());
+  }
+  result.teil_ir = teil_ir;
+
+  // base2 format choice adjusts the datapath width seen by HLS.
+  CompileOptions effective = options;
+  result.datapath_bits = 64;
+  if (options.number_format != "f64") {
+    auto format = transforms::make_format(options.number_format);
+    if (!format) return format.error();
+    result.datapath_bits = (*format)->bit_width();
+    effective.hls.datapath_bits = result.datapath_bits;
+    effective.olympus.element_bits = result.datapath_bits;
+  }
+
+  // Loop lowering runs on the f64-typed TeIL; the base2 annotation is
+  // applied afterwards so the exported teil_ir carries the chosen types.
+  auto loops = timed(timings, "lower-teil-to-loops",
+                     [&] { return transforms::lower_teil_to_loops(*teil_ir); });
+  if (!loops) return loops.error();
+  if (auto s = ctx_.verify(**loops); !s.is_ok())
+    return Error::make("basecamp: loop IR invalid: " + s.message());
+  result.loop_ir = *loops;
+
+  if (options.number_format != "f64") {
+    auto width = timed(timings, "base2-legalize", [&] {
+      return transforms::annotate_base2(*teil_ir, options.number_format);
+    });
+    if (!width) return width.error();
+  }
+
+  auto kernel = timed(timings, "hls-schedule", [&] {
+    return hls::schedule_kernel(**loops, effective.hls);
+  });
+  if (!kernel) return kernel.error();
+  result.kernel = *kernel;
+
+  auto device = device_by_name(options.target);
+  if (!device) return device.error();
+  result.device = *device;
+
+  olympus::SystemGenerator generator(*device);
+  result.olympus_options = effective.olympus;
+  auto estimate = timed(timings, "olympus-estimate", [&] {
+    return generator.estimate(*kernel, effective.olympus);
+  });
+  if (!estimate) return estimate.error();
+  result.estimate = *estimate;
+
+  auto system_ir = timed(timings, "olympus-generate", [&] {
+    return generator.generate_ir(*kernel, effective.olympus);
+  });
+  if (!system_ir) return system_ir.error();
+  // evp integration ops record the deployment intent on the module.
+  {
+    ir::OpBuilder b(&(*system_ir)->body());
+    b.create("evp.platform", {}, {},
+             {{"name", ir::Attribute(options.target)}});
+    b.create("evp.offload", {}, {},
+             {{"kernel", ir::Attribute(kernel->name)},
+              {"format", ir::Attribute(options.number_format)}});
+  }
+  if (auto s = ctx_.verify(**system_ir); !s.is_ok())
+    return Error::make("basecamp: system IR invalid: " + s.message());
+  result.system_ir = *system_ir;
+
+  result.timings = std::move(timings);
+  return result;
+}
+
+Expected<double> Basecamp::deploy_and_run(platform::Device &device,
+                                          const CompileResult &result) const {
+  olympus::SystemGenerator generator(result.device);
+  return generator.execute_on(device, result.kernel, result.olympus_options);
+}
+
+}  // namespace everest::sdk

@@ -1,0 +1,93 @@
+// everest/sdk/basecamp.hpp
+//
+// The basecamp entry point (paper §IV: "All tools within the SDK are wrapped
+// under the basecamp command, which provides a single point of access to the
+// users of the SDK"). One object wires the Fig. 2 flow end to end:
+//
+//   frontend (EKL / CFDlang / ConDRust / ONNX)
+//     -> MLIR-like dialects (Fig. 5) -> teil -> esn ordering -> loops
+//     -> HLS scheduling -> base2 format choice
+//     -> Olympus system generation -> deployment on a device model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hls/scheduler.hpp"
+#include "ir/dialect.hpp"
+#include "olympus/olympus.hpp"
+#include "platform/xrt.hpp"
+#include "support/expected.hpp"
+#include "transforms/ekl_eval.hpp"
+
+namespace everest::sdk {
+
+/// Compilation options for one kernel.
+struct CompileOptions {
+  std::string target = "alveo-u55c";   // alveo-u55c | alveo-u280 | cloudfpga
+  std::string number_format = "f64";   // base2 spec, e.g. "fixed<16,8>"
+  bool canonicalize = true;            // fold/CSE/DCE on the teil module
+  bool optimize_einsum_order = true;   // esn contraction reordering
+  hls::HlsOptions hls;
+  olympus::Options olympus;
+};
+
+/// Timing of one pipeline stage in milliseconds.
+struct StageTiming {
+  std::string stage;
+  double ms = 0.0;
+};
+
+/// Everything the pipeline produces for one kernel.
+struct CompileResult {
+  std::shared_ptr<ir::Module> frontend_ir;  // ekl.kernel / cfdlang.program
+  std::shared_ptr<ir::Module> teil_ir;
+  std::shared_ptr<ir::Module> loop_ir;
+  std::shared_ptr<ir::Module> system_ir;    // olympus dialect
+  hls::KernelReport kernel;
+  olympus::SystemEstimate estimate;
+  olympus::Options olympus_options;  // the effective system configuration
+  platform::DeviceSpec device;
+  std::vector<StageTiming> timings;
+  std::size_t ekl_source_lines = 0;
+  int datapath_bits = 64;
+};
+
+/// The single point of access.
+class Basecamp {
+public:
+  /// Registers the full dialect stack into the owned context.
+  Basecamp();
+
+  [[nodiscard]] ir::Context &context() { return ctx_; }
+
+  /// Resolves a target name to its device model.
+  [[nodiscard]] support::Expected<platform::DeviceSpec> device_by_name(
+      const std::string &name) const;
+
+  /// Compiles an EKL kernel source through the full flow. Bindings provide
+  /// shapes (and evaluation inputs for verification-style runs).
+  support::Expected<CompileResult> compile_ekl(
+      const std::string &source, const transforms::EklBindings &bindings,
+      const CompileOptions &options = {});
+
+  /// Compiles a CFDlang program through the same backend.
+  support::Expected<CompileResult> compile_cfdlang(
+      const std::string &source, const CompileOptions &options = {});
+
+  /// Deploys the compiled system onto a device and runs one invocation;
+  /// returns end-to-end microseconds on the device timeline.
+  support::Expected<double> deploy_and_run(platform::Device &device,
+                                           const CompileResult &result) const;
+
+private:
+  support::Expected<CompileResult> backend(
+      std::shared_ptr<ir::Module> frontend_ir,
+      std::shared_ptr<ir::Module> teil_ir, const CompileOptions &options,
+      std::vector<StageTiming> timings);
+
+  ir::Context ctx_;
+};
+
+}  // namespace everest::sdk

@@ -1,0 +1,89 @@
+// everest/support/expected.hpp
+//
+// Minimal Expected<T, E> for C++20 (std::expected is C++23). Used across the
+// SDK for recoverable errors: parsers, lowering pipelines, runtime requests.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace everest::support {
+
+/// Error payload carried by Expected on failure. Holds a human-readable
+/// message plus an optional machine-readable code.
+struct Error {
+  std::string message;
+  int code = 1;
+
+  static Error make(std::string msg, int code = 1) {
+    return Error{std::move(msg), code};
+  }
+};
+
+/// A value-or-error sum type. `has_value()` selects between `value()` and
+/// `error()`. Accessing the wrong alternative asserts in debug builds.
+template <typename T>
+class Expected {
+public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Error err) : storage_(std::in_place_index<1>, std::move(err)) {}
+
+  [[nodiscard]] bool has_value() const { return storage_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] T &value() {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] const T &value() const {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] const Error &error() const {
+    assert(!has_value());
+    return std::get<1>(storage_);
+  }
+
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+private:
+  std::variant<T, Error> storage_;
+};
+
+/// Status is Expected<void>: success or an Error.
+class Status {
+public:
+  Status() = default;
+  Status(Error err) : error_(std::move(err)) {}
+
+  static Status ok() { return Status(); }
+  static Status failure(std::string msg, int code = 1) {
+    return Status(Error::make(std::move(msg), code));
+  }
+
+  [[nodiscard]] bool is_ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+  [[nodiscard]] const Error &error() const {
+    assert(!is_ok());
+    return *error_;
+  }
+  [[nodiscard]] std::string message() const {
+    return is_ok() ? std::string() : error_->message;
+  }
+
+private:
+  std::optional<Error> error_;
+};
+
+}  // namespace everest::support

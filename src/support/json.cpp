@@ -1,0 +1,316 @@
+#include "support/json.hpp"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace everest::support {
+
+namespace {
+const Json kNull{};
+}
+
+const Json &Json::operator[](const std::string &key) const {
+  auto it = object_.find(key);
+  return it == object_.end() ? kNull : it->second;
+}
+
+void Json::push_back(Json v) {
+  if (kind_ == Kind::Null) kind_ = Kind::Array;
+  array_.push_back(std::move(v));
+}
+
+Json &Json::set(const std::string &key, Json v) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  object_[key] = std::move(v);
+  return *this;
+}
+
+namespace {
+
+void escape_string(std::string &out, const std::string &s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x", c);
+          out += buf.data();
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_number(std::string &out, double n) {
+  if (std::isfinite(n) && n == std::floor(n) && std::fabs(n) < 9.0e15) {
+    std::array<char, 32> buf{};
+    std::snprintf(buf.data(), buf.size(), "%lld",
+                  static_cast<long long>(n));
+    out += buf.data();
+  } else if (std::isfinite(n)) {
+    std::array<char, 48> buf{};
+    std::snprintf(buf.data(), buf.size(), "%.17g", n);
+    out += buf.data();
+  } else {
+    out += "null";  // JSON cannot represent inf/nan.
+  }
+}
+
+void put_newline_indent(std::string &out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_impl(std::string &out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::Null: out += "null"; return;
+    case Kind::Bool: out += bool_ ? "true" : "false"; return;
+    case Kind::Number: write_number(out, number_); return;
+    case Kind::String: escape_string(out, string_); return;
+    case Kind::Array: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out += ',';
+        put_newline_indent(out, indent, depth + 1);
+        array_[i].dump_impl(out, indent, depth + 1);
+      }
+      put_newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::Object: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto &[key, value] : object_) {
+        if (!first) out += ',';
+        first = false;
+        put_newline_indent(out, indent, depth + 1);
+        escape_string(out, key);
+        out += indent < 0 ? ":" : ": ";
+        value.dump_impl(out, indent, depth + 1);
+      }
+      put_newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_impl(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser.
+class Parser {
+public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Expected<Json> run() {
+    skip_ws();
+    auto v = parse_value();
+    if (!v) return v;
+    skip_ws();
+    if (pos_ != text_.size())
+      return fail("trailing characters after JSON value");
+    return v;
+  }
+
+private:
+  Expected<Json> fail(const std::string &msg) {
+    return Error::make("json: " + msg + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool match_keyword(std::string_view kw) {
+    if (text_.substr(pos_, kw.size()) == kw) {
+      pos_ += kw.size();
+      return true;
+    }
+    return false;
+  }
+
+  Expected<Json> parse_value() {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return s.error();
+      return Json(std::move(*s));
+    }
+    if (match_keyword("true")) return Json(true);
+    if (match_keyword("false")) return Json(false);
+    if (match_keyword("null")) return Json(nullptr);
+    return parse_number();
+  }
+
+  Expected<std::string> parse_string() {
+    if (!consume('"')) {
+      return Error::make("json: expected string at offset " +
+                         std::to_string(pos_));
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case '/': out += '/'; break;
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size())
+              return Error::make("json: truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Error::make("json: bad \\u escape");
+            }
+            // Encode BMP code point as UTF-8 (surrogates not supported).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Error::make("json: invalid escape character");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Error::make("json: unterminated string");
+  }
+
+  Expected<Json> parse_number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool any = false;
+    auto eat_digits = [&] {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        any = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+      eat_digits();
+    }
+    if (!any) return fail("invalid number");
+    std::string token(text_.substr(start, pos_ - start));
+    return Json(std::strtod(token.c_str(), nullptr));
+  }
+
+  Expected<Json> parse_array() {
+    consume('[');
+    Json out = Json::array();
+    skip_ws();
+    if (consume(']')) return out;
+    while (true) {
+      skip_ws();
+      auto v = parse_value();
+      if (!v) return v;
+      out.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) return out;
+      if (!consume(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Expected<Json> parse_object() {
+    consume('{');
+    Json out = Json::object();
+    skip_ws();
+    if (consume('}')) return out;
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return key.error();
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' in object");
+      skip_ws();
+      auto v = parse_value();
+      if (!v) return v;
+      out.set(std::move(*key), std::move(*v));
+      skip_ws();
+      if (consume('}')) return out;
+      if (!consume(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Expected<Json> Json::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace everest::support

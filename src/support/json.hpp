@@ -1,0 +1,99 @@
+// everest/support/json.hpp
+//
+// Self-contained JSON value model, parser, and writer. Used by the anomaly
+// detection service (its contract in the paper is "a JSON file containing the
+// indexes of data points that are considered anomalous"), the ONNX-like model
+// importer, and the bench report emitters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/expected.hpp"
+
+namespace everest::support {
+
+/// A JSON value: null, bool, number (double), string, array, or object.
+/// Objects keep keys sorted (std::map) so serialization is deterministic.
+class Json {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Json() : kind_(Kind::Null) {}
+  Json(std::nullptr_t) : kind_(Kind::Null) {}
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Json(double n) : kind_(Kind::Number), number_(n) {}
+  Json(int n) : kind_(Kind::Number), number_(n) {}
+  Json(std::int64_t n) : kind_(Kind::Number), number_(static_cast<double>(n)) {}
+  Json(std::size_t n) : kind_(Kind::Number), number_(static_cast<double>(n)) {}
+  Json(const char *s) : kind_(Kind::String), string_(s) {}
+  Json(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] std::int64_t as_int() const {
+    return static_cast<std::int64_t>(number_);
+  }
+  [[nodiscard]] const std::string &as_string() const { return string_; }
+  [[nodiscard]] const std::vector<Json> &items() const { return array_; }
+  [[nodiscard]] const std::map<std::string, Json> &fields() const {
+    return object_;
+  }
+
+  /// Array access; asserts kind in debug builds via vector bounds.
+  [[nodiscard]] std::size_t size() const {
+    return kind_ == Kind::Array ? array_.size() : object_.size();
+  }
+  const Json &operator[](std::size_t i) const { return array_.at(i); }
+
+  /// Object access; returns a shared null for missing keys.
+  const Json &operator[](const std::string &key) const;
+  [[nodiscard]] bool contains(const std::string &key) const {
+    return kind_ == Kind::Object && object_.count(key) > 0;
+  }
+
+  /// Mutators (convert kind when currently null).
+  void push_back(Json v);
+  Json &set(const std::string &key, Json v);
+
+  /// Serializes to a compact or pretty-printed string.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parses JSON text; returns an error with position info on malformed input.
+  static Expected<Json> parse(std::string_view text);
+
+private:
+  void dump_impl(std::string &out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace everest::support

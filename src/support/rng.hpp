@@ -1,0 +1,137 @@
+// everest/support/rng.hpp
+//
+// Deterministic random number generation for the whole SDK. Every stochastic
+// component (workload generators, schedulers with tie-breaking, TPE sampler,
+// PTDR Monte Carlo) draws from a seeded Pcg32 so experiments are exactly
+// reproducible; benches print their seeds.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace everest::support {
+
+/// SplitMix64: used to expand a single user seed into stream seeds.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+/// PCG32 (Melissa O'Neill's pcg32_oneseq variant): small, fast, and with
+/// excellent statistical quality for simulation workloads.
+class Pcg32 {
+public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next();
+    state_ += seed;
+    next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+
+  result_type next() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return next() * (1.0 / 4294967296.0); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  std::uint32_t bounded(std::uint32_t n) {
+    if (n == 0) return 0;
+    std::uint64_t m = static_cast<std::uint64_t>(next()) * n;
+    auto l = static_cast<std::uint32_t>(m);
+    if (l < n) {
+      std::uint32_t t = (0u - n) % n;
+      while (l < t) {
+        m = static_cast<std::uint64_t>(next()) * n;
+        l = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-12) u1 = uniform();
+    double u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * std::numbers::pi * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with rate lambda.
+  double exponential(double lambda) {
+    double u = 0.0;
+    while (u <= 1e-12) u = uniform();
+    return -std::log(u) / lambda;
+  }
+
+  /// Log-normal with parameters of the underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Samples an index from a discrete distribution given non-negative weights.
+  std::size_t discrete(const std::vector<double> &weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return 0;
+    double x = uniform() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (x < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derives an independent child generator (for per-stream determinism).
+  Pcg32 split() {
+    std::uint64_t s = (static_cast<std::uint64_t>(next()) << 32) | next();
+    std::uint64_t t = (static_cast<std::uint64_t>(next()) << 32) | next();
+    return Pcg32(s, t | 1);
+  }
+
+private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace everest::support

@@ -1,0 +1,51 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace everest::support {
+
+double average_precision(std::span<const double> scores,
+                         const std::vector<std::size_t> &truth) {
+  if (scores.empty() || truth.empty()) return 0.0;
+  std::set<std::size_t> positives(truth.begin(), truth.end());
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  double hits = 0.0, ap = 0.0;
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    if (positives.count(order[rank])) {
+      hits += 1.0;
+      ap += hits / static_cast<double>(rank + 1);
+    }
+  }
+  return ap / static_cast<double>(positives.size());
+}
+
+BinaryScore score_detection(const std::vector<std::size_t> &predicted,
+                            const std::vector<std::size_t> &truth) {
+  std::set<std::size_t> pred(predicted.begin(), predicted.end());
+  std::set<std::size_t> pos(truth.begin(), truth.end());
+
+  BinaryScore s;
+  for (std::size_t i : pred) {
+    if (pos.count(i)) ++s.true_positives;
+    else ++s.false_positives;
+  }
+  for (std::size_t i : pos) {
+    if (!pred.count(i)) ++s.false_negatives;
+  }
+  double tp = static_cast<double>(s.true_positives);
+  double fp = static_cast<double>(s.false_positives);
+  double fn = static_cast<double>(s.false_negatives);
+  s.precision = (tp + fp) > 0 ? tp / (tp + fp) : 0.0;
+  s.recall = (tp + fn) > 0 ? tp / (tp + fn) : 0.0;
+  s.f1 = (s.precision + s.recall) > 0
+             ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+             : 0.0;
+  return s;
+}
+
+}  // namespace everest::support

@@ -1,0 +1,148 @@
+// everest/support/stats.hpp
+//
+// Descriptive statistics and error metrics used by the autotuner monitors,
+// the anomaly detectors, and the use-case evaluation harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace everest::support {
+
+/// Arithmetic mean; 0 for empty input.
+inline double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Sample variance (n-1 denominator); 0 for fewer than two samples.
+inline double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+inline double stddev(std::span<const double> xs) {
+  return std::sqrt(variance(xs));
+}
+
+/// Linear-interpolated quantile, q in [0,1].
+inline double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(xs.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+inline double median(std::vector<double> xs) {
+  return quantile(std::move(xs), 0.5);
+}
+
+/// Mean absolute error between predictions and ground truth.
+inline double mae(std::span<const double> pred, std::span<const double> truth) {
+  std::size_t n = std::min(pred.size(), truth.size());
+  if (n == 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += std::fabs(pred[i] - truth[i]);
+  return s / static_cast<double>(n);
+}
+
+/// Root mean squared error.
+inline double rmse(std::span<const double> pred, std::span<const double> truth) {
+  std::size_t n = std::min(pred.size(), truth.size());
+  if (n == 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double d = pred[i] - truth[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(n));
+}
+
+/// Maximum absolute elementwise difference.
+inline double max_abs_diff(std::span<const double> a,
+                           std::span<const double> b) {
+  std::size_t n = std::min(a.size(), b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+inline double pearson(std::span<const double> a, std::span<const double> b) {
+  std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  double ma = mean(a.subspan(0, n));
+  double mb = mean(b.subspan(0, n));
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da <= 0.0 || db <= 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+/// Classification quality of a binary detector given predicted and true
+/// positive index sets (sizes refer to a universe of `n` points).
+struct BinaryScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+};
+
+BinaryScore score_detection(const std::vector<std::size_t> &predicted,
+                            const std::vector<std::size_t> &truth);
+
+/// Average precision of a ranking: `scores[i]` is the anomaly score of point
+/// i, `truth` lists the truly anomalous indices. AP = mean of precision@k
+/// over the ranks k where a true anomaly appears (continuous in the scores,
+/// unlike thresholded F1).
+double average_precision(std::span<const double> scores,
+                         const std::vector<std::size_t> &truth);
+
+/// Online mean/variance accumulator (Welford). Used by runtime monitors.
+class RunningStats {
+public:
+  void push(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  void reset() { *this = RunningStats(); }
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace everest::support

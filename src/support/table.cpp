@@ -1,0 +1,68 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace everest::support {
+
+namespace {
+
+bool looks_numeric(const std::string &cell) {
+  if (cell.empty()) return false;
+  std::size_t i = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+  bool any_digit = false;
+  for (; i < cell.size(); ++i) {
+    char c = cell[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      any_digit = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+' &&
+               c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return any_digit;
+}
+
+}  // namespace
+
+std::string Table::render() const {
+  std::size_t cols = header_.size();
+  for (const auto &row : rows_) cols = std::max(cols, row.size());
+
+  std::vector<std::size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string> &row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  measure(header_);
+  for (const auto &row : rows_) measure(row);
+
+  auto emit_row = [&](std::string &out, const std::vector<std::string> &row) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      std::size_t pad = width[c] - cell.size();
+      if (looks_numeric(cell)) {
+        out.append(pad, ' ');
+        out += cell;
+      } else {
+        out += cell;
+        out.append(pad, ' ');
+      }
+      if (c + 1 != cols) out += "  ";
+    }
+    // Strip trailing spaces for clean diffs.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(out, header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < cols; ++c) rule += width[c] + (c + 1 != cols ? 2 : 0);
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto &row : rows_) emit_row(out, row);
+  return out;
+}
+
+}  // namespace everest::support

@@ -1,0 +1,33 @@
+// everest/support/table.hpp
+//
+// ASCII table renderer used by the bench harness to print the rows each
+// experiment reports (EXPERIMENTS.md records these tables).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace everest::support {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table with a
+/// header rule. Numeric cells are right-aligned automatically.
+class Table {
+public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders the table (header, rule, rows) with two-space column gaps.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace everest::support

@@ -1,0 +1,90 @@
+#include "transforms/base2_legalize.hpp"
+
+#include <cstdio>
+
+#include "support/strings.hpp"
+
+namespace everest::transforms {
+
+namespace {
+
+using support::Error;
+using support::Expected;
+
+/// Parses "name<a,b>" into name, a, b.
+bool parse_two_params(const std::string &spec, const std::string &prefix,
+                      int &a, int &b) {
+  if (!support::starts_with(spec, prefix + "<") || spec.back() != '>')
+    return false;
+  auto body = spec.substr(prefix.size() + 1, spec.size() - prefix.size() - 2);
+  auto parts = support::split(body, ',');
+  if (parts.size() != 2) return false;
+  a = std::atoi(std::string(support::trim(parts[0])).c_str());
+  b = std::atoi(std::string(support::trim(parts[1])).c_str());
+  return true;
+}
+
+}  // namespace
+
+Expected<std::unique_ptr<numerics::NumberFormat>> make_format(
+    const std::string &spec) {
+  try {
+    if (spec == "f64")
+      return std::unique_ptr<numerics::NumberFormat>(
+          new numerics::MiniFloatFormat(11, 52));
+    if (spec == "f32")
+      return std::unique_ptr<numerics::NumberFormat>(
+          new numerics::MiniFloatFormat(8, 23));
+    int a = 0, b = 0;
+    if (parse_two_params(spec, "fixed", a, b))
+      return std::unique_ptr<numerics::NumberFormat>(
+          new numerics::FixedPointFormat(a, b, true));
+    if (parse_two_params(spec, "ufixed", a, b))
+      return std::unique_ptr<numerics::NumberFormat>(
+          new numerics::FixedPointFormat(a, b, false));
+    if (parse_two_params(spec, "float", a, b))
+      return std::unique_ptr<numerics::NumberFormat>(
+          new numerics::MiniFloatFormat(a, b));
+    if (parse_two_params(spec, "posit", a, b))
+      return std::unique_ptr<numerics::NumberFormat>(
+          new numerics::PositFormat(a, b));
+  } catch (const std::invalid_argument &e) {
+    return Error::make("base2: invalid format '" + spec + "': " + e.what());
+  }
+  return Error::make("base2: unknown format spec '" + spec + "'");
+}
+
+Expected<int> annotate_base2(ir::Module &module, const std::string &spec) {
+  auto fmt = make_format(spec);
+  if (!fmt) return fmt.error();
+
+  ir::Operation *func = module.find_first("teil.func");
+  if (!func) return Error::make("base2: no teil.func in module");
+
+  // The base2 element type mirrors the spec: !base2.<name><p0,p1>.
+  ir::Type elem = ir::Type::floating(64);
+  {
+    auto lt = spec.find('<');
+    if (lt != std::string::npos && spec.back() == '>') {
+      auto params = support::split(
+          spec.substr(lt + 1, spec.size() - lt - 2), ',');
+      std::vector<std::string> trimmed;
+      for (auto &p : params) trimmed.emplace_back(support::trim(p));
+      elem = ir::Type::custom("base2", spec.substr(0, lt), trimmed);
+    }
+  }
+
+  for (auto &op : func->region(0).front().operations()) {
+    if (op->num_results() == 0) continue;
+    op->set_attr("base2.format", ir::Attribute(spec));
+    const ir::Type &t = op->result(0)->type();
+    if (t.is_tensor() && elem.is_custom()) {
+      op->result(0)->set_type(ir::Type::tensor(t.dims(), elem));
+    } else if (t.is_float() && elem.is_custom()) {
+      op->result(0)->set_type(elem);
+    }
+  }
+  return (*fmt)->bit_width();
+}
+
+}  // namespace everest::transforms

@@ -1,0 +1,31 @@
+// everest/transforms/base2_legalize.hpp
+//
+// The base2 type-legalization step (paper §V-B, ref [7]): chooses a custom
+// binary numeral format for a teil.func, annotates every value-producing op
+// with it, and reports the datapath width the HLS engine should assume.
+// Numeric behaviour of the legalized kernel is modeled by evaluate_teil's
+// quantizing mode with the same format.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/ir.hpp"
+#include "numerics/formats.hpp"
+#include "support/expected.hpp"
+
+namespace everest::transforms {
+
+/// Parses a format spec: "f64", "f32", "fixed<T,F>", "ufixed<T,F>",
+/// "float<E,M>", or "posit<N,ES>". "f64"/"f32" return the equivalent
+/// minifloat (11,52)/(8,23).
+support::Expected<std::unique_ptr<numerics::NumberFormat>> make_format(
+    const std::string &spec);
+
+/// Annotates every value-producing op of the first teil.func with
+/// {base2.format = spec} and retypes tensor elements to the base2 type.
+/// Returns the storage bit width of the format.
+support::Expected<int> annotate_base2(ir::Module &module,
+                                      const std::string &spec);
+
+}  // namespace everest::transforms

@@ -1,0 +1,221 @@
+#include "transforms/canonicalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "ir/builder.hpp"
+#include "support/strings.hpp"
+#include "transforms/esn_extract.hpp"  // eliminate_dead_code
+
+namespace everest::transforms {
+
+namespace {
+
+using ir::Attribute;
+using ir::Operation;
+using ir::PatternRewriter;
+using ir::Value;
+
+/// A value's compile-time constant, if its defining op is arith.constant.
+bool constant_of(const Value *v, double &out) {
+  const Operation *def = v->defining_op();
+  if (!def || def->name() != "arith.constant") return false;
+  out = def->attr_double("value");
+  return true;
+}
+
+/// Materializes a constant before `anchor` with the same result type.
+Value *make_constant(Operation &anchor, double value) {
+  ir::OpBuilder b(anchor.parent_block());
+  b.set_insertion_point(&anchor);
+  return b.create_value("arith.constant", {}, anchor.result(0)->type(),
+                        {{"value", Attribute(value)}});
+}
+
+}  // namespace
+
+std::vector<std::shared_ptr<ir::RewritePattern>> constant_fold_patterns() {
+  std::vector<std::shared_ptr<ir::RewritePattern>> patterns;
+
+  patterns.push_back(std::make_shared<ir::LambdaPattern>(
+      "", [](Operation &op, PatternRewriter &rw) {
+        static const std::map<std::string, double (*)(double, double)> kBinary{
+            {"arith.addf", [](double a, double b) { return a + b; }},
+            {"arith.subf", [](double a, double b) { return a - b; }},
+            {"arith.mulf", [](double a, double b) { return a * b; }},
+            {"arith.divf", [](double a, double b) { return a / b; }},
+            {"arith.minf", [](double a, double b) { return std::min(a, b); }},
+            {"arith.maxf", [](double a, double b) { return std::max(a, b); }},
+        };
+        auto it = kBinary.find(op.name());
+        if (it == kBinary.end()) return false;
+        double lhs = 0, rhs = 0;
+        if (!constant_of(op.operand(0), lhs) ||
+            !constant_of(op.operand(1), rhs))
+          return false;
+        Value *c = make_constant(op, it->second(lhs, rhs));
+        rw.replace_op(&op, {c});
+        return true;
+      }));
+
+  patterns.push_back(std::make_shared<ir::LambdaPattern>(
+      "", [](Operation &op, PatternRewriter &rw) {
+        static const std::map<std::string, double (*)(double)> kUnary{
+            {"arith.negf", [](double a) { return -a; }},
+            {"arith.exp", [](double a) { return std::exp(a); }},
+            {"arith.sqrt", [](double a) { return std::sqrt(a); }},
+            {"arith.floor", [](double a) { return std::floor(a); }},
+        };
+        auto it = kUnary.find(op.name());
+        if (it == kUnary.end()) return false;
+        double x = 0;
+        if (!constant_of(op.operand(0), x)) return false;
+        Value *c = make_constant(op, it->second(x));
+        rw.replace_op(&op, {c});
+        return true;
+      }));
+
+  patterns.push_back(std::make_shared<ir::LambdaPattern>(
+      "arith.select", [](Operation &op, PatternRewriter &rw) {
+        double cond = 0;
+        if (!constant_of(op.operand(0), cond)) return false;
+        rw.replace_op(&op, {cond != 0.0 ? op.operand(1) : op.operand(2)});
+        return true;
+      }));
+
+  // Algebraic identities: x*1 = x, x+0 = x, x*0 = 0.
+  patterns.push_back(std::make_shared<ir::LambdaPattern>(
+      "", [](Operation &op, PatternRewriter &rw) {
+        bool is_mul = op.name() == "arith.mulf";
+        bool is_add = op.name() == "arith.addf";
+        if (!is_mul && !is_add) return false;
+        for (int side = 0; side < 2; ++side) {
+          double c = 0;
+          if (!constant_of(op.operand(static_cast<std::size_t>(side)), c))
+            continue;
+          Value *other = op.operand(static_cast<std::size_t>(1 - side));
+          if (is_mul && c == 1.0) {
+            rw.replace_op(&op, {other});
+            return true;
+          }
+          if (is_add && c == 0.0) {
+            rw.replace_op(&op, {other});
+            return true;
+          }
+          if (is_mul && c == 0.0) {
+            Value *zero = make_constant(op, 0.0);
+            rw.replace_op(&op, {zero});
+            return true;
+          }
+        }
+        return false;
+      }));
+
+  return patterns;
+}
+
+namespace {
+
+bool cse_eligible(const Operation &op) {
+  if (op.num_results() != 1 || op.num_regions() != 0) return false;
+  std::string d = op.dialect();
+  if (d == "arith" || d == "esn") return true;
+  if (d == "teil") return op.name() != "teil.output";
+  return false;
+}
+
+std::string signature(const Operation &op) {
+  std::string sig = op.name();
+  // Result types are part of the identity: the same inputs can produce
+  // different shapes (e.g. teil.iota of different extents).
+  sig += ':';
+  sig += op.result(0)->type().str();
+  for (const auto &[key, value] : op.attributes()) {
+    sig += '|';
+    sig += key;
+    sig += '=';
+    sig += value.str();
+  }
+  for (std::size_t i = 0; i < op.num_operands(); ++i) {
+    sig += '#';
+    sig += std::to_string(reinterpret_cast<std::uintptr_t>(op.operand(i)));
+  }
+  return sig;
+}
+
+std::size_t cse_block(ir::Block &block) {
+  std::size_t replaced = 0;
+  std::map<std::string, Value *> seen;
+  std::vector<Operation *> to_erase;
+  for (auto &op_ptr : block.operations()) {
+    Operation &op = *op_ptr;
+    // Recurse into nested regions first (their values cannot escape).
+    for (std::size_t r = 0; r < op.num_regions(); ++r) {
+      for (auto &nested : op.region(r).blocks()) replaced += cse_block(*nested);
+    }
+    if (!cse_eligible(op)) continue;
+    std::string sig = signature(op);
+    auto [it, inserted] = seen.emplace(sig, op.result(0));
+    if (!inserted) {
+      op.replace_all_uses_with({it->second});
+      to_erase.push_back(&op);
+      ++replaced;
+    }
+  }
+  for (Operation *op : to_erase) block.erase(op);
+  return replaced;
+}
+
+}  // namespace
+
+std::size_t common_subexpression_elimination(ir::Module &module) {
+  std::size_t replaced = 0;
+  for (auto &op : module.body().operations()) {
+    for (std::size_t r = 0; r < op->num_regions(); ++r) {
+      for (auto &block : op->region(r).blocks()) replaced += cse_block(*block);
+    }
+  }
+  replaced += cse_block(module.body());
+  return replaced;
+}
+
+std::size_t fold_broadcast_chains(ir::Module &module) {
+  std::size_t folded = 0;
+  for (Operation *outer : module.find_all("teil.broadcast")) {
+    Operation *inner = outer->operand(0)->defining_op();
+    if (!inner || inner->name() != "teil.broadcast") continue;
+    // outer.map[d] selects inner dims; compose to reach inner's source.
+    auto outer_map = outer->attr("map")->as_int_vector();
+    auto inner_map = inner->attr("map")->as_int_vector();
+    std::vector<std::int64_t> composed(outer_map.size(), -1);
+    for (std::size_t d = 0; d < outer_map.size(); ++d) {
+      if (outer_map[d] >= 0)
+        composed[d] = inner_map[static_cast<std::size_t>(outer_map[d])];
+    }
+    outer->set_operand(0, inner->operand(0));
+    outer->set_attr("map", Attribute::int_array(composed));
+    ++folded;
+  }
+  return folded;
+}
+
+CanonicalizeStats canonicalize(ir::Module &module, std::size_t max_iterations) {
+  CanonicalizeStats stats;
+  auto patterns = constant_fold_patterns();
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    ++stats.iterations;
+    auto rewrite = ir::apply_patterns_greedily(module, patterns);
+    std::size_t cse = common_subexpression_elimination(module);
+    std::size_t bcast = fold_broadcast_chains(module);
+    std::size_t dce = eliminate_dead_code(module);
+    stats.folded_constants += rewrite.rewrites;
+    stats.cse_replaced += cse;
+    stats.broadcasts_folded += bcast;
+    stats.dce_removed += dce;
+    if (rewrite.rewrites == 0 && cse == 0 && bcast == 0 && dce == 0) break;
+  }
+  return stats;
+}
+
+}  // namespace everest::transforms

@@ -1,0 +1,41 @@
+// everest/transforms/canonicalize.hpp
+//
+// Canonicalization for the EVEREST IR: greedy constant folding of arith
+// expressions, block-local common-subexpression elimination over pure ops,
+// broadcast-chain folding in teil, and a driver that iterates them together
+// with dead-code elimination to a fixpoint. basecamp runs this between the
+// frontend and the backend (visible as the "canonicalize" stage timing).
+#pragma once
+
+#include <cstddef>
+
+#include "ir/rewrite.hpp"
+
+namespace everest::transforms {
+
+/// Patterns folding arith ops with constant operands (addf/subf/mulf/divf/
+/// minf/maxf/negf, cmpf, select-with-constant-condition).
+std::vector<std::shared_ptr<ir::RewritePattern>> constant_fold_patterns();
+
+/// Block-local CSE over pure single-result ops (arith, teil, esn). Returns
+/// the number of ops replaced.
+std::size_t common_subexpression_elimination(ir::Module &module);
+
+/// Folds teil.broadcast(teil.broadcast(x)) into one composed broadcast.
+/// Returns the number of chains folded.
+std::size_t fold_broadcast_chains(ir::Module &module);
+
+/// Summary of one canonicalization run.
+struct CanonicalizeStats {
+  std::size_t folded_constants = 0;
+  std::size_t cse_replaced = 0;
+  std::size_t broadcasts_folded = 0;
+  std::size_t dce_removed = 0;
+  std::size_t iterations = 0;
+};
+
+/// Runs fold + CSE + broadcast folding + DCE to fixpoint (bounded).
+CanonicalizeStats canonicalize(ir::Module &module,
+                               std::size_t max_iterations = 8);
+
+}  // namespace everest::transforms

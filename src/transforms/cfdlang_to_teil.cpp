@@ -1,0 +1,114 @@
+#include "transforms/cfdlang_to_teil.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/builder.hpp"
+
+namespace everest::transforms {
+
+namespace {
+
+using ir::Attribute;
+using ir::Operation;
+using ir::Type;
+using ir::Value;
+using support::Error;
+using support::Expected;
+
+/// Letters assigned to tensor dims for teil.contract subscripts.
+char letter(std::size_t i) { return static_cast<char>('a' + i); }
+
+}  // namespace
+
+Expected<std::shared_ptr<ir::Module>> lower_cfdlang_to_teil(
+    const ir::Module &module) {
+  const Operation *program = nullptr;
+  for (const auto &op : module.body().operations()) {
+    if (op->name() == "cfdlang.program") {
+      program = op.get();
+      break;
+    }
+  }
+  if (!program) return Error::make("cfdlang->teil: no cfdlang.program");
+
+  auto out = std::make_shared<ir::Module>();
+  auto func = Operation::create(
+      "teil.func", {}, {},
+      {{"sym_name", Attribute(program->attr_string("sym_name"))}}, 1);
+  ir::Block &body = func->region(0).add_block();
+  out->body().push_back(std::move(func));
+  ir::OpBuilder b(&body);
+
+  std::map<const Value *, Value *> mapped;
+
+  for (const auto &op_ptr : program->region(0).front().operations()) {
+    const Operation &op = *op_ptr;
+    const std::string &name = op.name();
+
+    if (name == "cfdlang.input") {
+      mapped[op.result(0)] =
+          b.create_value("teil.input", {}, op.result(0)->type(),
+                         {{"name", Attribute(op.attr_string("name"))}});
+    } else if (name == "cfdlang.add") {
+      mapped[op.result(0)] = b.create_value(
+          "teil.map", {mapped.at(op.operand(0)), mapped.at(op.operand(1))},
+          op.result(0)->type(), {{"fn", Attribute("add")}});
+    } else if (name == "cfdlang.outer") {
+      // outer(a, b): einsum "ab..,cd..->ab..cd.." with disjoint letters.
+      std::size_t ra = op.operand(0)->type().is_tensor()
+                           ? op.operand(0)->type().dims().size()
+                           : 0;
+      std::size_t rb = op.operand(1)->type().is_tensor()
+                           ? op.operand(1)->type().dims().size()
+                           : 0;
+      std::string ls, rs, os;
+      for (std::size_t i = 0; i < ra; ++i) ls += letter(i);
+      for (std::size_t i = 0; i < rb; ++i) rs += letter(ra + i);
+      os = ls + rs;
+      mapped[op.result(0)] = b.create_value(
+          "teil.contract", {mapped.at(op.operand(0)), mapped.at(op.operand(1))},
+          op.result(0)->type(),
+          {{"lhs", Attribute(ls)}, {"rhs", Attribute(rs)}, {"out", Attribute(os)}});
+    } else if (name == "cfdlang.contract") {
+      // Self-contraction: repeated letters on the paired dims, summed out.
+      auto pairs = op.attr("pairs")->as_int_vector();
+      std::size_t rank = op.operand(0)->type().dims().size();
+      std::vector<char> subs(rank, 0);
+      for (std::size_t d = 0; d < rank; ++d) subs[d] = letter(d);
+      for (std::size_t k = 0; k < pairs.size(); k += 2) {
+        subs[static_cast<std::size_t>(pairs[k + 1])] =
+            subs[static_cast<std::size_t>(pairs[k])];
+      }
+      std::vector<bool> dropped(rank, false);
+      for (std::size_t k = 0; k < pairs.size(); k += 2) {
+        dropped[static_cast<std::size_t>(pairs[k])] = true;
+        dropped[static_cast<std::size_t>(pairs[k + 1])] = true;
+      }
+      std::string ls(subs.begin(), subs.end());
+      std::string os;
+      for (std::size_t d = 0; d < rank; ++d) {
+        if (!dropped[d]) os += subs[d];
+      }
+      Value *one = b.create_value("teil.constant", {}, Type::floating(64),
+                                  {{"value", Attribute(1.0)}});
+      mapped[op.result(0)] = b.create_value(
+          "teil.contract", {mapped.at(op.operand(0)), one},
+          op.result(0)->type(),
+          {{"lhs", Attribute(ls)}, {"rhs", Attribute("")}, {"out", Attribute(os)}});
+    } else if (name == "cfdlang.transpose") {
+      mapped[op.result(0)] = b.create_value(
+          "teil.transpose", {mapped.at(op.operand(0))}, op.result(0)->type(),
+          {{"perm", *op.attr("perm")}});
+    } else if (name == "cfdlang.output") {
+      b.create("teil.output", {mapped.at(op.operand(0))}, {},
+               {{"name", Attribute(op.attr_string("name"))}});
+    } else {
+      return Error::make("cfdlang->teil: unsupported op '" + name + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace everest::transforms

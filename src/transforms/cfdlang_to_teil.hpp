@@ -1,0 +1,18 @@
+// everest/transforms/cfdlang_to_teil.hpp
+//
+// Lowers cfdlang.program ops to teil.func (the legacy-DSL hop of Fig. 5).
+// outer/contract map onto teil.contract einsum subscripts; self-contraction
+// uses repeated subscript letters (diagonal + sum).
+#pragma once
+
+#include <memory>
+
+#include "ir/ir.hpp"
+#include "support/expected.hpp"
+
+namespace everest::transforms {
+
+support::Expected<std::shared_ptr<ir::Module>> lower_cfdlang_to_teil(
+    const ir::Module &module);
+
+}  // namespace everest::transforms

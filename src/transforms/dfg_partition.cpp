@@ -1,0 +1,135 @@
+#include "transforms/dfg_partition.hpp"
+
+#include <algorithm>
+
+namespace everest::transforms {
+
+namespace {
+
+using ir::Operation;
+using ir::Value;
+using support::Error;
+using support::Expected;
+
+struct GraphNode {
+  Operation *op;
+  std::string name;    // callee
+  std::string pinned;  // "", "cpu", or "fpga"
+};
+
+}  // namespace
+
+double predict_latency(
+    const std::vector<std::string> &order,
+    const std::map<std::string, NodeCost> &costs,
+    const std::map<std::string, std::string> &placement,
+    const std::map<std::string, std::vector<std::string>> &consumers,
+    const PlacementBudget &budget) {
+  // Pipeline model: stages execute in sequence per batch; a cpu<->fpga
+  // boundary edge adds a PCIe transfer of the producer's output bytes.
+  double total = 0.0;
+  for (const auto &name : order) {
+    const NodeCost &c = costs.at(name);
+    const std::string &where = placement.at(name);
+    total += where == "fpga" ? c.fpga_ms : c.cpu_ms;
+    auto it = consumers.find(name);
+    if (it == consumers.end()) continue;
+    for (const auto &consumer : it->second) {
+      if (placement.at(consumer) != where) {
+        double ms = budget.transfer_overhead_ms +
+                    (c.bytes / (budget.pcie_gbps * 1e6));  // bytes / (GB/s) in ms
+        total += ms;
+      }
+    }
+  }
+  return total;
+}
+
+Expected<PlacementResult> partition_dfg(
+    ir::Module &module, const std::map<std::string, NodeCost> &costs,
+    const PlacementBudget &budget) {
+  Operation *graph = module.find_first("dfg.graph");
+  if (!graph) return Error::make("dfg partition: no dfg.graph in module");
+
+  std::vector<GraphNode> nodes;
+  std::map<std::string, std::vector<std::string>> consumers;
+  std::map<const Value *, std::string> producer_of;
+
+  for (auto &op : graph->region(0).front().operations()) {
+    if (op->name() != "dfg.node" && op->name() != "dfg.fold") continue;
+    GraphNode n;
+    n.op = op.get();
+    n.name = op->attr_string("callee");
+    n.pinned = op->attr_string("placement", "");
+    if (!costs.count(n.name))
+      return Error::make("dfg partition: no cost model for '" + n.name + "'");
+    // Folds are stateful and ordered; they stay on CPU unless pinned.
+    if (op->name() == "dfg.fold" && n.pinned.empty()) n.pinned = "cpu";
+    for (std::size_t r = 0; r < op->num_results(); ++r)
+      producer_of[op->result(r)] = n.name;
+    nodes.push_back(n);
+  }
+  if (nodes.empty()) return Error::make("dfg partition: graph has no nodes");
+  if (nodes.size() > 20)
+    return Error::make("dfg partition: exhaustive search capped at 20 nodes");
+
+  for (const auto &n : nodes) {
+    for (std::size_t i = 0; i < n.op->num_operands(); ++i) {
+      auto it = producer_of.find(n.op->operand(i));
+      if (it != producer_of.end()) consumers[it->second].push_back(n.name);
+    }
+  }
+  // Streams ultimately return to the host: dfg.output consumers are the host
+  // itself, so a producer placed on the FPGA pays the egress transfer.
+  for (auto &op : graph->region(0).front().operations()) {
+    if (op->name() != "dfg.output") continue;
+    auto it = producer_of.find(op->operand(0));
+    if (it != producer_of.end()) consumers[it->second].push_back("__host");
+  }
+
+  std::vector<std::string> order;
+  for (const auto &n : nodes) order.push_back(n.name);
+
+  // Free nodes to explore.
+  std::vector<std::size_t> free_nodes;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].pinned.empty()) free_nodes.push_back(i);
+  }
+
+  PlacementResult best;
+  bool found = false;
+  const std::size_t combos = std::size_t{1} << free_nodes.size();
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    std::map<std::string, std::string> placement;
+    placement["__host"] = "cpu";
+    std::int64_t luts = 0;
+    for (const auto &n : nodes) {
+      if (!n.pinned.empty()) placement[n.name] = n.pinned;
+    }
+    for (std::size_t k = 0; k < free_nodes.size(); ++k) {
+      const GraphNode &n = nodes[free_nodes[k]];
+      placement[n.name] = (mask >> k) & 1 ? "fpga" : "cpu";
+    }
+    for (const auto &n : nodes) {
+      if (placement[n.name] == "fpga") luts += costs.at(n.name).luts;
+    }
+    if (luts > budget.available_luts) continue;
+
+    double ms = predict_latency(order, costs, placement, consumers, budget);
+    ++best.explored;
+    if (!found || ms < best.predicted_ms) {
+      best.placement = placement;
+      best.predicted_ms = ms;
+      best.luts_used = luts;
+      found = true;
+    }
+  }
+  if (!found)
+    return Error::make("dfg partition: no feasible placement under budget");
+
+  for (auto &n : nodes)
+    n.op->set_attr("placement", ir::Attribute(best.placement.at(n.name)));
+  return best;
+}
+
+}  // namespace everest::transforms

@@ -1,0 +1,58 @@
+// everest/transforms/dfg_partition.hpp
+//
+// Compile-time CPU/FPGA placement of dfg.graph nodes (paper §VIII: "an
+// exploration using the EVEREST SDK ... to transparently decide at compile
+// time where to allocate the kernels (FPGA or CPU)"). Exhaustive search over
+// assignments (coordination graphs are small) minimizing predicted makespan
+// under the platform's resource budget, honoring user-pinned placements.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "support/expected.hpp"
+
+namespace everest::transforms {
+
+/// Per-operator cost model (measured or HLS-estimated).
+struct NodeCost {
+  double cpu_ms = 1.0;       // per-batch latency on CPU
+  double fpga_ms = 1.0;      // per-batch latency on the accelerator
+  std::int64_t luts = 0;     // FPGA resources if placed on fabric
+  double bytes = 0.0;        // data crossing the node boundary per batch
+};
+
+/// Platform constraints for the placement decision.
+struct PlacementBudget {
+  std::int64_t available_luts = 1'200'000;  // Alveo u55c-class fabric
+  double pcie_gbps = 12.0;                  // effective host<->card bandwidth
+  double transfer_overhead_ms = 0.05;       // per crossing (DMA setup)
+};
+
+/// Result of the exploration.
+struct PlacementResult {
+  std::map<std::string, std::string> placement;  // node name -> "cpu"/"fpga"
+  double predicted_ms = 0.0;
+  std::int64_t luts_used = 0;
+  std::size_t explored = 0;  // assignments evaluated
+};
+
+/// Explores placements for the first dfg.graph. `costs` maps callee names to
+/// their cost model; nodes with a pinned "placement" attribute are honored.
+/// On success the chosen placement is written back onto the node attributes.
+support::Expected<PlacementResult> partition_dfg(
+    ir::Module &module, const std::map<std::string, NodeCost> &costs,
+    const PlacementBudget &budget = {});
+
+/// Predicts end-to-end latency of a specific assignment (exposed for tests
+/// and for the E8 Pareto sweep).
+double predict_latency(const std::vector<std::string> &order,
+                       const std::map<std::string, NodeCost> &costs,
+                       const std::map<std::string, std::string> &placement,
+                       const std::map<std::string, std::vector<std::string>>
+                           &consumers,
+                       const PlacementBudget &budget);
+
+}  // namespace everest::transforms

@@ -1,0 +1,255 @@
+#include "transforms/ekl_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dialects/ekl.hpp"
+
+namespace everest::transforms {
+
+namespace {
+
+using dialects::ekl::result_indices;
+using numerics::Shape;
+using numerics::Tensor;
+using support::Error;
+using support::Expected;
+
+using ExtentMap = std::map<std::string, std::int64_t>;
+using PointMap = std::map<std::string, std::int64_t>;
+
+/// Reads the element of `t` (indexed by names `names`) at `point`.
+double fetch(const Tensor &t, const std::vector<std::string> &names,
+             const PointMap &point) {
+  if (names.empty()) return t.flat(0);
+  std::vector<std::int64_t> idx(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) idx[i] = point.at(names[i]);
+  return t.at(idx);
+}
+
+/// Iterates over the index space given by `names`/extents, calling fn(point).
+template <typename F>
+void for_each_point(const std::vector<std::string> &names,
+                    const ExtentMap &extents, PointMap &point, std::size_t dim,
+                    F &&fn) {
+  if (dim == names.size()) {
+    fn();
+    return;
+  }
+  std::int64_t n = extents.at(names[dim]);
+  for (std::int64_t v = 0; v < n; ++v) {
+    point[names[dim]] = v;
+    for_each_point(names, extents, point, dim + 1, fn);
+  }
+}
+
+Shape shape_of(const std::vector<std::string> &names, const ExtentMap &extents) {
+  Shape s;
+  s.reserve(names.size());
+  for (const auto &n : names) s.push_back(extents.at(n));
+  return s;
+}
+
+const ir::Operation *find_kernel(const ir::Module &module) {
+  for (const auto &op : module.body().operations()) {
+    if (op->name() == "ekl.kernel") return op.get();
+  }
+  return nullptr;
+}
+
+support::Status merge_extent(ExtentMap &extents, const std::string &name,
+                             std::int64_t value) {
+  auto [it, inserted] = extents.emplace(name, value);
+  if (!inserted && it->second != value) {
+    return support::Status::failure(
+        "ekl eval: conflicting extents for index '" + name + "': " +
+        std::to_string(it->second) + " vs " + std::to_string(value));
+  }
+  return support::Status::ok();
+}
+
+}  // namespace
+
+Expected<ExtentMap> resolve_ekl_extents(const ir::Operation &kernel,
+                                        const EklBindings &bindings) {
+  ExtentMap extents = bindings.extents;
+
+  // Extents from inputs.
+  for (const auto &op : kernel.region(0).front().operations()) {
+    if (op->name() == "ekl.input") {
+      std::string name = op->attr_string("name");
+      auto it = bindings.inputs.find(name);
+      if (it == bindings.inputs.end())
+        return Error::make("ekl eval: missing input tensor '" + name + "'");
+      auto idx = op->attr("indices")->as_string_vector();
+      if (it->second.rank() != idx.size())
+        return Error::make("ekl eval: input '" + name + "' rank mismatch");
+      for (std::size_t d = 0; d < idx.size(); ++d) {
+        if (auto s = merge_extent(extents, idx[d], it->second.dim(d));
+            !s.is_ok())
+          return Error::make(s.message());
+      }
+    } else if (op->name() == "ekl.stack") {
+      std::string new_index = op->attr_string("new_index");
+      if (auto s = merge_extent(extents, new_index,
+                                static_cast<std::int64_t>(op->num_operands()));
+          !s.is_ok())
+        return Error::make(s.message());
+    }
+  }
+
+  // Every index referenced anywhere must now have an extent.
+  for (const auto &op : kernel.region(0).front().operations()) {
+    const ir::Attribute *idx = op->attr("indices");
+    if (!idx || !idx->is_array()) continue;
+    for (const auto &name : idx->as_string_vector()) {
+      if (!extents.count(name))
+        return Error::make("ekl eval: unknown extent for index '" + name +
+                           "' (supply it via EklBindings::extents)");
+    }
+    const ir::Attribute *reduce = op->attr("reduce");
+    if (reduce && reduce->is_array()) {
+      for (const auto &name : reduce->as_string_vector()) {
+        if (!extents.count(name))
+          return Error::make("ekl eval: unknown extent for reduced index '" +
+                             name + "'");
+      }
+    }
+  }
+  return extents;
+}
+
+Expected<std::map<std::string, Tensor>> evaluate_ekl(
+    const ir::Module &module, const EklBindings &bindings) {
+  const ir::Operation *kernel = find_kernel(module);
+  if (!kernel) return Error::make("ekl eval: no ekl.kernel in module");
+
+  auto extents_or = resolve_ekl_extents(*kernel, bindings);
+  if (!extents_or) return extents_or.error();
+  const ExtentMap &extents = *extents_or;
+
+  std::map<const ir::Value *, Tensor> values;
+  std::map<std::string, Tensor> outputs;
+
+  auto operand_tensor = [&](const ir::Operation &op, std::size_t i)
+      -> const Tensor & { return values.at(op.operand(i)); };
+
+  for (const auto &op_ptr : kernel->region(0).front().operations()) {
+    const ir::Operation &op = *op_ptr;
+    const std::string &name = op.name();
+
+    if (name == "ekl.output") {
+      outputs.emplace(op.attr_string("name"), operand_tensor(op, 0));
+      continue;
+    }
+
+    std::vector<std::string> out_idx =
+        op.num_results() > 0 ? result_indices(*op.result(0))
+                             : std::vector<std::string>{};
+    Tensor result(shape_of(out_idx, extents));
+
+    if (name == "ekl.input") {
+      result = bindings.inputs.at(op.attr_string("name"));
+    } else if (name == "ekl.literal") {
+      result = Tensor::scalar(op.attr_double("value"));
+    } else if (name == "ekl.index") {
+      std::int64_t n = extents.at(op.attr_string("name"));
+      for (std::int64_t v = 0; v < n; ++v) result.flat(v) = static_cast<double>(v);
+    } else if (name == "ekl.binary" || name == "ekl.compare") {
+      const Tensor &lhs = operand_tensor(op, 0);
+      const Tensor &rhs = operand_tensor(op, 1);
+      auto lidx = result_indices(*op.operand(0));
+      auto ridx = result_indices(*op.operand(1));
+      std::string fn = name == "ekl.binary" ? op.attr_string("fn")
+                                            : op.attr_string("predicate");
+      PointMap point;
+      std::int64_t flat = 0;
+      for_each_point(out_idx, extents, point, 0, [&] {
+        double a = fetch(lhs, lidx, point);
+        double b = fetch(rhs, ridx, point);
+        double v = 0.0;
+        if (fn == "add") v = a + b;
+        else if (fn == "sub") v = a - b;
+        else if (fn == "mul") v = a * b;
+        else if (fn == "div") v = a / b;
+        else if (fn == "min") v = std::min(a, b);
+        else if (fn == "max") v = std::max(a, b);
+        else if (fn == "le") v = a <= b ? 1.0 : 0.0;
+        else if (fn == "lt") v = a < b ? 1.0 : 0.0;
+        else if (fn == "ge") v = a >= b ? 1.0 : 0.0;
+        else if (fn == "gt") v = a > b ? 1.0 : 0.0;
+        else if (fn == "eq") v = a == b ? 1.0 : 0.0;
+        else if (fn == "ne") v = a != b ? 1.0 : 0.0;
+        result.flat(flat++) = v;
+      });
+    } else if (name == "ekl.select") {
+      const Tensor &cond = operand_tensor(op, 0);
+      const Tensor &then_t = operand_tensor(op, 1);
+      const Tensor &else_t = operand_tensor(op, 2);
+      auto cidx = result_indices(*op.operand(0));
+      auto tidx = result_indices(*op.operand(1));
+      auto eidx = result_indices(*op.operand(2));
+      PointMap point;
+      std::int64_t flat = 0;
+      for_each_point(out_idx, extents, point, 0, [&] {
+        result.flat(flat++) = fetch(cond, cidx, point) != 0.0
+                                  ? fetch(then_t, tidx, point)
+                                  : fetch(else_t, eidx, point);
+      });
+    } else if (name == "ekl.sum") {
+      const Tensor &src = operand_tensor(op, 0);
+      auto sidx = result_indices(*op.operand(0));
+      auto reduce = op.attr("reduce")->as_string_vector();
+      PointMap point;
+      std::int64_t flat = 0;
+      for_each_point(out_idx, extents, point, 0, [&] {
+        double acc = 0.0;
+        PointMap inner = point;
+        for_each_point(reduce, extents, inner, 0,
+                       [&] { acc += fetch(src, sidx, inner); });
+        result.flat(flat++) = acc;
+      });
+    } else if (name == "ekl.gather") {
+      const Tensor &src = operand_tensor(op, 0);
+      auto sidx = result_indices(*op.operand(0));
+      std::size_t n_bound = op.num_operands() - 1;
+      PointMap point;
+      std::int64_t flat = 0;
+      for_each_point(out_idx, extents, point, 0, [&] {
+        std::vector<std::int64_t> src_point(sidx.size());
+        for (std::size_t d = 0; d < sidx.size(); ++d) {
+          std::int64_t v;
+          if (d < n_bound) {
+            const Tensor &sub = operand_tensor(op, d + 1);
+            auto sub_idx = result_indices(*op.operand(d + 1));
+            v = static_cast<std::int64_t>(
+                std::llround(fetch(sub, sub_idx, point)));
+          } else {
+            v = point.at(sidx[d]);  // retained trailing index
+          }
+          v = std::clamp<std::int64_t>(v, 0, src.dim(d) - 1);
+          src_point[d] = v;
+        }
+        result.flat(flat++) = src.at(src_point);
+      });
+    } else if (name == "ekl.stack") {
+      std::string new_index = op.attr_string("new_index");
+      PointMap point;
+      std::int64_t flat = 0;
+      for_each_point(out_idx, extents, point, 0, [&] {
+        auto part = static_cast<std::size_t>(point.at(new_index));
+        const Tensor &src = operand_tensor(op, part);
+        auto pidx = result_indices(*op.operand(part));
+        result.flat(flat++) = fetch(src, pidx, point);
+      });
+    } else {
+      return Error::make("ekl eval: unsupported op '" + name + "'");
+    }
+
+    if (op.num_results() > 0) values.emplace(op.result(0), std::move(result));
+  }
+
+  return outputs;
+}
+
+}  // namespace everest::transforms

@@ -1,0 +1,36 @@
+// everest/transforms/ekl_eval.hpp
+//
+// Reference interpreter for the EKL dialect. Used to (a) validate frontend
+// programs against hand-written reference kernels (Fig. 3 / RRTMG) and
+// (b) cross-check the ekl->teil lowering (property: same results).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ir/ir.hpp"
+#include "numerics/tensor.hpp"
+#include "support/expected.hpp"
+
+namespace everest::transforms {
+
+/// Evaluation inputs: named tensors (dims aligned with the input's declared
+/// index names) plus explicit extents for iteration indices that appear in
+/// no input (e.g. the stacked index pairs of Fig. 3).
+struct EklBindings {
+  std::map<std::string, numerics::Tensor> inputs;
+  std::map<std::string, std::int64_t> extents;
+};
+
+/// Evaluates the first ekl.kernel in `module`; returns the output tensors
+/// keyed by output name. Dims of each output follow its index order.
+support::Expected<std::map<std::string, numerics::Tensor>> evaluate_ekl(
+    const ir::Module &module, const EklBindings &bindings);
+
+/// Resolves the extent of every index appearing in the kernel (from inputs
+/// and explicit extents); fails on conflicts or unknowns.
+support::Expected<std::map<std::string, std::int64_t>> resolve_ekl_extents(
+    const ir::Operation &kernel, const EklBindings &bindings);
+
+}  // namespace everest::transforms

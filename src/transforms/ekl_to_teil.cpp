@@ -1,0 +1,186 @@
+#include "transforms/ekl_to_teil.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "dialects/ekl.hpp"
+#include "ir/builder.hpp"
+
+namespace everest::transforms {
+
+namespace {
+
+using dialects::ekl::result_indices;
+using ir::Attribute;
+using ir::Operation;
+using ir::Type;
+using ir::Value;
+using support::Error;
+using support::Expected;
+
+using ExtentMap = std::map<std::string, std::int64_t>;
+
+Type teil_type(const std::vector<std::string> &indices,
+               const ExtentMap &extents) {
+  if (indices.empty()) return Type::floating(64);
+  std::vector<std::int64_t> dims;
+  dims.reserve(indices.size());
+  for (const auto &i : indices) dims.push_back(extents.at(i));
+  return Type::tensor(std::move(dims), Type::floating(64));
+}
+
+/// Emits teil.broadcast aligning `src` (indexed by src_idx) to out_idx.
+/// The "map" attribute lists, per output dim, the source dim or -1.
+Value *broadcast_to(ir::OpBuilder &b, Value *src,
+                    const std::vector<std::string> &src_idx,
+                    const std::vector<std::string> &out_idx,
+                    const ExtentMap &extents) {
+  if (src_idx == out_idx) return src;
+  std::vector<std::int64_t> map;
+  map.reserve(out_idx.size());
+  for (const auto &o : out_idx) {
+    auto it = std::find(src_idx.begin(), src_idx.end(), o);
+    map.push_back(it == src_idx.end()
+                      ? -1
+                      : static_cast<std::int64_t>(it - src_idx.begin()));
+  }
+  return b.create_value("teil.broadcast", {src}, teil_type(out_idx, extents),
+                        {{"map", Attribute::int_array(map)}});
+}
+
+class Lowering {
+public:
+  Lowering(const Operation &kernel, ExtentMap extents)
+      : kernel_(kernel), extents_(std::move(extents)) {}
+
+  Expected<std::shared_ptr<ir::Module>> run() {
+    auto out = std::make_shared<ir::Module>();
+    auto func = Operation::create(
+        "teil.func", {}, {},
+        {{"sym_name", Attribute(kernel_.attr_string("sym_name"))}}, 1);
+    ir::Block &body = func->region(0).add_block();
+    out->body().push_back(std::move(func));
+    ir::OpBuilder b(&body);
+
+    for (const auto &op_ptr : kernel_.region(0).front().operations()) {
+      if (auto s = lower_op(b, *op_ptr); !s.is_ok())
+        return Error::make(s.message());
+    }
+    return out;
+  }
+
+private:
+  support::Status lower_op(ir::OpBuilder &b, const Operation &op) {
+    const std::string &name = op.name();
+
+    if (name == "ekl.output") {
+      b.create("teil.output", {mapped(op.operand(0))}, {},
+               {{"name", Attribute(op.attr_string("name"))}});
+      return support::Status::ok();
+    }
+
+    std::vector<std::string> out_idx = result_indices(*op.result(0));
+    Type out_type = teil_type(out_idx, extents_);
+    Value *result = nullptr;
+
+    if (name == "ekl.input") {
+      result = b.create_value("teil.input", {}, out_type,
+                              {{"name", Attribute(op.attr_string("name"))}});
+    } else if (name == "ekl.literal") {
+      result = b.create_value("teil.constant", {}, out_type,
+                              {{"value", Attribute(op.attr_double("value"))}});
+    } else if (name == "ekl.index") {
+      result = b.create_value("teil.iota", {}, out_type);
+    } else if (name == "ekl.binary" || name == "ekl.compare" ||
+               name == "ekl.select") {
+      std::string fn;
+      if (name == "ekl.binary") fn = op.attr_string("fn");
+      else if (name == "ekl.compare") fn = "cmp_" + op.attr_string("predicate");
+      else fn = "select";
+      std::vector<Value *> aligned;
+      for (std::size_t i = 0; i < op.num_operands(); ++i) {
+        aligned.push_back(broadcast_to(b, mapped(op.operand(i)),
+                                       result_indices(*op.operand(i)), out_idx,
+                                       extents_));
+      }
+      result = b.create_value("teil.map", aligned, out_type,
+                              {{"fn", Attribute(fn)}});
+    } else if (name == "ekl.sum") {
+      auto src_idx = result_indices(*op.operand(0));
+      auto reduce = op.attr("reduce")->as_string_vector();
+      std::vector<std::int64_t> axes;
+      for (std::size_t d = 0; d < src_idx.size(); ++d) {
+        if (std::find(reduce.begin(), reduce.end(), src_idx[d]) != reduce.end())
+          axes.push_back(static_cast<std::int64_t>(d));
+      }
+      result = b.create_value("teil.reduce", {mapped(op.operand(0))}, out_type,
+                              {{"axes", Attribute::int_array(axes)}});
+    } else if (name == "ekl.gather") {
+      Value *src = mapped(op.operand(0));
+      auto src_idx = result_indices(*op.operand(0));
+      std::size_t n_bound = op.num_operands() - 1;
+      std::vector<Value *> operands{src};
+      for (std::size_t d = 0; d < src_idx.size(); ++d) {
+        Value *idx_tensor = nullptr;
+        if (d < n_bound) {
+          idx_tensor = broadcast_to(b, mapped(op.operand(d + 1)),
+                                    result_indices(*op.operand(d + 1)), out_idx,
+                                    extents_);
+        } else {
+          // Retained dim: identity over its index name.
+          const std::string &idx_name = src_idx[d];
+          Value *iota = b.create_value("teil.iota", {},
+                                       teil_type({idx_name}, extents_));
+          idx_tensor = broadcast_to(b, iota, {idx_name}, out_idx, extents_);
+        }
+        operands.push_back(idx_tensor);
+      }
+      result = b.create_value("teil.gather", operands, out_type);
+    } else if (name == "ekl.stack") {
+      // Parts are broadcast to out_idx minus the trailing new index.
+      std::vector<std::string> part_idx(out_idx.begin(), out_idx.end() - 1);
+      std::vector<Value *> parts;
+      for (std::size_t i = 0; i < op.num_operands(); ++i) {
+        parts.push_back(broadcast_to(b, mapped(op.operand(i)),
+                                     result_indices(*op.operand(i)), part_idx,
+                                     extents_));
+      }
+      result = b.create_value("teil.stack", parts, out_type);
+    } else {
+      return support::Status::failure("ekl->teil: unsupported op '" + name +
+                                      "'");
+    }
+
+    value_map_[op.result(0)] = result;
+    return support::Status::ok();
+  }
+
+  Value *mapped(const Value *ekl_value) const {
+    return value_map_.at(ekl_value);
+  }
+
+  const Operation &kernel_;
+  ExtentMap extents_;
+  std::map<const Value *, Value *> value_map_;
+};
+
+}  // namespace
+
+Expected<std::shared_ptr<ir::Module>> lower_ekl_to_teil(
+    const ir::Module &module, const EklBindings &bindings) {
+  const Operation *kernel = nullptr;
+  for (const auto &op : module.body().operations()) {
+    if (op->name() == "ekl.kernel") {
+      kernel = op.get();
+      break;
+    }
+  }
+  if (!kernel) return Error::make("ekl->teil: no ekl.kernel in module");
+
+  auto extents = resolve_ekl_extents(*kernel, bindings);
+  if (!extents) return extents.error();
+  return Lowering(*kernel, std::move(*extents)).run();
+}
+
+}  // namespace everest::transforms

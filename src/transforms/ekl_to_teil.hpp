@@ -1,0 +1,22 @@
+// everest/transforms/ekl_to_teil.hpp
+//
+// Lowers an ekl.kernel (named-index tensor expressions, dynamic shapes) into
+// a teil.func (positional static-shape tensor ops) by binding index extents.
+// This is the first hop of the Fig. 5 path  ekl -> teil -> loops -> HLS.
+#pragma once
+
+#include <memory>
+
+#include "ir/ir.hpp"
+#include "support/expected.hpp"
+#include "transforms/ekl_eval.hpp"
+
+namespace everest::transforms {
+
+/// Lowers the first ekl.kernel in `module` into a new module holding a
+/// teil.func with the same name. Extents come from `bindings` exactly as in
+/// evaluation (inputs provide most; explicit extents cover the rest).
+support::Expected<std::shared_ptr<ir::Module>> lower_ekl_to_teil(
+    const ir::Module &module, const EklBindings &bindings);
+
+}  // namespace everest::transforms

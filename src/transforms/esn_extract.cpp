@@ -1,0 +1,283 @@
+#include "transforms/esn_extract.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "ir/builder.hpp"
+
+namespace everest::transforms {
+
+namespace {
+
+using ir::Attribute;
+using ir::Operation;
+using ir::Type;
+using ir::Value;
+using support::Error;
+using support::Expected;
+
+char letter(std::size_t i) { return static_cast<char>('a' + i); }
+
+/// Recursively peels mul-trees and broadcasts, collecting leaf factors with
+/// their subscript strings. Returns false if an unfoldable shape is hit.
+bool collect_factors(Value *v, const std::string &subs,
+                     std::vector<std::pair<Value *, std::string>> &out) {
+  Operation *def = v->defining_op();
+  if (def && def->name() == "teil.map" && def->attr_string("fn") == "mul" &&
+      def->num_operands() == 2) {
+    return collect_factors(def->operand(0), subs, out) &&
+           collect_factors(def->operand(1), subs, out);
+  }
+  if (def && def->name() == "teil.broadcast") {
+    auto map = def->attr("map")->as_int_vector();
+    const Type &src_t = def->operand(0)->type();
+    std::size_t src_rank = src_t.is_tensor() ? src_t.dims().size() : 0;
+    std::string src_subs(src_rank, '?');
+    for (std::size_t d = 0; d < map.size(); ++d) {
+      if (map[d] >= 0) src_subs[static_cast<std::size_t>(map[d])] = subs[d];
+    }
+    if (src_subs.find('?') != std::string::npos) return false;
+    return collect_factors(def->operand(0), src_subs, out);
+  }
+  // Leaf: subscripts are the current letters (scalar leaves use "").
+  const Type &t = v->type();
+  std::size_t rank = t.is_tensor() ? t.dims().size() : 0;
+  if (rank != subs.size()) return false;
+  out.emplace_back(v, subs);
+  return true;
+}
+
+std::map<char, std::int64_t> letter_extents(const Operation &einsum) {
+  std::map<char, std::int64_t> extents;
+  auto subs = einsum.attr("subscripts")->as_string_vector();
+  for (std::size_t i = 0; i < einsum.num_operands(); ++i) {
+    const Type &t = einsum.operand(i)->type();
+    for (std::size_t d = 0; d < subs[i].size(); ++d)
+      extents[subs[i][d]] = t.is_tensor() ? t.dims()[d] : 1;
+  }
+  return extents;
+}
+
+double space_size(const std::set<char> &letters,
+                  const std::map<char, std::int64_t> &extents) {
+  double s = 1.0;
+  for (char c : letters) s *= static_cast<double>(extents.at(c));
+  return s;
+}
+
+/// Letters the pairwise contraction of a+b must keep: anything still needed
+/// by the output or by unmerged operands.
+std::string result_subs(const std::string &sa, const std::string &sb,
+                        const std::set<char> &needed_elsewhere) {
+  std::set<char> mine(sa.begin(), sa.end());
+  mine.insert(sb.begin(), sb.end());
+  std::string out;
+  for (char c : mine) {
+    if (needed_elsewhere.count(c)) out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t extract_einsums(ir::Module &module) {
+  std::size_t raised = 0;
+  std::vector<Operation *> reduces = module.find_all("teil.reduce");
+  for (Operation *reduce : reduces) {
+    Value *src = reduce->operand(0);
+    const Type &src_t = src->type();
+    if (!src_t.is_tensor()) continue;
+    std::size_t rank = src_t.dims().size();
+
+    std::string subs;
+    for (std::size_t d = 0; d < rank; ++d) subs += letter(d);
+
+    std::vector<std::pair<Value *, std::string>> factors;
+    if (!collect_factors(src, subs, factors) || factors.size() < 2) continue;
+
+    auto axes = reduce->attr("axes")->as_int_vector();
+    std::set<std::int64_t> reduced(axes.begin(), axes.end());
+    std::string out_subs;
+    for (std::size_t d = 0; d < rank; ++d) {
+      if (!reduced.count(static_cast<std::int64_t>(d))) out_subs += letter(d);
+    }
+
+    std::vector<Value *> operands;
+    std::vector<std::string> operand_subs;
+    for (auto &[v, s] : factors) {
+      operands.push_back(v);
+      operand_subs.push_back(s);
+    }
+
+    ir::OpBuilder b(reduce->parent_block());
+    b.set_insertion_point(reduce);
+    Value *einsum = b.create_value(
+        "esn.einsum", operands, reduce->result(0)->type(),
+        {{"subscripts", Attribute::string_array(operand_subs)},
+         {"out", Attribute(out_subs)}});
+    reduce->replace_all_uses_with({einsum});
+    reduce->parent_block()->erase(reduce);
+    ++raised;
+  }
+  return raised;
+}
+
+EinsumPlan plan_einsum(const Operation &einsum, bool optimize) {
+  auto subs = einsum.attr("subscripts")->as_string_vector();
+  std::string out = einsum.attr_string("out");
+  auto extents = letter_extents(einsum);
+
+  // Working set: (position, subscripts); merged intermediates keep the lower
+  // position index.
+  struct Item {
+    std::size_t pos;
+    std::string subs;
+    bool alive = true;
+  };
+  std::vector<Item> items;
+  for (std::size_t i = 0; i < subs.size(); ++i) items.push_back({i, subs[i]});
+
+  EinsumPlan plan;
+  std::size_t alive = items.size();
+  while (alive > 1) {
+    // Letters needed outside any chosen pair: from out + other alive items.
+    auto needed_without = [&](std::size_t a, std::size_t b) {
+      std::set<char> needed(out.begin(), out.end());
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        if (!items[k].alive || k == a || k == b) continue;
+        needed.insert(items[k].subs.begin(), items[k].subs.end());
+      }
+      return needed;
+    };
+
+    std::size_t best_a = items.size(), best_b = items.size();
+    double best_size = 0.0;
+    if (optimize) {
+      for (std::size_t a = 0; a < items.size(); ++a) {
+        if (!items[a].alive) continue;
+        for (std::size_t b = a + 1; b < items.size(); ++b) {
+          if (!items[b].alive) continue;
+          auto needed = needed_without(a, b);
+          std::string rs = result_subs(items[a].subs, items[b].subs, needed);
+          double size =
+              space_size(std::set<char>(rs.begin(), rs.end()), extents);
+          if (best_a == items.size() || size < best_size) {
+            best_a = a;
+            best_b = b;
+            best_size = size;
+          }
+        }
+      }
+    } else {
+      // Left-to-right: first two alive items.
+      for (std::size_t k = 0; k < items.size() && best_b == items.size(); ++k) {
+        if (!items[k].alive) continue;
+        if (best_a == items.size()) best_a = k;
+        else best_b = k;
+      }
+    }
+
+    auto needed = needed_without(best_a, best_b);
+    std::string rs = result_subs(items[best_a].subs, items[best_b].subs, needed);
+    std::set<char> space(items[best_a].subs.begin(), items[best_a].subs.end());
+    space.insert(items[best_b].subs.begin(), items[best_b].subs.end());
+    plan.estimated_flops += 2.0 * space_size(space, extents);
+    plan.steps.emplace_back(items[best_a].pos, items[best_b].pos);
+
+    items[best_a].subs = rs;
+    items[best_b].alive = false;
+    --alive;
+  }
+  return plan;
+}
+
+Expected<double> lower_esn(ir::Module &module, bool optimize_order) {
+  double total_flops = 0.0;
+  for (Operation *einsum : module.find_all("esn.einsum")) {
+    auto subs = einsum->attr("subscripts")->as_string_vector();
+    std::string out = einsum->attr_string("out");
+    auto extents = letter_extents(*einsum);
+    EinsumPlan plan = plan_einsum(*einsum, optimize_order);
+    total_flops += plan.estimated_flops;
+
+    struct Item {
+      Value *value;
+      std::string subs;
+      bool alive = true;
+    };
+    std::vector<Item> items;
+    for (std::size_t i = 0; i < einsum->num_operands(); ++i)
+      items.push_back({einsum->operand(i), subs[i]});
+
+    ir::OpBuilder b(einsum->parent_block());
+    b.set_insertion_point(einsum);
+
+    for (auto [pa, pb] : plan.steps) {
+      std::set<char> needed(out.begin(), out.end());
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        if (!items[k].alive || k == pa || k == pb) continue;
+        needed.insert(items[k].subs.begin(), items[k].subs.end());
+      }
+      std::string rs = result_subs(items[pa].subs, items[pb].subs, needed);
+      std::vector<std::int64_t> dims;
+      for (char c : rs) dims.push_back(extents.at(c));
+      Type rt = dims.empty() ? Type::floating(64)
+                             : Type::tensor(dims, Type::floating(64));
+      Value *contracted = b.create_value(
+          "teil.contract", {items[pa].value, items[pb].value}, rt,
+          {{"lhs", Attribute(items[pa].subs)},
+           {"rhs", Attribute(items[pb].subs)},
+           {"out", Attribute(rs)}});
+      items[pa] = {contracted, rs, true};
+      items[pb].alive = false;
+    }
+
+    Value *final_value = nullptr;
+    for (auto &item : items) {
+      if (item.alive) {
+        final_value = item.value;
+        // The final intermediate's subscripts may be a permutation of `out`.
+        if (item.subs != out) {
+          std::vector<std::int64_t> perm;
+          for (char c : out)
+            perm.push_back(static_cast<std::int64_t>(item.subs.find(c)));
+          final_value = b.create_value("teil.transpose", {final_value},
+                                       einsum->result(0)->type(),
+                                       {{"perm", Attribute::int_array(perm)}});
+        }
+        break;
+      }
+    }
+    if (!final_value) return Error::make("esn lower: empty einsum");
+    einsum->replace_all_uses_with({final_value});
+    einsum->parent_block()->erase(einsum);
+  }
+  return total_flops;
+}
+
+std::size_t eliminate_dead_code(ir::Module &module) {
+  std::size_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Operation *> dead;
+    module.walk([&](Operation &op) {
+      if (op.num_results() == 0) return;  // outputs & other side effects
+      if (op.num_regions() > 0) return;
+      for (std::size_t r = 0; r < op.num_results(); ++r) {
+        if (op.result(r)->has_uses()) return;
+      }
+      dead.push_back(&op);
+    });
+    for (Operation *op : dead) {
+      op->parent_block()->erase(op);
+      ++removed;
+      changed = true;
+    }
+  }
+  return removed;
+}
+
+}  // namespace everest::transforms

@@ -1,0 +1,43 @@
+// everest/transforms/esn_extract.hpp
+//
+// The esn (Einstein notation) hop of Fig. 5: raises teil reduce-of-multiply
+// trees into n-ary esn.einsum ops, plans a pairwise contraction order
+// (naive left-to-right vs greedy size-minimizing — the paper's compiler-level
+// optimization decoupling, §VIII), and lowers back to binary teil.contract
+// chains.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "support/expected.hpp"
+
+namespace everest::transforms {
+
+/// Replaces teil.reduce(mul-tree) patterns with esn.einsum ops. Returns the
+/// number of einsums raised. Dead mul/broadcast chains are left for
+/// eliminate_dead_code.
+std::size_t extract_einsums(ir::Module &module);
+
+/// Estimated scalar flops of executing an esn.einsum with the given pairwise
+/// order policy.
+struct EinsumPlan {
+  /// Sequence of operand-list positions contracted pairwise; after each step
+  /// the intermediate takes the smaller position.
+  std::vector<std::pair<std::size_t, std::size_t>> steps;
+  double estimated_flops = 0.0;
+};
+
+/// Plans the contraction order of one esn.einsum. `optimize` selects the
+/// greedy minimum-intermediate-size policy; otherwise left-to-right.
+EinsumPlan plan_einsum(const ir::Operation &einsum, bool optimize);
+
+/// Lowers every esn.einsum back into binary teil.contract chains using the
+/// chosen policy. Returns total estimated flops of the lowered contractions.
+support::Expected<double> lower_esn(ir::Module &module, bool optimize_order);
+
+/// Removes pure ops whose results are all unused; returns ops removed.
+std::size_t eliminate_dead_code(ir::Module &module);
+
+}  // namespace everest::transforms

@@ -1,0 +1,188 @@
+#include "transforms/loop_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace everest::transforms {
+
+namespace {
+
+using numerics::Shape;
+using numerics::Tensor;
+using support::Error;
+using support::Expected;
+
+class LoopInterpreter {
+public:
+  explicit LoopInterpreter(const std::map<std::string, Tensor> &inputs)
+      : inputs_(inputs) {}
+
+  Expected<std::map<std::string, Tensor>> run(const ir::Operation &func) {
+    if (auto s = execute_block(func.region(0).front()); !s.is_ok())
+      return Error::make(s.message());
+    std::map<std::string, Tensor> outputs;
+    for (const auto &[value, name] : output_names_)
+      outputs.emplace(name, buffers_.at(value));
+    return outputs;
+  }
+
+private:
+  support::Status execute_block(const ir::Block &block) {
+    for (const auto &op_ptr : block.operations()) {
+      if (auto s = execute_op(*op_ptr); !s.is_ok()) return s;
+    }
+    return support::Status::ok();
+  }
+
+  double scalar(const ir::Value *v) const { return scalars_.at(v); }
+
+  std::int64_t index_of(const ir::Operation &op, std::size_t first,
+                        const Tensor &buffer) const {
+    // Row-major flat index from the trailing index operands.
+    const auto &dims = buffer.shape();
+    std::int64_t flat = 0;
+    std::size_t n_idx = op.num_operands() - first;
+    for (std::size_t d = 0; d < n_idx; ++d) {
+      auto i = static_cast<std::int64_t>(
+          std::llround(scalar(op.operand(first + d))));
+      i = std::clamp<std::int64_t>(i, 0, dims[d] - 1);
+      flat = flat * dims[d] + i;
+    }
+    return flat;
+  }
+
+  support::Status execute_op(const ir::Operation &op) {
+    const std::string &name = op.name();
+
+    if (name == "memref.alloc") {
+      const ir::Type &t = op.result(0)->type();
+      Shape shape = t.is_tensor() ? Shape(t.dims().begin(), t.dims().end())
+                                  : Shape{};
+      Tensor buffer(shape);
+      std::string kind = op.attr_string("kind", "");
+      if (kind == "input") {
+        auto it = inputs_.find(op.attr_string("name"));
+        if (it == inputs_.end())
+          return support::Status::failure("loop eval: missing input '" +
+                                          op.attr_string("name") + "'");
+        if (it->second.size() != buffer.size())
+          return support::Status::failure("loop eval: input size mismatch '" +
+                                          op.attr_string("name") + "'");
+        std::copy(it->second.data().begin(), it->second.data().end(),
+                  buffer.data().begin());
+      } else if (kind == "output") {
+        output_names_[op.result(0)] = op.attr_string("name");
+      }
+      buffers_.emplace(op.result(0), std::move(buffer));
+      return support::Status::ok();
+    }
+
+    if (name == "arith.constant") {
+      scalars_[op.result(0)] = op.attr_double("value");
+      return support::Status::ok();
+    }
+
+    if (name == "scf.for") {
+      auto lo = static_cast<std::int64_t>(std::llround(scalar(op.operand(0))));
+      auto hi = static_cast<std::int64_t>(std::llround(scalar(op.operand(1))));
+      auto step =
+          static_cast<std::int64_t>(std::llround(scalar(op.operand(2))));
+      if (step <= 0)
+        return support::Status::failure("loop eval: non-positive step");
+      const ir::Block &body = op.region(0).front();
+      const ir::Value *iv = &body.argument(0);
+      for (std::int64_t i = lo; i < hi; i += step) {
+        scalars_[iv] = static_cast<double>(i);
+        if (auto s = execute_block(body); !s.is_ok()) return s;
+      }
+      return support::Status::ok();
+    }
+
+    if (name == "scf.yield") return support::Status::ok();
+
+    if (name == "memref.load") {
+      const Tensor &buffer = buffers_.at(op.operand(0));
+      std::int64_t flat =
+          buffer.rank() == 0 ? 0 : index_of(op, 1, buffer);
+      scalars_[op.result(0)] = buffer.flat(flat);
+      return support::Status::ok();
+    }
+
+    if (name == "memref.store") {
+      Tensor &buffer = buffers_.at(op.operand(1));
+      std::int64_t flat =
+          buffer.rank() == 0 ? 0 : index_of(op, 2, buffer);
+      buffer.flat(flat) = scalar(op.operand(0));
+      return support::Status::ok();
+    }
+
+    if (name == "memref.copy") {
+      const Tensor &src = buffers_.at(op.operand(0));
+      Tensor &dst = buffers_.at(op.operand(1));
+      if (src.size() != dst.size())
+        return support::Status::failure("loop eval: copy size mismatch");
+      std::copy(src.data().begin(), src.data().end(), dst.data().begin());
+      return support::Status::ok();
+    }
+
+    // Scalar arithmetic.
+    auto a = [&](std::size_t i) { return scalar(op.operand(i)); };
+    double v = 0.0;
+    if (name == "arith.addf" || name == "arith.addi") v = a(0) + a(1);
+    else if (name == "arith.subf" || name == "arith.subi") v = a(0) - a(1);
+    else if (name == "arith.mulf" || name == "arith.muli") v = a(0) * a(1);
+    else if (name == "arith.divf") v = a(0) / a(1);
+    else if (name == "arith.minf") v = std::min(a(0), a(1));
+    else if (name == "arith.maxf") v = std::max(a(0), a(1));
+    else if (name == "arith.negf") v = -a(0);
+    else if (name == "arith.exp") v = std::exp(a(0));
+    else if (name == "arith.log") v = std::log(a(0));
+    else if (name == "arith.sqrt") v = std::sqrt(a(0));
+    else if (name == "arith.floor") v = std::floor(a(0));
+    else if (name == "arith.sitofp" || name == "arith.fptosi" ||
+             name == "arith.index_cast") {
+      v = name == "arith.fptosi" ? std::trunc(a(0)) : a(0);
+    } else if (name == "arith.cmpf" || name == "arith.cmpi") {
+      std::string pred = op.attr_string("predicate");
+      bool r = false;
+      if (pred == "ole" || pred == "le") r = a(0) <= a(1);
+      else if (pred == "olt" || pred == "lt") r = a(0) < a(1);
+      else if (pred == "oge" || pred == "ge") r = a(0) >= a(1);
+      else if (pred == "ogt" || pred == "gt") r = a(0) > a(1);
+      else if (pred == "oeq" || pred == "eq") r = a(0) == a(1);
+      else if (pred == "one" || pred == "ne") r = a(0) != a(1);
+      else return support::Status::failure("loop eval: unknown predicate '" +
+                                           pred + "'");
+      v = r ? 1.0 : 0.0;
+    } else if (name == "arith.select") {
+      v = a(0) != 0.0 ? a(1) : a(2);
+    } else {
+      return support::Status::failure("loop eval: unsupported op '" + name +
+                                      "'");
+    }
+    scalars_[op.result(0)] = v;
+    return support::Status::ok();
+  }
+
+  const std::map<std::string, Tensor> &inputs_;
+  std::map<const ir::Value *, double> scalars_;
+  std::map<const ir::Value *, Tensor> buffers_;
+  std::map<const ir::Value *, std::string> output_names_;
+};
+
+}  // namespace
+
+Expected<std::map<std::string, Tensor>> evaluate_loops(
+    const ir::Module &module, const std::map<std::string, Tensor> &inputs) {
+  const ir::Operation *func = nullptr;
+  for (const auto &op : module.body().operations()) {
+    if (op->name() == "func.func") {
+      func = op.get();
+      break;
+    }
+  }
+  if (!func) return Error::make("loop eval: no func.func in module");
+  return LoopInterpreter(inputs).run(*func);
+}
+
+}  // namespace everest::transforms

@@ -1,0 +1,25 @@
+// everest/transforms/loop_eval.hpp
+//
+// Interpreter for the loop-level IR (func.func over scf.for / memref /
+// arith) produced by lower_teil_to_loops. This closes the verification
+// chain: EKL eval == TeIL eval == loop eval, so the exact IR the HLS engine
+// schedules is known to compute the right values.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ir/ir.hpp"
+#include "numerics/tensor.hpp"
+#include "support/expected.hpp"
+
+namespace everest::transforms {
+
+/// Executes the first func.func in `module`. Buffers tagged kind="input"
+/// are initialized from `inputs` (by their "name" attribute); buffers tagged
+/// kind="output" are returned by name after execution.
+support::Expected<std::map<std::string, numerics::Tensor>> evaluate_loops(
+    const ir::Module &module,
+    const std::map<std::string, numerics::Tensor> &inputs);
+
+}  // namespace everest::transforms

@@ -1,0 +1,255 @@
+#include "transforms/teil_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace everest::transforms {
+
+namespace {
+
+using numerics::Shape;
+using numerics::Tensor;
+using support::Error;
+using support::Expected;
+
+Shape shape_from_type(const ir::Type &t) {
+  if (!t.is_tensor()) return {};
+  return Shape(t.dims().begin(), t.dims().end());
+}
+
+const ir::Operation *find_func(const ir::Module &module) {
+  for (const auto &op : module.body().operations()) {
+    if (op->name() == "teil.func") return op.get();
+  }
+  return nullptr;
+}
+
+/// Walks the multi-index `idx` over `shape` like an odometer; returns false
+/// after the last index.
+bool advance(std::vector<std::int64_t> &idx, const Shape &shape) {
+  for (std::size_t d = idx.size(); d-- > 0;) {
+    if (++idx[d] < shape[d]) return true;
+    idx[d] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Expected<std::map<std::string, Tensor>> evaluate_teil(
+    const ir::Module &module, const std::map<std::string, Tensor> &inputs,
+    const numerics::NumberFormat *format) {
+  const ir::Operation *func = find_func(module);
+  if (!func) return Error::make("teil eval: no teil.func in module");
+
+  std::map<const ir::Value *, Tensor> values;
+  std::map<std::string, Tensor> outputs;
+  std::set<const ir::Value *> counter_values;
+
+  auto val = [&](const ir::Operation &op, std::size_t i) -> const Tensor & {
+    return values.at(op.operand(i));
+  };
+
+  for (const auto &op_ptr : func->region(0).front().operations()) {
+    const ir::Operation &op = *op_ptr;
+    const std::string &name = op.name();
+
+    if (name == "teil.output") {
+      outputs.emplace(op.attr_string("name"), val(op, 0));
+      continue;
+    }
+
+    Shape out_shape = shape_from_type(op.result(0)->type());
+    Tensor result(out_shape);
+
+    if (name == "teil.input") {
+      auto it = inputs.find(op.attr_string("name"));
+      if (it == inputs.end())
+        return Error::make("teil eval: missing input '" +
+                           op.attr_string("name") + "'");
+      if (it->second.shape() != out_shape)
+        return Error::make("teil eval: shape mismatch for input '" +
+                           op.attr_string("name") + "'");
+      result = it->second;
+    } else if (name == "teil.constant") {
+      result = Tensor(out_shape, op.attr_double("value"));
+    } else if (name == "teil.iota") {
+      for (std::int64_t i = 0; i < result.size(); ++i)
+        result.flat(i) = static_cast<double>(i);
+    } else if (name == "teil.broadcast") {
+      const Tensor &src = val(op, 0);
+      auto map = op.attr("map")->as_int_vector();
+      std::vector<std::int64_t> idx(out_shape.size(), 0);
+      if (result.size() > 0) {
+        do {
+          // Route each mapped output index to its source dimension.
+          std::vector<std::int64_t> ordered(src.rank(), 0);
+          for (std::size_t d = 0; d < map.size(); ++d) {
+            if (map[d] >= 0)
+              ordered[static_cast<std::size_t>(map[d])] = idx[d];
+          }
+          result.at(idx) = src.rank() == 0 ? src.flat(0) : src.at(ordered);
+        } while (advance(idx, out_shape));
+      }
+    } else if (name == "teil.map") {
+      std::string fn = op.attr_string("fn");
+      std::size_t n = op.num_operands();
+      for (std::int64_t i = 0; i < result.size(); ++i) {
+        double v = 0.0;
+        auto a = [&](std::size_t k) { return val(op, k).flat(i); };
+        if (fn == "add") v = a(0) + a(1);
+        else if (fn == "sub") v = a(0) - a(1);
+        else if (fn == "mul") v = a(0) * a(1);
+        else if (fn == "div") v = a(0) / a(1);
+        else if (fn == "min") v = std::min(a(0), a(1));
+        else if (fn == "max") v = std::max(a(0), a(1));
+        else if (fn == "cmp_le") v = a(0) <= a(1) ? 1.0 : 0.0;
+        else if (fn == "cmp_lt") v = a(0) < a(1) ? 1.0 : 0.0;
+        else if (fn == "cmp_ge") v = a(0) >= a(1) ? 1.0 : 0.0;
+        else if (fn == "cmp_gt") v = a(0) > a(1) ? 1.0 : 0.0;
+        else if (fn == "cmp_eq") v = a(0) == a(1) ? 1.0 : 0.0;
+        else if (fn == "cmp_ne") v = a(0) != a(1) ? 1.0 : 0.0;
+        else if (fn == "select" && n == 3) v = a(0) != 0.0 ? a(1) : a(2);
+        else if (fn == "neg") v = -a(0);
+        else if (fn == "exp") v = std::exp(a(0));
+        else if (fn == "sqrt") v = std::sqrt(a(0));
+        else return Error::make("teil eval: unknown map fn '" + fn + "'");
+        result.flat(i) = v;
+      }
+    } else if (name == "teil.reduce") {
+      const Tensor &src = val(op, 0);
+      auto axes = op.attr("axes")->as_int_vector();
+      std::vector<bool> reduced(src.rank(), false);
+      for (auto a : axes) reduced[static_cast<std::size_t>(a)] = true;
+      std::vector<std::int64_t> idx(src.rank(), 0);
+      if (src.size() > 0) {
+        do {
+          std::vector<std::int64_t> out_idx;
+          for (std::size_t d = 0; d < src.rank(); ++d) {
+            if (!reduced[d]) out_idx.push_back(idx[d]);
+          }
+          result.at(out_idx) += src.at(idx);
+        } while (advance(idx, src.shape()));
+      }
+    } else if (name == "teil.gather") {
+      const Tensor &src = val(op, 0);
+      std::size_t r = src.rank();
+      if (op.num_operands() != r + 1)
+        return Error::make("teil eval: gather needs one index tensor per dim");
+      for (std::int64_t i = 0; i < result.size(); ++i) {
+        std::vector<std::int64_t> src_idx(r);
+        for (std::size_t d = 0; d < r; ++d) {
+          auto v = static_cast<std::int64_t>(
+              std::llround(val(op, d + 1).flat(i)));
+          src_idx[d] = std::clamp<std::int64_t>(v, 0, src.dim(d) - 1);
+        }
+        result.flat(i) = src.at(src_idx);
+      }
+    } else if (name == "teil.stack") {
+      std::size_t k = op.num_operands();
+      std::int64_t inner = result.size() / static_cast<std::int64_t>(k);
+      for (std::int64_t i = 0; i < inner; ++i) {
+        for (std::size_t p = 0; p < k; ++p) {
+          result.flat(i * static_cast<std::int64_t>(k) +
+                      static_cast<std::int64_t>(p)) = val(op, p).flat(i);
+        }
+      }
+    } else if (name == "teil.transpose") {
+      const Tensor &src = val(op, 0);
+      auto perm = op.attr("perm")->as_int_vector();
+      std::vector<std::int64_t> idx(src.rank(), 0);
+      if (src.size() > 0) {
+        do {
+          std::vector<std::int64_t> out_idx(perm.size());
+          for (std::size_t d = 0; d < perm.size(); ++d)
+            out_idx[d] = idx[static_cast<std::size_t>(perm[d])];
+          result.at(out_idx) = src.at(idx);
+        } while (advance(idx, src.shape()));
+      }
+    } else if (name == "teil.contract") {
+      // General binary einsum: subscripts as strings, one char per dim.
+      const Tensor &lhs = val(op, 0);
+      const Tensor &rhs = val(op, 1);
+      std::string ls = op.attr_string("lhs");
+      std::string rs = op.attr_string("rhs");
+      std::string os = op.attr_string("out");
+      std::map<char, std::int64_t> extents;
+      for (std::size_t d = 0; d < ls.size(); ++d) extents[ls[d]] = lhs.dim(d);
+      for (std::size_t d = 0; d < rs.size(); ++d) extents[rs[d]] = rhs.dim(d);
+      std::string all;
+      for (char c : os) all += c;
+      for (auto &[c, _] : extents) {
+        if (os.find(c) == std::string::npos) all += c;
+      }
+      Shape all_shape;
+      for (char c : all) all_shape.push_back(extents[c]);
+      std::vector<std::int64_t> idx(all.size(), 0);
+      auto pick = [&](const std::string &subs) {
+        std::vector<std::int64_t> v;
+        for (char c : subs) v.push_back(idx[all.find(c)]);
+        return v;
+      };
+      if (!all.empty()) {
+        do {
+          std::vector<std::int64_t> oi = pick(os);
+          double l = lhs.rank() == 0 ? lhs.flat(0) : lhs.at(pick(ls));
+          double r2 = rhs.rank() == 0 ? rhs.flat(0) : rhs.at(pick(rs));
+          result.at(oi) += l * r2;
+        } while (advance(idx, all_shape));
+      } else {
+        result.flat(0) = lhs.flat(0) * rhs.flat(0);
+      }
+    } else {
+      return Error::make("teil eval: unsupported op '" + name + "'");
+    }
+
+    // Custom-format mode: every materialized value is rounded to the format,
+    // mirroring hardware that stores intermediates in base2 types. Index
+    // generators (iota, and broadcasts thereof) are exempt: hardware
+    // synthesizes loop counters as integers, never as datapath values.
+    bool is_counter = name == "teil.iota" ||
+                      (name == "teil.broadcast" &&
+                       counter_values.count(op.operand(0)) > 0);
+    if (is_counter) counter_values.insert(op.result(0));
+    if (format != nullptr && !is_counter)
+      numerics::quantize_span(*format, result.data());
+
+    values.emplace(op.result(0), std::move(result));
+  }
+  return outputs;
+}
+
+std::size_t teil_flop_count(const ir::Module &module) {
+  const ir::Operation *func = find_func(module);
+  if (!func) return 0;
+  std::size_t flops = 0;
+  for (const auto &op : func->region(0).front().operations()) {
+    const std::string &name = op->name();
+    if (op->num_results() == 0) continue;
+    const ir::Type &t = op->result(0)->type();
+    auto elems = static_cast<std::size_t>(std::max<std::int64_t>(
+        t.num_elements(), 1));
+    if (name == "teil.map") {
+      flops += elems;
+    } else if (name == "teil.reduce") {
+      const ir::Type &src = op->operand(0)->type();
+      flops += static_cast<std::size_t>(
+          std::max<std::int64_t>(src.num_elements(), 1));
+    } else if (name == "teil.contract") {
+      // ~2 flops per accumulated product over the full iteration space.
+      const ir::Type &l = op->operand(0)->type();
+      const ir::Type &r = op->operand(1)->type();
+      std::string ls = op->attr_string("lhs"), rs = op->attr_string("rhs");
+      std::map<char, std::int64_t> ext;
+      for (std::size_t d = 0; d < ls.size(); ++d) ext[ls[d]] = l.dims()[d];
+      for (std::size_t d = 0; d < rs.size(); ++d) ext[rs[d]] = r.dims()[d];
+      std::int64_t space = 1;
+      for (auto &[c, e] : ext) space *= e;
+      flops += static_cast<std::size_t>(2 * space);
+    }
+  }
+  return flops;
+}
+
+}  // namespace everest::transforms

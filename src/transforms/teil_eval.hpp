@@ -1,0 +1,31 @@
+// everest/transforms/teil_eval.hpp
+//
+// Reference interpreter for teil.func programs (static-shape positional
+// tensor ops). Cross-checks the ekl->teil and cfdlang->teil lowerings.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ir/ir.hpp"
+#include "numerics/formats.hpp"
+#include "numerics/tensor.hpp"
+#include "support/expected.hpp"
+
+namespace everest::transforms {
+
+/// Evaluates the first teil.func in `module` with the given named inputs;
+/// returns output tensors keyed by output name. When `format` is non-null,
+/// every input element and every op result is rounded to that custom number
+/// format — this models running the kernel on base2-typed hardware
+/// (experiment E4: accuracy vs custom data formats).
+support::Expected<std::map<std::string, numerics::Tensor>> evaluate_teil(
+    const ir::Module &module,
+    const std::map<std::string, numerics::Tensor> &inputs,
+    const numerics::NumberFormat *format = nullptr);
+
+/// Counts scalar floating-point operations executed by one evaluation
+/// (used by the HLS work model and code-size/efficiency reports).
+std::size_t teil_flop_count(const ir::Module &module);
+
+}  // namespace everest::transforms

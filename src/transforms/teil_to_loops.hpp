@@ -1,0 +1,20 @@
+// everest/transforms/teil_to_loops.hpp
+//
+// Lowers teil.func tensor programs into loop-level IR (func.func containing
+// scf.for nests over memref buffers with scalar arith ops) — the form the
+// HLS engine schedules. Every scf.for carries a "trip_count" attribute and
+// buffers carry "bytes"; allocs for program inputs/outputs are tagged with
+// kind = "input"/"output" so Olympus can plan host transfers.
+#pragma once
+
+#include <memory>
+
+#include "ir/ir.hpp"
+#include "support/expected.hpp"
+
+namespace everest::transforms {
+
+support::Expected<std::shared_ptr<ir::Module>> lower_teil_to_loops(
+    const ir::Module &module);
+
+}  // namespace everest::transforms

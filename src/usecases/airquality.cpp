@@ -1,0 +1,200 @@
+#include "usecases/airquality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace everest::usecases::airquality {
+
+using support::Error;
+using support::Expected;
+
+WeatherSeries simulate_weather(std::size_t hours, std::uint64_t seed) {
+  support::Pcg32 rng(seed);
+  WeatherSeries series(hours);
+  double dir = rng.uniform(0.0, 360.0);
+  double speed_ar = 0.0;
+  for (std::size_t h = 0; h < hours; ++h) {
+    double hour = static_cast<double>(h % 24);
+    Weather w;
+    w.temp_c = 12.0 + 7.0 * std::sin(2.0 * M_PI * (hour - 9.0) / 24.0) +
+               rng.normal(0.0, 0.6);
+    dir += rng.normal(0.0, 12.0);
+    w.wind_dir_deg = std::fmod(std::fmod(dir, 360.0) + 360.0, 360.0);
+    speed_ar = 0.9 * speed_ar + rng.normal(0.0, 0.5);
+    w.wind_speed_ms = std::max(0.5, 4.0 + 1.5 * std::sin(2.0 * M_PI * hour / 24.0) +
+                                        speed_ar);
+    series[h] = w;
+  }
+  return series;
+}
+
+WeatherSeries perturb_forecast(const WeatherSeries &truth, double scale,
+                               std::uint64_t seed) {
+  support::Pcg32 rng(seed);
+  WeatherSeries fc = truth;
+  double temp_bias = rng.normal(0.0, 0.8 * scale);
+  double speed_bias = rng.normal(0.0, 0.5 * scale);
+  double dir_bias = rng.normal(0.0, 15.0 * scale);
+  double err_t = 0.0, err_s = 0.0, err_d = 0.0;
+  for (std::size_t h = 0; h < fc.size(); ++h) {
+    err_t = 0.85 * err_t + rng.normal(0.0, 0.4 * scale);
+    err_s = 0.85 * err_s + rng.normal(0.0, 0.35 * scale);
+    err_d = 0.85 * err_d + rng.normal(0.0, 8.0 * scale);
+    fc[h].temp_c += temp_bias + err_t;
+    fc[h].wind_speed_ms = std::max(0.3, fc[h].wind_speed_ms + speed_bias + err_s);
+    fc[h].wind_dir_deg = std::fmod(
+        std::fmod(fc[h].wind_dir_deg + dir_bias + err_d, 360.0) + 360.0, 360.0);
+  }
+  return fc;
+}
+
+namespace {
+
+/// Fits y ~ a*x + b on the trailing window (least squares); returns {a, b}.
+std::pair<double, double> affine_fit(const std::vector<double> &x,
+                                     const std::vector<double> &y) {
+  std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return {1.0, 0.0};
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    den += (x[i] - mx) * (x[i] - mx);
+  }
+  double a = den > 1e-9 ? num / den : 1.0;
+  // Guard against degenerate fits on short windows.
+  if (a < 0.2 || a > 5.0) a = 1.0;
+  return {a, my - a * mx};
+}
+
+}  // namespace
+
+WeatherSeries correct_ensemble(const std::vector<WeatherSeries> &members,
+                               const WeatherSeries &observations,
+                               std::size_t window) {
+  if (members.empty()) return {};
+  std::size_t hours = members.front().size();
+  std::size_t obs_hours = std::min(window, observations.size());
+
+  // Ensemble mean first.
+  WeatherSeries mean(hours);
+  for (std::size_t h = 0; h < hours; ++h) {
+    double t = 0, s = 0, dx = 0, dy = 0;
+    for (const auto &m : members) {
+      t += m[h].temp_c;
+      s += m[h].wind_speed_ms;
+      dx += std::cos(m[h].wind_dir_deg * M_PI / 180.0);
+      dy += std::sin(m[h].wind_dir_deg * M_PI / 180.0);
+    }
+    auto k = static_cast<double>(members.size());
+    mean[h].temp_c = t / k;
+    mean[h].wind_speed_ms = s / k;
+    mean[h].wind_dir_deg =
+        std::fmod(std::atan2(dy / k, dx / k) * 180.0 / M_PI + 360.0, 360.0);
+  }
+
+  // Affine correction per scalar parameter from the overlap window.
+  std::vector<double> fx, fy, sx, sy;
+  for (std::size_t h = 0; h < obs_hours && h < hours; ++h) {
+    fx.push_back(mean[h].temp_c);
+    fy.push_back(observations[h].temp_c);
+    sx.push_back(mean[h].wind_speed_ms);
+    sy.push_back(observations[h].wind_speed_ms);
+  }
+  auto [ta, tb] = affine_fit(fx, fy);
+  auto [sa, sb] = affine_fit(sx, sy);
+  double dir_bias = 0.0;
+  for (std::size_t h = 0; h < obs_hours && h < hours; ++h) {
+    double diff = observations[h].wind_dir_deg - mean[h].wind_dir_deg;
+    while (diff > 180.0) diff -= 360.0;
+    while (diff < -180.0) diff += 360.0;
+    dir_bias += diff;
+  }
+  if (obs_hours > 0) dir_bias /= static_cast<double>(obs_hours);
+
+  for (auto &w : mean) {
+    w.temp_c = ta * w.temp_c + tb;
+    w.wind_speed_ms = std::max(0.3, sa * w.wind_speed_ms + sb);
+    w.wind_dir_deg =
+        std::fmod(std::fmod(w.wind_dir_deg + dir_bias, 360.0) + 360.0, 360.0);
+  }
+  return mean;
+}
+
+double dispersion_index(const Weather &w, double emission_rate,
+                        double receptor_dir_deg) {
+  // Wind blowing toward the receptor concentrates the plume there.
+  double diff = std::fabs(w.wind_dir_deg - receptor_dir_deg);
+  if (diff > 180.0) diff = 360.0 - diff;
+  double sector = std::exp(-diff * diff / (2.0 * 45.0 * 45.0));
+  // Stable (cold) conditions trap pollutants.
+  double stability = 1.0 + std::max(0.0, (12.0 - w.temp_c) * 0.04);
+  return emission_rate * sector * stability / std::max(w.wind_speed_ms, 0.5);
+}
+
+Expected<DecisionReport> run_scenario(const Config &config) {
+  if (config.hours < 48) return Error::make("airquality: need >= 48 hours");
+  if (config.ensemble_size < 1)
+    return Error::make("airquality: ensemble_size must be >= 1");
+
+  // Truth extends backwards so observations exist for the correction window.
+  std::size_t total = config.hours + config.correction_window;
+  auto truth = simulate_weather(total, config.seed);
+
+  WeatherSeries obs(truth.begin(),
+                    truth.begin() + static_cast<std::ptrdiff_t>(
+                                        config.correction_window));
+
+  std::vector<WeatherSeries> members;
+  for (int e = 0; e < config.ensemble_size; ++e) {
+    members.push_back(perturb_forecast(
+        truth, 1.0, config.seed + 31 + static_cast<std::uint64_t>(e)));
+  }
+  auto corrected = correct_ensemble(members, obs, config.correction_window);
+
+  DecisionReport report;
+  // Forecast skill on the decision horizon.
+  std::vector<double> pred_speed, true_speed;
+  for (std::size_t h = config.correction_window; h < total; ++h) {
+    pred_speed.push_back(corrected[h].wind_speed_ms);
+    true_speed.push_back(truth[h].wind_speed_ms);
+  }
+  report.forecast_rmse_speed = support::rmse(pred_speed, true_speed);
+
+  // Morning decisions: for each horizon day, activate reduction if any
+  // forecast hour exceeds the limit; score against the true index.
+  std::size_t days = config.hours / 24;
+  for (std::size_t d = 0; d < days; ++d) {
+    double forecast_peak = 0.0, true_peak = 0.0;
+    for (std::size_t k = 0; k < 24; ++k) {
+      std::size_t h = config.correction_window + d * 24 + k;
+      if (h >= total) break;
+      forecast_peak = std::max(
+          forecast_peak, dispersion_index(corrected[h], config.emission_rate));
+      true_peak = std::max(true_peak,
+                           dispersion_index(truth[h], config.emission_rate));
+    }
+    bool reduce = forecast_peak > config.limit;
+    bool violates = true_peak > config.limit;
+    if (reduce) {
+      ++report.reduction_days;
+      report.cost_keur += config.reduction_keur_per_day;
+      if (!violates) ++report.false_alarms;
+    } else if (violates) {
+      ++report.missed_peaks;
+      report.cost_keur += config.miss_penalty_keur;
+    }
+  }
+  return report;
+}
+
+}  // namespace everest::usecases::airquality

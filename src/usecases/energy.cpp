@@ -1,0 +1,206 @@
+#include "usecases/energy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/linalg.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace everest::usecases::energy {
+
+using numerics::Shape;
+using numerics::Tensor;
+using support::Error;
+using support::Expected;
+
+std::vector<double> simulate_wind(std::size_t hours, std::uint64_t seed) {
+  support::Pcg32 rng(seed);
+  std::vector<double> wind(hours);
+  double ar = 0.0;
+  for (std::size_t h = 0; h < hours; ++h) {
+    double day = static_cast<double>(h) / 24.0;
+    double seasonal = 2.0 * std::sin(2.0 * M_PI * day / 365.0);
+    double diurnal = 1.2 * std::sin(2.0 * M_PI * (static_cast<double>(h % 24) - 14.0) / 24.0);
+    ar = 0.92 * ar + rng.normal(0.0, 0.8);
+    wind[h] = std::max(0.0, 7.5 + seasonal + diurnal + ar);
+  }
+  return wind;
+}
+
+std::vector<double> wrf_forecast(const std::vector<double> &truth,
+                                 double error_scale, std::uint64_t seed) {
+  support::Pcg32 rng(seed);
+  std::vector<double> fc(truth.size());
+  double bias = rng.normal(0.0, 0.3 * error_scale);
+  double err = 0.0;
+  for (std::size_t h = 0; h < truth.size(); ++h) {
+    // New run every 24h: error resets, then grows with lead time.
+    std::size_t lead = h % 24;
+    if (lead == 0) err = rng.normal(0.0, 0.2 * error_scale);
+    err = 0.85 * err + rng.normal(0.0, 0.25 * error_scale);
+    double lead_growth = 1.0 + 0.04 * static_cast<double>(lead);
+    fc[h] = std::max(0.0, truth[h] + bias + err * lead_growth);
+  }
+  return fc;
+}
+
+std::vector<double> ensemble_mean(const std::vector<std::vector<double>> &runs) {
+  if (runs.empty()) return {};
+  std::vector<double> mean(runs.front().size(), 0.0);
+  for (const auto &run : runs) {
+    for (std::size_t h = 0; h < mean.size(); ++h) mean[h] += run[h];
+  }
+  for (double &v : mean) v /= static_cast<double>(runs.size());
+  return mean;
+}
+
+double power_curve_mw(double wind_ms, double rated_mw) {
+  constexpr double cut_in = 3.0, rated = 12.0, cut_out = 25.0;
+  if (wind_ms < cut_in || wind_ms >= cut_out) return 0.0;
+  if (wind_ms >= rated) return rated_mw;
+  double x = (wind_ms - cut_in) / (rated - cut_in);
+  return rated_mw * x * x * x;  // cubic ramp
+}
+
+// ----------------------------------------------------------- Kernel Ridge
+
+double KernelRidge::kernel(std::span<const double> a,
+                           std::span<const double> b) const {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return std::exp(-gamma_ * d2);
+}
+
+support::Status KernelRidge::fit(const Tensor &x, const Tensor &y) {
+  if (x.rank() != 2 || y.rank() != 1 || x.dim(0) != y.dim(0))
+    return support::Status::failure("kernel ridge: bad training shapes");
+  std::int64_t n = x.dim(0), d = x.dim(1);
+  Tensor k(Shape{n, n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto row_i = x.data().subspan(static_cast<std::size_t>(i * d),
+                                  static_cast<std::size_t>(d));
+    for (std::int64_t j = i; j < n; ++j) {
+      auto row_j = x.data().subspan(static_cast<std::size_t>(j * d),
+                                    static_cast<std::size_t>(d));
+      double v = kernel(row_i, row_j);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) += lambda_;  // ridge term guarantees SPD
+  }
+  auto alpha = numerics::cholesky_solve(k, y);
+  if (!alpha) return support::Status::failure(alpha.error().message);
+  train_x_ = x;
+  alpha_ = std::move(*alpha);
+  fitted_ = true;
+  return support::Status::ok();
+}
+
+double KernelRidge::predict(std::span<const double> row) const {
+  if (!fitted_) return 0.0;
+  std::int64_t n = train_x_.dim(0), d = train_x_.dim(1);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto train_row = train_x_.data().subspan(static_cast<std::size_t>(i * d),
+                                             static_cast<std::size_t>(d));
+    acc += alpha_(i) * kernel(row, train_row);
+  }
+  return acc;
+}
+
+Tensor KernelRidge::predict(const Tensor &x) const {
+  std::int64_t n = x.dim(0), d = x.dim(1);
+  Tensor out(Shape{n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    out(i) = predict(x.data().subspan(static_cast<std::size_t>(i * d),
+                                      static_cast<std::size_t>(d)));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- backtest
+
+Expected<BacktestResult> backtest(std::size_t hours, int ensemble_size,
+                                  std::uint64_t seed, int turbines) {
+  if (hours < 24 * 40) return Error::make("backtest: need at least 40 days");
+  if (ensemble_size < 1) return Error::make("backtest: ensemble_size >= 1");
+
+  support::Pcg32 rng(seed);
+  auto truth = simulate_wind(hours, seed);
+
+  // True power: per-turbine availability jitter around the curve.
+  std::vector<double> power(hours);
+  for (std::size_t h = 0; h < hours; ++h) {
+    double availability = 0.94 + 0.05 * std::sin(static_cast<double>(h) / 500.0);
+    power[h] = power_curve_mw(truth[h]) * turbines * availability +
+               rng.normal(0.0, 0.3);
+    power[h] = std::max(power[h], 0.0);
+  }
+
+  // Ensemble of WRF runs.
+  std::vector<std::vector<double>> runs;
+  for (int e = 0; e < ensemble_size; ++e)
+    runs.push_back(wrf_forecast(truth, 1.0, seed + 1000 + static_cast<std::uint64_t>(e)));
+  auto forecast = ensemble_mean(runs);
+
+  // Features per hour: forecast speed, forecast speed^3 (power proxy),
+  // hour-of-day sin/cos, previous-day measured power.
+  const std::int64_t d = 5;
+  auto build_features = [&](std::size_t h, std::vector<double> &row) {
+    double hour = static_cast<double>(h % 24);
+    row = {forecast[h] / 10.0,
+           std::pow(forecast[h] / 10.0, 3.0),
+           std::sin(2.0 * M_PI * hour / 24.0),
+           std::cos(2.0 * M_PI * hour / 24.0),
+           h >= 24 ? power[h - 24] / (3.0 * turbines) : 0.0};
+  };
+
+  // Train on a subsample of history (kernel solve is O(n^3)); test = last 20 days.
+  std::size_t test_hours = 24 * 20;
+  std::size_t train_end = hours - test_hours;
+  std::vector<std::size_t> train_idx;
+  for (std::size_t h = 24; h < train_end; h += 3) train_idx.push_back(h);
+  if (train_idx.size() > 600) {
+    std::size_t stride = train_idx.size() / 600 + 1;
+    std::vector<std::size_t> thin;
+    for (std::size_t i = 0; i < train_idx.size(); i += stride)
+      thin.push_back(train_idx[i]);
+    train_idx = thin;
+  }
+
+  auto n = static_cast<std::int64_t>(train_idx.size());
+  Tensor x(Shape{n, d});
+  Tensor y(Shape{n});
+  std::vector<double> row;
+  for (std::int64_t i = 0; i < n; ++i) {
+    build_features(train_idx[static_cast<std::size_t>(i)], row);
+    for (std::int64_t j = 0; j < d; ++j) x(i, j) = row[static_cast<std::size_t>(j)];
+    y(i) = power[train_idx[static_cast<std::size_t>(i)]];
+  }
+
+  KernelRidge model(1e-2, 0.6);
+  if (auto s = model.fit(x, y); !s.is_ok()) return Error::make(s.message());
+
+  std::vector<double> pred_model, pred_forecast, pred_persist, actual;
+  for (std::size_t h = train_end; h < hours; ++h) {
+    build_features(h, row);
+    pred_model.push_back(std::max(model.predict(row), 0.0));
+    pred_forecast.push_back(power_curve_mw(forecast[h]) * turbines);
+    pred_persist.push_back(power[h - 24]);
+    actual.push_back(power[h]);
+  }
+
+  BacktestResult result;
+  result.mae_model = support::mae(pred_model, actual);
+  result.mae_forecast = support::mae(pred_forecast, actual);
+  result.mae_persistence = support::mae(pred_persist, actual);
+  result.train_hours = train_idx.size();
+  result.test_hours = test_hours;
+  return result;
+}
+
+}  // namespace everest::usecases::energy

@@ -1,0 +1,195 @@
+#include "usecases/ptdr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace everest::usecases::ptdr {
+
+using support::Error;
+using support::Expected;
+
+Model make_model(const traffic::RoadNetwork &net, std::uint64_t seed) {
+  support::Pcg32 rng(seed);
+  Model model;
+  model.segments.reserve(net.segments.size());
+  for (const auto &seg : net.segments) {
+    SegmentSpeedModel m;
+    m.length_km = seg.length_km();
+    m.mu.resize(kIntervalsPerDay);
+    m.sigma.resize(kIntervalsPerDay);
+    double base = seg.speed_limit_kmh * rng.uniform(0.8, 0.95);
+    double noisiness = rng.uniform(0.08, 0.25);
+    for (int q = 0; q < kIntervalsPerDay; ++q) {
+      double hour = q / 4.0;
+      double dip = 0.35 * std::exp(-std::pow(hour - 8.0, 2) / 2.0) +
+                   0.45 * std::exp(-std::pow(hour - 17.5, 2) / 2.5);
+      double speed = std::max(base * (1.0 - dip), 5.0);
+      m.mu[static_cast<std::size_t>(q)] = std::log(speed);
+      m.sigma[static_cast<std::size_t>(q)] = noisiness;
+    }
+    model.segments.push_back(std::move(m));
+  }
+  return model;
+}
+
+Route make_route(const traffic::RoadNetwork &net, int length,
+                 std::uint64_t seed) {
+  support::Pcg32 rng(seed);
+  Route route;
+  for (int i = 0; i < length; ++i) {
+    route.segments.push_back(static_cast<int>(
+        rng.bounded(static_cast<std::uint32_t>(net.segments.size()))));
+  }
+  return route;
+}
+
+Expected<TravelTimeDist> monte_carlo(const Model &model, const Route &route,
+                                     int depart_interval, std::size_t samples,
+                                     std::uint64_t seed) {
+  if (samples == 0) return Error::make("ptdr: samples must be > 0");
+  if (route.segments.empty()) return Error::make("ptdr: empty route");
+  for (int seg : route.segments) {
+    if (seg < 0 || static_cast<std::size_t>(seg) >= model.segments.size())
+      return Error::make("ptdr: route references unknown segment");
+  }
+
+  support::Pcg32 rng(seed);
+  std::vector<double> times;
+  times.reserve(samples);
+  for (std::size_t s = 0; s < samples; ++s) {
+    double minutes = 0.0;
+    for (int seg : route.segments) {
+      const auto &m = model.segments[static_cast<std::size_t>(seg)];
+      // Time-dependence: the interval advances with accumulated travel time.
+      int interval = (depart_interval + static_cast<int>(minutes / 15.0)) %
+                     kIntervalsPerDay;
+      double speed = rng.lognormal(m.mu[static_cast<std::size_t>(interval)],
+                                   m.sigma[static_cast<std::size_t>(interval)]);
+      speed = std::max(speed, 2.0);
+      minutes += m.length_km / speed * 60.0;
+    }
+    times.push_back(minutes);
+  }
+
+  TravelTimeDist dist;
+  dist.samples = samples;
+  dist.mean_min = support::mean(times);
+  dist.p50_min = support::quantile(times, 0.50);
+  dist.p95_min = support::quantile(times, 0.95);
+  return dist;
+}
+
+Expected<RouteChoice> choose_route(const Model &model,
+                                   const std::vector<Route> &alternatives,
+                                   int depart_interval, std::size_t samples,
+                                   std::uint64_t seed,
+                                   RoutingCriterion criterion) {
+  if (alternatives.empty())
+    return Error::make("ptdr routing: no alternative routes");
+  RouteChoice best;
+  bool first = true;
+  for (std::size_t i = 0; i < alternatives.size(); ++i) {
+    auto dist = monte_carlo(model, alternatives[i], depart_interval, samples,
+                            seed + i);
+    if (!dist) return dist.error();
+    double score = criterion == RoutingCriterion::MeanTime ? dist->mean_min
+                                                           : dist->p95_min;
+    double best_score = criterion == RoutingCriterion::MeanTime
+                            ? best.distribution.mean_min
+                            : best.distribution.p95_min;
+    if (first || score < best_score) {
+      best.route_index = i;
+      best.distribution = *dist;
+      first = false;
+    }
+  }
+  return best;
+}
+
+std::shared_ptr<ir::Module> sampling_kernel_ir(std::size_t samples,
+                                               std::size_t route_length) {
+  // func.func { alloc model tables; for s in samples { for seg in route {
+  //   load mu/sigma; ~lognormal sample (exp + mul chain); accumulate } ;
+  //   store } }
+  using ir::Attribute;
+  using ir::Type;
+  using ir::Value;
+
+  auto module = std::make_shared<ir::Module>();
+  auto fn = ir::Operation::create(
+      "func.func", {}, {}, {{"sym_name", Attribute("ptdr_sample")}}, 1);
+  ir::Block &body = fn->region(0).add_block();
+  module->body().push_back(std::move(fn));
+  ir::OpBuilder b(&body);
+  Type f64 = Type::floating(64);
+
+  auto tensor1 = [&](std::int64_t n) {
+    return Type::tensor({n}, Type::floating(64));
+  };
+  auto route_len = static_cast<std::int64_t>(route_length);
+  auto n_samples = static_cast<std::int64_t>(samples);
+
+  // Input tables: per-route-position mu/sigma/length, plus RNG stream.
+  auto alloc = [&](const char *name, std::int64_t elems, const char *kind) {
+    return b.create_value("memref.alloc", {}, tensor1(elems),
+                          {{"name", Attribute(name)},
+                           {"kind", Attribute(kind)},
+                           {"bytes", Attribute(elems * 8)}});
+  };
+  Value *mu = alloc("mu", route_len, "input");
+  Value *sigma = alloc("sigma", route_len, "input");
+  Value *len = alloc("length", route_len, "input");
+  // On-fabric RNG: a small pre-seeded normal table cycled per (sample,
+  // segment) pair — the hardware uses an xoshiro/ziggurat core, so the host
+  // does not stream per-sample noise.
+  Value *noise = alloc("noise_table", 4096, "input");
+  Value *out = alloc("travel_time", n_samples, "output");
+
+  // Loop order follows the FPGA design: segments OUTER, samples INNER, so
+  // the pipelined innermost loop touches a different accumulator every
+  // cycle (II = 1); the per-sample recurrence is carried across outer
+  // iterations where it costs nothing.
+  Value *lo = b.constant_index(0);
+  Value *hi = b.constant_index(route_len);
+  Value *step = b.constant_index(1);
+  ir::Operation &outer = b.create("scf.for", {lo, hi, step}, {},
+                                  {{"trip_count", Attribute(route_len)}}, 1);
+  ir::Block &outer_body = outer.region(0).add_block();
+  Value &g_iv = outer_body.add_argument(Type::index());
+  ir::OpBuilder ob(&outer_body);
+  ir::Operation &outer_yield = ob.create("scf.yield", {}, {});
+  ob.set_insertion_point(&outer_yield);
+
+  // Inner loop over Monte-Carlo samples.
+  Value *ilo = ob.constant_index(0);
+  Value *ihi = ob.constant_index(n_samples);
+  Value *istep = ob.constant_index(1);
+  ir::Operation &inner = ob.create("scf.for", {ilo, ihi, istep}, {},
+                                   {{"trip_count", Attribute(n_samples)}}, 1);
+  ir::Block &inner_body = inner.region(0).add_block();
+  Value &s_iv = inner_body.add_argument(Type::index());
+  ir::OpBuilder ib(&inner_body);
+  ir::Operation &inner_yield = ib.create("scf.yield", {}, {});
+  ib.set_insertion_point(&inner_yield);
+
+  // speed = exp(mu[g] + sigma[g] * noise[s*L+g]); time += len[g] / speed.
+  Value *mu_v = ib.create_value("memref.load", {mu, &g_iv}, f64);
+  Value *sg_v = ib.create_value("memref.load", {sigma, &g_iv}, f64);
+  Value *nz_v = ib.create_value("memref.load", {noise, &s_iv}, f64);
+  Value *scaled = ib.create_value("arith.mulf", {sg_v, nz_v}, f64);
+  Value *logspeed = ib.create_value("arith.addf", {mu_v, scaled}, f64);
+  Value *speed = ib.create_value("arith.exp", {logspeed}, f64);
+  Value *len_v = ib.create_value("memref.load", {len, &g_iv}, f64);
+  Value *dt = ib.create_value("arith.divf", {len_v, speed}, f64);
+  Value *acc = ib.create_value("memref.load", {out, &s_iv}, f64);
+  Value *sum = ib.create_value("arith.addf", {acc, dt}, f64);
+  ib.create("memref.store", {sum, out, &s_iv}, {});
+
+  return module;
+}
+
+}  // namespace everest::usecases::ptdr

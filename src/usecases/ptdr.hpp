@@ -1,0 +1,90 @@
+// everest/usecases/ptdr.hpp
+//
+// Probabilistic Time-Dependent Routing (paper §II-D / §VIII: "We also
+// implemented the PTDR kernel on a compute cluster with Alveo u55c FPGAs").
+// Travel time along a route is a random variable: each segment carries a
+// per-15-minute-interval log-normal speed distribution; Monte-Carlo sampling
+// propagates departure time through the route to produce the arrival-time
+// distribution and its percentiles. The kernel is embarrassingly parallel
+// over samples — exactly what the paper offloads to the u55c — so we also
+// emit the loop-level IR of the sampling kernel for the HLS engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "support/expected.hpp"
+#include "usecases/traffic.hpp"
+
+namespace everest::usecases::ptdr {
+
+constexpr int kIntervalsPerDay = 96;  // 15-minute intervals
+
+/// Per-segment speed model: log-normal parameters per interval.
+struct SegmentSpeedModel {
+  double length_km = 1.0;
+  std::vector<double> mu;     // [96] log-space mean
+  std::vector<double> sigma;  // [96] log-space std
+};
+
+/// The PTDR model over a road network.
+struct Model {
+  std::vector<SegmentSpeedModel> segments;
+};
+
+/// Builds a model from a network: free-flow at night, rush-hour slowdowns,
+/// segment-specific noise.
+Model make_model(const traffic::RoadNetwork &net, std::uint64_t seed);
+
+/// A route through the network.
+struct Route {
+  std::vector<int> segments;
+};
+
+/// Random route of `length` segments (ids drawn from the network).
+Route make_route(const traffic::RoadNetwork &net, int length,
+                 std::uint64_t seed);
+
+/// Travel-time distribution summary (minutes).
+struct TravelTimeDist {
+  double mean_min = 0.0;
+  double p50_min = 0.0;
+  double p95_min = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Monte-Carlo PTDR: samples travel times for departures at
+/// `depart_interval`, advancing the interval as simulated time passes.
+support::Expected<TravelTimeDist> monte_carlo(const Model &model,
+                                              const Route &route,
+                                              int depart_interval,
+                                              std::size_t samples,
+                                              std::uint64_t seed);
+
+/// Builds the loop-level IR of the sampling kernel (samples x route-length
+/// nest with the per-segment arithmetic), ready for hls::schedule_kernel —
+/// the offload path of experiment E9.
+std::shared_ptr<ir::Module> sampling_kernel_ir(std::size_t samples,
+                                               std::size_t route_length);
+
+/// Intelligent routing (paper §II-D: "Probabilistic Time Dependent Routing
+/// to infer correct arrival times"): chooses among alternative routes by a
+/// risk-aware criterion on the Monte-Carlo travel-time distribution.
+struct RouteChoice {
+  std::size_t route_index = 0;
+  TravelTimeDist distribution;
+};
+
+enum class RoutingCriterion {
+  MeanTime,      // expected travel time
+  P95,           // arrive-on-time guarantee (risk-averse)
+};
+
+support::Expected<RouteChoice> choose_route(
+    const Model &model, const std::vector<Route> &alternatives,
+    int depart_interval, std::size_t samples, std::uint64_t seed,
+    RoutingCriterion criterion = RoutingCriterion::P95);
+
+}  // namespace everest::usecases::ptdr

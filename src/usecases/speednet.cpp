@@ -1,0 +1,104 @@
+#include "usecases/speednet.hpp"
+
+#include <stdexcept>
+
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace everest::usecases::speednet {
+
+using numerics::Shape;
+using numerics::Tensor;
+using support::Error;
+using support::Expected;
+
+namespace {
+
+/// Emits {"name": ..., "shape": [...], "data": [...]} for one weight tensor
+/// filled with scaled Gaussian values.
+void append_initializer(std::string &out, const char *name,
+                        const std::vector<std::int64_t> &shape, double scale,
+                        support::Pcg32 &rng, bool last = false) {
+  out += "    {\"name\": \"";
+  out += name;
+  out += "\", \"shape\": [";
+  std::int64_t elems = 1;
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(shape[i]);
+    elems *= shape[i];
+  }
+  out += "], \"data\": [";
+  for (std::int64_t i = 0; i < elems; ++i) {
+    if (i != 0) out += ",";
+    out += support::format_double(rng.normal(0.0, scale));
+  }
+  out += "]}";
+  out += last ? "\n" : ",\n";
+}
+
+}  // namespace
+
+std::string model_json(std::uint64_t seed) {
+  support::Pcg32 rng(seed);
+  std::string j;
+  j += "{\n  \"name\": \"speednet\",\n";
+  j += "  \"inputs\": [{\"name\": \"x\", \"shape\": [3, 96]}],\n";
+  j += "  \"initializers\": [\n";
+  append_initializer(j, "w1", {8, 3, 5}, 0.25, rng);
+  append_initializer(j, "b1", {8}, 0.05, rng);
+  append_initializer(j, "w2", {8, 8, 3}, 0.2, rng);
+  append_initializer(j, "b2", {8}, 0.05, rng);
+  append_initializer(j, "w3", {4, 192}, 0.08, rng);
+  append_initializer(j, "b3", {4}, 0.05, rng, /*last=*/true);
+  j += "  ],\n";
+  j += R"(  "nodes": [
+    {"op": "Conv1D", "name": "conv1", "inputs": ["x", "w1", "b1"], "output": "c1"},
+    {"op": "Relu", "name": "relu1", "inputs": ["c1"], "output": "r1"},
+    {"op": "MaxPool1D", "name": "pool1", "inputs": ["r1"], "output": "p1", "attrs": {"window": 2}},
+    {"op": "Conv1D", "name": "conv2", "inputs": ["p1", "w2", "b2"], "output": "c2"},
+    {"op": "Relu", "name": "relu2", "inputs": ["c2"], "output": "r2"},
+    {"op": "MaxPool1D", "name": "pool2", "inputs": ["r2"], "output": "p2", "attrs": {"window": 2}},
+    {"op": "Flatten", "name": "flat", "inputs": ["p2"], "output": "f"},
+    {"op": "Gemm", "name": "head", "inputs": ["f", "w3", "b3"], "output": "speeds"}
+  ],
+  "outputs": ["speeds"]
+}
+)";
+  return j;
+}
+
+Expected<frontend::OnnxModel> load_model(std::uint64_t seed) {
+  return frontend::import_onnx_json(model_json(seed));
+}
+
+Tensor make_input(const std::vector<double> &speed_profile_96,
+                  const std::vector<double> &temperature_96,
+                  const std::vector<double> &precipitation_96) {
+  if (speed_profile_96.size() != 96 || temperature_96.size() != 96 ||
+      precipitation_96.size() != 96)
+    throw std::invalid_argument("speednet: inputs must have 96 intervals");
+  Tensor x(Shape{3, 96});
+  for (std::int64_t q = 0; q < 96; ++q) {
+    x(0, q) = speed_profile_96[static_cast<std::size_t>(q)] / 100.0;
+    x(1, q) = temperature_96[static_cast<std::size_t>(q)] / 30.0;
+    x(2, q) = precipitation_96[static_cast<std::size_t>(q)];
+  }
+  return x;
+}
+
+Expected<std::vector<double>> predict(const frontend::OnnxModel &model,
+                                      const Tensor &input) {
+  std::map<std::string, Tensor> inputs;
+  inputs.emplace("x", input);
+  auto out = frontend::run_onnx(model, inputs);
+  if (!out) return out.error();
+  const Tensor &speeds = out->at("speeds");
+  std::vector<double> result;
+  result.reserve(static_cast<std::size_t>(speeds.size()));
+  for (std::int64_t i = 0; i < speeds.size(); ++i)
+    result.push_back(speeds.flat(i) * 100.0);
+  return result;
+}
+
+}  // namespace everest::usecases::speednet

@@ -1,0 +1,40 @@
+// everest/usecases/speednet.hpp
+//
+// The traffic use case's convolutional network for road-speed prediction
+// (paper §II-D: "a convolutional neural network for training the road speed
+// prediction model"). The model ships as an ONNX-style JSON document so it
+// enters the SDK through the standard ML frontend (§V-A), and inference runs
+// on the frontend's reference executor.
+//
+// Architecture (per road segment):
+//   input [3, 96]: yesterday's speed profile, temperature, precipitation
+//   Conv1D(3 -> 8, k=5) + ReLU + MaxPool(2)
+//   Conv1D(8 -> 8, k=3) + ReLU + MaxPool(2)
+//   Flatten -> Gemm(192 -> 4)          -- next hour in 15-minute steps
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/onnx_import.hpp"
+#include "support/expected.hpp"
+
+namespace everest::usecases::speednet {
+
+/// Generates the model JSON with deterministic weights drawn from `seed`.
+std::string model_json(std::uint64_t seed = 42);
+
+/// Loads the generated model through the ONNX frontend.
+support::Expected<frontend::OnnxModel> load_model(std::uint64_t seed = 42);
+
+/// Builds the [3, 96] input tensor from a day of observations.
+numerics::Tensor make_input(const std::vector<double> &speed_profile_96,
+                            const std::vector<double> &temperature_96,
+                            const std::vector<double> &precipitation_96);
+
+/// Runs inference; returns the 4 quarter-hour speed predictions.
+support::Expected<std::vector<double>> predict(
+    const frontend::OnnxModel &model, const numerics::Tensor &input);
+
+}  // namespace everest::usecases::speednet

@@ -1,0 +1,118 @@
+// everest/usecases/traffic.hpp
+//
+// The traffic-modeling use case (paper §II-D): synthetic road network and
+// floating-car-data (FCD) generator, Hidden-Markov-Model map matching of
+// sparse and noisy GPS points onto the network (full offline Viterbi plus
+// the ConDRust-decomposed streaming sub-kernels of Fig. 4), and a Gaussian
+// Mixture model for traffic prediction with incomplete data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/dfg_executor.hpp"
+#include "support/expected.hpp"
+#include "support/rng.hpp"
+
+namespace everest::usecases::traffic {
+
+/// One directed road segment on a grid network, in km coordinates.
+struct Segment {
+  int id = -1;
+  double x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+  double speed_limit_kmh = 50.0;
+
+  [[nodiscard]] double length_km() const;
+  /// Euclidean distance from a point to this segment.
+  [[nodiscard]] double distance_km(double px, double py) const;
+};
+
+/// A grid road network of (n+1)^2 intersections with all grid edges.
+struct RoadNetwork {
+  std::vector<Segment> segments;
+  int grid_n = 0;
+  double cell_km = 1.0;
+};
+
+RoadNetwork make_grid_network(int n, double cell_km, std::uint64_t seed);
+
+/// An FCD sample: position (km) and timestamp (s).
+struct GpsPoint {
+  double x = 0, y = 0, t = 0;
+};
+
+/// A generated vehicle trace with ground-truth segments.
+struct FcdTrace {
+  std::vector<GpsPoint> points;
+  std::vector<int> true_segments;
+};
+
+/// Random walk along the network with GPS noise of `noise_km` std dev.
+FcdTrace make_trace(const RoadNetwork &net, int num_points, double noise_km,
+                    std::uint64_t seed);
+
+/// HMM map-matching configuration (Newson-Krumme style).
+struct MapMatchConfig {
+  double sigma_gps_km = 0.05;   // emission: GPS noise scale
+  double beta_transition = 2.0; // transition: tolerance to detours
+  int max_candidates = 6;       // candidate segments per point
+};
+
+/// Full offline Viterbi map matching; returns one segment id per point.
+support::Expected<std::vector<int>> map_match(const RoadNetwork &net,
+                                              const std::vector<GpsPoint> &points,
+                                              const MapMatchConfig &config = {});
+
+/// Fraction of points matched to their true segment.
+double matching_accuracy(const std::vector<int> &matched,
+                         const std::vector<int> &truth);
+
+/// Registers the Fig. 4 sub-kernels on a dfg NodeRegistry so the coordination
+/// program can run them:
+///   candidates(point)            -> [seg, dist]*max_candidates (pad -1)
+///   emission_score(cands)        -> [seg, logp]*max_candidates
+///   greedy_pick(scored)          -> [best_seg]
+///   viterbi_step (fold, scored)  -> online DP state [seg, logp]*k
+///   decode(state)                -> [best_seg_of_state]
+/// Streams encode GpsPoints as records {x, y, t}.
+void register_mapmatch_operators(runtime::NodeRegistry &registry,
+                                 const RoadNetwork &net,
+                                 const MapMatchConfig &config = {});
+
+/// The Fig. 4 coordination program matching this registry.
+std::string mapmatch_condrust_source();
+
+/// Converts a trace to the dfg input stream encoding.
+runtime::Stream trace_to_stream(const FcdTrace &trace);
+
+// ------------------------------------------------------------- GMM (1-d EM)
+
+/// Gaussian mixture over scalar observations (speeds with missing data).
+struct Gmm {
+  std::vector<double> weight;
+  std::vector<double> mean;
+  std::vector<double> variance;
+
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double log_likelihood(const std::vector<double> &xs) const;
+  [[nodiscard]] double mixture_mean() const;
+};
+
+/// Fits a k-component GMM with EM (deterministic init from quantiles).
+support::Expected<Gmm> fit_gmm(const std::vector<double> &xs, int k,
+                               int iterations = 60);
+
+/// Generates per-15-minute segment speeds for a weekday: free-flow at night,
+/// two rush-hour dips, with missing observations (NaN) at `missing_fraction`.
+std::vector<double> make_speed_observations(double speed_limit_kmh,
+                                            std::size_t days,
+                                            double missing_fraction,
+                                            std::uint64_t seed);
+
+/// Predicts expected speed from a GMM fit of incomplete observations
+/// (ignoring NaNs), the paper's "alternative traffic prediction with
+/// incomplete data".
+support::Expected<double> predict_speed_gmm(const std::vector<double> &obs,
+                                            int components = 3);
+
+}  // namespace everest::usecases::traffic

@@ -1,0 +1,82 @@
+// everest/usecases/traffic_model.hpp
+//
+// The traffic-ecosystem model computation (paper §II-D): from origin-
+// destination-matrix (ODM) mobility data and the road network, compute "the
+// traffic model, which is represented by (a) macroscopic parameters for each
+// road segment (speed, flow, intensity) for each 15-minute interval over a
+// weekday and (b) coefficients of the prediction model for each road
+// segment". The ecosystem "regularly updates its model with new daily
+// incoming data" — modeled as an exponential moving average over day builds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/expected.hpp"
+#include "usecases/traffic.hpp"
+
+namespace everest::usecases::traffic {
+
+constexpr int kIntervals = 96;  // 15-minute intervals per day
+
+/// Origin-destination demand between grid intersections ("city grid" zones),
+/// in vehicles per day, plus the diurnal departure profile.
+struct OdMatrix {
+  int zones = 0;                        // (grid_n+1)^2 intersections
+  std::vector<double> trips;            // [zones * zones] daily vehicles
+  std::vector<double> diurnal;          // [96] departure fractions, sums to 1
+
+  [[nodiscard]] double demand(int from, int to, int interval) const {
+    return trips[static_cast<std::size_t>(from * zones + to)] *
+           diurnal[static_cast<std::size_t>(interval)];
+  }
+};
+
+/// Synthetic ODM: gravity-style demand between zones with a two-peak
+/// commuter diurnal profile.
+OdMatrix make_odm(const RoadNetwork &net, double daily_trips_per_zone,
+                  std::uint64_t seed);
+
+/// Macroscopic state of one segment, per 15-minute interval.
+struct SegmentState {
+  std::vector<double> flow;       // [96] vehicles per interval
+  std::vector<double> speed_kmh;  // [96] BPR-congested speed
+  std::vector<double> intensity;  // [96] density proxy: flow / speed
+};
+
+/// Per-segment harmonic prediction coefficients (the paper's "coefficients
+/// of the prediction model for each road segment"): speed(q) ~ c0 +
+/// c1 sin(wq) + c2 cos(wq) + c3 sin(2wq) + c4 cos(2wq), w = 2*pi/96.
+struct PredictionCoefficients {
+  double c[5] = {0, 0, 0, 0, 0};
+
+  [[nodiscard]] double predict(int interval) const;
+};
+
+/// The daily traffic model.
+struct TrafficModel {
+  std::vector<SegmentState> segments;           // per segment id
+  std::vector<PredictionCoefficients> coeffs;   // per segment id
+  int days_integrated = 0;
+};
+
+/// Routes all ODM demand over Manhattan (L-shaped) paths and computes the
+/// macroscopic parameters with a BPR congestion curve.
+support::Expected<TrafficModel> build_model(const RoadNetwork &net,
+                                            const OdMatrix &odm,
+                                            std::uint64_t seed);
+
+/// Daily update: folds a new day's model into the running one with EMA
+/// weight `alpha` on the new data, then refits the prediction coefficients.
+support::Status update_model(TrafficModel &model, const TrafficModel &new_day,
+                             double alpha = 0.3);
+
+/// BPR (Bureau of Public Roads) congested speed.
+double bpr_speed(double free_flow_kmh, double flow, double capacity,
+                 double alpha = 0.15, double beta = 4.0);
+
+/// Fits the harmonic coefficients to a 96-interval speed profile (least
+/// squares; closed form via orthogonality of the Fourier basis).
+PredictionCoefficients fit_prediction(const std::vector<double> &speed_96);
+
+}  // namespace everest::usecases::traffic

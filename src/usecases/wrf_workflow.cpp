@@ -1,0 +1,85 @@
+#include "usecases/wrf_workflow.hpp"
+
+namespace everest::usecases::wrf {
+
+using runtime::ResourceManager;
+using runtime::TaskId;
+using runtime::TaskSpec;
+using support::Error;
+using support::Expected;
+
+namespace {
+
+Expected<ResourceManager> build(const WorkflowConfig &config, bool use_fpga) {
+  runtime::ClusterSpec cluster;
+  for (int n = 0; n < config.nodes; ++n) {
+    cluster.nodes.push_back({"node" + std::to_string(n), 8,
+                             n < config.fpga_nodes, 1.0});
+  }
+  ResourceManager rm(cluster);
+
+  std::vector<TaskId> member_finals;
+  for (int m = 0; m < config.ensemble_members; ++m) {
+    std::string prefix = "m" + std::to_string(m) + "_";
+
+    TaskSpec assimilate{prefix + "wrfda", {}, config.assimilation_ms};
+    assimilate.output_bytes = config.state_bytes;
+    auto assim = rm.submit(assimilate);
+    if (!assim) return assim.error();
+    TaskId prev = assim->id;
+
+    for (int t = 0; t < config.timesteps; ++t) {
+      std::string step = prefix + "t" + std::to_string(t) + "_";
+      TaskSpec dynamics{step + "dyn", {prev}, config.dynamics_ms};
+      dynamics.output_bytes = config.state_bytes;
+      auto dyn = rm.submit(dynamics);
+      if (!dyn) return dyn.error();
+
+      TaskSpec radiation{step + "rrtmg", {dyn->id}, config.radiation_ms};
+      radiation.output_bytes = config.state_bytes;
+      if (use_fpga)
+        radiation.fpga_ms = config.radiation_ms / config.radiation_speedup;
+      auto rad = rm.submit(radiation);
+      if (!rad) return rad.error();
+      prev = rad->id;
+    }
+    member_finals.push_back(prev);
+  }
+
+  TaskSpec aggregate{"ensemble_mean", member_finals, 25.0};
+  aggregate.output_bytes = config.state_bytes;
+  if (auto agg = rm.submit(aggregate); !agg) return agg.error();
+  return rm;
+}
+
+}  // namespace
+
+Expected<WorkflowReport> run_ensemble(const WorkflowConfig &config) {
+  if (config.ensemble_members < 1 || config.timesteps < 1)
+    return Error::make("wrf workflow: members and timesteps must be >= 1");
+  if (config.fpga_nodes > config.nodes)
+    return Error::make("wrf workflow: fpga_nodes exceeds nodes");
+  if (config.radiation_speedup <= 0.0)
+    return Error::make("wrf workflow: radiation_speedup must be positive");
+
+  auto accelerated = build(config, /*use_fpga=*/true);
+  if (!accelerated) return accelerated.error();
+  auto baseline = build(config, /*use_fpga=*/false);
+  if (!baseline) return baseline.error();
+
+  auto accel_run = accelerated->run();
+  if (!accel_run) return accel_run.error();
+  auto base_run = baseline->run();
+  if (!base_run) return base_run.error();
+
+  WorkflowReport report;
+  report.makespan_ms = accel_run->makespan_ms;
+  report.cpu_only_makespan_ms = base_run->makespan_ms;
+  report.speedup = base_run->makespan_ms / accel_run->makespan_ms;
+  report.avg_core_utilization = accel_run->avg_core_utilization;
+  for (const auto &[id, outcome] : accel_run->tasks)
+    report.radiation_tasks_on_fpga += outcome.used_fpga;
+  return report;
+}
+
+}  // namespace everest::usecases::wrf

@@ -1,0 +1,44 @@
+// everest/usecases/wrf_workflow.hpp
+//
+// The "Accelerated WRF" prototype (paper §VIII): WRF ensemble forecasting as
+// an EVEREST workflow. Each ensemble member is a chain of timesteps; every
+// timestep splits into dynamics (CPU-bound) and the RRTMG radiation step
+// (the paper's ~30% of compute cycles, offloadable to FPGA); WRFDA data
+// assimilation feeds the members and an ensemble aggregation closes the DAG.
+// The workflow runs on the resource manager, so FPGA nodes, transfers, and
+// scheduling all follow §VI-A.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/resource_manager.hpp"
+#include "support/expected.hpp"
+
+namespace everest::usecases::wrf {
+
+struct WorkflowConfig {
+  int ensemble_members = 8;
+  int timesteps = 12;
+  double dynamics_ms = 70.0;       // per timestep, CPU
+  double radiation_ms = 30.0;      // per timestep, CPU (the ~30% share)
+  double radiation_speedup = 8.0;  // FPGA speedup of the RRTMG kernel
+  double assimilation_ms = 40.0;   // WRFDA, once per member
+  std::int64_t state_bytes = 64'000'000;  // model state passed along chains
+  int nodes = 8;
+  int fpga_nodes = 2;  // subset of nodes carrying Alveo cards
+};
+
+struct WorkflowReport {
+  double makespan_ms = 0.0;
+  double cpu_only_makespan_ms = 0.0;  // same DAG, FPGA variants disabled
+  double speedup = 1.0;
+  int radiation_tasks_on_fpga = 0;
+  double avg_core_utilization = 0.0;
+};
+
+/// Builds the ensemble DAG on a cluster with `fpga_nodes` accelerator nodes,
+/// schedules it twice (with and without the FPGA radiation variant), and
+/// reports the end-to-end benefit of the accelerated WRF.
+support::Expected<WorkflowReport> run_ensemble(const WorkflowConfig &config);
+
+}  // namespace everest::usecases::wrf

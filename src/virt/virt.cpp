@@ -1,0 +1,158 @@
+#include "virt/virt.hpp"
+
+namespace everest::virt {
+
+using support::Error;
+using support::Expected;
+using support::Json;
+using support::Status;
+
+VirtNode::VirtNode(std::string name, int cores,
+                   std::vector<platform::DeviceSpec> cards,
+                   int max_vfs_per_card)
+    : name_(std::move(name)), cores_(cores) {
+  for (auto &spec : cards) {
+    Card card;
+    card.spec = spec;
+    card.vfs.resize(static_cast<std::size_t>(max_vfs_per_card));
+    card.native = std::make_unique<platform::Device>(spec, kNativeOverhead);
+    cards_.push_back(std::move(card));
+  }
+}
+
+Expected<VmId> VirtNode::create_vm(const std::string &vm_name, int vcpus) {
+  if (vcpus < 1) return Error::make("virt: vcpus must be >= 1");
+  int allocated = 0;
+  for (const auto &[id, vm] : vms_) {
+    if (vm.alive) allocated += vm.vcpus;
+  }
+  if (allocated + vcpus > cores_)
+    return Error::make("virt: node " + name_ + " has no free cores for VM '" +
+                       vm_name + "'");
+  VmId id = next_vm_++;
+  vms_[id] = Vm{vm_name, vcpus, true};
+  return id;
+}
+
+Status VirtNode::destroy_vm(VmId vm) {
+  auto it = vms_.find(vm);
+  if (it == vms_.end() || !it->second.alive)
+    return Status::failure("virt: unknown VM");
+  for (auto &card : cards_) {
+    for (auto &vf : card.vfs) {
+      if (vf.owner == vm) {
+        vf.owner = -1;
+        vf.device.reset();
+        plug_ms_ += plug_latency_ms();
+      }
+    }
+  }
+  it->second.alive = false;
+  return Status::ok();
+}
+
+double VirtNode::plug_latency_ms() const {
+  // PCI rescan + guest driver probe; grows mildly with attached VF count.
+  int attached = 0;
+  for (const auto &card : cards_) {
+    for (const auto &vf : card.vfs) {
+      if (vf.owner >= 0) ++attached;
+    }
+  }
+  return 120.0 + 8.0 * attached;
+}
+
+Expected<VfHandle> VirtNode::attach_vf(VmId vm, int card, IoMode mode) {
+  auto it = vms_.find(vm);
+  if (it == vms_.end() || !it->second.alive)
+    return Error::make("virt: unknown VM");
+  if (card < 0 || card >= static_cast<int>(cards_.size()))
+    return Error::make("virt: card index out of range");
+  Card &c = cards_[static_cast<std::size_t>(card)];
+  for (std::size_t i = 0; i < c.vfs.size(); ++i) {
+    if (c.vfs[i].owner < 0) {
+      plug_ms_ += plug_latency_ms();
+      c.vfs[i].owner = vm;
+      c.vfs[i].mode = mode;
+      double overhead =
+          mode == IoMode::SrIov ? kSrIovOverhead : kEmulatedOverhead;
+      c.vfs[i].device = std::make_unique<platform::Device>(c.spec, overhead);
+      return VfHandle{card, static_cast<int>(i)};
+    }
+  }
+  return Error::make("virt: SR-IOV VF pool of card " + std::to_string(card) +
+                     " exhausted (static limit " +
+                     std::to_string(c.vfs.size()) + ")");
+}
+
+Status VirtNode::detach_vf(VmId vm, VfHandle handle) {
+  if (!handle.valid() || handle.card >= static_cast<int>(cards_.size()))
+    return Status::failure("virt: invalid VF handle");
+  Card &c = cards_[static_cast<std::size_t>(handle.card)];
+  if (handle.vf >= static_cast<int>(c.vfs.size()))
+    return Status::failure("virt: invalid VF handle");
+  Vf &vf = c.vfs[static_cast<std::size_t>(handle.vf)];
+  if (vf.owner != vm) return Status::failure("virt: VF not owned by this VM");
+  vf.owner = -1;
+  vf.device.reset();
+  plug_ms_ += plug_latency_ms();
+  return Status::ok();
+}
+
+Expected<platform::Device *> VirtNode::vm_device(VmId vm, VfHandle handle) {
+  if (!handle.valid() || handle.card >= static_cast<int>(cards_.size()))
+    return Error::make("virt: invalid VF handle");
+  Card &c = cards_[static_cast<std::size_t>(handle.card)];
+  if (handle.vf >= static_cast<int>(c.vfs.size()))
+    return Error::make("virt: invalid VF handle");
+  Vf &vf = c.vfs[static_cast<std::size_t>(handle.vf)];
+  if (vf.owner != vm) return Error::make("virt: VF not owned by this VM");
+  return vf.device.get();
+}
+
+platform::Device &VirtNode::native_device(int card) {
+  return *cards_.at(static_cast<std::size_t>(card)).native;
+}
+
+NodeStatus VirtNode::status() const {
+  NodeStatus s;
+  s.name = name_;
+  s.total_cores = cores_;
+  for (const auto &[id, vm] : vms_) {
+    if (vm.alive) {
+      s.allocated_vcpus += vm.vcpus;
+      ++s.vms;
+    }
+  }
+  for (const auto &card : cards_) {
+    PfStatus pf;
+    pf.device = card.spec.name;
+    pf.max_vfs = static_cast<int>(card.vfs.size());
+    for (const auto &vf : card.vfs) {
+      if (vf.owner >= 0) ++pf.attached_vfs;
+    }
+    s.cards.push_back(pf);
+  }
+  return s;
+}
+
+Json VirtNode::status_json() const {
+  NodeStatus s = status();
+  Json j = Json::object();
+  j.set("node", s.name);
+  j.set("cores", s.total_cores);
+  j.set("allocated_vcpus", s.allocated_vcpus);
+  j.set("vms", static_cast<std::int64_t>(s.vms));
+  Json cards = Json::array();
+  for (const auto &pf : s.cards) {
+    Json c = Json::object();
+    c.set("device", pf.device);
+    c.set("max_vfs", pf.max_vfs);
+    c.set("attached_vfs", pf.attached_vfs);
+    cards.push_back(std::move(c));
+  }
+  j.set("cards", std::move(cards));
+  return j;
+}
+
+}  // namespace everest::virt

@@ -1,0 +1,122 @@
+// everest/virt/virt.hpp
+//
+// The EVEREST virtualization infrastructure (paper §VI-B, Fig. 6): each
+// physical node runs a QEMU-KVM-like hypervisor exposing FPGA cards to VMs
+// through SR-IOV — one Physical Function (PF) per card manages a fixed pool
+// of Virtual Functions (VFs); a VF attaches to exactly one VM, many VFs may
+// attach to the same VM. SR-IOV I/O is near-native; the software-emulated
+// fallback is much slower. The static-pool downside the paper notes is
+// mitigated by dynamic plugging/unplugging of VFs driven by the resource
+// allocator; a libvirtd-like query API reports node status to the autotuner
+// and the resource manager.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/xrt.hpp"
+#include "support/expected.hpp"
+#include "support/json.hpp"
+
+namespace everest::virt {
+
+using VmId = int;
+
+/// How a VF's I/O path is virtualized.
+enum class IoMode {
+  SrIov,     // hardware passthrough via SR-IOV: near-native
+  Emulated,  // software device model: large overhead
+};
+
+/// I/O overhead factors applied to link transfers (Fig. 6 / E6 bench).
+constexpr double kSrIovOverhead = 1.04;    // near-native (paper's claim)
+constexpr double kEmulatedOverhead = 2.6;  // software emulation
+constexpr double kNativeOverhead = 1.0;
+
+/// Handle to an attached virtual function.
+struct VfHandle {
+  int card = -1;
+  int vf = -1;
+  [[nodiscard]] bool valid() const { return card >= 0 && vf >= 0; }
+};
+
+/// Snapshot of one card's PF state.
+struct PfStatus {
+  std::string device;
+  int max_vfs = 0;
+  int attached_vfs = 0;
+};
+
+/// libvirt-like node status report.
+struct NodeStatus {
+  std::string name;
+  int total_cores = 0;
+  int allocated_vcpus = 0;
+  std::size_t vms = 0;
+  std::vector<PfStatus> cards;
+};
+
+/// One physical node with hypervisor, VMs, and SR-IOV-managed FPGA cards.
+class VirtNode {
+public:
+  /// `max_vfs_per_card` is the static SR-IOV pool size (the PF's limit).
+  VirtNode(std::string name, int cores,
+           std::vector<platform::DeviceSpec> cards, int max_vfs_per_card = 4);
+
+  /// Creates a VM with the requested vCPUs; fails when oversubscribed.
+  support::Expected<VmId> create_vm(const std::string &name, int vcpus);
+  /// Destroys a VM, detaching (and freeing) all its VFs.
+  support::Status destroy_vm(VmId vm);
+
+  /// Dynamically plugs a VF of `card` into `vm` (the paper's mitigation of
+  /// SR-IOV's static nature). Returns the handle; advances the simulated
+  /// plug latency counter.
+  support::Expected<VfHandle> attach_vf(VmId vm, int card,
+                                        IoMode mode = IoMode::SrIov);
+  /// Unplugs a VF from a VM, returning it to the PF pool.
+  support::Status detach_vf(VmId vm, VfHandle handle);
+
+  /// The device a VM sees through an attached VF. I/O carries the mode's
+  /// overhead factor; compute is unaffected (direct fabric access).
+  support::Expected<platform::Device *> vm_device(VmId vm, VfHandle handle);
+
+  /// A native (non-virtualized) device for baseline comparisons.
+  [[nodiscard]] platform::Device &native_device(int card);
+
+  /// libvirtd-like queries.
+  [[nodiscard]] NodeStatus status() const;
+  [[nodiscard]] support::Json status_json() const;
+
+  /// Total simulated milliseconds spent in VF plug/unplug operations.
+  [[nodiscard]] double plug_unplug_ms() const { return plug_ms_; }
+  /// Latency model of one hotplug operation.
+  [[nodiscard]] double plug_latency_ms() const;
+
+private:
+  struct Vf {
+    VmId owner = -1;
+    IoMode mode = IoMode::SrIov;
+    std::unique_ptr<platform::Device> device;
+  };
+  struct Card {
+    platform::DeviceSpec spec;
+    std::vector<Vf> vfs;
+    std::unique_ptr<platform::Device> native;
+  };
+  struct Vm {
+    std::string name;
+    int vcpus = 0;
+    bool alive = false;
+  };
+
+  std::string name_;
+  int cores_;
+  std::vector<Card> cards_;
+  std::map<VmId, Vm> vms_;
+  VmId next_vm_ = 0;
+  double plug_ms_ = 0.0;
+};
+
+}  // namespace everest::virt

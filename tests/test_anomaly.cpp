@@ -1,0 +1,241 @@
+// Tests for the anomaly detection service: detectors, TPE sampler, AutoML
+// model selection, and the JSON-emitting detection node.
+
+#include <gtest/gtest.h>
+
+#include "anomaly/detectors.hpp"
+#include "anomaly/service.hpp"
+#include "anomaly/tpe.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace ea = everest::anomaly;
+namespace es = everest::support;
+
+namespace {
+
+/// Gaussian blob with `n_anomalies` far outliers at known indices.
+struct SeededData {
+  ea::Table rows;
+  std::vector<std::size_t> truth;
+};
+
+SeededData make_data(std::size_t n, std::size_t n_anomalies, int dims,
+                     std::uint64_t seed) {
+  es::Pcg32 rng(seed);
+  SeededData data;
+  data.rows.resize(n, ea::Row(static_cast<std::size_t>(dims)));
+  for (auto &row : data.rows) {
+    for (auto &v : row) v = rng.normal(0.0, 1.0);
+  }
+  // Scatter anomalies at deterministic positions; each gets its own far
+  // location (random signs per dim) so they don't form a tight cluster.
+  for (std::size_t k = 0; k < n_anomalies; ++k) {
+    std::size_t idx = (k * 37 + 11) % n;
+    for (auto &v : data.rows[idx]) {
+      double sign = rng.uniform() < 0.5 ? -1.0 : 1.0;
+      v = sign * rng.normal(8.0, 1.5);
+    }
+    data.truth.push_back(idx);
+  }
+  std::sort(data.truth.begin(), data.truth.end());
+  data.truth.erase(std::unique(data.truth.begin(), data.truth.end()),
+                   data.truth.end());
+  return data;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- detectors
+
+class DetectorFamilies : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DetectorFamilies, FindsObviousOutliers) {
+  auto data = make_data(400, 12, 3, 7);
+  auto detector = ea::make_detector(GetParam(), {}, 99);
+  ASSERT_TRUE(detector.has_value()) << detector.error().message;
+  ASSERT_TRUE((*detector)->fit(data.rows).is_ok());
+  auto predicted = ea::detect_anomalies(
+      **detector, data.rows,
+      static_cast<double>(data.truth.size()) / data.rows.size());
+  auto score = es::score_detection(predicted, data.truth);
+  EXPECT_GT(score.f1, 0.8) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, DetectorFamilies,
+                         ::testing::ValuesIn(ea::detector_names()));
+
+TEST(Detectors, RejectDegenerateInput) {
+  ea::ZScoreDetector z;
+  EXPECT_FALSE(z.fit({}).is_ok());
+  EXPECT_FALSE(z.fit({{1.0}, {1.0, 2.0}}).is_ok());  // ragged
+  ea::IsolationForest forest(0, 0, 1);
+  EXPECT_FALSE(forest.fit({{1.0}, {2.0}, {3.0}, {4.0}}).is_ok());
+}
+
+TEST(Detectors, ScoresOrderOutliersAboveInliers) {
+  auto data = make_data(300, 6, 2, 21);
+  for (const auto &name : ea::detector_names()) {
+    auto detector = ea::make_detector(name, {}, 5);
+    ASSERT_TRUE(detector.has_value());
+    ASSERT_TRUE((*detector)->fit(data.rows).is_ok());
+    double inlier_score = (*detector)->score(ea::Row{0.1, -0.2});
+    double outlier_score = (*detector)->score(ea::Row{8.0, 8.0});
+    EXPECT_GT(outlier_score, inlier_score) << name;
+  }
+}
+
+TEST(Detectors, FactoryUnknownFamily) {
+  EXPECT_FALSE(ea::make_detector("oracle", {}, 1).has_value());
+}
+
+TEST(Detectors, MahalanobisHandlesCorrelation) {
+  // Strongly correlated 2-d blob: the point (2, -2) violates correlation and
+  // must outscore (2, 2) which follows it, even at equal norms.
+  es::Pcg32 rng(3);
+  ea::Table rows;
+  for (int i = 0; i < 500; ++i) {
+    double a = rng.normal();
+    rows.push_back({a + rng.normal(0, 0.1), a + rng.normal(0, 0.1)});
+  }
+  ea::MahalanobisDetector det;
+  ASSERT_TRUE(det.fit(rows).is_ok());
+  EXPECT_GT(det.score({2.0, -2.0}), 3.0 * det.score({2.0, 2.0}));
+}
+
+// ---------------------------------------------------------------------- TPE
+
+TEST(Tpe, RandomSamplesStayInRange) {
+  ea::TpeSampler sampler({{"x", 2.0, 5.0, false, false},
+                          {"n", 1, 9, false, true}},
+                         123);
+  for (int i = 0; i < 100; ++i) {
+    auto s = sampler.sample_random();
+    EXPECT_GE(s.at("x"), 2.0);
+    EXPECT_LE(s.at("x"), 5.0);
+    EXPECT_EQ(s.at("n"), std::round(s.at("n")));
+  }
+}
+
+TEST(Tpe, SuggestionsConcentrateNearOptimum) {
+  // Minimize (x - 3)^2 over [0, 10]: after warmup, TPE proposals should
+  // cluster around 3 much tighter than uniform random would.
+  ea::TpeSampler sampler({{"x", 0.0, 10.0, false, false}}, 77);
+  std::vector<ea::Trial> history;
+  for (int t = 0; t < 60; ++t) {
+    auto params = sampler.suggest(history);
+    double x = params.at("x");
+    history.push_back({params, (x - 3.0) * (x - 3.0)});
+  }
+  double late_mean_dist = 0.0;
+  int late = 0;
+  for (std::size_t t = 40; t < history.size(); ++t) {
+    late_mean_dist += std::fabs(history[t].params.at("x") - 3.0);
+    ++late;
+  }
+  late_mean_dist /= late;
+  // Uniform random would average |x-3| ~ 2.9; TPE should do much better.
+  EXPECT_LT(late_mean_dist, 1.5);
+}
+
+TEST(Tpe, BeatsRandomOnEqualBudget) {
+  auto objective = [](double x, double y) {
+    return (x - 7.0) * (x - 7.0) + (y + 2.0) * (y + 2.0);
+  };
+  std::vector<ea::ParamSpec> space{{"x", -10, 10, false, false},
+                                   {"y", -10, 10, false, false}};
+  double best_tpe = 1e18, best_rand = 1e18;
+  {
+    ea::TpeSampler sampler(space, 11);
+    std::vector<ea::Trial> history;
+    for (int t = 0; t < 80; ++t) {
+      auto p = sampler.suggest(history);
+      double loss = objective(p.at("x"), p.at("y"));
+      best_tpe = std::min(best_tpe, loss);
+      history.push_back({p, loss});
+    }
+  }
+  {
+    ea::TpeSampler sampler(space, 11);
+    for (int t = 0; t < 80; ++t) {
+      auto p = sampler.sample_random();
+      best_rand = std::min(best_rand, objective(p.at("x"), p.at("y")));
+    }
+  }
+  EXPECT_LT(best_tpe, best_rand);
+}
+
+// ------------------------------------------------------------------ service
+
+TEST(Service, ModelSelectionFindsGoodModel) {
+  auto data = make_data(500, 20, 3, 13);
+  ea::SelectionConfig config;
+  config.max_trials = 50;
+  config.contamination = 20.0 / 500.0;
+  auto result = ea::select_model(data.rows, data.truth, config);
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_GT(result->best_f1, 0.85);
+  EXPECT_FALSE(result->model.empty());
+  // Best-so-far curve is monotone.
+  for (std::size_t i = 1; i < result->best_curve.size(); ++i)
+    EXPECT_GE(result->best_curve[i], result->best_curve[i - 1]);
+}
+
+TEST(Service, SelectionValidatesInput) {
+  EXPECT_FALSE(ea::select_model({}, {}, {}).has_value());
+  ea::SelectionConfig bad;
+  bad.max_trials = 0;
+  auto data = make_data(50, 2, 2, 1);
+  EXPECT_FALSE(ea::select_model(data.rows, data.truth, bad).has_value());
+}
+
+TEST(Service, DetectionNodeEmitsJsonContract) {
+  auto data = make_data(300, 10, 2, 31);
+  auto detector = ea::make_detector("isolation_forest", {}, 55);
+  ASSERT_TRUE(detector.has_value());
+  ea::DetectionNode node(std::move(*detector), 10.0 / 300.0);
+  ASSERT_TRUE(node.fit(data.rows).is_ok());
+
+  auto batch = make_data(100, 5, 2, 32);
+  auto doc = node.process(batch.rows);
+  ASSERT_TRUE(doc.has_value()) << doc.error().message;
+  EXPECT_TRUE((*doc)["anomalies"].is_array());
+  EXPECT_EQ((*doc)["model"].as_string(), "isolation_forest");
+  EXPECT_EQ((*doc)["batch_size"].as_int(), 100);
+  EXPECT_EQ((*doc)["count"].as_int(),
+            static_cast<std::int64_t>((*doc)["anomalies"].size()));
+  // The JSON round-trips.
+  auto reparsed = es::Json::parse(doc->dump());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->dump(), doc->dump());
+}
+
+TEST(Service, DetectionNodeRequiresFit) {
+  auto detector = ea::make_detector("zscore", {}, 1);
+  ASSERT_TRUE(detector.has_value());
+  ea::DetectionNode node(std::move(*detector), 0.05);
+  EXPECT_FALSE(node.process({{1.0}}).has_value());
+}
+
+TEST(Service, ContinuousUpdateTracksDrift) {
+  // The stream's mean drifts; with continuous updates, points near the new
+  // mean stop being anomalous.
+  auto detector = ea::make_detector("zscore", {}, 1);
+  ASSERT_TRUE(detector.has_value());
+  ea::DetectionNode node(std::move(*detector), 0.05, /*window=*/200);
+  es::Pcg32 rng(17);
+  ea::Table initial;
+  for (int i = 0; i < 200; ++i) initial.push_back({rng.normal(0.0, 1.0)});
+  ASSERT_TRUE(node.fit(initial).is_ok());
+
+  // Before drift: a point at 6.0 scores as anomalous.
+  double before = node.detector().score({6.0});
+  // Feed batches centered at 6.0 (the drifted regime).
+  for (int b = 0; b < 5; ++b) {
+    ea::Table batch;
+    for (int i = 0; i < 100; ++i) batch.push_back({rng.normal(6.0, 1.0)});
+    ASSERT_TRUE(node.process(batch).has_value());
+  }
+  double after = node.detector().score({6.0});
+  EXPECT_LT(after, before * 0.2);
+}

@@ -1,0 +1,142 @@
+// Tests for DOSA: DNN layer analysis and distributed partitioning onto
+// network-attached cloudFPGA nodes (paper §V-C, refs [18][19]).
+
+#include <gtest/gtest.h>
+
+#include "olympus/dosa.hpp"
+#include "usecases/speednet.hpp"
+
+namespace dosa = everest::olympus::dosa;
+namespace sn = everest::usecases::speednet;
+
+namespace {
+
+std::vector<dosa::LayerCost> speednet_layers() {
+  auto model = sn::load_model(42);
+  EXPECT_TRUE(model.has_value());
+  auto layers = dosa::analyze_model(*model);
+  EXPECT_TRUE(layers.has_value());
+  return *layers;
+}
+
+}  // namespace
+
+TEST(Dosa, AnalyzesEveryLayer) {
+  auto layers = speednet_layers();
+  ASSERT_EQ(layers.size(), 8u);  // conv,relu,pool,conv,relu,pool,flatten,gemm
+  // Convolutions dominate the MAC count.
+  EXPECT_GT(layers[0].macs, layers[1].macs);
+  // conv1: 8 out-ch * 96 * 3 in-ch * k5.
+  EXPECT_DOUBLE_EQ(layers[0].macs, 8.0 * 96 * 3 * 5);
+  // gemm: 4 x 192.
+  EXPECT_DOUBLE_EQ(layers.back().macs, 4.0 * 192);
+  // Weights counted on the layers that own them.
+  EXPECT_GT(layers[0].weight_bytes, 0);
+  EXPECT_EQ(layers[1].weight_bytes, 0);  // relu has none
+  for (const auto &l : layers) EXPECT_GT(l.activation_bytes, 0);
+}
+
+TEST(Dosa, AnalyzeRejectsUnknownOps) {
+  auto bad = everest::frontend::import_onnx_json(R"({
+    "inputs": [{"name": "x", "shape": [4]}],
+    "nodes": [{"op": "Softmax", "inputs": ["x"], "output": "y"}],
+    "outputs": ["y"]
+  })");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(dosa::analyze_model(*bad).has_value());
+}
+
+TEST(Dosa, SingleNodePlanMatchesSum) {
+  auto layers = speednet_layers();
+  auto plan = dosa::partition(layers, 1);
+  ASSERT_TRUE(plan.has_value()) << plan.error().message;
+  EXPECT_EQ(plan->stages.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->network_us_per_inference, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < layers.size(); ++i)
+    total += plan->stages[0].compute_us;
+  EXPECT_NEAR(plan->pipeline_latency_us, plan->stages[0].compute_us, 1e-9);
+}
+
+namespace {
+
+/// A compute-heavy CNN where per-stage work dwarfs a ZRLMPI hop: eight
+/// 64-channel convolutions over length-256 sequences.
+std::vector<dosa::LayerCost> deep_model_layers() {
+  everest::frontend::OnnxModel model;
+  model.name = "deepnet";
+  model.inputs.push_back({"x", {64, 256}});
+  std::string prev = "x";
+  for (int i = 0; i < 8; ++i) {
+    std::string w = "w" + std::to_string(i);
+    model.initializers.emplace(
+        w, everest::numerics::Tensor({64, 64, 9}, 0.01));
+    everest::frontend::OnnxNode node;
+    node.op = "Conv1D";
+    node.name = "conv" + std::to_string(i);
+    node.inputs = {prev, w};
+    node.output = "a" + std::to_string(i);
+    model.nodes.push_back(node);
+    prev = node.output;
+  }
+  model.outputs.push_back(prev);
+  auto layers = dosa::analyze_model(model);
+  EXPECT_TRUE(layers.has_value());
+  return *layers;
+}
+
+}  // namespace
+
+TEST(Dosa, MoreNodesRaiseThroughputOnHeavyModels) {
+  auto layers = deep_model_layers();
+  auto p1 = dosa::partition(layers, 1);
+  auto p2 = dosa::partition(layers, 2);
+  auto p4 = dosa::partition(layers, 4);
+  ASSERT_TRUE(p1.has_value());
+  ASSERT_TRUE(p2.has_value());
+  ASSERT_TRUE(p4.has_value());
+  // Per-stage compute (~hundreds of us) dwarfs a hop, so splitting wins.
+  EXPECT_GT(p2->throughput_inf_per_s, p1->throughput_inf_per_s * 1.5);
+  EXPECT_GT(p4->throughput_inf_per_s, p2->throughput_inf_per_s * 1.3);
+  // Pipeline latency grows with hops (ZRLMPI messages added).
+  EXPECT_GE(p4->network_us_per_inference, p2->network_us_per_inference);
+  EXPECT_GE(p4->pipeline_latency_us, p1->pipeline_latency_us);
+}
+
+TEST(Dosa, TinyModelPrefersSingleNode) {
+  // For speednet (29 us total compute) a 30+ us hop can never pay off.
+  auto layers = speednet_layers();
+  auto best = dosa::best_plan(layers, 6);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->nodes, 1);
+}
+
+TEST(Dosa, StageCountNeverExceedsLayersOrNodes) {
+  auto layers = speednet_layers();
+  auto plan = dosa::partition(layers, 64);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_LE(plan->stages.size(), layers.size());
+  std::size_t covered = 0;
+  for (const auto &s : plan->stages) covered += s.layers.size();
+  EXPECT_EQ(covered, layers.size());
+}
+
+TEST(Dosa, BestPlanIsFeasibleAndOptimal) {
+  auto layers = speednet_layers();
+  auto best = dosa::best_plan(layers, 6);
+  ASSERT_TRUE(best.has_value()) << best.error().message;
+  EXPECT_TRUE(best->feasible);
+  for (int n = 1; n <= 6; ++n) {
+    auto plan = dosa::partition(layers, n);
+    ASSERT_TRUE(plan.has_value());
+    if (plan->feasible) {
+      EXPECT_GE(best->throughput_inf_per_s,
+                plan->throughput_inf_per_s - 1e-9);
+    }
+  }
+}
+
+TEST(Dosa, Validation) {
+  auto layers = speednet_layers();
+  EXPECT_FALSE(dosa::partition(layers, 0).has_value());
+}

@@ -1,0 +1,415 @@
+// Unit tests for the IR core: types, attributes, op/use-list mechanics,
+// verification, printing/parsing round trips, passes, and rewrites.
+
+#include <gtest/gtest.h>
+
+#include "dialects/ekl.hpp"
+#include "dialects/registry.hpp"
+#include "ir/builder.hpp"
+#include "ir/parser.hpp"
+#include "ir/pass.hpp"
+#include "ir/rewrite.hpp"
+
+namespace ei = everest::ir;
+namespace ed = everest::dialects;
+
+// --------------------------------------------------------------------- Types
+
+TEST(Types, PrintBasics) {
+  EXPECT_EQ(ei::Type::floating(64).str(), "f64");
+  EXPECT_EQ(ei::Type::integer(1).str(), "i1");
+  EXPECT_EQ(ei::Type::index().str(), "index");
+  EXPECT_EQ(ei::Type::none().str(), "none");
+}
+
+TEST(Types, PrintTensorAndCustom) {
+  auto t = ei::Type::tensor({4, -1}, ei::Type::floating(32));
+  EXPECT_EQ(t.str(), "tensor<4x?xf32>");
+  auto c = ei::Type::custom("base2", "fixed", {"16", "8"});
+  EXPECT_EQ(c.str(), "!base2.fixed<16,8>");
+}
+
+TEST(Types, ParseRoundTrip) {
+  for (const char *text :
+       {"f64", "i32", "index", "none", "tensor<4x5xf64>", "tensor<?xf32>",
+        "tensor<f64>", "!base2.posit<16,1>", "!dfg.stream<f64>"}) {
+    auto t = ei::Type::parse(text);
+    ASSERT_TRUE(t.has_value()) << text;
+    EXPECT_EQ(t->str(), text);
+  }
+}
+
+TEST(Types, ParseRejectsGarbage) {
+  EXPECT_FALSE(ei::Type::parse("").has_value());
+  EXPECT_FALSE(ei::Type::parse("floof").has_value());
+  EXPECT_FALSE(ei::Type::parse("!nodot").has_value());
+}
+
+TEST(Types, Equality) {
+  EXPECT_EQ(ei::Type::floating(64), ei::Type::floating(64));
+  EXPECT_NE(ei::Type::floating(64), ei::Type::floating(32));
+  EXPECT_EQ(ei::Type::tensor({2}, ei::Type::floating(64)),
+            ei::Type::tensor({2}, ei::Type::floating(64)));
+  EXPECT_NE(ei::Type::tensor({2}, ei::Type::floating(64)),
+            ei::Type::tensor({3}, ei::Type::floating(64)));
+}
+
+TEST(Types, NumElements) {
+  EXPECT_EQ(ei::Type::tensor({2, 3}, ei::Type::floating(64)).num_elements(), 6);
+  EXPECT_EQ(ei::Type::tensor({2, -1}, ei::Type::floating(64)).num_elements(), -1);
+  EXPECT_EQ(ei::Type::floating(64).num_elements(), 1);
+}
+
+// ---------------------------------------------------------------- Attributes
+
+TEST(Attributes, RoundTrip) {
+  for (const char *text :
+       {"unit", "true", "false", "42", "-7", "1.5", "\"hello\"",
+        "[1, 2, 3]", "[\"a\", \"b\"]", "f64", "tensor<2xf32>"}) {
+    auto a = ei::Attribute::parse(text);
+    ASSERT_TRUE(a.has_value()) << text;
+    EXPECT_EQ(a->str(), text) << text;
+  }
+}
+
+TEST(Attributes, DoubleKeepsDecimalPoint) {
+  ei::Attribute a(2.0);
+  EXPECT_EQ(a.str(), "2.0");
+  auto round = ei::Attribute::parse(a.str());
+  ASSERT_TRUE(round.has_value());
+  EXPECT_TRUE(round->is_double());
+}
+
+TEST(Attributes, IntVectorHelpers) {
+  auto a = ei::Attribute::int_array({3, 1, 4});
+  EXPECT_EQ(a.as_int_vector(), (std::vector<std::int64_t>{3, 1, 4}));
+  auto s = ei::Attribute::string_array({"x", "y"});
+  EXPECT_EQ(s.as_string_vector(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(Attributes, NestedArrays) {
+  auto a = ei::Attribute::parse("[[1, 2], [3]]");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->as_array()[0].as_array().size(), 2u);
+}
+
+// ----------------------------------------------------------------- IR basics
+
+TEST(IrBasics, CreateOpAndResults) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Value *c = b.constant_f64(3.0);
+  EXPECT_EQ(c->type().str(), "f64");
+  EXPECT_EQ(c->defining_op()->name(), "arith.constant");
+  EXPECT_EQ(module.body().size(), 1u);
+}
+
+TEST(IrBasics, UseListsMaintained) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Value *x = b.constant_f64(1.0);
+  ei::Value *y = b.constant_f64(2.0);
+  ei::Operation &add = b.create("arith.addf", {x, y}, {ei::Type::floating(64)});
+  EXPECT_EQ(x->users().size(), 1u);
+  EXPECT_EQ(x->users()[0], &add);
+  add.set_operand(0, y);
+  EXPECT_TRUE(x->users().empty());
+  EXPECT_EQ(y->users().size(), 2u);
+}
+
+TEST(IrBasics, ReplaceAllUsesWith) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Value *x = b.constant_f64(1.0);
+  ei::Value *y = b.constant_f64(2.0);
+  b.create("arith.addf", {x, x}, {ei::Type::floating(64)});
+  x->defining_op()->replace_all_uses_with({y});
+  EXPECT_TRUE(x->users().empty());
+  EXPECT_EQ(y->users().size(), 2u);
+}
+
+TEST(IrBasics, EraseUpdatesUseLists) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Value *x = b.constant_f64(1.0);
+  ei::Operation &neg = b.create("arith.negf", {x}, {ei::Type::floating(64)});
+  module.body().erase(&neg);
+  EXPECT_TRUE(x->users().empty());
+  EXPECT_EQ(module.body().size(), 1u);
+}
+
+TEST(IrBasics, WalkAndFind) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Operation &outer = b.create("scf.execute_region", {}, {}, {}, 1);
+  ei::Block &body = outer.region(0).add_block();
+  ei::OpBuilder inner(&body);
+  inner.constant_f64(1.0);
+  inner.constant_f64(2.0);
+  EXPECT_EQ(module.op_count(), 3u);
+  EXPECT_EQ(module.find_all("arith.constant").size(), 2u);
+  EXPECT_NE(module.find_first("scf.execute_region"), nullptr);
+}
+
+TEST(IrBasics, ParentLinks) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Operation &outer = b.create("scf.execute_region", {}, {}, {}, 1);
+  ei::Block &body = outer.region(0).add_block();
+  ei::OpBuilder inner(&body);
+  ei::Value *c = inner.constant_f64(1.0);
+  EXPECT_EQ(c->defining_op()->parent_op(), &outer);
+  EXPECT_EQ(outer.parent_op(), &module.op());
+}
+
+// ----------------------------------------------------------------- Verifier
+
+class VerifierTest : public ::testing::Test {
+protected:
+  void SetUp() override { ed::register_everest_dialects(ctx_); }
+  ei::Context ctx_;
+};
+
+TEST_F(VerifierTest, AcceptsWellFormed) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Value *x = b.constant_f64(1.0);
+  b.create("arith.addf", {x, x}, {ei::Type::floating(64)});
+  EXPECT_TRUE(ctx_.verify(module).is_ok());
+}
+
+TEST_F(VerifierTest, RejectsUnknownOpInKnownDialect) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  b.create("arith.frobnicate", {}, {});
+  EXPECT_FALSE(ctx_.verify(module).is_ok());
+}
+
+TEST_F(VerifierTest, RejectsArityMismatch) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Value *x = b.constant_f64(1.0);
+  b.create("arith.addf", {x}, {ei::Type::floating(64)});  // needs 2 operands
+  auto s = ctx_.verify(module);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("operands"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsMissingRequiredAttr) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  b.create("arith.constant", {}, {ei::Type::floating(64)});  // missing value
+  EXPECT_FALSE(ctx_.verify(module).is_ok());
+}
+
+TEST_F(VerifierTest, RunsSemanticVerifier) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Value *x = b.constant_f64(1.0);
+  ei::Value *i = b.constant_index(1);
+  b.create("arith.addf", {x, i}, {ei::Type::floating(64)});
+  auto s = ctx_.verify(module);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("types must match"), std::string::npos);
+}
+
+TEST_F(VerifierTest, EklSumChecksReducedIndices) {
+  ei::Module module;
+  ei::Operation &kernel = ed::ekl::make_kernel(module.body(), "k");
+  ei::OpBuilder b(&kernel.region(0).front());
+  ei::Value *in = ed::ekl::make_input(b, "a", {"x", "y"});
+  ed::ekl::make_sum(b, in, {"y"});
+  EXPECT_TRUE(ctx_.verify(module).is_ok());
+
+  // Reducing an index the operand does not carry must fail.
+  ei::Value *bad = ed::ekl::make_sum(b, in, {"x"});
+  bad->defining_op()->set_attr("reduce", ei::Attribute::string_array({"zz"}));
+  EXPECT_FALSE(ctx_.verify(module).is_ok());
+}
+
+TEST_F(VerifierTest, AllDialectsRegistered) {
+  for (const char *name :
+       {"arith", "func", "scf", "tensor", "memref", "ekl", "cfdlang", "teil",
+        "esn", "dfg", "base2", "bit", "evp", "olympus"}) {
+    EXPECT_NE(ctx_.find_dialect(name), nullptr) << name;
+  }
+}
+
+TEST_F(VerifierTest, OlympusBusLaneDivisibility) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  b.create("olympus.bus", {}, {ei::Type::custom("olympus", "bus")},
+           {{"width_bits", ei::Attribute(std::int64_t{512})},
+            {"lanes", ei::Attribute(std::int64_t{3})}});
+  EXPECT_FALSE(ctx_.verify(module).is_ok());
+}
+
+// ----------------------------------------------------- Print / parse round trip
+
+TEST_F(VerifierTest, PrintParseRoundTrip) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Value *x = b.constant_f64(1.5);
+  ei::Value *y = b.constant_f64(2.0);
+  ei::Value *sum = b.create_value("arith.addf", {x, y}, ei::Type::floating(64));
+  ei::Operation &region_op = b.create("scf.execute_region", {sum},
+                                      {ei::Type::floating(64)}, {}, 1);
+  ei::Block &inner = region_op.region(0).add_block();
+  inner.add_argument(ei::Type::index());
+  ei::OpBuilder ib(&inner);
+  ib.create("scf.yield", {sum}, {});
+
+  std::string printed = module.str();
+  auto reparsed = ei::parse_module(printed);
+  ASSERT_TRUE(reparsed.has_value()) << reparsed.error().message << "\n"
+                                    << printed;
+  EXPECT_EQ((*reparsed)->str(), printed);
+  EXPECT_TRUE(ctx_.verify(**reparsed).is_ok());
+}
+
+TEST_F(VerifierTest, ParseRejectsUndefinedValue) {
+  auto r = ei::parse_module(
+      "module {\n  \"arith.negf\"(%99) : (f64) -> f64\n}\n");
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST_F(VerifierTest, ParseAttributesAndTypes) {
+  std::string text =
+      "module {\n"
+      "  %0 = \"arith.constant\"() {value = 2.5} : () -> f64\n"
+      "  %1 = \"base2.quantize\"(%0) {format = \"fixed<16,8>\"} : (f64) -> "
+      "!base2.fixed<16,8>\n"
+      "}\n";
+  auto m = ei::parse_module(text);
+  ASSERT_TRUE(m.has_value()) << m.error().message;
+  auto *q = (*m)->find_first("base2.quantize");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->attr_string("format"), "fixed<16,8>");
+  EXPECT_EQ(q->result(0)->type().str(), "!base2.fixed<16,8>");
+}
+
+// --------------------------------------------------------------------- Pass
+
+TEST_F(VerifierTest, PassManagerRunsAndTimes) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  b.constant_f64(1.0);
+
+  ei::PassManager pm(ctx_);
+  pm.add_pass("count-check", [](ei::Module &m, ei::Context &) {
+    return m.op_count() == 1
+               ? everest::support::Status::ok()
+               : everest::support::Status::failure("unexpected op count");
+  });
+  pm.add_pass("add-one", [](ei::Module &m, ei::Context &) {
+    ei::OpBuilder bb(&m.body());
+    bb.constant_f64(2.0);
+    return everest::support::Status::ok();
+  });
+  ASSERT_TRUE(pm.run(module).is_ok());
+  ASSERT_EQ(pm.timings().size(), 2u);
+  EXPECT_EQ(pm.timings()[1].ops_before, 1u);
+  EXPECT_EQ(pm.timings()[1].ops_after, 2u);
+}
+
+TEST_F(VerifierTest, PassManagerStopsOnVerifierFailure) {
+  ei::Module module;
+  ei::PassManager pm(ctx_);
+  pm.add_pass("break-ir", [](ei::Module &m, ei::Context &) {
+    ei::OpBuilder bb(&m.body());
+    bb.create("arith.constant", {}, {ei::Type::floating(64)});  // no value
+    return everest::support::Status::ok();
+  });
+  auto s = pm.run(module);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("break-ir"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ Rewrite
+
+TEST_F(VerifierTest, GreedyConstantFolding) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Value *x = b.constant_f64(1.0);
+  ei::Value *y = b.constant_f64(2.0);
+  ei::Value *s1 = b.create_value("arith.addf", {x, y}, ei::Type::floating(64));
+  ei::Value *z = b.constant_f64(4.0);
+  b.create("arith.mulf", {s1, z}, {ei::Type::floating(64)});
+
+  auto fold = std::make_shared<ei::LambdaPattern>(
+      "", [](ei::Operation &op, ei::PatternRewriter &rw) {
+        if (op.name() != "arith.addf" && op.name() != "arith.mulf") return false;
+        auto *l = op.operand(0)->defining_op();
+        auto *r = op.operand(1)->defining_op();
+        if (!l || !r || l->name() != "arith.constant" ||
+            r->name() != "arith.constant")
+          return false;
+        double lv = l->attr_double("value");
+        double rv = r->attr_double("value");
+        double res = op.name() == "arith.addf" ? lv + rv : lv * rv;
+        ei::OpBuilder b2(op.parent_block());
+        b2.set_insertion_point(&op);
+        ei::Value *c = b2.constant_f64(res);
+        rw.replace_op(&op, {c});
+        return true;
+      });
+
+  auto stats = ei::apply_patterns_greedily(module, {fold});
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.rewrites, 2u);
+
+  // Dead constants remain; the final value should be 12.
+  bool found = false;
+  module.walk([&](ei::Operation &op) {
+    if (op.name() == "arith.constant" && op.attr_double("value") == 12.0)
+      found = true;
+  });
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(ctx_.verify(module).is_ok());
+}
+
+TEST_F(VerifierTest, RewriteDriverBoundedIterations) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  b.constant_f64(0.0);
+  // A pattern that always fires (bumps a counter attr) never converges.
+  auto bump = std::make_shared<ei::LambdaPattern>(
+      "arith.constant", [](ei::Operation &op, ei::PatternRewriter &) {
+        op.set_attr("value", ei::Attribute(op.attr_double("value") + 1.0));
+        return true;
+      });
+  auto stats = ei::apply_patterns_greedily(module, {bump}, 5);
+  EXPECT_FALSE(stats.converged);
+  EXPECT_EQ(stats.iterations, 5u);
+}
+
+// ---------------------------------------------------------------- EKL helpers
+
+TEST_F(VerifierTest, EklBuilderIndices) {
+  ei::Module module;
+  ei::Operation &kernel = ed::ekl::make_kernel(module.body(), "tau");
+  ei::OpBuilder b(&kernel.region(0).front());
+  ei::Value *p = ed::ekl::make_input(b, "p", {"x"});
+  ei::Value *k = ed::ekl::make_input(b, "k", {"t", "p_ax", "g"});
+  ei::Value *prod = ed::ekl::make_binary(b, "mul", p, k);
+  EXPECT_EQ(ed::ekl::result_indices(*prod),
+            (std::vector<std::string>{"x", "t", "p_ax", "g"}));
+  ei::Value *sum = ed::ekl::make_sum(b, prod, {"t"});
+  EXPECT_EQ(ed::ekl::result_indices(*sum),
+            (std::vector<std::string>{"x", "p_ax", "g"}));
+  ed::ekl::make_output(b, "out", sum);
+  EXPECT_TRUE(ctx_.verify(module).is_ok());
+}
+
+TEST_F(VerifierTest, EklStackAddsNewIndex) {
+  ei::Module module;
+  ei::Operation &kernel = ed::ekl::make_kernel(module.body(), "k");
+  ei::OpBuilder b(&kernel.region(0).front());
+  ei::Value *j = ed::ekl::make_input(b, "j", {"x"});
+  ei::Value *one = ed::ekl::make_literal(b, 1.0);
+  ei::Value *j1 = ed::ekl::make_binary(b, "add", j, one);
+  ei::Value *stacked = ed::ekl::make_stack(b, {j, j1}, "t");
+  EXPECT_EQ(ed::ekl::result_indices(*stacked),
+            (std::vector<std::string>{"x", "t"}));
+  EXPECT_TRUE(ctx_.verify(module).is_ok());
+}

@@ -1,0 +1,278 @@
+// Unit tests for the numerics substrate: tensors, custom number formats
+// (fixed point, minifloat, posit), and dense linear algebra.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/formats.hpp"
+#include "numerics/linalg.hpp"
+#include "numerics/tensor.hpp"
+#include "support/rng.hpp"
+
+namespace en = everest::numerics;
+
+TEST(Tensor, ScalarAndShape) {
+  auto s = en::Tensor::scalar(2.5);
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_DOUBLE_EQ(s.flat(0), 2.5);
+}
+
+TEST(Tensor, RowMajorIndexing) {
+  en::Tensor t(en::Shape{2, 3});
+  t(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(t.flat(5), 7.0);
+  t(0, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(t.flat(1), 3.0);
+}
+
+TEST(Tensor, Reshape) {
+  en::Tensor t(en::Shape{2, 3}, std::vector<double>{1, 2, 3, 4, 5, 6});
+  auto r = t.reshaped({3, 2});
+  EXPECT_DOUBLE_EQ(r(2, 1), 6.0);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  en::Tensor a(en::Shape{2}, std::vector<double>{1, 2});
+  en::Tensor b(en::Shape{2}, std::vector<double>{10, 20});
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0), 11.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(1), 44.0);
+  en::Tensor c(en::Shape{3});
+  EXPECT_THROW(a += c, std::invalid_argument);
+}
+
+TEST(Tensor, SumAndToString) {
+  en::Tensor t(en::Shape{2, 2}, std::vector<double>{1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(t.sum(), 10.0);
+  EXPECT_EQ(t.to_string(2), "tensor<2x2>[1, 2, ...]");
+}
+
+TEST(Tensor, BadConstruction) {
+  EXPECT_THROW(en::Tensor(en::Shape{-1}), std::invalid_argument);
+  EXPECT_THROW(en::Tensor(en::Shape{2}, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- fixed point
+
+TEST(FixedPoint, ExactValues) {
+  en::FixedPointFormat q16_8(16, 8);
+  EXPECT_DOUBLE_EQ(q16_8.quantize(1.5), 1.5);        // exactly representable
+  EXPECT_DOUBLE_EQ(q16_8.quantize(0.00390625), 1.0 / 256);  // one LSB
+  EXPECT_DOUBLE_EQ(q16_8.resolution(), 1.0 / 256);
+}
+
+TEST(FixedPoint, RoundsToNearest) {
+  en::FixedPointFormat q8_4(8, 4);
+  // quantum = 1/16 = 0.0625; 0.03 -> 0.0625*round(0.48) = 0.0
+  EXPECT_DOUBLE_EQ(q8_4.quantize(0.03), 0.0);
+  EXPECT_DOUBLE_EQ(q8_4.quantize(0.04), 0.0625);
+}
+
+TEST(FixedPoint, Saturates) {
+  en::FixedPointFormat q8_4(8, 4);
+  // signed 8 bits, 4 frac: max code 127 -> 7.9375, min -128 -> -8
+  EXPECT_DOUBLE_EQ(q8_4.quantize(100.0), 7.9375);
+  EXPECT_DOUBLE_EQ(q8_4.quantize(-100.0), -8.0);
+  EXPECT_DOUBLE_EQ(q8_4.max_value(), 7.9375);
+  EXPECT_DOUBLE_EQ(q8_4.min_value(), -8.0);
+}
+
+TEST(FixedPoint, UnsignedRange) {
+  en::FixedPointFormat u8(8, 0, /*is_signed=*/false);
+  EXPECT_DOUBLE_EQ(u8.quantize(-3.0), 0.0);
+  EXPECT_DOUBLE_EQ(u8.quantize(300.0), 255.0);
+}
+
+TEST(FixedPoint, EncodeDecodeBitTrue) {
+  en::FixedPointFormat q16_8(16, 8);
+  EXPECT_EQ(q16_8.encode(1.0), 256);
+  EXPECT_EQ(q16_8.encode(-1.0), -256);
+  EXPECT_DOUBLE_EQ(q16_8.decode(384), 1.5);
+}
+
+TEST(FixedPoint, InvalidConfig) {
+  EXPECT_THROW(en::FixedPointFormat(1, 0), std::invalid_argument);
+  EXPECT_THROW(en::FixedPointFormat(64, 0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- minifloat
+
+TEST(MiniFloat, Fp16KnownValues) {
+  en::MiniFloatFormat fp16(5, 10);
+  EXPECT_DOUBLE_EQ(fp16.quantize(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(fp16.quantize(0.5), 0.5);
+  // 1 + 2^-11 rounds back to 1 (mantissa has 10 bits).
+  EXPECT_DOUBLE_EQ(fp16.quantize(1.0 + std::ldexp(1.0, -11)), 1.0);
+  // 1 + 2^-10 is exactly representable.
+  double one_ulp = 1.0 + std::ldexp(1.0, -10);
+  EXPECT_DOUBLE_EQ(fp16.quantize(one_ulp), one_ulp);
+  EXPECT_DOUBLE_EQ(fp16.max_finite(), 65504.0);
+}
+
+TEST(MiniFloat, OverflowToInfinity) {
+  en::MiniFloatFormat fp16(5, 10);
+  EXPECT_TRUE(std::isinf(fp16.quantize(1.0e6)));
+  EXPECT_TRUE(std::isinf(fp16.quantize(-1.0e6)));
+  EXPECT_LT(fp16.quantize(-1.0e6), 0.0);
+}
+
+TEST(MiniFloat, SubnormalsQuantize) {
+  en::MiniFloatFormat fp16(5, 10);
+  // Smallest subnormal of fp16 is 2^-24.
+  double tiny = std::ldexp(1.0, -24);
+  EXPECT_DOUBLE_EQ(fp16.quantize(tiny), tiny);
+  EXPECT_DOUBLE_EQ(fp16.quantize(tiny * 0.4), 0.0);
+}
+
+TEST(MiniFloat, Bfloat16Behaviour) {
+  en::MiniFloatFormat bf16(8, 7);
+  // bfloat16 keeps the f32 exponent range but only 7 mantissa bits.
+  EXPECT_DOUBLE_EQ(bf16.quantize(1.0e30), bf16.quantize(1.0e30));
+  EXPECT_FALSE(std::isinf(bf16.quantize(1.0e30)));
+  EXPECT_DOUBLE_EQ(bf16.quantize(256.0 + 0.5), 256.0);  // below 1 ulp at 256
+}
+
+TEST(MiniFloat, PreservesSpecials) {
+  en::MiniFloatFormat f(4, 3);
+  EXPECT_TRUE(std::isnan(f.quantize(std::nan(""))));
+  EXPECT_DOUBLE_EQ(f.quantize(0.0), 0.0);
+}
+
+// -------------------------------------------------------------------- posit
+
+TEST(Posit, KnownEncodings) {
+  en::PositFormat p16(16, 1);
+  // posit<16,1>: 1.0 encodes as 0x4000.
+  EXPECT_EQ(p16.encode(1.0), 0x4000u);
+  EXPECT_DOUBLE_EQ(p16.decode(0x4000), 1.0);
+  // NaR is 0x8000; zero is 0.
+  EXPECT_EQ(p16.encode(0.0), 0u);
+  EXPECT_TRUE(std::isnan(p16.decode(0x8000)));
+}
+
+TEST(Posit, NegationIsTwosComplement) {
+  en::PositFormat p16(16, 1);
+  std::uint64_t pos = p16.encode(1.5);
+  std::uint64_t neg = p16.encode(-1.5);
+  EXPECT_EQ((pos + neg) & 0xFFFFu, 0u);
+  EXPECT_DOUBLE_EQ(p16.decode(neg), -1.5);
+}
+
+TEST(Posit, ExactSmallIntegers) {
+  en::PositFormat p16(16, 1);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 0.5, 0.25, 1.5, -2.0, -0.75}) {
+    EXPECT_DOUBLE_EQ(p16.quantize(v), v) << "value " << v;
+  }
+}
+
+TEST(Posit, TaperedPrecision) {
+  en::PositFormat p16(16, 1);
+  // Near 1.0 posit<16,1> has ~12 fraction bits: error <= 2^-13.
+  double x = 1.0001;
+  EXPECT_NEAR(p16.quantize(x), x, std::ldexp(1.0, -13));
+  // Far from 1.0 the relative error grows (taper).
+  double big = 1.0e6;
+  double err_big = std::fabs(p16.quantize(big) - big) / big;
+  double err_one = std::fabs(p16.quantize(x) - x) / x;
+  EXPECT_GT(err_big, err_one);
+}
+
+TEST(Posit, RoundTripMonotone) {
+  en::PositFormat p8(8, 0);
+  everest::support::Pcg32 rng(13);
+  double prev = -1.0e9;
+  // Quantization must be monotone non-decreasing.
+  for (double x = -16.0; x <= 16.0; x += 0.037) {
+    double q = p8.quantize(x);
+    EXPECT_GE(q, prev - 1e-12);
+    prev = q;
+  }
+  (void)rng;
+}
+
+TEST(Posit, SaturatesAtMaxpos) {
+  en::PositFormat p8(8, 0);
+  // maxpos for posit<8,0> is 64.
+  EXPECT_DOUBLE_EQ(p8.quantize(1.0e12), 64.0);
+  EXPECT_DOUBLE_EQ(p8.quantize(-1.0e12), -64.0);
+  // minpos: tiny values round to minpos (1/64), never to zero.
+  EXPECT_DOUBLE_EQ(p8.quantize(1.0e-12), 1.0 / 64.0);
+}
+
+TEST(Formats, QuantizeSpanReportsMaxError) {
+  en::FixedPointFormat q4(8, 4);
+  std::vector<double> xs{0.03, 1.0, 2.551};
+  double err = en::quantize_span(q4, xs);
+  EXPECT_DOUBLE_EQ(xs[1], 1.0);
+  EXPECT_GT(err, 0.0);
+  EXPECT_LE(err, q4.resolution() / 2 + 1e-12);
+}
+
+// ------------------------------------------------------------------- linalg
+
+TEST(Linalg, MatmulIdentity) {
+  auto i3 = en::identity(3);
+  en::Tensor a(en::Shape{3, 3});
+  everest::support::Pcg32 rng(21);
+  for (auto &x : a.data()) x = rng.normal();
+  auto prod = en::matmul(a, i3);
+  for (std::int64_t i = 0; i < 9; ++i)
+    EXPECT_DOUBLE_EQ(prod.flat(i), a.flat(i));
+}
+
+TEST(Linalg, MatmulKnown) {
+  en::Tensor a(en::Shape{2, 3}, std::vector<double>{1, 2, 3, 4, 5, 6});
+  en::Tensor b(en::Shape{3, 2}, std::vector<double>{7, 8, 9, 10, 11, 12});
+  auto c = en::matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+  EXPECT_THROW(en::matmul(a, a), std::invalid_argument);
+}
+
+TEST(Linalg, MatvecAndTranspose) {
+  en::Tensor a(en::Shape{2, 2}, std::vector<double>{1, 2, 3, 4});
+  en::Tensor x(en::Shape{2}, std::vector<double>{1, 1});
+  auto y = en::matvec(a, x);
+  EXPECT_DOUBLE_EQ(y(0), 3.0);
+  EXPECT_DOUBLE_EQ(y(1), 7.0);
+  auto t = en::transpose(a);
+  EXPECT_DOUBLE_EQ(t(0, 1), 3.0);
+}
+
+TEST(Linalg, CholeskySolveRecoversSolution) {
+  // Build SPD A = B^T B + I and a known x; solve A x = b.
+  everest::support::Pcg32 rng(77);
+  const std::int64_t n = 8;
+  en::Tensor b_mat(en::Shape{n, n});
+  for (auto &v : b_mat.data()) v = rng.normal();
+  auto a = en::matmul(en::transpose(b_mat), b_mat);
+  for (std::int64_t i = 0; i < n; ++i) a(i, i) += 1.0;
+
+  en::Tensor x_true(en::Shape{n});
+  for (auto &v : x_true.data()) v = rng.normal();
+  auto rhs = en::matvec(a, x_true);
+
+  auto x = en::cholesky_solve(a, rhs);
+  ASSERT_TRUE(x.has_value());
+  for (std::int64_t i = 0; i < n; ++i)
+    EXPECT_NEAR((*x)(i), x_true(i), 1e-9);
+}
+
+TEST(Linalg, CholeskyRejectsIndefinite) {
+  en::Tensor a(en::Shape{2, 2}, std::vector<double>{0, 1, 1, 0});
+  EXPECT_FALSE(en::cholesky(a).has_value());
+}
+
+TEST(Linalg, LogDet) {
+  en::Tensor a(en::Shape{2, 2}, std::vector<double>{4, 0, 0, 9});
+  auto l = en::cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_NEAR(en::log_det_from_cholesky(*l), std::log(36.0), 1e-12);
+}

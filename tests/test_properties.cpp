@@ -1,0 +1,279 @@
+// Property-style test suites (parameterized gtest) over the SDK's core
+// invariants: bit-true number-format round trips, IR print/parse fixpoints,
+// HLS monotonicity in its options, memory-model conservation laws, and
+// noise-robustness curves of the map matcher.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dialects/registry.hpp"
+#include "frontend/ekl_parser.hpp"
+#include "hls/scheduler.hpp"
+#include "ir/builder.hpp"
+#include "ir/parser.hpp"
+#include "numerics/formats.hpp"
+#include "platform/memory.hpp"
+#include "support/rng.hpp"
+#include "transforms/ekl_to_teil.hpp"
+#include "transforms/teil_to_loops.hpp"
+#include "usecases/traffic.hpp"
+
+namespace en = everest::numerics;
+namespace ei = everest::ir;
+namespace ep = everest::platform;
+namespace eh = everest::hls;
+
+// ------------------------------------------------- number format involutions
+
+TEST(FormatProperties, Posit8AllCodesRoundTrip) {
+  // decode is exact, so encode(decode(c)) must reproduce every code:
+  // the codec is an involution over the full 8-bit space.
+  en::PositFormat p8(8, 0);
+  for (std::uint64_t code = 0; code < 256; ++code) {
+    double v = p8.decode(code);
+    EXPECT_EQ(p8.encode(v), code) << "code " << code << " value " << v;
+  }
+}
+
+TEST(FormatProperties, Posit16SampledCodesRoundTrip) {
+  en::PositFormat p16(16, 1);
+  for (std::uint64_t code = 0; code < (1u << 16); code += 37) {
+    double v = p16.decode(code);
+    EXPECT_EQ(p16.encode(v), code) << "code " << code;
+  }
+}
+
+TEST(FormatProperties, FixedCodesRoundTrip) {
+  en::FixedPointFormat q12(12, 5);
+  for (std::int64_t code = -(1 << 11); code < (1 << 11); code += 7) {
+    EXPECT_EQ(q12.encode(q12.decode(code)), code);
+  }
+}
+
+class QuantizeIdempotent
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(QuantizeIdempotent, QuantizeTwiceEqualsOnce) {
+  // quantize must be a projection: q(q(x)) == q(x) on random inputs.
+  std::unique_ptr<en::NumberFormat> fmt;
+  std::string spec = GetParam();
+  if (spec == "fixed") fmt = std::make_unique<en::FixedPointFormat>(16, 8);
+  else if (spec == "minifloat") fmt = std::make_unique<en::MiniFloatFormat>(5, 10);
+  else fmt = std::make_unique<en::PositFormat>(16, 1);
+
+  everest::support::Pcg32 rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    double x = rng.normal(0.0, std::pow(10.0, rng.uniform(-3.0, 3.0)));
+    double once = fmt->quantize(x);
+    double twice = fmt->quantize(once);
+    EXPECT_EQ(once, twice) << spec << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, QuantizeIdempotent,
+                         ::testing::Values("fixed", "minifloat", "posit"));
+
+// -------------------------------------------------- IR print/parse fixpoint
+
+namespace {
+
+/// Builds a randomized (but verifiable) module from a safe op grammar.
+std::shared_ptr<ei::Module> random_module(std::uint64_t seed) {
+  everest::support::Pcg32 rng(seed);
+  auto module = std::make_shared<ei::Module>();
+  ei::OpBuilder b(&module->body());
+  std::vector<ei::Value *> pool;
+  pool.push_back(b.constant_f64(rng.normal()));
+  for (int i = 0; i < 20; ++i) {
+    switch (rng.bounded(4)) {
+      case 0:
+        pool.push_back(b.constant_f64(rng.normal()));
+        break;
+      case 1: {
+        ei::Value *x = pool[rng.bounded(static_cast<std::uint32_t>(pool.size()))];
+        ei::Value *y = pool[rng.bounded(static_cast<std::uint32_t>(pool.size()))];
+        const char *ops[] = {"arith.addf", "arith.mulf", "arith.subf"};
+        pool.push_back(
+            b.create_value(ops[rng.bounded(3)], {x, y}, ei::Type::floating(64)));
+        break;
+      }
+      case 2: {
+        ei::Value *x = pool[rng.bounded(static_cast<std::uint32_t>(pool.size()))];
+        pool.push_back(b.create_value("arith.negf", {x}, ei::Type::floating(64),
+                                      {{"note", ei::Attribute("n\"est\ned")}}));
+        break;
+      }
+      default: {
+        // Region op with block args and a nested body.
+        ei::Value *x = pool[rng.bounded(static_cast<std::uint32_t>(pool.size()))];
+        ei::Operation &region_op = b.create(
+            "scf.execute_region", {x}, {ei::Type::floating(64)},
+            {{"tags", ei::Attribute::int_array({1, 2, 3})}}, 1);
+        ei::Block &body = region_op.region(0).add_block();
+        body.add_argument(ei::Type::index());
+        ei::OpBuilder inner(&body);
+        ei::Value *c = inner.constant_f64(rng.normal());
+        inner.create("scf.yield", {c}, {});
+        pool.push_back(region_op.result(0));
+        break;
+      }
+    }
+  }
+  return module;
+}
+
+}  // namespace
+
+class PrintParseFixpoint : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrintParseFixpoint, RandomModules) {
+  ei::Context ctx;
+  everest::dialects::register_everest_dialects(ctx);
+  auto module = random_module(static_cast<std::uint64_t>(GetParam()));
+  ASSERT_TRUE(ctx.verify(*module).is_ok());
+  std::string once = module->str();
+  auto reparsed = ei::parse_module(once);
+  ASSERT_TRUE(reparsed.has_value()) << reparsed.error().message;
+  EXPECT_EQ((*reparsed)->str(), once);
+  EXPECT_TRUE(ctx.verify(**reparsed).is_ok());
+  EXPECT_EQ((*reparsed)->op_count(), module->op_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrintParseFixpoint,
+                         ::testing::Range(1, 13));
+
+// --------------------------------------------------------- HLS monotonicity
+
+namespace {
+
+std::shared_ptr<ei::Module> saxpy_loops(std::int64_t n) {
+  auto m = everest::frontend::parse_ekl(R"(
+kernel sx
+index i
+input x[i]
+input y[i]
+r = x[i] * 3 + y[i]
+output r
+)").value();
+  everest::transforms::EklBindings bind;
+  bind.inputs.emplace("x", en::Tensor({n}));
+  bind.inputs.emplace("y", en::Tensor({n}));
+  auto teil = everest::transforms::lower_ekl_to_teil(*m, bind).value();
+  return everest::transforms::lower_teil_to_loops(*teil).value();
+}
+
+}  // namespace
+
+class HlsWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HlsWidthSweep, AreaAndLatencyMonotoneInWidth) {
+  auto loops = saxpy_loops(4096);
+  eh::HlsOptions narrow;
+  narrow.datapath_bits = GetParam();
+  eh::HlsOptions wider;
+  wider.datapath_bits = GetParam() * 2;
+  auto a = eh::schedule_kernel(*loops, narrow).value();
+  auto b = eh::schedule_kernel(*loops, wider).value();
+  EXPECT_LE(a.area.luts, b.area.luts);
+  EXPECT_LE(a.area.dsps, b.area.dsps);
+  EXPECT_LE(a.total_cycles, b.total_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HlsWidthSweep, ::testing::Values(8, 16, 32));
+
+TEST(HlsProperties, MorePortsNeverSlower) {
+  auto loops = saxpy_loops(4096);
+  eh::HlsOptions one_port;
+  one_port.mem_read_ports = 1;
+  eh::HlsOptions two_ports;
+  two_ports.mem_read_ports = 2;
+  auto a = eh::schedule_kernel(*loops, one_port).value();
+  auto b = eh::schedule_kernel(*loops, two_ports).value();
+  EXPECT_GE(a.total_cycles, b.total_cycles);
+}
+
+TEST(HlsProperties, DataflowNeverSlowerThanSequential) {
+  for (std::int64_t n : {256, 1024, 8192}) {
+    auto loops = saxpy_loops(n);
+    auto report = eh::schedule_kernel(*loops).value();
+    EXPECT_LE(report.dataflow_cycles, report.total_cycles) << n;
+  }
+}
+
+// --------------------------------------------------- memory model invariants
+
+class ContentionStreams : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContentionStreams, ConservationAndBounds) {
+  auto mem = ep::alveo_u55c().memory;
+  int streams = GetParam();
+  std::vector<ep::MemoryStream> all;
+  std::int64_t total_bytes = 0;
+  everest::support::Pcg32 rng(static_cast<std::uint64_t>(streams));
+  for (int s = 0; s < streams; ++s) {
+    ep::MemoryStream st;
+    st.bytes = 1'000'000 * (1 + static_cast<std::int64_t>(rng.bounded(64)));
+    st.channels = {static_cast<int>(rng.bounded(32))};
+    total_bytes += st.bytes;
+    all.push_back(std::move(st));
+  }
+  double t = ep::contention_time_seconds(all, mem);
+  // Lower bound: the aggregate cannot beat the full-device bandwidth.
+  double device_bw = mem.hbm_gbps_per_channel * mem.hbm_channels * 1e9;
+  EXPECT_GE(t, static_cast<double>(total_bytes) / device_bw - 1e-9);
+  // Upper bound: no stream can be slower than having its channel alone
+  // shared by all streams simultaneously.
+  double worst = 0.0;
+  for (const auto &st : all) {
+    worst = std::max(worst, static_cast<double>(st.bytes) * streams /
+                                (mem.hbm_gbps_per_channel * 1e9));
+  }
+  EXPECT_LE(t, worst + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ContentionStreams,
+                         ::testing::Values(1, 2, 4, 8, 16, 64));
+
+TEST(MemoryProperties, DisjointStreamsRunInParallel) {
+  auto mem = ep::alveo_u55c().memory;
+  std::vector<ep::MemoryStream> streams;
+  for (int s = 0; s < 8; ++s) {
+    ep::MemoryStream st;
+    st.bytes = 100'000'000;
+    st.channels = {s};
+    streams.push_back(st);
+  }
+  double together = ep::contention_time_seconds(streams, mem);
+  double alone = ep::contention_time_seconds({streams[0]}, mem);
+  EXPECT_NEAR(together, alone, alone * 0.01);
+}
+
+// -------------------------------------------------- map matching vs noise
+
+class MatcherNoise : public ::testing::TestWithParam<double> {};
+
+TEST_P(MatcherNoise, AccuracyDegradesGracefully) {
+  namespace tr = everest::usecases::traffic;
+  auto net = tr::make_grid_network(8, 1.0, 5);
+  double noise = GetParam();
+  double acc = 0.0;
+  const int runs = 4;
+  for (int seed = 0; seed < runs; ++seed) {
+    auto trace = tr::make_trace(net, 60, noise,
+                                100 + static_cast<std::uint64_t>(seed));
+    auto matched = tr::map_match(net, trace.points);
+    ASSERT_TRUE(matched.has_value());
+    acc += tr::matching_accuracy(*matched, trace.true_segments);
+  }
+  acc /= runs;
+  // Low noise must stay accurate; even heavy noise must beat the ~1/40
+  // random-segment floor by a wide margin.
+  if (noise <= 0.05) {
+    EXPECT_GT(acc, 0.8);
+  }
+  EXPECT_GT(acc, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, MatcherNoise,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.2));

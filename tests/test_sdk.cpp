@@ -1,0 +1,130 @@
+// Integration tests of the basecamp facade: whole-pipeline compiles of the
+// Fig. 3 kernel and a CFDlang program, target selection, custom number
+// formats, and deployment onto the device models.
+
+#include <gtest/gtest.h>
+
+#include "platform/xrt.hpp"
+#include "sdk/basecamp.hpp"
+#include "usecases/rrtmg.hpp"
+
+namespace es = everest::sdk;
+namespace rr = everest::usecases::rrtmg;
+
+class BasecampTest : public ::testing::Test {
+protected:
+  es::Basecamp basecamp_;
+};
+
+TEST_F(BasecampTest, DeviceLookup) {
+  EXPECT_TRUE(basecamp_.device_by_name("alveo-u55c").has_value());
+  EXPECT_TRUE(basecamp_.device_by_name("alveo-u280").has_value());
+  EXPECT_TRUE(basecamp_.device_by_name("cloudfpga").has_value());
+  EXPECT_FALSE(basecamp_.device_by_name("stratix").has_value());
+}
+
+TEST_F(BasecampTest, CompilesFig3EndToEnd) {
+  rr::Config cfg;
+  cfg.ncells = 32;
+  rr::Data data = rr::make_data(cfg);
+  auto result = basecamp_.compile_ekl(rr::ekl_source(), rr::bindings(data));
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+
+  EXPECT_NE(result->frontend_ir, nullptr);
+  EXPECT_NE(result->teil_ir, nullptr);
+  EXPECT_NE(result->loop_ir, nullptr);
+  EXPECT_NE(result->system_ir, nullptr);
+  EXPECT_GT(result->kernel.total_cycles, 0);
+  EXPECT_GT(result->estimate.total_us, 0.0);
+  EXPECT_TRUE(result->estimate.fits);
+  EXPECT_GT(result->ekl_source_lines, 10u);
+  EXPECT_LT(result->ekl_source_lines, 30u);
+
+  // Every pipeline stage reported a timing.
+  std::vector<std::string> stages;
+  for (const auto &t : result->timings) stages.push_back(t.stage);
+  for (const char *expected :
+       {"parse-ekl", "lower-ekl-to-teil", "esn-reorder",
+        "lower-teil-to-loops", "hls-schedule", "olympus-estimate",
+        "olympus-generate"}) {
+    EXPECT_NE(std::find(stages.begin(), stages.end(), expected), stages.end())
+        << expected;
+  }
+}
+
+TEST_F(BasecampTest, CustomFormatShrinksDatapath) {
+  rr::Config cfg;
+  cfg.ncells = 16;
+  rr::Data data = rr::make_data(cfg);
+
+  es::CompileOptions wide;
+  es::CompileOptions narrow;
+  narrow.number_format = "fixed<16,12>";
+  auto w = basecamp_.compile_ekl(rr::ekl_source(), rr::bindings(data), wide);
+  auto n = basecamp_.compile_ekl(rr::ekl_source(), rr::bindings(data), narrow);
+  ASSERT_TRUE(w.has_value()) << w.error().message;
+  ASSERT_TRUE(n.has_value()) << n.error().message;
+  EXPECT_EQ(n->datapath_bits, 16);
+  EXPECT_LT(n->kernel.area.luts, w->kernel.area.luts);
+  EXPECT_LE(n->estimate.total_us, w->estimate.total_us);
+}
+
+TEST_F(BasecampTest, RejectsBadInputs) {
+  EXPECT_FALSE(basecamp_.compile_ekl("kernel k\nz = nope\n", {}).has_value());
+  rr::Config cfg;
+  rr::Data data = rr::make_data(cfg);
+  es::CompileOptions bad_target;
+  bad_target.target = "virtex2";
+  EXPECT_FALSE(basecamp_
+                   .compile_ekl(rr::ekl_source(), rr::bindings(data),
+                                bad_target)
+                   .has_value());
+  es::CompileOptions bad_format;
+  bad_format.number_format = "decimal<10>";
+  EXPECT_FALSE(basecamp_
+                   .compile_ekl(rr::ekl_source(), rr::bindings(data),
+                                bad_format)
+                   .has_value());
+}
+
+TEST_F(BasecampTest, CompilesCfdlang) {
+  auto result = basecamp_.compile_cfdlang(R"(
+program mm
+input A : [16, 24]
+input B : [24, 8]
+output C = contract(outer(A, B), 1, 2)
+)");
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_GT(result->kernel.total_cycles, 0);
+  EXPECT_EQ(result->kernel.name, "mm");
+}
+
+TEST_F(BasecampTest, DeployAndRunOnU55c) {
+  rr::Config cfg;
+  cfg.ncells = 64;
+  rr::Data data = rr::make_data(cfg);
+  auto result = basecamp_.compile_ekl(rr::ekl_source(), rr::bindings(data));
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+
+  everest::platform::Device device(result->device);
+  auto us = basecamp_.deploy_and_run(device, *result);
+  ASSERT_TRUE(us.has_value()) << us.error().message;
+  EXPECT_GT(*us, 0.0);
+  EXPECT_EQ(device.stats().kernel_launches, 1);
+}
+
+TEST_F(BasecampTest, CloudFpgaTargetWorks) {
+  rr::Config cfg;
+  cfg.ncells = 16;
+  rr::Data data = rr::make_data(cfg);
+  es::CompileOptions options;
+  options.target = "cloudfpga";
+  auto result =
+      basecamp_.compile_ekl(rr::ekl_source(), rr::bindings(data), options);
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_EQ(result->device.name, "cloudfpga");
+  // Network-attached: transfers dominated by the 10G link.
+  everest::platform::Device device(result->device);
+  auto us = basecamp_.deploy_and_run(device, *result);
+  ASSERT_TRUE(us.has_value()) << us.error().message;
+}

@@ -1,0 +1,168 @@
+// Tests for the traffic macroscopic model: ODM generation, demand routing,
+// BPR congestion, prediction coefficients, and daily EMA updates (§II-D).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/stats.hpp"
+#include "usecases/traffic_model.hpp"
+
+namespace tr = everest::usecases::traffic;
+
+namespace {
+
+struct Built {
+  tr::RoadNetwork net = tr::make_grid_network(5, 1.0, 3);
+  tr::OdMatrix odm;
+  tr::TrafficModel model;
+};
+
+Built build(std::uint64_t seed = 7) {
+  Built b;
+  b.odm = tr::make_odm(b.net, 15000.0, seed);
+  auto model = tr::build_model(b.net, b.odm, seed + 1);
+  EXPECT_TRUE(model.has_value());
+  b.model = std::move(*model);
+  return b;
+}
+
+}  // namespace
+
+TEST(Odm, ProfileAndTotals) {
+  auto net = tr::make_grid_network(4, 1.0, 1);
+  auto odm = tr::make_odm(net, 500.0, 2);
+  EXPECT_EQ(odm.zones, 25);
+  double profile_sum = 0.0;
+  for (double d : odm.diurnal) profile_sum += d;
+  EXPECT_NEAR(profile_sum, 1.0, 1e-9);
+  // No self-trips; totals roughly match the requested volume.
+  double total = 0.0;
+  for (int i = 0; i < odm.zones; ++i) {
+    EXPECT_DOUBLE_EQ(odm.trips[static_cast<std::size_t>(i * odm.zones + i)],
+                     0.0);
+    for (int j = 0; j < odm.zones; ++j)
+      total += odm.trips[static_cast<std::size_t>(i * odm.zones + j)];
+  }
+  EXPECT_NEAR(total, 500.0 * 25, 1.0);
+  // Rush hour departs more than night.
+  EXPECT_GT(odm.demand(0, 1, 32), odm.demand(0, 1, 8));  // 08:00 vs 02:00
+}
+
+TEST(Bpr, MonotoneCongestion) {
+  double free_flow = 60.0;
+  EXPECT_NEAR(tr::bpr_speed(free_flow, 0.0, 600.0), 60.0, 1e-12);
+  double half = tr::bpr_speed(free_flow, 300.0, 600.0);
+  double full = tr::bpr_speed(free_flow, 600.0, 600.0);
+  double over = tr::bpr_speed(free_flow, 1200.0, 600.0);
+  EXPECT_GT(half, full);
+  EXPECT_GT(full, over);
+  EXPECT_NEAR(full, 60.0 / 1.15, 1e-9);  // BPR at capacity
+}
+
+TEST(TrafficModel, FlowConservation) {
+  auto b = build();
+  // Every vehicle trip contributes path-length segment-traversals; total
+  // segment flow must equal sum over OD pairs of demand * manhattan length.
+  double expected = 0.0;
+  int side = b.net.grid_n + 1;
+  for (int i = 0; i < b.odm.zones; ++i) {
+    for (int j = 0; j < b.odm.zones; ++j) {
+      double trips = b.odm.trips[static_cast<std::size_t>(i * b.odm.zones + j)];
+      double manhattan = std::abs(i / side - j / side) +
+                         std::abs(i % side - j % side);
+      expected += trips * manhattan;
+    }
+  }
+  double measured = 0.0;
+  for (const auto &seg : b.model.segments)
+    for (double f : seg.flow) measured += f;
+  EXPECT_NEAR(measured, expected, expected * 1e-9);
+}
+
+TEST(TrafficModel, RushHourCongestsCentralSegments) {
+  auto b = build();
+  // Globally, mean speed at 08:00 is below mean speed at 03:00.
+  double rush = 0.0, night = 0.0;
+  for (const auto &seg : b.model.segments) {
+    rush += seg.speed_kmh[32];   // 08:00
+    night += seg.speed_kmh[12];  // 03:00
+  }
+  EXPECT_LT(rush, night);
+  // Intensity = flow / speed everywhere.
+  const auto &s0 = b.model.segments[10];
+  for (int q = 0; q < tr::kIntervals; q += 17) {
+    auto i = static_cast<std::size_t>(q);
+    EXPECT_NEAR(s0.intensity[i], s0.flow[i] / s0.speed_kmh[i], 1e-9);
+  }
+}
+
+TEST(TrafficModel, PredictionCoefficientsFitProfiles) {
+  auto b = build();
+  // The harmonic model should track the daily speed profile decently on
+  // most segments (two harmonics catch the two rush dips only partially,
+  // but correlation should be clearly positive on loaded segments).
+  int evaluated = 0, good = 0;
+  for (std::size_t s = 0; s < b.model.segments.size(); ++s) {
+    const auto &state = b.model.segments[s];
+    double range = *std::max_element(state.speed_kmh.begin(),
+                                     state.speed_kmh.end()) -
+                   *std::min_element(state.speed_kmh.begin(),
+                                     state.speed_kmh.end());
+    if (range < 3.0) continue;  // unloaded segment: profile is noise
+    std::vector<double> predicted(tr::kIntervals);
+    for (int q = 0; q < tr::kIntervals; ++q)
+      predicted[static_cast<std::size_t>(q)] = b.model.coeffs[s].predict(q);
+    double corr = everest::support::pearson(predicted, state.speed_kmh);
+    ++evaluated;
+    good += corr > 0.5;
+  }
+  ASSERT_GT(evaluated, 5);
+  EXPECT_GT(static_cast<double>(good) / evaluated, 0.8);
+}
+
+TEST(TrafficModel, FitRecoversExactHarmonics) {
+  std::vector<double> profile(tr::kIntervals);
+  double w = 2.0 * M_PI / tr::kIntervals;
+  for (int q = 0; q < tr::kIntervals; ++q) {
+    profile[static_cast<std::size_t>(q)] =
+        42.0 + 3.0 * std::sin(w * q) - 2.0 * std::cos(2.0 * w * q);
+  }
+  auto fit = tr::fit_prediction(profile);
+  EXPECT_NEAR(fit.c[0], 42.0, 1e-9);
+  EXPECT_NEAR(fit.c[1], 3.0, 1e-9);
+  EXPECT_NEAR(fit.c[2], 0.0, 1e-9);
+  EXPECT_NEAR(fit.c[3], 0.0, 1e-9);
+  EXPECT_NEAR(fit.c[4], -2.0, 1e-9);
+  for (int q = 0; q < tr::kIntervals; ++q)
+    EXPECT_NEAR(fit.predict(q), profile[static_cast<std::size_t>(q)], 1e-9);
+}
+
+TEST(TrafficModel, DailyUpdateConverges) {
+  auto base = build(7);
+  // Feed five days of a different regime: model speeds drift toward it.
+  auto other = build(99);
+  double before = base.model.segments[5].speed_kmh[32];
+  double target = other.model.segments[5].speed_kmh[32];
+  for (int day = 0; day < 5; ++day) {
+    ASSERT_TRUE(tr::update_model(base.model, other.model, 0.5).is_ok());
+  }
+  double after = base.model.segments[5].speed_kmh[32];
+  EXPECT_LT(std::fabs(after - target), std::fabs(before - target));
+  EXPECT_EQ(base.model.days_integrated, 6);
+}
+
+TEST(TrafficModel, UpdateValidation) {
+  auto b = build();
+  tr::TrafficModel wrong;
+  EXPECT_FALSE(tr::update_model(b.model, wrong).is_ok());
+  EXPECT_FALSE(tr::update_model(b.model, b.model, 0.0).is_ok());
+  EXPECT_FALSE(tr::update_model(b.model, b.model, 1.5).is_ok());
+}
+
+TEST(TrafficModel, ZoneMismatchRejected) {
+  auto net = tr::make_grid_network(5, 1.0, 3);
+  auto small_net = tr::make_grid_network(3, 1.0, 3);
+  auto odm = tr::make_odm(small_net, 100.0, 1);
+  EXPECT_FALSE(tr::build_model(net, odm, 1).has_value());
+}

@@ -1,0 +1,75 @@
+// Tests for the Accelerated-WRF ensemble workflow (paper §VIII).
+
+#include <gtest/gtest.h>
+
+#include "usecases/wrf_workflow.hpp"
+
+namespace wrf = everest::usecases::wrf;
+
+TEST(WrfWorkflow, FpgaNodesAccelerate) {
+  wrf::WorkflowConfig config;
+  config.ensemble_members = 4;
+  config.timesteps = 6;
+  config.fpga_nodes = 2;
+  config.nodes = 4;
+  config.state_bytes = 4'000'000;  // small state: transfers don't dominate
+  auto report = wrf::run_ensemble(config);
+  ASSERT_TRUE(report.has_value()) << report.error().message;
+  EXPECT_GT(report->speedup, 1.05);
+  EXPECT_GT(report->radiation_tasks_on_fpga, 0);
+  EXPECT_LT(report->makespan_ms, report->cpu_only_makespan_ms);
+}
+
+TEST(WrfWorkflow, NoFpgaNodesNoSpeedup) {
+  wrf::WorkflowConfig config;
+  config.ensemble_members = 3;
+  config.timesteps = 4;
+  config.fpga_nodes = 0;
+  config.nodes = 4;
+  auto report = wrf::run_ensemble(config);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_NEAR(report->speedup, 1.0, 1e-9);
+  EXPECT_EQ(report->radiation_tasks_on_fpga, 0);
+}
+
+TEST(WrfWorkflow, AmdahlBoundsTheSpeedup) {
+  wrf::WorkflowConfig config;
+  config.ensemble_members = 2;
+  config.timesteps = 8;
+  config.fpga_nodes = 4;
+  config.nodes = 4;
+  config.state_bytes = 1'000'000;
+  config.radiation_speedup = 1000.0;  // radiation becomes ~free
+  auto report = wrf::run_ensemble(config);
+  ASSERT_TRUE(report.has_value());
+  // Amdahl with 30% accelerable work: cap = 1 / 0.7 ~ 1.43.
+  double cap = (config.dynamics_ms + config.radiation_ms) / config.dynamics_ms;
+  EXPECT_LE(report->speedup, cap + 0.05);
+  EXPECT_GT(report->speedup, 1.15);
+}
+
+TEST(WrfWorkflow, Validation) {
+  wrf::WorkflowConfig bad;
+  bad.ensemble_members = 0;
+  EXPECT_FALSE(wrf::run_ensemble(bad).has_value());
+  bad.ensemble_members = 2;
+  bad.fpga_nodes = 99;
+  EXPECT_FALSE(wrf::run_ensemble(bad).has_value());
+  bad.fpga_nodes = 1;
+  bad.radiation_speedup = 0.0;
+  EXPECT_FALSE(wrf::run_ensemble(bad).has_value());
+}
+
+TEST(WrfWorkflow, MoreMembersMoreWork) {
+  auto run = [](int members) {
+    wrf::WorkflowConfig config;
+    config.ensemble_members = members;
+    config.timesteps = 4;
+    config.nodes = 2;
+    config.fpga_nodes = 1;
+    auto r = wrf::run_ensemble(config);
+    EXPECT_TRUE(r.has_value());
+    return r->makespan_ms;
+  };
+  EXPECT_GT(run(16), run(2));
+}

@@ -1,0 +1,193 @@
+// The `basecamp` command-line tool (paper §IV: "All tools within the SDK are
+// wrapped under the basecamp command, which provides a single point of
+// access to the users of the SDK").
+//
+//   basecamp targets                       list target platforms
+//   basecamp dialects                      list registered dialects & ops
+//   basecamp compile <file.ekl> [options]  compile an EKL kernel
+//     --target=<name>        alveo-u55c | alveo-u280 | cloudfpga
+//     --format=<spec>        f64 | f32 | fixed<T,F> | float<E,M> | posit<N,ES>
+//     --replicas=<n>         Olympus kernel replication
+//     --extent NAME=N        bind an iteration-index extent (repeatable)
+//     --emit=<stage>         frontend | teil | loops | system (print IR)
+//     --run                  deploy on the target device model
+//
+// EKL inputs are bound to deterministic synthetic tensors sized from the
+// declared extents, so any kernel compiles without external data.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "dialects/ekl.hpp"
+#include "frontend/ekl_parser.hpp"
+#include "hls/scheduler.hpp"
+#include "platform/xrt.hpp"
+#include "sdk/basecamp.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using everest::sdk::Basecamp;
+using everest::sdk::CompileOptions;
+
+int cmd_targets(Basecamp &basecamp) {
+  for (const char *name : {"alveo-u55c", "alveo-u280", "cloudfpga"}) {
+    auto spec = basecamp.device_by_name(name);
+    if (!spec) continue;
+    std::printf("%-12s %6.1f MHz  %8lld LUT %5lld DSP %5lld BRAM  link %s\n",
+                name, spec->clock_mhz,
+                static_cast<long long>(spec->capacity.luts),
+                static_cast<long long>(spec->capacity.dsps),
+                static_cast<long long>(spec->capacity.brams),
+                spec->link.kind == everest::platform::LinkSpec::Kind::Pcie
+                    ? "PCIe"
+                    : "10G network");
+  }
+  return 0;
+}
+
+int cmd_dialects(Basecamp &basecamp) {
+  for (const auto &name : basecamp.context().dialect_names()) {
+    const auto *dialect = basecamp.context().find_dialect(name);
+    std::printf("%s:", name.c_str());
+    for (const auto &[op, def] : dialect->ops()) std::printf(" %s", op.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+/// Derives input bindings from the parsed kernel: every iteration index gets
+/// an extent (from --extent or a default of 8) and every input a random
+/// tensor of the implied shape.
+everest::transforms::EklBindings synthesize_bindings(
+    const everest::ir::Module &module,
+    const std::map<std::string, std::int64_t> &extents) {
+  everest::transforms::EklBindings bindings;
+  everest::support::Pcg32 rng(42);
+  const everest::ir::Operation *kernel = nullptr;
+  for (const auto &op : module.body().operations()) {
+    if (op->name() == "ekl.kernel") {
+      kernel = op.get();
+      break;
+    }
+  }
+  if (!kernel) return bindings;
+
+  auto extent_of = [&](const std::string &idx) -> std::int64_t {
+    auto it = extents.find(idx);
+    return it == extents.end() ? 8 : it->second;
+  };
+
+  for (const auto &op : kernel->region(0).front().operations()) {
+    if (op->name() == "ekl.input") {
+      auto indices = op->attr("indices")->as_string_vector();
+      everest::numerics::Shape shape;
+      for (const auto &idx : indices) shape.push_back(extent_of(idx));
+      everest::numerics::Tensor t(shape);
+      for (auto &v : t.data()) v = rng.uniform();
+      bindings.inputs.emplace(op->attr_string("name"), std::move(t));
+    }
+  }
+  for (const auto &[name, value] : extents) bindings.extents[name] = value;
+  return bindings;
+}
+
+int cmd_compile(Basecamp &basecamp, int argc, char **argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "basecamp compile: missing input file\n");
+    return 2;
+  }
+  std::ifstream file(argv[0]);
+  if (!file) {
+    std::fprintf(stderr, "basecamp: cannot open '%s'\n", argv[0]);
+    return 2;
+  }
+  std::stringstream source;
+  source << file.rdbuf();
+
+  CompileOptions options;
+  std::map<std::string, std::int64_t> extents;
+  std::string emit;
+  bool run = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (everest::support::starts_with(arg, "--target="))
+      options.target = arg.substr(9);
+    else if (everest::support::starts_with(arg, "--format="))
+      options.number_format = arg.substr(9);
+    else if (everest::support::starts_with(arg, "--replicas="))
+      options.olympus.replicas = std::atoi(arg.c_str() + 11);
+    else if (everest::support::starts_with(arg, "--emit="))
+      emit = arg.substr(7);
+    else if (arg == "--run")
+      run = true;
+    else if (arg == "--extent" && i + 1 < argc) {
+      auto kv = everest::support::split(argv[++i], '=');
+      if (kv.size() == 2)
+        extents[kv[0]] = std::strtoll(kv[1].c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "basecamp: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  // Parse once to learn the inputs, then compile with synthetic bindings.
+  auto probe = everest::frontend::parse_ekl(source.str());
+  if (!probe) {
+    std::fprintf(stderr, "basecamp: %s\n", probe.error().message.c_str());
+    return 1;
+  }
+  auto bindings = synthesize_bindings(**probe, extents);
+
+  auto result = basecamp.compile_ekl(source.str(), bindings, options);
+  if (!result) {
+    std::fprintf(stderr, "basecamp: %s\n", result.error().message.c_str());
+    return 1;
+  }
+
+  if (emit == "frontend") std::printf("%s", result->frontend_ir->str().c_str());
+  else if (emit == "teil") std::printf("%s", result->teil_ir->str().c_str());
+  else if (emit == "loops") std::printf("%s", result->loop_ir->str().c_str());
+  else if (emit == "system") std::printf("%s", result->system_ir->str().c_str());
+
+  std::printf("%s", everest::hls::render_report(result->kernel).c_str());
+  std::printf("olympus: total %.1f us (compute %.1f, memory %.1f), "
+              "utilization %.1f%%, %s\n",
+              result->estimate.total_us, result->estimate.compute_us,
+              result->estimate.memory_us, result->estimate.utilization * 100.0,
+              result->estimate.fits ? "fits" : "DOES NOT FIT");
+
+  if (run) {
+    everest::platform::Device device(result->device);
+    auto us = basecamp.deploy_and_run(device, *result);
+    if (!us) {
+      std::fprintf(stderr, "basecamp: %s\n", us.error().message.c_str());
+      return 1;
+    }
+    std::printf("device run on %s: %.1f us end-to-end\n",
+                result->device.name.c_str(), *us);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: basecamp <targets|dialects|compile> [args...]\n");
+    return 2;
+  }
+  Basecamp basecamp;
+  std::string cmd = argv[1];
+  if (cmd == "targets") return cmd_targets(basecamp);
+  if (cmd == "dialects") return cmd_dialects(basecamp);
+  if (cmd == "compile") return cmd_compile(basecamp, argc - 2, argv + 2);
+  std::fprintf(stderr, "basecamp: unknown command '%s'\n", cmd.c_str());
+  return 2;
+}
