@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_airquality_ensemble.dir/bench_e11_airquality_ensemble.cpp.o"
+  "CMakeFiles/bench_e11_airquality_ensemble.dir/bench_e11_airquality_ensemble.cpp.o.d"
+  "bench_e11_airquality_ensemble"
+  "bench_e11_airquality_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_airquality_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_cloudfpga_vs_pcie.dir/bench_e12_cloudfpga_vs_pcie.cpp.o"
+  "CMakeFiles/bench_e12_cloudfpga_vs_pcie.dir/bench_e12_cloudfpga_vs_pcie.cpp.o.d"
+  "bench_e12_cloudfpga_vs_pcie"
+  "bench_e12_cloudfpga_vs_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_cloudfpga_vs_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

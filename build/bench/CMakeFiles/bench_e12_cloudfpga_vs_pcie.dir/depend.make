@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e12_cloudfpga_vs_pcie.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_dosa_distributed.dir/bench_e13_dosa_distributed.cpp.o"
+  "CMakeFiles/bench_e13_dosa_distributed.dir/bench_e13_dosa_distributed.cpp.o.d"
+  "bench_e13_dosa_distributed"
+  "bench_e13_dosa_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_dosa_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

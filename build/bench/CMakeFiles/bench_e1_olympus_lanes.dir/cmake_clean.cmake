@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_olympus_lanes.dir/bench_e1_olympus_lanes.cpp.o"
+  "CMakeFiles/bench_e1_olympus_lanes.dir/bench_e1_olympus_lanes.cpp.o.d"
+  "bench_e1_olympus_lanes"
+  "bench_e1_olympus_lanes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_olympus_lanes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e1_olympus_lanes.
+# This may be replaced when dependencies are built.

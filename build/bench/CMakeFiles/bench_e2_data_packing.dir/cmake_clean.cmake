@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_data_packing.dir/bench_e2_data_packing.cpp.o"
+  "CMakeFiles/bench_e2_data_packing.dir/bench_e2_data_packing.cpp.o.d"
+  "bench_e2_data_packing"
+  "bench_e2_data_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_data_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

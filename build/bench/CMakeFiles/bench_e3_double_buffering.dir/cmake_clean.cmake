@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_double_buffering.dir/bench_e3_double_buffering.cpp.o"
+  "CMakeFiles/bench_e3_double_buffering.dir/bench_e3_double_buffering.cpp.o.d"
+  "bench_e3_double_buffering"
+  "bench_e3_double_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_double_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_custom_formats.dir/bench_e4_custom_formats.cpp.o"
+  "CMakeFiles/bench_e4_custom_formats.dir/bench_e4_custom_formats.cpp.o.d"
+  "bench_e4_custom_formats"
+  "bench_e4_custom_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_custom_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_resource_manager.dir/bench_e5_resource_manager.cpp.o"
+  "CMakeFiles/bench_e5_resource_manager.dir/bench_e5_resource_manager.cpp.o.d"
+  "bench_e5_resource_manager"
+  "bench_e5_resource_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_resource_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_autotuning.dir/bench_e6_autotuning.cpp.o"
+  "CMakeFiles/bench_e6_autotuning.dir/bench_e6_autotuning.cpp.o.d"
+  "bench_e6_autotuning"
+  "bench_e6_autotuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_autotuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_anomaly_automl.dir/bench_e7_anomaly_automl.cpp.o"
+  "CMakeFiles/bench_e7_anomaly_automl.dir/bench_e7_anomaly_automl.cpp.o.d"
+  "bench_e7_anomaly_automl"
+  "bench_e7_anomaly_automl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_anomaly_automl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

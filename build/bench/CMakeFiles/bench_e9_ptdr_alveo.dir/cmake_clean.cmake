@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_ptdr_alveo.dir/bench_e9_ptdr_alveo.cpp.o"
+  "CMakeFiles/bench_e9_ptdr_alveo.dir/bench_e9_ptdr_alveo.cpp.o.d"
+  "bench_e9_ptdr_alveo"
+  "bench_e9_ptdr_alveo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_ptdr_alveo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_ekl_rrtmg.cpp" "bench/CMakeFiles/bench_fig3_ekl_rrtmg.dir/bench_fig3_ekl_rrtmg.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_ekl_rrtmg.dir/bench_fig3_ekl_rrtmg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/usecases/CMakeFiles/everest_usecases.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/everest_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/everest_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/dialects/CMakeFiles/everest_dialects.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/everest_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/everest_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/everest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/everest_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

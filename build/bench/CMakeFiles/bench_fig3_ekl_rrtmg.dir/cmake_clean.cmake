@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_ekl_rrtmg.dir/bench_fig3_ekl_rrtmg.cpp.o"
+  "CMakeFiles/bench_fig3_ekl_rrtmg.dir/bench_fig3_ekl_rrtmg.cpp.o.d"
+  "bench_fig3_ekl_rrtmg"
+  "bench_fig3_ekl_rrtmg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_ekl_rrtmg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_condrust_mapmatch.dir/bench_fig4_condrust_mapmatch.cpp.o"
+  "CMakeFiles/bench_fig4_condrust_mapmatch.dir/bench_fig4_condrust_mapmatch.cpp.o.d"
+  "bench_fig4_condrust_mapmatch"
+  "bench_fig4_condrust_mapmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_condrust_mapmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

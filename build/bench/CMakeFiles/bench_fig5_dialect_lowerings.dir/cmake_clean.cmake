@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_dialect_lowerings.dir/bench_fig5_dialect_lowerings.cpp.o"
+  "CMakeFiles/bench_fig5_dialect_lowerings.dir/bench_fig5_dialect_lowerings.cpp.o.d"
+  "bench_fig5_dialect_lowerings"
+  "bench_fig5_dialect_lowerings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_dialect_lowerings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

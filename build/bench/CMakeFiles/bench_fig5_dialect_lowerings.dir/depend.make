@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5_dialect_lowerings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airquality_ensemble.dir/airquality_ensemble.cpp.o"
+  "CMakeFiles/airquality_ensemble.dir/airquality_ensemble.cpp.o.d"
+  "airquality_ensemble"
+  "airquality_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airquality_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_service.dir/anomaly_service.cpp.o"
+  "CMakeFiles/anomaly_service.dir/anomaly_service.cpp.o.d"
+  "anomaly_service"
+  "anomaly_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_mapmatch.dir/traffic_mapmatch.cpp.o"
+  "CMakeFiles/traffic_mapmatch.dir/traffic_mapmatch.cpp.o.d"
+  "traffic_mapmatch"
+  "traffic_mapmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_mapmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrf_ensemble.dir/wrf_ensemble.cpp.o"
+  "CMakeFiles/wrf_ensemble.dir/wrf_ensemble.cpp.o.d"
+  "wrf_ensemble"
+  "wrf_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrf_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

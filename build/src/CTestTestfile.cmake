@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("numerics")
+subdirs("ir")
+subdirs("dialects")
+subdirs("frontend")
+subdirs("transforms")
+subdirs("hls")
+subdirs("platform")
+subdirs("olympus")
+subdirs("runtime")
+subdirs("virt")
+subdirs("autotune")
+subdirs("anomaly")
+subdirs("usecases")
+subdirs("sdk")

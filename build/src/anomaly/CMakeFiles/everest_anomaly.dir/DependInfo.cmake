@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anomaly/detectors.cpp" "src/anomaly/CMakeFiles/everest_anomaly.dir/detectors.cpp.o" "gcc" "src/anomaly/CMakeFiles/everest_anomaly.dir/detectors.cpp.o.d"
+  "/root/repo/src/anomaly/service.cpp" "src/anomaly/CMakeFiles/everest_anomaly.dir/service.cpp.o" "gcc" "src/anomaly/CMakeFiles/everest_anomaly.dir/service.cpp.o.d"
+  "/root/repo/src/anomaly/tpe.cpp" "src/anomaly/CMakeFiles/everest_anomaly.dir/tpe.cpp.o" "gcc" "src/anomaly/CMakeFiles/everest_anomaly.dir/tpe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/everest_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/everest_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

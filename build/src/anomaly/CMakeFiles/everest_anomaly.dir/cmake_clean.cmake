@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_anomaly.dir/detectors.cpp.o"
+  "CMakeFiles/everest_anomaly.dir/detectors.cpp.o.d"
+  "CMakeFiles/everest_anomaly.dir/service.cpp.o"
+  "CMakeFiles/everest_anomaly.dir/service.cpp.o.d"
+  "CMakeFiles/everest_anomaly.dir/tpe.cpp.o"
+  "CMakeFiles/everest_anomaly.dir/tpe.cpp.o.d"
+  "libeverest_anomaly.a"
+  "libeverest_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

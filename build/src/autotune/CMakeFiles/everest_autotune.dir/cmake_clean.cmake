@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_autotune.dir/autotuner.cpp.o"
+  "CMakeFiles/everest_autotune.dir/autotuner.cpp.o.d"
+  "libeverest_autotune.a"
+  "libeverest_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

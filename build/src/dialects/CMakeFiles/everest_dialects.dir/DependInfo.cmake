@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dialects/core.cpp" "src/dialects/CMakeFiles/everest_dialects.dir/core.cpp.o" "gcc" "src/dialects/CMakeFiles/everest_dialects.dir/core.cpp.o.d"
+  "/root/repo/src/dialects/dfg.cpp" "src/dialects/CMakeFiles/everest_dialects.dir/dfg.cpp.o" "gcc" "src/dialects/CMakeFiles/everest_dialects.dir/dfg.cpp.o.d"
+  "/root/repo/src/dialects/ekl.cpp" "src/dialects/CMakeFiles/everest_dialects.dir/ekl.cpp.o" "gcc" "src/dialects/CMakeFiles/everest_dialects.dir/ekl.cpp.o.d"
+  "/root/repo/src/dialects/system.cpp" "src/dialects/CMakeFiles/everest_dialects.dir/system.cpp.o" "gcc" "src/dialects/CMakeFiles/everest_dialects.dir/system.cpp.o.d"
+  "/root/repo/src/dialects/tensor_irs.cpp" "src/dialects/CMakeFiles/everest_dialects.dir/tensor_irs.cpp.o" "gcc" "src/dialects/CMakeFiles/everest_dialects.dir/tensor_irs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/everest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/everest_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

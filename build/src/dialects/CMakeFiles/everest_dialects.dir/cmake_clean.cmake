@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_dialects.dir/core.cpp.o"
+  "CMakeFiles/everest_dialects.dir/core.cpp.o.d"
+  "CMakeFiles/everest_dialects.dir/dfg.cpp.o"
+  "CMakeFiles/everest_dialects.dir/dfg.cpp.o.d"
+  "CMakeFiles/everest_dialects.dir/ekl.cpp.o"
+  "CMakeFiles/everest_dialects.dir/ekl.cpp.o.d"
+  "CMakeFiles/everest_dialects.dir/system.cpp.o"
+  "CMakeFiles/everest_dialects.dir/system.cpp.o.d"
+  "CMakeFiles/everest_dialects.dir/tensor_irs.cpp.o"
+  "CMakeFiles/everest_dialects.dir/tensor_irs.cpp.o.d"
+  "libeverest_dialects.a"
+  "libeverest_dialects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_dialects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/cfdlang_parser.cpp" "src/frontend/CMakeFiles/everest_frontend.dir/cfdlang_parser.cpp.o" "gcc" "src/frontend/CMakeFiles/everest_frontend.dir/cfdlang_parser.cpp.o.d"
+  "/root/repo/src/frontend/condrust_parser.cpp" "src/frontend/CMakeFiles/everest_frontend.dir/condrust_parser.cpp.o" "gcc" "src/frontend/CMakeFiles/everest_frontend.dir/condrust_parser.cpp.o.d"
+  "/root/repo/src/frontend/ekl_parser.cpp" "src/frontend/CMakeFiles/everest_frontend.dir/ekl_parser.cpp.o" "gcc" "src/frontend/CMakeFiles/everest_frontend.dir/ekl_parser.cpp.o.d"
+  "/root/repo/src/frontend/onnx_import.cpp" "src/frontend/CMakeFiles/everest_frontend.dir/onnx_import.cpp.o" "gcc" "src/frontend/CMakeFiles/everest_frontend.dir/onnx_import.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dialects/CMakeFiles/everest_dialects.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/everest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/everest_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_frontend.dir/cfdlang_parser.cpp.o"
+  "CMakeFiles/everest_frontend.dir/cfdlang_parser.cpp.o.d"
+  "CMakeFiles/everest_frontend.dir/condrust_parser.cpp.o"
+  "CMakeFiles/everest_frontend.dir/condrust_parser.cpp.o.d"
+  "CMakeFiles/everest_frontend.dir/ekl_parser.cpp.o"
+  "CMakeFiles/everest_frontend.dir/ekl_parser.cpp.o.d"
+  "CMakeFiles/everest_frontend.dir/onnx_import.cpp.o"
+  "CMakeFiles/everest_frontend.dir/onnx_import.cpp.o.d"
+  "libeverest_frontend.a"
+  "libeverest_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

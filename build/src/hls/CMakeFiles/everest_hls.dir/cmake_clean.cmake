@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_hls.dir/resources.cpp.o"
+  "CMakeFiles/everest_hls.dir/resources.cpp.o.d"
+  "CMakeFiles/everest_hls.dir/scheduler.cpp.o"
+  "CMakeFiles/everest_hls.dir/scheduler.cpp.o.d"
+  "libeverest_hls.a"
+  "libeverest_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

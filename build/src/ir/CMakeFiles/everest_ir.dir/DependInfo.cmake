@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/attributes.cpp" "src/ir/CMakeFiles/everest_ir.dir/attributes.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/attributes.cpp.o.d"
+  "/root/repo/src/ir/dialect.cpp" "src/ir/CMakeFiles/everest_ir.dir/dialect.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/dialect.cpp.o.d"
+  "/root/repo/src/ir/ir.cpp" "src/ir/CMakeFiles/everest_ir.dir/ir.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/ir.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/ir/CMakeFiles/everest_ir.dir/parser.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/parser.cpp.o.d"
+  "/root/repo/src/ir/pass.cpp" "src/ir/CMakeFiles/everest_ir.dir/pass.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/pass.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/everest_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/rewrite.cpp" "src/ir/CMakeFiles/everest_ir.dir/rewrite.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/rewrite.cpp.o.d"
+  "/root/repo/src/ir/types.cpp" "src/ir/CMakeFiles/everest_ir.dir/types.cpp.o" "gcc" "src/ir/CMakeFiles/everest_ir.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/everest_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

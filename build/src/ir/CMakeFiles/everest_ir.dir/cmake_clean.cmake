@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_ir.dir/attributes.cpp.o"
+  "CMakeFiles/everest_ir.dir/attributes.cpp.o.d"
+  "CMakeFiles/everest_ir.dir/dialect.cpp.o"
+  "CMakeFiles/everest_ir.dir/dialect.cpp.o.d"
+  "CMakeFiles/everest_ir.dir/ir.cpp.o"
+  "CMakeFiles/everest_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/everest_ir.dir/parser.cpp.o"
+  "CMakeFiles/everest_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/everest_ir.dir/pass.cpp.o"
+  "CMakeFiles/everest_ir.dir/pass.cpp.o.d"
+  "CMakeFiles/everest_ir.dir/printer.cpp.o"
+  "CMakeFiles/everest_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/everest_ir.dir/rewrite.cpp.o"
+  "CMakeFiles/everest_ir.dir/rewrite.cpp.o.d"
+  "CMakeFiles/everest_ir.dir/types.cpp.o"
+  "CMakeFiles/everest_ir.dir/types.cpp.o.d"
+  "libeverest_ir.a"
+  "libeverest_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

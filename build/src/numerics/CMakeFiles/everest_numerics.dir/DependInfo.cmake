@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/formats.cpp" "src/numerics/CMakeFiles/everest_numerics.dir/formats.cpp.o" "gcc" "src/numerics/CMakeFiles/everest_numerics.dir/formats.cpp.o.d"
+  "/root/repo/src/numerics/linalg.cpp" "src/numerics/CMakeFiles/everest_numerics.dir/linalg.cpp.o" "gcc" "src/numerics/CMakeFiles/everest_numerics.dir/linalg.cpp.o.d"
+  "/root/repo/src/numerics/tensor.cpp" "src/numerics/CMakeFiles/everest_numerics.dir/tensor.cpp.o" "gcc" "src/numerics/CMakeFiles/everest_numerics.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/everest_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

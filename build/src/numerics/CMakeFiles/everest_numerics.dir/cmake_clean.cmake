@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_numerics.dir/formats.cpp.o"
+  "CMakeFiles/everest_numerics.dir/formats.cpp.o.d"
+  "CMakeFiles/everest_numerics.dir/linalg.cpp.o"
+  "CMakeFiles/everest_numerics.dir/linalg.cpp.o.d"
+  "CMakeFiles/everest_numerics.dir/tensor.cpp.o"
+  "CMakeFiles/everest_numerics.dir/tensor.cpp.o.d"
+  "libeverest_numerics.a"
+  "libeverest_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

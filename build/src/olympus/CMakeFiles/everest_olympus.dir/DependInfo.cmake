@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/olympus/dosa.cpp" "src/olympus/CMakeFiles/everest_olympus.dir/dosa.cpp.o" "gcc" "src/olympus/CMakeFiles/everest_olympus.dir/dosa.cpp.o.d"
+  "/root/repo/src/olympus/olympus.cpp" "src/olympus/CMakeFiles/everest_olympus.dir/olympus.cpp.o" "gcc" "src/olympus/CMakeFiles/everest_olympus.dir/olympus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hls/CMakeFiles/everest_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/everest_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/dialects/CMakeFiles/everest_dialects.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/everest_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/everest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/everest_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

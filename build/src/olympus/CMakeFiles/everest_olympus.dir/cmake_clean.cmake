@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_olympus.dir/dosa.cpp.o"
+  "CMakeFiles/everest_olympus.dir/dosa.cpp.o.d"
+  "CMakeFiles/everest_olympus.dir/olympus.cpp.o"
+  "CMakeFiles/everest_olympus.dir/olympus.cpp.o.d"
+  "libeverest_olympus.a"
+  "libeverest_olympus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_olympus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

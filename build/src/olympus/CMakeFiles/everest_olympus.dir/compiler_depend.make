@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for everest_olympus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/device.cpp" "src/platform/CMakeFiles/everest_platform.dir/device.cpp.o" "gcc" "src/platform/CMakeFiles/everest_platform.dir/device.cpp.o.d"
+  "/root/repo/src/platform/memory.cpp" "src/platform/CMakeFiles/everest_platform.dir/memory.cpp.o" "gcc" "src/platform/CMakeFiles/everest_platform.dir/memory.cpp.o.d"
+  "/root/repo/src/platform/network.cpp" "src/platform/CMakeFiles/everest_platform.dir/network.cpp.o" "gcc" "src/platform/CMakeFiles/everest_platform.dir/network.cpp.o.d"
+  "/root/repo/src/platform/xrt.cpp" "src/platform/CMakeFiles/everest_platform.dir/xrt.cpp.o" "gcc" "src/platform/CMakeFiles/everest_platform.dir/xrt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hls/CMakeFiles/everest_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/everest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/everest_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

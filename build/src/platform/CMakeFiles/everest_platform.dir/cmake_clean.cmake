@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_platform.dir/device.cpp.o"
+  "CMakeFiles/everest_platform.dir/device.cpp.o.d"
+  "CMakeFiles/everest_platform.dir/memory.cpp.o"
+  "CMakeFiles/everest_platform.dir/memory.cpp.o.d"
+  "CMakeFiles/everest_platform.dir/network.cpp.o"
+  "CMakeFiles/everest_platform.dir/network.cpp.o.d"
+  "CMakeFiles/everest_platform.dir/xrt.cpp.o"
+  "CMakeFiles/everest_platform.dir/xrt.cpp.o.d"
+  "libeverest_platform.a"
+  "libeverest_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

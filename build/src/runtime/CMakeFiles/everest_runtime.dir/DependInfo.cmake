@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/dfg_executor.cpp" "src/runtime/CMakeFiles/everest_runtime.dir/dfg_executor.cpp.o" "gcc" "src/runtime/CMakeFiles/everest_runtime.dir/dfg_executor.cpp.o.d"
+  "/root/repo/src/runtime/resource_manager.cpp" "src/runtime/CMakeFiles/everest_runtime.dir/resource_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/everest_runtime.dir/resource_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/everest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/everest_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_runtime.dir/dfg_executor.cpp.o"
+  "CMakeFiles/everest_runtime.dir/dfg_executor.cpp.o.d"
+  "CMakeFiles/everest_runtime.dir/resource_manager.cpp.o"
+  "CMakeFiles/everest_runtime.dir/resource_manager.cpp.o.d"
+  "libeverest_runtime.a"
+  "libeverest_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdk/basecamp.cpp" "src/sdk/CMakeFiles/everest_sdk.dir/basecamp.cpp.o" "gcc" "src/sdk/CMakeFiles/everest_sdk.dir/basecamp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/everest_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/everest_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/everest_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/everest_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/olympus/CMakeFiles/everest_olympus.dir/DependInfo.cmake"
+  "/root/repo/build/src/dialects/CMakeFiles/everest_dialects.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/everest_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/everest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/everest_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_sdk.dir/basecamp.cpp.o"
+  "CMakeFiles/everest_sdk.dir/basecamp.cpp.o.d"
+  "libeverest_sdk.a"
+  "libeverest_sdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_sdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_support.dir/json.cpp.o"
+  "CMakeFiles/everest_support.dir/json.cpp.o.d"
+  "CMakeFiles/everest_support.dir/stats.cpp.o"
+  "CMakeFiles/everest_support.dir/stats.cpp.o.d"
+  "CMakeFiles/everest_support.dir/strings.cpp.o"
+  "CMakeFiles/everest_support.dir/strings.cpp.o.d"
+  "CMakeFiles/everest_support.dir/table.cpp.o"
+  "CMakeFiles/everest_support.dir/table.cpp.o.d"
+  "libeverest_support.a"
+  "libeverest_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

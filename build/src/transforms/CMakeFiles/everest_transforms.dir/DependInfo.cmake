@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transforms/base2_legalize.cpp" "src/transforms/CMakeFiles/everest_transforms.dir/base2_legalize.cpp.o" "gcc" "src/transforms/CMakeFiles/everest_transforms.dir/base2_legalize.cpp.o.d"
+  "/root/repo/src/transforms/canonicalize.cpp" "src/transforms/CMakeFiles/everest_transforms.dir/canonicalize.cpp.o" "gcc" "src/transforms/CMakeFiles/everest_transforms.dir/canonicalize.cpp.o.d"
+  "/root/repo/src/transforms/cfdlang_to_teil.cpp" "src/transforms/CMakeFiles/everest_transforms.dir/cfdlang_to_teil.cpp.o" "gcc" "src/transforms/CMakeFiles/everest_transforms.dir/cfdlang_to_teil.cpp.o.d"
+  "/root/repo/src/transforms/dfg_partition.cpp" "src/transforms/CMakeFiles/everest_transforms.dir/dfg_partition.cpp.o" "gcc" "src/transforms/CMakeFiles/everest_transforms.dir/dfg_partition.cpp.o.d"
+  "/root/repo/src/transforms/ekl_eval.cpp" "src/transforms/CMakeFiles/everest_transforms.dir/ekl_eval.cpp.o" "gcc" "src/transforms/CMakeFiles/everest_transforms.dir/ekl_eval.cpp.o.d"
+  "/root/repo/src/transforms/ekl_to_teil.cpp" "src/transforms/CMakeFiles/everest_transforms.dir/ekl_to_teil.cpp.o" "gcc" "src/transforms/CMakeFiles/everest_transforms.dir/ekl_to_teil.cpp.o.d"
+  "/root/repo/src/transforms/esn_extract.cpp" "src/transforms/CMakeFiles/everest_transforms.dir/esn_extract.cpp.o" "gcc" "src/transforms/CMakeFiles/everest_transforms.dir/esn_extract.cpp.o.d"
+  "/root/repo/src/transforms/loop_eval.cpp" "src/transforms/CMakeFiles/everest_transforms.dir/loop_eval.cpp.o" "gcc" "src/transforms/CMakeFiles/everest_transforms.dir/loop_eval.cpp.o.d"
+  "/root/repo/src/transforms/teil_eval.cpp" "src/transforms/CMakeFiles/everest_transforms.dir/teil_eval.cpp.o" "gcc" "src/transforms/CMakeFiles/everest_transforms.dir/teil_eval.cpp.o.d"
+  "/root/repo/src/transforms/teil_to_loops.cpp" "src/transforms/CMakeFiles/everest_transforms.dir/teil_to_loops.cpp.o" "gcc" "src/transforms/CMakeFiles/everest_transforms.dir/teil_to_loops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dialects/CMakeFiles/everest_dialects.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/everest_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/everest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/everest_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_transforms.dir/base2_legalize.cpp.o"
+  "CMakeFiles/everest_transforms.dir/base2_legalize.cpp.o.d"
+  "CMakeFiles/everest_transforms.dir/canonicalize.cpp.o"
+  "CMakeFiles/everest_transforms.dir/canonicalize.cpp.o.d"
+  "CMakeFiles/everest_transforms.dir/cfdlang_to_teil.cpp.o"
+  "CMakeFiles/everest_transforms.dir/cfdlang_to_teil.cpp.o.d"
+  "CMakeFiles/everest_transforms.dir/dfg_partition.cpp.o"
+  "CMakeFiles/everest_transforms.dir/dfg_partition.cpp.o.d"
+  "CMakeFiles/everest_transforms.dir/ekl_eval.cpp.o"
+  "CMakeFiles/everest_transforms.dir/ekl_eval.cpp.o.d"
+  "CMakeFiles/everest_transforms.dir/ekl_to_teil.cpp.o"
+  "CMakeFiles/everest_transforms.dir/ekl_to_teil.cpp.o.d"
+  "CMakeFiles/everest_transforms.dir/esn_extract.cpp.o"
+  "CMakeFiles/everest_transforms.dir/esn_extract.cpp.o.d"
+  "CMakeFiles/everest_transforms.dir/loop_eval.cpp.o"
+  "CMakeFiles/everest_transforms.dir/loop_eval.cpp.o.d"
+  "CMakeFiles/everest_transforms.dir/teil_eval.cpp.o"
+  "CMakeFiles/everest_transforms.dir/teil_eval.cpp.o.d"
+  "CMakeFiles/everest_transforms.dir/teil_to_loops.cpp.o"
+  "CMakeFiles/everest_transforms.dir/teil_to_loops.cpp.o.d"
+  "libeverest_transforms.a"
+  "libeverest_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

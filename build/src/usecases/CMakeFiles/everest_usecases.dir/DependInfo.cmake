@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/usecases/airquality.cpp" "src/usecases/CMakeFiles/everest_usecases.dir/airquality.cpp.o" "gcc" "src/usecases/CMakeFiles/everest_usecases.dir/airquality.cpp.o.d"
+  "/root/repo/src/usecases/energy.cpp" "src/usecases/CMakeFiles/everest_usecases.dir/energy.cpp.o" "gcc" "src/usecases/CMakeFiles/everest_usecases.dir/energy.cpp.o.d"
+  "/root/repo/src/usecases/ptdr.cpp" "src/usecases/CMakeFiles/everest_usecases.dir/ptdr.cpp.o" "gcc" "src/usecases/CMakeFiles/everest_usecases.dir/ptdr.cpp.o.d"
+  "/root/repo/src/usecases/rrtmg.cpp" "src/usecases/CMakeFiles/everest_usecases.dir/rrtmg.cpp.o" "gcc" "src/usecases/CMakeFiles/everest_usecases.dir/rrtmg.cpp.o.d"
+  "/root/repo/src/usecases/speednet.cpp" "src/usecases/CMakeFiles/everest_usecases.dir/speednet.cpp.o" "gcc" "src/usecases/CMakeFiles/everest_usecases.dir/speednet.cpp.o.d"
+  "/root/repo/src/usecases/traffic.cpp" "src/usecases/CMakeFiles/everest_usecases.dir/traffic.cpp.o" "gcc" "src/usecases/CMakeFiles/everest_usecases.dir/traffic.cpp.o.d"
+  "/root/repo/src/usecases/traffic_model.cpp" "src/usecases/CMakeFiles/everest_usecases.dir/traffic_model.cpp.o" "gcc" "src/usecases/CMakeFiles/everest_usecases.dir/traffic_model.cpp.o.d"
+  "/root/repo/src/usecases/wrf_workflow.cpp" "src/usecases/CMakeFiles/everest_usecases.dir/wrf_workflow.cpp.o" "gcc" "src/usecases/CMakeFiles/everest_usecases.dir/wrf_workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transforms/CMakeFiles/everest_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/everest_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/everest_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/everest_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/dialects/CMakeFiles/everest_dialects.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/everest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/everest_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

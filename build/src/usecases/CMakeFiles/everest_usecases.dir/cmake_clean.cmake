@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_usecases.dir/airquality.cpp.o"
+  "CMakeFiles/everest_usecases.dir/airquality.cpp.o.d"
+  "CMakeFiles/everest_usecases.dir/energy.cpp.o"
+  "CMakeFiles/everest_usecases.dir/energy.cpp.o.d"
+  "CMakeFiles/everest_usecases.dir/ptdr.cpp.o"
+  "CMakeFiles/everest_usecases.dir/ptdr.cpp.o.d"
+  "CMakeFiles/everest_usecases.dir/rrtmg.cpp.o"
+  "CMakeFiles/everest_usecases.dir/rrtmg.cpp.o.d"
+  "CMakeFiles/everest_usecases.dir/speednet.cpp.o"
+  "CMakeFiles/everest_usecases.dir/speednet.cpp.o.d"
+  "CMakeFiles/everest_usecases.dir/traffic.cpp.o"
+  "CMakeFiles/everest_usecases.dir/traffic.cpp.o.d"
+  "CMakeFiles/everest_usecases.dir/traffic_model.cpp.o"
+  "CMakeFiles/everest_usecases.dir/traffic_model.cpp.o.d"
+  "CMakeFiles/everest_usecases.dir/wrf_workflow.cpp.o"
+  "CMakeFiles/everest_usecases.dir/wrf_workflow.cpp.o.d"
+  "libeverest_usecases.a"
+  "libeverest_usecases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_usecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

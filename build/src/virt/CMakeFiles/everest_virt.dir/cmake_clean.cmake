@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everest_virt.dir/virt.cpp.o"
+  "CMakeFiles/everest_virt.dir/virt.cpp.o.d"
+  "libeverest_virt.a"
+  "libeverest_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everest_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

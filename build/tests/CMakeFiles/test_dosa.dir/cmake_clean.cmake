@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dosa.dir/test_dosa.cpp.o"
+  "CMakeFiles/test_dosa.dir/test_dosa.cpp.o.d"
+  "test_dosa"
+  "test_dosa.pdb"
+  "test_dosa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dosa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

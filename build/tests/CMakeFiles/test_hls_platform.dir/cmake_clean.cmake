@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls_platform.dir/test_hls_platform.cpp.o"
+  "CMakeFiles/test_hls_platform.dir/test_hls_platform.cpp.o.d"
+  "test_hls_platform"
+  "test_hls_platform.pdb"
+  "test_hls_platform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/test_runtime.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/test_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/everest_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/everest_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/autotune/CMakeFiles/everest_autotune.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/everest_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/everest_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/everest_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/dialects/CMakeFiles/everest_dialects.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/everest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/everest_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

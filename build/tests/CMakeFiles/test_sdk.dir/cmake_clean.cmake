@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdk.dir/test_sdk.cpp.o"
+  "CMakeFiles/test_sdk.dir/test_sdk.cpp.o.d"
+  "test_sdk"
+  "test_sdk.pdb"
+  "test_sdk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_model.dir/test_traffic_model.cpp.o"
+  "CMakeFiles/test_traffic_model.dir/test_traffic_model.cpp.o.d"
+  "test_traffic_model"
+  "test_traffic_model.pdb"
+  "test_traffic_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usecases.dir/test_usecases.cpp.o"
+  "CMakeFiles/test_usecases.dir/test_usecases.cpp.o.d"
+  "test_usecases"
+  "test_usecases.pdb"
+  "test_usecases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wrf_workflow.dir/test_wrf_workflow.cpp.o"
+  "CMakeFiles/test_wrf_workflow.dir/test_wrf_workflow.cpp.o.d"
+  "test_wrf_workflow"
+  "test_wrf_workflow.pdb"
+  "test_wrf_workflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wrf_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_numerics[1]_include.cmake")
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_frontend[1]_include.cmake")
+include("/root/repo/build/tests/test_transforms[1]_include.cmake")
+include("/root/repo/build/tests/test_hls_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_anomaly[1]_include.cmake")
+include("/root/repo/build/tests/test_usecases[1]_include.cmake")
+include("/root/repo/build/tests/test_sdk[1]_include.cmake")
+include("/root/repo/build/tests/test_dosa[1]_include.cmake")
+include("/root/repo/build/tests/test_wrf_workflow[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic_model[1]_include.cmake")
+include("/root/repo/build/tests/test_canonicalize[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+add_test(basecamp_cli_targets "/root/repo/build/tools/basecamp" "targets")
+set_tests_properties(basecamp_cli_targets PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(basecamp_cli_dialects "/root/repo/build/tools/basecamp" "dialects")
+set_tests_properties(basecamp_cli_dialects PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;38;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(basecamp_cli_compile "/root/repo/build/tools/basecamp" "compile" "/root/repo/tests/data/dot.ekl" "--extent" "i=64" "--run")
+set_tests_properties(basecamp_cli_compile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;39;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(basecamp_cli_compile_fixed "/root/repo/build/tools/basecamp" "compile" "/root/repo/tests/data/dot.ekl" "--extent" "i=64" "--format=fixed<16,12>" "--emit=system")
+set_tests_properties(basecamp_cli_compile_fixed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;42;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(basecamp_cli_bad_command "/root/repo/build/tools/basecamp" "frobnicate")
+set_tests_properties(basecamp_cli_bad_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;45;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basecamp.dir/basecamp_cli.cpp.o"
+  "CMakeFiles/basecamp.dir/basecamp_cli.cpp.o.d"
+  "basecamp"
+  "basecamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basecamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
