@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <map>
 
+#include "obs/export.hpp"
 #include "sdk/basecamp.hpp"
 #include "support/table.hpp"
 #include "usecases/rrtmg.hpp"
@@ -80,6 +81,11 @@ int main() {
   artifacts.add_row({"system est. [us]", count(64, total_us),
                      count(256, total_us), count(1024, total_us)});
   std::printf("%s\n", artifacts.render().c_str());
+
+  // Aggregated span view across all three compiles, straight from the
+  // recorder that produced the per-stage timings above.
+  std::printf("%s\n",
+              everest::obs::summary_table(basecamp.recorder()).c_str());
   std::printf("shape: frontend/lowering stages are size-independent; HLS and\n"
               "loop lowering grow with the iteration space; one basecamp call\n"
               "drives every Fig. 2 component.\n");

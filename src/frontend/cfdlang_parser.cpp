@@ -59,7 +59,7 @@ public:
         continue;
       if (auto s = parse_line(line); !s) return s.error();
     }
-    if (!saw_output_) return Error::make("cfdlang: program has no output");
+    if (!saw_output_) return Error::invalid_argument("cfdlang: program has no output");
     return module;
   }
 
@@ -68,12 +68,12 @@ private:
     if (support::starts_with(line, "input ")) {
       auto colon = line.find(':');
       if (colon == std::string_view::npos)
-        return Error::make("cfdlang: input needs ': [dims]'");
+        return Error::invalid_argument("cfdlang: input needs ': [dims]'");
       std::string id(support::trim(line.substr(6, colon - 6)));
       auto lb = line.find('[', colon);
       auto rb = line.find(']', colon);
       if (lb == std::string_view::npos || rb == std::string_view::npos)
-        return Error::make("cfdlang: malformed shape for input " + id);
+        return Error::invalid_argument("cfdlang: malformed shape for input " + id);
       std::vector<std::int64_t> dims;
       for (auto &tok : support::split(line.substr(lb + 1, rb - lb - 1), ',')) {
         auto t = support::trim(tok);
@@ -91,7 +91,7 @@ private:
 
     auto eq = line.find('=');
     if (eq == std::string_view::npos)
-      return Error::make("cfdlang: expected assignment: " + std::string(line));
+      return Error::invalid_argument("cfdlang: expected assignment: " + std::string(line));
     std::string id(support::trim(line.substr(0, eq)));
     pos_text_ = std::string(support::trim(line.substr(eq + 1)));
     pos_ = 0;
@@ -137,26 +137,26 @@ private:
     while (pos_ < pos_text_.size() &&
            std::isdigit(static_cast<unsigned char>(pos_text_[pos_])))
       ++pos_;
-    if (start == pos_) return Error::make("cfdlang: expected integer");
+    if (start == pos_) return Error::invalid_argument("cfdlang: expected integer");
     return static_cast<std::int64_t>(
         std::strtoll(pos_text_.substr(start, pos_ - start).c_str(), nullptr, 10));
   }
 
   Expected<Value *> parse_expr() {
     std::string head = read_ident();
-    if (head.empty()) return Error::make("cfdlang: expected expression");
+    if (head.empty()) return Error::invalid_argument("cfdlang: expected expression");
 
     if (head == "outer" || head == "add") {
-      if (!consume('(')) return Error::make("cfdlang: expected '('");
+      if (!consume('(')) return Error::invalid_argument("cfdlang: expected '('");
       auto a = parse_expr();
       if (!a) return a;
-      if (!consume(',')) return Error::make("cfdlang: expected ','");
+      if (!consume(',')) return Error::invalid_argument("cfdlang: expected ','");
       auto b = parse_expr();
       if (!b) return b;
-      if (!consume(')')) return Error::make("cfdlang: expected ')'");
+      if (!consume(')')) return Error::invalid_argument("cfdlang: expected ')'");
       if (head == "add") {
         if ((*a)->type() != (*b)->type())
-          return Error::make("cfdlang: add requires matching shapes");
+          return Error::invalid_argument("cfdlang: add requires matching shapes");
         return builder_->create_value("cfdlang.add", {*a, *b}, (*a)->type());
       }
       auto da = dims_of(*a);
@@ -167,7 +167,7 @@ private:
     }
 
     if (head == "contract") {
-      if (!consume('(')) return Error::make("cfdlang: expected '('");
+      if (!consume('(')) return Error::invalid_argument("cfdlang: expected '('");
       auto e = parse_expr();
       if (!e) return e;
       std::vector<std::int64_t> pairs;
@@ -176,16 +176,16 @@ private:
         if (!i) return i.error();
         pairs.push_back(*i);
       }
-      if (!consume(')')) return Error::make("cfdlang: expected ')'");
+      if (!consume(')')) return Error::invalid_argument("cfdlang: expected ')'");
       if (pairs.size() % 2 != 0 || pairs.empty())
-        return Error::make("cfdlang: contract needs dim pairs");
+        return Error::invalid_argument("cfdlang: contract needs dim pairs");
       auto dims = dims_of(*e);
       std::vector<bool> drop(dims.size(), false);
       for (std::size_t k = 0; k < pairs.size(); k += 2) {
         auto i = static_cast<std::size_t>(pairs[k]);
         auto j = static_cast<std::size_t>(pairs[k + 1]);
         if (i >= dims.size() || j >= dims.size() || dims[i] != dims[j])
-          return Error::make("cfdlang: invalid contraction dims");
+          return Error::invalid_argument("cfdlang: invalid contraction dims");
         drop[i] = drop[j] = true;
       }
       std::vector<std::int64_t> out;
@@ -198,7 +198,7 @@ private:
     }
 
     if (head == "transpose") {
-      if (!consume('(')) return Error::make("cfdlang: expected '('");
+      if (!consume('(')) return Error::invalid_argument("cfdlang: expected '('");
       auto e = parse_expr();
       if (!e) return e;
       std::vector<std::int64_t> perm;
@@ -207,10 +207,10 @@ private:
         if (!i) return i.error();
         perm.push_back(*i);
       }
-      if (!consume(')')) return Error::make("cfdlang: expected ')'");
+      if (!consume(')')) return Error::invalid_argument("cfdlang: expected ')'");
       auto dims = dims_of(*e);
       if (perm.size() != dims.size())
-        return Error::make("cfdlang: transpose perm rank mismatch");
+        return Error::invalid_argument("cfdlang: transpose perm rank mismatch");
       std::vector<std::int64_t> out(dims.size());
       for (std::size_t d = 0; d < perm.size(); ++d)
         out[d] = dims[static_cast<std::size_t>(perm[d])];
@@ -221,7 +221,7 @@ private:
 
     auto it = symbols_.find(head);
     if (it == symbols_.end())
-      return Error::make("cfdlang: undefined name '" + head + "'");
+      return Error::invalid_argument("cfdlang: undefined name '" + head + "'");
     return it->second;
   }
 

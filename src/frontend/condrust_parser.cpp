@@ -31,12 +31,12 @@ Expected<Call> parse_call(std::string_view text) {
   auto lp = text.find('(');
   auto rp = text.rfind(')');
   if (lp == std::string_view::npos || rp == std::string_view::npos || rp < lp)
-    return Error::make("condrust: expected a call expression in '" +
+    return Error::invalid_argument("condrust: expected a call expression in '" +
                        std::string(text) + "'");
   Call call;
   call.callee = std::string(support::trim(text.substr(0, lp)));
   if (!support::is_identifier(call.callee))
-    return Error::make("condrust: bad callee name '" + call.callee + "'");
+    return Error::invalid_argument("condrust: bad callee name '" + call.callee + "'");
   auto body = text.substr(lp + 1, rp - lp - 1);
   for (auto &tok : support::split(body, ',')) {
     auto t = support::trim(tok);
@@ -64,10 +64,10 @@ Expected<std::shared_ptr<ir::Module>> parse_condrust(std::string_view text) {
     if (support::starts_with(line, "#[")) {
       auto close = line.find(']');
       if (close == std::string_view::npos)
-        return Error::make("condrust: unterminated attribute");
+        return Error::invalid_argument("condrust: unterminated attribute");
       pending_placement = std::string(line.substr(2, close - 2));
       if (pending_placement != "cpu" && pending_placement != "fpga")
-        return Error::make("condrust: unknown placement attribute '" +
+        return Error::unsupported("condrust: unknown placement attribute '" +
                            pending_placement + "'");
       continue;
     }
@@ -76,7 +76,7 @@ Expected<std::shared_ptr<ir::Module>> parse_condrust(std::string_view text) {
       auto lp = line.find('(');
       auto rp = line.find(')');
       if (lp == std::string_view::npos || rp == std::string_view::npos)
-        return Error::make("condrust: malformed fn signature");
+        return Error::invalid_argument("condrust: malformed fn signature");
       fn_name = std::string(support::trim(line.substr(3, lp - 3)));
       auto graph = Operation::create("dfg.graph", {}, {},
                                      {{"sym_name", Attribute(fn_name)}}, 1);
@@ -98,7 +98,7 @@ Expected<std::shared_ptr<ir::Module>> parse_condrust(std::string_view text) {
       continue;
     }
 
-    if (!b) return Error::make("condrust: statement before fn signature");
+    if (!b) return Error::invalid_argument("condrust: statement before fn signature");
 
     if (line == "}") continue;
 
@@ -108,7 +108,7 @@ Expected<std::shared_ptr<ir::Module>> parse_condrust(std::string_view text) {
       name = std::string(support::trim(name));
       auto it = symbols.find(name);
       if (it == symbols.end())
-        return Error::make("condrust: return of undefined value '" + name + "'");
+        return Error::invalid_argument("condrust: return of undefined value '" + name + "'");
       b->create("dfg.output", {it->second}, {}, {{"name", Attribute(name)}});
       saw_return = true;
       continue;
@@ -117,7 +117,7 @@ Expected<std::shared_ptr<ir::Module>> parse_condrust(std::string_view text) {
     if (support::starts_with(line, "let ")) {
       auto eq = line.find('=');
       if (eq == std::string_view::npos)
-        return Error::make("condrust: let without '='");
+        return Error::invalid_argument("condrust: let without '='");
       std::string lhs(support::trim(line.substr(4, eq - 4)));
       // Strip "mut " and type ascription.
       if (support::starts_with(lhs, "mut ")) lhs = lhs.substr(4);
@@ -138,7 +138,7 @@ Expected<std::shared_ptr<ir::Module>> parse_condrust(std::string_view text) {
       for (const auto &arg : call->args) {
         auto it = symbols.find(arg);
         if (it == symbols.end())
-          return Error::make("condrust: use of undefined value '" + arg + "'");
+          return Error::invalid_argument("condrust: use of undefined value '" + arg + "'");
         operands.push_back(it->second);
       }
 
@@ -152,17 +152,17 @@ Expected<std::shared_ptr<ir::Module>> parse_condrust(std::string_view text) {
           b->create_value(is_fold ? "dfg.fold" : "dfg.node", operands,
                           stream_type(), std::move(attrs));
       if (symbols.count(lhs))
-        return Error::make("condrust: rebinding of '" + lhs +
+        return Error::invalid_argument("condrust: rebinding of '" + lhs +
                            "' (ownership violation)");
       symbols[lhs] = result;
       continue;
     }
 
-    return Error::make("condrust: cannot parse line: " + std::string(line));
+    return Error::invalid_argument("condrust: cannot parse line: " + std::string(line));
   }
 
-  if (!b) return Error::make("condrust: no fn found");
-  if (!saw_return) return Error::make("condrust: fn has no return");
+  if (!b) return Error::invalid_argument("condrust: no fn found");
+  if (!saw_return) return Error::invalid_argument("condrust: fn has no return");
   return module;
 }
 

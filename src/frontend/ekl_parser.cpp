@@ -84,7 +84,7 @@ Expected<std::vector<Token>> tokenize(std::string_view text) {
       ++i;
       continue;
     }
-    return Error::make("ekl: unexpected character '" + std::string(1, c) +
+    return Error::invalid_argument("ekl: unexpected character '" + std::string(1, c) +
                        "' at line " + std::to_string(line));
   }
   out.push_back({Token::End, "", line});
@@ -112,7 +112,7 @@ public:
       if (auto s = parse_statement(); !s) return s.error();
     }
     if (outputs_ == 0)
-      return Error::make("ekl: program declares no outputs");
+      return Error::invalid_argument("ekl: program declares no outputs");
     return module;
   }
 
@@ -130,7 +130,7 @@ private:
     return false;
   }
   Error fail(const std::string &msg) {
-    return Error::make("ekl: " + msg + " at line " +
+    return Error::invalid_argument("ekl: " + msg + " at line " +
                        std::to_string(peek().line) + " (near '" +
                        peek().text + "')");
   }
@@ -166,7 +166,7 @@ private:
         if (!consume_punct("]")) return fail("expected ']' after input dims");
       }
       if (symbols_.count(name))
-        return Error::make("ekl: duplicate definition of '" + name + "'");
+        return Error::invalid_argument("ekl: duplicate definition of '" + name + "'");
       symbols_[name] = dialects::ekl::make_input(*builder_, name, dims);
       return true;
     }
@@ -177,7 +177,7 @@ private:
       std::string name = next().text;
       auto it = symbols_.find(name);
       if (it == symbols_.end())
-        return Error::make("ekl: output of undefined name '" + name + "'");
+        return Error::invalid_argument("ekl: output of undefined name '" + name + "'");
       dialects::ekl::make_output(*builder_, name, it->second);
       ++outputs_;
       return true;
@@ -187,11 +187,11 @@ private:
     std::string name = next().text;
     if (!consume_punct("=")) return fail("expected '=' in assignment");
     if (indices_.count(name))
-      return Error::make("ekl: cannot assign to iteration index '" + name + "'");
+      return Error::invalid_argument("ekl: cannot assign to iteration index '" + name + "'");
     auto value = parse_expr();
     if (!value) return value.error();
     if (symbols_.count(name))
-      return Error::make("ekl: duplicate definition of '" + name + "'");
+      return Error::invalid_argument("ekl: duplicate definition of '" + name + "'");
     symbols_[name] = *value;
     return true;
   }
@@ -303,7 +303,7 @@ private:
     } else {
       auto it = symbols_.find(name);
       if (it == symbols_.end())
-        return Error::make("ekl: use of undefined name '" + name +
+        return Error::invalid_argument("ekl: use of undefined name '" + name +
                            "' at line " + std::to_string(peek().line));
       base = it->second;
     }
@@ -319,7 +319,7 @@ private:
       if (!consume_punct("]")) return fail("expected ']' after subscripts");
       auto rank = dialects::ekl::result_indices(*base).size();
       if (subs.size() > rank)
-        return Error::make("ekl: '" + name + "' subscripted with " +
+        return Error::invalid_argument("ekl: '" + name + "' subscripted with " +
                            std::to_string(subs.size()) + " exprs but has rank " +
                            std::to_string(rank));
       return dialects::ekl::make_gather(*builder_, base, subs);

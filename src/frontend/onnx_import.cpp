@@ -16,7 +16,7 @@ using support::Expected;
 using support::Json;
 
 Expected<Shape> parse_shape(const Json &j) {
-  if (!j.is_array()) return Error::make("onnx: shape must be an array");
+  if (!j.is_array()) return Error::invalid_argument("onnx: shape must be an array");
   Shape s;
   for (std::size_t i = 0; i < j.size(); ++i) s.push_back(j[i].as_int());
   return s;
@@ -26,13 +26,13 @@ Expected<Tensor> parse_tensor(const Json &j) {
   auto shape = parse_shape(j["shape"]);
   if (!shape) return shape.error();
   const Json &data = j["data"];
-  if (!data.is_array()) return Error::make("onnx: tensor data must be array");
+  if (!data.is_array()) return Error::invalid_argument("onnx: tensor data must be array");
   std::vector<double> values;
   values.reserve(data.size());
   for (std::size_t i = 0; i < data.size(); ++i)
     values.push_back(data[i].as_number());
   if (static_cast<std::int64_t>(values.size()) != numerics::num_elements(*shape))
-    return Error::make("onnx: tensor data size does not match shape");
+    return Error::invalid_argument("onnx: tensor data size does not match shape");
   return Tensor(std::move(*shape), std::move(values));
 }
 
@@ -85,7 +85,7 @@ Expected<OnnxModel> import_onnx_json(std::string_view json_text) {
         n.attrs[key] = value.as_number();
     }
     if (n.op.empty() || n.output.empty())
-      return Error::make("onnx: node " + std::to_string(i) +
+      return Error::invalid_argument("onnx: node " + std::to_string(i) +
                          " missing op/output");
     m.nodes.push_back(std::move(n));
   }
@@ -93,7 +93,7 @@ Expected<OnnxModel> import_onnx_json(std::string_view json_text) {
   const Json &outs = j["outputs"];
   for (std::size_t i = 0; i < outs.size(); ++i)
     m.outputs.push_back(outs[i].as_string());
-  if (m.outputs.empty()) return Error::make("onnx: model has no outputs");
+  if (m.outputs.empty()) return Error::invalid_argument("onnx: model has no outputs");
   return m;
 }
 
@@ -146,16 +146,16 @@ Expected<std::map<std::string, Tensor>> run_onnx(
   for (const auto &in : model.inputs) {
     auto it = inputs.find(in.name);
     if (it == inputs.end())
-      return Error::make("onnx run: missing input '" + in.name + "'");
+      return Error::invalid_argument("onnx run: missing input '" + in.name + "'");
     if (it->second.shape() != in.shape)
-      return Error::make("onnx run: input '" + in.name + "' shape mismatch");
+      return Error::invalid_argument("onnx run: input '" + in.name + "' shape mismatch");
     env.emplace(in.name, it->second);
   }
 
   auto get = [&](const std::string &name) -> Expected<const Tensor *> {
     auto it = env.find(name);
     if (it == env.end())
-      return Error::make("onnx run: undefined tensor '" + name + "'");
+      return Error::invalid_argument("onnx run: undefined tensor '" + name + "'");
     return &it->second;
   };
 
@@ -201,7 +201,7 @@ Expected<std::map<std::string, Tensor>> run_onnx(
       if (!w) return w.error();
       std::int64_t out_dim = (*w)->dim(0), in_dim = (*w)->dim(1);
       if ((*x)->size() != in_dim)
-        return Error::make("onnx run: Gemm dimension mismatch in " + node.name);
+        return Error::invalid_argument("onnx run: Gemm dimension mismatch in " + node.name);
       result = Tensor(Shape{out_dim});
       for (std::int64_t o = 0; o < out_dim; ++o) {
         double acc = 0.0;
@@ -221,7 +221,7 @@ Expected<std::map<std::string, Tensor>> run_onnx(
       result = **a;
       result += **b2;
     } else {
-      return Error::make("onnx run: unsupported op '" + node.op + "'");
+      return Error::unsupported("onnx run: unsupported op '" + node.op + "'");
     }
 
     env.insert_or_assign(node.output, std::move(result));

@@ -1,0 +1,169 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "obs/trace.hpp"
+#include "support/table.hpp"
+
+namespace everest::obs {
+
+namespace {
+
+std::string format_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
+std::string format_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::vector<TraceEvent> sorted_events(const TraceRecorder &recorder) {
+  std::vector<TraceEvent> events = recorder.events();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent &a, const TraceEvent &b) {
+                     if (a.track != b.track) return a.track < b.track;
+                     if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                     return a.name < b.name;
+                   });
+  return events;
+}
+
+}  // namespace
+
+support::Json chrome_trace_json(const TraceRecorder &recorder) {
+  std::vector<TraceEvent> events = sorted_events(recorder);
+
+  // One Chrome "thread" row per track, numbered in sorted first-seen order.
+  std::map<std::string, int> track_tid;
+  for (const TraceEvent &event : events)
+    track_tid.emplace(event.track, static_cast<int>(track_tid.size()) + 1);
+
+  support::Json trace_events = support::Json::array();
+  for (const auto &[track, tid] : track_tid) {
+    support::Json meta = support::Json::object();
+    meta.set("ph", "M");
+    meta.set("pid", 1);
+    meta.set("tid", tid);
+    meta.set("name", "thread_name");
+    support::Json args = support::Json::object();
+    args.set("name", track);
+    meta.set("args", std::move(args));
+    trace_events.push_back(std::move(meta));
+  }
+  for (const TraceEvent &event : events) {
+    support::Json e = support::Json::object();
+    e.set("ph", "X");
+    e.set("pid", 1);
+    e.set("tid", track_tid.at(event.track));
+    e.set("name", event.name);
+    e.set("cat", event.category);
+    e.set("ts", event.start_us);
+    e.set("dur", event.duration_us);
+    if (!event.args.empty()) {
+      support::Json args = support::Json::object();
+      for (const auto &[key, value] : event.args) args.set(key, value);
+      e.set("args", std::move(args));
+    }
+    trace_events.push_back(std::move(e));
+  }
+
+  support::Json doc = support::Json::object();
+  doc.set("displayTimeUnit", "ms");
+  doc.set("traceEvents", std::move(trace_events));
+
+  support::Json other = support::Json::object();
+  for (const auto &[name, value] : recorder.counters()) other.set(name, value);
+  for (const auto &[name, value] : recorder.gauges()) other.set(name, value);
+  for (const auto &[name, summary] : recorder.histograms()) {
+    support::Json h = support::Json::object();
+    h.set("count", summary.count);
+    h.set("mean", summary.mean);
+    h.set("p95", summary.p95);
+    other.set(name, std::move(h));
+  }
+  if (other.size() > 0) doc.set("otherData", std::move(other));
+  return doc;
+}
+
+support::Status write_chrome_trace(const TraceRecorder &recorder,
+                                   const std::string &path) {
+  std::ofstream out(path);
+  if (!out)
+    return support::Status::failure("obs: cannot open trace file '" + path + "'",
+                                    support::ErrorCode::NotFound);
+  out << chrome_trace_json(recorder).dump(2) << "\n";
+  if (!out)
+    return support::Status::failure("obs: failed writing trace file '" + path +
+                                        "'",
+                                    support::ErrorCode::Internal);
+  return support::Status::ok();
+}
+
+std::string summary_table(const TraceRecorder &recorder) {
+  struct Group {
+    std::size_t count = 0;
+    double total_us = 0.0;
+    double min_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::map<std::pair<std::string, std::string>, Group> groups;
+  for (const TraceEvent &event : recorder.events()) {
+    Group &g = groups[{event.category, event.name}];
+    if (g.count == 0) {
+      g.min_us = event.duration_us;
+      g.max_us = event.duration_us;
+    }
+    g.min_us = std::min(g.min_us, event.duration_us);
+    g.max_us = std::max(g.max_us, event.duration_us);
+    g.total_us += event.duration_us;
+    ++g.count;
+  }
+
+  std::string out;
+  if (!groups.empty()) {
+    support::Table spans({"category", "span", "count", "total [ms]",
+                          "mean [ms]", "min [ms]", "max [ms]"});
+    for (const auto &[key, g] : groups) {
+      spans.add_row({key.first, key.second, std::to_string(g.count),
+                     format_ms(g.total_us / 1000.0),
+                     format_ms(g.total_us / 1000.0 /
+                               static_cast<double>(g.count)),
+                     format_ms(g.min_us / 1000.0), format_ms(g.max_us / 1000.0)});
+    }
+    out += spans.render();
+  }
+
+  auto counters = recorder.counters();
+  auto gauges = recorder.gauges();
+  if (!counters.empty() || !gauges.empty()) {
+    if (!out.empty()) out += "\n";
+    support::Table metrics({"metric", "kind", "value"});
+    for (const auto &[name, value] : counters)
+      metrics.add_row({name, "counter", std::to_string(value)});
+    for (const auto &[name, value] : gauges)
+      metrics.add_row({name, "gauge", format_value(value)});
+    out += metrics.render();
+  }
+
+  auto histograms = recorder.histograms();
+  if (!histograms.empty()) {
+    if (!out.empty()) out += "\n";
+    support::Table table({"histogram", "count", "mean", "p50", "p95", "max"});
+    for (const auto &[name, s] : histograms) {
+      table.add_row({name, std::to_string(s.count), format_value(s.mean),
+                     format_value(s.p50), format_value(s.p95),
+                     format_value(s.max)});
+    }
+    out += table.render();
+  }
+  return out;
+}
+
+}  // namespace everest::obs

@@ -1,0 +1,35 @@
+// everest/obs/export.hpp
+//
+// Exporters over a TraceRecorder:
+//  - Chrome trace_event JSON ("X" complete events + thread-name metadata),
+//    loadable in chrome://tracing or https://ui.perfetto.dev;
+//  - a plain-text summary (support::Table) aggregating spans by category and
+//    name plus all counters/gauges/histograms, for CLI and bench output.
+// Both are deterministic: events are sorted by (track, start, name) and all
+// object keys serialize in sorted order.
+#pragma once
+
+#include <string>
+
+#include "support/expected.hpp"
+#include "support/json.hpp"
+
+namespace everest::obs {
+
+class TraceRecorder;
+
+/// Builds the Chrome trace_event JSON document for all recorded events.
+/// Timestamps are exported in microseconds (the trace_event unit). Metric
+/// snapshots ride along under the "otherData" key, which trace viewers show
+/// as trace metadata.
+[[nodiscard]] support::Json chrome_trace_json(const TraceRecorder &recorder);
+
+/// Serializes chrome_trace_json() to `path`.
+support::Status write_chrome_trace(const TraceRecorder &recorder,
+                                   const std::string &path);
+
+/// Renders the aggregated text summary: one row per (category, name) span
+/// group with count/total/mean/min/max milliseconds, then metric tables.
+[[nodiscard]] std::string summary_table(const TraceRecorder &recorder);
+
+}  // namespace everest::obs

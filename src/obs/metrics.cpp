@@ -1,0 +1,35 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace everest::obs {
+
+void Histogram::record(double sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(sample);
+}
+
+Histogram::Summary Histogram::summarize() const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = samples_;
+  }
+  Summary s;
+  s.count = sorted.size();
+  if (sorted.empty()) return s;
+  std::sort(sorted.begin(), sorted.end());
+  for (double v : sorted) s.sum += v;
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = s.sum / static_cast<double>(s.count);
+  auto quantile = [&](double q) {
+    auto idx = static_cast<std::size_t>(q * static_cast<double>(s.count - 1));
+    return sorted[idx];
+  };
+  s.p50 = quantile(0.5);
+  s.p95 = quantile(0.95);
+  return s;
+}
+
+}  // namespace everest::obs

@@ -1,0 +1,63 @@
+// everest/obs/metrics.hpp
+//
+// Typed metrics for the observability layer (paper §VI-A: the runtime
+// "monitors the cluster"; §IV: per-stage reporting of the basecamp flow).
+// Counters and gauges are lock-free; histograms keep their samples so the
+// summary exporter can report exact quantiles for the deterministic
+// simulation runs the experiments use.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace everest::obs {
+
+/// Monotonically increasing event count (e.g. dfg node invocations).
+class Counter {
+public:
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. allocated device bytes).
+class Gauge {
+public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution of observed samples with exact summary statistics.
+class Histogram {
+public:
+  void record(double sample);
+
+  struct Summary {
+    std::size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+  };
+  /// Exact over all recorded samples (sorts a copy; fine at tracing volumes).
+  [[nodiscard]] Summary summarize() const;
+
+private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+}  // namespace everest::obs

@@ -6,14 +6,32 @@ using support::Error;
 using support::Expected;
 using support::Status;
 
+void Device::trace(const char *name, const char *category, double duration_us,
+                   std::vector<std::pair<std::string, std::string>> args) const {
+  if (!recorder_) return;
+  obs::TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.track = spec_.name;
+  event.start_us = clock_us_ - duration_us;
+  event.duration_us = duration_us;
+  event.args = std::move(args);
+  recorder_->record(std::move(event));
+}
+
 Expected<BufferHandle> Device::alloc(std::int64_t bytes) {
-  if (bytes <= 0) return Error::make("xrt: buffer size must be positive");
+  if (bytes <= 0)
+    return Error::invalid_argument("xrt: buffer size must be positive");
   std::int64_t capacity = spec_.memory.hbm_bytes + spec_.memory.ddr_bytes;
   if (allocated_ + bytes > capacity)
-    return Error::make("xrt: out of device memory on " + spec_.name);
+    return Error::resource_exhausted("xrt: out of device memory on " +
+                                     spec_.name);
   BufferHandle h{next_id_++};
   buffers_[h.id] = bytes;
   allocated_ += bytes;
+  if (recorder_)
+    recorder_->gauge("xrt." + spec_.name + ".allocated_bytes")
+        .set(static_cast<double>(allocated_));
   return h;
 }
 
@@ -27,21 +45,29 @@ Status Device::free(BufferHandle handle) {
 
 Status Device::sync_to_device(BufferHandle handle) {
   auto it = buffers_.find(handle.id);
-  if (it == buffers_.end()) return Status::failure("xrt: invalid buffer handle");
+  if (it == buffers_.end())
+    return Status::failure("xrt: invalid buffer handle",
+                           support::ErrorCode::NotFound);
   double us = transfer_us(it->second);
   clock_us_ += us;
   stats_.transfer_us += us;
   stats_.bytes_to_device += it->second;
+  trace("dma-to-device", "xrt.dma", us,
+        {{"bytes", std::to_string(it->second)}});
   return Status::ok();
 }
 
 Status Device::sync_from_device(BufferHandle handle) {
   auto it = buffers_.find(handle.id);
-  if (it == buffers_.end()) return Status::failure("xrt: invalid buffer handle");
+  if (it == buffers_.end())
+    return Status::failure("xrt: invalid buffer handle",
+                           support::ErrorCode::NotFound);
   double us = transfer_us(it->second);
   clock_us_ += us;
   stats_.transfer_us += us;
   stats_.bytes_from_device += it->second;
+  trace("dma-from-device", "xrt.dma", us,
+        {{"bytes", std::to_string(it->second)}});
   return Status::ok();
 }
 
@@ -53,7 +79,8 @@ Status Device::load_kernel(const std::string &name,
     return Status::failure("xrt: kernel '" + name + "' does not fit on " +
                            spec_.name + " (utilization " +
                            std::to_string(utilization(combined, spec_.capacity)) +
-                           ")");
+                           ")",
+                           support::ErrorCode::ResourceExhausted);
   }
   programmed_ = combined;
   kernels_[name] = report;
@@ -63,7 +90,7 @@ Status Device::load_kernel(const std::string &name,
 Expected<double> Device::run(const std::string &name, bool dataflow) {
   auto it = kernels_.find(name);
   if (it == kernels_.end())
-    return Error::make("xrt: kernel '" + name + "' not programmed");
+    return Error::not_found("xrt: kernel '" + name + "' not programmed");
   // Kernel clock may differ from the report's assumed clock; rescale.
   double cycles = static_cast<double>(dataflow ? it->second.dataflow_cycles
                                                : it->second.total_cycles);
@@ -71,6 +98,10 @@ Expected<double> Device::run(const std::string &name, bool dataflow) {
   clock_us_ += us;
   stats_.compute_us += us;
   ++stats_.kernel_launches;
+  trace(name.c_str(), "xrt.kernel", us,
+        {{"dataflow", dataflow ? "true" : "false"},
+         {"cycles", std::to_string(static_cast<std::int64_t>(cycles))}});
+  if (recorder_) recorder_->counter("xrt.kernel_launches").add(1);
   return us;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "hls/scheduler.hpp"
+#include "obs/trace.hpp"
 #include "platform/device.hpp"
 #include "support/expected.hpp"
 
@@ -44,6 +45,12 @@ public:
   [[nodiscard]] double now_us() const { return clock_us_; }
   [[nodiscard]] const DeviceStats &stats() const { return stats_; }
 
+  /// Attaches a trace recorder (non-owning; nullptr detaches): every DMA
+  /// transfer and kernel execution then records a span on the device's
+  /// simulated timeline (track = device name, categories "xrt.dma" /
+  /// "xrt.kernel").
+  void attach_recorder(obs::TraceRecorder *recorder) { recorder_ = recorder; }
+
   /// Allocates a buffer object; fails when device memory is exhausted.
   support::Expected<BufferHandle> alloc(std::int64_t bytes);
   /// Frees a buffer object.
@@ -71,7 +78,12 @@ private:
     return spec_.link_seconds(bytes) * 1e6 * io_overhead_;
   }
 
+  /// Records a span [clock_us_ - duration_us, clock_us_] on the device track.
+  void trace(const char *name, const char *category, double duration_us,
+             std::vector<std::pair<std::string, std::string>> args) const;
+
   DeviceSpec spec_;
+  obs::TraceRecorder *recorder_ = nullptr;
   double io_overhead_;
   double clock_us_ = 0.0;
   std::int64_t next_id_ = 0;

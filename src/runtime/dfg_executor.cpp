@@ -1,6 +1,7 @@
 #include "runtime/dfg_executor.hpp"
 
 #include <atomic>
+#include <optional>
 #include <thread>
 
 namespace everest::runtime {
@@ -14,13 +15,21 @@ using support::Expected;
 
 /// Applies a stateless node element-wise with `workers` threads. Elements
 /// are written into a pre-sized output vector, so completion order cannot
-/// perturb the result (order-restoring merge).
-Stream parallel_map(const NodeFn &fn,
+/// perturb the result (order-restoring merge). Each worker's chunk records
+/// one span on its own track when a recorder is attached.
+Stream parallel_map(const NodeFn &fn, const std::string &callee,
                     const std::vector<const Stream *> &input_streams,
                     std::size_t count, int workers,
-                    std::atomic<std::size_t> &invocations) {
+                    std::atomic<std::size_t> &invocations,
+                    obs::TraceRecorder *recorder) {
   Stream out(count);
-  auto work = [&](std::size_t begin, std::size_t end) {
+  auto work = [&](std::size_t begin, std::size_t end, int worker) {
+    std::optional<obs::TraceRecorder::Span> span;
+    if (recorder) {
+      span.emplace(recorder->span(callee, "dfg.stage",
+                                  "dfg.worker-" + std::to_string(worker)));
+      span->arg("elements", std::to_string(end - begin));
+    }
     std::vector<const Record *> args(input_streams.size());
     for (std::size_t i = begin; i < end; ++i) {
       for (std::size_t s = 0; s < input_streams.size(); ++s)
@@ -30,7 +39,7 @@ Stream parallel_map(const NodeFn &fn,
     }
   };
   if (workers <= 1 || count < 2) {
-    work(0, count);
+    work(0, count, 0);
     return out;
   }
   std::vector<std::thread> pool;
@@ -40,7 +49,7 @@ Stream parallel_map(const NodeFn &fn,
     std::size_t begin = static_cast<std::size_t>(w) * per;
     std::size_t end = std::min(begin + per, count);
     if (begin >= end) break;
-    pool.emplace_back(work, begin, end);
+    pool.emplace_back(work, begin, end, w);
   }
   for (auto &t : pool) t.join();
   return out;
@@ -51,7 +60,7 @@ Stream parallel_map(const NodeFn &fn,
 Expected<std::map<std::string, Stream>> execute_dfg(
     const ir::Module &module, const NodeRegistry &registry,
     const std::map<std::string, Stream> &inputs, int workers,
-    DfgRunStats *stats) {
+    DfgRunStats *stats, obs::TraceRecorder *recorder) {
   const Operation *graph = nullptr;
   for (const auto &op : module.body().operations()) {
     if (op->name() == "dfg.graph") {
@@ -121,8 +130,12 @@ Expected<std::map<std::string, Stream>> execute_dfg(
           s = &broadcast_storage.back();
         }
       }
-      streams[op.result(0)] =
-          parallel_map(*fn, aligned, count, workers, node_invocations);
+      streams[op.result(0)] = parallel_map(*fn, op.attr_string("callee"),
+                                           aligned, count, workers,
+                                           node_invocations, recorder);
+      if (recorder)
+        recorder->counter("dfg.node." + op.attr_string("callee"))
+            .add(static_cast<std::int64_t>(count));
       continue;
     }
 
@@ -139,6 +152,10 @@ Expected<std::map<std::string, Stream>> execute_dfg(
         args.push_back(&s);
         count = std::max(count, s.size());
       }
+      std::optional<obs::TraceRecorder::Span> span;
+      if (recorder)
+        span.emplace(recorder->span(op.attr_string("callee"), "dfg.fold",
+                                    "dfg.fold"));
       Record state = fold->initial;
       std::vector<const Record *> element(args.size());
       for (std::size_t i = 0; i < count; ++i) {
@@ -147,6 +164,9 @@ Expected<std::map<std::string, Stream>> execute_dfg(
         state = fold->fn(state, element);
         ++fold_invocations;
       }
+      if (recorder)
+        recorder->counter("dfg.fold." + op.attr_string("callee"))
+            .add(static_cast<std::int64_t>(count));
       streams[op.result(0)] = Stream{state};
       continue;
     }

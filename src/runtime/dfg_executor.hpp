@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ir/ir.hpp"
+#include "obs/trace.hpp"
 #include "support/expected.hpp"
 
 namespace everest::runtime {
@@ -69,10 +70,13 @@ struct DfgRunStats {
 
 /// Executes the first dfg.graph in `module` over the named input streams.
 /// All input streams must have equal length (element-aligned). `workers`
-/// bounds the thread-level parallelism of stateless stages.
+/// bounds the thread-level parallelism of stateless stages. When `recorder`
+/// is given, each stage bumps an invocation counter
+/// ("dfg.node.<callee>" / "dfg.fold.<callee>") and every worker records a
+/// wall-clock span per stage chunk (track "dfg.worker-<i>").
 support::Expected<std::map<std::string, Stream>> execute_dfg(
     const ir::Module &module, const NodeRegistry &registry,
     const std::map<std::string, Stream> &inputs, int workers = 1,
-    DfgRunStats *stats = nullptr);
+    DfgRunStats *stats = nullptr, obs::TraceRecorder *recorder = nullptr);
 
 }  // namespace everest::runtime

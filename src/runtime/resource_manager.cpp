@@ -18,6 +18,7 @@ struct NodeState {
   std::vector<double> core_free;  // per-core busy-until
   double fpga_free = 0.0;
   double fail_at = kInf;
+  FaultKind fail_kind = FaultKind::Crash;
 };
 
 /// Earliest time `cores` cores are simultaneously free, and which they are.
@@ -37,23 +38,26 @@ double earliest_cores(const NodeState &n, int cores,
 Expected<Future> ResourceManager::submit(TaskSpec spec) {
   for (TaskId dep : spec.deps) {
     if (dep < 0 || dep >= static_cast<TaskId>(tasks_.size()))
-      return Error::make("resman: dependency " + std::to_string(dep) +
-                         " not submitted yet");
+      return Error::invalid_argument("resman: dependency " +
+                                     std::to_string(dep) +
+                                     " not submitted yet");
   }
-  if (spec.cores < 1) return Error::make("resman: cores must be >= 1");
+  if (spec.cores < 1)
+    return Error::invalid_argument("resman: cores must be >= 1");
   if (spec.cpu_ms < 0 && spec.fpga_ms < 0)
-    return Error::make("resman: task has no executable variant");
+    return Error::invalid_argument("resman: task has no executable variant");
   tasks_.push_back(std::move(spec));
   return Future{static_cast<TaskId>(tasks_.size()) - 1};
 }
 
-void ResourceManager::inject_failure(const std::string &node_name,
-                                     double at_ms) {
-  failures_[node_name] = at_ms;
+void ResourceManager::inject_failure(FaultSpec fault) {
+  failures_[fault.node] = std::move(fault);
 }
 
-Expected<RunReport> ResourceManager::run(const SchedulerOptions &options) const {
-  if (tasks_.empty()) return Error::make("resman: no tasks submitted");
+Expected<RunReport> ResourceManager::run(const SchedulerOptions &options,
+                                         obs::TraceRecorder *recorder) const {
+  if (tasks_.empty())
+    return Error::invalid_argument("resman: no tasks submitted");
   for (const auto &t : tasks_) {
     if (t.cores > 0) {
       bool fits_somewhere = false;
@@ -62,8 +66,8 @@ Expected<RunReport> ResourceManager::run(const SchedulerOptions &options) const 
           fits_somewhere = true;
       }
       if (!fits_somewhere)
-        return Error::make("resman: task '" + t.name +
-                           "' fits on no cluster node");
+        return Error::resource_exhausted("resman: task '" + t.name +
+                                         "' fits on no cluster node");
     }
   }
 
@@ -118,8 +122,10 @@ Expected<RunReport> ResourceManager::run(const SchedulerOptions &options) const 
                                     cluster_.nodes[n].cores),
                                 0.0);
       auto it = failures_.find(cluster_.nodes[n].name);
-      if (enforce_failures && it != failures_.end())
-        nodes[n].fail_at = it->second;
+      if (enforce_failures && it != failures_.end()) {
+        nodes[n].fail_at = it->second.at_ms;
+        nodes[n].fail_kind = it->second.kind;
+      }
     }
 
     std::vector<double> finish(tasks_.size(), -1.0);
@@ -156,7 +162,8 @@ Expected<RunReport> ResourceManager::run(const SchedulerOptions &options) const 
       }
       if (chosen < 0)
         return support::Status::failure(
-            "resman: dependency cycle detected in task graph");
+            "resman: dependency cycle detected in task graph",
+            support::ErrorCode::InvalidArgument);
 
       auto idx = static_cast<std::size_t>(chosen);
       const TaskSpec &t = tasks_[idx];
@@ -197,18 +204,20 @@ Expected<RunReport> ResourceManager::run(const SchedulerOptions &options) const 
         double cores_free = earliest_cores(nodes[n], t.cores, cores);
         double start = std::max(cores_free, data_ready);
         if (use_fpga) start = std::max(start, nodes[n].fpga_free);
-        if (enforce_failures && killed[idx] &&
-            nodes[n].fail_at < kInf) {
-          // Nothing extra: rescheduled tasks simply cannot land on the dead
-          // node (checked below) and restart after the failure.
-        }
         if (enforce_failures && killed[idx]) {
+          // Rescheduled tasks restart after the (earliest) failure time,
+          // modeling the monitor's re-submission.
           double fail_time = kInf;
-          for (const auto &[name, at] : failures_) fail_time = std::min(fail_time, at);
+          for (const auto &[name, fault] : failures_)
+            fail_time = std::min(fail_time, fault.at_ms);
           start = std::max(start, fail_time);
         }
         double finish_here = start + duration;
-        if (finish_here > nodes[n].fail_at) continue;  // node dies mid-task
+        if (nodes[n].fail_kind == FaultKind::Crash) {
+          if (finish_here > nodes[n].fail_at) continue;  // node dies mid-task
+        } else {
+          if (start >= nodes[n].fail_at) continue;  // drained: no new starts
+        }
 
         double placement_start =
             std::max(cores_free, data_ready_for_placement);
@@ -225,8 +234,9 @@ Expected<RunReport> ResourceManager::run(const SchedulerOptions &options) const 
       }
       (void)actual_data_ready_best;
       if (best_node < 0)
-        return support::Status::failure("resman: task '" + t.name +
-                                        "' has no feasible placement");
+        return support::Status::failure(
+            "resman: task '" + t.name + "' has no feasible placement",
+            support::ErrorCode::ResourceExhausted);
 
       NodeState &n = nodes[static_cast<std::size_t>(best_node)];
       double finish_time = best_start + best_duration;
@@ -244,8 +254,16 @@ Expected<RunReport> ResourceManager::run(const SchedulerOptions &options) const 
       outcome.finish_ms = finish_time;
       outcome.used_fpga = best_fpga;
       outcome.attempts = killed[idx] && enforce_failures ? 2 : 1;
+      report.node_timeline[outcome.node].push_back(
+          {chosen, best_start, finish_time, best_fpga});
       report.tasks[chosen] = outcome;
       report.makespan_ms = std::max(report.makespan_ms, finish_time);
+    }
+    for (auto &[node_name, intervals] : report.node_timeline) {
+      std::sort(intervals.begin(), intervals.end(),
+                [](const BusyInterval &a, const BusyInterval &b) {
+                  return a.start_ms < b.start_ms;
+                });
     }
 
     // Transfers actually incurred.
@@ -267,24 +285,83 @@ Expected<RunReport> ResourceManager::run(const SchedulerOptions &options) const 
     return support::Status::ok();
   };
 
-  RunReport first;
-  if (auto s = simulate(false, first); !s.is_ok())
-    return Error::make(s.message());
-  if (failures_.empty()) return first;
+  // Exports the final schedule as spans on the simulated timeline: one span
+  // per task placement (track = node), one per cross-node transfer edge
+  // (track "network"), plus aggregate counters. 1 simulated ms = 1000 trace
+  // microseconds.
+  auto export_trace = [&](const RunReport &report) {
+    if (!recorder) return;
+    for (const auto &[id, outcome] : report.tasks) {
+      const TaskSpec &t = tasks_[static_cast<std::size_t>(id)];
+      obs::TraceEvent event;
+      event.name = t.name;
+      event.category = "resman.task";
+      event.track = outcome.node;
+      event.start_us = outcome.start_ms * 1000.0;
+      event.duration_us = (outcome.finish_ms - outcome.start_ms) * 1000.0;
+      event.args.emplace_back("task", std::to_string(id));
+      event.args.emplace_back("attempts", std::to_string(outcome.attempts));
+      event.args.emplace_back("resource", outcome.used_fpga ? "fpga" : "cpu");
+      recorder->record(std::move(event));
+      recorder->histogram("resman.task_ms")
+          .record(outcome.finish_ms - outcome.start_ms);
+    }
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      for (TaskId dep : tasks_[i].deps) {
+        const auto &producer = report.tasks.at(dep);
+        const auto &consumer = report.tasks.at(static_cast<TaskId>(i));
+        if (producer.node == consumer.node) continue;
+        const TaskSpec &dep_spec = tasks_[static_cast<std::size_t>(dep)];
+        obs::TraceEvent event;
+        event.name = dep_spec.name + " -> " + tasks_[i].name;
+        event.category = "resman.transfer";
+        event.track = "network";
+        event.start_us = producer.finish_ms * 1000.0;
+        event.duration_us = cluster_.transfer_ms(dep_spec.output_bytes) * 1000.0;
+        event.args.emplace_back("bytes", std::to_string(dep_spec.output_bytes));
+        event.args.emplace_back("from", producer.node);
+        event.args.emplace_back("to", consumer.node);
+        recorder->record(std::move(event));
+      }
+    }
+    recorder->counter("resman.tasks").add(
+        static_cast<std::int64_t>(report.tasks.size()));
+    recorder->counter("resman.rescheduled").add(report.rescheduled_tasks);
+    recorder->counter("resman.bytes_transferred").add(report.bytes_transferred);
+    recorder->gauge("resman.makespan_ms").set(report.makespan_ms);
+  };
 
-  // Find tasks the failures kill, then re-run with constraints.
+  RunReport first;
+  if (auto s = simulate(false, first); !s.is_ok()) return s.error();
+  if (failures_.empty()) {
+    export_trace(first);
+    return first;
+  }
+
+  // Find tasks the failures kill, then re-run with constraints. Crash kills
+  // everything still in flight at the failure; Drain only invalidates starts
+  // after it (running tasks complete).
   int rescheduled = 0;
   for (const auto &[id, outcome] : first.tasks) {
     auto it = failures_.find(outcome.node);
-    if (it != failures_.end() && outcome.finish_ms > it->second) {
-      killed[static_cast<std::size_t>(id)] = true;
-      ++rescheduled;
+    if (it == failures_.end()) continue;
+    const FaultSpec &fault = it->second;
+    if (fault.kind == FaultKind::Crash) {
+      // In-flight work is lost; the monitor re-submits it after the failure.
+      if (outcome.finish_ms > fault.at_ms) {
+        killed[static_cast<std::size_t>(id)] = true;
+        ++rescheduled;
+      }
+    } else {
+      // Drained: tasks that would have started there are placed elsewhere,
+      // with no lost work to restart.
+      if (outcome.start_ms >= fault.at_ms) ++rescheduled;
     }
   }
   RunReport final_report;
-  if (auto s = simulate(true, final_report); !s.is_ok())
-    return Error::make(s.message());
+  if (auto s = simulate(true, final_report); !s.is_ok()) return s.error();
   final_report.rescheduled_tasks = rescheduled;
+  export_trace(final_report);
   return final_report;
 }
 

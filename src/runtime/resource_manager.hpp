@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/expected.hpp"
 
 namespace everest::runtime {
@@ -74,6 +75,14 @@ struct TaskOutcome {
   bool used_fpga = false;
 };
 
+/// One task occupying a node on the simulated timeline.
+struct BusyInterval {
+  TaskId task = -1;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  bool used_fpga = false;
+};
+
 /// Whole-run report.
 struct RunReport {
   double makespan_ms = 0.0;
@@ -82,6 +91,23 @@ struct RunReport {
   double avg_core_utilization = 0.0;  // busy core-ms / (makespan * cores)
   int rescheduled_tasks = 0;
   std::map<TaskId, TaskOutcome> tasks;
+  /// Per-node busy intervals, sorted by start time — the Gantt view of the
+  /// run; this is also what feeds the tracer's per-node tracks.
+  std::map<std::string, std::vector<BusyInterval>> node_timeline;
+};
+
+/// How a node misbehaves in the next run (paper §VI-A: the monitor
+/// "reschedules tasks if needed").
+enum class FaultKind {
+  Crash,  // node dies: running tasks are lost and rescheduled
+  Drain,  // node stops accepting new tasks; running tasks finish
+};
+
+/// A fault injected into the next run.
+struct FaultSpec {
+  std::string node;
+  double at_ms = 0.0;
+  FaultKind kind = FaultKind::Crash;
 };
 
 /// The resource manager / Dask-like client.
@@ -95,18 +121,31 @@ public:
 
   [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
 
-  /// Injects a node failure at `at_ms` into the next run: the node stops
-  /// accepting tasks and everything running there is rescheduled.
-  void inject_failure(const std::string &node_name, double at_ms);
+  /// Injects a fault into the next run. Crash kills in-flight tasks (they
+  /// are rescheduled after the failure, modeling the monitor's
+  /// re-submission); Drain lets running tasks finish but starts nothing new
+  /// on the node.
+  void inject_failure(FaultSpec fault);
+
+  /// Deprecated positional form; forwards to the FaultSpec overload with
+  /// FaultKind::Crash.
+  void inject_failure(const std::string &node_name, double at_ms) {
+    inject_failure(FaultSpec{node_name, at_ms, FaultKind::Crash});
+  }
 
   /// Runs the event-driven schedule simulation. Can be called repeatedly
-  /// with different options (state is rebuilt per run).
-  support::Expected<RunReport> run(const SchedulerOptions &options = {}) const;
+  /// with different options (state is rebuilt per run). When `recorder` is
+  /// given, the run exports one span per task placement on the *simulated*
+  /// timeline (track = node, category "resman.task"), cross-node transfer
+  /// spans (track "network"), and resman.* counters — an inspectable Gantt
+  /// trace of the schedule.
+  support::Expected<RunReport> run(const SchedulerOptions &options = {},
+                                   obs::TraceRecorder *recorder = nullptr) const;
 
 private:
   ClusterSpec cluster_;
   std::vector<TaskSpec> tasks_;
-  std::map<std::string, double> failures_;  // node -> failure time
+  std::map<std::string, FaultSpec> failures_;  // node -> injected fault
 };
 
 }  // namespace everest::runtime

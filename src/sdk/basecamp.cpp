@@ -1,7 +1,5 @@
 #include "sdk/basecamp.hpp"
 
-#include <chrono>
-
 #include "dialects/registry.hpp"
 #include "frontend/cfdlang_parser.hpp"
 #include "frontend/ekl_parser.hpp"
@@ -20,14 +18,15 @@ using support::Expected;
 
 namespace {
 
-/// Runs fn() and appends its wall time under `stage`.
+/// Runs fn() under a recorder span (category "sdk.pipeline", one span per
+/// Fig. 2 stage) and appends the span's duration under `stage`, so
+/// CompileResult::timings and the trace are two views of one measurement.
 template <typename F>
-auto timed(std::vector<StageTiming> &timings, const char *stage, F &&fn) {
-  auto start = std::chrono::steady_clock::now();
+auto timed(obs::TraceRecorder &recorder, std::vector<StageTiming> &timings,
+           const char *stage, F &&fn) {
+  auto span = recorder.span(stage, "sdk.pipeline", "basecamp");
   auto result = fn();
-  auto stop = std::chrono::steady_clock::now();
-  timings.push_back(
-      {stage, std::chrono::duration<double, std::milli>(stop - start).count()});
+  timings.push_back({stage, span.end() / 1000.0});
   return result;
 }
 
@@ -37,25 +36,25 @@ Basecamp::Basecamp() { dialects::register_everest_dialects(ctx_); }
 
 Expected<platform::DeviceSpec> Basecamp::device_by_name(
     const std::string &name) const {
-  if (name == "alveo-u55c") return platform::alveo_u55c();
-  if (name == "alveo-u280") return platform::alveo_u280();
-  if (name == "cloudfpga") return platform::cloudfpga();
-  return Error::make("basecamp: unknown target '" + name +
-                     "' (alveo-u55c, alveo-u280, cloudfpga)");
+  auto device = resolve_target(name);
+  if (!device) return device.error().with_context("basecamp");
+  return device;
 }
 
 Expected<CompileResult> Basecamp::compile_ekl(
     const std::string &source, const transforms::EklBindings &bindings,
     const CompileOptions &options) {
+  if (auto s = validate_compile_options(options); !s.is_ok())
+    return s.error().with_context("basecamp");
   std::vector<StageTiming> timings;
 
-  auto parsed = timed(timings, "parse-ekl",
+  auto parsed = timed(recorder_, timings, "parse-ekl",
                       [&] { return frontend::parse_ekl(source); });
-  if (!parsed) return parsed.error();
+  if (!parsed) return parsed.error().with_context("basecamp");
   if (auto s = ctx_.verify(**parsed); !s.is_ok())
-    return Error::make("basecamp: frontend IR invalid: " + s.message());
+    return Error::internal("basecamp: frontend IR invalid: " + s.message());
 
-  auto teil = timed(timings, "lower-ekl-to-teil", [&] {
+  auto teil = timed(recorder_, timings, "lower-ekl-to-teil", [&] {
     return transforms::lower_ekl_to_teil(**parsed, bindings);
   });
   if (!teil) return teil.error();
@@ -67,13 +66,15 @@ Expected<CompileResult> Basecamp::compile_ekl(
 
 Expected<CompileResult> Basecamp::compile_cfdlang(const std::string &source,
                                                   const CompileOptions &options) {
+  if (auto s = validate_compile_options(options); !s.is_ok())
+    return s.error().with_context("basecamp");
   std::vector<StageTiming> timings;
-  auto parsed = timed(timings, "parse-cfdlang",
+  auto parsed = timed(recorder_, timings, "parse-cfdlang",
                       [&] { return frontend::parse_cfdlang(source); });
-  if (!parsed) return parsed.error();
+  if (!parsed) return parsed.error().with_context("basecamp");
   if (auto s = ctx_.verify(**parsed); !s.is_ok())
-    return Error::make("basecamp: frontend IR invalid: " + s.message());
-  auto teil = timed(timings, "lower-cfdlang-to-teil",
+    return Error::internal("basecamp: frontend IR invalid: " + s.message());
+  auto teil = timed(recorder_, timings, "lower-cfdlang-to-teil",
                     [&] { return transforms::lower_cfdlang_to_teil(**parsed); });
   if (!teil) return teil.error();
   return backend(*parsed, *teil, options, std::move(timings));
@@ -87,19 +88,20 @@ Expected<CompileResult> Basecamp::backend(std::shared_ptr<ir::Module> frontend_i
   result.frontend_ir = std::move(frontend_ir);
 
   if (auto s = ctx_.verify(*teil_ir); !s.is_ok())
-    return Error::make("basecamp: teil IR invalid: " + s.message());
+    return Error::internal("basecamp: teil IR invalid: " + s.message());
 
   if (options.canonicalize) {
-    timed(timings, "canonicalize",
+    timed(recorder_, timings, "canonicalize",
           [&] { return transforms::canonicalize(*teil_ir); });
     if (auto s = ctx_.verify(*teil_ir); !s.is_ok())
-      return Error::make("basecamp: teil IR invalid after canonicalize: " +
-                         s.message());
+      return Error::internal("basecamp: teil IR invalid after canonicalize: " +
+                             s.message());
   }
 
   // esn: raise einsums, pick the contraction order, lower back.
   if (options.optimize_einsum_order) {
-    auto status = timed(timings, "esn-reorder", [&]() -> support::Status {
+    auto status = timed(recorder_, timings, "esn-reorder",
+                        [&]() -> support::Status {
       transforms::extract_einsums(*teil_ir);
       transforms::eliminate_dead_code(*teil_ir);
       auto flops = transforms::lower_esn(*teil_ir, /*optimize_order=*/true);
@@ -107,9 +109,10 @@ Expected<CompileResult> Basecamp::backend(std::shared_ptr<ir::Module> frontend_i
       transforms::eliminate_dead_code(*teil_ir);
       return support::Status::ok();
     });
-    if (!status.is_ok()) return Error::make(status.message());
+    if (!status.is_ok()) return Error::internal(status.message());
     if (auto s = ctx_.verify(*teil_ir); !s.is_ok())
-      return Error::make("basecamp: teil IR invalid after esn: " + s.message());
+      return Error::internal("basecamp: teil IR invalid after esn: " +
+                             s.message());
   }
   result.teil_ir = teil_ir;
 
@@ -126,21 +129,21 @@ Expected<CompileResult> Basecamp::backend(std::shared_ptr<ir::Module> frontend_i
 
   // Loop lowering runs on the f64-typed TeIL; the base2 annotation is
   // applied afterwards so the exported teil_ir carries the chosen types.
-  auto loops = timed(timings, "lower-teil-to-loops",
+  auto loops = timed(recorder_, timings, "lower-teil-to-loops",
                      [&] { return transforms::lower_teil_to_loops(*teil_ir); });
   if (!loops) return loops.error();
   if (auto s = ctx_.verify(**loops); !s.is_ok())
-    return Error::make("basecamp: loop IR invalid: " + s.message());
+    return Error::internal("basecamp: loop IR invalid: " + s.message());
   result.loop_ir = *loops;
 
   if (options.number_format != "f64") {
-    auto width = timed(timings, "base2-legalize", [&] {
+    auto width = timed(recorder_, timings, "base2-legalize", [&] {
       return transforms::annotate_base2(*teil_ir, options.number_format);
     });
     if (!width) return width.error();
   }
 
-  auto kernel = timed(timings, "hls-schedule", [&] {
+  auto kernel = timed(recorder_, timings, "hls-schedule", [&] {
     return hls::schedule_kernel(**loops, effective.hls);
   });
   if (!kernel) return kernel.error();
@@ -152,13 +155,13 @@ Expected<CompileResult> Basecamp::backend(std::shared_ptr<ir::Module> frontend_i
 
   olympus::SystemGenerator generator(*device);
   result.olympus_options = effective.olympus;
-  auto estimate = timed(timings, "olympus-estimate", [&] {
+  auto estimate = timed(recorder_, timings, "olympus-estimate", [&] {
     return generator.estimate(*kernel, effective.olympus);
   });
   if (!estimate) return estimate.error();
   result.estimate = *estimate;
 
-  auto system_ir = timed(timings, "olympus-generate", [&] {
+  auto system_ir = timed(recorder_, timings, "olympus-generate", [&] {
     return generator.generate_ir(*kernel, effective.olympus);
   });
   if (!system_ir) return system_ir.error();
@@ -172,7 +175,7 @@ Expected<CompileResult> Basecamp::backend(std::shared_ptr<ir::Module> frontend_i
               {"format", ir::Attribute(options.number_format)}});
   }
   if (auto s = ctx_.verify(**system_ir); !s.is_ok())
-    return Error::make("basecamp: system IR invalid: " + s.message());
+    return Error::internal("basecamp: system IR invalid: " + s.message());
   result.system_ir = *system_ir;
 
   result.timings = std::move(timings);

@@ -16,24 +16,18 @@
 
 #include "hls/scheduler.hpp"
 #include "ir/dialect.hpp"
+#include "obs/trace.hpp"
 #include "olympus/olympus.hpp"
 #include "platform/xrt.hpp"
+#include "sdk/options.hpp"
 #include "support/expected.hpp"
 #include "transforms/ekl_eval.hpp"
 
 namespace everest::sdk {
 
-/// Compilation options for one kernel.
-struct CompileOptions {
-  std::string target = "alveo-u55c";   // alveo-u55c | alveo-u280 | cloudfpga
-  std::string number_format = "f64";   // base2 spec, e.g. "fixed<16,8>"
-  bool canonicalize = true;            // fold/CSE/DCE on the teil module
-  bool optimize_einsum_order = true;   // esn contraction reordering
-  hls::HlsOptions hls;
-  olympus::Options olympus;
-};
-
-/// Timing of one pipeline stage in milliseconds.
+/// Timing of one pipeline stage in milliseconds. Kept for compatibility;
+/// values are now derived from the obs::TraceRecorder spans, so the two
+/// views of a compile always agree.
 struct StageTiming {
   std::string stage;
   double ms = 0.0;
@@ -62,6 +56,13 @@ public:
 
   [[nodiscard]] ir::Context &context() { return ctx_; }
 
+  /// The recorder every compile writes its pipeline-stage spans into (one
+  /// span per Fig. 2 stage, category "sdk.pipeline"). Export it with
+  /// obs::chrome_trace_json / obs::summary_table, or attach it to a
+  /// platform::Device to put device DMA/kernel spans in the same trace.
+  [[nodiscard]] obs::TraceRecorder &recorder() { return recorder_; }
+  [[nodiscard]] const obs::TraceRecorder &recorder() const { return recorder_; }
+
   /// Resolves a target name to its device model.
   [[nodiscard]] support::Expected<platform::DeviceSpec> device_by_name(
       const std::string &name) const;
@@ -88,6 +89,7 @@ private:
       std::vector<StageTiming> timings);
 
   ir::Context ctx_;
+  obs::TraceRecorder recorder_;
 };
 
 }  // namespace everest::sdk

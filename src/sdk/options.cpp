@@ -1,0 +1,43 @@
+#include "sdk/options.hpp"
+
+#include "transforms/base2_legalize.hpp"
+
+namespace everest::sdk {
+
+using support::Error;
+using support::Expected;
+using support::Status;
+
+CompileOptionsBuilder CompileOptions::make() { return CompileOptionsBuilder(); }
+
+Expected<platform::DeviceSpec> resolve_target(const std::string &name) {
+  if (name == "alveo-u55c") return platform::alveo_u55c();
+  if (name == "alveo-u280") return platform::alveo_u280();
+  if (name == "cloudfpga") return platform::cloudfpga();
+  return Error::not_found("unknown target '" + name +
+                          "' (alveo-u55c, alveo-u280, cloudfpga)");
+}
+
+Status validate_compile_options(const CompileOptions &options) {
+  if (auto device = resolve_target(options.target); !device)
+    return Status(device.error());
+  if (options.number_format != "f64") {
+    auto format = transforms::make_format(options.number_format);
+    if (!format)
+      return Status(Error::unsupported("bad number format '" +
+                                       options.number_format +
+                                       "': " + format.error().message));
+  }
+  if (options.olympus.replicas < 1)
+    return Status(
+        Error::invalid_argument("olympus replicas must be >= 1"));
+  return Status::ok();
+}
+
+Expected<CompileOptions> CompileOptionsBuilder::build() const {
+  if (auto s = validate_compile_options(options_); !s.is_ok())
+    return s.error().with_context("compile-options");
+  return options_;
+}
+
+}  // namespace everest::sdk

@@ -1,0 +1,84 @@
+// everest/sdk/options.hpp
+//
+// Compilation options for one kernel, plus the fluent builder that validates
+// target and number format eagerly (coded errors at the API boundary instead
+// of a failure deep inside the backend).
+#pragma once
+
+#include <string>
+
+#include "hls/scheduler.hpp"
+#include "olympus/olympus.hpp"
+#include "platform/device.hpp"
+#include "support/expected.hpp"
+
+namespace everest::sdk {
+
+class CompileOptionsBuilder;
+
+/// Compilation options for one kernel.
+struct CompileOptions {
+  std::string target = "alveo-u55c";   // alveo-u55c | alveo-u280 | cloudfpga
+  std::string number_format = "f64";   // base2 spec, e.g. "fixed<16,8>"
+  bool canonicalize = true;            // fold/CSE/DCE on the teil module
+  bool optimize_einsum_order = true;   // esn contraction reordering
+  hls::HlsOptions hls;
+  olympus::Options olympus;
+
+  /// Starts a fluent builder:
+  ///   CompileOptions::make().target("alveo-u280")
+  ///       .number_format("fixed<16,8>").replicas(4).build()
+  static CompileOptionsBuilder make();
+};
+
+/// Fluent builder over CompileOptions. build() validates the target name and
+/// number-format spec eagerly and returns coded errors (NotFound /
+/// Unsupported) on bad values.
+class CompileOptionsBuilder {
+public:
+  CompileOptionsBuilder &target(std::string name) {
+    options_.target = std::move(name);
+    return *this;
+  }
+  CompileOptionsBuilder &number_format(std::string spec) {
+    options_.number_format = std::move(spec);
+    return *this;
+  }
+  CompileOptionsBuilder &canonicalize(bool on) {
+    options_.canonicalize = on;
+    return *this;
+  }
+  CompileOptionsBuilder &optimize_einsum_order(bool on) {
+    options_.optimize_einsum_order = on;
+    return *this;
+  }
+  CompileOptionsBuilder &replicas(int count) {
+    options_.olympus.replicas = count;
+    return *this;
+  }
+  CompileOptionsBuilder &hls(hls::HlsOptions hls_options) {
+    options_.hls = std::move(hls_options);
+    return *this;
+  }
+  CompileOptionsBuilder &olympus(olympus::Options olympus_options) {
+    options_.olympus = std::move(olympus_options);
+    return *this;
+  }
+
+  /// Validates and returns the options, or the first coded error.
+  [[nodiscard]] support::Expected<CompileOptions> build() const;
+
+private:
+  CompileOptions options_;
+};
+
+/// Resolves a target name to its device model (NotFound on unknown names).
+/// The single source of truth behind Basecamp::device_by_name and the
+/// builder's eager validation.
+support::Expected<platform::DeviceSpec> resolve_target(const std::string &name);
+
+/// Validates target and number format; used by the builder and at the
+/// compile_* entry points so bad options fail before any pipeline work.
+support::Status validate_compile_options(const CompileOptions &options);
+
+}  // namespace everest::sdk

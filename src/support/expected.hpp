@@ -12,14 +12,87 @@
 
 namespace everest::support {
 
+/// Machine-readable error taxonomy shared across the SDK. Values are stable
+/// and serialize through Error::code (an int, for compatibility with callers
+/// that predate the enum).
+enum class ErrorCode : int {
+  Internal = 1,          // invariant violation, bug, unexpected state
+  InvalidArgument = 2,   // malformed input: source text, bad task spec
+  NotFound = 3,          // unknown target, kernel, or resource name
+  Unsupported = 4,       // recognized but not implemented / not allowed
+  ResourceExhausted = 5, // out of device memory, fabric area, cores
+};
+
+[[nodiscard]] constexpr const char *error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Internal: return "internal";
+    case ErrorCode::InvalidArgument: return "invalid-argument";
+    case ErrorCode::NotFound: return "not-found";
+    case ErrorCode::Unsupported: return "unsupported";
+    case ErrorCode::ResourceExhausted: return "resource-exhausted";
+  }
+  return "internal";
+}
+
 /// Error payload carried by Expected on failure. Holds a human-readable
-/// message plus an optional machine-readable code.
+/// message plus a machine-readable code from the ErrorCode taxonomy.
 struct Error {
   std::string message;
-  int code = 1;
+  int code = static_cast<int>(ErrorCode::Internal);
 
+  /// Deprecated: message-only (or raw-int-coded) construction. Kept so
+  /// existing callers compile unchanged; new code should use the coded
+  /// factories below.
   static Error make(std::string msg, int code = 1) {
     return Error{std::move(msg), code};
+  }
+
+  static Error make(std::string msg, ErrorCode code) {
+    return Error{std::move(msg), static_cast<int>(code)};
+  }
+  static Error invalid_argument(std::string msg) {
+    return make(std::move(msg), ErrorCode::InvalidArgument);
+  }
+  static Error not_found(std::string msg) {
+    return make(std::move(msg), ErrorCode::NotFound);
+  }
+  static Error unsupported(std::string msg) {
+    return make(std::move(msg), ErrorCode::Unsupported);
+  }
+  static Error resource_exhausted(std::string msg) {
+    return make(std::move(msg), ErrorCode::ResourceExhausted);
+  }
+  static Error internal(std::string msg) {
+    return make(std::move(msg), ErrorCode::Internal);
+  }
+
+  /// The taxonomy view of `code`; raw ints outside the enum map to Internal.
+  [[nodiscard]] ErrorCode code_enum() const {
+    switch (code) {
+      case static_cast<int>(ErrorCode::InvalidArgument):
+        return ErrorCode::InvalidArgument;
+      case static_cast<int>(ErrorCode::NotFound): return ErrorCode::NotFound;
+      case static_cast<int>(ErrorCode::Unsupported):
+        return ErrorCode::Unsupported;
+      case static_cast<int>(ErrorCode::ResourceExhausted):
+        return ErrorCode::ResourceExhausted;
+      default: return ErrorCode::Internal;
+    }
+  }
+  [[nodiscard]] const char *code_name() const {
+    return error_code_name(code_enum());
+  }
+
+  /// Chains a caller-side context prefix onto the message, preserving the
+  /// code: Error::not_found("x").with_context("basecamp") reads
+  /// "basecamp: x".
+  [[nodiscard]] Error with_context(std::string context) const & {
+    return Error{std::move(context) + ": " + message, code};
+  }
+  [[nodiscard]] Error with_context(std::string context) && {
+    message.insert(0, ": ");
+    message.insert(0, context);
+    return std::move(*this);
   }
 };
 
@@ -69,6 +142,9 @@ public:
 
   static Status ok() { return Status(); }
   static Status failure(std::string msg, int code = 1) {
+    return Status(Error::make(std::move(msg), code));
+  }
+  static Status failure(std::string msg, ErrorCode code) {
     return Status(Error::make(std::move(msg), code));
   }
 

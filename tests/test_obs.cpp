@@ -1,0 +1,319 @@
+// Tests of the everest::obs observability layer: span recording and nesting,
+// thread-safe metric aggregation, deterministic Chrome-trace export, and the
+// pipeline instrumentation contract (one span per Fig. 2 basecamp stage whose
+// duration backs CompileResult::timings).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "platform/xrt.hpp"
+#include "sdk/basecamp.hpp"
+#include "support/json.hpp"
+#include "usecases/rrtmg.hpp"
+
+namespace eo = everest::obs;
+namespace es = everest::sdk;
+namespace rr = everest::usecases::rrtmg;
+
+namespace {
+
+/// A recorder pre-filled with a fixed simulated-clock schedule; used for the
+/// determinism tests (no wall-clock spans, so two fills are bit-identical).
+void fill_simulated(eo::TraceRecorder &recorder) {
+  recorder.record({"ingest", "resman.task", "node0", 0.0, 30'000.0,
+                   {{"attempts", "1"}}});
+  recorder.record({"match0", "resman.task", "node1", 31'000.0, 55'000.0, {}});
+  recorder.record({"transfer", "resman.transfer", "network", 30'000.0,
+                   1'000.0, {{"bytes", "200000000"}}});
+  recorder.counter("resman.tasks").add(3);
+  recorder.gauge("resman.makespan_ms").set(86.0);
+  recorder.histogram("resman.task_ms").record(30.0);
+  recorder.histogram("resman.task_ms").record(55.0);
+}
+
+}  // namespace
+
+TEST(TraceRecorderTest, SpanRecordsOnEnd) {
+  eo::TraceRecorder recorder;
+  {
+    auto span = recorder.span("outer", "test", "track-a");
+    span.arg("k", "v");
+    double us = span.end();
+    EXPECT_GE(us, 0.0);
+    EXPECT_EQ(span.end(), 0.0);  // idempotent: second end is a no-op
+  }
+  ASSERT_EQ(recorder.event_count(), 1u);
+  const auto events = recorder.events();
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].category, "test");
+  EXPECT_EQ(events[0].track, "track-a");
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "k");
+  EXPECT_EQ(events[0].args[0].second, "v");
+}
+
+TEST(TraceRecorderTest, NestedSpansAreContained) {
+  eo::TraceRecorder recorder;
+  {
+    auto outer = recorder.span("outer", "test");
+    {
+      auto inner = recorder.span("inner", "test");
+    }
+    // inner recorded first (closed first), outer still open.
+    EXPECT_EQ(recorder.event_count(), 1u);
+  }
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 2u);
+  const auto &inner = events[0];
+  const auto &outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  // The inner span's interval lies within the outer span's interval.
+  EXPECT_GE(inner.start_us, outer.start_us);
+  EXPECT_LE(inner.start_us + inner.duration_us,
+            outer.start_us + outer.duration_us);
+}
+
+TEST(TraceRecorderTest, SpanMoveTransfersOwnership) {
+  eo::TraceRecorder recorder;
+  {
+    auto a = recorder.span("moved", "test");
+    auto b = std::move(a);
+    // Only the move target records; the moved-from span must not.
+  }
+  EXPECT_EQ(recorder.event_count(), 1u);
+}
+
+TEST(TraceRecorderTest, CountersAggregateAcrossThreads) {
+  eo::TraceRecorder recorder;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 1000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&recorder] {
+      for (int i = 0; i < kAdds; ++i) recorder.counter("shared").add(1);
+    });
+  }
+  for (auto &t : pool) t.join();
+  EXPECT_EQ(recorder.counter("shared").value(), kThreads * kAdds);
+  const auto counters = recorder.counters();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].first, "shared");
+  EXPECT_EQ(counters[0].second, kThreads * kAdds);
+}
+
+TEST(TraceRecorderTest, ConcurrentSpansAllRecorded) {
+  eo::TraceRecorder recorder;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&recorder, t] {
+      for (int i = 0; i < 50; ++i) {
+        auto span = recorder.span("work", "test",
+                                  "thread-" + std::to_string(t));
+        span.end();
+      }
+    });
+  }
+  for (auto &t : pool) t.join();
+  EXPECT_EQ(recorder.event_count(), kThreads * 50u);
+}
+
+TEST(TraceRecorderTest, HistogramSummaryIsExact) {
+  eo::TraceRecorder recorder;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) recorder.histogram("h").record(v);
+  auto s = recorder.histogram("h").summarize();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 10.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+}
+
+TEST(TraceRecorderTest, GlobalRecorderScopedInstall) {
+  EXPECT_EQ(eo::global_recorder(), nullptr);
+  eo::TraceRecorder recorder;
+  {
+    eo::ScopedGlobalRecorder scope(&recorder);
+    EXPECT_EQ(eo::global_recorder(), &recorder);
+  }
+  EXPECT_EQ(eo::global_recorder(), nullptr);
+}
+
+TEST(TraceRecorderTest, ClearDropsEventsAndMetrics) {
+  eo::TraceRecorder recorder;
+  fill_simulated(recorder);
+  EXPECT_GT(recorder.event_count(), 0u);
+  recorder.clear();
+  EXPECT_EQ(recorder.event_count(), 0u);
+  EXPECT_TRUE(recorder.counters().empty());
+  EXPECT_TRUE(recorder.gauges().empty());
+  EXPECT_TRUE(recorder.histograms().empty());
+}
+
+TEST(ChromeTraceTest, DeterministicForSimulatedClock) {
+  eo::TraceRecorder a;
+  eo::TraceRecorder b;
+  fill_simulated(a);
+  fill_simulated(b);
+  EXPECT_EQ(eo::chrome_trace_json(a).dump(2), eo::chrome_trace_json(b).dump(2));
+  EXPECT_EQ(eo::summary_table(a), eo::summary_table(b));
+}
+
+TEST(ChromeTraceTest, EmitsValidTraceEventStructure) {
+  eo::TraceRecorder recorder;
+  fill_simulated(recorder);
+  auto doc = eo::chrome_trace_json(recorder);
+
+  // The dump parses back as JSON (exporter and parser agree).
+  auto parsed = everest::support::Json::parse(doc.dump(2));
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+
+  EXPECT_EQ(doc["displayTimeUnit"].as_string(), "ms");
+  const auto &events = doc["traceEvents"];
+  ASSERT_TRUE(events.is_array());
+  // 3 tracks (network, node0, node1) -> 3 "M" rows + 3 "X" events.
+  ASSERT_EQ(events.size(), 6u);
+  std::vector<std::string> thread_names;
+  std::size_t complete_events = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto &e = events[i];
+    EXPECT_EQ(e["pid"].as_int(), 1);
+    if (e["ph"].as_string() == "M") {
+      EXPECT_EQ(e["name"].as_string(), "thread_name");
+      thread_names.push_back(e["args"]["name"].as_string());
+    } else {
+      ASSERT_EQ(e["ph"].as_string(), "X");
+      EXPECT_TRUE(e.contains("ts"));
+      EXPECT_TRUE(e.contains("dur"));
+      ++complete_events;
+    }
+  }
+  EXPECT_EQ(complete_events, 3u);
+  EXPECT_EQ(thread_names,
+            (std::vector<std::string>{"network", "node0", "node1"}));
+
+  // Simulated timestamps survive the export verbatim (microseconds).
+  bool found_ingest = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i]["name"].as_string() == "ingest") {
+      found_ingest = true;
+      EXPECT_DOUBLE_EQ(events[i]["ts"].as_number(), 0.0);
+      EXPECT_DOUBLE_EQ(events[i]["dur"].as_number(), 30'000.0);
+      EXPECT_EQ(events[i]["args"]["attempts"].as_string(), "1");
+    }
+  }
+  EXPECT_TRUE(found_ingest);
+
+  // Metrics ride along as trace metadata.
+  EXPECT_EQ(doc["otherData"]["resman.tasks"].as_int(), 3);
+  EXPECT_DOUBLE_EQ(doc["otherData"]["resman.makespan_ms"].as_number(), 86.0);
+  EXPECT_EQ(doc["otherData"]["resman.task_ms"]["count"].as_int(), 2);
+}
+
+TEST(ChromeTraceTest, WriteChromeTraceRoundTrips) {
+  eo::TraceRecorder recorder;
+  fill_simulated(recorder);
+  const std::string path = ::testing::TempDir() + "obs_trace_test.json";
+  auto s = eo::write_chrome_trace(recorder, path);
+  ASSERT_TRUE(s.is_ok()) << s.error().message;
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = everest::support::Json::parse(buf.str());
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  EXPECT_EQ((*parsed)["traceEvents"].size(), 6u);
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTraceTest, WriteFailsWithNotFoundForBadPath) {
+  eo::TraceRecorder recorder;
+  auto s = eo::write_chrome_trace(recorder, "/nonexistent-dir/trace.json");
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.error().code_enum(), everest::support::ErrorCode::NotFound);
+}
+
+TEST(ChromeTraceTest, SummaryTableAggregatesSpans) {
+  eo::TraceRecorder recorder;
+  fill_simulated(recorder);
+  std::string table = eo::summary_table(recorder);
+  EXPECT_NE(table.find("resman.task"), std::string::npos);
+  EXPECT_NE(table.find("resman.transfer"), std::string::npos);
+  EXPECT_NE(table.find("resman.tasks"), std::string::npos);
+  EXPECT_NE(table.find("counter"), std::string::npos);
+  EXPECT_NE(table.find("gauge"), std::string::npos);
+}
+
+TEST(PipelineInstrumentationTest, OneSpanPerFig2Stage) {
+  es::Basecamp basecamp;
+  rr::Config cfg;
+  cfg.ncells = 16;
+  rr::Data data = rr::make_data(cfg);
+  auto result = basecamp.compile_ekl(rr::ekl_source(), rr::bindings(data));
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+
+  std::vector<eo::TraceEvent> pipeline;
+  for (const auto &ev : basecamp.recorder().events())
+    if (ev.category == "sdk.pipeline") pipeline.push_back(ev);
+
+  // Exactly one span per Fig. 2 stage, all on the basecamp track.
+  const std::vector<std::string> stages = {
+      "parse-ekl",         "lower-ekl-to-teil", "esn-reorder",
+      "lower-teil-to-loops", "hls-schedule",    "olympus-estimate",
+      "olympus-generate"};
+  for (const auto &stage : stages) {
+    auto n = std::count_if(pipeline.begin(), pipeline.end(),
+                           [&](const eo::TraceEvent &e) {
+                             return e.name == stage;
+                           });
+    EXPECT_EQ(n, 1) << stage;
+  }
+  for (const auto &ev : pipeline) EXPECT_EQ(ev.track, "basecamp");
+
+  // CompileResult::timings is derived from the very same spans: the reported
+  // milliseconds equal the span duration exactly.
+  for (const auto &t : result->timings) {
+    auto it = std::find_if(pipeline.begin(), pipeline.end(),
+                           [&](const eo::TraceEvent &e) {
+                             return e.name == t.stage;
+                           });
+    ASSERT_NE(it, pipeline.end()) << t.stage;
+    EXPECT_DOUBLE_EQ(t.ms, it->duration_us / 1000.0) << t.stage;
+  }
+}
+
+TEST(PipelineInstrumentationTest, DeviceSpansLandOnDeviceTimeline) {
+  es::Basecamp basecamp;
+  rr::Config cfg;
+  cfg.ncells = 16;
+  rr::Data data = rr::make_data(cfg);
+  auto result = basecamp.compile_ekl(rr::ekl_source(), rr::bindings(data));
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+
+  everest::platform::Device device(result->device);
+  device.attach_recorder(&basecamp.recorder());
+  auto us = basecamp.deploy_and_run(device, *result);
+  ASSERT_TRUE(us.has_value()) << us.error().message;
+
+  std::size_t dma = 0, kernels = 0;
+  for (const auto &ev : basecamp.recorder().events()) {
+    if (ev.track != result->device.name) continue;
+    if (ev.category == "xrt.dma") ++dma;
+    if (ev.category == "xrt.kernel") ++kernels;
+    // Device events sit on the simulated clock, inside [0, now].
+    EXPECT_GE(ev.start_us, 0.0);
+    EXPECT_LE(ev.start_us + ev.duration_us, device.now_us() + 1e-9);
+  }
+  EXPECT_GT(dma, 0u);
+  EXPECT_EQ(kernels, 1u);
+  EXPECT_EQ(basecamp.recorder().counter("xrt.kernel_launches").value(), 1);
+}

@@ -87,6 +87,72 @@ TEST_F(BasecampTest, RejectsBadInputs) {
                    .has_value());
 }
 
+TEST_F(BasecampTest, OptionsBuilderValidatesEagerly) {
+  auto good = es::CompileOptions::make()
+                  .target("alveo-u280")
+                  .number_format("fixed<16,8>")
+                  .replicas(4)
+                  .canonicalize(false)
+                  .build();
+  ASSERT_TRUE(good.has_value()) << good.error().message;
+  EXPECT_EQ(good->target, "alveo-u280");
+  EXPECT_EQ(good->number_format, "fixed<16,8>");
+  EXPECT_EQ(good->olympus.replicas, 4);
+  EXPECT_FALSE(good->canonicalize);
+
+  // Defaults build cleanly.
+  EXPECT_TRUE(es::CompileOptions::make().build().has_value());
+
+  auto bad_target = es::CompileOptions::make().target("virtex2").build();
+  ASSERT_FALSE(bad_target.has_value());
+  EXPECT_EQ(bad_target.error().code_enum(),
+            everest::support::ErrorCode::NotFound);
+
+  auto bad_format =
+      es::CompileOptions::make().number_format("decimal<10>").build();
+  ASSERT_FALSE(bad_format.has_value());
+  EXPECT_EQ(bad_format.error().code_enum(),
+            everest::support::ErrorCode::Unsupported);
+
+  auto bad_replicas = es::CompileOptions::make().replicas(0).build();
+  ASSERT_FALSE(bad_replicas.has_value());
+  EXPECT_EQ(bad_replicas.error().code_enum(),
+            everest::support::ErrorCode::InvalidArgument);
+}
+
+TEST_F(BasecampTest, BuilderOptionsCompileLikeHandWrittenOnes) {
+  rr::Config cfg;
+  cfg.ncells = 16;
+  rr::Data data = rr::make_data(cfg);
+  auto options = es::CompileOptions::make()
+                     .target("alveo-u280")
+                     .number_format("fixed<16,12>")
+                     .build();
+  ASSERT_TRUE(options.has_value()) << options.error().message;
+  auto result =
+      basecamp_.compile_ekl(rr::ekl_source(), rr::bindings(data), *options);
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_EQ(result->device.name, "alveo-u280");
+  EXPECT_EQ(result->datapath_bits, 16);
+}
+
+TEST_F(BasecampTest, BadOptionsFailWithCodedErrors) {
+  rr::Config cfg;
+  rr::Data data = rr::make_data(cfg);
+  es::CompileOptions bad_target;
+  bad_target.target = "virtex2";
+  auto r = basecamp_.compile_ekl(rr::ekl_source(), rr::bindings(data),
+                                 bad_target);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code_enum(), everest::support::ErrorCode::NotFound);
+
+  es::CompileOptions bad_format;
+  bad_format.number_format = "decimal<10>";
+  r = basecamp_.compile_ekl(rr::ekl_source(), rr::bindings(data), bad_format);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code_enum(), everest::support::ErrorCode::Unsupported);
+}
+
 TEST_F(BasecampTest, CompilesCfdlang) {
   auto result = basecamp_.compile_cfdlang(R"(
 program mm

@@ -36,6 +36,44 @@ TEST(Status, OkAndFailure) {
   EXPECT_EQ(s.message(), "bad");
 }
 
+TEST(Error, CodedFactories) {
+  EXPECT_EQ(es::Error::invalid_argument("x").code_enum(),
+            es::ErrorCode::InvalidArgument);
+  EXPECT_EQ(es::Error::not_found("x").code_enum(), es::ErrorCode::NotFound);
+  EXPECT_EQ(es::Error::unsupported("x").code_enum(),
+            es::ErrorCode::Unsupported);
+  EXPECT_EQ(es::Error::resource_exhausted("x").code_enum(),
+            es::ErrorCode::ResourceExhausted);
+  EXPECT_EQ(es::Error::internal("x").code_enum(), es::ErrorCode::Internal);
+  EXPECT_STREQ(es::Error::not_found("x").code_name(), "not-found");
+  // Legacy message-only construction keeps working and maps to Internal.
+  EXPECT_EQ(es::Error::make("legacy").code_enum(), es::ErrorCode::Internal);
+  // Unknown numeric codes fold to Internal without losing the raw value.
+  es::Error raw = es::Error::make("raw", 42);
+  EXPECT_EQ(raw.code, 42);
+  EXPECT_EQ(raw.code_enum(), es::ErrorCode::Internal);
+}
+
+TEST(Error, WithContextChainsMessagesAndKeepsCode) {
+  auto e = es::Error::not_found("no such kernel")
+               .with_context("load_kernel")
+               .with_context("basecamp");
+  EXPECT_EQ(e.message, "basecamp: load_kernel: no such kernel");
+  EXPECT_EQ(e.code_enum(), es::ErrorCode::NotFound);
+
+  const es::Error base = es::Error::unsupported("posit<64,8>");
+  es::Error wrapped = base.with_context("format");
+  EXPECT_EQ(base.message, "posit<64,8>");  // lvalue overload copies
+  EXPECT_EQ(wrapped.message, "format: posit<64,8>");
+  EXPECT_EQ(wrapped.code_enum(), es::ErrorCode::Unsupported);
+}
+
+TEST(Status, FailureWithErrorCode) {
+  auto s = es::Status::failure("nope", es::ErrorCode::Unsupported);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.error().code_enum(), es::ErrorCode::Unsupported);
+}
+
 TEST(Rng, Deterministic) {
   es::Pcg32 a(123), b(123);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());

@@ -11,6 +11,10 @@
 //     --extent NAME=N        bind an iteration-index extent (repeatable)
 //     --emit=<stage>         frontend | teil | loops | system (print IR)
 //     --run                  deploy on the target device model
+//     --trace-out <file>     write a Chrome trace_event JSON of the compile
+//                            (and device run) — open in chrome://tracing or
+//                            https://ui.perfetto.dev; also prints the span
+//                            summary table
 //
 // EKL inputs are bound to deterministic synthetic tensors sized from the
 // declared extents, so any kernel compiles without external data.
@@ -25,6 +29,7 @@
 #include "dialects/ekl.hpp"
 #include "frontend/ekl_parser.hpp"
 #include "hls/scheduler.hpp"
+#include "obs/export.hpp"
 #include "platform/xrt.hpp"
 #include "sdk/basecamp.hpp"
 #include "support/rng.hpp"
@@ -113,6 +118,7 @@ int cmd_compile(Basecamp &basecamp, int argc, char **argv) {
   CompileOptions options;
   std::map<std::string, std::int64_t> extents;
   std::string emit;
+  std::string trace_out;
   bool run = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -126,6 +132,10 @@ int cmd_compile(Basecamp &basecamp, int argc, char **argv) {
       emit = arg.substr(7);
     else if (arg == "--run")
       run = true;
+    else if (everest::support::starts_with(arg, "--trace-out="))
+      trace_out = arg.substr(12);
+    else if (arg == "--trace-out" && i + 1 < argc)
+      trace_out = argv[++i];
     else if (arg == "--extent" && i + 1 < argc) {
       auto kv = everest::support::split(argv[++i], '=');
       if (kv.size() == 2)
@@ -139,14 +149,16 @@ int cmd_compile(Basecamp &basecamp, int argc, char **argv) {
   // Parse once to learn the inputs, then compile with synthetic bindings.
   auto probe = everest::frontend::parse_ekl(source.str());
   if (!probe) {
-    std::fprintf(stderr, "basecamp: %s\n", probe.error().message.c_str());
+    std::fprintf(stderr, "basecamp: [%s] %s\n", probe.error().code_name(),
+                 probe.error().message.c_str());
     return 1;
   }
   auto bindings = synthesize_bindings(**probe, extents);
 
   auto result = basecamp.compile_ekl(source.str(), bindings, options);
   if (!result) {
-    std::fprintf(stderr, "basecamp: %s\n", result.error().message.c_str());
+    std::fprintf(stderr, "basecamp: [%s] %s\n", result.error().code_name(),
+                 result.error().message.c_str());
     return 1;
   }
 
@@ -164,13 +176,30 @@ int cmd_compile(Basecamp &basecamp, int argc, char **argv) {
 
   if (run) {
     everest::platform::Device device(result->device);
+    // Device DMA/kernel spans land in the same trace as the compile stages.
+    device.attach_recorder(&basecamp.recorder());
     auto us = basecamp.deploy_and_run(device, *result);
     if (!us) {
-      std::fprintf(stderr, "basecamp: %s\n", us.error().message.c_str());
+      std::fprintf(stderr, "basecamp: [%s] %s\n", us.error().code_name(),
+                   us.error().message.c_str());
       return 1;
     }
     std::printf("device run on %s: %.1f us end-to-end\n",
                 result->device.name.c_str(), *us);
+  }
+
+  if (!trace_out.empty()) {
+    if (auto s = everest::obs::write_chrome_trace(basecamp.recorder(),
+                                                  trace_out);
+        !s.is_ok()) {
+      std::fprintf(stderr, "basecamp: [%s] %s\n", s.error().code_name(),
+                   s.error().message.c_str());
+      return 1;
+    }
+    std::printf("\n%s\n", everest::obs::summary_table(basecamp.recorder())
+                              .c_str());
+    std::printf("trace: wrote %zu events to %s (open in chrome://tracing)\n",
+                basecamp.recorder().event_count(), trace_out.c_str());
   }
   return 0;
 }
