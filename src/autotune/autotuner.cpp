@@ -25,6 +25,21 @@ void Autotuner::add_knowledge(OperatingPoint point) {
   current_ = nullptr;  // pointers into knowledge_ may be invalidated
 }
 
+Expected<std::size_t> Autotuner::evaluate_candidates(
+    const std::vector<std::map<std::string, double>> &candidates,
+    const VariantEval &eval, support::ThreadPool *pool) {
+  auto results = support::parallel_indexed(
+      pool, candidates.size(),
+      [&](std::size_t i) { return eval(candidates[i]); });
+  // Deterministic merge: commit nothing until every evaluation is in, then
+  // append in candidate order — knowledge is independent of worker count.
+  for (const auto &result : results)
+    if (!result) return result.error().with_context("autotuner");
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    add_knowledge({candidates[i], *results[i]});
+  return candidates.size();
+}
+
 void Autotuner::add_constraint(Constraint constraint) {
   constraints_.push_back(std::move(constraint));
 }

@@ -12,11 +12,13 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "support/expected.hpp"
+#include "support/thread_pool.hpp"
 
 namespace everest::autotune {
 
@@ -55,12 +57,27 @@ private:
   std::deque<double> values_;
 };
 
+/// Evaluates one knob configuration at design time (typically a Basecamp
+/// compile of that variant) and returns its metrics.
+using VariantEval = std::function<support::Expected<std::map<std::string, double>>(
+    const std::map<std::string, double> &knobs)>;
+
 /// The autotuner.
 class Autotuner {
 public:
   /// Adds one operating point to the application knowledge.
   void add_knowledge(OperatingPoint point);
   [[nodiscard]] std::size_t knowledge_size() const { return knowledge_.size(); }
+
+  /// Design-space exploration: evaluates every candidate with `eval` —
+  /// across `pool` when one is given — and appends the resulting operating
+  /// points to the knowledge base *in candidate order*, so the knowledge
+  /// (and every subsequent select()) is identical for any worker count. On
+  /// failure nothing is added and the lowest-index error is returned;
+  /// otherwise returns the number of points added.
+  support::Expected<std::size_t> evaluate_candidates(
+      const std::vector<std::map<std::string, double>> &candidates,
+      const VariantEval &eval, support::ThreadPool *pool = nullptr);
 
   void add_constraint(Constraint constraint);
   void set_rank(Rank rank) { rank_ = std::move(rank); }

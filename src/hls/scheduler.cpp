@@ -237,4 +237,88 @@ std::string render_report(const KernelReport &r) {
   return out;
 }
 
+// --------------------------------------------------------- JSON round trip
+
+namespace {
+
+support::Json resources_to_json(const Resources &a) {
+  auto j = support::Json::object();
+  j.set("luts", a.luts);
+  j.set("ffs", a.ffs);
+  j.set("dsps", a.dsps);
+  j.set("brams", a.brams);
+  return j;
+}
+
+Resources resources_from_json(const support::Json &j) {
+  return Resources{j["luts"].as_int(), j["ffs"].as_int(), j["dsps"].as_int(),
+                   j["brams"].as_int()};
+}
+
+}  // namespace
+
+support::Json report_to_json(const KernelReport &report) {
+  auto j = support::Json::object();
+  j.set("name", report.name);
+  j.set("total_cycles", report.total_cycles);
+  j.set("dataflow_cycles", report.dataflow_cycles);
+  j.set("clock_mhz", report.clock_mhz);
+  j.set("area", resources_to_json(report.area));
+  j.set("input_bytes", report.input_bytes);
+  j.set("output_bytes", report.output_bytes);
+  j.set("buffer_bytes", report.buffer_bytes);
+  auto stages = support::Json::array();
+  for (const auto &s : report.stages) {
+    auto stage = support::Json::object();
+    stage.set("label", s.label);
+    stage.set("trip_count", s.trip_count);
+    stage.set("depth", s.depth);
+    stage.set("ii", s.ii);
+    stage.set("latency_cycles", s.latency_cycles);
+    stage.set("loads", s.loads);
+    stage.set("stores", s.stores);
+    stage.set("flops", s.flops);
+    stage.set("has_recurrence", s.has_recurrence);
+    stage.set("area", resources_to_json(s.area));
+    stages.push_back(std::move(stage));
+  }
+  j.set("stages", std::move(stages));
+  return j;
+}
+
+support::Expected<KernelReport> report_from_json(const support::Json &json) {
+  if (!json.is_object() || !json["name"].is_string() ||
+      !json["stages"].is_array() || !json["area"].is_object())
+    return support::Error::invalid_argument(
+        "hls report: malformed JSON kernel report");
+  KernelReport r;
+  r.name = json["name"].as_string();
+  r.total_cycles = json["total_cycles"].as_int();
+  r.dataflow_cycles = json["dataflow_cycles"].as_int();
+  r.clock_mhz = json["clock_mhz"].as_number();
+  r.area = resources_from_json(json["area"]);
+  r.input_bytes = json["input_bytes"].as_int();
+  r.output_bytes = json["output_bytes"].as_int();
+  r.buffer_bytes = json["buffer_bytes"].as_int();
+  for (std::size_t i = 0; i < json["stages"].size(); ++i) {
+    const auto &stage = json["stages"][i];
+    if (!stage.is_object() || !stage["label"].is_string())
+      return support::Error::invalid_argument(
+          "hls report: malformed JSON stage entry");
+    StageReport s;
+    s.label = stage["label"].as_string();
+    s.trip_count = stage["trip_count"].as_int();
+    s.depth = static_cast<int>(stage["depth"].as_int());
+    s.ii = static_cast<int>(stage["ii"].as_int());
+    s.latency_cycles = stage["latency_cycles"].as_int();
+    s.loads = static_cast<int>(stage["loads"].as_int());
+    s.stores = static_cast<int>(stage["stores"].as_int());
+    s.flops = static_cast<int>(stage["flops"].as_int());
+    s.has_recurrence = stage["has_recurrence"].as_bool();
+    s.area = resources_from_json(stage["area"]);
+    r.stages.push_back(std::move(s));
+  }
+  return r;
+}
+
 }  // namespace everest::hls

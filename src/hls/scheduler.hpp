@@ -22,6 +22,7 @@
 #include "hls/resources.hpp"
 #include "ir/ir.hpp"
 #include "support/expected.hpp"
+#include "support/json.hpp"
 
 namespace everest::hls {
 
@@ -73,5 +74,11 @@ support::Expected<KernelReport> schedule_kernel(const ir::Module &loops,
 
 /// Renders a Vitis-style text report (used by examples and EXPERIMENTS.md).
 std::string render_report(const KernelReport &report);
+
+/// Lossless JSON (de)serialization of kernel reports, used by the
+/// content-addressed compile cache to persist HLS schedules on disk.
+/// report_from_json returns InvalidArgument on structurally bad input.
+support::Json report_to_json(const KernelReport &report);
+support::Expected<KernelReport> report_from_json(const support::Json &json);
 
 }  // namespace everest::hls

@@ -237,4 +237,52 @@ std::size_t Module::op_count() const {
   return n;
 }
 
+// --------------------------------------------------------------------- Clone
+
+namespace {
+
+/// Clones every op of `src` into `dst`, extending the value map as results
+/// and block arguments are created. Operands must already be mapped — SSA
+/// order guarantees this for in-block defs, and enclosing blocks are cloned
+/// before their nested regions for cross-region uses.
+void clone_block_into(const Block &src, Block &dst,
+                      std::map<const Value *, Value *> &map) {
+  for (std::size_t i = 0; i < src.num_arguments(); ++i)
+    map[&src.argument(i)] = &dst.add_argument(src.argument(i).type());
+
+  for (const auto &op : src.operations()) {
+    std::vector<Value *> operands;
+    operands.reserve(op->num_operands());
+    for (std::size_t i = 0; i < op->num_operands(); ++i)
+      operands.push_back(map.at(op->operand(i)));
+    std::vector<Type> result_types;
+    result_types.reserve(op->num_results());
+    for (std::size_t i = 0; i < op->num_results(); ++i)
+      result_types.push_back(op->result(i)->type());
+
+    auto cloned = Operation::create(op->name(), std::move(operands),
+                                    std::move(result_types), op->attributes(),
+                                    op->num_regions());
+    for (std::size_t i = 0; i < op->num_results(); ++i)
+      map[op->result(i)] = cloned->result(i);
+
+    Operation &placed = dst.push_back(std::move(cloned));
+    for (std::size_t r = 0; r < op->num_regions(); ++r) {
+      for (const auto &block : op->region(r).blocks())
+        clone_block_into(*block, placed.region(r).add_block(), map);
+    }
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<Module> clone_module(const Module &module) {
+  auto copy = std::make_shared<Module>();
+  for (const auto &[key, value] : module.op().attributes())
+    copy->op().set_attr(key, value);
+  std::map<const Value *, Value *> map;
+  clone_block_into(module.body(), copy->body(), map);
+  return copy;
+}
+
 }  // namespace everest::ir

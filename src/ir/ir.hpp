@@ -256,4 +256,10 @@ private:
   std::unique_ptr<Operation> op_;
 };
 
+/// Deep-copies a module: fresh operations, values, blocks, and regions with
+/// identical structure, names, types, and attributes. The clone prints
+/// byte-identically to the original (the compile cache relies on this to
+/// hand out private copies of cached IR without a print/parse round trip).
+[[nodiscard]] std::shared_ptr<Module> clone_module(const Module &module);
+
 }  // namespace everest::ir

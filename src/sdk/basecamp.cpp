@@ -1,5 +1,8 @@
 #include "sdk/basecamp.hpp"
 
+#include <algorithm>
+#include <sstream>
+
 #include "dialects/registry.hpp"
 #include "frontend/cfdlang_parser.hpp"
 #include "frontend/ekl_parser.hpp"
@@ -30,6 +33,35 @@ auto timed(obs::TraceRecorder &recorder, std::vector<StageTiming> &timings,
   return result;
 }
 
+/// Direct-tier fingerprint of an EKL compile: everything that determines the
+/// backend output. lower_ekl_to_teil consumes bindings only through
+/// resolve_ekl_extents, so shapes and extents (not tensor values) suffice.
+std::string ekl_fingerprint(const std::string &source,
+                            const transforms::EklBindings &bindings,
+                            const CompileOptions &options) {
+  std::ostringstream fp;
+  fp << "ekl\n"
+     << CompileCache::options_fingerprint(options) << '\n'
+     << source << '\n';
+  for (const auto &[name, tensor] : bindings.inputs) {
+    fp << name << '=';
+    for (auto dim : tensor.shape()) fp << dim << 'x';
+    fp << ';';
+  }
+  for (const auto &[name, extent] : bindings.extents)
+    fp << name << ':' << extent << ';';
+  return fp.str();
+}
+
+std::string cfdlang_fingerprint(const std::string &source,
+                                const CompileOptions &options) {
+  std::ostringstream fp;
+  fp << "cfdlang\n"
+     << CompileCache::options_fingerprint(options) << '\n'
+     << source;
+  return fp.str();
+}
+
 }  // namespace
 
 Basecamp::Basecamp() { dialects::register_everest_dialects(ctx_); }
@@ -54,12 +86,30 @@ Expected<CompileResult> Basecamp::compile_ekl(
   if (auto s = ctx_.verify(**parsed); !s.is_ok())
     return Error::internal("basecamp: frontend IR invalid: " + s.message());
 
+  std::string fingerprint;
+  if (cache_) {
+    fingerprint = ekl_fingerprint(source, bindings, options);
+    if (auto key = cache_->direct_lookup(fingerprint)) {
+      auto hit = timed(recorder_, timings, "cache-lookup",
+                       [&] { return cache_->lookup(*key); });
+      if (hit) {
+        auto result = result_from_cache(*parsed, std::move(*hit), options,
+                                        std::move(timings));
+        if (result)
+          result->ekl_source_lines = frontend::count_ekl_lines(source);
+        return result;
+      }
+      // Evicted or corrupt entry behind a stale mapping: compile fresh.
+    }
+  }
+
   auto teil = timed(recorder_, timings, "lower-ekl-to-teil", [&] {
     return transforms::lower_ekl_to_teil(**parsed, bindings);
   });
   if (!teil) return teil.error();
 
-  auto result = backend(*parsed, *teil, options, std::move(timings));
+  auto result = backend(*parsed, *teil, options, std::move(timings),
+                        fingerprint);
   if (result) result->ekl_source_lines = frontend::count_ekl_lines(source);
   return result;
 }
@@ -74,16 +124,92 @@ Expected<CompileResult> Basecamp::compile_cfdlang(const std::string &source,
   if (!parsed) return parsed.error().with_context("basecamp");
   if (auto s = ctx_.verify(**parsed); !s.is_ok())
     return Error::internal("basecamp: frontend IR invalid: " + s.message());
+
+  std::string fingerprint;
+  if (cache_) {
+    fingerprint = cfdlang_fingerprint(source, options);
+    if (auto key = cache_->direct_lookup(fingerprint)) {
+      auto hit = timed(recorder_, timings, "cache-lookup",
+                       [&] { return cache_->lookup(*key); });
+      if (hit)
+        return result_from_cache(*parsed, std::move(*hit), options,
+                                 std::move(timings));
+    }
+  }
+
   auto teil = timed(recorder_, timings, "lower-cfdlang-to-teil",
                     [&] { return transforms::lower_cfdlang_to_teil(**parsed); });
   if (!teil) return teil.error();
-  return backend(*parsed, *teil, options, std::move(timings));
+  return backend(*parsed, *teil, options, std::move(timings), fingerprint);
+}
+
+std::vector<Expected<CompileResult>> Basecamp::compile_many(
+    const std::vector<CompileJob> &jobs, int parallel_jobs) {
+  auto one = [&](std::size_t i) -> Expected<CompileResult> {
+    const CompileJob &job = jobs[i];
+    auto result = job.kind == CompileJob::Kind::Ekl
+                      ? compile_ekl(job.source, job.bindings, job.options)
+                      : compile_cfdlang(job.source, job.options);
+    if (!result && !job.name.empty())
+      return result.error().with_context(job.name);
+    return result;
+  };
+  std::size_t workers =
+      parallel_jobs > 1
+          ? std::min(jobs.size(), static_cast<std::size_t>(parallel_jobs))
+          : 1;
+  if (workers <= 1 || jobs.size() < 2) {
+    std::vector<Expected<CompileResult>> results;
+    results.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) results.push_back(one(i));
+    return results;
+  }
+  std::shared_ptr<support::ThreadPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_ || pool_->size() < workers) {
+      pool_ = std::make_shared<support::ThreadPool>(workers);
+      pool_->set_observer([this](std::size_t queued, std::size_t active) {
+        recorder_.gauge("sdk.pool.queued").set(static_cast<double>(queued));
+        recorder_.gauge("sdk.pool.active").set(static_cast<double>(active));
+      });
+    }
+    pool = pool_;
+  }
+  return support::parallel_indexed(pool.get(), jobs.size(), one);
+}
+
+void Basecamp::attach_cache(CompileCache *cache) {
+  cache_ = cache;
+  if (cache_) cache_->attach_recorder(&recorder_);
+}
+
+Expected<CompileResult> Basecamp::result_from_cache(
+    std::shared_ptr<ir::Module> frontend_ir, CompileCacheEntry entry,
+    const CompileOptions &options, std::vector<StageTiming> timings) const {
+  CompileResult result;
+  result.frontend_ir = std::move(frontend_ir);
+  result.teil_ir = std::move(entry.teil_ir);
+  result.loop_ir = std::move(entry.loop_ir);
+  result.system_ir = std::move(entry.system_ir);
+  result.kernel = std::move(entry.kernel);
+  result.estimate = entry.estimate;
+  result.datapath_bits = entry.datapath_bits;
+  result.olympus_options = options.olympus;
+  if (options.number_format != "f64")
+    result.olympus_options.element_bits = entry.datapath_bits;
+  auto device = device_by_name(options.target);
+  if (!device) return device.error();
+  result.device = *device;
+  result.timings = std::move(timings);
+  return result;
 }
 
 Expected<CompileResult> Basecamp::backend(std::shared_ptr<ir::Module> frontend_ir,
                                           std::shared_ptr<ir::Module> teil_ir,
                                           const CompileOptions &options,
-                                          std::vector<StageTiming> timings) {
+                                          std::vector<StageTiming> timings,
+                                          const std::string &direct_fingerprint) {
   CompileResult result;
   result.frontend_ir = std::move(frontend_ir);
 
@@ -115,6 +241,25 @@ Expected<CompileResult> Basecamp::backend(std::shared_ptr<ir::Module> frontend_i
                              s.message());
   }
   result.teil_ir = teil_ir;
+
+  // Content-addressed tier: keyed on the canonical (pre-base2-annotation)
+  // TeIL text, so EKL and CFDlang sources lowering to the same tensor
+  // program share one entry. A hit also refreshes the direct tier.
+  std::uint64_t content_key = 0;
+  if (cache_) {
+    auto hit = timed(recorder_, timings, "cache-lookup",
+                     [&]() -> Expected<CompileCacheEntry> {
+      content_key =
+          CompileCache::key(teil_ir->str(), options, options.target);
+      return cache_->lookup(content_key);
+    });
+    if (hit) {
+      if (!direct_fingerprint.empty())
+        cache_->direct_store(direct_fingerprint, content_key);
+      return result_from_cache(std::move(result.frontend_ir), std::move(*hit),
+                               options, std::move(timings));
+    }
+  }
 
   // base2 format choice adjusts the datapath width seen by HLS.
   CompileOptions effective = options;
@@ -177,6 +322,15 @@ Expected<CompileResult> Basecamp::backend(std::shared_ptr<ir::Module> frontend_i
   if (auto s = ctx_.verify(**system_ir); !s.is_ok())
     return Error::internal("basecamp: system IR invalid: " + s.message());
   result.system_ir = *system_ir;
+
+  if (cache_) {
+    cache_->store(content_key,
+                  CompileCacheEntry{result.teil_ir, result.loop_ir,
+                                    result.system_ir, result.kernel,
+                                    result.estimate, result.datapath_bits});
+    if (!direct_fingerprint.empty())
+      cache_->direct_store(direct_fingerprint, content_key);
+  }
 
   result.timings = std::move(timings);
   return result;

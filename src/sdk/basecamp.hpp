@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,8 +20,10 @@
 #include "obs/trace.hpp"
 #include "olympus/olympus.hpp"
 #include "platform/xrt.hpp"
+#include "sdk/compile_cache.hpp"
 #include "sdk/options.hpp"
 #include "support/expected.hpp"
+#include "support/thread_pool.hpp"
 #include "transforms/ekl_eval.hpp"
 
 namespace everest::sdk {
@@ -46,6 +49,18 @@ struct CompileResult {
   std::vector<StageTiming> timings;
   std::size_t ekl_source_lines = 0;
   int datapath_bits = 64;
+};
+
+/// One kernel of a multi-kernel compile (the Fig. 2 flow is run per kernel;
+/// real deployments compile many variants, which is embarrassingly
+/// parallel — see Basecamp::compile_many).
+struct CompileJob {
+  enum class Kind { Ekl, Cfdlang };
+  Kind kind = Kind::Ekl;
+  std::string name;                  // label for reports (e.g. source file)
+  std::string source;
+  transforms::EklBindings bindings;  // EKL only; ignored for CFDlang
+  CompileOptions options;
 };
 
 /// The single point of access.
@@ -77,6 +92,22 @@ public:
   support::Expected<CompileResult> compile_cfdlang(
       const std::string &source, const CompileOptions &options = {});
 
+  /// Compiles every job, fanning the per-kernel pipelines across a thread
+  /// pool of `parallel_jobs` workers (<= 1 compiles serially, in-line). The
+  /// returned vector is index-aligned with `jobs` regardless of completion
+  /// order, and each element is byte-identical to what a serial
+  /// compile_ekl/compile_cfdlang call would have produced: the merge is
+  /// deterministic, only wall-clock changes. Pool pressure is mirrored to
+  /// the recorder as sdk.pool.queued / sdk.pool.active gauges.
+  [[nodiscard]] std::vector<support::Expected<CompileResult>> compile_many(
+      const std::vector<CompileJob> &jobs, int parallel_jobs = 1);
+
+  /// Attaches a compile cache (not owned; may be shared across Basecamp
+  /// instances and threads). Pass nullptr to detach. The cache's counters
+  /// are mirrored onto this instance's recorder.
+  void attach_cache(CompileCache *cache);
+  [[nodiscard]] CompileCache *cache() const { return cache_; }
+
   /// Deploys the compiled system onto a device and runs one invocation;
   /// returns end-to-end microseconds on the device timeline.
   support::Expected<double> deploy_and_run(platform::Device &device,
@@ -86,10 +117,25 @@ private:
   support::Expected<CompileResult> backend(
       std::shared_ptr<ir::Module> frontend_ir,
       std::shared_ptr<ir::Module> teil_ir, const CompileOptions &options,
-      std::vector<StageTiming> timings);
+      std::vector<StageTiming> timings,
+      const std::string &direct_fingerprint);
+
+  /// Builds a CompileResult from a cache entry (clones already made by the
+  /// cache); shared by the direct-tier and content-tier hit paths.
+  support::Expected<CompileResult> result_from_cache(
+      std::shared_ptr<ir::Module> frontend_ir, CompileCacheEntry entry,
+      const CompileOptions &options, std::vector<StageTiming> timings) const;
 
   ir::Context ctx_;
   obs::TraceRecorder recorder_;
+  CompileCache *cache_ = nullptr;
+
+  /// Worker pool reused across compile_many batches (thread creation costs
+  /// milliseconds — a per-batch pool would tax every warm-cache batch with
+  /// it). Lazily created, grown when a batch asks for more workers; held by
+  /// shared_ptr so a batch in flight keeps its pool alive across a grow.
+  std::shared_ptr<support::ThreadPool> pool_;
+  std::mutex pool_mutex_;
 };
 
 }  // namespace everest::sdk

@@ -1,0 +1,129 @@
+// everest/sdk/compile_cache.hpp
+//
+// Content-addressed cache of Basecamp backend artifacts. The authoritative
+// store is keyed by a stable FNV-1a hash of (canonicalized TeIL module text,
+// CompileOptions, target device) and holds everything the backend produces
+// past that point: the HLS schedule/resource report, the Olympus estimate
+// and generated system IR, and the lowered loop IR. A ccache-style "direct"
+// tier additionally memoizes a frontend fingerprint (source text + input
+// shapes/extents + options + target) to the content key, so a repeat compile
+// of identical source skips even the lowering needed to recompute the
+// canonical text.
+//
+// Cached IR is kept both as printed text (the on-disk form under
+// `--cache-dir`) and as parsed master modules; lookups hand out private
+// deep clones (ir::clone_module), which print byte-identically to the
+// originals — a fresh compile and a cache hit yield the same CompileResult.
+//
+// The cache is thread-safe; hit/miss/eviction/corruption counts are mirrored
+// onto an attached obs::TraceRecorder ("sdk.cache.*").
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "hls/scheduler.hpp"
+#include "ir/ir.hpp"
+#include "obs/trace.hpp"
+#include "olympus/olympus.hpp"
+#include "sdk/options.hpp"
+#include "support/expected.hpp"
+
+namespace everest::sdk {
+
+/// One cached backend result. Modules handed to store() are cloned in, and
+/// lookup() returns fresh clones, so entries are immune to caller mutation.
+struct CompileCacheEntry {
+  std::shared_ptr<ir::Module> teil_ir;    // canonical TeIL, base2-annotated
+  std::shared_ptr<ir::Module> loop_ir;
+  std::shared_ptr<ir::Module> system_ir;  // olympus + evp deployment ops
+  hls::KernelReport kernel;
+  olympus::SystemEstimate estimate;
+  int datapath_bits = 64;
+};
+
+class CompileCache {
+public:
+  /// Memory-only cache.
+  CompileCache() = default;
+  /// Memory cache backed by a directory: store() persists each entry as
+  /// `<dir>/<016x-key>.json`, and lookup() falls back to disk on a memory
+  /// miss. The directory is created on first store.
+  explicit CompileCache(std::string dir);
+
+  CompileCache(const CompileCache &) = delete;
+  CompileCache &operator=(const CompileCache &) = delete;
+
+  /// Deterministic fingerprint of every CompileOptions field that affects
+  /// backend output. Part of both the content key and direct fingerprints.
+  [[nodiscard]] static std::string options_fingerprint(
+      const CompileOptions &options);
+
+  /// The content key: FNV-1a over (canonicalized IR text, options, target).
+  [[nodiscard]] static std::uint64_t key(const std::string &canonical_ir,
+                                         const CompileOptions &options,
+                                         const std::string &target);
+
+  /// Returns a private copy of the entry, NotFound on a miss, or a coded
+  /// error (InvalidArgument) when a persisted entry exists but is corrupt —
+  /// callers treat both failure kinds as "compile fresh".
+  [[nodiscard]] support::Expected<CompileCacheEntry> lookup(std::uint64_t key);
+
+  /// Inserts (or refreshes) an entry, evicting least-recently-used entries
+  /// beyond the capacity, and persists it when a directory is configured.
+  void store(std::uint64_t key, const CompileCacheEntry &entry);
+
+  /// Direct tier: maps a frontend fingerprint to a content key.
+  [[nodiscard]] std::optional<std::uint64_t> direct_lookup(
+      const std::string &fingerprint);
+  void direct_store(const std::string &fingerprint, std::uint64_t key);
+
+  /// Mirrors cache events onto `recorder` counters: sdk.cache.hit / .miss /
+  /// .eviction / .corrupt, plus the sdk.cache.entries gauge.
+  void attach_recorder(obs::TraceRecorder *recorder);
+
+  /// Bounds the number of in-memory entries (0 = unbounded, the default).
+  void set_capacity(std::size_t max_entries);
+
+  [[nodiscard]] std::int64_t hits() const;
+  [[nodiscard]] std::int64_t misses() const;
+  [[nodiscard]] std::int64_t evictions() const;
+  [[nodiscard]] std::int64_t corruptions() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const std::string &directory() const { return dir_; }
+
+private:
+  struct Master {
+    CompileCacheEntry entry;                    // owns the master modules
+    std::list<std::uint64_t>::iterator lru_it;  // position in lru_
+  };
+
+  [[nodiscard]] static std::string entry_path(const std::string &dir,
+                                              std::uint64_t key);
+  /// Loads and validates a persisted entry; coded error on corruption.
+  [[nodiscard]] support::Expected<CompileCacheEntry> load_from_disk(
+      std::uint64_t key) const;
+  void persist(std::uint64_t key, const CompileCacheEntry &entry) const;
+  void insert_locked(std::uint64_t key, CompileCacheEntry master);
+  void count(const char *event);
+  void update_entries_gauge();
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  std::map<std::uint64_t, Master> entries_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+  std::map<std::uint64_t, std::uint64_t> direct_;  // fp hash -> content key
+  std::size_t capacity_ = 0;
+  obs::TraceRecorder *recorder_ = nullptr;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+  std::int64_t corruptions_ = 0;
+};
+
+}  // namespace everest::sdk

@@ -3,11 +3,25 @@
 // Small string utilities shared by the parsers, printers, and report writers.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace everest::support {
+
+/// Stable 64-bit FNV-1a hash. Used wherever a content address must be
+/// reproducible across runs and platforms (the compile cache keys on it);
+/// never replace with std::hash, whose value is implementation-defined.
+constexpr std::uint64_t fnv1a(std::string_view text,
+                              std::uint64_t seed = 14695981039346656037ull) {
+  std::uint64_t hash = seed;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
 
 /// Splits `text` on `sep`, keeping empty fields.
 std::vector<std::string> split(std::string_view text, char sep);

@@ -1,0 +1,92 @@
+// everest/support/thread_pool.hpp
+//
+// Fixed-size thread pool shared by the compilation layers (parallel
+// per-kernel Basecamp compiles, autotuner variant evaluation). Tasks are
+// submitted as futures; an optional observer is invoked on every queue
+// transition so higher layers can mirror queue depth / active workers into
+// obs gauges without this (bottom-of-stack) library depending on obs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace everest::support {
+
+class ThreadPool {
+public:
+  /// Called (outside the queue lock) after every enqueue/dequeue/finish with
+  /// the current queue depth and number of running tasks.
+  using Observer = std::function<void(std::size_t queued, std::size_t active)>;
+
+  /// Spawns `threads` workers (clamped to at least one).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+  [[nodiscard]] std::size_t queued() const;
+  [[nodiscard]] std::size_t active() const;
+
+  void set_observer(Observer observer);
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown by
+  /// `fn` surface through the future.
+  template <typename F>
+  auto submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Blocks until every queued and running task has finished.
+  void wait_idle();
+
+private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+  void notify_observer();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  Observer observer_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Deterministic fan-out helper: runs fn(0..count-1) across `pool` (or
+/// inline when pool is null or has one worker) and returns the results in
+/// index order — the merge is byte-identical to the serial loop regardless
+/// of completion order.
+template <typename Fn>
+auto parallel_indexed(ThreadPool *pool, std::size_t count, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn &, std::size_t>> {
+  using R = std::invoke_result_t<Fn &, std::size_t>;
+  std::vector<R> results;
+  results.reserve(count);
+  if (!pool || pool->size() <= 1 || count < 2) {
+    for (std::size_t i = 0; i < count; ++i) results.push_back(fn(i));
+    return results;
+  }
+  std::vector<std::future<R>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    futures.push_back(pool->submit([&fn, i] { return fn(i); }));
+  for (auto &f : futures) results.push_back(f.get());
+  return results;
+}
+
+}  // namespace everest::support

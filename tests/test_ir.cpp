@@ -413,3 +413,162 @@ TEST_F(VerifierTest, EklStackAddsNewIndex) {
             (std::vector<std::string>{"x", "t"}));
   EXPECT_TRUE(ctx_.verify(module).is_ok());
 }
+
+// ---------------------------------------------------------------------
+// Print -> parse -> print fixpoint, property-tested over every op of every
+// registered dialect with randomized operands/results/attributes/regions,
+// plus verifier rejection of malformed ops.
+
+#include "support/rng.hpp"
+
+namespace {
+
+ei::Type random_type(everest::support::Pcg32 &rng) {
+  switch (rng.next() % 5) {
+    case 0: return ei::Type::floating(64);
+    case 1: return ei::Type::integer(32);
+    case 2: return ei::Type::index();
+    case 3: return ei::Type::tensor({2, 4}, ei::Type::floating(32));
+    default: return ei::Type::custom("base2", "fixed", {"16", "8"});
+  }
+}
+
+ei::Attribute random_attr(everest::support::Pcg32 &rng, int depth = 1) {
+  switch (rng.next() % (depth > 0 ? 7u : 6u)) {
+    case 0: return {};  // unit
+    case 1: return {rng.next() % 2 == 0};
+    case 2: return {static_cast<std::int64_t>(rng.next() % 100)};
+    case 3: return {static_cast<double>(rng.next() % 8) + 0.5};
+    case 4: return {"s" + std::to_string(rng.next() % 10)};
+    case 5: return {random_type(rng)};
+    default: {
+      std::vector<ei::Attribute> items;
+      for (std::uint32_t i = rng.next() % 3 + 1; i-- > 0;)
+        items.push_back(random_attr(rng, depth - 1));
+      return {std::move(items)};
+    }
+  }
+}
+
+}  // namespace
+
+TEST(PrintParseFixpoint, EveryRegisteredOpRoundTrips) {
+  ei::Context ctx;
+  ed::register_everest_dialects(ctx);
+  everest::support::Pcg32 rng(424242);
+  int covered = 0;
+
+  for (const auto &dialect_name : ctx.dialect_names()) {
+    const auto *dialect = ctx.find_dialect(dialect_name);
+    ASSERT_NE(dialect, nullptr);
+    for (const auto &[mnemonic, def] : dialect->ops()) {
+      const std::string op_name = dialect_name + "." + mnemonic;
+      // Three random instantiations per op.
+      for (int variant = 0; variant < 3; ++variant) {
+        ei::Module module;
+        ei::Block &body = module.body();
+        std::vector<ei::Value *> pool;
+        for (int i = 0; i < 4; ++i) {
+          auto &src = body.push_back(
+              ei::Operation::create("fixture.src", {}, {random_type(rng)}));
+          pool.push_back(src.result(0));
+        }
+
+        auto pick = [&](int exact, std::uint32_t cap) {
+          return exact < 0 ? static_cast<int>(rng.next() % cap) : exact;
+        };
+        int nops = pick(def.num_operands, 4);
+        int nres = pick(def.num_results, 3);
+        int nreg = pick(def.num_regions, 2);
+
+        std::vector<ei::Value *> operands;
+        for (int i = 0; i < nops; ++i)
+          operands.push_back(pool[rng.next() % pool.size()]);
+        std::vector<ei::Type> results;
+        for (int i = 0; i < nres; ++i) results.push_back(random_type(rng));
+        std::map<std::string, ei::Attribute> attrs;
+        for (const auto &key : def.required_attrs)
+          attrs[key] = random_attr(rng);
+        if (rng.next() % 2 == 0) attrs["extra"] = random_attr(rng);
+
+        auto op = ei::Operation::create(op_name, operands, results, attrs,
+                                        static_cast<std::size_t>(nreg));
+        for (int r = 0; r < nreg; ++r) {
+          ei::Block &inner = op->region(static_cast<std::size_t>(r)).add_block();
+          if (rng.next() % 2 == 0) inner.add_argument(random_type(rng));
+          inner.push_back(ei::Operation::create("fixture.inner", {}, {}));
+        }
+        body.push_back(std::move(op));
+
+        const std::string text1 = module.str();
+        auto parsed = ei::parse_module(text1);
+        ASSERT_TRUE(parsed.has_value())
+            << op_name << ": " << parsed.error().message << "\n" << text1;
+        const std::string text2 = (*parsed)->str();
+        EXPECT_EQ(text1, text2) << op_name;
+
+        // Idempotent from the first reprint on: a true fixpoint.
+        auto reparsed = ei::parse_module(text2);
+        ASSERT_TRUE(reparsed.has_value()) << op_name;
+        EXPECT_EQ((*reparsed)->str(), text2) << op_name;
+      }
+      ++covered;
+    }
+  }
+  // The dialect stack of Fig. 5 — make sure the walk really saw it.
+  EXPECT_GT(covered, 30);
+}
+
+TEST(Verifier, RejectsMalformedOps) {
+  ei::Context ctx;
+  ed::register_everest_dialects(ctx);
+  int missing_region = 0, extra_region = 0, missing_attr = 0, bad_arity = 0;
+
+  for (const auto &dialect_name : ctx.dialect_names()) {
+    const auto *dialect = ctx.find_dialect(dialect_name);
+    for (const auto &[mnemonic, def] : dialect->ops()) {
+      const std::string op_name = dialect_name + "." + mnemonic;
+
+      // An op that requires regions, built with none.
+      if (def.num_regions > 0 && def.num_operands <= 0 && missing_region < 3) {
+        ei::Module m;
+        m.body().push_back(ei::Operation::create(op_name, {}, {}, {}, 0));
+        EXPECT_FALSE(ctx.verify(m).is_ok()) << op_name;
+        ++missing_region;
+      }
+      // An op that allows no regions, built with a spurious (empty) one.
+      if (def.num_regions == 0 && def.num_operands <= 0 &&
+          def.required_attrs.empty() && extra_region < 3) {
+        ei::Module m;
+        auto op = ei::Operation::create(op_name, {}, {}, {}, 1);
+        op->region(0).add_block();
+        m.body().push_back(std::move(op));
+        EXPECT_FALSE(ctx.verify(m).is_ok()) << op_name;
+        ++extra_region;
+      }
+      // Required attributes left out.
+      if (!def.required_attrs.empty() && def.num_operands <= 0 &&
+          missing_attr < 3) {
+        ei::Module m;
+        auto op = ei::Operation::create(
+            op_name, {}, {}, {},
+            static_cast<std::size_t>(std::max(def.num_regions, 0)));
+        for (std::size_t r = 0; r < op->num_regions(); ++r)
+          op->region(r).add_block();
+        m.body().push_back(std::move(op));
+        EXPECT_FALSE(ctx.verify(m).is_ok()) << op_name;
+        ++missing_attr;
+      }
+      // Fixed operand arity violated.
+      if (def.num_operands > 0 && bad_arity < 3) {
+        ei::Module m;
+        m.body().push_back(ei::Operation::create(op_name, {}, {}, {}, 0));
+        EXPECT_FALSE(ctx.verify(m).is_ok()) << op_name;
+        ++bad_arity;
+      }
+    }
+  }
+  EXPECT_GT(missing_region, 0);
+  EXPECT_GT(missing_attr, 0);
+  EXPECT_GT(bad_arity, 0);
+}

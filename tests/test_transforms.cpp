@@ -17,6 +17,8 @@
 #include "transforms/ekl_eval.hpp"
 #include "transforms/ekl_to_teil.hpp"
 #include "transforms/esn_extract.hpp"
+#include "runtime/dfg_executor.hpp"
+#include "transforms/loop_eval.hpp"
 #include "transforms/teil_eval.hpp"
 #include "transforms/teil_to_loops.hpp"
 #include "usecases/rrtmg.hpp"
@@ -531,4 +533,185 @@ TEST_F(TransformTest, TeilFlopCountPositive) {
   auto teil = et::lower_ekl_to_teil(**m, rr::bindings(data));
   ASSERT_TRUE(teil.has_value());
   EXPECT_GT(et::teil_flop_count(**teil), 1000u);
+}
+
+// ---------------------------------------------------------------------
+// Randomized differential testing: for ~50 seeded random elementwise EKL
+// programs, the EKL evaluator, the TeIL evaluator (after lowering), the
+// loop-IR interpreter (after a second lowering — the exact IR HLS sees),
+// and the ConDRust dfg executor must agree elementwise to 1e-9.
+
+namespace {
+
+struct RandomExpr {
+  enum class Tok { A, B, Const, Add, Sub, Mul };
+  std::string text;  // EKL expression over a[i], b[i], and int constants
+  std::vector<std::pair<Tok, double>> postfix;  // same expr, for the dfg node
+  bool uses_input = false;
+};
+
+RandomExpr gen_expr(everest::support::Pcg32 &rng, int depth) {
+  RandomExpr e;
+  if (depth == 0 || rng.uniform() < 0.3) {
+    double leaf = rng.uniform();
+    if (leaf < 0.4) {
+      e.text = "a[i]";
+      e.postfix = {{RandomExpr::Tok::A, 0.0}};
+      e.uses_input = true;
+    } else if (leaf < 0.8) {
+      e.text = "b[i]";
+      e.postfix = {{RandomExpr::Tok::B, 0.0}};
+      e.uses_input = true;
+    } else {
+      int k = 1 + static_cast<int>(rng.uniform() * 9.0);
+      e.text = std::to_string(k);
+      e.postfix = {{RandomExpr::Tok::Const, static_cast<double>(k)}};
+    }
+    return e;
+  }
+  RandomExpr lhs = gen_expr(rng, depth - 1);
+  RandomExpr rhs = gen_expr(rng, depth - 1);
+  double pick = rng.uniform();
+  const char *op = pick < 0.34 ? "+" : pick < 0.67 ? "-" : "*";
+  RandomExpr::Tok tok = pick < 0.34   ? RandomExpr::Tok::Add
+                        : pick < 0.67 ? RandomExpr::Tok::Sub
+                                      : RandomExpr::Tok::Mul;
+  e.text = "(" + lhs.text + " " + op + " " + rhs.text + ")";
+  e.postfix = lhs.postfix;
+  e.postfix.insert(e.postfix.end(), rhs.postfix.begin(), rhs.postfix.end());
+  e.postfix.push_back({tok, 0.0});
+  e.uses_input = lhs.uses_input || rhs.uses_input;
+  return e;
+}
+
+double eval_postfix(const RandomExpr &expr, double a, double b) {
+  std::vector<double> stack;
+  for (const auto &[tok, value] : expr.postfix) {
+    switch (tok) {
+      case RandomExpr::Tok::A: stack.push_back(a); break;
+      case RandomExpr::Tok::B: stack.push_back(b); break;
+      case RandomExpr::Tok::Const: stack.push_back(value); break;
+      default: {
+        double r = stack.back(); stack.pop_back();
+        double l = stack.back(); stack.pop_back();
+        stack.push_back(tok == RandomExpr::Tok::Add   ? l + r
+                        : tok == RandomExpr::Tok::Sub ? l - r
+                                                      : l * r);
+      }
+    }
+  }
+  return stack.back();
+}
+
+}  // namespace
+
+TEST_F(TransformTest, DifferentialRandomEklAcrossAllEvaluators) {
+  everest::support::Pcg32 rng(20260807);
+  namespace er = everest::runtime;
+  constexpr std::int64_t n = 16;
+  constexpr int kCases = 50;
+  for (int c = 0; c < kCases; ++c) {
+    RandomExpr expr = gen_expr(rng, 2 + c % 2);
+    if (!expr.uses_input) {  // keep the output a vector over i
+      expr.text = "(" + expr.text + " + a[i])";
+      expr.postfix.push_back({RandomExpr::Tok::A, 0.0});
+      expr.postfix.push_back({RandomExpr::Tok::Add, 0.0});
+    }
+    std::string source = "kernel rnd" + std::to_string(c) +
+                         "\nindex i\ninput a[i]\ninput b[i]\nc = " + expr.text +
+                         "\noutput c\n";
+    SCOPED_TRACE(source);
+
+    et::EklBindings bind;
+    en::Tensor a(en::Shape{n});
+    en::Tensor b(en::Shape{n});
+    for (auto &v : a.data()) v = rng.uniform() * 4.0 - 2.0;
+    for (auto &v : b.data()) v = rng.uniform() * 4.0 - 2.0;
+    bind.inputs.emplace("a", a);
+    bind.inputs.emplace("b", b);
+
+    auto m = ef::parse_ekl(source);
+    ASSERT_TRUE(m.has_value()) << m.error().message;
+    auto direct = et::evaluate_ekl(**m, bind);
+    ASSERT_TRUE(direct.has_value()) << direct.error().message;
+    const auto &ref = direct->at("c");
+    ASSERT_EQ(ref.shape(), (en::Shape{n}));
+
+    auto teil = et::lower_ekl_to_teil(**m, bind);
+    ASSERT_TRUE(teil.has_value()) << teil.error().message;
+    auto teil_out = et::evaluate_teil(**teil, bind.inputs);
+    ASSERT_TRUE(teil_out.has_value()) << teil_out.error().message;
+
+    auto loops = et::lower_teil_to_loops(**teil);
+    ASSERT_TRUE(loops.has_value()) << loops.error().message;
+    auto loops_out = et::evaluate_loops(**loops, bind.inputs);
+    ASSERT_TRUE(loops_out.has_value()) << loops_out.error().message;
+
+    er::NodeRegistry registry;
+    registry.register_node("apply_expr", [expr](const auto &in) {
+      return er::Record{eval_postfix(expr, (*in[0])[0], (*in[1])[0])};
+    });
+    auto graph = ef::parse_condrust(R"(
+fn pipe(a: Stream<f64>, b: Stream<f64>) -> Stream<f64> {
+    let c = apply_expr(a, b);
+    return c;
+}
+)");
+    ASSERT_TRUE(graph.has_value()) << graph.error().message;
+    std::map<std::string, er::Stream> streams;
+    for (std::int64_t i = 0; i < n; ++i) {
+      streams["a"].push_back({a(i)});
+      streams["b"].push_back({b(i)});
+    }
+    auto dfg_out = er::execute_dfg(**graph, registry, streams, /*workers=*/4);
+    ASSERT_TRUE(dfg_out.has_value()) << dfg_out.error().message;
+    ASSERT_EQ(dfg_out->at("c").size(), static_cast<std::size_t>(n));
+
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(teil_out->at("c")(i), ref(i), 1e-9) << "teil, i=" << i;
+      EXPECT_NEAR(loops_out->at("c")(i), ref(i), 1e-9) << "loops, i=" << i;
+      EXPECT_NEAR(dfg_out->at("c")[static_cast<std::size_t>(i)][0], ref(i),
+                  1e-9)
+          << "dfg, i=" << i;
+    }
+  }
+}
+
+TEST_F(TransformTest, DifferentialRandomCfdlangMatmuls) {
+  everest::support::Pcg32 rng(7);
+  for (int c = 0; c < 10; ++c) {
+    std::int64_t m = 2 + static_cast<std::int64_t>(rng.uniform() * 6.0);
+    std::int64_t k = 2 + static_cast<std::int64_t>(rng.uniform() * 6.0);
+    std::int64_t n = 2 + static_cast<std::int64_t>(rng.uniform() * 6.0);
+    std::string source = "\nprogram p\ninput A : [" + std::to_string(m) + ", " +
+                         std::to_string(k) + "]\ninput B : [" +
+                         std::to_string(k) + ", " + std::to_string(n) +
+                         "]\noutput C = contract(outer(A, B), 1, 2)\n";
+    SCOPED_TRACE(source);
+
+    en::Tensor A(en::Shape{m, k});
+    en::Tensor B(en::Shape{k, n});
+    for (auto &v : A.data()) v = rng.uniform() * 2.0 - 1.0;
+    for (auto &v : B.data()) v = rng.uniform() * 2.0 - 1.0;
+    std::map<std::string, en::Tensor> inputs{{"A", A}, {"B", B}};
+
+    auto prog = ef::parse_cfdlang(source);
+    ASSERT_TRUE(prog.has_value()) << prog.error().message;
+    auto teil = et::lower_cfdlang_to_teil(**prog);
+    ASSERT_TRUE(teil.has_value()) << teil.error().message;
+    auto teil_out = et::evaluate_teil(**teil, inputs);
+    ASSERT_TRUE(teil_out.has_value()) << teil_out.error().message;
+    auto loops = et::lower_teil_to_loops(**teil);
+    ASSERT_TRUE(loops.has_value()) << loops.error().message;
+    auto loops_out = et::evaluate_loops(**loops, inputs);
+    ASSERT_TRUE(loops_out.has_value()) << loops_out.error().message;
+
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < n; ++j) {
+        double want = 0.0;
+        for (std::int64_t kk = 0; kk < k; ++kk) want += A(i, kk) * B(kk, j);
+        EXPECT_NEAR(teil_out->at("C")(i, j), want, 1e-9);
+        EXPECT_NEAR(loops_out->at("C")(i, j), want, 1e-9);
+      }
+  }
 }

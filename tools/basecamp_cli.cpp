@@ -4,12 +4,18 @@
 //
 //   basecamp targets                       list target platforms
 //   basecamp dialects                      list registered dialects & ops
-//   basecamp compile <file.ekl> [options]  compile an EKL kernel
+//   basecamp compile <file.ekl>... [options]  compile EKL kernels
 //     --target=<name>        alveo-u55c | alveo-u280 | cloudfpga
 //     --format=<spec>        f64 | f32 | fixed<T,F> | float<E,M> | posit<N,ES>
 //     --replicas=<n>         Olympus kernel replication
 //     --extent NAME=N        bind an iteration-index extent (repeatable)
 //     --emit=<stage>         frontend | teil | loops | system (print IR)
+//     --jobs=<n>             compile the input kernels across n threads; the
+//                            reports are printed in input order and identical
+//                            to a serial (--jobs=1) run
+//     --cache-dir=<dir>      content-addressed compile cache: repeat compiles
+//                            of unchanged kernels reuse the stored HLS
+//                            schedule and Olympus system
 //     --run                  deploy on the target device model
 //     --trace-out <file>     write a Chrome trace_event JSON of the compile
 //                            (and device run) — open in chrome://tracing or
@@ -103,24 +109,15 @@ everest::transforms::EklBindings synthesize_bindings(
 }
 
 int cmd_compile(Basecamp &basecamp, int argc, char **argv) {
-  if (argc < 1) {
-    std::fprintf(stderr, "basecamp compile: missing input file\n");
-    return 2;
-  }
-  std::ifstream file(argv[0]);
-  if (!file) {
-    std::fprintf(stderr, "basecamp: cannot open '%s'\n", argv[0]);
-    return 2;
-  }
-  std::stringstream source;
-  source << file.rdbuf();
-
   CompileOptions options;
   std::map<std::string, std::int64_t> extents;
+  std::vector<std::string> files;
   std::string emit;
   std::string trace_out;
+  std::string cache_dir;
+  int jobs = 1;
   bool run = false;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     if (everest::support::starts_with(arg, "--target="))
       options.target = arg.substr(9);
@@ -130,6 +127,10 @@ int cmd_compile(Basecamp &basecamp, int argc, char **argv) {
       options.olympus.replicas = std::atoi(arg.c_str() + 11);
     else if (everest::support::starts_with(arg, "--emit="))
       emit = arg.substr(7);
+    else if (everest::support::starts_with(arg, "--jobs="))
+      jobs = std::atoi(arg.c_str() + 7);
+    else if (everest::support::starts_with(arg, "--cache-dir="))
+      cache_dir = arg.substr(12);
     else if (arg == "--run")
       run = true;
     else if (everest::support::starts_with(arg, "--trace-out="))
@@ -140,53 +141,89 @@ int cmd_compile(Basecamp &basecamp, int argc, char **argv) {
       auto kv = everest::support::split(argv[++i], '=');
       if (kv.size() == 2)
         extents[kv[0]] = std::strtoll(kv[1].c_str(), nullptr, 10);
+    } else if (!everest::support::starts_with(arg, "--")) {
+      files.push_back(arg);
     } else {
       std::fprintf(stderr, "basecamp: unknown option '%s'\n", arg.c_str());
       return 2;
     }
   }
-
-  // Parse once to learn the inputs, then compile with synthetic bindings.
-  auto probe = everest::frontend::parse_ekl(source.str());
-  if (!probe) {
-    std::fprintf(stderr, "basecamp: [%s] %s\n", probe.error().code_name(),
-                 probe.error().message.c_str());
-    return 1;
-  }
-  auto bindings = synthesize_bindings(**probe, extents);
-
-  auto result = basecamp.compile_ekl(source.str(), bindings, options);
-  if (!result) {
-    std::fprintf(stderr, "basecamp: [%s] %s\n", result.error().code_name(),
-                 result.error().message.c_str());
-    return 1;
+  if (files.empty()) {
+    std::fprintf(stderr, "basecamp compile: missing input file\n");
+    return 2;
   }
 
-  if (emit == "frontend") std::printf("%s", result->frontend_ir->str().c_str());
-  else if (emit == "teil") std::printf("%s", result->teil_ir->str().c_str());
-  else if (emit == "loops") std::printf("%s", result->loop_ir->str().c_str());
-  else if (emit == "system") std::printf("%s", result->system_ir->str().c_str());
+  everest::sdk::CompileCache cache(cache_dir);
+  if (!cache_dir.empty()) basecamp.attach_cache(&cache);
 
-  std::printf("%s", everest::hls::render_report(result->kernel).c_str());
-  std::printf("olympus: total %.1f us (compute %.1f, memory %.1f), "
-              "utilization %.1f%%, %s\n",
-              result->estimate.total_us, result->estimate.compute_us,
-              result->estimate.memory_us, result->estimate.utilization * 100.0,
-              result->estimate.fits ? "fits" : "DOES NOT FIT");
+  std::vector<everest::sdk::CompileJob> batch;
+  for (const auto &path : files) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "basecamp: cannot open '%s'\n", path.c_str());
+      return 2;
+    }
+    std::stringstream source;
+    source << file.rdbuf();
 
-  if (run) {
-    everest::platform::Device device(result->device);
-    // Device DMA/kernel spans land in the same trace as the compile stages.
-    device.attach_recorder(&basecamp.recorder());
-    auto us = basecamp.deploy_and_run(device, *result);
-    if (!us) {
-      std::fprintf(stderr, "basecamp: [%s] %s\n", us.error().code_name(),
-                   us.error().message.c_str());
+    // Parse once to learn the inputs, then compile with synthetic bindings.
+    auto probe = everest::frontend::parse_ekl(source.str());
+    if (!probe) {
+      std::fprintf(stderr, "basecamp: %s: [%s] %s\n", path.c_str(),
+                   probe.error().code_name(), probe.error().message.c_str());
       return 1;
     }
-    std::printf("device run on %s: %.1f us end-to-end\n",
-                result->device.name.c_str(), *us);
+    everest::sdk::CompileJob job;
+    job.name = path;
+    job.source = source.str();
+    job.bindings = synthesize_bindings(**probe, extents);
+    job.options = options;
+    batch.push_back(std::move(job));
   }
+
+  auto results = basecamp.compile_many(batch, jobs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i]) continue;
+    std::fprintf(stderr, "basecamp: [%s] %s\n", results[i].error().code_name(),
+                 results[i].error().message.c_str());
+    return 1;
+  }
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto &result = *results[i];
+    if (results.size() > 1) std::printf("== %s ==\n", batch[i].name.c_str());
+
+    if (emit == "frontend") std::printf("%s", result.frontend_ir->str().c_str());
+    else if (emit == "teil") std::printf("%s", result.teil_ir->str().c_str());
+    else if (emit == "loops") std::printf("%s", result.loop_ir->str().c_str());
+    else if (emit == "system") std::printf("%s", result.system_ir->str().c_str());
+
+    std::printf("%s", everest::hls::render_report(result.kernel).c_str());
+    std::printf("olympus: total %.1f us (compute %.1f, memory %.1f), "
+                "utilization %.1f%%, %s\n",
+                result.estimate.total_us, result.estimate.compute_us,
+                result.estimate.memory_us, result.estimate.utilization * 100.0,
+                result.estimate.fits ? "fits" : "DOES NOT FIT");
+
+    if (run) {
+      everest::platform::Device device(result.device);
+      // Device DMA/kernel spans land in the same trace as the compile stages.
+      device.attach_recorder(&basecamp.recorder());
+      auto us = basecamp.deploy_and_run(device, result);
+      if (!us) {
+        std::fprintf(stderr, "basecamp: [%s] %s\n", us.error().code_name(),
+                     us.error().message.c_str());
+        return 1;
+      }
+      std::printf("device run on %s: %.1f us end-to-end\n",
+                  result.device.name.c_str(), *us);
+    }
+  }
+
+  if (!cache_dir.empty())
+    std::printf("cache: %lld hits, %lld misses (%s)\n",
+                static_cast<long long>(cache.hits()),
+                static_cast<long long>(cache.misses()), cache_dir.c_str());
 
   if (!trace_out.empty()) {
     if (auto s = everest::obs::write_chrome_trace(basecamp.recorder(),
