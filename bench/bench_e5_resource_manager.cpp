@@ -3,14 +3,19 @@
 // FIFO; (b) transfer-aware vs naive placement under big intermediates;
 // (c) rescheduling cost after a node failure.
 
+// (d) fault sweep: makespan degradation vs injected node fault rate, with
+// fault plans drawn deterministically by resil::sample_node_faults.
+
 #include <cstdio>
 
 #include "obs/export.hpp"
+#include "resil/fault.hpp"
 #include "runtime/resource_manager.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
 namespace er = everest::runtime;
+namespace rs = everest::resil;
 
 namespace {
 
@@ -120,8 +125,67 @@ int main() {
   std::printf("trace of the degraded run: %zu task spans, %zu transfer spans\n",
               task_spans, transfer_spans);
   std::printf("%s\n", everest::obs::summary_table(recorder).c_str());
+
+  // (d) fault sweep: sampled node-fault plans at rising rates. node0 is
+  // spared so every plan keeps a survivor and stays schedulable. The sweep
+  // self-checks: every task must still complete, and a degraded run must
+  // not beat the clean one.
+  int violations = 0;
+  {
+    // 4 nodes: tight enough that losing capacity actually moves the
+    // makespan instead of disappearing into scheduling slack.
+    const auto nodes = cluster_of(4);
+    std::vector<std::string> node_names;
+    for (const auto &n : nodes.nodes) node_names.push_back(n.name);
+
+    er::ResourceManager clean_rm(nodes);
+    build_traffic_dag(clean_rm, 48, 7);
+    const auto clean = clean_rm.run().value();
+
+    everest::support::Table sweep({"fault rate", "faulted nodes",
+                                   "makespan [ms]", "slowdown",
+                                   "rescheduled"});
+    for (double rate : {0.0, 0.125, 0.25, 0.5, 0.75}) {
+      er::ResourceManager rm(nodes);
+      build_traffic_dag(rm, 48, 7);
+      auto faults = rs::sample_node_faults(/*seed=*/11, node_names, rate,
+                                           clean.makespan_ms, "node0");
+      rm.inject_failures(faults);
+      auto r = rm.run().value();
+      if (r.tasks.size() != rm.task_count()) {
+        std::printf("VIOLATION: only %zu of %zu tasks completed at rate %g\n",
+                    r.tasks.size(), rm.task_count(), rate);
+        ++violations;
+      }
+      if (r.makespan_ms < clean.makespan_ms - 1e-9) {
+        std::printf("VIOLATION: degraded makespan %.1f beats clean %.1f\n",
+                    r.makespan_ms, clean.makespan_ms);
+        ++violations;
+      }
+      if (r.degraded() != !faults.empty() && rate > 0.0) {
+        // A sampled plan may be empty at low rates; only a non-empty plan
+        // must leave degraded-mode marks.
+        std::printf("VIOLATION: %zu faults but degraded()=%d at rate %g\n",
+                    faults.size(), r.degraded(), rate);
+        ++violations;
+      }
+      char m[32], s[32];
+      std::snprintf(m, sizeof m, "%.0f", r.makespan_ms);
+      std::snprintf(s, sizeof s, "%.2fx", r.makespan_ms / clean.makespan_ms);
+      sweep.add_row({std::to_string(rate),
+                     std::to_string(r.faulted_nodes.size()), m, s,
+                     std::to_string(r.rescheduled_tasks)});
+    }
+    std::printf("%s\n", sweep.render().c_str());
+  }
+
   std::printf("shape: makespan falls with nodes until the chain dominates;\n"
               "HEFT <= FIFO; transfer-aware placement moves fewer bytes;\n"
-              "failures cost a bounded makespan hit via rescheduling.\n");
+              "failures cost a bounded makespan hit via rescheduling;\n"
+              "the fault sweep degrades smoothly and loses no work.\n");
+  if (violations > 0) {
+    std::printf("FAILED: %d self-check violation(s)\n", violations);
+    return 1;
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "frontend/condrust_parser.hpp"
+#include "platform/fault_injector.hpp"
 #include "runtime/dfg_executor.hpp"
 #include "support/table.hpp"
 #include "transforms/dfg_partition.hpp"
@@ -64,6 +65,37 @@ int main() {
               100.0 * tr::matching_accuracy(streaming, trace.true_segments),
               100.0 * tr::matching_accuracy(*offline, trace.true_segments),
               deterministic ? "yes" : "NO");
+
+  // 3b. The same pipeline under seeded fault injection: node invocations
+  // flake and fold steps die mid-stream, the executor retries and restores
+  // checkpoints, and the result must still match the clean run exactly.
+  everest::platform::FaultPlan fault_plan;
+  fault_plan.node_fault_rate = 0.05;
+  fault_plan.fold_fault_rate = 0.02;
+  everest::platform::FaultInjector injector(/*seed=*/2026, fault_plan);
+  er::DfgExecOptions faulted_options;
+  faulted_options.workers = 8;
+  faulted_options.faults = &injector;
+  faulted_options.retry.max_attempts = 8;
+  faulted_options.checkpoint.interval = 32;
+  er::DfgRunStats resil_stats;
+  auto faulted = er::execute_dfg(*module.value(), registry, inputs,
+                                 faulted_options, &resil_stats);
+  if (!faulted) {
+    std::fprintf(stderr, "faulted execution did not recover: %s\n",
+                 faulted.error().message.c_str());
+    return 1;
+  }
+  bool recovered = faulted->at("best") == seq->at("best");
+  std::printf("faulted run (seed %llu): %zu faults injected, %zu element "
+              "retries,\n  %zu checkpoints saved, %zu restores, %zu elements "
+              "replayed -> output %s\n\n",
+              static_cast<unsigned long long>(injector.seed()),
+              resil_stats.faults_injected, resil_stats.element_retries,
+              resil_stats.checkpoints_saved, resil_stats.checkpoint_restores,
+              resil_stats.elements_replayed,
+              recovered ? "identical to the clean run" : "DIVERGED");
+  deterministic = deterministic && recovered;
 
   // 4. Compile-time CPU/FPGA placement of the sub-kernels (costs measured
   // offline; candidates is HLS-friendly, folds stay on CPU).

@@ -179,22 +179,38 @@ Expected<double> SystemGenerator::execute_on(platform::Device &dev,
   system_kernel.total_cycles = static_cast<std::int64_t>(
       std::ceil(est->total_us * dev.spec().clock_mhz));
   system_kernel.dataflow_cycles = system_kernel.total_cycles;
+  // Error codes propagate unchanged (a transient DMA fault must stay
+  // retryable), and buffers are released on every path so a retried
+  // deployment starts from a clean device.
   if (auto s = dev.load_kernel(system_kernel.name, system_kernel); !s.is_ok())
-    return Error::make(s.message());
+    return s.error();
 
   double start = dev.now_us();
   auto in = dev.alloc(std::max<std::int64_t>(kernel.input_bytes, 1));
   if (!in) return in.error();
   auto out = dev.alloc(std::max<std::int64_t>(kernel.output_bytes, 1));
-  if (!out) return out.error();
-  if (auto s = dev.sync_to_device(*in); !s.is_ok())
-    return Error::make(s.message());
+  if (!out) {
+    (void)dev.free(*in);
+    return out.error();
+  }
+  auto release = [&] {
+    (void)dev.free(*in);
+    (void)dev.free(*out);
+  };
+  if (auto s = dev.sync_to_device(*in); !s.is_ok()) {
+    release();
+    return s.error();
+  }
   auto run = dev.run(system_kernel.name);
-  if (!run) return run;
-  if (auto s = dev.sync_from_device(*out); !s.is_ok())
-    return Error::make(s.message());
-  (void)dev.free(*in);
-  (void)dev.free(*out);
+  if (!run) {
+    release();
+    return run;
+  }
+  if (auto s = dev.sync_from_device(*out); !s.is_ok()) {
+    release();
+    return s.error();
+  }
+  release();
   return dev.now_us() - start;
 }
 

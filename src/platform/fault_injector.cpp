@@ -1,0 +1,147 @@
+#include "platform/fault_injector.hpp"
+
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace everest::platform {
+
+using support::Error;
+using support::Expected;
+
+const char *fault_name(InjectedFault fault) {
+  switch (fault) {
+    case InjectedFault::None: return "none";
+    case InjectedFault::TransferError: return "transfer-error";
+    case InjectedFault::AllocFlake: return "alloc-flake";
+    case InjectedFault::KernelTimeout: return "kernel-timeout";
+    case InjectedFault::LinkDrop: return "link-drop";
+    case InjectedFault::LinkLatencySpike: return "link-latency-spike";
+    case InjectedFault::NodeFault: return "node-fault";
+    case InjectedFault::FoldFault: return "fold-fault";
+  }
+  return "none";
+}
+
+Expected<FaultPlan> parse_fault_plan(const std::string &spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  for (const auto &field : support::split(spec, ',')) {
+    auto kv = support::split(field, '=');
+    if (kv.size() != 2)
+      return Error::invalid_argument("fault plan: expected key=value, got '" +
+                                     field + "'");
+    char *end = nullptr;
+    double value = std::strtod(kv[1].c_str(), &end);
+    if (end == kv[1].c_str() || *end != '\0')
+      return Error::invalid_argument("fault plan: bad number '" + kv[1] +
+                                     "' for key '" + kv[0] + "'");
+    const std::string &key = kv[0];
+    bool is_rate = true;
+    if (key == "transfer") plan.transfer_error_rate = value;
+    else if (key == "alloc") plan.alloc_flake_rate = value;
+    else if (key == "timeout") plan.kernel_timeout_rate = value;
+    else if (key == "drop") plan.link_drop_rate = value;
+    else if (key == "spike") plan.link_spike_rate = value;
+    else if (key == "node") plan.node_fault_rate = value;
+    else if (key == "fold") plan.fold_fault_rate = value;
+    else if (key == "timeout-mult") {
+      plan.kernel_timeout_multiplier = value;
+      is_rate = false;
+    } else if (key == "spike-mult") {
+      plan.link_spike_multiplier = value;
+      is_rate = false;
+    } else {
+      return Error::invalid_argument("fault plan: unknown key '" + key + "'");
+    }
+    if (is_rate && (value < 0.0 || value > 1.0))
+      return Error::invalid_argument("fault plan: rate '" + key +
+                                     "' must be in [0, 1], got " + kv[1]);
+    if (!is_rate && value < 1.0)
+      return Error::invalid_argument("fault plan: multiplier '" + key +
+                                     "' must be >= 1, got " + kv[1]);
+  }
+  if (plan.link_drop_rate + plan.link_spike_rate > 1.0)
+    return Error::invalid_argument(
+        "fault plan: drop + spike rates must not exceed 1");
+  return plan;
+}
+
+double FaultInjector::unit(FaultSite site, std::uint64_t op_index,
+                           std::uint64_t salt) const {
+  // One SplitMix64 step over a mixed key: pure in all four inputs, so the
+  // decision stream is independent of call interleaving across sites and
+  // threads.
+  std::uint64_t key = seed_;
+  key ^= (static_cast<std::uint64_t>(site) + 1) * 0x9e3779b97f4a7c15ULL;
+  key ^= (op_index + 1) * 0xd1342543de82ef95ULL;
+  key ^= (salt + 1) * 0xaf251af3b0f025b5ULL;
+  support::SplitMix64 sm(key);
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+InjectedFault FaultInjector::decide(FaultSite site, std::uint64_t op_index,
+                                    std::uint64_t salt) const {
+  double u = unit(site, op_index, salt);
+  switch (site) {
+    case FaultSite::DmaToDevice:
+    case FaultSite::DmaFromDevice:
+      return u < plan_.transfer_error_rate ? InjectedFault::TransferError
+                                           : InjectedFault::None;
+    case FaultSite::Alloc:
+      return u < plan_.alloc_flake_rate ? InjectedFault::AllocFlake
+                                        : InjectedFault::None;
+    case FaultSite::KernelLaunch:
+      return u < plan_.kernel_timeout_rate ? InjectedFault::KernelTimeout
+                                           : InjectedFault::None;
+    case FaultSite::LinkSend:
+      if (u < plan_.link_drop_rate) return InjectedFault::LinkDrop;
+      if (u < plan_.link_drop_rate + plan_.link_spike_rate)
+        return InjectedFault::LinkLatencySpike;
+      return InjectedFault::None;
+    case FaultSite::NodeInvoke:
+      return u < plan_.node_fault_rate ? InjectedFault::NodeFault
+                                       : InjectedFault::None;
+    case FaultSite::FoldStep:
+      return u < plan_.fold_fault_rate ? InjectedFault::FoldFault
+                                       : InjectedFault::None;
+  }
+  return InjectedFault::None;
+}
+
+InjectedFault FaultInjector::next(FaultSite site) {
+  std::uint64_t index =
+      op_counter_[static_cast<int>(site)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+  InjectedFault fault = decide(site, index);
+  if (fault != InjectedFault::None) tally(fault);
+  return fault;
+}
+
+void FaultInjector::tally(InjectedFault fault) {
+  if (fault == InjectedFault::None) return;
+  injected_[static_cast<int>(fault)].fetch_add(1, std::memory_order_relaxed);
+  if (recorder_)
+    recorder_->counter(std::string("resil.fault.") + fault_name(fault)).add(1);
+}
+
+std::int64_t FaultInjector::injected(InjectedFault fault) const {
+  return injected_[static_cast<int>(fault)].load(std::memory_order_relaxed);
+}
+
+std::map<std::string, std::int64_t> FaultInjector::injected_counts() const {
+  std::map<std::string, std::int64_t> counts;
+  for (int k = 1; k < kInjectedFaultCount; ++k) {
+    std::int64_t n = injected_[k].load(std::memory_order_relaxed);
+    if (n > 0) counts[fault_name(static_cast<InjectedFault>(k))] = n;
+  }
+  return counts;
+}
+
+std::int64_t FaultInjector::injected_total() const {
+  std::int64_t total = 0;
+  for (int k = 1; k < kInjectedFaultCount; ++k)
+    total += injected_[k].load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace everest::platform

@@ -1,0 +1,117 @@
+// everest/platform/fault_injector.hpp
+//
+// Seeded, deterministic fault injection for the simulated platform layer.
+// A FaultInjector draws every fault decision as a *pure function* of
+// (seed, site, op-index, salt) through a SplitMix64 hash, so a run under a
+// given fault plan is bit-reproducible: the same seed injects the same
+// faults at the same operations regardless of thread interleaving, and two
+// runs with the same seed produce identical traces. Devices, the ZRLMPI
+// communicator, and the dfg executor consult the injector at well-known
+// sites; the resilience policies in src/resil/ recover from what it injects.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "support/expected.hpp"
+
+namespace everest::platform {
+
+/// Where a fault can strike. Each site has its own decision stream.
+enum class FaultSite : int {
+  DmaToDevice = 0,   // Device::sync_to_device
+  DmaFromDevice = 1, // Device::sync_from_device
+  Alloc = 2,         // Device::alloc (transient flake, not capacity)
+  KernelLaunch = 3,  // Device::run (hang: latency x multiplier)
+  LinkSend = 4,      // ZrlmpiCommunicator::send (drop or latency spike)
+  NodeInvoke = 5,    // dfg executor stateless-node invocation
+  FoldStep = 6,      // dfg executor fold step (drives checkpoint restart)
+};
+inline constexpr int kFaultSiteCount = 7;
+
+/// What the injector decided to do to one operation.
+enum class InjectedFault : int {
+  None = 0,
+  TransferError = 1,    // DMA sync fails after moving the data (Unavailable)
+  AllocFlake = 2,       // allocation transiently fails (Unavailable)
+  KernelTimeout = 3,    // kernel hangs: latency x kernel_timeout_multiplier
+  LinkDrop = 4,         // network message lost (Unavailable)
+  LinkLatencySpike = 5, // message delivered at spike-multiplied latency
+  NodeFault = 6,        // dfg node invocation lost; executor retries
+  FoldFault = 7,        // dfg fold step lost; executor restores a checkpoint
+};
+inline constexpr int kInjectedFaultCount = 8;
+
+[[nodiscard]] const char *fault_name(InjectedFault fault);
+
+/// Per-site fault rates. All rates are probabilities in [0, 1]; multipliers
+/// scale the simulated latency of the affected operation.
+struct FaultPlan {
+  double transfer_error_rate = 0.0;
+  double alloc_flake_rate = 0.0;
+  double kernel_timeout_rate = 0.0;
+  double kernel_timeout_multiplier = 8.0;
+  double link_drop_rate = 0.0;
+  double link_spike_rate = 0.0;
+  double link_spike_multiplier = 10.0;
+  double node_fault_rate = 0.0;
+  double fold_fault_rate = 0.0;
+};
+
+/// Parses "key=value,key=value" fault-plan specs (the CLI's --fault-plan):
+/// transfer, alloc, timeout, timeout-mult, drop, spike, spike-mult, node,
+/// fold. Rates must be in [0, 1], multipliers >= 1.
+support::Expected<FaultPlan> parse_fault_plan(const std::string &spec);
+
+/// Deterministic fault oracle. decide() is const, thread-safe, and pure in
+/// (seed, site, op_index, salt); next() additionally advances a per-site
+/// operation counter (for call sites that are naturally sequential, like a
+/// single device's simulated clock) and tallies what it injected.
+class FaultInjector {
+public:
+  explicit FaultInjector(std::uint64_t seed, FaultPlan plan = {})
+      : seed_(seed), plan_(plan) {}
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] const FaultPlan &plan() const { return plan_; }
+
+  /// Counts of injected faults also land on this recorder as
+  /// "resil.fault.<kind>" counters (non-owning; nullptr detaches).
+  void attach_recorder(obs::TraceRecorder *recorder) { recorder_ = recorder; }
+
+  /// Pure decision for operation `op_index` at `site`. `salt` decorrelates
+  /// parallel decision streams (e.g. retry attempt number, dfg stage).
+  [[nodiscard]] InjectedFault decide(FaultSite site, std::uint64_t op_index,
+                                     std::uint64_t salt = 0) const;
+
+  /// decide() at the site's running op counter, then advances it. Tallies
+  /// injected faults.
+  InjectedFault next(FaultSite site);
+
+  /// Records an injected fault in the tallies (for callers using decide()
+  /// directly, e.g. the dfg executor's index-keyed decisions). Thread-safe.
+  void tally(InjectedFault fault);
+
+  /// Total faults injected of one kind (via next()/tally()).
+  [[nodiscard]] std::int64_t injected(InjectedFault fault) const;
+  /// All non-zero tallies by fault name, for reports.
+  [[nodiscard]] std::map<std::string, std::int64_t> injected_counts() const;
+  /// Sum over all kinds.
+  [[nodiscard]] std::int64_t injected_total() const;
+
+private:
+  /// Uniform [0,1) hash of (seed, site, op_index, salt).
+  [[nodiscard]] double unit(FaultSite site, std::uint64_t op_index,
+                            std::uint64_t salt) const;
+
+  std::uint64_t seed_;
+  FaultPlan plan_;
+  obs::TraceRecorder *recorder_ = nullptr;
+  std::atomic<std::uint64_t> op_counter_[kFaultSiteCount] = {};
+  std::atomic<std::int64_t> injected_[kInjectedFaultCount] = {};
+};
+
+}  // namespace everest::platform

@@ -14,7 +14,9 @@ double message_seconds(const NetworkSpec &net, std::int64_t bytes) {
 support::Status ZrlmpiCommunicator::check_rank(int rank) const {
   if (rank < 0 || rank >= world_size_)
     return support::Status::failure("zrlmpi: rank " + std::to_string(rank) +
-                                    " out of range");
+                                        " out of range [0, " +
+                                        std::to_string(world_size_) + ")",
+                                    support::ErrorCode::InvalidArgument);
   return support::Status::ok();
 }
 
@@ -22,10 +24,48 @@ support::Status ZrlmpiCommunicator::send(int from, int to, std::int64_t bytes) {
   if (auto s = check_rank(from); !s.is_ok()) return s;
   if (auto s = check_rank(to); !s.is_ok()) return s;
   if (from == to)
-    return support::Status::failure("zrlmpi: self-send is not allowed");
-  clock_us_ += message_seconds(net_, bytes) * 1e6;
+    return support::Status::failure("zrlmpi: self-send is not allowed",
+                                    support::ErrorCode::InvalidArgument);
+  double us = message_seconds(net_, bytes) * 1e6;
+  InjectedFault fault = faults_ ? faults_->next(FaultSite::LinkSend)
+                                : InjectedFault::None;
+  if (fault == InjectedFault::LinkLatencySpike)
+    us *= faults_->plan().link_spike_multiplier;
+  clock_us_ += us;
+  if (fault == InjectedFault::LinkDrop) {
+    // The message burned its wire time but never arrived; the synchronous
+    // sender observes the loss as a timeout and reports Unavailable.
+    ++messages_lost_;
+    if (recorder_) {
+      obs::TraceEvent event;
+      event.name = std::to_string(from) + " -> " + std::to_string(to);
+      event.category = "zrlmpi.fault";
+      event.track = "zrlmpi";
+      event.start_us = clock_us_ - us;
+      event.duration_us = us;
+      event.args = {{"bytes", std::to_string(bytes)}, {"fault", "link-drop"}};
+      recorder_->record(std::move(event));
+    }
+    return support::Status(support::Error::unavailable(
+        "zrlmpi: message " + std::to_string(from) + " -> " +
+        std::to_string(to) + " lost (injected link-drop)"));
+  }
   bytes_moved_ += bytes;
   ++messages_;
+  if (recorder_) {
+    obs::TraceEvent event;
+    event.name = std::to_string(from) + " -> " + std::to_string(to);
+    event.category = fault == InjectedFault::LinkLatencySpike
+                         ? "zrlmpi.fault"
+                         : "zrlmpi.send";
+    event.track = "zrlmpi";
+    event.start_us = clock_us_ - us;
+    event.duration_us = us;
+    event.args = {{"bytes", std::to_string(bytes)}};
+    if (fault == InjectedFault::LinkLatencySpike)
+      event.args.emplace_back("fault", "link-latency-spike");
+    recorder_->record(std::move(event));
+  }
   return support::Status::ok();
 }
 

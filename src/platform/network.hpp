@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
+#include "platform/fault_injector.hpp"
 #include "support/expected.hpp"
 
 namespace everest::platform {
@@ -37,6 +39,16 @@ public:
   [[nodiscard]] double now_us() const { return clock_us_; }
   [[nodiscard]] std::int64_t bytes_moved() const { return bytes_moved_; }
   [[nodiscard]] std::int64_t messages() const { return messages_; }
+  [[nodiscard]] std::int64_t messages_lost() const { return messages_lost_; }
+
+  /// Attaches a fault injector (non-owning; nullptr detaches): sends then
+  /// flap deterministically — a LinkDrop loses the message (the sender still
+  /// burns the wire time and fails with Unavailable), a LinkLatencySpike
+  /// delivers at spike-multiplied latency.
+  void attach_fault_injector(FaultInjector *injector) { faults_ = injector; }
+  /// Attaches a trace recorder: every delivered message records a span on
+  /// the "zrlmpi" track of the shared simulated clock.
+  void attach_recorder(obs::TraceRecorder *recorder) { recorder_ = recorder; }
 
   /// Point-to-point send (synchronous: completes when delivered).
   support::Status send(int from, int to, std::int64_t bytes);
@@ -53,9 +65,12 @@ private:
 
   int world_size_;
   NetworkSpec net_;
+  FaultInjector *faults_ = nullptr;
+  obs::TraceRecorder *recorder_ = nullptr;
   double clock_us_ = 0.0;
   std::int64_t bytes_moved_ = 0;
   std::int64_t messages_ = 0;
+  std::int64_t messages_lost_ = 0;
 };
 
 }  // namespace everest::platform

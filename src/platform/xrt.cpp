@@ -23,9 +23,16 @@ Expected<BufferHandle> Device::alloc(std::int64_t bytes) {
   if (bytes <= 0)
     return Error::invalid_argument("xrt: buffer size must be positive");
   std::int64_t capacity = spec_.memory.hbm_bytes + spec_.memory.ddr_bytes;
-  if (allocated_ + bytes > capacity)
-    return Error::resource_exhausted("xrt: out of device memory on " +
-                                     spec_.name);
+  if (allocated_ + bytes > capacity) {
+    return Error::resource_exhausted(
+        "xrt: out of device memory on " + spec_.name + ": requested " +
+        std::to_string(bytes) + " bytes, " +
+        std::to_string(capacity - allocated_) + " of " +
+        std::to_string(capacity) + " available");
+  }
+  if (faults_ && faults_->next(FaultSite::Alloc) == InjectedFault::AllocFlake)
+    return Error::unavailable("xrt: transient allocation failure on " +
+                              spec_.name + " (injected alloc-flake)");
   BufferHandle h{next_id_++};
   buffers_[h.id] = bytes;
   allocated_ += bytes;
@@ -37,7 +44,10 @@ Expected<BufferHandle> Device::alloc(std::int64_t bytes) {
 
 Status Device::free(BufferHandle handle) {
   auto it = buffers_.find(handle.id);
-  if (it == buffers_.end()) return Status::failure("xrt: invalid buffer handle");
+  if (it == buffers_.end())
+    return Status::failure("xrt: invalid buffer handle " +
+                               std::to_string(handle.id) + " on " + spec_.name,
+                           support::ErrorCode::NotFound);
   allocated_ -= it->second;
   buffers_.erase(it);
   return Status::ok();
@@ -46,11 +56,20 @@ Status Device::free(BufferHandle handle) {
 Status Device::sync_to_device(BufferHandle handle) {
   auto it = buffers_.find(handle.id);
   if (it == buffers_.end())
-    return Status::failure("xrt: invalid buffer handle",
+    return Status::failure("xrt: invalid buffer handle " +
+                               std::to_string(handle.id) + " on " + spec_.name,
                            support::ErrorCode::NotFound);
   double us = transfer_us(it->second);
   clock_us_ += us;
   stats_.transfer_us += us;
+  if (faults_ &&
+      faults_->next(FaultSite::DmaToDevice) == InjectedFault::TransferError) {
+    trace("dma-to-device", "xrt.fault", us,
+          {{"bytes", std::to_string(it->second)},
+           {"fault", "transfer-error"}});
+    return Status(Error::unavailable("xrt: DMA to device failed on " +
+                                     spec_.name + " (injected transfer-error)"));
+  }
   stats_.bytes_to_device += it->second;
   trace("dma-to-device", "xrt.dma", us,
         {{"bytes", std::to_string(it->second)}});
@@ -60,11 +79,20 @@ Status Device::sync_to_device(BufferHandle handle) {
 Status Device::sync_from_device(BufferHandle handle) {
   auto it = buffers_.find(handle.id);
   if (it == buffers_.end())
-    return Status::failure("xrt: invalid buffer handle",
+    return Status::failure("xrt: invalid buffer handle " +
+                               std::to_string(handle.id) + " on " + spec_.name,
                            support::ErrorCode::NotFound);
   double us = transfer_us(it->second);
   clock_us_ += us;
   stats_.transfer_us += us;
+  if (faults_ &&
+      faults_->next(FaultSite::DmaFromDevice) == InjectedFault::TransferError) {
+    trace("dma-from-device", "xrt.fault", us,
+          {{"bytes", std::to_string(it->second)},
+           {"fault", "transfer-error"}});
+    return Status(Error::unavailable("xrt: DMA from device failed on " +
+                                     spec_.name + " (injected transfer-error)"));
+  }
   stats_.bytes_from_device += it->second;
   trace("dma-from-device", "xrt.dma", us,
         {{"bytes", std::to_string(it->second)}});
@@ -74,6 +102,15 @@ Status Device::sync_from_device(BufferHandle handle) {
 Status Device::load_kernel(const std::string &name,
                            const hls::KernelReport &report) {
   hls::Resources combined = programmed_;
+  // Re-programming an existing name frees its old area first, so retried
+  // deployments do not accumulate phantom fabric usage.
+  auto existing = kernels_.find(name);
+  if (existing != kernels_.end()) {
+    combined.luts -= existing->second.area.luts;
+    combined.ffs -= existing->second.area.ffs;
+    combined.dsps -= existing->second.area.dsps;
+    combined.brams -= existing->second.area.brams;
+  }
   combined += report.area;
   if (!fits(combined, spec_.capacity)) {
     return Status::failure("xrt: kernel '" + name + "' does not fit on " +
@@ -87,18 +124,37 @@ Status Device::load_kernel(const std::string &name,
   return Status::ok();
 }
 
-Expected<double> Device::run(const std::string &name, bool dataflow) {
+Expected<double> Device::run(const std::string &name, bool dataflow,
+                             double deadline_us) {
   auto it = kernels_.find(name);
   if (it == kernels_.end())
-    return Error::not_found("xrt: kernel '" + name + "' not programmed");
+    return Error::not_found("xrt: kernel '" + name + "' not programmed on " +
+                            spec_.name);
   // Kernel clock may differ from the report's assumed clock; rescale.
   double cycles = static_cast<double>(dataflow ? it->second.dataflow_cycles
                                                : it->second.total_cycles);
   double us = cycles / spec_.clock_mhz;
+  bool hung = faults_ && faults_->next(FaultSite::KernelLaunch) ==
+                             InjectedFault::KernelTimeout;
+  if (hung) us *= faults_->plan().kernel_timeout_multiplier;
+  if (deadline_us >= 0.0 && us > deadline_us) {
+    // The host watchdog abandons the wait at the deadline: the launch is
+    // charged exactly deadline_us of simulated time and reported as hung.
+    clock_us_ += deadline_us;
+    stats_.compute_us += deadline_us;
+    ++stats_.kernel_launches;
+    trace(name.c_str(), "xrt.fault", deadline_us,
+          {{"fault", hung ? "kernel-timeout" : "deadline-exceeded"},
+           {"needed_us", std::to_string(us)}});
+    return Error::deadline_exceeded(
+        "xrt: kernel '" + name + "' on " + spec_.name + " needed " +
+        std::to_string(us) + " us, past the " + std::to_string(deadline_us) +
+        " us deadline" + (hung ? " (injected kernel-timeout)" : ""));
+  }
   clock_us_ += us;
   stats_.compute_us += us;
   ++stats_.kernel_launches;
-  trace(name.c_str(), "xrt.kernel", us,
+  trace(name.c_str(), hung ? "xrt.fault" : "xrt.kernel", us,
         {{"dataflow", dataflow ? "true" : "false"},
          {"cycles", std::to_string(static_cast<std::int64_t>(cycles))}});
   if (recorder_) recorder_->counter("xrt.kernel_launches").add(1);

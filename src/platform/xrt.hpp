@@ -15,6 +15,7 @@
 #include "hls/scheduler.hpp"
 #include "obs/trace.hpp"
 #include "platform/device.hpp"
+#include "platform/fault_injector.hpp"
 #include "support/expected.hpp"
 
 namespace everest::platform {
@@ -51,24 +52,43 @@ public:
   /// "xrt.kernel").
   void attach_recorder(obs::TraceRecorder *recorder) { recorder_ = recorder; }
 
-  /// Allocates a buffer object; fails when device memory is exhausted.
+  /// Attaches a fault injector (non-owning; nullptr detaches). DMA syncs,
+  /// allocations, and kernel launches then consult it: injected faults fail
+  /// the call with a retryable coded error (Unavailable) or stretch the
+  /// kernel latency (KernelTimeout), all on the simulated clock, so faulted
+  /// runs stay bit-reproducible.
+  void attach_fault_injector(FaultInjector *injector) { faults_ = injector; }
+
+  /// Allocates a buffer object; fails with ResourceExhausted (reporting
+  /// requested vs. available bytes) when device memory is exhausted, or
+  /// Unavailable when the fault injector flakes the allocation.
   support::Expected<BufferHandle> alloc(std::int64_t bytes);
   /// Frees a buffer object.
   support::Status free(BufferHandle handle);
   [[nodiscard]] std::int64_t allocated_bytes() const { return allocated_; }
 
   /// Host -> device sync (PCIe DMA or network transfer, per the link spec).
+  /// An injected TransferError still advances the clock by the transfer time
+  /// (the wire work happened) but fails with Unavailable and delivers no
+  /// bytes.
   support::Status sync_to_device(BufferHandle handle);
   /// Device -> host sync.
   support::Status sync_from_device(BufferHandle handle);
 
   /// Programs a kernel (i.e. records its HLS report under a name). Fails if
-  /// the combined area of programmed kernels exceeds the fabric.
+  /// the combined area of programmed kernels exceeds the fabric. Re-loading
+  /// an already-programmed name replaces it (the area of the old image is
+  /// returned to the fabric first), so retried deployments are idempotent.
   support::Status load_kernel(const std::string &name,
                               const hls::KernelReport &report);
   /// Launches a programmed kernel; returns the kernel latency in us.
   /// `dataflow` selects the overlapped read/execute/write schedule.
-  support::Expected<double> run(const std::string &name, bool dataflow = false);
+  /// An injected KernelTimeout stretches the latency by the plan's
+  /// multiplier (the kernel "hangs"). When `deadline_us` >= 0 a hung launch
+  /// is abandoned at the deadline: the clock advances by exactly
+  /// `deadline_us` and the call fails with DeadlineExceeded.
+  support::Expected<double> run(const std::string &name, bool dataflow = false,
+                                double deadline_us = -1.0);
 
   /// Advances the clock without device work (host-side think time).
   void host_wait_us(double us) { clock_us_ += us; }
@@ -84,6 +104,7 @@ private:
 
   DeviceSpec spec_;
   obs::TraceRecorder *recorder_ = nullptr;
+  FaultInjector *faults_ = nullptr;
   double io_overhead_;
   double clock_us_ = 0.0;
   std::int64_t next_id_ = 0;

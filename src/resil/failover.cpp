@@ -1,0 +1,59 @@
+#include "resil/failover.hpp"
+
+namespace everest::resil {
+
+using support::Error;
+using support::Expected;
+
+FailoverGroup::FailoverGroup(std::vector<platform::Device *> devices,
+                             FailoverOptions options,
+                             obs::TraceRecorder *recorder)
+    : devices_(std::move(devices)),
+      options_(std::move(options)),
+      recorder_(recorder) {
+  breakers_.assign(devices_.size(), CircuitBreaker(options_.breaker));
+}
+
+Expected<FailoverOutcome> FailoverGroup::run(const std::string &kernel,
+                                             bool dataflow) {
+  Error last = Error::unavailable("resil: failover group has no devices");
+  int attempts = 0;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    platform::Device &dev = *devices_[d];
+    if (!breakers_[d].allow(dev.now_us())) {
+      ++stats_.breaker_rejections;
+      if (recorder_) recorder_->counter("resil.breaker.rejected").add(1);
+      continue;
+    }
+    auto attempt = [&]() -> Expected<double> {
+      ++attempts;
+      return dev.run(kernel, dataflow, options_.deadline.deadline_us);
+    };
+    auto result = with_retry(
+        options_.retry, attempt,
+        [&](double us) { dev.host_wait_us(us); }, recorder_,
+        "run." + dev.spec().name);
+    if (result) {
+      breakers_[d].on_success();
+      bool primary = d == 0;
+      if (primary) ++stats_.primary_runs;
+      else ++stats_.failover_runs;
+      if (recorder_ && !primary)
+        recorder_->counter("resil.failover.runs").add(1);
+      return FailoverOutcome{*result, dev.spec().name, attempts, !primary};
+    }
+    breakers_[d].on_failure(dev.now_us());
+    last = result.error();
+    if (recorder_) recorder_->counter("resil.failover.device_exhausted").add(1);
+  }
+  if (options_.host_fallback_us >= 0.0) {
+    ++stats_.host_fallback_runs;
+    if (recorder_) recorder_->counter("resil.failover.host_fallback").add(1);
+    return FailoverOutcome{options_.host_fallback_us, "host-cpu", attempts,
+                           true};
+  }
+  return last.with_context("resil: kernel '" + kernel +
+                           "' failed on every device in the group");
+}
+
+}  // namespace everest::resil

@@ -1,0 +1,72 @@
+// everest/resil/failover.hpp
+//
+// Device failover for kernel launches: try the primary device under a retry
+// policy; if its attempt budget is exhausted (or its circuit breaker is
+// open) re-place the work on a backup device, and as a last resort fall
+// back to a host-CPU execution estimate with degraded-mode accounting.
+// This is the PCIe-vs-network trade-off of the EVEREST design environment
+// made operational: work migrates across the devices that remain healthy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "platform/xrt.hpp"
+#include "resil/policy.hpp"
+#include "support/expected.hpp"
+
+namespace everest::resil {
+
+struct FailoverOptions {
+  RetryPolicy retry;              // per-device attempt budget
+  Deadline deadline;              // per-launch deadline (watchdog abort)
+  CircuitBreaker::Options breaker;
+  double host_fallback_us = -1.0; // host-CPU estimate; < 0 disables fallback
+};
+
+/// Where and how one launch finally ran.
+struct FailoverOutcome {
+  double latency_us = 0.0;
+  std::string executed_on;  // device name, or "host-cpu"
+  int attempts = 0;         // total launch attempts across all devices
+  bool degraded = false;    // did not run on the primary device
+};
+
+/// Cumulative degraded-mode accounting.
+struct FailoverStats {
+  std::int64_t primary_runs = 0;
+  std::int64_t failover_runs = 0;
+  std::int64_t host_fallback_runs = 0;
+  std::int64_t breaker_rejections = 0;
+};
+
+/// A primary device plus ordered backups, each behind a circuit breaker.
+/// Kernels must already be loaded on every member device.
+class FailoverGroup {
+public:
+  FailoverGroup(std::vector<platform::Device *> devices,
+                FailoverOptions options = {},
+                obs::TraceRecorder *recorder = nullptr);
+
+  /// Launches `kernel` on the first healthy device that completes it within
+  /// the policy, falling back to the host estimate when every device fails.
+  support::Expected<FailoverOutcome> run(const std::string &kernel,
+                                         bool dataflow = false);
+
+  [[nodiscard]] const FailoverStats &stats() const { return stats_; }
+  [[nodiscard]] const CircuitBreaker &breaker(std::size_t i) const {
+    return breakers_[i];
+  }
+  [[nodiscard]] std::size_t size() const { return devices_.size(); }
+
+private:
+  std::vector<platform::Device *> devices_;
+  std::vector<CircuitBreaker> breakers_;
+  FailoverOptions options_;
+  obs::TraceRecorder *recorder_;
+  FailoverStats stats_;
+};
+
+}  // namespace everest::resil

@@ -1,0 +1,25 @@
+#include "resil/fault.hpp"
+
+#include "support/rng.hpp"
+
+namespace everest::resil {
+
+std::vector<NodeFaultSpec> sample_node_faults(
+    std::uint64_t seed, const std::vector<std::string> &nodes,
+    double fault_rate, double horizon_ms, const std::string &spared) {
+  std::vector<NodeFaultSpec> faults;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] == spared) continue;
+    // Keyed per node index, not a shared stream, so adding a node does not
+    // shift every other node's draw.
+    support::SplitMix64 sm(seed ^ ((i + 1) * 0x9e3779b97f4a7c15ULL));
+    double u_fault = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+    if (u_fault >= fault_rate) continue;
+    double u_time = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+    faults.push_back({nodes[i], (0.1 + 0.8 * u_time) * horizon_ms,
+                      NodeFaultKind::Crash});
+  }
+  return faults;
+}
+
+}  // namespace everest::resil

@@ -1,0 +1,36 @@
+// everest/resil/fault.hpp
+//
+// Cluster-level fault descriptions shared by the resource manager and the
+// fault-injection tooling (paper §VI-A: the runtime monitor "reschedules
+// tasks if needed"). Node faults describe *what* goes wrong on the cluster
+// timeline; the policies in policy.hpp describe how the runtime reacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace everest::resil {
+
+/// How a cluster node misbehaves.
+enum class NodeFaultKind {
+  Crash,  // node dies: running tasks are lost and rescheduled
+  Drain,  // node stops accepting new tasks; running tasks finish
+};
+
+/// One fault on the cluster timeline.
+struct NodeFaultSpec {
+  std::string node;
+  double at_ms = 0.0;
+  NodeFaultKind kind = NodeFaultKind::Crash;
+};
+
+/// Deterministically samples node faults: each node (except `spared`, which
+/// guarantees a survivor so every plan stays schedulable) crashes with
+/// probability `fault_rate` at a time drawn uniformly from
+/// [0.1, 0.9] * horizon_ms. Pure function of (seed, nodes, rate, horizon).
+std::vector<NodeFaultSpec> sample_node_faults(
+    std::uint64_t seed, const std::vector<std::string> &nodes,
+    double fault_rate, double horizon_ms, const std::string &spared = {});
+
+}  // namespace everest::resil

@@ -1,0 +1,55 @@
+#include "resil/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace everest::resil {
+
+double RetryPolicy::backoff_us(int attempt) const {
+  if (attempt < 1) attempt = 1;
+  double base = initial_backoff_us *
+                std::pow(backoff_multiplier, static_cast<double>(attempt - 1));
+  base = std::min(base, max_backoff_us);
+  if (jitter <= 0.0) return base;
+  // Deterministic jitter: pure function of (jitter_seed, attempt), so the
+  // same policy replays the same backoff sequence run after run.
+  support::SplitMix64 sm(jitter_seed ^
+                         (static_cast<std::uint64_t>(attempt) *
+                          0xd1342543de82ef95ULL));
+  double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  double factor = 1.0 + jitter * (2.0 * u - 1.0);
+  return base * factor;
+}
+
+bool CircuitBreaker::allow(double now_us) {
+  switch (state_) {
+    case State::Closed:
+      return true;
+    case State::Open:
+      if (now_us >= open_until_us_) {
+        state_ = State::HalfOpen;
+        return true;
+      }
+      return false;
+    case State::HalfOpen:
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success() {
+  failures_ = 0;
+  state_ = State::Closed;
+}
+
+void CircuitBreaker::on_failure(double now_us) {
+  ++failures_;
+  if (state_ == State::HalfOpen || failures_ >= options_.failure_threshold) {
+    state_ = State::Open;
+    open_until_us_ = now_us + options_.open_us;
+  }
+}
+
+}  // namespace everest::resil

@@ -15,6 +15,8 @@
 
 #include "ir/ir.hpp"
 #include "obs/trace.hpp"
+#include "platform/fault_injector.hpp"
+#include "resil/policy.hpp"
 #include "support/expected.hpp"
 
 namespace everest::runtime {
@@ -66,14 +68,46 @@ struct DfgRunStats {
   std::size_t node_invocations = 0;
   std::size_t fold_invocations = 0;
   int workers = 1;
+  // Resilience accounting (non-zero only under fault injection).
+  std::size_t faults_injected = 0;
+  std::size_t element_retries = 0;
+  std::size_t checkpoints_saved = 0;
+  std::size_t checkpoint_restores = 0;
+  std::size_t elements_replayed = 0;
+};
+
+/// Execution knobs beyond the worker count. Fault decisions are keyed by
+/// (stage ordinal, element index, attempt) — pure functions of the
+/// injector's seed — so faulted runs produce bit-identical outputs for any
+/// worker count.
+struct DfgExecOptions {
+  int workers = 1;
+  /// Consulted per node invocation (FaultSite::NodeInvoke) and per fold
+  /// step (FaultSite::FoldStep); nullptr runs fault-free.
+  platform::FaultInjector *faults = nullptr;
+  /// Attempt budget for a faulted node invocation; exhausting it fails the
+  /// run with Unavailable.
+  resil::RetryPolicy retry;
+  /// Fold checkpointing: snapshot fold state + stream cursor every
+  /// `interval` elements, so a mid-fold fault replays only the tail.
+  resil::CheckpointSpec checkpoint;
+  /// Wall-clock budget per stage; a stage finishing past it fails the run
+  /// with DeadlineExceeded. < 0 disables.
+  double stage_deadline_us = -1.0;
 };
 
 /// Executes the first dfg.graph in `module` over the named input streams.
-/// All input streams must have equal length (element-aligned). `workers`
-/// bounds the thread-level parallelism of stateless stages. When `recorder`
-/// is given, each stage bumps an invocation counter
-/// ("dfg.node.<callee>" / "dfg.fold.<callee>") and every worker records a
-/// wall-clock span per stage chunk (track "dfg.worker-<i>").
+/// All input streams must have equal length (element-aligned). When
+/// `recorder` is given, each stage bumps an invocation counter
+/// ("dfg.node.<callee>" / "dfg.fold.<callee>"), every worker records a
+/// wall-clock span per stage chunk (track "dfg.worker-<i>"), and the
+/// resilience machinery mirrors its work to resil.* counters.
+support::Expected<std::map<std::string, Stream>> execute_dfg(
+    const ir::Module &module, const NodeRegistry &registry,
+    const std::map<std::string, Stream> &inputs, const DfgExecOptions &options,
+    DfgRunStats *stats = nullptr, obs::TraceRecorder *recorder = nullptr);
+
+/// Back-compatible form: `workers` only, no faults or checkpoints.
 support::Expected<std::map<std::string, Stream>> execute_dfg(
     const ir::Module &module, const NodeRegistry &registry,
     const std::map<std::string, Stream> &inputs, int workers = 1,

@@ -54,6 +54,10 @@ void ResourceManager::inject_failure(FaultSpec fault) {
   failures_[fault.node] = std::move(fault);
 }
 
+void ResourceManager::inject_failures(const std::vector<FaultSpec> &faults) {
+  for (const auto &fault : faults) inject_failure(fault);
+}
+
 Expected<RunReport> ResourceManager::run(const SchedulerOptions &options,
                                          obs::TraceRecorder *recorder) const {
   if (tasks_.empty())
@@ -361,6 +365,13 @@ Expected<RunReport> ResourceManager::run(const SchedulerOptions &options,
   RunReport final_report;
   if (auto s = simulate(true, final_report); !s.is_ok()) return s.error();
   final_report.rescheduled_tasks = rescheduled;
+  for (const auto &[node, fault] : failures_)
+    final_report.faulted_nodes.push_back(node);
+  if (recorder) {
+    recorder->counter("resil.node_faults")
+        .add(static_cast<std::int64_t>(failures_.size()));
+    recorder->counter("resil.rescheduled_tasks").add(rescheduled);
+  }
   export_trace(final_report);
   return final_report;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "resil/fault.hpp"
 #include "support/expected.hpp"
 
 namespace everest::runtime {
@@ -91,24 +92,22 @@ struct RunReport {
   double avg_core_utilization = 0.0;  // busy core-ms / (makespan * cores)
   int rescheduled_tasks = 0;
   std::map<TaskId, TaskOutcome> tasks;
+  /// Nodes a fault touched during the run (degraded-mode accounting).
+  std::vector<std::string> faulted_nodes;
   /// Per-node busy intervals, sorted by start time — the Gantt view of the
   /// run; this is also what feeds the tracer's per-node tracks.
   std::map<std::string, std::vector<BusyInterval>> node_timeline;
+
+  /// True when faults forced any rescheduling (the run completed in
+  /// degraded mode).
+  [[nodiscard]] bool degraded() const { return rescheduled_tasks > 0; }
 };
 
-/// How a node misbehaves in the next run (paper §VI-A: the monitor
-/// "reschedules tasks if needed").
-enum class FaultKind {
-  Crash,  // node dies: running tasks are lost and rescheduled
-  Drain,  // node stops accepting new tasks; running tasks finish
-};
-
-/// A fault injected into the next run.
-struct FaultSpec {
-  std::string node;
-  double at_ms = 0.0;
-  FaultKind kind = FaultKind::Crash;
-};
+/// Cluster fault descriptions are the shared resil types, so the resource
+/// manager, the fault-injection tooling, and the benches speak the same
+/// vocabulary (paper §VI-A: the monitor "reschedules tasks if needed").
+using FaultKind = resil::NodeFaultKind;
+using FaultSpec = resil::NodeFaultSpec;
 
 /// The resource manager / Dask-like client.
 class ResourceManager {
@@ -127,11 +126,8 @@ public:
   /// on the node.
   void inject_failure(FaultSpec fault);
 
-  /// Deprecated positional form; forwards to the FaultSpec overload with
-  /// FaultKind::Crash.
-  void inject_failure(const std::string &node_name, double at_ms) {
-    inject_failure(FaultSpec{node_name, at_ms, FaultKind::Crash});
-  }
+  /// Injects a whole fault plan (e.g. from resil::sample_node_faults).
+  void inject_failures(const std::vector<FaultSpec> &faults);
 
   /// Runs the event-driven schedule simulation. Can be called repeatedly
   /// with different options (state is rebuilt per run). When `recorder` is

@@ -342,4 +342,27 @@ Expected<double> Basecamp::deploy_and_run(platform::Device &device,
   return generator.execute_on(device, result.kernel, result.olympus_options);
 }
 
+Expected<double> Basecamp::deploy_and_run(platform::Device &device,
+                                          const CompileResult &result,
+                                          const resil::ExecutionPolicy &policy) {
+  olympus::SystemGenerator generator(result.device);
+  auto attempt = [&]() -> Expected<double> {
+    auto us = generator.execute_on(device, result.kernel,
+                                   result.olympus_options);
+    if (!us) return us;
+    // The simulated run completed but blew its budget: classify as a
+    // retryable deadline miss (a later attempt may dodge the injected
+    // kernel hang that caused it).
+    if (policy.deadline.enabled() && *us > policy.deadline.deadline_us)
+      return support::Error::deadline_exceeded(
+          "sdk: device run took " + std::to_string(*us) + " us, past the " +
+          std::to_string(policy.deadline.deadline_us) + " us deadline on " +
+          device.spec().name);
+    return us;
+  };
+  return resil::with_retry(
+      policy.retry, attempt, [&](double us) { device.host_wait_us(us); },
+      &recorder_, "deploy");
+}
+
 }  // namespace everest::sdk

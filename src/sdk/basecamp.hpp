@@ -20,6 +20,7 @@
 #include "obs/trace.hpp"
 #include "olympus/olympus.hpp"
 #include "platform/xrt.hpp"
+#include "resil/policy.hpp"
 #include "sdk/compile_cache.hpp"
 #include "sdk/options.hpp"
 #include "support/expected.hpp"
@@ -112,6 +113,15 @@ public:
   /// returns end-to-end microseconds on the device timeline.
   support::Expected<double> deploy_and_run(platform::Device &device,
                                            const CompileResult &result) const;
+
+  /// Resilient variant: retries transient faults (injected DMA errors,
+  /// alloc flakes, hung kernels) under `policy.retry`, advancing the
+  /// device's simulated clock by each backoff; a run that completes past
+  /// `policy.deadline` is treated as a retryable DeadlineExceeded failure.
+  /// Retry activity lands on the recorder's resil.* metrics.
+  support::Expected<double> deploy_and_run(platform::Device &device,
+                                           const CompileResult &result,
+                                           const resil::ExecutionPolicy &policy);
 
 private:
   support::Expected<CompileResult> backend(

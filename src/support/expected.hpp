@@ -21,6 +21,8 @@ enum class ErrorCode : int {
   NotFound = 3,          // unknown target, kernel, or resource name
   Unsupported = 4,       // recognized but not implemented / not allowed
   ResourceExhausted = 5, // out of device memory, fabric area, cores
+  Unavailable = 6,       // transient fault: DMA error, link flap, alloc flake
+  DeadlineExceeded = 7,  // operation ran past its deadline (e.g. hung kernel)
 };
 
 [[nodiscard]] constexpr const char *error_code_name(ErrorCode code) {
@@ -30,8 +32,17 @@ enum class ErrorCode : int {
     case ErrorCode::NotFound: return "not-found";
     case ErrorCode::Unsupported: return "unsupported";
     case ErrorCode::ResourceExhausted: return "resource-exhausted";
+    case ErrorCode::Unavailable: return "unavailable";
+    case ErrorCode::DeadlineExceeded: return "deadline-exceeded";
   }
   return "internal";
+}
+
+/// True for codes that a retry/backoff policy may reasonably retry: the
+/// failure is a property of the attempt (transient fault, missed deadline),
+/// not of the request itself.
+[[nodiscard]] constexpr bool is_retryable(ErrorCode code) {
+  return code == ErrorCode::Unavailable || code == ErrorCode::DeadlineExceeded;
 }
 
 /// Error payload carried by Expected on failure. Holds a human-readable
@@ -65,6 +76,12 @@ struct Error {
   static Error internal(std::string msg) {
     return make(std::move(msg), ErrorCode::Internal);
   }
+  static Error unavailable(std::string msg) {
+    return make(std::move(msg), ErrorCode::Unavailable);
+  }
+  static Error deadline_exceeded(std::string msg) {
+    return make(std::move(msg), ErrorCode::DeadlineExceeded);
+  }
 
   /// The taxonomy view of `code`; raw ints outside the enum map to Internal.
   [[nodiscard]] ErrorCode code_enum() const {
@@ -76,6 +93,10 @@ struct Error {
         return ErrorCode::Unsupported;
       case static_cast<int>(ErrorCode::ResourceExhausted):
         return ErrorCode::ResourceExhausted;
+      case static_cast<int>(ErrorCode::Unavailable):
+        return ErrorCode::Unavailable;
+      case static_cast<int>(ErrorCode::DeadlineExceeded):
+        return ErrorCode::DeadlineExceeded;
       default: return ErrorCode::Internal;
     }
   }

@@ -185,10 +185,13 @@ TEST(ResourceManager, ReschedulesAfterNodeFailure) {
   auto healthy = rm.run();
   ASSERT_TRUE(healthy.has_value());
 
-  rm.inject_failure("node0", 25.0);  // dies mid-first-wave
+  // dies mid-first-wave
+  rm.inject_failure({"node0", 25.0, er::FaultKind::Crash});
   auto degraded = rm.run();
   ASSERT_TRUE(degraded.has_value());
   EXPECT_GT(degraded->rescheduled_tasks, 0);
+  EXPECT_TRUE(degraded->degraded());
+  EXPECT_EQ(degraded->faulted_nodes, std::vector<std::string>{"node0"});
   EXPECT_GT(degraded->makespan_ms, healthy->makespan_ms);
   for (const auto &[id, outcome] : degraded->tasks) {
     if (outcome.node == "node0") {
@@ -235,15 +238,21 @@ TEST(ResourceManager, DrainFinishesRunningTasksButStartsNoneNew) {
   EXPECT_GT(rd->rescheduled_tasks, 0);
 }
 
-TEST(ResourceManager, OldInjectFailureSignatureStillWorks) {
-  er::ResourceManager rm(small_cluster(2));
-  for (int i = 0; i < 8; ++i) {
+TEST(ResourceManager, InjectFailuresAppliesWholePlan) {
+  er::ResourceManager rm(small_cluster(3));
+  for (int i = 0; i < 12; ++i) {
     ASSERT_TRUE(rm.submit({"t" + std::to_string(i), {}, 50.0}).has_value());
   }
-  rm.inject_failure("node0", 25.0);  // legacy positional form == Crash
+  rm.inject_failures({{"node0", 25.0, er::FaultKind::Crash},
+                      {"node1", 40.0, er::FaultKind::Drain}});
   auto report = rm.run();
   ASSERT_TRUE(report.has_value());
   EXPECT_GT(report->rescheduled_tasks, 0);
+  EXPECT_TRUE(report->degraded());
+  EXPECT_EQ(report->faulted_nodes,
+            (std::vector<std::string>{"node0", "node1"}));
+  // Every task still completes despite two of three nodes faulting.
+  EXPECT_EQ(report->tasks.size(), rm.task_count());
 }
 
 TEST(ResourceManager, NodeTimelineCoversEveryPlacement) {

@@ -17,6 +17,15 @@
 //                            of unchanged kernels reuse the stored HLS
 //                            schedule and Olympus system
 //     --run                  deploy on the target device model
+//     --fault-seed=<n>       enable deterministic fault injection on the
+//                            device run; the same seed reproduces the same
+//                            faults (and the same trace) bit-for-bit
+//     --fault-plan=<spec>    fault rates, e.g. transfer=0.2,timeout=0.1,
+//                            alloc=0.05,timeout-mult=8 (see
+//                            platform/fault_injector.hpp for all keys)
+//     --retry=<n>            attempt budget for transient device faults
+//                            (exponential backoff with deterministic jitter)
+//     --deadline-us=<x>      fail (and retry) device runs that exceed x us
 //     --trace-out <file>     write a Chrome trace_event JSON of the compile
 //                            (and device run) — open in chrome://tracing or
 //                            https://ui.perfetto.dev; also prints the span
@@ -25,18 +34,23 @@
 // EKL inputs are bound to deterministic synthetic tensors sized from the
 // declared extents, so any kernel compiles without external data.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "dialects/ekl.hpp"
 #include "frontend/ekl_parser.hpp"
 #include "hls/scheduler.hpp"
 #include "obs/export.hpp"
+#include "platform/fault_injector.hpp"
 #include "platform/xrt.hpp"
+#include "resil/policy.hpp"
 #include "sdk/basecamp.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
@@ -115,6 +129,10 @@ int cmd_compile(Basecamp &basecamp, int argc, char **argv) {
   std::string emit;
   std::string trace_out;
   std::string cache_dir;
+  std::string fault_plan_spec;
+  std::uint64_t fault_seed = 0;
+  bool fault_inject = false;
+  everest::resil::ExecutionPolicy policy;
   int jobs = 1;
   bool run = false;
   for (int i = 0; i < argc; ++i) {
@@ -133,6 +151,16 @@ int cmd_compile(Basecamp &basecamp, int argc, char **argv) {
       cache_dir = arg.substr(12);
     else if (arg == "--run")
       run = true;
+    else if (everest::support::starts_with(arg, "--fault-seed=")) {
+      fault_seed = std::strtoull(arg.c_str() + 13, nullptr, 10);
+      fault_inject = true;
+    } else if (everest::support::starts_with(arg, "--fault-plan=")) {
+      fault_plan_spec = arg.substr(13);
+      fault_inject = true;
+    } else if (everest::support::starts_with(arg, "--retry="))
+      policy.retry.max_attempts = std::atoi(arg.c_str() + 8);
+    else if (everest::support::starts_with(arg, "--deadline-us="))
+      policy.deadline.deadline_us = std::strtod(arg.c_str() + 14, nullptr);
     else if (everest::support::starts_with(arg, "--trace-out="))
       trace_out = arg.substr(12);
     else if (arg == "--trace-out" && i + 1 < argc)
@@ -209,7 +237,23 @@ int cmd_compile(Basecamp &basecamp, int argc, char **argv) {
       everest::platform::Device device(result.device);
       // Device DMA/kernel spans land in the same trace as the compile stages.
       device.attach_recorder(&basecamp.recorder());
-      auto us = basecamp.deploy_and_run(device, result);
+      std::unique_ptr<everest::platform::FaultInjector> injector;
+      if (fault_inject) {
+        auto plan = fault_plan_spec.empty()
+                        ? everest::platform::parse_fault_plan(
+                              "transfer=0.2,timeout=0.2,alloc=0.1")
+                        : everest::platform::parse_fault_plan(fault_plan_spec);
+        if (!plan) {
+          std::fprintf(stderr, "basecamp: [%s] %s\n", plan.error().code_name(),
+                       plan.error().message.c_str());
+          return 2;
+        }
+        injector = std::make_unique<everest::platform::FaultInjector>(
+            fault_seed, *plan);
+        injector->attach_recorder(&basecamp.recorder());
+        device.attach_fault_injector(injector.get());
+      }
+      auto us = basecamp.deploy_and_run(device, result, policy);
       if (!us) {
         std::fprintf(stderr, "basecamp: [%s] %s\n", us.error().code_name(),
                      us.error().message.c_str());
@@ -217,6 +261,14 @@ int cmd_compile(Basecamp &basecamp, int argc, char **argv) {
       }
       std::printf("device run on %s: %.1f us end-to-end\n",
                   result.device.name.c_str(), *us);
+      if (injector && injector->injected_total() > 0) {
+        std::printf("injected faults (seed %llu):",
+                    static_cast<unsigned long long>(fault_seed));
+        for (const auto &[kind, count] : injector->injected_counts())
+          std::printf(" %s=%lld", kind.c_str(),
+                      static_cast<long long>(count));
+        std::printf("  -- recovered via retry/backoff\n");
+      }
     }
   }
 
