@@ -1,0 +1,178 @@
+// Serving-layer benchmark: offered load vs dynamic batch size. Sweeps the
+// batcher's max_batch across a nominal load (generous queue bounds — nothing
+// should shed) and an overload (tight per-tenant queue bounds — the server
+// must shed with Unavailable instead of queueing without bound), and reports
+// throughput and the per-request latency distribution. Self-checking: a
+// non-zero shed rate at nominal load is a VIOLATION (exit 1) — the QoS
+// policies must only fire under pressure.
+
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "frontend/condrust_parser.hpp"
+#include "obs/trace.hpp"
+#include "runtime/dfg_executor.hpp"
+#include "serve/server.hpp"
+#include "support/table.hpp"
+
+namespace es = everest::serve;
+namespace er = everest::runtime;
+
+namespace {
+
+constexpr const char *kGraph = R"(
+fn serve_pipe(xs: Stream<f64>) -> Stream<f64> {
+    let scaled = mul2(xs);
+    let biased = add1(scaled);
+    return biased;
+}
+)";
+
+std::shared_ptr<er::NodeRegistry> make_registry() {
+  auto registry = std::make_shared<er::NodeRegistry>();
+  registry->register_node("mul2",
+                          [](const std::vector<const er::Record *> &in) {
+                            er::Record out = *in.at(0);
+                            for (double &v : out) v *= 2.0;
+                            return out;
+                          });
+  registry->register_node("add1",
+                          [](const std::vector<const er::Record *> &in) {
+                            er::Record out = *in.at(0);
+                            for (double &v : out) v += 1.0;
+                            return out;
+                          });
+  return registry;
+}
+
+struct CellResult {
+  std::size_t requests = 0;
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  double mean_batch = 0.0;
+  double throughput_rps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+CellResult run_cell(const std::shared_ptr<const everest::ir::Module> &graph,
+                    const std::shared_ptr<const er::NodeRegistry> &registry,
+                    std::size_t max_batch, std::size_t queue_bound,
+                    std::size_t requests) {
+  CellResult cell;
+  cell.requests = requests;
+
+  everest::obs::TraceRecorder recorder;
+  auto backend = es::DfgBackend::create(graph, registry, {}, &recorder);
+  if (!backend) return cell;
+  std::vector<std::unique_ptr<es::Backend>> backends;
+  backends.push_back(std::move(*backend));
+
+  es::ServerOptions options;
+  options.batch.max_batch = max_batch;
+  options.batch.max_wait_us = 200.0;
+  options.dispatchers = 2;
+  options.queue_bound = queue_bound;
+  auto server = es::Server::create(std::move(backends), options, &recorder);
+  if (!server) return cell;
+  (*server)->start();
+
+  double t0 = (*server)->now_us();
+  std::vector<std::future<es::Response>> futures;
+  futures.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    es::Request req;
+    req.tenant = i % 2 == 0 ? "tenant-a" : "tenant-b";
+    req.inputs["xs"] = {static_cast<double>(i), static_cast<double>(i) * 0.5};
+    auto submitted = (*server)->submit(std::move(req));
+    if (!submitted) {
+      ++cell.shed;
+      continue;
+    }
+    futures.push_back(std::move(*submitted));
+  }
+  (*server)->drain();
+  for (auto &future : futures) {
+    es::Response response = future.get();
+    if (response.status.is_ok()) ++cell.completed;
+  }
+  double elapsed_us = (*server)->now_us() - t0;
+  (*server)->stop();
+
+  auto stats = (*server)->stats();
+  cell.mean_batch = stats.batch_size.mean();
+  cell.shed += static_cast<std::size_t>(stats.shed_deadline);
+  if (elapsed_us > 0.0) {
+    cell.throughput_rps =
+        static_cast<double>(cell.completed) / (elapsed_us * 1e-6);
+  }
+  for (const auto &[name, summary] : recorder.histograms()) {
+    if (name == "serve.latency_us.tenant-a") {
+      cell.p50_us = summary.p50;
+      cell.p95_us = summary.p95;
+      cell.p99_us = summary.p99;
+    }
+  }
+  return cell;
+}
+
+std::string fmt(double v, const char *pattern = "%.1f") {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, pattern, v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== serve: offered load vs dynamic batch size ==\n\n");
+
+  auto graph = everest::frontend::parse_condrust(kGraph);
+  if (!graph) {
+    std::fprintf(stderr, "parse failed: %s\n", graph.error().message.c_str());
+    return 1;
+  }
+  auto registry = make_registry();
+
+  const std::size_t kRequests = 400;
+  const std::size_t kNominalBound = 10'000;  // never sheds at this load
+  const std::size_t kOverloadBound = 16;     // forces queue-bound shedding
+
+  everest::support::Table table({"load", "max_batch", "completed", "shed",
+                                 "mean batch", "throughput [req/s]",
+                                 "p50 [us]", "p95 [us]", "p99 [us]"});
+  bool violation = false;
+  for (std::size_t max_batch : {1u, 4u, 16u}) {
+    for (bool overload : {false, true}) {
+      auto cell = run_cell(*graph, registry, max_batch,
+                           overload ? kOverloadBound : kNominalBound,
+                           kRequests);
+      table.add_row({overload ? "overload" : "nominal",
+                     std::to_string(max_batch), std::to_string(cell.completed),
+                     std::to_string(cell.shed), fmt(cell.mean_batch, "%.2f"),
+                     fmt(cell.throughput_rps, "%.0f"), fmt(cell.p50_us),
+                     fmt(cell.p95_us), fmt(cell.p99_us)});
+      if (!overload && cell.shed > 0) {
+        std::fprintf(stderr,
+                     "VIOLATION: %zu requests shed at nominal load "
+                     "(max_batch=%zu, bound=%zu)\n",
+                     cell.shed, max_batch, kNominalBound);
+        violation = true;
+      }
+      if (!overload && cell.completed != kRequests) {
+        std::fprintf(stderr,
+                     "VIOLATION: only %zu/%zu requests completed at nominal "
+                     "load (max_batch=%zu)\n",
+                     cell.completed, kRequests, max_batch);
+        violation = true;
+      }
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (violation) return 1;
+  std::printf("nominal-load shed rate: 0%% across all batch sizes (bound held)\n");
+  return 0;
+}

@@ -86,6 +86,7 @@ support::Json chrome_trace_json(const TraceRecorder &recorder) {
     h.set("count", summary.count);
     h.set("mean", summary.mean);
     h.set("p95", summary.p95);
+    h.set("p99", summary.p99);
     other.set(name, std::move(h));
   }
   if (other.size() > 0) doc.set("otherData", std::move(other));
@@ -155,11 +156,12 @@ std::string summary_table(const TraceRecorder &recorder) {
   auto histograms = recorder.histograms();
   if (!histograms.empty()) {
     if (!out.empty()) out += "\n";
-    support::Table table({"histogram", "count", "mean", "p50", "p95", "max"});
+    support::Table table(
+        {"histogram", "count", "mean", "p50", "p95", "p99", "max"});
     for (const auto &[name, s] : histograms) {
       table.add_row({name, std::to_string(s.count), format_value(s.mean),
                      format_value(s.p50), format_value(s.p95),
-                     format_value(s.max)});
+                     format_value(s.p99), format_value(s.max)});
     }
     out += table.render();
   }

@@ -29,6 +29,7 @@ Histogram::Summary Histogram::summarize() const {
   };
   s.p50 = quantile(0.5);
   s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
   return s;
 }
 

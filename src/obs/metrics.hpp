@@ -51,6 +51,7 @@ public:
     double mean = 0.0;
     double p50 = 0.0;
     double p95 = 0.0;
+    double p99 = 0.0;
   };
   /// Exact over all recorded samples (sorts a copy; fine at tracing volumes).
   [[nodiscard]] Summary summarize() const;

@@ -62,11 +62,17 @@ Expected<RunReport> ResourceManager::run(const SchedulerOptions &options,
                                          obs::TraceRecorder *recorder) const {
   if (tasks_.empty())
     return Error::invalid_argument("resman: no tasks submitted");
+  // A negative cpu_ms means the task has no CPU variant at all (submit()
+  // guarantees fpga_ms >= 0 in that case), so it can only ever be placed on
+  // an FPGA node — exactly like an explicit needs_fpga request.
+  auto fpga_required = [](const TaskSpec &t) {
+    return t.needs_fpga || t.cpu_ms < 0.0;
+  };
   for (const auto &t : tasks_) {
     if (t.cores > 0) {
       bool fits_somewhere = false;
       for (const auto &n : cluster_.nodes) {
-        if (t.cores <= n.cores && (!t.needs_fpga || n.has_fpga))
+        if (t.cores <= n.cores && (!fpga_required(t) || n.has_fpga))
           fits_somewhere = true;
       }
       if (!fits_somewhere)
@@ -83,18 +89,25 @@ Expected<RunReport> ResourceManager::run(const SchedulerOptions &options,
           static_cast<TaskId>(i));
   }
 
-  // Mean duration per task across nodes (for ranking only).
+  // Mean duration per task across nodes (for ranking only). FPGA-only tasks
+  // (cpu_ms < 0) contribute their FPGA duration — dividing a negative cpu_ms
+  // by the node speed would corrupt the HEFT ranks.
   auto mean_duration = [&](const TaskSpec &t) {
     double sum = 0.0;
     int count = 0;
     for (const auto &n : cluster_.nodes) {
-      if (t.needs_fpga && !n.has_fpga) continue;
-      double d = t.cpu_ms / n.speed;
-      if (n.has_fpga && t.fpga_ms >= 0.0) d = std::min(d, t.fpga_ms);
+      if (fpga_required(t) && !n.has_fpga) continue;
+      double d;
+      if (t.cpu_ms < 0.0) {
+        d = t.fpga_ms;
+      } else {
+        d = t.cpu_ms / n.speed;
+        if (n.has_fpga && t.fpga_ms >= 0.0) d = std::min(d, t.fpga_ms);
+      }
       sum += d;
       ++count;
     }
-    return count > 0 ? sum / count : t.cpu_ms;
+    return count > 0 ? sum / count : std::max(t.cpu_ms, t.fpga_ms);
   };
 
   // HEFT upward rank (memoized, graph is a DAG).
@@ -117,6 +130,12 @@ Expected<RunReport> ResourceManager::run(const SchedulerOptions &options,
   // final with kill-aware constraints (rescheduled tasks restart after the
   // failure time, modeling the monitor's re-submission).
   std::vector<bool> killed(tasks_.size(), false);
+  // When a crash kills a task, the restart happens after *that* fault — not
+  // after the earliest fault anywhere on the cluster.
+  std::vector<double> restart_at(tasks_.size(), 0.0);
+  // Tasks a fault displaced (crash-killed or drain-moved) count a second
+  // submission attempt either way.
+  std::vector<bool> displaced(tasks_.size(), false);
 
   auto simulate = [&](bool enforce_failures,
                       RunReport &report) -> support::Status {
@@ -182,13 +201,23 @@ Expected<RunReport> ResourceManager::run(const SchedulerOptions &options,
       for (std::size_t n = 0; n < nodes.size(); ++n) {
         const NodeSpec &spec = cluster_.nodes[n];
         if (t.cores > spec.cores) continue;
-        if (t.needs_fpga && !spec.has_fpga) continue;
+        if (fpga_required(t) && !spec.has_fpga) continue;
 
-        double duration = t.cpu_ms / spec.speed;
-        bool use_fpga = false;
-        if (spec.has_fpga && t.fpga_ms >= 0.0 && t.fpga_ms < duration) {
+        // FPGA-only tasks (cpu_ms < 0, fpga_ms >= 0 — submit() rejects the
+        // doubly-negative case) must take the FPGA variant: the negative
+        // cpu_ms is "infeasible on CPU", not a duration.
+        double duration;
+        bool use_fpga;
+        if (t.cpu_ms < 0.0) {
           duration = t.fpga_ms;
           use_fpga = true;
+        } else {
+          duration = t.cpu_ms / spec.speed;
+          use_fpga = false;
+          if (spec.has_fpga && t.fpga_ms >= 0.0 && t.fpga_ms < duration) {
+            duration = t.fpga_ms;
+            use_fpga = true;
+          }
         }
 
         // Data arrival: cross-node inputs pay a transfer.
@@ -209,12 +238,10 @@ Expected<RunReport> ResourceManager::run(const SchedulerOptions &options,
         double start = std::max(cores_free, data_ready);
         if (use_fpga) start = std::max(start, nodes[n].fpga_free);
         if (enforce_failures && killed[idx]) {
-          // Rescheduled tasks restart after the (earliest) failure time,
-          // modeling the monitor's re-submission.
-          double fail_time = kInf;
-          for (const auto &[name, fault] : failures_)
-            fail_time = std::min(fail_time, fault.at_ms);
-          start = std::max(start, fail_time);
+          // Crash-killed tasks restart after the fault that actually killed
+          // them (the crash on their first-pass node), modeling the
+          // monitor's re-submission of the lost work.
+          start = std::max(start, restart_at[idx]);
         }
         double finish_here = start + duration;
         if (nodes[n].fail_kind == FaultKind::Crash) {
@@ -257,7 +284,7 @@ Expected<RunReport> ResourceManager::run(const SchedulerOptions &options,
       outcome.start_ms = best_start;
       outcome.finish_ms = finish_time;
       outcome.used_fpga = best_fpga;
-      outcome.attempts = killed[idx] && enforce_failures ? 2 : 1;
+      outcome.attempts = displaced[idx] && enforce_failures ? 2 : 1;
       report.node_timeline[outcome.node].push_back(
           {chosen, best_start, finish_time, best_fpga});
       report.tasks[chosen] = outcome;
@@ -354,12 +381,18 @@ Expected<RunReport> ResourceManager::run(const SchedulerOptions &options,
       // In-flight work is lost; the monitor re-submits it after the failure.
       if (outcome.finish_ms > fault.at_ms) {
         killed[static_cast<std::size_t>(id)] = true;
+        restart_at[static_cast<std::size_t>(id)] = fault.at_ms;
+        displaced[static_cast<std::size_t>(id)] = true;
         ++rescheduled;
       }
     } else {
-      // Drained: tasks that would have started there are placed elsewhere,
-      // with no lost work to restart.
-      if (outcome.start_ms >= fault.at_ms) ++rescheduled;
+      // Drained: tasks that would have started there are placed elsewhere.
+      // No lost work restarts, but the re-placement is still a second
+      // submission attempt.
+      if (outcome.start_ms >= fault.at_ms) {
+        displaced[static_cast<std::size_t>(id)] = true;
+        ++rescheduled;
+      }
     }
   }
   RunReport final_report;

@@ -46,10 +46,16 @@ struct ClusterSpec {
 };
 
 /// Task description with EVEREST-specific resource requests.
+///
+/// Variant semantics: a negative duration marks the variant as infeasible.
+/// `cpu_ms < 0, fpga_ms >= 0` is an FPGA-only task — it is placed exclusively
+/// on FPGA nodes, always with `used_fpga = true`, exactly as if `needs_fpga`
+/// were set. `cpu_ms >= 0, fpga_ms < 0` is CPU-only. Submitting a task with
+/// both variants negative is rejected.
 struct TaskSpec {
   std::string name;
   std::vector<TaskId> deps;
-  double cpu_ms = 1.0;      // duration on one CPU core (speed 1.0)
+  double cpu_ms = 1.0;      // duration on one CPU core (speed 1.0); < 0 => FPGA only
   double fpga_ms = -1.0;    // duration when offloaded; < 0 => CPU only
   int cores = 1;            // CPU cores requested
   bool needs_fpga = false;  // hard FPGA requirement

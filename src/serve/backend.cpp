@@ -1,0 +1,90 @@
+#include "serve/backend.hpp"
+
+namespace everest::serve {
+
+support::Expected<std::unique_ptr<DfgBackend>> DfgBackend::create(
+    std::shared_ptr<const ir::Module> graph,
+    std::shared_ptr<const runtime::NodeRegistry> registry,
+    runtime::DfgExecOptions options, obs::TraceRecorder *recorder) {
+  if (!graph) {
+    return support::Error::invalid_argument("serve: null serving graph");
+  }
+  if (!registry) {
+    return support::Error::invalid_argument("serve: null node registry");
+  }
+  const ir::Operation *dfg = nullptr;
+  graph->walk([&](const ir::Operation &op) {
+    if (dfg == nullptr && op.name() == "dfg.graph") dfg = &op;
+  });
+  if (dfg == nullptr || dfg->num_regions() == 0 || dfg->region(0).empty()) {
+    return support::Error::invalid_argument(
+        "serve: module contains no dfg.graph to serve");
+  }
+  std::vector<std::string> input_names;
+  support::Status bad = support::Status::ok();
+  for (const auto &op_ptr : dfg->region(0).front().operations()) {
+    const ir::Operation &op = *op_ptr;
+    if (op.name() == "dfg.input") {
+      input_names.push_back(op.attr_string("name"));
+    } else if (op.name() == "dfg.fold") {
+      // A fold collapses the whole stream into one record, so running two
+      // requests in one batch would fuse their data — batching must refuse.
+      bad = support::Error::unsupported(
+          "serve: graph contains dfg.fold '" + op.attr_string("callee") +
+          "' — fold stages are stateful across the stream and cannot be "
+          "batched");
+    } else if (op.name() == "dfg.node") {
+      std::string callee = op.attr_string("callee");
+      if (registry->find_node(callee) == nullptr) {
+        bad = support::Error::not_found(
+            "serve: dfg.node callee '" + callee + "' is not registered");
+      }
+    }
+  }
+  if (!bad.is_ok()) return bad.error();
+  if (input_names.empty()) {
+    return support::Error::invalid_argument(
+        "serve: serving graph declares no dfg.input streams");
+  }
+  return std::unique_ptr<DfgBackend>(
+      new DfgBackend(std::move(graph), std::move(registry), options, recorder,
+                     std::move(input_names)));
+}
+
+support::Expected<std::map<std::string, runtime::Stream>> DfgBackend::run_batch(
+    const std::map<std::string, runtime::Stream> &inputs) {
+  return runtime::execute_dfg(*graph_, *registry_, inputs, options_,
+                              /*stats=*/nullptr, recorder_);
+}
+
+support::Expected<std::unique_ptr<DeviceBackend>> DeviceBackend::create(
+    platform::Device *device, std::string kernel,
+    std::unique_ptr<DfgBackend> compute, double launch_deadline_us) {
+  if (device == nullptr) {
+    return support::Error::invalid_argument("serve: null device");
+  }
+  if (!compute) {
+    return support::Error::invalid_argument(
+        "serve: DeviceBackend needs a compute backend for functional results");
+  }
+  return std::unique_ptr<DeviceBackend>(
+      new DeviceBackend(device, std::move(kernel), std::move(compute),
+                        launch_deadline_us));
+}
+
+support::Expected<std::map<std::string, runtime::Stream>>
+DeviceBackend::run_batch(const std::map<std::string, runtime::Stream> &inputs) {
+  {
+    // One simulated launch per batch: this is the amortization batching
+    // buys, and the hook where injected device faults (DMA flakes, hung
+    // kernels) surface as retryable errors.
+    std::lock_guard<std::mutex> lock(launch_mu_);
+    auto launch = device_->run(kernel_, /*dataflow=*/true, launch_deadline_us_);
+    if (!launch) {
+      return launch.error().with_context("serve: launch on " + name_);
+    }
+  }
+  return compute_->run_batch(inputs);
+}
+
+}  // namespace everest::serve

@@ -1,0 +1,118 @@
+// everest/serve/backend.hpp
+//
+// Execution backends of the serving layer. A Backend runs one *batch* — the
+// concatenation of several requests' input records into streams — through
+// the serving graph and returns the output streams. DfgBackend is the
+// host-CPU path (the deterministic dfg executor); DeviceBackend fronts a
+// simulated FPGA device: it charges the batch launch to the device's clock
+// (amortizing one kernel launch over the whole batch, surfacing injected
+// device faults) and delegates the functional computation to an inner
+// DfgBackend. The Server fails over across its backend list in order, so
+// [DeviceBackend, DfgBackend] is "FPGA first, host CPU as the degraded
+// fallback".
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "platform/xrt.hpp"
+#include "runtime/dfg_executor.hpp"
+#include "support/expected.hpp"
+
+namespace everest::serve {
+
+/// Runs batches against the serving graph. Implementations must be safe to
+/// call from multiple dispatcher threads concurrently.
+class Backend {
+public:
+  virtual ~Backend() = default;
+
+  [[nodiscard]] virtual const std::string &name() const = 0;
+  /// The dfg.input stream names every request must populate.
+  [[nodiscard]] virtual const std::vector<std::string> &input_names() const = 0;
+
+  /// Executes one batch: every input stream holds one record per request, in
+  /// batch order; every output stream must come back with the same length
+  /// and order.
+  virtual support::Expected<std::map<std::string, runtime::Stream>> run_batch(
+      const std::map<std::string, runtime::Stream> &inputs) = 0;
+};
+
+/// Host-CPU backend over execute_dfg. Construction validates that the graph
+/// is batchable: it must contain a dfg.graph with at least one dfg.input, no
+/// dfg.fold stages (a fold collapses the stream, so batching would change
+/// results), and every dfg.node callee must be registered.
+class DfgBackend final : public Backend {
+public:
+  static support::Expected<std::unique_ptr<DfgBackend>> create(
+      std::shared_ptr<const ir::Module> graph,
+      std::shared_ptr<const runtime::NodeRegistry> registry,
+      runtime::DfgExecOptions options = {},
+      obs::TraceRecorder *recorder = nullptr);
+
+  [[nodiscard]] const std::string &name() const override { return name_; }
+  [[nodiscard]] const std::vector<std::string> &input_names() const override {
+    return input_names_;
+  }
+
+  support::Expected<std::map<std::string, runtime::Stream>> run_batch(
+      const std::map<std::string, runtime::Stream> &inputs) override;
+
+private:
+  DfgBackend(std::shared_ptr<const ir::Module> graph,
+             std::shared_ptr<const runtime::NodeRegistry> registry,
+             runtime::DfgExecOptions options, obs::TraceRecorder *recorder,
+             std::vector<std::string> input_names)
+      : graph_(std::move(graph)), registry_(std::move(registry)),
+        options_(options), recorder_(recorder),
+        input_names_(std::move(input_names)) {}
+
+  std::string name_ = "host-cpu";
+  std::shared_ptr<const ir::Module> graph_;
+  std::shared_ptr<const runtime::NodeRegistry> registry_;
+  runtime::DfgExecOptions options_;
+  obs::TraceRecorder *recorder_;
+  std::vector<std::string> input_names_;
+};
+
+/// FPGA backend: one simulated kernel launch per batch (this is where
+/// batching pays — launch and DMA overheads amortize across the batch),
+/// functional results computed by the wrapped host backend so batched and
+/// unbatched outputs stay byte-identical. Device faults injected into the
+/// launch surface as retryable errors. The device's simulated clock is not
+/// thread-safe, so launches are serialized internally.
+class DeviceBackend final : public Backend {
+public:
+  /// `kernel` must already be loaded on `device`. `launch_deadline_us` is
+  /// the per-launch watchdog passed to Device::run (< 0 disables).
+  static support::Expected<std::unique_ptr<DeviceBackend>> create(
+      platform::Device *device, std::string kernel,
+      std::unique_ptr<DfgBackend> compute, double launch_deadline_us = -1.0);
+
+  [[nodiscard]] const std::string &name() const override { return name_; }
+  [[nodiscard]] const std::vector<std::string> &input_names() const override {
+    return compute_->input_names();
+  }
+
+  support::Expected<std::map<std::string, runtime::Stream>> run_batch(
+      const std::map<std::string, runtime::Stream> &inputs) override;
+
+private:
+  DeviceBackend(platform::Device *device, std::string kernel,
+                std::unique_ptr<DfgBackend> compute, double launch_deadline_us)
+      : device_(device), kernel_(std::move(kernel)),
+        compute_(std::move(compute)),
+        launch_deadline_us_(launch_deadline_us),
+        name_(device->spec().name) {}
+
+  platform::Device *device_;
+  std::string kernel_;
+  std::unique_ptr<DfgBackend> compute_;
+  double launch_deadline_us_;
+  std::string name_;
+  std::mutex launch_mu_;
+};
+
+}  // namespace everest::serve

@@ -1,0 +1,54 @@
+// everest/serve/batcher.hpp
+//
+// Dynamic-batching policy: pure decision functions over (queue depth, age of
+// the oldest queued request, now). Kept free of threads and clocks so the
+// policy is unit-testable on its own; the Server supplies the lock, the
+// condition-variable waits, and the wall clock.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace everest::serve {
+
+/// Dispatch a batch when `max_batch` requests are queued, or when the oldest
+/// queued request has waited `max_wait_us` of wall time (0 = dispatch
+/// immediately, i.e. batches only form under concurrent load), or when the
+/// server is draining.
+struct BatcherOptions {
+  std::size_t max_batch = 8;
+  double max_wait_us = 0.0;
+};
+
+class DynamicBatcher {
+public:
+  DynamicBatcher() = default;
+  explicit DynamicBatcher(BatcherOptions options) : options_(options) {
+    if (options_.max_batch == 0) options_.max_batch = 1;
+    if (options_.max_wait_us < 0.0) options_.max_wait_us = 0.0;
+  }
+
+  [[nodiscard]] const BatcherOptions &options() const { return options_; }
+  [[nodiscard]] std::size_t max_batch() const { return options_.max_batch; }
+
+  /// Whether a dispatcher holding the queue lock should cut a batch now.
+  [[nodiscard]] bool should_dispatch(std::size_t depth, double oldest_admit_us,
+                                     double now_us, bool draining) const {
+    if (depth == 0) return false;
+    if (depth >= options_.max_batch) return true;
+    if (draining) return true;
+    return now_us - oldest_admit_us >= options_.max_wait_us;
+  }
+
+  /// How long (us) the dispatcher may keep waiting for the batch to fill
+  /// before the oldest request's wait budget runs out.
+  [[nodiscard]] double wait_budget_us(double oldest_admit_us,
+                                      double now_us) const {
+    return std::max(0.0, options_.max_wait_us - (now_us - oldest_admit_us));
+  }
+
+private:
+  BatcherOptions options_;
+};
+
+}  // namespace everest::serve

@@ -1,0 +1,155 @@
+// everest/serve/server.hpp
+//
+// The everest::serve request server: a thread-safe admission queue feeding
+// dispatcher threads that coalesce compatible requests into batches
+// (dynamic batching: dispatch when max_batch fills or the oldest request
+// has waited max_wait_us) and run them through the backend chain with
+// failover. Per-tenant QoS — token-bucket rate limits, weighted-fair
+// dequeue, bounded queues with load shedding — lives in qos.hpp; this file
+// owns the threading, the batch lifecycle, the resilience wiring (retry
+// per backend attempt, circuit breaker per backend, deadline shedding),
+// and the observability surface (serve.* counters/gauges/histograms plus
+// one span per dispatched batch).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "resil/policy.hpp"
+#include "serve/backend.hpp"
+#include "serve/batcher.hpp"
+#include "serve/qos.hpp"
+#include "serve/request.hpp"
+#include "support/stats.hpp"
+
+namespace everest::serve {
+
+struct ServerOptions {
+  BatcherOptions batch;
+  /// Dispatcher (batch-forming/executing) threads.
+  int dispatchers = 1;
+  /// Default per-tenant queue bound (TenantConfig::queue_bound overrides).
+  std::size_t queue_bound = 1024;
+  /// Pre-configured tenants; unknown tenants get default QoS on first use.
+  std::map<std::string, TenantConfig> tenants;
+  /// Retry budget per backend per batch (retryable errors only).
+  resil::RetryPolicy retry;
+  /// Circuit-breaker options, one breaker instantiated per backend.
+  resil::CircuitBreaker::Options breaker;
+  /// Default latency budget (us) applied at admission when a request
+  /// carries no deadline; < 0 means no default deadline.
+  double default_deadline_budget_us = -1.0;
+};
+
+/// Aggregate serving statistics (snapshot via Server::stats()).
+struct TenantStats {
+  std::int64_t admitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  std::int64_t shed = 0;
+  support::RunningStats latency_us;
+};
+
+struct ServerStats {
+  std::int64_t submitted = 0;
+  std::int64_t admitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  std::int64_t shed_queue = 0;
+  std::int64_t shed_rate = 0;
+  std::int64_t shed_deadline = 0;
+  std::int64_t batches = 0;
+  std::int64_t failovers = 0;
+  std::int64_t breaker_rejections = 0;
+  support::RunningStats batch_size;
+  std::map<std::string, TenantStats> tenants;
+};
+
+/// Multi-tenant request server over a backend chain.
+///
+/// Lifecycle: construct (validated via create()), start(), submit() from any
+/// number of client threads, drain() to flush, stop() (also run by the
+/// destructor). Backends are tried in order per batch; each is guarded by
+/// its own circuit breaker and retried per `options.retry`; a batch that
+/// exhausts every backend fails all its requests with the last error.
+/// Requests served by a non-primary backend report `degraded = true`.
+class Server {
+public:
+  static support::Expected<std::unique_ptr<Server>> create(
+      std::vector<std::unique_ptr<Backend>> backends, ServerOptions options,
+      obs::TraceRecorder *recorder = nullptr);
+
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Spawns the dispatcher threads. Idempotent.
+  void start();
+
+  /// Submits a request. On admission returns a future resolving to the
+  /// Response (which itself may carry a shed/failed status, e.g.
+  /// DeadlineExceeded discovered at dispatch). Requests shed *at admission*
+  /// (queue bound, rate limit) fail fast here with Unavailable instead.
+  support::Expected<std::future<Response>> submit(Request request);
+
+  /// Blocks until the queue is empty and no batch is in flight, flushing
+  /// partial batches immediately.
+  void drain();
+
+  /// Drains, then joins the dispatcher threads. Further submits fail.
+  void stop();
+
+  /// Microseconds since server construction — the clock `deadline_us` is
+  /// measured on. `admit_deadline(budget)` is now_us() + budget.
+  [[nodiscard]] double now_us() const { return clock_.now_us(); }
+  [[nodiscard]] double admit_deadline(double budget_us) const {
+    return now_us() + budget_us;
+  }
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const std::vector<std::unique_ptr<Backend>> &backends() const {
+    return backends_;
+  }
+
+private:
+  Server(std::vector<std::unique_ptr<Backend>> backends, ServerOptions options,
+         obs::TraceRecorder *recorder);
+
+  void dispatcher_loop(int worker_index);
+  void execute_batch(std::vector<PendingRequest> batch, std::uint64_t batch_id,
+                     int worker_index);
+  void finish_shed(PendingRequest pending, support::Error error);
+  Response base_response(const PendingRequest &pending, double finish) const;
+
+  std::vector<std::unique_ptr<Backend>> backends_;
+  ServerOptions options_;
+  DynamicBatcher batcher_;
+  obs::TraceRecorder *recorder_;
+  /// Private wall clock so deadlines are well-defined without a recorder.
+  obs::TraceRecorder clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // queue gained work / state changed
+  std::condition_variable idle_cv_;   // queue drained / batch finished
+  AdmissionQueue queue_;
+  std::vector<resil::CircuitBreaker> breakers_;
+  ServerStats stats_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t next_batch_id_ = 1;
+  int in_flight_batches_ = 0;
+  bool started_ = false;
+  bool draining_ = false;
+  bool stopping_ = false;
+
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace everest::serve

@@ -14,6 +14,7 @@
 #include "ir/parser.hpp"
 #include "numerics/formats.hpp"
 #include "platform/memory.hpp"
+#include "runtime/resource_manager.hpp"
 #include "support/rng.hpp"
 #include "transforms/ekl_to_teil.hpp"
 #include "transforms/teil_to_loops.hpp"
@@ -277,3 +278,119 @@ TEST_P(MatcherNoise, AccuracyDegradesGracefully) {
 
 INSTANTIATE_TEST_SUITE_P(NoiseLevels, MatcherNoise,
                          ::testing::Values(0.01, 0.05, 0.1, 0.2));
+
+// --------------------------------------------- resource-manager schedules
+
+// Any random DAG on any random cluster must yield a well-formed schedule:
+// every interval has finish > start >= 0, per-node concurrent core usage
+// never exceeds NodeSpec::cores, the FPGA on a node runs at most one task
+// at a time, and FPGA-only tasks (cpu_ms < 0) always land on FPGA nodes
+// with used_fpga set. Half the seeds also inject a node fault, so the
+// rescheduling paths obey the same invariants.
+TEST(SchedulerProperties, RandomDagsYieldWellFormedBoundedSchedules) {
+  namespace er = everest::runtime;
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    everest::support::Pcg32 rng(1000 + seed);
+    er::ClusterSpec cluster;
+    std::size_t node_count = 2 + rng() % 3;
+    for (std::size_t n = 0; n < node_count; ++n) {
+      er::NodeSpec node;
+      node.name = "node" + std::to_string(n);
+      node.cores = 2 + static_cast<int>(rng() % 7);
+      node.has_fpga = n == 0 || rng() % 2 == 0;  // >= 1 FPGA node
+      node.speed = 0.5 + 1.5 * rng.uniform();
+      cluster.nodes.push_back(node);
+    }
+    er::ResourceManager manager(cluster);
+    std::vector<er::TaskSpec> specs;
+    std::size_t task_count = 5 + rng() % 16;
+    for (std::size_t i = 0; i < task_count; ++i) {
+      er::TaskSpec t;
+      t.name = "t" + std::to_string(i);
+      for (std::size_t j = 0; j < i; ++j) {
+        if (rng.uniform() < 0.25) t.deps.push_back(static_cast<er::TaskId>(j));
+      }
+      double kind = rng.uniform();
+      if (kind < 0.25) {
+        t.cpu_ms = -1.0;  // FPGA-only variant
+        t.fpga_ms = 1.0 + 10.0 * rng.uniform();
+      } else {
+        t.cpu_ms = 1.0 + 10.0 * rng.uniform();
+        t.fpga_ms = rng.uniform() < 0.5 ? 1.0 + 10.0 * rng.uniform() : -1.0;
+        if (t.fpga_ms >= 0.0 && rng.uniform() < 0.15) t.needs_fpga = true;
+      }
+      t.cores = 1 + static_cast<int>(rng() % 2);
+      t.output_bytes = static_cast<std::int64_t>(rng() % 10'000);
+      ASSERT_TRUE(manager.submit(t).has_value()) << t.name;
+      specs.push_back(t);
+    }
+    if (seed % 2 == 1) {
+      er::FaultSpec fault;
+      fault.node = cluster.nodes[rng() % node_count].name;
+      fault.at_ms = 1.0 + 30.0 * rng.uniform();
+      fault.kind = rng() % 2 == 0 ? er::FaultKind::Crash : er::FaultKind::Drain;
+      manager.inject_failure(fault);
+    }
+
+    for (auto policy : {er::SchedulerOptions::Policy::Heft,
+                        er::SchedulerOptions::Policy::Fifo}) {
+      er::SchedulerOptions options;
+      options.policy = policy;
+      options.transfer_aware = seed % 2 == 0;
+      auto report = manager.run(options);
+      if (!report) {
+        // A fault may legitimately make an FPGA-only task unplaceable
+        // (e.g. the sole FPGA node crashes); anything else is a bug.
+        EXPECT_EQ(report.error().code_enum(),
+                  everest::support::ErrorCode::ResourceExhausted)
+            << "seed " << seed << ": " << report.error().message;
+        continue;
+      }
+      ASSERT_EQ(report->tasks.size(), task_count) << "seed " << seed;
+      for (const auto &[id, outcome] : report->tasks) {
+        const auto &spec = specs[static_cast<std::size_t>(id)];
+        EXPECT_GE(outcome.start_ms, 0.0) << spec.name << " seed " << seed;
+        EXPECT_GT(outcome.finish_ms, outcome.start_ms)
+            << spec.name << " seed " << seed;
+        if (spec.cpu_ms < 0.0) {
+          EXPECT_TRUE(outcome.used_fpga)
+              << "FPGA-only task " << spec.name << " seed " << seed;
+        }
+      }
+      for (const auto &[node_name, intervals] : report->node_timeline) {
+        int node_cores = 0;
+        bool node_has_fpga = false;
+        for (const auto &node : cluster.nodes) {
+          if (node.name == node_name) {
+            node_cores = node.cores;
+            node_has_fpga = node.has_fpga;
+          }
+        }
+        ASSERT_GT(node_cores, 0) << "unknown node " << node_name;
+        for (const auto &probe : intervals) {
+          // Concurrent core demand at each interval start (half-open
+          // intervals: a task ending exactly then does not overlap).
+          int usage = 0;
+          int fpga_users = 0;
+          for (const auto &other : intervals) {
+            if (other.start_ms <= probe.start_ms &&
+                probe.start_ms < other.end_ms) {
+              usage += specs[static_cast<std::size_t>(other.task)].cores;
+              if (other.used_fpga) ++fpga_users;
+            }
+          }
+          EXPECT_LE(usage, node_cores)
+              << node_name << " over-subscribed at " << probe.start_ms
+              << " ms, seed " << seed;
+          EXPECT_LE(fpga_users, 1)
+              << node_name << " FPGA double-booked at " << probe.start_ms
+              << " ms, seed " << seed;
+          if (probe.used_fpga) {
+            EXPECT_TRUE(node_has_fpga)
+                << node_name << " has no FPGA, seed " << seed;
+          }
+        }
+      }
+    }
+  }
+}

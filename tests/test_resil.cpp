@@ -25,6 +25,7 @@
 #include "resil/fault.hpp"
 #include "resil/policy.hpp"
 #include "runtime/dfg_executor.hpp"
+#include "runtime/resource_manager.hpp"
 #include "sdk/basecamp.hpp"
 #include "support/expected.hpp"
 #include "usecases/rrtmg.hpp"
@@ -480,6 +481,36 @@ TEST(NetworkFaults, RetriedSendEventuallyDelivers) {
 }
 
 // ----------------------------------------------------- node fault sampling
+
+TEST(NodeFaults, DrainRescheduledTasksCountASecondAttempt) {
+  // A drain-displaced task is counted in rescheduled_tasks, so its outcome
+  // must report attempts = 2 just like a crash-killed one — regression:
+  // only crash victims used to get the second attempt.
+  er::ClusterSpec c;
+  c.nodes.push_back({"node0", 1, false, 1.0});
+  c.nodes.push_back({"node1", 1, false, 1.0});
+  er::ResourceManager rm(c);
+  auto t1 = rm.submit({"t1", {}, 10.0});
+  auto t2 = rm.submit({"t2", {}, 10.0});
+  auto t3 = rm.submit({"t3", {}, 10.0});
+  ASSERT_TRUE(t1.has_value() && t2.has_value() && t3.has_value());
+  // Fault-free, t3 starts at t=10 on node0; draining node0 at t=5 displaces
+  // exactly that start onto node1.
+  rm.inject_failure({"node0", 5.0, er::FaultKind::Drain});
+  auto report = rm.run();
+  ASSERT_TRUE(report.has_value()) << report.error().message;
+  EXPECT_EQ(report->rescheduled_tasks, 1);
+  EXPECT_TRUE(report->degraded());
+  EXPECT_EQ(report->tasks.at(t3->id).node, "node1");
+  EXPECT_EQ(report->tasks.at(t3->id).attempts, 2);
+  EXPECT_EQ(report->tasks.at(t1->id).attempts, 1);
+  EXPECT_EQ(report->tasks.at(t2->id).attempts, 1);
+  // attempts and rescheduled_tasks agree for every fault kind.
+  int second_attempts = 0;
+  for (const auto &[id, o] : report->tasks)
+    if (o.attempts > 1) ++second_attempts;
+  EXPECT_EQ(second_attempts, report->rescheduled_tasks);
+}
 
 TEST(NodeFaults, SamplingIsDeterministicAndSparesTheSurvivor) {
   std::vector<std::string> nodes{"node0", "node1", "node2", "node3"};

@@ -93,6 +93,82 @@ TEST(ResourceManager, PrefersFpgaVariantWhenFaster) {
   EXPECT_EQ(report->tasks.at(f->id).node, "node0");
 }
 
+TEST(ResourceManager, FpgaOnlyTaskSchedulesOntoFpgaWithPositiveDuration) {
+  // cpu_ms < 0 with fpga_ms >= 0 is an FPGA-only task (submit() accepts
+  // it). The scheduler must place it on an FPGA node with used_fpga set and
+  // a positive duration — the negative cpu_ms is "infeasible on CPU", not a
+  // duration. Regression: the candidate duration used to go negative, so
+  // the FPGA variant was never selected and the task "finished" before it
+  // started.
+  er::ResourceManager rm(small_cluster(2, /*fpga_on_first=*/true));
+  er::TaskSpec t{"fpga_only", {}, -1.0};
+  t.fpga_ms = 5.0;
+  auto f = rm.submit(t);
+  ASSERT_TRUE(f.has_value());
+  auto report = rm.run();
+  ASSERT_TRUE(report.has_value()) << report.error().message;
+  const auto &o = report->tasks.at(f->id);
+  EXPECT_TRUE(o.used_fpga);
+  EXPECT_EQ(o.node, "node0");
+  EXPECT_GE(o.start_ms, 0.0);
+  EXPECT_DOUBLE_EQ(o.finish_ms - o.start_ms, 5.0);
+}
+
+TEST(ResourceManager, FpgaOnlyChainHasPositiveMakespan) {
+  er::ResourceManager rm(small_cluster(2, /*fpga_on_first=*/true));
+  er::TaskId prev = -1;
+  for (int i = 0; i < 3; ++i) {
+    er::TaskSpec t{"f" + std::to_string(i),
+                   prev < 0 ? std::vector<er::TaskId>{}
+                            : std::vector<er::TaskId>{prev},
+                   -1.0};
+    t.fpga_ms = 10.0;
+    auto f = rm.submit(t);
+    ASSERT_TRUE(f.has_value());
+    prev = f->id;
+  }
+  auto report = rm.run();
+  ASSERT_TRUE(report.has_value()) << report.error().message;
+  EXPECT_DOUBLE_EQ(report->makespan_ms, 30.0);
+  for (const auto &[id, o] : report->tasks) {
+    EXPECT_TRUE(o.used_fpga);
+    EXPECT_GT(o.finish_ms, o.start_ms);
+    EXPECT_GE(o.start_ms, 0.0);
+  }
+}
+
+TEST(ResourceManager, FpgaOnlyTaskWithoutFpgaNodeIsRejected) {
+  er::ResourceManager rm(small_cluster(2));  // no FPGA anywhere
+  er::TaskSpec t{"fpga_only", {}, -1.0};
+  t.fpga_ms = 5.0;
+  ASSERT_TRUE(rm.submit(t).has_value());
+  auto report = rm.run();
+  ASSERT_FALSE(report.has_value());
+  EXPECT_EQ(report.error().code_enum(),
+            everest::support::ErrorCode::ResourceExhausted);
+}
+
+TEST(ResourceManager, FpgaOnlyDurationFeedsHeftRank) {
+  // One node, one core: HEFT dispatch order is exactly rank order, so the
+  // 50 ms FPGA-only task must run before the independent 10 ms CPU task.
+  // Regression: mean_duration() used the negative cpu_ms for FPGA-only
+  // tasks, collapsing their rank below every CPU task's.
+  er::ClusterSpec c;
+  c.nodes.push_back({"node0", 1, true, 1.0});
+  er::ResourceManager rm(c);
+  er::TaskSpec accel{"accel", {}, -1.0};
+  accel.fpga_ms = 50.0;
+  auto fa = rm.submit(accel);
+  ASSERT_TRUE(fa.has_value());
+  auto fb = rm.submit({"host", {}, 10.0});
+  ASSERT_TRUE(fb.has_value());
+  auto report = rm.run();  // HEFT is the default policy
+  ASSERT_TRUE(report.has_value()) << report.error().message;
+  EXPECT_DOUBLE_EQ(report->tasks.at(fa->id).start_ms, 0.0);
+  EXPECT_DOUBLE_EQ(report->tasks.at(fb->id).start_ms, 50.0);
+  EXPECT_DOUBLE_EQ(report->makespan_ms, 60.0);
+}
+
 TEST(ResourceManager, HardFpgaRequirementConstrainsPlacement) {
   er::ResourceManager rm(small_cluster(3, /*fpga_on_first=*/true));
   er::TaskSpec t{"must_fpga", {}, 10.0};
@@ -236,6 +312,34 @@ TEST(ResourceManager, DrainFinishesRunningTasksButStartsNoneNew) {
   // Drain loses no completed work, so it recovers at least as fast.
   EXPECT_LE(rd->makespan_ms, rc->makespan_ms);
   EXPECT_GT(rd->rescheduled_tasks, 0);
+}
+
+TEST(ResourceManager, CrashRestartIsKeyedOnTheKillingFault) {
+  // Two faults: a decoy crash at t=5 on a node the victim never ran on, and
+  // the crash at t=50 that actually kills it. The restart must wait for the
+  // killing fault — regression: it used to restart after the *earliest*
+  // fault anywhere on the cluster (t=5 here).
+  er::ClusterSpec c;
+  c.nodes.push_back({"decoy", 1, false, 1.0});
+  c.nodes.push_back({"fast", 1, false, 2.0});
+  c.nodes.push_back({"backup", 1, false, 1.0});
+  er::ResourceManager rm(c);
+  auto big = rm.submit({"big", {}, 120.0});    // fast: 60 ms, others: 120 ms
+  ASSERT_TRUE(big.has_value());
+  auto small = rm.submit({"small", {}, 10.0});
+  ASSERT_TRUE(small.has_value());
+  rm.inject_failures({{"decoy", 5.0, er::FaultKind::Crash},
+                      {"fast", 50.0, er::FaultKind::Crash}});
+  auto report = rm.run();
+  ASSERT_TRUE(report.has_value()) << report.error().message;
+  const auto &o = report->tasks.at(big->id);
+  // First pass puts "big" on "fast" ([0,60] past the t=50 crash); the
+  // re-submission must not start before t=50 even though "decoy" crashed
+  // at t=5.
+  EXPECT_EQ(o.node, "backup");
+  EXPECT_GE(o.start_ms, 50.0);
+  EXPECT_EQ(o.attempts, 2);
+  EXPECT_TRUE(report->degraded());
 }
 
 TEST(ResourceManager, InjectFailuresAppliesWholePlan) {

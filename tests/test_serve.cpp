@@ -1,0 +1,670 @@
+// everest::serve tests: QoS primitives (token bucket, weighted-fair
+// admission queue), the dynamic batcher policy, backend validation, and the
+// end-to-end server — batching byte-identity across dispatcher/batch-size
+// sweeps, tenant fairness, deadline and load shedding, and device failover.
+// Labeled "concurrency" + "serving" so the tsan preset races the dispatcher
+// threads against client submitters.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "frontend/condrust_parser.hpp"
+#include "platform/fault_injector.hpp"
+#include "platform/xrt.hpp"
+#include "runtime/dfg_executor.hpp"
+#include "sdk/basecamp.hpp"
+#include "serve/backend.hpp"
+#include "serve/batcher.hpp"
+#include "serve/qos.hpp"
+#include "serve/server.hpp"
+
+namespace es = everest::serve;
+namespace er = everest::runtime;
+namespace ep = everest::platform;
+namespace eh = everest::hls;
+namespace eo = everest::obs;
+namespace esup = everest::support;
+
+namespace {
+
+constexpr const char *kPipe = R"(
+fn serve_pipe(xs: Stream<f64>) -> Stream<f64> {
+    let scaled = mul2(xs);
+    let biased = add1(scaled);
+    return biased;
+}
+)";
+
+std::shared_ptr<er::NodeRegistry> pipe_registry() {
+  auto registry = std::make_shared<er::NodeRegistry>();
+  registry->register_node("mul2",
+                          [](const std::vector<const er::Record *> &in) {
+                            er::Record out = *in.at(0);
+                            for (double &v : out) v *= 2.0;
+                            return out;
+                          });
+  registry->register_node("add1",
+                          [](const std::vector<const er::Record *> &in) {
+                            er::Record out = *in.at(0);
+                            for (double &v : out) v += 1.0;
+                            return out;
+                          });
+  return registry;
+}
+
+std::shared_ptr<const everest::ir::Module> pipe_graph() {
+  auto parsed = everest::frontend::parse_condrust(kPipe);
+  if (!parsed) {
+    ADD_FAILURE() << parsed.error().message;
+    return nullptr;
+  }
+  return *parsed;
+}
+
+es::PendingRequest make_pending(std::uint64_t id, const std::string &tenant,
+                                int priority = 0, double admit_us = 0.0) {
+  es::PendingRequest pending;
+  pending.id = id;
+  pending.request.tenant = tenant;
+  pending.request.priority = priority;
+  pending.request.inputs["xs"] = {static_cast<double>(id)};
+  pending.admit_us = admit_us;
+  return pending;
+}
+
+std::unique_ptr<es::Server> make_pipe_server(es::ServerOptions options,
+                                             eo::TraceRecorder *recorder,
+                                             er::DfgExecOptions exec = {}) {
+  auto backend =
+      es::DfgBackend::create(pipe_graph(), pipe_registry(), exec, recorder);
+  EXPECT_TRUE(backend.has_value());
+  std::vector<std::unique_ptr<es::Backend>> backends;
+  backends.push_back(std::move(*backend));
+  auto server = es::Server::create(std::move(backends), options, recorder);
+  EXPECT_TRUE(server.has_value());
+  return std::move(*server);
+}
+
+eh::KernelReport tiny_kernel(const std::string &name, std::int64_t cycles) {
+  eh::KernelReport r;
+  r.name = name;
+  r.area = {10'000, 10'000, 10, 10};
+  r.total_cycles = cycles;
+  r.dataflow_cycles = cycles;
+  return r;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- token bucket
+
+TEST(TokenBucket, EnforcesRateAndBurst) {
+  es::TokenBucket bucket(/*rate_per_s=*/2.0, /*burst=*/2.0);
+  EXPECT_TRUE(bucket.try_take(0.0));
+  EXPECT_TRUE(bucket.try_take(0.0));
+  EXPECT_FALSE(bucket.try_take(0.0)) << "burst exhausted";
+  EXPECT_FALSE(bucket.try_take(100'000.0)) << "0.2 tokens refilled, need 1";
+  EXPECT_TRUE(bucket.try_take(500'000.0)) << "one token back after 500 ms";
+  EXPECT_FALSE(bucket.try_take(500'000.0));
+}
+
+TEST(TokenBucket, NonPositiveRateIsUnlimited) {
+  es::TokenBucket bucket(0.0, 1.0);
+  for (int i = 0; i < 1'000; ++i) EXPECT_TRUE(bucket.try_take(0.0));
+}
+
+TEST(TokenBucket, RefillCapsAtBurst) {
+  es::TokenBucket bucket(1'000.0, 3.0);
+  EXPECT_TRUE(bucket.try_take(0.0));
+  // Hours of idle refill cannot exceed the burst.
+  EXPECT_DOUBLE_EQ(bucket.available(3.6e9), 3.0);
+}
+
+// ------------------------------------------------------- admission queue
+
+TEST(AdmissionQueue, WeightedFairDequeueIsDeterministic) {
+  es::AdmissionQueue queue(16);
+  es::TenantConfig heavy;
+  heavy.weight = 2.0;
+  queue.configure_tenant("a", heavy);  // b stays at weight 1
+  std::uint64_t id = 1;
+  for (int i = 0; i < 6; ++i) {
+    auto pa = make_pending(id++, "a");
+    ASSERT_TRUE(queue.admit(pa, 0.0).is_ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto pb = make_pending(id++, "b");
+    ASSERT_TRUE(queue.admit(pb, 0.0).is_ok());
+  }
+  // Stride scheduling at weights 2:1 serves a twice per b, ties broken by
+  // name: a b a a b a a b a.
+  std::string order;
+  while (auto p = queue.pop(0.0)) order += p->request.tenant;
+  EXPECT_EQ(order, "abaabaaba");
+}
+
+TEST(AdmissionQueue, IdleTenantDoesNotBankCredit) {
+  es::AdmissionQueue queue(16);
+  // b drains 4 requests while a is idle; a joining afterwards must resume
+  // at the global virtual time, not replay its arrears.
+  for (int i = 0; i < 4; ++i) {
+    auto pb = make_pending(static_cast<std::uint64_t>(i), "b");
+    ASSERT_TRUE(queue.admit(pb, 0.0).is_ok());
+    queue.pop(0.0);
+  }
+  auto pa = make_pending(100, "a");
+  auto pb = make_pending(101, "b");
+  ASSERT_TRUE(queue.admit(pa, 0.0).is_ok());
+  ASSERT_TRUE(queue.admit(pb, 0.0).is_ok());
+  std::string order;
+  while (auto p = queue.pop(0.0)) order += p->request.tenant;
+  EXPECT_EQ(order, "ab") << "a is not owed 4 back-to-back pops";
+}
+
+TEST(AdmissionQueue, PriorityOrdersWithinTenantStably) {
+  es::AdmissionQueue queue(16);
+  auto p0 = make_pending(1, "t", /*priority=*/0);
+  auto p5 = make_pending(2, "t", /*priority=*/5);
+  auto p1 = make_pending(3, "t", /*priority=*/1);
+  auto p5b = make_pending(4, "t", /*priority=*/5);
+  for (auto *p : {&p0, &p5, &p1, &p5b}) {
+    ASSERT_TRUE(queue.admit(*p, 0.0).is_ok());
+  }
+  std::vector<std::uint64_t> ids;
+  while (auto p = queue.pop(0.0)) ids.push_back(p->id);
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{2, 4, 3, 1}));
+}
+
+TEST(AdmissionQueue, QueueBoundShedsWithUnavailable) {
+  es::AdmissionQueue queue(/*default_bound=*/2);
+  auto p1 = make_pending(1, "t");
+  auto p2 = make_pending(2, "t");
+  auto p3 = make_pending(3, "t");
+  ASSERT_TRUE(queue.admit(p1, 0.0).is_ok());
+  ASSERT_TRUE(queue.admit(p2, 0.0).is_ok());
+  es::ShedReason reason = es::ShedReason::None;
+  auto shed = queue.admit(p3, 0.0, &reason);
+  ASSERT_FALSE(shed.is_ok());
+  EXPECT_EQ(shed.error().code_enum(), esup::ErrorCode::Unavailable);
+  EXPECT_EQ(reason, es::ShedReason::QueueBound);
+  // The shed request still owns its promise (caller reports the error).
+  EXPECT_EQ(p3.request.tenant, "t");
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(AdmissionQueue, RateLimitShedsWithUnavailable) {
+  es::AdmissionQueue queue(16);
+  es::TenantConfig limited;
+  limited.rate_per_s = 1e-9;  // effectively never refills
+  limited.burst = 2.0;
+  queue.configure_tenant("t", limited);
+  auto p1 = make_pending(1, "t");
+  auto p2 = make_pending(2, "t");
+  auto p3 = make_pending(3, "t");
+  ASSERT_TRUE(queue.admit(p1, 0.0).is_ok());
+  ASSERT_TRUE(queue.admit(p2, 0.0).is_ok());
+  es::ShedReason reason = es::ShedReason::None;
+  auto shed = queue.admit(p3, 0.0, &reason);
+  ASSERT_FALSE(shed.is_ok());
+  EXPECT_EQ(shed.error().code_enum(), esup::ErrorCode::Unavailable);
+  EXPECT_EQ(reason, es::ShedReason::RateLimit);
+}
+
+// ------------------------------------------------------------- batcher
+
+TEST(DynamicBatcher, DispatchPolicy) {
+  es::DynamicBatcher batcher({/*max_batch=*/4, /*max_wait_us=*/100.0});
+  EXPECT_FALSE(batcher.should_dispatch(0, 0.0, 1e9, false)) << "empty queue";
+  EXPECT_TRUE(batcher.should_dispatch(4, 0.0, 0.0, false)) << "batch full";
+  EXPECT_TRUE(batcher.should_dispatch(7, 0.0, 0.0, false));
+  EXPECT_FALSE(batcher.should_dispatch(2, 50.0, 100.0, false))
+      << "oldest waited 50 us of its 100 us budget";
+  EXPECT_TRUE(batcher.should_dispatch(2, 50.0, 150.0, false))
+      << "oldest aged out";
+  EXPECT_TRUE(batcher.should_dispatch(1, 0.0, 0.0, true)) << "draining";
+  EXPECT_DOUBLE_EQ(batcher.wait_budget_us(50.0, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(batcher.wait_budget_us(0.0, 500.0), 0.0);
+}
+
+// ------------------------------------------------------------- backends
+
+TEST(DfgBackend, RejectsFoldGraphs) {
+  auto parsed = everest::frontend::parse_condrust(R"(
+fn agg(xs: Stream<f64>) -> Stream<f64> {
+    let doubled = mul2(xs);
+    let total = fold acc(doubled);
+    return total;
+}
+)");
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  auto registry = pipe_registry();
+  registry->register_fold("acc", {0.0},
+                          [](const er::Record &state,
+                             const std::vector<const er::Record *> &in) {
+                            return er::Record{state[0] + in.at(0)->at(0)};
+                          });
+  auto backend = es::DfgBackend::create(*parsed, registry);
+  ASSERT_FALSE(backend.has_value());
+  EXPECT_EQ(backend.error().code_enum(), esup::ErrorCode::Unsupported);
+}
+
+TEST(DfgBackend, RejectsUnregisteredCallees) {
+  auto backend =
+      es::DfgBackend::create(pipe_graph(), std::make_shared<er::NodeRegistry>());
+  ASSERT_FALSE(backend.has_value());
+  EXPECT_EQ(backend.error().code_enum(), esup::ErrorCode::NotFound);
+}
+
+TEST(DfgBackend, ExposesInputNames) {
+  auto backend = es::DfgBackend::create(pipe_graph(), pipe_registry());
+  ASSERT_TRUE(backend.has_value());
+  EXPECT_EQ((*backend)->input_names(), std::vector<std::string>{"xs"});
+}
+
+// ------------------------------------------------------------- server
+
+TEST(Server, BatchedOutputsAreByteIdenticalAcrossConfigs) {
+  auto graph = pipe_graph();
+  auto registry = pipe_registry();
+  const int kRequests = 24;
+
+  // Reference: unbatched single-request executions.
+  std::vector<er::Record> reference;
+  for (int i = 0; i < kRequests; ++i) {
+    std::map<std::string, er::Stream> single;
+    single["xs"] = {{static_cast<double>(i), i * 0.25, -i * 3.5}};
+    auto direct = er::execute_dfg(*graph, *registry, single, 1);
+    ASSERT_TRUE(direct.has_value());
+    reference.push_back(direct->at("biased").at(0));
+  }
+
+  for (int dispatchers : {1, 2, 4}) {
+    for (std::size_t max_batch : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{8}}) {
+      es::ServerOptions options;
+      options.dispatchers = dispatchers;
+      options.batch.max_batch = max_batch;
+      options.batch.max_wait_us = 100.0;
+      auto server = make_pipe_server(options, nullptr);
+      server->start();
+      std::vector<std::future<es::Response>> futures;
+      for (int i = 0; i < kRequests; ++i) {
+        es::Request req;
+        req.tenant = i % 2 == 0 ? "even" : "odd";
+        req.inputs["xs"] = {static_cast<double>(i), i * 0.25, -i * 3.5};
+        auto submitted = server->submit(std::move(req));
+        ASSERT_TRUE(submitted.has_value());
+        futures.push_back(std::move(*submitted));
+      }
+      server->drain();
+      for (int i = 0; i < kRequests; ++i) {
+        es::Response response = futures[static_cast<std::size_t>(i)].get();
+        ASSERT_TRUE(response.status.is_ok()) << response.status.message();
+        ASSERT_EQ(response.outputs.count("biased"), 1u);
+        EXPECT_EQ(response.outputs.at("biased"),
+                  reference[static_cast<std::size_t>(i)])
+            << "request " << i << " dispatchers " << dispatchers
+            << " max_batch " << max_batch;
+        EXPECT_EQ(response.backend, "host-cpu");
+        EXPECT_FALSE(response.degraded);
+      }
+      server->stop();
+    }
+  }
+}
+
+TEST(Server, CoalescesQueuedRequestsIntoBatches) {
+  es::ServerOptions options;
+  options.dispatchers = 1;
+  options.batch.max_batch = 4;
+  auto server = make_pipe_server(options, nullptr);
+  // Queue everything before starting the dispatcher: the batcher must then
+  // cut ceil(10/4) = 3 batches deterministically.
+  std::vector<std::future<es::Response>> futures;
+  for (int i = 0; i < 10; ++i) {
+    es::Request req;
+    req.inputs["xs"] = {static_cast<double>(i)};
+    auto submitted = server->submit(std::move(req));
+    ASSERT_TRUE(submitted.has_value());
+    futures.push_back(std::move(*submitted));
+  }
+  server->start();
+  server->drain();
+  std::map<std::uint64_t, std::size_t> batch_sizes;
+  for (auto &future : futures) {
+    es::Response response = future.get();
+    ASSERT_TRUE(response.status.is_ok());
+    batch_sizes[response.batch_id] = response.batch_size;
+  }
+  auto stats = server->stats();
+  EXPECT_EQ(stats.batches, 3);
+  EXPECT_EQ(batch_sizes.size(), 3u);
+  std::size_t total = 0;
+  for (const auto &[id, size] : batch_sizes) {
+    EXPECT_LE(size, 4u);
+    total += size;
+  }
+  // Batch sizes from the per-response view must cover all 10 requests
+  // (4 + 4 + 2).
+  EXPECT_EQ(stats.batch_size.max(), 4.0);
+  EXPECT_EQ(stats.completed, 10);
+}
+
+TEST(Server, WeightedFairShareAcrossTenantsWithinBatches) {
+  es::ServerOptions options;
+  options.dispatchers = 1;
+  options.batch.max_batch = 4;
+  auto server = make_pipe_server(options, nullptr);
+  // 8 requests per tenant, queued before the dispatcher starts: every batch
+  // of 4 must carry 2 of each tenant (equal weights alternate a,b,a,b).
+  std::vector<std::future<es::Response>> futures;
+  for (int i = 0; i < 8; ++i) {
+    for (const char *tenant : {"a", "b"}) {
+      es::Request req;
+      req.tenant = tenant;
+      req.inputs["xs"] = {static_cast<double>(i)};
+      auto submitted = server->submit(std::move(req));
+      ASSERT_TRUE(submitted.has_value());
+      futures.push_back(std::move(*submitted));
+    }
+  }
+  server->start();
+  server->drain();
+  std::map<std::uint64_t, std::map<std::string, int>> batch_tenants;
+  for (auto &future : futures) {
+    es::Response response = future.get();
+    ASSERT_TRUE(response.status.is_ok());
+    ++batch_tenants[response.batch_id][response.tenant];
+  }
+  ASSERT_EQ(batch_tenants.size(), 4u);
+  for (const auto &[id, counts] : batch_tenants) {
+    EXPECT_EQ(counts.at("a"), 2) << "batch " << id;
+    EXPECT_EQ(counts.at("b"), 2) << "batch " << id;
+  }
+}
+
+TEST(Server, ExpiredDeadlinesAreShedNotExecuted) {
+  eo::TraceRecorder recorder;
+  es::ServerOptions options;
+  options.dispatchers = 1;
+  options.batch.max_batch = 8;
+  auto server = make_pipe_server(options, &recorder);
+  std::vector<std::future<es::Response>> futures;
+  for (int i = 0; i < 4; ++i) {
+    es::Request req;
+    req.inputs["xs"] = {static_cast<double>(i)};
+    // Absolute deadline 0 on the server clock: already in the past by the
+    // time any dispatcher sees it.
+    if (i % 2 == 0) req.deadline_us = 0.0;
+    auto submitted = server->submit(std::move(req));
+    ASSERT_TRUE(submitted.has_value());
+    futures.push_back(std::move(*submitted));
+  }
+  server->start();
+  server->drain();
+  int shed = 0, served = 0;
+  for (auto &future : futures) {
+    es::Response response = future.get();
+    if (response.status.is_ok()) {
+      ++served;
+    } else {
+      EXPECT_EQ(response.status.error().code_enum(),
+                esup::ErrorCode::DeadlineExceeded);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(shed, 2);
+  EXPECT_EQ(served, 2);
+  EXPECT_EQ(server->stats().shed_deadline, 2);
+}
+
+TEST(Server, QueueBoundShedsAtAdmission) {
+  es::ServerOptions options;
+  options.queue_bound = 2;
+  auto server = make_pipe_server(options, nullptr);
+  std::vector<std::future<es::Response>> futures;
+  for (int i = 0; i < 3; ++i) {
+    es::Request req;
+    req.inputs["xs"] = {static_cast<double>(i)};
+    auto submitted = server->submit(std::move(req));
+    if (i < 2) {
+      ASSERT_TRUE(submitted.has_value());
+      futures.push_back(std::move(*submitted));
+    } else {
+      ASSERT_FALSE(submitted.has_value());
+      EXPECT_EQ(submitted.error().code_enum(), esup::ErrorCode::Unavailable);
+    }
+  }
+  server->start();
+  server->drain();
+  for (auto &future : futures) {
+    EXPECT_TRUE(future.get().status.is_ok());
+  }
+  auto stats = server->stats();
+  EXPECT_EQ(stats.shed_queue, 1);
+  EXPECT_EQ(stats.completed, 2);
+}
+
+TEST(Server, RateLimitShedsAtAdmission) {
+  es::ServerOptions options;
+  es::TenantConfig limited;
+  limited.rate_per_s = 1e-9;
+  limited.burst = 2.0;
+  options.tenants["t"] = limited;
+  auto server = make_pipe_server(options, nullptr);
+  int shed = 0;
+  std::vector<std::future<es::Response>> futures;
+  for (int i = 0; i < 5; ++i) {
+    es::Request req;
+    req.tenant = "t";
+    req.inputs["xs"] = {1.0};
+    auto submitted = server->submit(std::move(req));
+    if (submitted.has_value()) {
+      futures.push_back(std::move(*submitted));
+    } else {
+      EXPECT_EQ(submitted.error().code_enum(), esup::ErrorCode::Unavailable);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(shed, 3) << "burst of 2, then rate-limited";
+  server->start();
+  server->drain();
+  EXPECT_EQ(server->stats().shed_rate, 3);
+}
+
+TEST(Server, RejectsRequestsWithWrongInputs) {
+  auto server = make_pipe_server({}, nullptr);
+  es::Request missing;
+  auto r1 = server->submit(missing);
+  ASSERT_FALSE(r1.has_value());
+  EXPECT_EQ(r1.error().code_enum(), esup::ErrorCode::InvalidArgument);
+  es::Request wrong;
+  wrong.inputs["ys"] = {1.0};
+  auto r2 = server->submit(wrong);
+  ASSERT_FALSE(r2.has_value());
+  EXPECT_EQ(r2.error().code_enum(), esup::ErrorCode::InvalidArgument);
+}
+
+TEST(Server, ConcurrentSubmittersAllComplete) {
+  es::ServerOptions options;
+  options.dispatchers = 4;
+  options.batch.max_batch = 8;
+  options.batch.max_wait_us = 50.0;
+  auto server = make_pipe_server(options, nullptr);
+  server->start();
+  const int kThreads = 4, kPerThread = 32;
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::future<es::Response>>> futures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        es::Request req;
+        req.tenant = "client-" + std::to_string(t);
+        req.inputs["xs"] = {static_cast<double>(t), static_cast<double>(i)};
+        auto submitted = server->submit(std::move(req));
+        ASSERT_TRUE(submitted.has_value());
+        futures[static_cast<std::size_t>(t)].push_back(std::move(*submitted));
+      }
+    });
+  }
+  for (auto &c : clients) c.join();
+  server->drain();
+  for (int t = 0; t < kThreads; ++t) {
+    for (auto &future : futures[static_cast<std::size_t>(t)]) {
+      es::Response response = future.get();
+      ASSERT_TRUE(response.status.is_ok());
+      // mul2 then add1: [t, i] -> [2t + 1, 2i + 1].
+      ASSERT_EQ(response.outputs.at("biased").size(), 2u);
+    }
+  }
+  auto stats = server->stats();
+  EXPECT_EQ(stats.completed, kThreads * kPerThread);
+  EXPECT_EQ(stats.failed, 0);
+}
+
+TEST(Server, DeviceFaultsFailOverToHostCpu) {
+  eo::TraceRecorder recorder;
+  ep::Device device(ep::alveo_u55c());
+  ASSERT_TRUE(
+      device.load_kernel("serve_pipe", tiny_kernel("serve_pipe", 3'000))
+          .is_ok());
+  ep::FaultPlan plan;
+  plan.kernel_timeout_rate = 1.0;  // every launch hangs
+  plan.kernel_timeout_multiplier = 100.0;
+  ep::FaultInjector injector(11, plan);
+  device.attach_fault_injector(&injector);
+
+  auto fpga_compute = es::DfgBackend::create(pipe_graph(), pipe_registry());
+  ASSERT_TRUE(fpga_compute.has_value());
+  auto fpga = es::DeviceBackend::create(&device, "serve_pipe",
+                                        std::move(*fpga_compute),
+                                        /*launch_deadline_us=*/50.0);
+  ASSERT_TRUE(fpga.has_value());
+  auto host = es::DfgBackend::create(pipe_graph(), pipe_registry());
+  ASSERT_TRUE(host.has_value());
+  std::vector<std::unique_ptr<es::Backend>> backends;
+  backends.push_back(std::move(*fpga));
+  backends.push_back(std::move(*host));
+
+  es::ServerOptions options;
+  options.dispatchers = 1;
+  options.batch.max_batch = 4;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_us = 1.0;
+  options.breaker.failure_threshold = 1;
+  options.breaker.open_us = 1e12;  // stays open for the whole test
+  auto server = es::Server::create(std::move(backends), options, &recorder);
+  ASSERT_TRUE(server.has_value());
+
+  std::vector<std::future<es::Response>> futures;
+  for (int i = 0; i < 8; ++i) {
+    es::Request req;
+    req.inputs["xs"] = {static_cast<double>(i)};
+    auto submitted = (*server)->submit(std::move(req));
+    ASSERT_TRUE(submitted.has_value());
+    futures.push_back(std::move(*submitted));
+  }
+  (*server)->start();
+  (*server)->drain();
+  for (auto &future : futures) {
+    es::Response response = future.get();
+    ASSERT_TRUE(response.status.is_ok()) << response.status.message();
+    EXPECT_EQ(response.backend, "host-cpu");
+    EXPECT_TRUE(response.degraded) << "served by the failover backend";
+  }
+  auto stats = (*server)->stats();
+  EXPECT_EQ(stats.completed, 8);
+  EXPECT_GE(stats.failovers, 1);
+  // The first batch trips the breaker (threshold 1); later batches are
+  // rejected at the breaker instead of burning device retries.
+  EXPECT_GE(stats.breaker_rejections, 1);
+  (*server)->stop();
+}
+
+TEST(Server, StopFailsQueuedRequestsCleanly) {
+  auto server = make_pipe_server({}, nullptr);
+  es::Request req;
+  req.inputs["xs"] = {1.0};
+  auto submitted = server->submit(std::move(req));
+  ASSERT_TRUE(submitted.has_value());
+  server->stop();  // never started: the queued request must not dangle
+  es::Response response = submitted->get();
+  ASSERT_FALSE(response.status.is_ok());
+  EXPECT_EQ(response.status.error().code_enum(),
+            esup::ErrorCode::Unavailable);
+  auto rejected = server->submit(es::Request{});
+  EXPECT_FALSE(rejected.has_value());
+}
+
+// ------------------------------------------------------------- basecamp
+
+TEST(Basecamp, MakeServerServesWithDeviceAndRecordsMetrics) {
+  everest::sdk::Basecamp basecamp;
+  ep::Device device(ep::alveo_u55c());
+  device.attach_recorder(&basecamp.recorder());
+  ASSERT_TRUE(
+      device.load_kernel("serve_pipe", tiny_kernel("serve_pipe", 2'000))
+          .is_ok());
+  es::ServerOptions options;
+  options.batch.max_batch = 4;
+  options.dispatchers = 2;
+  auto server = basecamp.make_server(pipe_graph(), pipe_registry(), options,
+                                     &device, "serve_pipe");
+  ASSERT_TRUE(server.has_value()) << server.error().message;
+  ASSERT_EQ((*server)->backends().size(), 2u);
+  EXPECT_EQ((*server)->backends()[0]->name(), "alveo-u55c");
+  EXPECT_EQ((*server)->backends()[1]->name(), "host-cpu");
+  (*server)->start();
+  std::vector<std::future<es::Response>> futures;
+  for (int i = 0; i < 12; ++i) {
+    es::Request req;
+    req.tenant = i % 3 == 0 ? "gold" : "free";
+    req.inputs["xs"] = {static_cast<double>(i)};
+    auto submitted = (*server)->submit(std::move(req));
+    ASSERT_TRUE(submitted.has_value());
+    futures.push_back(std::move(*submitted));
+  }
+  (*server)->drain();
+  for (auto &future : futures) {
+    es::Response response = future.get();
+    ASSERT_TRUE(response.status.is_ok());
+    EXPECT_EQ(response.backend, "alveo-u55c");
+    EXPECT_FALSE(response.degraded);
+  }
+  (*server)->stop();
+  // serve.* metrics and batch spans landed on the basecamp recorder.
+  bool found_batches = false, found_latency = false, found_span = false;
+  for (const auto &[name, value] : basecamp.recorder().counters()) {
+    if (name == "serve.batches") found_batches = value > 0;
+  }
+  for (const auto &[name, summary] : basecamp.recorder().histograms()) {
+    if (name == "serve.latency_us.gold") found_latency = summary.count == 4;
+  }
+  for (const auto &event : basecamp.recorder().events()) {
+    if (event.category == "serve.batch") found_span = true;
+  }
+  EXPECT_TRUE(found_batches);
+  EXPECT_TRUE(found_latency);
+  EXPECT_TRUE(found_span);
+  EXPECT_GT(device.stats().kernel_launches, 0);
+}
+
+TEST(Basecamp, MakeServerRejectsFoldGraphs) {
+  everest::sdk::Basecamp basecamp;
+  auto parsed = everest::frontend::parse_condrust(R"(
+fn agg(xs: Stream<f64>) -> Stream<f64> {
+    let total = fold acc(xs);
+    return total;
+}
+)");
+  ASSERT_TRUE(parsed.has_value());
+  auto server = basecamp.make_server(*parsed, pipe_registry());
+  ASSERT_FALSE(server.has_value());
+  EXPECT_EQ(server.error().code_enum(), esup::ErrorCode::Unsupported);
+}

@@ -4,6 +4,23 @@
 //
 //   basecamp targets                       list target platforms
 //   basecamp dialects                      list registered dialects & ops
+//   basecamp serve [options]               multi-tenant request serving demo
+//     --requests <file>      request lines: "<tenant> <v1> [v2 ...]"
+//                            ('#' starts a comment); default is a synthetic
+//                            workload of --tenants x --requests-per-tenant
+//     --tenants=<n>          synthetic workload tenant count (default 2)
+//     --requests-per-tenant=<k>  synthetic requests per tenant (default 32)
+//     --max-batch=<b>        dynamic batcher upper bound (default 8)
+//     --max-wait-us=<x>      batch hold time for the oldest request
+//     --dispatchers=<n>      batch-forming/executing threads (default 2)
+//     --rate=<r> --burst=<b> per-tenant token-bucket admission limit
+//     --queue-bound=<q>      per-tenant queue bound (shed with Unavailable)
+//     --device               front the host path with a simulated Alveo
+//                            backend (one kernel launch per batch; faults
+//                            fail over to the host-CPU backend)
+//     --fault-seed/--fault-plan  deterministic device fault injection
+//     --trace-out <file>     Chrome trace with serve.* metrics and batch
+//                            spans; also prints the summary table
 //   basecamp compile <file.ekl>... [options]  compile EKL kernels
 //     --target=<name>        alveo-u55c | alveo-u280 | cloudfpga
 //     --format=<spec>        f64 | f32 | fixed<T,F> | float<E,M> | posit<N,ES>
@@ -44,14 +61,19 @@
 #include <string>
 #include <vector>
 
+#include <future>
+
 #include "dialects/ekl.hpp"
+#include "frontend/condrust_parser.hpp"
 #include "frontend/ekl_parser.hpp"
 #include "hls/scheduler.hpp"
 #include "obs/export.hpp"
 #include "platform/fault_injector.hpp"
 #include "platform/xrt.hpp"
 #include "resil/policy.hpp"
+#include "runtime/dfg_executor.hpp"
 #include "sdk/basecamp.hpp"
+#include "serve/server.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 
@@ -120,6 +142,301 @@ everest::transforms::EklBindings synthesize_bindings(
   }
   for (const auto &[name, value] : extents) bindings.extents[name] = value;
   return bindings;
+}
+
+// ---------------------------------------------------------------- serve
+
+/// The built-in serving graph: a two-stage stateless pipeline, so batches
+/// are provably byte-identical to unbatched runs (checked below).
+constexpr const char *kServeGraph = R"(
+fn serve_pipe(xs: Stream<f64>) -> Stream<f64> {
+    let scaled = mul2(xs);
+    let biased = add1(scaled);
+    return biased;
+}
+)";
+
+std::shared_ptr<everest::runtime::NodeRegistry> serve_registry() {
+  auto registry = std::make_shared<everest::runtime::NodeRegistry>();
+  registry->register_node(
+      "mul2", [](const std::vector<const everest::runtime::Record *> &in) {
+        everest::runtime::Record out = *in.at(0);
+        for (double &v : out) v *= 2.0;
+        return out;
+      });
+  registry->register_node(
+      "add1", [](const std::vector<const everest::runtime::Record *> &in) {
+        everest::runtime::Record out = *in.at(0);
+        for (double &v : out) v += 1.0;
+        return out;
+      });
+  return registry;
+}
+
+int cmd_serve(Basecamp &basecamp, int argc, char **argv) {
+  namespace es = everest::serve;
+  std::string requests_file;
+  std::string trace_out;
+  std::string fault_plan_spec;
+  std::uint64_t fault_seed = 0;
+  bool fault_inject = false;
+  bool use_device = false;
+  int tenants = 2;
+  int per_tenant = 32;
+  es::ServerOptions options;
+  options.batch.max_batch = 8;
+  options.batch.max_wait_us = 200.0;
+  options.dispatchers = 2;
+  double rate = 0.0, burst = 8.0;
+  std::size_t queue_bound = 0;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--requests" && i + 1 < argc)
+      requests_file = argv[++i];
+    else if (everest::support::starts_with(arg, "--requests="))
+      requests_file = arg.substr(11);
+    else if (everest::support::starts_with(arg, "--tenants="))
+      tenants = std::atoi(arg.c_str() + 10);
+    else if (everest::support::starts_with(arg, "--requests-per-tenant="))
+      per_tenant = std::atoi(arg.c_str() + 22);
+    else if (everest::support::starts_with(arg, "--max-batch="))
+      options.batch.max_batch =
+          static_cast<std::size_t>(std::atoi(arg.c_str() + 12));
+    else if (everest::support::starts_with(arg, "--max-wait-us="))
+      options.batch.max_wait_us = std::strtod(arg.c_str() + 14, nullptr);
+    else if (everest::support::starts_with(arg, "--dispatchers="))
+      options.dispatchers = std::atoi(arg.c_str() + 14);
+    else if (everest::support::starts_with(arg, "--rate="))
+      rate = std::strtod(arg.c_str() + 7, nullptr);
+    else if (everest::support::starts_with(arg, "--burst="))
+      burst = std::strtod(arg.c_str() + 8, nullptr);
+    else if (everest::support::starts_with(arg, "--queue-bound="))
+      queue_bound = static_cast<std::size_t>(std::atoi(arg.c_str() + 14));
+    else if (arg == "--device")
+      use_device = true;
+    else if (everest::support::starts_with(arg, "--fault-seed=")) {
+      fault_seed = std::strtoull(arg.c_str() + 13, nullptr, 10);
+      fault_inject = true;
+      use_device = true;
+    } else if (everest::support::starts_with(arg, "--fault-plan=")) {
+      fault_plan_spec = arg.substr(13);
+      fault_inject = true;
+      use_device = true;
+    } else if (everest::support::starts_with(arg, "--trace-out="))
+      trace_out = arg.substr(12);
+    else if (arg == "--trace-out" && i + 1 < argc)
+      trace_out = argv[++i];
+    else {
+      std::fprintf(stderr, "basecamp serve: unknown option '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  // Workload: either from the request file or a synthetic multi-tenant mix.
+  std::vector<es::Request> workload;
+  if (!requests_file.empty()) {
+    std::ifstream file(requests_file);
+    if (!file) {
+      std::fprintf(stderr, "basecamp serve: cannot open '%s'\n",
+                   requests_file.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(file, line)) {
+      auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      std::istringstream in(line);
+      es::Request req;
+      if (!(in >> req.tenant)) continue;
+      everest::runtime::Record record;
+      double v;
+      while (in >> v) record.push_back(v);
+      if (record.empty()) {
+        std::fprintf(stderr, "basecamp serve: request line without values: %s\n",
+                     line.c_str());
+        return 2;
+      }
+      req.inputs["xs"] = std::move(record);
+      workload.push_back(std::move(req));
+    }
+  } else {
+    for (int t = 0; t < tenants; ++t) {
+      for (int k = 0; k < per_tenant; ++k) {
+        es::Request req;
+        req.tenant = "tenant-" + std::string(1, static_cast<char>('a' + t % 26));
+        if (t >= 26) req.tenant += std::to_string(t);
+        req.inputs["xs"] = {static_cast<double>(t), static_cast<double>(k),
+                            static_cast<double>(t * 100 + k)};
+        workload.push_back(std::move(req));
+      }
+    }
+  }
+  if (workload.empty()) {
+    std::fprintf(stderr, "basecamp serve: empty workload\n");
+    return 2;
+  }
+  for (const auto &req : workload) {
+    es::TenantConfig config;
+    config.rate_per_s = rate;
+    config.burst = burst;
+    config.queue_bound = queue_bound;
+    options.tenants.emplace(req.tenant, config);
+  }
+
+  auto graph = everest::frontend::parse_condrust(kServeGraph);
+  if (!graph) {
+    std::fprintf(stderr, "basecamp serve: [%s] %s\n", graph.error().code_name(),
+                 graph.error().message.c_str());
+    return 1;
+  }
+  auto registry = serve_registry();
+
+  // Optional FPGA front-end backend on a simulated Alveo card.
+  std::unique_ptr<everest::platform::Device> device;
+  std::unique_ptr<everest::platform::FaultInjector> injector;
+  if (use_device) {
+    auto spec = basecamp.device_by_name("alveo-u55c");
+    if (!spec) {
+      std::fprintf(stderr, "basecamp serve: %s\n",
+                   spec.error().message.c_str());
+      return 1;
+    }
+    device = std::make_unique<everest::platform::Device>(*spec);
+    device->attach_recorder(&basecamp.recorder());
+    everest::hls::KernelReport kernel;
+    kernel.name = "serve_pipe";
+    kernel.area = {20'000, 20'000, 16, 16};
+    kernel.total_cycles = 3'000;
+    kernel.dataflow_cycles = 2'000;
+    if (auto s = device->load_kernel("serve_pipe", kernel); !s.is_ok()) {
+      std::fprintf(stderr, "basecamp serve: %s\n", s.error().message.c_str());
+      return 1;
+    }
+    if (fault_inject) {
+      auto plan = fault_plan_spec.empty()
+                      ? everest::platform::parse_fault_plan(
+                            "timeout=0.3,timeout-mult=8")
+                      : everest::platform::parse_fault_plan(fault_plan_spec);
+      if (!plan) {
+        std::fprintf(stderr, "basecamp serve: [%s] %s\n",
+                     plan.error().code_name(), plan.error().message.c_str());
+        return 2;
+      }
+      injector = std::make_unique<everest::platform::FaultInjector>(fault_seed,
+                                                                    *plan);
+      injector->attach_recorder(&basecamp.recorder());
+      device->attach_fault_injector(injector.get());
+    }
+  }
+
+  auto server = basecamp.make_server(*graph, registry, options, device.get(),
+                                     "serve_pipe");
+  if (!server) {
+    std::fprintf(stderr, "basecamp serve: [%s] %s\n",
+                 server.error().code_name(), server.error().message.c_str());
+    return 1;
+  }
+  (*server)->start();
+
+  std::vector<std::pair<std::size_t, std::future<es::Response>>> futures;
+  std::size_t admission_shed = 0;
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    auto submitted = (*server)->submit(workload[i]);
+    if (!submitted) {
+      ++admission_shed;
+      continue;
+    }
+    futures.emplace_back(i, std::move(*submitted));
+  }
+  (*server)->drain();
+
+  // Byte-identity check: every served output must equal a fresh unbatched
+  // single-request execution (stateless stages guarantee it; this is the
+  // acceptance gate that batching never changes results).
+  std::size_t completed = 0, failed = 0, mismatches = 0;
+  for (auto &[index, future] : futures) {
+    es::Response response = future.get();
+    if (!response.status.is_ok()) {
+      ++failed;
+      continue;
+    }
+    ++completed;
+    std::map<std::string, everest::runtime::Stream> single;
+    single["xs"] = {workload[index].inputs.at("xs")};
+    auto direct = everest::runtime::execute_dfg(**graph, *registry, single, 1);
+    if (!direct) {
+      ++mismatches;
+      continue;
+    }
+    for (const auto &[name, stream] : *direct) {
+      auto it = response.outputs.find(name);
+      if (it == response.outputs.end() || stream.size() != 1 ||
+          it->second != stream[0]) {
+        ++mismatches;
+      }
+    }
+  }
+  (*server)->stop();
+
+  auto stats = (*server)->stats();
+  std::printf("serve: %zu requests, %lld batches (mean batch %.2f, max %g), "
+              "%zu completed, %zu failed, %zu shed at admission\n",
+              workload.size(), static_cast<long long>(stats.batches),
+              stats.batch_size.mean(), stats.batch_size.max(), completed,
+              failed, admission_shed + static_cast<std::size_t>(
+                                           stats.shed_deadline));
+  if (stats.failovers > 0 || stats.breaker_rejections > 0) {
+    std::printf("serve: %lld batches failed over, %lld breaker rejections\n",
+                static_cast<long long>(stats.failovers),
+                static_cast<long long>(stats.breaker_rejections));
+  }
+  for (const auto &[tenant, t] : stats.tenants) {
+    std::printf("  %-12s admitted %-5lld completed %-5lld shed %-5lld "
+                "latency mean %.1f us\n",
+                tenant.c_str(), static_cast<long long>(t.admitted),
+                static_cast<long long>(t.completed),
+                static_cast<long long>(t.shed), t.latency_us.mean());
+  }
+  for (const auto &[name, summary] : basecamp.recorder().histograms()) {
+    if (!everest::support::starts_with(name, "serve.latency_us.")) continue;
+    std::printf("  %-28s p50 %.1f us  p95 %.1f us  p99 %.1f us\n",
+                name.c_str(), summary.p50, summary.p95, summary.p99);
+  }
+  if (injector && injector->injected_total() > 0) {
+    std::printf("injected faults (seed %llu):",
+                static_cast<unsigned long long>(fault_seed));
+    for (const auto &[kind, count] : injector->injected_counts())
+      std::printf(" %s=%lld", kind.c_str(), static_cast<long long>(count));
+    std::printf("  -- recovered via retry/failover\n");
+  }
+
+  if (!trace_out.empty()) {
+    if (auto s =
+            everest::obs::write_chrome_trace(basecamp.recorder(), trace_out);
+        !s.is_ok()) {
+      std::fprintf(stderr, "basecamp serve: [%s] %s\n", s.error().code_name(),
+                   s.error().message.c_str());
+      return 1;
+    }
+    std::printf("\n%s\n",
+                everest::obs::summary_table(basecamp.recorder()).c_str());
+    std::printf("trace: wrote %zu events to %s (open in chrome://tracing)\n",
+                basecamp.recorder().event_count(), trace_out.c_str());
+  }
+
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "basecamp serve: %zu responses differ from unbatched "
+                 "execution — batching identity violated\n",
+                 mismatches);
+    return 1;
+  }
+  if (completed == 0) {
+    std::fprintf(stderr, "basecamp serve: no request completed\n");
+    return 1;
+  }
+  return 0;
 }
 
 int cmd_compile(Basecamp &basecamp, int argc, char **argv) {
@@ -298,7 +615,7 @@ int cmd_compile(Basecamp &basecamp, int argc, char **argv) {
 int main(int argc, char **argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: basecamp <targets|dialects|compile> [args...]\n");
+                 "usage: basecamp <targets|dialects|compile|serve> [args...]\n");
     return 2;
   }
   Basecamp basecamp;
@@ -306,6 +623,7 @@ int main(int argc, char **argv) {
   if (cmd == "targets") return cmd_targets(basecamp);
   if (cmd == "dialects") return cmd_dialects(basecamp);
   if (cmd == "compile") return cmd_compile(basecamp, argc - 2, argv + 2);
+  if (cmd == "serve") return cmd_serve(basecamp, argc - 2, argv + 2);
   std::fprintf(stderr, "basecamp: unknown command '%s'\n", cmd.c_str());
   return 2;
 }
