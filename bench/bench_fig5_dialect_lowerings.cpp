@@ -3,15 +3,24 @@
 // MLIR-like stack, every lowering path verifies, and the esn contraction
 // reordering (the compiler-level optimization the stack decouples) is
 // measured against the naive order.
+//
+// The trailing bench_rewrite section compares the worklist rewrite driver
+// against the legacy full-module sweep on EKL->TeIL modules (ops visited and
+// wall clock), asserts the two produce byte-identical modules, and writes
+// BENCH_rewrite.json.
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 
 #include "dialects/registry.hpp"
 #include "frontend/cfdlang_parser.hpp"
 #include "frontend/condrust_parser.hpp"
 #include "frontend/ekl_parser.hpp"
 #include "numerics/tensor.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
+#include "transforms/canonicalize.hpp"
 #include "transforms/cfdlang_to_teil.hpp"
 #include "transforms/ekl_to_teil.hpp"
 #include "transforms/esn_extract.hpp"
@@ -21,6 +30,61 @@
 
 namespace et = everest::transforms;
 namespace rr = everest::usecases::rrtmg;
+
+namespace {
+
+/// An EKL kernel shaped to stress the rewrite drivers: a 16-deep chain of
+/// literal arithmetic (constant folding cascades), a 24-deep chain of ops
+/// whose results are never output (dead-code cascades), and one live output.
+/// The legacy sweep pays a full module walk per cascade step; the worklist
+/// driver unwinds both chains by re-enqueueing only affected ops.
+std::string rewrite_stress_source() {
+  std::string src = "kernel rewrite_stress\nindex i\ninput a[i]\n";
+  src += "c0 = 1.5 * 2.0\n";
+  for (int k = 1; k < 16; ++k) {
+    src += "c" + std::to_string(k) + " = c" + std::to_string(k - 1) +
+           (k % 2 == 0 ? " * 1.5\n" : " + 1.0\n");
+  }
+  src += "d0 = a[i] + 1.0\n";
+  for (int k = 1; k < 24; ++k) {
+    src += "d" + std::to_string(k) + " = d" + std::to_string(k - 1) +
+           (k % 2 == 0 ? " + 0.5\n" : " * 2.0\n");
+  }
+  src += "t = a[i] * c15\noutput t\n";
+  return src;
+}
+
+struct DriverRun {
+  everest::ir::RewriteStats stats;
+  double wall_us = 0.0;  // best of repetitions
+  std::string printed;   // module text after the run
+};
+
+/// Runs the full canonicalize pattern set to fixpoint on clones of `teil`
+/// under one driver; wall time is the best of `reps` runs.
+DriverRun run_driver(const everest::ir::Module &teil,
+                     everest::ir::RewriteDriver driver, int reps) {
+  DriverRun run;
+  auto patterns = et::canonicalize_patterns();
+  for (int r = 0; r < reps; ++r) {
+    auto copy = everest::ir::clone_module(teil);
+    auto start = std::chrono::steady_clock::now();
+    auto stats = everest::ir::apply_patterns_greedily(*copy, patterns,
+                                                      /*max_iterations=*/64,
+                                                      driver);
+    auto stop = std::chrono::steady_clock::now();
+    double us =
+        std::chrono::duration<double, std::micro>(stop - start).count();
+    if (r == 0 || us < run.wall_us) run.wall_us = us;
+    if (r == 0) {
+      run.stats = stats;
+      run.printed = copy->str();
+    }
+  }
+  return run;
+}
+
+}  // namespace
 
 int main() {
   std::printf("== F5: dialect lowering paths (Fig. 5) ==\n\n");
@@ -104,7 +168,87 @@ output r
   esn.add_row({"naive left-to-right", n});
   esn.add_row({"esn greedy reorder", g});
   std::printf("%s\nshape: greedy < naive when the chain has a small late "
-              "operand.\n",
+              "operand.\n\n",
               esn.render().c_str());
-  return 0;
+
+  // ---- bench_rewrite: worklist vs legacy sweep on EKL->TeIL->loops ----
+  std::printf("== bench_rewrite: worklist vs legacy sweep ==\n\n");
+  everest::support::Table rw({"module", "ops", "visits wl", "visits legacy",
+                              "ratio", "us wl", "us legacy", "identical"});
+  auto json = everest::support::Json::object();
+  json.set("bench", "rewrite");
+  json.set("pattern_set", "canonicalize");
+  auto cases = everest::support::Json::array();
+  bool all_identical = true;
+  double chain_ratio = 0.0;
+
+  struct Case {
+    const char *name;
+    std::shared_ptr<everest::ir::Module> teil;
+  };
+  auto stress_ekl =
+      everest::frontend::parse_ekl(rewrite_stress_source()).value();
+  et::EklBindings stress_bind;
+  stress_bind.inputs.emplace("a", everest::numerics::Tensor({64}));
+  auto stress_teil = et::lower_ekl_to_teil(*stress_ekl, stress_bind).value();
+  for (const Case &c :
+       {Case{"rrtmg_major", teil}, Case{"rewrite_stress", stress_teil}}) {
+    DriverRun wl = run_driver(*c.teil, everest::ir::RewriteDriver::Worklist, 25);
+    DriverRun legacy =
+        run_driver(*c.teil, everest::ir::RewriteDriver::LegacySweep, 25);
+    bool identical = wl.printed == legacy.printed &&
+                     wl.stats.rewrites == legacy.stats.rewrites;
+    all_identical = all_identical && identical;
+    double ratio = wl.stats.ops_visited > 0
+                       ? static_cast<double>(legacy.stats.ops_visited) /
+                             static_cast<double>(wl.stats.ops_visited)
+                       : 0.0;
+    if (std::string(c.name) == "rewrite_stress") chain_ratio = ratio;
+    // Confirm the canonicalized module still lowers down the chain.
+    auto copy = everest::ir::clone_module(*c.teil);
+    (void)et::canonicalize(*copy);
+    auto lowered = et::lower_teil_to_loops(*copy);
+    char ratio_s[32];
+    std::snprintf(ratio_s, sizeof ratio_s, "%.2fx", ratio);
+    char wl_us[32], lg_us[32];
+    std::snprintf(wl_us, sizeof wl_us, "%.1f", wl.wall_us);
+    std::snprintf(lg_us, sizeof lg_us, "%.1f", legacy.wall_us);
+    rw.add_row({c.name, std::to_string(c.teil->op_count()),
+                std::to_string(wl.stats.ops_visited),
+                std::to_string(legacy.stats.ops_visited), ratio_s, wl_us,
+                lg_us, identical ? "yes" : "NO"});
+
+    auto entry = everest::support::Json::object();
+    entry.set("module", c.name);
+    entry.set("module_ops", c.teil->op_count());
+    entry.set("byte_identical", identical);
+    entry.set("visit_ratio", ratio);
+    entry.set("wall_speedup",
+              wl.wall_us > 0.0 ? legacy.wall_us / wl.wall_us : 0.0);
+    entry.set("lowers_to_loops", lowered.has_value());
+    auto side = [](const DriverRun &r) {
+      auto o = everest::support::Json::object();
+      o.set("ops_visited", r.stats.ops_visited);
+      o.set("rewrites", r.stats.rewrites);
+      o.set("iterations", r.stats.iterations);
+      o.set("worklist_pushes", r.stats.worklist_pushes);
+      o.set("converged", r.stats.converged);
+      o.set("wall_us", r.wall_us);
+      return o;
+    };
+    entry.set("worklist", side(wl));
+    entry.set("legacy_sweep", side(legacy));
+    cases.push_back(std::move(entry));
+  }
+  json.set("cases", std::move(cases));
+  std::printf("%s\n", rw.render().c_str());
+  std::printf("chain visit ratio (legacy/worklist): %.2fx%s; outputs %s\n",
+              chain_ratio, chain_ratio >= 2.0 ? " (>= 2x)" : " (< 2x!)",
+              all_identical ? "byte-identical" : "DIVERGED");
+
+  std::ofstream out("BENCH_rewrite.json");
+  out << json.dump(2) << "\n";
+  out.close();
+  std::printf("wrote BENCH_rewrite.json\n");
+  return (all_identical && chain_ratio >= 2.0) ? 0 : 1;
 }

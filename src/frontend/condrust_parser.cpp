@@ -142,10 +142,9 @@ Expected<std::shared_ptr<ir::Module>> parse_condrust(std::string_view text) {
         operands.push_back(it->second);
       }
 
-      std::map<std::string, Attribute> attrs{
-          {"callee", Attribute(call->callee)}};
+      ir::AttrDict attrs{{"callee", Attribute(call->callee)}};
       if (!pending_placement.empty()) {
-        attrs["placement"] = Attribute(pending_placement);
+        attrs.set("placement", Attribute(pending_placement));
         pending_placement.clear();
       }
       Value *result =

@@ -10,6 +10,18 @@
 
 namespace everest::ir {
 
+void AttrDict::set(Symbol key, Attribute value) {
+  auto it = items_.begin();
+  for (; it != items_.end(); ++it) {
+    if (it->first == key) {
+      it->second = std::move(value);
+      return;
+    }
+    if (key < it->first) break;
+  }
+  items_.insert(it, NamedAttribute(key, std::move(value)));
+}
+
 std::vector<std::int64_t> Attribute::as_int_vector() const {
   std::vector<std::int64_t> out;
   for (const auto &a : as_array()) out.push_back(a.as_int());

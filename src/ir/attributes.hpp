@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
+#include "ir/interner.hpp"
 #include "ir/types.hpp"
 
 namespace everest::ir {
@@ -96,6 +98,58 @@ private:
   std::variant<std::monostate, bool, std::int64_t, double, std::string, Type,
                std::vector<Attribute>>
       value_;
+};
+
+/// One attribute-dictionary entry: interned key + value.
+using NamedAttribute = std::pair<Symbol, Attribute>;
+
+/// An operation's attribute dictionary: a flat vector kept sorted by key
+/// text. Dictionaries are tiny (1–4 entries), so lookups are linear scans
+/// over contiguous storage — no per-node heap traffic like std::map — and
+/// iteration order stays lexicographic, which the printer relies on for
+/// canonical output.
+class AttrDict {
+public:
+  AttrDict() = default;
+  AttrDict(std::initializer_list<std::pair<std::string_view, Attribute>> items) {
+    for (auto &item : items) set(Symbol(item.first), item.second);
+  }
+
+  /// Inserts or overwrites, keeping the vector sorted by key text.
+  void set(Symbol key, Attribute value);
+  void set(std::string_view key, Attribute value) {
+    set(Symbol(key), std::move(value));
+  }
+
+  /// Returns the value or nullptr. The Symbol overload is a pure pointer
+  /// scan; the string overload compares spellings without interning.
+  [[nodiscard]] const Attribute *find(Symbol key) const {
+    for (const auto &item : items_) {
+      if (item.first == key) return &item.second;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const Attribute *find(std::string_view key) const {
+    for (const auto &item : items_) {
+      if (item.first.view() == key) return &item.second;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] bool contains(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::vector<NamedAttribute>::const_iterator begin() const {
+    return items_.begin();
+  }
+  [[nodiscard]] std::vector<NamedAttribute>::const_iterator end() const {
+    return items_.end();
+  }
+
+private:
+  std::vector<NamedAttribute> items_;
 };
 
 }  // namespace everest::ir

@@ -4,8 +4,8 @@
 // Maintains an insertion point (block + iterator) and creates operations.
 #pragma once
 
-#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/ir.hpp"
@@ -33,21 +33,19 @@ public:
   [[nodiscard]] Block *insertion_block() const { return block_; }
 
   /// Creates an op at the insertion point and returns it.
-  Operation &create(std::string name, std::vector<Value *> operands,
-                    std::vector<Type> result_types,
-                    std::map<std::string, Attribute> attributes = {},
+  Operation &create(std::string_view name, std::vector<Value *> operands,
+                    std::vector<Type> result_types, AttrDict attributes = {},
                     std::size_t num_regions = 0) {
-    auto op = Operation::create(std::move(name), std::move(operands),
+    auto op = Operation::create(name, std::move(operands),
                                 std::move(result_types), std::move(attributes),
                                 num_regions);
     return block_->insert(insert_, std::move(op));
   }
 
   /// Creates a single-result op and returns the result value.
-  Value *create_value(std::string name, std::vector<Value *> operands,
-                      Type result_type,
-                      std::map<std::string, Attribute> attributes = {}) {
-    return create(std::move(name), std::move(operands), {std::move(result_type)},
+  Value *create_value(std::string_view name, std::vector<Value *> operands,
+                      Type result_type, AttrDict attributes = {}) {
+    return create(name, std::move(operands), {std::move(result_type)},
                   std::move(attributes))
         .result(0);
   }

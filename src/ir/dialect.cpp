@@ -15,14 +15,14 @@ Dialect &Context::make_dialect(const std::string &name) {
   return register_dialect(std::make_unique<Dialect>(name));
 }
 
-Dialect *Context::find_dialect(const std::string &name) const {
+Dialect *Context::find_dialect(std::string_view name) const {
   auto it = dialects_.find(name);
   return it == dialects_.end() ? nullptr : it->second.get();
 }
 
-const OpDef *Context::find_op(const std::string &full_name) const {
+const OpDef *Context::find_op(std::string_view full_name) const {
   auto dot = full_name.find('.');
-  if (dot == std::string::npos) return nullptr;
+  if (dot == std::string_view::npos) return nullptr;
   const Dialect *d = find_dialect(full_name.substr(0, dot));
   return d ? d->find_op(full_name.substr(dot + 1)) : nullptr;
 }

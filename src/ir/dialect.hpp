@@ -9,8 +9,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "ir/interner.hpp"
 #include "ir/ir.hpp"
 #include "support/expected.hpp"
 
@@ -45,16 +47,18 @@ public:
     ops_[mnemonic] = std::move(def);
   }
 
-  [[nodiscard]] const OpDef *find_op(const std::string &mnemonic) const {
+  [[nodiscard]] const OpDef *find_op(std::string_view mnemonic) const {
     auto it = ops_.find(mnemonic);
     return it == ops_.end() ? nullptr : &it->second;
   }
 
-  [[nodiscard]] const std::map<std::string, OpDef> &ops() const { return ops_; }
+  [[nodiscard]] const std::map<std::string, OpDef, std::less<>> &ops() const {
+    return ops_;
+  }
 
 private:
   std::string name_;
-  std::map<std::string, OpDef> ops_;
+  std::map<std::string, OpDef, std::less<>> ops_;
 };
 
 /// Owns dialects and provides module-level verification. The EVEREST SDK
@@ -70,9 +74,15 @@ public:
   /// Creates and registers an empty dialect with the given name.
   Dialect &make_dialect(const std::string &name);
 
-  [[nodiscard]] Dialect *find_dialect(const std::string &name) const;
-  [[nodiscard]] const OpDef *find_op(const std::string &full_name) const;
+  [[nodiscard]] Dialect *find_dialect(std::string_view name) const;
+  [[nodiscard]] const OpDef *find_op(std::string_view full_name) const;
   [[nodiscard]] std::vector<std::string> dialect_names() const;
+
+  /// The identifier interner used by ops created under this context. Symbol
+  /// storage is process-wide (modules may outlive any single context — the
+  /// compile cache shares clones across threads), so every context hands out
+  /// the same instance.
+  [[nodiscard]] Interner &interner() const { return Interner::global(); }
 
   /// When true (default), verification fails on ops whose dialect is
   /// registered but whose mnemonic is not.
@@ -86,7 +96,7 @@ public:
   [[nodiscard]] support::Status verify(const Operation &op) const;
 
 private:
-  std::map<std::string, std::unique_ptr<Dialect>> dialects_;
+  std::map<std::string, std::unique_ptr<Dialect>, std::less<>> dialects_;
   bool strict_ = true;
 };
 

@@ -1,0 +1,69 @@
+#include "ir/interner.hpp"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace everest::ir {
+
+namespace detail {
+
+namespace {
+
+/// Storage plus the lookup table. A deque keeps entry addresses stable as
+/// the table grows; the map keys are views into the stored text so each
+/// spelling is kept exactly once.
+struct InternTable {
+  std::mutex mu;
+  std::deque<InternEntry> entries;
+  std::unordered_map<std::string_view, const InternEntry *> index;
+
+  const InternEntry *get(std::string_view text) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = index.find(text);
+    if (it != index.end()) return it->second;
+    InternEntry &entry = entries.emplace_back();
+    entry.text = std::string(text);
+    std::string_view stored = entry.text;
+    auto dot = stored.find('.');
+    if (dot == std::string_view::npos) {
+      entry.dialect = stored.substr(0, 0);
+      entry.mnemonic = stored;
+    } else {
+      entry.dialect = stored.substr(0, dot);
+      entry.mnemonic = stored.substr(dot + 1);
+    }
+    index.emplace(stored, &entry);
+    return &entry;
+  }
+
+  std::size_t size() {
+    std::lock_guard<std::mutex> lock(mu);
+    return entries.size();
+  }
+};
+
+InternTable &table() {
+  static InternTable t;
+  return t;
+}
+
+}  // namespace
+
+const InternEntry *intern(std::string_view text) { return table().get(text); }
+
+const InternEntry *empty_entry() {
+  static const InternEntry *e = intern("");
+  return e;
+}
+
+}  // namespace detail
+
+Interner &Interner::global() {
+  static Interner interner;
+  return interner;
+}
+
+std::size_t Interner::size() const { return detail::table().size(); }
+
+}  // namespace everest::ir

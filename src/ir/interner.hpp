@@ -1,0 +1,93 @@
+// everest/ir/interner.hpp
+//
+// Identifier interning for the IR mid-end. Operation names, pattern root
+// names, and attribute keys occur millions of times per compile but draw
+// from a tiny vocabulary ("arith.addf", "value", ...). The interner uniques
+// each spelling once, process-wide, so identity checks are pointer compares
+// and the dialect/mnemonic split of an op name is computed exactly once.
+//
+// Entries live for the lifetime of the process (an IR module may outlive
+// every Context — the compile cache hands clones across threads — so symbol
+// storage cannot be tied to any one context). Context::interner() exposes
+// the shared instance; all access is thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace everest::ir {
+
+namespace detail {
+
+/// One uniqued identifier. `dialect`/`mnemonic` are the halves around the
+/// first '.' (dialect empty and mnemonic == text when there is no dot),
+/// precomputed at intern time so Operation::dialect()/mnemonic() never
+/// allocate or re-scan.
+struct InternEntry {
+  std::string text;
+  std::string_view dialect;
+  std::string_view mnemonic;
+};
+
+/// Uniques `text`; returns a pointer that is stable for the process
+/// lifetime and equal for equal spellings. Thread-safe.
+const InternEntry *intern(std::string_view text);
+
+/// The entry for "" (used by default-constructed Symbols).
+const InternEntry *empty_entry();
+
+}  // namespace detail
+
+/// A uniqued identifier: a thin pointer into the interner. Equality is a
+/// pointer compare; ordering (for sorted containers / deterministic
+/// printing) compares the underlying strings.
+class Symbol {
+public:
+  /// The empty symbol.
+  Symbol() : entry_(detail::empty_entry()) {}
+  /// Interns `text` (explicit: interning takes a lock on first sight).
+  explicit Symbol(std::string_view text) : entry_(detail::intern(text)) {}
+
+  [[nodiscard]] const std::string &str() const { return entry_->text; }
+  [[nodiscard]] std::string_view view() const { return entry_->text; }
+  /// Prefix before the first '.' (empty when there is none).
+  [[nodiscard]] std::string_view dialect() const { return entry_->dialect; }
+  /// Suffix after the first '.' (the whole text when there is no '.').
+  [[nodiscard]] std::string_view mnemonic() const { return entry_->mnemonic; }
+  [[nodiscard]] bool empty() const { return entry_->text.empty(); }
+
+  friend bool operator==(Symbol a, Symbol b) { return a.entry_ == b.entry_; }
+  friend bool operator!=(Symbol a, Symbol b) { return a.entry_ != b.entry_; }
+  friend bool operator<(Symbol a, Symbol b) {
+    return a.entry_ != b.entry_ && a.entry_->text < b.entry_->text;
+  }
+
+  /// Stable pointer identity (hash key for pattern dispatch tables).
+  [[nodiscard]] const void *id() const { return entry_; }
+
+private:
+  const detail::InternEntry *entry_;
+};
+
+struct SymbolHash {
+  std::size_t operator()(Symbol s) const noexcept {
+    return std::hash<const void *>()(s.id());
+  }
+};
+
+/// The process-wide interner. Exposed as an object (rather than free
+/// functions only) so Context can hand it out and tests can observe growth.
+class Interner {
+public:
+  static Interner &global();
+
+  Symbol intern(std::string_view text) { return Symbol(text); }
+  /// Number of distinct identifiers interned so far.
+  [[nodiscard]] std::size_t size() const;
+
+private:
+  Interner() = default;
+};
+
+}  // namespace everest::ir

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <stdexcept>
 
 namespace everest::ir {
@@ -62,18 +63,28 @@ void Block::erase(Operation *op) {
 
 // ----------------------------------------------------------------- Operation
 
-Operation::Operation(std::string name, std::vector<Value *> operands,
-                     std::map<std::string, Attribute> attributes)
-    : name_(std::move(name)),
+Operation::Operation(Symbol name, std::vector<Value *> operands,
+                     AttrDict attributes)
+    : name_(name),
       operands_(std::move(operands)),
       attributes_(std::move(attributes)) {}
 
-std::unique_ptr<Operation> Operation::create(
-    std::string name, std::vector<Value *> operands,
-    std::vector<Type> result_types, std::map<std::string, Attribute> attributes,
-    std::size_t num_regions) {
+std::unique_ptr<Operation> Operation::create(std::string_view name,
+                                             std::vector<Value *> operands,
+                                             std::vector<Type> result_types,
+                                             AttrDict attributes,
+                                             std::size_t num_regions) {
+  return create(Symbol(name), std::move(operands), std::move(result_types),
+                std::move(attributes), num_regions);
+}
+
+std::unique_ptr<Operation> Operation::create(Symbol name,
+                                             std::vector<Value *> operands,
+                                             std::vector<Type> result_types,
+                                             AttrDict attributes,
+                                             std::size_t num_regions) {
   auto op = std::unique_ptr<Operation>(
-      new Operation(std::move(name), std::move(operands), std::move(attributes)));
+      new Operation(name, std::move(operands), std::move(attributes)));
   for (Value *v : op->operands_) {
     assert(v != nullptr && "null operand");
     v->users_.push_back(op.get());
@@ -88,16 +99,6 @@ std::unique_ptr<Operation> Operation::create(
 }
 
 Operation::~Operation() = default;
-
-std::string Operation::dialect() const {
-  auto dot = name_.find('.');
-  return dot == std::string::npos ? std::string() : name_.substr(0, dot);
-}
-
-std::string Operation::mnemonic() const {
-  auto dot = name_.find('.');
-  return dot == std::string::npos ? name_ : name_.substr(dot + 1);
-}
 
 namespace {
 
@@ -127,20 +128,20 @@ void Operation::drop_all_operands() {
   operands_.clear();
 }
 
-std::int64_t Operation::attr_int(const std::string &key,
+std::int64_t Operation::attr_int(std::string_view key,
                                  std::int64_t fallback) const {
   const Attribute *a = attr(key);
   return a && a->is_int() ? a->as_int() : fallback;
 }
 
-double Operation::attr_double(const std::string &key, double fallback) const {
+double Operation::attr_double(std::string_view key, double fallback) const {
   const Attribute *a = attr(key);
   if (!a) return fallback;
   if (a->is_double() || a->is_int()) return a->as_double();
   return fallback;
 }
 
-std::string Operation::attr_string(const std::string &key,
+std::string Operation::attr_string(std::string_view key,
                                    std::string fallback) const {
   const Attribute *a = attr(key);
   return a && a->is_string() ? a->as_string() : fallback;
@@ -215,7 +216,7 @@ void Module::walk(const std::function<void(const Operation &)> &fn) const {
   }
 }
 
-Operation *Module::find_first(const std::string &name) {
+Operation *Module::find_first(std::string_view name) {
   Operation *found = nullptr;
   walk([&](Operation &op) {
     if (!found && op.name() == name) found = &op;
@@ -223,7 +224,7 @@ Operation *Module::find_first(const std::string &name) {
   return found;
 }
 
-std::vector<Operation *> Module::find_all(const std::string &name) {
+std::vector<Operation *> Module::find_all(std::string_view name) {
   std::vector<Operation *> out;
   walk([&](Operation &op) {
     if (op.name() == name) out.push_back(&op);
@@ -260,7 +261,7 @@ void clone_block_into(const Block &src, Block &dst,
     for (std::size_t i = 0; i < op->num_results(); ++i)
       result_types.push_back(op->result(i)->type());
 
-    auto cloned = Operation::create(op->name(), std::move(operands),
+    auto cloned = Operation::create(op->name_symbol(), std::move(operands),
                                     std::move(result_types), op->attributes(),
                                     op->num_regions());
     for (std::size_t i = 0; i < op->num_results(); ++i)

@@ -9,12 +9,13 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/attributes.hpp"
+#include "ir/interner.hpp"
 #include "ir/types.hpp"
 
 namespace everest::ir {
@@ -138,21 +139,29 @@ private:
 class Operation {
 public:
   /// Creates a detached operation. Use Block::push_back / OpBuilder to place it.
-  static std::unique_ptr<Operation> create(
-      std::string name, std::vector<Value *> operands,
-      std::vector<Type> result_types,
-      std::map<std::string, Attribute> attributes = {},
-      std::size_t num_regions = 0);
+  static std::unique_ptr<Operation> create(std::string_view name,
+                                           std::vector<Value *> operands,
+                                           std::vector<Type> result_types,
+                                           AttrDict attributes = {},
+                                           std::size_t num_regions = 0);
+  static std::unique_ptr<Operation> create(Symbol name,
+                                           std::vector<Value *> operands,
+                                           std::vector<Type> result_types,
+                                           AttrDict attributes = {},
+                                           std::size_t num_regions = 0);
 
   ~Operation();
   Operation(const Operation &) = delete;
   Operation &operator=(const Operation &) = delete;
 
-  [[nodiscard]] const std::string &name() const { return name_; }
-  /// Dialect prefix of the name ("ekl" for "ekl.contract").
-  [[nodiscard]] std::string dialect() const;
+  [[nodiscard]] const std::string &name() const { return name_.str(); }
+  /// The interned name: pattern dispatch compares these by pointer.
+  [[nodiscard]] Symbol name_symbol() const { return name_; }
+  /// Dialect prefix of the name ("ekl" for "ekl.contract"). The split is
+  /// computed once when the name is interned; this never allocates.
+  [[nodiscard]] std::string_view dialect() const { return name_.dialect(); }
   /// Mnemonic suffix of the name ("contract" for "ekl.contract").
-  [[nodiscard]] std::string mnemonic() const;
+  [[nodiscard]] std::string_view mnemonic() const { return name_.mnemonic(); }
 
   [[nodiscard]] std::size_t num_operands() const { return operands_.size(); }
   [[nodiscard]] Value *operand(std::size_t i) const { return operands_.at(i); }
@@ -169,26 +178,29 @@ public:
     return results_.at(i).get();
   }
 
-  [[nodiscard]] const std::map<std::string, Attribute> &attributes() const {
-    return attributes_;
+  [[nodiscard]] const AttrDict &attributes() const { return attributes_; }
+  void set_attr(std::string_view key, Attribute value) {
+    attributes_.set(key, std::move(value));
   }
-  void set_attr(const std::string &key, Attribute value) {
-    attributes_[key] = std::move(value);
+  void set_attr(Symbol key, Attribute value) {
+    attributes_.set(key, std::move(value));
   }
-  [[nodiscard]] bool has_attr(const std::string &key) const {
-    return attributes_.count(key) > 0;
+  [[nodiscard]] bool has_attr(std::string_view key) const {
+    return attributes_.contains(key);
   }
   /// Returns the attribute or nullptr when absent.
-  [[nodiscard]] const Attribute *attr(const std::string &key) const {
-    auto it = attributes_.find(key);
-    return it == attributes_.end() ? nullptr : &it->second;
+  [[nodiscard]] const Attribute *attr(std::string_view key) const {
+    return attributes_.find(key);
+  }
+  [[nodiscard]] const Attribute *attr(Symbol key) const {
+    return attributes_.find(key);
   }
   /// Typed attribute getters with fallback defaults.
-  [[nodiscard]] std::int64_t attr_int(const std::string &key,
+  [[nodiscard]] std::int64_t attr_int(std::string_view key,
                                       std::int64_t fallback = 0) const;
-  [[nodiscard]] double attr_double(const std::string &key,
+  [[nodiscard]] double attr_double(std::string_view key,
                                    double fallback = 0.0) const;
-  [[nodiscard]] std::string attr_string(const std::string &key,
+  [[nodiscard]] std::string attr_string(std::string_view key,
                                         std::string fallback = "") const;
 
   [[nodiscard]] std::size_t num_regions() const { return regions_.size(); }
@@ -215,13 +227,12 @@ public:
 
 private:
   friend class Block;
-  Operation(std::string name, std::vector<Value *> operands,
-            std::map<std::string, Attribute> attributes);
+  Operation(Symbol name, std::vector<Value *> operands, AttrDict attributes);
 
-  std::string name_;
+  Symbol name_;
   std::vector<Value *> operands_;
   std::vector<std::unique_ptr<Value>> results_;
-  std::map<std::string, Attribute> attributes_;
+  AttrDict attributes_;
   std::vector<std::unique_ptr<Region>> regions_;
   Block *parent_ = nullptr;
 };
@@ -242,9 +253,9 @@ public:
   void walk(const std::function<void(const Operation &)> &fn) const;
 
   /// Finds the first op with the given name, or nullptr.
-  [[nodiscard]] Operation *find_first(const std::string &name);
+  [[nodiscard]] Operation *find_first(std::string_view name);
   /// Collects all ops with the given name.
-  [[nodiscard]] std::vector<Operation *> find_all(const std::string &name);
+  [[nodiscard]] std::vector<Operation *> find_all(std::string_view name);
 
   /// Total number of ops in the module (excluding the module op itself).
   [[nodiscard]] std::size_t op_count() const;

@@ -4,6 +4,8 @@ namespace everest::ir {
 
 support::Status PassManager::run(Module &module) {
   timings_.clear();
+  obs::TraceRecorder *recorder =
+      recorder_ != nullptr ? recorder_ : obs::global_recorder();
   if (verify_each_) {
     if (auto s = ctx_.verify(module); !s.is_ok()) {
       return support::Status::failure("pre-pipeline verification failed: " +
@@ -14,6 +16,7 @@ support::Status PassManager::run(Module &module) {
     PassTiming timing;
     timing.name = pass->name();
     timing.ops_before = module.op_count();
+    double span_start = recorder != nullptr ? recorder->now_us() : 0.0;
     auto start = std::chrono::steady_clock::now();
     auto result = pass->run(module, ctx_);
     auto stop = std::chrono::steady_clock::now();
@@ -21,6 +24,17 @@ support::Status PassManager::run(Module &module) {
         std::chrono::duration<double, std::milli>(stop - start).count();
     timing.ops_after = module.op_count();
     timings_.push_back(timing);
+    if (recorder != nullptr) {
+      obs::TraceEvent event;
+      event.name = "pass:" + timing.name;
+      event.category = "ir.pass";
+      event.track = "pass-manager";
+      event.start_us = span_start;
+      event.duration_us = timing.milliseconds * 1000.0;
+      event.args.emplace_back("ops_before", std::to_string(timing.ops_before));
+      event.args.emplace_back("ops_after", std::to_string(timing.ops_after));
+      recorder->record(std::move(event));
+    }
     if (!result.is_ok()) {
       return support::Status::failure("pass '" + pass->name() +
                                       "' failed: " + result.message());

@@ -13,6 +13,7 @@
 
 #include "ir/dialect.hpp"
 #include "ir/ir.hpp"
+#include "obs/trace.hpp"
 #include "support/expected.hpp"
 
 namespace everest::ir {
@@ -67,6 +68,11 @@ public:
 
   [[nodiscard]] std::size_t size() const { return passes_.size(); }
 
+  /// Mirrors per-pass timings as trace spans (category "ir.pass", track
+  /// "pass-manager") on `recorder`. Falls back to the global recorder when
+  /// none is attached; spans are skipped when neither exists.
+  void attach_recorder(obs::TraceRecorder *recorder) { recorder_ = recorder; }
+
   /// Runs all passes in order; stops at the first failure. When verification
   /// is enabled, a verifier failure after pass P reports P by name.
   support::Status run(Module &module);
@@ -78,6 +84,7 @@ public:
 private:
   Context &ctx_;
   bool verify_each_;
+  obs::TraceRecorder *recorder_ = nullptr;
   std::vector<std::unique_ptr<Pass>> passes_;
   std::vector<PassTiming> timings_;
 };

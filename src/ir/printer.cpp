@@ -8,8 +8,8 @@
 //
 // Value names are assigned in program order; block arguments print as %aN.
 
-#include <map>
 #include <string>
+#include <unordered_map>
 
 #include "ir/ir.hpp"
 
@@ -17,32 +17,44 @@ namespace everest::ir {
 
 namespace {
 
+/// Rough per-op output size used to preallocate the print buffer. One
+/// reservation up front replaces the O(log n) doublings of the grow-as-you-go
+/// path; the compile cache fingerprints modules by printing them, so this is
+/// on the hot path of every cached compile.
+constexpr std::size_t kBytesPerOpEstimate = 96;
+
 class Printer {
 public:
   std::string print_module(const Operation &module_op) {
+    std::size_t ops = 0;
+    module_op.walk([&](const Operation &) { ++ops; });
+    out_.reserve(ops * kBytesPerOpEstimate + 16);
+    names_.reserve(ops);
     out_ += "module {\n";
     for (const auto &op : module_op.region(0).front().operations())
       print_op(*op, 1);
     out_ += "}\n";
-    return out_;
+    return std::move(out_);
   }
 
   std::string print_single(const Operation &op) {
+    std::size_t ops = 0;
+    op.walk([&](const Operation &) { ++ops; });
+    out_.reserve(ops * kBytesPerOpEstimate);
     print_op(op, 0);
-    return out_;
+    return std::move(out_);
   }
 
 private:
   void indent(int depth) { out_.append(static_cast<std::size_t>(depth) * 2, ' '); }
 
-  std::string name_of(const Value *v) {
+  const std::string &name_of(const Value *v) {
     auto it = names_.find(v);
     if (it != names_.end()) return it->second;
     std::string name = v->is_block_argument()
                            ? "%a" + std::to_string(next_arg_++)
                            : "%" + std::to_string(next_result_++);
-    names_.emplace(v, name);
-    return name;
+    return names_.emplace(v, std::move(name)).first->second;
   }
 
   void print_op(const Operation &op, int depth) {
@@ -54,7 +66,9 @@ private:
       }
       out_ += " = ";
     }
-    out_ += '"' + op.name() + "\"(";
+    out_ += '"';
+    out_ += op.name();
+    out_ += "\"(";
     for (std::size_t i = 0; i < op.num_operands(); ++i) {
       if (i != 0) out_ += ", ";
       out_ += name_of(op.operand(i));
@@ -80,7 +94,9 @@ private:
       for (const auto &[key, value] : op.attributes()) {
         if (!first) out_ += ", ";
         first = false;
-        out_ += key + " = " + value.str();
+        out_ += key.str();
+        out_ += " = ";
+        out_ += value.str();
       }
       out_ += '}';
     }
@@ -111,8 +127,9 @@ private:
       out_ += '(';
       for (std::size_t i = 0; i < block.num_arguments(); ++i) {
         if (i != 0) out_ += ", ";
-        out_ += name_of(&block.argument(i)) + ": " +
-                block.argument(i).type().str();
+        out_ += name_of(&block.argument(i));
+        out_ += ": ";
+        out_ += block.argument(i).type().str();
       }
       out_ += ')';
     }
@@ -121,7 +138,7 @@ private:
   }
 
   std::string out_;
-  std::map<const Value *, std::string> names_;
+  std::unordered_map<const Value *, std::string> names_;
   int next_result_ = 0;
   int next_arg_ = 0;
   int next_block_ = 0;
@@ -130,7 +147,8 @@ private:
 }  // namespace
 
 std::string Operation::str() const {
-  if (name_ == "builtin.module") return Printer().print_module(*this);
+  static const Symbol kModuleName("builtin.module");
+  if (name_ == kModuleName) return Printer().print_module(*this);
   return Printer().print_single(*this);
 }
 

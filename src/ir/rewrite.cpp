@@ -1,48 +1,135 @@
 #include "ir/rewrite.hpp"
 
 #include <algorithm>
-#include <set>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/trace.hpp"
 
 namespace everest::ir {
 
-RewriteStats apply_patterns_greedily(
-    Module &module,
-    const std::vector<std::shared_ptr<RewritePattern>> &patterns,
-    std::size_t max_iterations) {
-  // Sort by descending benefit; stable to keep registration order for ties.
-  std::vector<std::shared_ptr<RewritePattern>> sorted = patterns;
-  std::stable_sort(sorted.begin(), sorted.end(),
-                   [](const auto &a, const auto &b) {
-                     return a->benefit() > b->benefit();
-                   });
+namespace {
 
+using PatternRef = std::pair<RewritePattern *, std::size_t>;  // pattern, index
+
+/// Patterns sorted by descending benefit (stable on registration order) with
+/// a per-root dispatch index. The index maps an interned op name to the
+/// benefit-ordered merge of patterns anchored on that name and the generic
+/// ("" root) patterns, so per-op dispatch touches only candidate patterns
+/// and root comparison is a pointer compare.
+class PatternSet {
+public:
+  explicit PatternSet(
+      const std::vector<std::shared_ptr<RewritePattern>> &patterns) {
+    sorted_ = patterns;
+    std::stable_sort(sorted_.begin(), sorted_.end(),
+                     [](const auto &a, const auto &b) {
+                       return a->benefit() > b->benefit();
+                     });
+    fire_counts_.assign(sorted_.size(), 0);
+    for (std::size_t i = 0; i < sorted_.size(); ++i) {
+      if (sorted_[i]->root_symbol().empty())
+        generic_.emplace_back(sorted_[i].get(), i);
+      else
+        has_specific_ = true;
+    }
+  }
+
+  /// Candidate patterns for an op named `root`, in application order.
+  const std::vector<PatternRef> &candidates(Symbol root) {
+    if (!has_specific_) return generic_;
+    auto it = merged_.find(root.id());
+    if (it != merged_.end()) return it->second;
+    std::vector<PatternRef> list;
+    for (std::size_t i = 0; i < sorted_.size(); ++i) {
+      Symbol r = sorted_[i]->root_symbol();
+      if (r.empty() || r == root) list.emplace_back(sorted_[i].get(), i);
+    }
+    return merged_.emplace(root.id(), std::move(list)).first->second;
+  }
+
+  void count_fire(std::size_t index) { ++fire_counts_[index]; }
+
+  /// Flushes per-pattern fire counts to `ir.rewrite.fires.<root|any>`.
+  void report_fires(obs::TraceRecorder &rec) const {
+    for (std::size_t i = 0; i < sorted_.size(); ++i) {
+      if (fire_counts_[i] == 0) continue;
+      const std::string &root = sorted_[i]->root_name();
+      rec.counter("ir.rewrite.fires." + (root.empty() ? "any" : root))
+          .add(static_cast<std::int64_t>(fire_counts_[i]));
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+private:
+  std::vector<std::shared_ptr<RewritePattern>> sorted_;
+  std::vector<std::size_t> fire_counts_;
+  std::vector<PatternRef> generic_;
+  std::unordered_map<const void *, std::vector<PatternRef>> merged_;
+  bool has_specific_ = false;
+};
+
+void report_common(const RewriteStats &stats) {
+  if (auto *rec = obs::global_recorder()) {
+    rec->counter("ir.rewrite.ops_visited")
+        .add(static_cast<std::int64_t>(stats.ops_visited));
+    if (stats.worklist_pushes > 0)
+      rec->counter("ir.rewrite.worklist_pushes")
+          .add(static_cast<std::int64_t>(stats.worklist_pushes));
+    if (!stats.converged) rec->counter("ir.rewrite.nonconverged").add(1);
+  }
+}
+
+// ------------------------------------------------------------- legacy sweep
+
+/// Sweep-mode rewriter: erasures are deferred to the end of the sweep; no
+/// re-enqueue bookkeeping.
+class SweepRewriter final : public PatternRewriter {
+public:
+  std::vector<Operation *> pending;
+
+private:
+  void on_created(Operation *) override {}
+  void on_replace(Operation *, const std::vector<Value *> &) override {}
+  void on_erase(Operation *op) override { pending.push_back(op); }
+};
+
+RewriteStats apply_legacy_sweep(Module &module, PatternSet &patterns,
+                                std::size_t max_iterations) {
   RewriteStats stats;
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
     ++stats.iterations;
-    std::vector<Operation *> pending_erasure;
-    PatternRewriter rewriter(pending_erasure);
+    SweepRewriter rewriter;
     std::size_t fired = 0;
 
     // Snapshot ops first: rewrites may append new ops (visited next sweep).
     std::vector<Operation *> ops;
     module.walk([&](Operation &op) { ops.push_back(&op); });
 
-    std::set<Operation *> erased;
+    std::unordered_set<Operation *> erased;
     for (Operation *op : ops) {
       if (erased.count(op)) continue;
-      for (const auto &pattern : sorted) {
-        if (!pattern->root_name().empty() && pattern->root_name() != op->name())
-          continue;
+      ++stats.ops_visited;
+      for (const auto &[pattern, index] : patterns.candidates(op->name_symbol())) {
         if (pattern->match_and_rewrite(*op, rewriter)) {
           ++fired;
-          for (Operation *e : pending_erasure) erased.insert(e);
+          patterns.count_fire(index);
+          // Mark pending ops (and anything nested in them) so the rest of
+          // the sweep skips soon-to-be-erased ops.
+          for (Operation *e : rewriter.pending) {
+            if (!erased.count(e))
+              e->walk([&](Operation &nested) { erased.insert(&nested); });
+          }
           break;  // one pattern per op per sweep
         }
       }
     }
 
     // Erase in reverse discovery order so nested ops go before parents.
-    for (auto it = pending_erasure.rbegin(); it != pending_erasure.rend(); ++it) {
+    for (auto it = rewriter.pending.rbegin(); it != rewriter.pending.rend();
+         ++it) {
       Operation *op = *it;
       if (op->parent_block() != nullptr) op->parent_block()->erase(op);
     }
@@ -53,6 +140,137 @@ RewriteStats apply_patterns_greedily(
       break;
     }
   }
+  return stats;
+}
+
+// ----------------------------------------------------------------- worklist
+
+/// Worklist-mode rewriter/driver state. Invariant: no op is visited after
+/// its erasure — erased ops (including everything nested in them) are
+/// tombstoned in `erased`, and notify_created clears the tombstone if the
+/// allocator reuses a freed address for a new op.
+class WorklistDriver final : public PatternRewriter {
+public:
+  RewriteStats run(Module &module, PatternSet &patterns,
+                   std::size_t max_iterations) {
+    module.walk([&](Operation &op) { push(&op); });
+
+    for (;;) {
+      if (current_.empty()) {
+        stats_.converged = true;
+        break;
+      }
+      if (stats_.iterations == max_iterations) break;  // work remains
+      ++stats_.iterations;
+      fired_this_round_.clear();
+
+      while (!current_.empty()) {
+        Operation *op = current_.front();
+        current_.pop_front();
+        scheduled_.erase(op);
+        if (erased_.count(op)) continue;
+        ++stats_.ops_visited;
+
+        for (const auto &[pattern, index] :
+             patterns.candidates(op->name_symbol())) {
+          Operation *parent = op->parent_op();
+          if (!pattern->match_and_rewrite(*op, *this)) continue;
+          ++stats_.rewrites;
+          patterns.count_fire(index);
+          fired_this_round_.insert(op);
+          flush_erasures();
+          // Re-enqueue the affected neighbourhood: the parent op and — when
+          // the rewrite was in place — the op itself (it fired this round,
+          // so it lands in the next round, bounding re-fires).
+          if (parent != nullptr && parent->parent_block() != nullptr)
+            push(parent);
+          if (!erased_.count(op)) push(op);
+          break;  // one pattern per visit
+        }
+      }
+      std::swap(current_, next_);
+    }
+    return stats_;
+  }
+
+private:
+  void on_created(Operation *op) override {
+    // A new op may land on an address previously tombstoned: un-tombstone
+    // and enqueue it (and anything nested in it).
+    op->walk([&](Operation &nested) {
+      erased_.erase(&nested);
+      push(&nested);
+    });
+  }
+
+  void on_replace(Operation *op,
+                  const std::vector<Value *> &) override {
+    // Called before uses are rewritten: everything using the old results
+    // sees new operands after the replacement, so revisit those users.
+    for (std::size_t r = 0; r < op->num_results(); ++r) {
+      for (Operation *user : op->result(r)->users()) push(user);
+    }
+  }
+
+  void on_erase(Operation *op) override { pending_erasure_.push_back(op); }
+
+  /// Performs erasures deferred during one pattern fire. Operand definers
+  /// are re-enqueued first (losing a use may make them dead), then the op
+  /// and its nested subtree are tombstoned and removed.
+  void flush_erasures() {
+    for (auto it = pending_erasure_.rbegin(); it != pending_erasure_.rend();
+         ++it) {
+      Operation *dead = *it;
+      if (erased_.count(dead)) continue;
+      for (Value *v : dead->operands()) {
+        Operation *def = v->defining_op();
+        if (def != nullptr && def != dead) push(def);
+      }
+      dead->walk([&](Operation &nested) { erased_.insert(&nested); });
+      if (dead->parent_block() != nullptr) dead->parent_block()->erase(dead);
+    }
+    pending_erasure_.clear();
+  }
+
+  /// Enqueues an op unless already queued or erased. Ops that fired this
+  /// round go to the next round; everything else joins the current round so
+  /// cascades (e.g. a dead chain unwinding) resolve without extra rounds.
+  void push(Operation *op) {
+    if (op->parent_block() == nullptr) return;  // module op / detached
+    if (erased_.count(op) || scheduled_.count(op)) return;
+    scheduled_.insert(op);
+    ++stats_.worklist_pushes;
+    if (fired_this_round_.count(op))
+      next_.push_back(op);
+    else
+      current_.push_back(op);
+  }
+
+  RewriteStats stats_;
+  std::deque<Operation *> current_;
+  std::deque<Operation *> next_;
+  std::unordered_set<Operation *> scheduled_;
+  std::unordered_set<Operation *> erased_;
+  std::unordered_set<Operation *> fired_this_round_;
+  std::vector<Operation *> pending_erasure_;
+};
+
+}  // namespace
+
+RewriteStats apply_patterns_greedily(
+    Module &module,
+    const std::vector<std::shared_ptr<RewritePattern>> &patterns,
+    std::size_t max_iterations, RewriteDriver driver) {
+  PatternSet set(patterns);
+  RewriteStats stats;
+  if (driver == RewriteDriver::LegacySweep) {
+    stats = apply_legacy_sweep(module, set, max_iterations);
+  } else {
+    WorklistDriver worklist;
+    stats = worklist.run(module, set, max_iterations);
+  }
+  if (auto *rec = obs::global_recorder()) set.report_fires(*rec);
+  report_common(stats);
   return stats;
 }
 

@@ -217,8 +217,10 @@ Expected<CompileResult> Basecamp::backend(std::shared_ptr<ir::Module> frontend_i
     return Error::internal("basecamp: teil IR invalid: " + s.message());
 
   if (options.canonicalize) {
-    timed(recorder_, timings, "canonicalize",
-          [&] { return transforms::canonicalize(*teil_ir); });
+    auto status = timed(recorder_, timings, "canonicalize", [&] {
+      return transforms::canonicalize_checked(*teil_ir);
+    });
+    if (!status.is_ok()) return Error::internal("basecamp: " + status.message());
     if (auto s = ctx_.verify(*teil_ir); !s.is_ok())
       return Error::internal("basecamp: teil IR invalid after canonicalize: " +
                              s.message());

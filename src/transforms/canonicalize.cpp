@@ -25,12 +25,12 @@ bool constant_of(const Value *v, double &out) {
   return true;
 }
 
-/// Materializes a constant before `anchor` with the same result type.
-Value *make_constant(Operation &anchor, double value) {
-  ir::OpBuilder b(anchor.parent_block());
-  b.set_insertion_point(&anchor);
-  return b.create_value("arith.constant", {}, anchor.result(0)->type(),
-                        {{"value", Attribute(value)}});
+/// Materializes a constant before `anchor` with the same result type. Goes
+/// through the rewriter so the driver learns about the new op.
+Value *make_constant(PatternRewriter &rw, Operation &anchor, double value) {
+  return rw.create_value_before(&anchor, "arith.constant", {},
+                                anchor.result(0)->type(),
+                                {{"value", Attribute(value)}});
 }
 
 }  // namespace
@@ -54,7 +54,7 @@ std::vector<std::shared_ptr<ir::RewritePattern>> constant_fold_patterns() {
         if (!constant_of(op.operand(0), lhs) ||
             !constant_of(op.operand(1), rhs))
           return false;
-        Value *c = make_constant(op, it->second(lhs, rhs));
+        Value *c = make_constant(rw, op, it->second(lhs, rhs));
         rw.replace_op(&op, {c});
         return true;
       }));
@@ -71,7 +71,7 @@ std::vector<std::shared_ptr<ir::RewritePattern>> constant_fold_patterns() {
         if (it == kUnary.end()) return false;
         double x = 0;
         if (!constant_of(op.operand(0), x)) return false;
-        Value *c = make_constant(op, it->second(x));
+        Value *c = make_constant(rw, op, it->second(x));
         rw.replace_op(&op, {c});
         return true;
       }));
@@ -104,7 +104,7 @@ std::vector<std::shared_ptr<ir::RewritePattern>> constant_fold_patterns() {
             return true;
           }
           if (is_mul && c == 0.0) {
-            Value *zero = make_constant(op, 0.0);
+            Value *zero = make_constant(rw, op, 0.0);
             rw.replace_op(&op, {zero});
             return true;
           }
@@ -117,9 +117,89 @@ std::vector<std::shared_ptr<ir::RewritePattern>> constant_fold_patterns() {
 
 namespace {
 
+/// A value's compile-time splat constant, if defined by teil.constant.
+bool teil_constant_of(const Value *v, double &out) {
+  const Operation *def = v->defining_op();
+  if (!def || def->name() != "teil.constant") return false;
+  out = def->attr_double("value");
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::shared_ptr<ir::RewritePattern>> canonicalize_patterns(
+    std::size_t *dce_fired) {
+  auto patterns = constant_fold_patterns();
+
+  // teil.map over all-constant splats folds to one splat constant (splat
+  // semantics make the elementwise fn a scalar computation).
+  patterns.push_back(std::make_shared<ir::LambdaPattern>(
+      "teil.map", [](Operation &op, PatternRewriter &rw) {
+        static const std::map<std::string, double (*)(double, double)> kBinary{
+            {"add", [](double a, double b) { return a + b; }},
+            {"sub", [](double a, double b) { return a - b; }},
+            {"mul", [](double a, double b) { return a * b; }},
+            {"div", [](double a, double b) { return a / b; }},
+            {"min", [](double a, double b) { return std::min(a, b); }},
+            {"max", [](double a, double b) { return std::max(a, b); }},
+        };
+        const std::string fn = op.attr_string("fn");
+        double folded = 0;
+        if (fn == "neg") {
+          if (op.num_operands() != 1 || !teil_constant_of(op.operand(0), folded))
+            return false;
+          folded = -folded;
+        } else {
+          auto it = kBinary.find(fn);
+          if (it == kBinary.end() || op.num_operands() != 2) return false;
+          double lhs = 0, rhs = 0;
+          if (!teil_constant_of(op.operand(0), lhs) ||
+              !teil_constant_of(op.operand(1), rhs))
+            return false;
+          folded = it->second(lhs, rhs);
+        }
+        Value *c = rw.create_value_before(&op, "teil.constant", {},
+                                          op.result(0)->type(),
+                                          {{"value", Attribute(folded)}});
+        rw.replace_op(&op, {c});
+        return true;
+      }));
+
+  // Broadcasting a splat constant is the same splat at the bigger shape.
+  patterns.push_back(std::make_shared<ir::LambdaPattern>(
+      "teil.broadcast", [](Operation &op, PatternRewriter &rw) {
+        double value = 0;
+        if (!teil_constant_of(op.operand(0), value)) return false;
+        Value *c = rw.create_value_before(&op, "teil.constant", {},
+                                          op.result(0)->type(),
+                                          {{"value", Attribute(value)}});
+        rw.replace_op(&op, {c});
+        return true;
+      }));
+
+  // Dead-op elimination as a pattern (same eligibility as
+  // eliminate_dead_code): benefit 0 so folds run first on each op.
+  patterns.push_back(std::make_shared<ir::LambdaPattern>(
+      "",
+      [dce_fired](Operation &op, PatternRewriter &rw) {
+        if (op.num_results() == 0 || op.num_regions() > 0) return false;
+        for (std::size_t r = 0; r < op.num_results(); ++r) {
+          if (op.result(r)->has_uses()) return false;
+        }
+        rw.erase_op(&op);
+        if (dce_fired != nullptr) ++*dce_fired;
+        return true;
+      },
+      /*benefit=*/0));
+
+  return patterns;
+}
+
+namespace {
+
 bool cse_eligible(const Operation &op) {
   if (op.num_results() != 1 || op.num_regions() != 0) return false;
-  std::string d = op.dialect();
+  std::string_view d = op.dialect();
   if (d == "arith" || d == "esn") return true;
   if (d == "teil") return op.name() != "teil.output";
   return false;
@@ -133,7 +213,7 @@ std::string signature(const Operation &op) {
   sig += op.result(0)->type().str();
   for (const auto &[key, value] : op.attributes()) {
     sig += '|';
-    sig += key;
+    sig += key.str();
     sig += '=';
     sig += value.str();
   }
@@ -200,22 +280,46 @@ std::size_t fold_broadcast_chains(ir::Module &module) {
   return folded;
 }
 
-CanonicalizeStats canonicalize(ir::Module &module, std::size_t max_iterations) {
+CanonicalizeStats canonicalize(ir::Module &module, std::size_t max_iterations,
+                               ir::RewriteDriver driver) {
   CanonicalizeStats stats;
-  auto patterns = constant_fold_patterns();
+  std::size_t dce_fired = 0;
+  auto patterns = canonicalize_patterns(&dce_fired);
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
     ++stats.iterations;
-    auto rewrite = ir::apply_patterns_greedily(module, patterns);
+    std::size_t dce_before = dce_fired;
+    auto rewrite = ir::apply_patterns_greedily(module, patterns,
+                                               /*max_iterations=*/32, driver);
     std::size_t cse = common_subexpression_elimination(module);
     std::size_t bcast = fold_broadcast_chains(module);
     std::size_t dce = eliminate_dead_code(module);
-    stats.folded_constants += rewrite.rewrites;
+    std::size_t pattern_dce = dce_fired - dce_before;
+    stats.folded_constants += rewrite.rewrites - pattern_dce;
     stats.cse_replaced += cse;
     stats.broadcasts_folded += bcast;
-    stats.dce_removed += dce;
-    if (rewrite.rewrites == 0 && cse == 0 && bcast == 0 && dce == 0) break;
+    stats.dce_removed += dce + pattern_dce;
+    if (!rewrite.converged) break;  // inner driver hit its bound
+    if (rewrite.rewrites == 0 && cse == 0 && bcast == 0 && dce == 0) {
+      stats.converged = true;
+      break;
+    }
   }
   return stats;
+}
+
+support::Status canonicalize_checked(ir::Module &module, CanonicalizeStats *out,
+                                     std::size_t max_iterations,
+                                     ir::RewriteDriver driver) {
+  CanonicalizeStats stats = canonicalize(module, max_iterations, driver);
+  if (out != nullptr) *out = stats;
+  if (!stats.converged) {
+    return support::Status::failure(
+        "canonicalize: no fixpoint within " + std::to_string(max_iterations) +
+            " iterations (" + std::to_string(stats.folded_constants) +
+            " folds, " + std::to_string(stats.dce_removed) + " dce so far)",
+        support::ErrorCode::Internal);
+  }
+  return support::Status::ok();
 }
 
 }  // namespace everest::transforms

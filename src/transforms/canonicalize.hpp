@@ -10,12 +10,21 @@
 #include <cstddef>
 
 #include "ir/rewrite.hpp"
+#include "support/expected.hpp"
 
 namespace everest::transforms {
 
 /// Patterns folding arith ops with constant operands (addf/subf/mulf/divf/
 /// minf/maxf/negf, cmpf, select-with-constant-condition).
 std::vector<std::shared_ptr<ir::RewritePattern>> constant_fold_patterns();
+
+/// The full canonicalization pattern set: constant folds plus teil-level
+/// folds (teil.map over all-constant splats, teil.broadcast of a constant)
+/// and a low-benefit dead-op elimination pattern. When `dce_fired` is
+/// non-null it accumulates the number of DCE-pattern fires so callers can
+/// attribute them separately from folds.
+std::vector<std::shared_ptr<ir::RewritePattern>> canonicalize_patterns(
+    std::size_t *dce_fired = nullptr);
 
 /// Block-local CSE over pure single-result ops (arith, teil, esn). Returns
 /// the number of ops replaced.
@@ -32,10 +41,22 @@ struct CanonicalizeStats {
   std::size_t broadcasts_folded = 0;
   std::size_t dce_removed = 0;
   std::size_t iterations = 0;
+  /// False when the run was cut off by `max_iterations` (or the inner
+  /// rewrite driver hit its own bound) while changes were still landing.
+  bool converged = false;
 };
 
 /// Runs fold + CSE + broadcast folding + DCE to fixpoint (bounded).
-CanonicalizeStats canonicalize(ir::Module &module,
-                               std::size_t max_iterations = 8);
+CanonicalizeStats canonicalize(
+    ir::Module &module, std::size_t max_iterations = 8,
+    ir::RewriteDriver driver = ir::RewriteDriver::Worklist);
+
+/// Like canonicalize(), but surfaces non-convergence as a failed Status
+/// (ErrorCode::Internal) instead of silently returning partial results.
+/// `out` receives the stats when non-null.
+support::Status canonicalize_checked(
+    ir::Module &module, CanonicalizeStats *out = nullptr,
+    std::size_t max_iterations = 8,
+    ir::RewriteDriver driver = ir::RewriteDriver::Worklist);
 
 }  // namespace everest::transforms

@@ -70,9 +70,9 @@ private:
   }
 
   Value *alloc_buffer(ir::OpBuilder &b, const Type &t,
-                      std::map<std::string, Attribute> extra = {}) {
+                      ir::AttrDict extra = {}) {
     std::int64_t elems = t.is_tensor() ? t.num_elements() : 1;
-    extra["bytes"] = Attribute(elems * kElementBytes);
+    extra.set("bytes", Attribute(elems * kElementBytes));
     return b.create_value("memref.alloc", {}, t, std::move(extra));
   }
 

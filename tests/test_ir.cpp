@@ -486,10 +486,10 @@ TEST(PrintParseFixpoint, EveryRegisteredOpRoundTrips) {
           operands.push_back(pool[rng.next() % pool.size()]);
         std::vector<ei::Type> results;
         for (int i = 0; i < nres; ++i) results.push_back(random_type(rng));
-        std::map<std::string, ei::Attribute> attrs;
+        ei::AttrDict attrs;
         for (const auto &key : def.required_attrs)
-          attrs[key] = random_attr(rng);
-        if (rng.next() % 2 == 0) attrs["extra"] = random_attr(rng);
+          attrs.set(key, random_attr(rng));
+        if (rng.next() % 2 == 0) attrs.set("extra", random_attr(rng));
 
         auto op = ei::Operation::create(op_name, operands, results, attrs,
                                         static_cast<std::size_t>(nreg));
