@@ -252,10 +252,11 @@ void make_output(ir::OpBuilder &b, const std::string &name, Value *value) {
 }
 
 Operation &make_kernel(ir::Block &parent, const std::string &name) {
-  auto op = Operation::create("ekl.kernel", {}, {},
-                              {{"sym_name", Attribute(name)}}, 1);
+  Operation *op =
+      Operation::create(parent.arena(), ir::Symbol("ekl.kernel"), {}, {},
+                        {{"sym_name", Attribute(name)}}, 1);
   op->region(0).add_block();
-  return parent.push_back(std::move(op));
+  return parent.attach(op);
 }
 
 }  // namespace ekl

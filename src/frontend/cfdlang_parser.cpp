@@ -47,10 +47,11 @@ public:
       }
     }
 
-    auto program = Operation::create("cfdlang.program", {}, {},
-                                     {{"sym_name", Attribute(name)}}, 1);
+    Operation *program =
+        Operation::create(module->arena(), ir::Symbol("cfdlang.program"), {},
+                          {}, {{"sym_name", Attribute(name)}}, 1);
     ir::Block &body = program->region(0).add_block();
-    module->body().push_back(std::move(program));
+    module->body().attach(program);
     builder_ = std::make_unique<ir::OpBuilder>(&body);
 
     for (const auto &raw : lines) {

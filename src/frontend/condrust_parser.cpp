@@ -78,10 +78,11 @@ Expected<std::shared_ptr<ir::Module>> parse_condrust(std::string_view text) {
       if (lp == std::string_view::npos || rp == std::string_view::npos)
         return Error::invalid_argument("condrust: malformed fn signature");
       fn_name = std::string(support::trim(line.substr(3, lp - 3)));
-      auto graph = Operation::create("dfg.graph", {}, {},
-                                     {{"sym_name", Attribute(fn_name)}}, 1);
+      Operation *graph =
+          Operation::create(module->arena(), ir::Symbol("dfg.graph"), {}, {},
+                            {{"sym_name", Attribute(fn_name)}}, 1);
       body = &graph->region(0).add_block();
-      module->body().push_back(std::move(graph));
+      module->body().attach(graph);
       b = std::make_unique<ir::OpBuilder>(body);
 
       // Parameters: "name: Stream<T>" separated by commas.

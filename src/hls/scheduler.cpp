@@ -29,8 +29,8 @@ bool is_float_arith(const std::string &name) {
 const ir::Block *innermost_body(const Operation &for_op, std::int64_t &trips) {
   trips *= std::max<std::int64_t>(for_op.attr_int("trip_count", 1), 1);
   const ir::Block &body = for_op.region(0).front();
-  for (const auto &op : body.operations()) {
-    if (op->name() == "scf.for") return innermost_body(*op, trips);
+  for (const Operation &op : body.operations()) {
+    if (op.name() == "scf.for") return innermost_body(op, trips);
   }
   return &body;
 }
@@ -62,8 +62,7 @@ StageSchedule schedule_stage(const Operation &for_op, const HlsOptions &opt,
   std::map<std::string, int> op_counts;
   int end_time = 1;
 
-  for (const auto &op_ptr : body->operations()) {
-    const Operation &op = *op_ptr;
+  for (const Operation &op : body->operations()) {
     if (op.name() == "scf.yield" || op.name() == "scf.for") continue;
     OpSpec spec = op_spec(op.name(), opt.datapath_bits);
     int t = 0;
@@ -86,10 +85,10 @@ StageSchedule schedule_stage(const Operation &for_op, const HlsOptions &opt,
 
   // resMII: per-buffer port pressure.
   std::map<const Value *, std::pair<int, int>> per_buffer;  // loads, stores
-  for (const auto &op_ptr : body->operations()) {
-    const Value *buf = accessed_buffer(*op_ptr);
+  for (const Operation &op : body->operations()) {
+    const Value *buf = accessed_buffer(op);
     if (!buf) continue;
-    if (op_ptr->name() == "memref.load") per_buffer[buf].first++;
+    if (op.name() == "memref.load") per_buffer[buf].first++;
     else per_buffer[buf].second++;
   }
   int res_mii = 1;
@@ -108,18 +107,18 @@ StageSchedule schedule_stage(const Operation &for_op, const HlsOptions &opt,
   const Value *innermost_iv =
       body->num_arguments() > 0 ? &body->argument(0) : nullptr;
   int rec_mii = 1;
-  for (const auto &store_ptr : body->operations()) {
-    if (store_ptr->name() != "memref.store") continue;
-    const Value *buf = store_ptr->operand(1);
+  for (const Operation &store : body->operations()) {
+    if (store.name() != "memref.store") continue;
+    const Value *buf = store.operand(1);
     bool varies_per_iteration = false;
-    for (std::size_t i = 2; i < store_ptr->num_operands(); ++i) {
-      if (store_ptr->operand(i) == innermost_iv) varies_per_iteration = true;
+    for (std::size_t i = 2; i < store.num_operands(); ++i) {
+      if (store.operand(i) == innermost_iv) varies_per_iteration = true;
     }
     if (varies_per_iteration) continue;
     // Breadth-first over the stored value's def chain within the body.
     std::set<const Operation *> visited;
     std::vector<const Operation *> frontier;
-    if (const Operation *def = store_ptr->operand(0)->defining_op())
+    if (const Operation *def = store.operand(0)->defining_op())
       frontier.push_back(def);
     while (!frontier.empty()) {
       const Operation *def = frontier.back();
@@ -127,7 +126,7 @@ StageSchedule schedule_stage(const Operation &for_op, const HlsOptions &opt,
       if (!visited.insert(def).second) continue;
       if (def->name() == "memref.load" && def->operand(0) == buf) {
         OpSpec store_spec = op_spec("memref.store", opt.datapath_bits);
-        int length = start.at(store_ptr.get()) + store_spec.latency -
+        int length = start.at(&store) + store_spec.latency -
                      start.at(def);
         rec_mii = std::max(rec_mii, std::max(length, 1));
         r.has_recurrence = true;
@@ -161,9 +160,9 @@ StageSchedule schedule_stage(const Operation &for_op, const HlsOptions &opt,
 Expected<KernelReport> schedule_kernel(const ir::Module &loops,
                                        const HlsOptions &options) {
   const Operation *func = nullptr;
-  for (const auto &op : loops.body().operations()) {
-    if (op->name() == "func.func") {
-      func = op.get();
+  for (const Operation &op : loops.body().operations()) {
+    if (op.name() == "func.func") {
+      func = &op;
       break;
     }
   }
@@ -174,10 +173,10 @@ Expected<KernelReport> schedule_kernel(const ir::Module &loops,
   report.clock_mhz = options.clock_mhz;
 
   std::size_t nest_index = 0;
-  for (const auto &op : func->region(0).front().operations()) {
-    if (op->name() == "memref.alloc") {
-      std::int64_t bytes = op->attr_int("bytes");
-      std::string kind = op->attr_string("kind", "");
+  for (const Operation &op : func->region(0).front().operations()) {
+    if (op.name() == "memref.alloc") {
+      std::int64_t bytes = op.attr_int("bytes");
+      std::string kind = op.attr_string("kind", "");
       if (kind == "input") {
         report.input_bytes += bytes;  // external: streamed over the bus
       } else if (kind == "output") {
@@ -188,8 +187,8 @@ Expected<KernelReport> schedule_kernel(const ir::Module &loops,
         report.buffer_bytes += bytes;
         report.area.brams += brams_for_bytes(bytes);
       }
-    } else if (op->name() == "scf.for") {
-      auto stage = schedule_stage(*op, options, nest_index++);
+    } else if (op.name() == "scf.for") {
+      auto stage = schedule_stage(op, options, nest_index++);
       report.total_cycles += stage.report.latency_cycles;
       report.area += stage.report.area;
       report.stages.push_back(std::move(stage.report));

@@ -1,7 +1,10 @@
 // everest/ir/builder.hpp
 //
 // OpBuilder: the construction API used by the frontends and lowering passes.
-// Maintains an insertion point (block + iterator) and creates operations.
+// Maintains an insertion point (block + anchor op) and creates arena-backed
+// operations. This is also where string-based op names enter the IR: the
+// builder interns them eagerly, so `Operation::create` itself only ever sees
+// interned Symbols.
 #pragma once
 
 #include <string>
@@ -12,34 +15,47 @@
 
 namespace everest::ir {
 
-/// Creates operations at a movable insertion point.
+/// Creates operations at a movable insertion point. New ops are allocated
+/// from the insertion block's arena and spliced in before the anchor op
+/// (nullptr anchor = end of block).
 class OpBuilder {
 public:
-  explicit OpBuilder(Block *block)
-      : block_(block), insert_(block->operations().end()) {}
+  explicit OpBuilder(Block *block) : block_(block) {}
 
   /// Positions the builder at the end of `block`.
   void set_insertion_point_to_end(Block *block) {
     block_ = block;
-    insert_ = block->operations().end();
+    before_ = nullptr;
   }
 
   /// Positions the builder directly before `op`.
   void set_insertion_point(Operation *op) {
     block_ = op->parent_block();
-    insert_ = block_->iterator_to(op);
+    before_ = op;
   }
 
   [[nodiscard]] Block *insertion_block() const { return block_; }
+  [[nodiscard]] Arena &arena() const { return block_->arena(); }
 
   /// Creates an op at the insertion point and returns it.
+  Operation &create(Symbol name, std::vector<Value *> operands,
+                    std::vector<Type> result_types, AttrDict attributes = {},
+                    std::size_t num_regions = 0) {
+    Operation *op = Operation::create(block_->arena(), name,
+                                      std::move(operands),
+                                      std::move(result_types),
+                                      std::move(attributes), num_regions);
+    return block_->attach_before(op, before_);
+  }
+
+  /// String-name convenience: interns eagerly and forwards to the Symbol
+  /// overload (the one-line sugar that replaced the legacy
+  /// `Operation::create(std::string_view, ...)`).
   Operation &create(std::string_view name, std::vector<Value *> operands,
                     std::vector<Type> result_types, AttrDict attributes = {},
                     std::size_t num_regions = 0) {
-    auto op = Operation::create(name, std::move(operands),
-                                std::move(result_types), std::move(attributes),
-                                num_regions);
-    return block_->insert(insert_, std::move(op));
+    return create(Symbol(name), std::move(operands), std::move(result_types),
+                  std::move(attributes), num_regions);
   }
 
   /// Creates a single-result op and returns the result value.
@@ -63,7 +79,7 @@ public:
 
 private:
   Block *block_;
-  Block::OpList::iterator insert_;
+  Operation *before_ = nullptr;
 };
 
 }  // namespace everest::ir

@@ -43,18 +43,18 @@ support::Status verify_block(const Context &ctx, const Block &block,
                              std::set<const Value *> visible) {
   for (std::size_t i = 0; i < block.num_arguments(); ++i)
     visible.insert(&block.argument(i));
-  for (const auto &op : block.operations()) {
+  for (const Operation &op : block.operations()) {
     // All operands must already be visible (SSA order; values from enclosing
     // regions were inserted by the caller).
-    for (std::size_t i = 0; i < op->num_operands(); ++i) {
-      if (!visible.count(op->operand(i))) {
-        return support::Status::failure("verify: op '" + op->name() +
+    for (std::size_t i = 0; i < op.num_operands(); ++i) {
+      if (!visible.count(op.operand(i))) {
+        return support::Status::failure("verify: op '" + op.name() +
                                         "' uses a value before its definition");
       }
     }
-    if (auto s = verify_op_rec(ctx, *op, visible); !s.is_ok()) return s;
-    for (std::size_t r = 0; r < op->num_results(); ++r)
-      visible.insert(op->result(r));
+    if (auto s = verify_op_rec(ctx, op, visible); !s.is_ok()) return s;
+    for (std::size_t r = 0; r < op.num_results(); ++r)
+      visible.insert(op.result(r));
   }
   return support::Status::ok();
 }
@@ -98,8 +98,8 @@ support::Status verify_op_rec(const Context &ctx, const Operation &op,
     }
   }
   for (std::size_t r = 0; r < op.num_regions(); ++r) {
-    for (const auto &block : op.region(r).blocks()) {
-      if (auto s = verify_block(ctx, *block, visible); !s.is_ok()) return s;
+    for (const Block &block : op.region(r).blocks()) {
+      if (auto s = verify_block(ctx, block, visible); !s.is_ok()) return s;
     }
   }
   return support::Status::ok();

@@ -2,16 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace everest::ir {
 
 // -------------------------------------------------------------------- Region
 
 Block &Region::add_block() {
-  blocks_.push_back(std::make_unique<Block>(this));
-  return *blocks_.back();
+  Block *block = arena_->create<Block>(*arena_, this);
+  blocks_.push_back(block);
+  return *block;
 }
 
 // --------------------------------------------------------------------- Block
@@ -21,84 +22,96 @@ Operation *Block::parent_op() const {
 }
 
 Value &Block::add_argument(Type type) {
-  arguments_.push_back(
-      std::make_unique<Value>(std::move(type), this, arguments_.size()));
-  return *arguments_.back();
+  Value *arg =
+      arena_->create<Value>(std::move(type), this, arguments_.size());
+  arguments_.push_back(arg);
+  return *arg;
 }
 
-Operation &Block::push_back(std::unique_ptr<Operation> op) {
+Operation &Block::attach_before(Operation *op, Operation *before) {
+  assert(op != nullptr && "attach of null op");
+  assert(op->parent_ == nullptr && "op already attached to a block");
+  assert(!op->erased_ && "attach of an erased (tombstoned) op");
   op->parent_ = this;
-  ops_.push_back(std::move(op));
-  return *ops_.back();
+  if (before == nullptr) {
+    op->prev_ = last_;
+    op->next_ = nullptr;
+    if (last_ != nullptr)
+      last_->next_ = op;
+    else
+      first_ = op;
+    last_ = op;
+  } else {
+    assert(before->parent_ == this && "insertion anchor not in this block");
+    op->next_ = before;
+    op->prev_ = before->prev_;
+    if (before->prev_ != nullptr)
+      before->prev_->next_ = op;
+    else
+      first_ = op;
+    before->prev_ = op;
+  }
+  ++size_;
+  return *op;
 }
 
-Operation &Block::insert(OpList::iterator pos, std::unique_ptr<Operation> op) {
-  op->parent_ = this;
-  auto it = ops_.insert(pos, std::move(op));
-  return **it;
-}
-
-Block::OpList::iterator Block::iterator_to(Operation *op) {
-  return std::find_if(ops_.begin(), ops_.end(),
-                      [&](const std::unique_ptr<Operation> &p) {
-                        return p.get() == op;
-                      });
-}
-
-std::unique_ptr<Operation> Block::take(Operation *op) {
-  auto it = iterator_to(op);
-  if (it == ops_.end())
-    throw std::logic_error("block: op not found in take()");
-  std::unique_ptr<Operation> owned = std::move(*it);
-  ops_.erase(it);
-  owned->parent_ = nullptr;
-  return owned;
+void Block::detach(Operation *op) {
+  assert(op->parent_ == this && "detach of op not in this block");
+  if (op->prev_ != nullptr)
+    op->prev_->next_ = op->next_;
+  else
+    first_ = op->next_;
+  if (op->next_ != nullptr)
+    op->next_->prev_ = op->prev_;
+  else
+    last_ = op->prev_;
+  op->prev_ = nullptr;
+  op->next_ = nullptr;
+  op->parent_ = nullptr;
+  --size_;
 }
 
 void Block::erase(Operation *op) {
-  auto owned = take(op);
-  owned->drop_all_operands();
-  // owned destructor runs here; result values must be unused by now.
+  detach(op);
+  // Tombstone the whole subtree: drop every operand use (nested ops too, so
+  // no use-list entry dangles) and mark the ops erased. The memory stays
+  // valid until the arena resets.
+  op->walk([](Operation &dead) {
+    dead.drop_all_operands();
+    dead.erased_ = true;
+  });
 }
 
 // ----------------------------------------------------------------- Operation
 
-Operation::Operation(Symbol name, std::vector<Value *> operands,
+Operation::Operation(Arena &arena, Symbol name, std::vector<Value *> operands,
                      AttrDict attributes)
     : name_(name),
       operands_(std::move(operands)),
-      attributes_(std::move(attributes)) {}
+      attributes_(std::move(attributes)),
+      arena_(&arena) {}
 
-std::unique_ptr<Operation> Operation::create(std::string_view name,
-                                             std::vector<Value *> operands,
-                                             std::vector<Type> result_types,
-                                             AttrDict attributes,
-                                             std::size_t num_regions) {
-  return create(Symbol(name), std::move(operands), std::move(result_types),
-                std::move(attributes), num_regions);
-}
-
-std::unique_ptr<Operation> Operation::create(Symbol name,
-                                             std::vector<Value *> operands,
-                                             std::vector<Type> result_types,
-                                             AttrDict attributes,
-                                             std::size_t num_regions) {
-  auto op = std::unique_ptr<Operation>(
-      new Operation(name, std::move(operands), std::move(attributes)));
+Operation *Operation::create(Arena &arena, Symbol name,
+                             std::vector<Value *> operands,
+                             std::vector<Type> result_types,
+                             AttrDict attributes, std::size_t num_regions) {
+  Operation *op = arena.create<Operation>(arena, name, std::move(operands),
+                                          std::move(attributes));
   for (Value *v : op->operands_) {
     assert(v != nullptr && "null operand");
-    v->users_.push_back(op.get());
+    v->users_.push_back(op);
   }
   op->results_.reserve(result_types.size());
-  for (std::size_t i = 0; i < result_types.size(); ++i) {
-    op->results_.push_back(
-        std::make_unique<Value>(std::move(result_types[i]), op.get(), i));
-  }
+  for (auto &type : result_types) op->add_result(std::move(type));
   for (std::size_t i = 0; i < num_regions; ++i) op->add_region();
   return op;
 }
 
-Operation::~Operation() = default;
+Value *Operation::add_result(Type type) {
+  Value *v = arena_->create<Value>(std::move(type), this, results_.size());
+  results_.push_back(v);
+  return v;
+}
 
 namespace {
 
@@ -148,8 +161,9 @@ std::string Operation::attr_string(std::string_view key,
 }
 
 Region &Operation::add_region() {
-  regions_.push_back(std::make_unique<Region>(this));
-  return *regions_.back();
+  Region *region = arena_->create<Region>(*arena_, this);
+  regions_.push_back(region);
+  return *region;
 }
 
 Operation *Operation::parent_op() const {
@@ -160,7 +174,7 @@ void Operation::replace_all_uses_with(const std::vector<Value *> &replacements) 
   if (replacements.size() != results_.size())
     throw std::invalid_argument("replace_all_uses_with: result count mismatch");
   for (std::size_t r = 0; r < results_.size(); ++r) {
-    Value *from = results_[r].get();
+    Value *from = results_[r];
     Value *to = replacements[r];
     // Snapshot users: set_operand mutates the use list.
     std::vector<Operation *> users = from->users();
@@ -174,12 +188,12 @@ void Operation::replace_all_uses_with(const std::vector<Value *> &replacements) 
 
 void Operation::walk(const std::function<void(Operation &)> &fn) {
   fn(*this);
-  for (auto &region : regions_) {
-    for (auto &block : region->blocks()) {
+  for (Region *region : regions_) {
+    for (Block &block : region->blocks()) {
       // Snapshot pointers: fn may erase/modify the list it's iterating.
       std::vector<Operation *> ops;
-      ops.reserve(block->operations().size());
-      for (auto &op : block->operations()) ops.push_back(op.get());
+      ops.reserve(block.size());
+      for (Operation &op : block) ops.push_back(&op);
       for (Operation *op : ops) op->walk(fn);
     }
   }
@@ -187,33 +201,31 @@ void Operation::walk(const std::function<void(Operation &)> &fn) {
 
 void Operation::walk(const std::function<void(const Operation &)> &fn) const {
   fn(*this);
-  for (const auto &region : regions_) {
-    for (const auto &block : region->blocks()) {
-      for (const auto &op : block->operations()) {
-        static_cast<const Operation *>(op.get())->walk(fn);
-      }
+  for (const Region *region : regions_) {
+    for (const Block &block : region->blocks()) {
+      for (const Operation &op : block) op.walk(fn);
     }
   }
 }
 
 // -------------------------------------------------------------------- Module
 
-Module::Module() {
-  op_ = Operation::create("builtin.module", {}, {}, {}, 1);
+Module::Module() : arena_(std::make_unique<Arena>()) {
+  static const Symbol kModuleName("builtin.module");
+  op_ = Operation::create(*arena_, kModuleName, {}, {}, {}, 1);
   op_->region(0).add_block();
 }
 
 void Module::walk(const std::function<void(Operation &)> &fn) {
   // Walk children only, not the module op itself.
   std::vector<Operation *> ops;
-  for (auto &op : body().operations()) ops.push_back(op.get());
+  ops.reserve(body().size());
+  for (Operation &op : body()) ops.push_back(&op);
   for (Operation *op : ops) op->walk(fn);
 }
 
 void Module::walk(const std::function<void(const Operation &)> &fn) const {
-  for (const auto &op : body().operations()) {
-    static_cast<const Operation *>(op.get())->walk(fn);
-  }
+  for (const Operation &op : body()) op.walk(fn);
 }
 
 Operation *Module::find_first(std::string_view name) {
@@ -247,43 +259,69 @@ namespace {
 /// order guarantees this for in-block defs, and enclosing blocks are cloned
 /// before their nested regions for cross-region uses.
 void clone_block_into(const Block &src, Block &dst,
-                      std::map<const Value *, Value *> &map) {
+                      std::unordered_map<const Value *, Value *> &map) {
   for (std::size_t i = 0; i < src.num_arguments(); ++i)
     map[&src.argument(i)] = &dst.add_argument(src.argument(i).type());
 
-  for (const auto &op : src.operations()) {
+  for (const Operation &op : src) {
     std::vector<Value *> operands;
-    operands.reserve(op->num_operands());
-    for (std::size_t i = 0; i < op->num_operands(); ++i)
-      operands.push_back(map.at(op->operand(i)));
+    operands.reserve(op.num_operands());
+    for (std::size_t i = 0; i < op.num_operands(); ++i)
+      operands.push_back(map.at(op.operand(i)));
     std::vector<Type> result_types;
-    result_types.reserve(op->num_results());
-    for (std::size_t i = 0; i < op->num_results(); ++i)
-      result_types.push_back(op->result(i)->type());
+    result_types.reserve(op.num_results());
+    for (std::size_t i = 0; i < op.num_results(); ++i)
+      result_types.push_back(op.result(i)->type());
 
-    auto cloned = Operation::create(op->name_symbol(), std::move(operands),
-                                    std::move(result_types), op->attributes(),
-                                    op->num_regions());
-    for (std::size_t i = 0; i < op->num_results(); ++i)
-      map[op->result(i)] = cloned->result(i);
+    Operation *cloned = Operation::create(
+        dst.arena(), op.name_symbol(), std::move(operands),
+        std::move(result_types), op.attributes(), op.num_regions());
+    for (std::size_t i = 0; i < op.num_results(); ++i)
+      map[op.result(i)] = cloned->result(i);
 
-    Operation &placed = dst.push_back(std::move(cloned));
-    for (std::size_t r = 0; r < op->num_regions(); ++r) {
-      for (const auto &block : op->region(r).blocks())
-        clone_block_into(*block, placed.region(r).add_block(), map);
+    dst.attach(cloned);
+    for (std::size_t r = 0; r < op.num_regions(); ++r) {
+      for (const Block &block : op.region(r).blocks())
+        clone_block_into(block, cloned->region(r).add_block(), map);
     }
   }
 }
 
 }  // namespace
 
-std::shared_ptr<Module> clone_module(const Module &module) {
-  auto copy = std::make_shared<Module>();
+Module clone_module(const Module &module) {
+  Module copy;
   for (const auto &[key, value] : module.op().attributes())
-    copy->op().set_attr(key, value);
-  std::map<const Value *, Value *> map;
-  clone_block_into(module.body(), copy->body(), map);
+    copy.op().set_attr(key, value);
+  std::unordered_map<const Value *, Value *> map;
+  // The source arena's allocation count bounds the number of values the map
+  // will hold; reserving once avoids ~a dozen rehashes on large modules.
+  map.reserve(module.arena().stats().allocations);
+  clone_block_into(module.body(), copy.body(), map);
   return copy;
+}
+
+Operation *clone_op_into(const Operation &src, Block &dst, Operation *before) {
+  std::unordered_map<const Value *, Value *> map;
+  std::vector<Type> result_types;
+  result_types.reserve(src.num_results());
+  for (std::size_t i = 0; i < src.num_results(); ++i)
+    result_types.push_back(src.result(i)->type());
+  // Operands must be subtree-internal; top-level func-like ops have none.
+  assert(src.num_operands() == 0 &&
+         "clone_op_into: source op must be self-contained");
+  Operation *cloned =
+      Operation::create(dst.arena(), src.name_symbol(), {},
+                        std::move(result_types), src.attributes(),
+                        src.num_regions());
+  for (std::size_t i = 0; i < src.num_results(); ++i)
+    map[src.result(i)] = cloned->result(i);
+  dst.attach_before(cloned, before);
+  for (std::size_t r = 0; r < src.num_regions(); ++r) {
+    for (const Block &block : src.region(r).blocks())
+      clone_block_into(block, cloned->region(r).add_block(), map);
+  }
+  return cloned;
 }
 
 }  // namespace everest::ir

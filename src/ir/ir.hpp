@@ -4,16 +4,24 @@
 // the EVEREST SDK's analogue of MLIR's core IR (paper §V-B): operations carry
 // a dialect-qualified name, typed operands/results, an attribute dictionary,
 // and nested regions; SSA def-use chains are maintained automatically.
+//
+// Ownership model: every IR object is allocated from the owning Module's
+// Arena. Creation returns raw pointers (`Operation::create(arena, ...)`),
+// list membership is pointer splicing (`Block::attach/attach_before/detach`),
+// and erasure tombstones the op in place — the memory stays valid (reads are
+// safe, e.g. for worklist deduplication) until the arena resets. The Module
+// handle owns the arena; destroying or moving-from it is the only bulk
+// deallocation point. See DESIGN.md "IR ownership and memory model".
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "ir/arena.hpp"
 #include "ir/attributes.hpp"
 #include "ir/interner.hpp"
 #include "ir/types.hpp"
@@ -24,7 +32,8 @@ class Operation;
 class Block;
 class Region;
 
-/// An SSA value: either an operation result or a block argument.
+/// An SSA value: either an operation result or a block argument. Arena-owned;
+/// pointer-stable for the life of the owning module.
 class Value {
 public:
   Value(Type type, Operation *defining_op, std::size_t index)
@@ -59,46 +68,110 @@ private:
   std::vector<Operation *> users_;
 };
 
-/// A region: an ordered list of blocks owned by an operation.
+namespace detail {
+
+/// Forward iterator over a vector of element pointers, dereferencing to
+/// references (Region::blocks()).
+template <typename T>
+class DerefIterator {
+public:
+  using iterator_category = std::forward_iterator_tag;
+  using value_type = T;
+  using reference = T &;
+  using pointer = T *;
+  using difference_type = std::ptrdiff_t;
+
+  explicit DerefIterator(T *const *slot = nullptr) : slot_(slot) {}
+  reference operator*() const { return **slot_; }
+  pointer operator->() const { return *slot_; }
+  DerefIterator &operator++() {
+    ++slot_;
+    return *this;
+  }
+  DerefIterator operator++(int) {
+    DerefIterator copy = *this;
+    ++slot_;
+    return copy;
+  }
+  friend bool operator==(DerefIterator a, DerefIterator b) {
+    return a.slot_ == b.slot_;
+  }
+  friend bool operator!=(DerefIterator a, DerefIterator b) {
+    return a.slot_ != b.slot_;
+  }
+
+private:
+  T *const *slot_;
+};
+
+template <typename Iter>
+struct IterRange {
+  Iter first, last;
+  [[nodiscard]] Iter begin() const { return first; }
+  [[nodiscard]] Iter end() const { return last; }
+};
+
+}  // namespace detail
+
+/// A region: an ordered list of blocks owned by an operation. Blocks are
+/// arena-allocated; `add_block` is the single insertion choke point (blocks
+/// are never removed individually — they die with the arena).
 class Region {
 public:
-  explicit Region(Operation *parent) : parent_(parent) {}
+  Region(Arena &arena, Operation *parent) : arena_(&arena), parent_(parent) {}
   Region(const Region &) = delete;
   Region &operator=(const Region &) = delete;
 
   [[nodiscard]] Operation *parent_op() const { return parent_; }
+  [[nodiscard]] Arena &arena() const { return *arena_; }
   [[nodiscard]] bool empty() const { return blocks_.empty(); }
   [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
 
-  /// Appends a new empty block and returns it.
+  /// Appends a new empty block and returns it. The only way blocks enter a
+  /// region.
   Block &add_block();
 
   [[nodiscard]] Block &front() { return *blocks_.front(); }
   [[nodiscard]] const Block &front() const { return *blocks_.front(); }
+  [[nodiscard]] Block &back() { return *blocks_.back(); }
+  [[nodiscard]] Block &block(std::size_t i) { return *blocks_.at(i); }
+  [[nodiscard]] const Block &block(std::size_t i) const {
+    return *blocks_.at(i);
+  }
 
-  [[nodiscard]] std::list<std::unique_ptr<Block>> &blocks() { return blocks_; }
-  [[nodiscard]] const std::list<std::unique_ptr<Block>> &blocks() const {
-    return blocks_;
+  using block_iterator = detail::DerefIterator<Block>;
+  using const_block_iterator = detail::DerefIterator<const Block>;
+
+  /// Iteration over blocks as `Block&` (the container itself is private).
+  [[nodiscard]] detail::IterRange<block_iterator> blocks() {
+    return {block_iterator(blocks_.data()),
+            block_iterator(blocks_.data() + blocks_.size())};
+  }
+  [[nodiscard]] detail::IterRange<const_block_iterator> blocks() const {
+    auto *data = const_cast<const Block *const *>(blocks_.data());
+    return {const_block_iterator(data),
+            const_block_iterator(data + blocks_.size())};
   }
 
 private:
+  Arena *arena_;
   Operation *parent_;
-  std::list<std::unique_ptr<Block>> blocks_;
+  std::vector<Block *> blocks_;
 };
 
-/// A basic block: typed arguments plus an ordered operation list.
+/// A basic block: typed arguments plus an intrusively linked operation list.
+/// Membership changes are pointer splices; no per-op allocation happens here.
 class Block {
 public:
-  explicit Block(Region *parent) : parent_(parent) {}
+  Block(Arena &arena, Region *parent) : arena_(&arena), parent_(parent) {}
   Block(const Block &) = delete;
   Block &operator=(const Block &) = delete;
 
   [[nodiscard]] Region *parent_region() const { return parent_; }
-  /// Re-parents a block after moving it between regions (parser/transform
-  /// internal use).
-  void set_parent_region(Region *region) { parent_ = region; }
   /// The operation owning the parent region (nullptr for detached blocks).
   [[nodiscard]] Operation *parent_op() const;
+  /// The arena backing ops created into this block.
+  [[nodiscard]] Arena &arena() const { return *arena_; }
 
   Value &add_argument(Type type);
   [[nodiscard]] std::size_t num_arguments() const { return arguments_.size(); }
@@ -107,50 +180,73 @@ public:
     return *arguments_.at(i);
   }
 
-  using OpList = std::list<std::unique_ptr<Operation>>;
-  [[nodiscard]] OpList &operations() { return ops_; }
-  [[nodiscard]] const OpList &operations() const { return ops_; }
-  [[nodiscard]] bool empty() const { return ops_.empty(); }
-  [[nodiscard]] std::size_t size() const { return ops_.size(); }
-  [[nodiscard]] Operation &front() { return *ops_.front(); }
-  [[nodiscard]] Operation &back() { return *ops_.back(); }
+  template <bool Const>
+  class OpIter;
+  using iterator = OpIter<false>;
+  using const_iterator = OpIter<true>;
 
-  /// Appends `op` and takes ownership.
-  Operation &push_back(std::unique_ptr<Operation> op);
-  /// Inserts `op` before `pos` and takes ownership.
-  Operation &insert(OpList::iterator pos, std::unique_ptr<Operation> op);
-  /// Removes `op` from this block and returns ownership (drops its operand uses).
-  std::unique_ptr<Operation> take(Operation *op);
-  /// Erases `op` (operand use-lists are updated; op must have no used results).
+  /// Lightweight range over the ops of one block, yielding `Operation&`.
+  template <bool Const>
+  struct OpRangeT {
+    using BlockT = std::conditional_t<Const, const Block, Block>;
+    BlockT *block = nullptr;
+    [[nodiscard]] OpIter<Const> begin() const;
+    [[nodiscard]] OpIter<Const> end() const;
+    [[nodiscard]] bool empty() const { return block->empty(); }
+    [[nodiscard]] std::size_t size() const { return block->size(); }
+  };
+
+  [[nodiscard]] OpRangeT<false> operations() { return {this}; }
+  [[nodiscard]] OpRangeT<true> operations() const { return {this}; }
+  [[nodiscard]] iterator begin();
+  [[nodiscard]] iterator end();
+  [[nodiscard]] const_iterator begin() const;
+  [[nodiscard]] const_iterator end() const;
+
+  [[nodiscard]] bool empty() const { return first_ == nullptr; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] Operation &front() { return *first_; }
+  [[nodiscard]] const Operation &front() const { return *first_; }
+  [[nodiscard]] Operation &back() { return *last_; }
+  [[nodiscard]] const Operation &back() const { return *last_; }
+
+  /// Splices a detached op onto the end of this block.
+  Operation &attach(Operation *op) { return attach_before(op, nullptr); }
+  /// Splices a detached op before `before` (nullptr appends).
+  Operation &attach_before(Operation *op, Operation *before);
+  /// Unlinks `op` from this block without tombstoning it (the op can be
+  /// re-attached elsewhere). Its operand uses are kept.
+  void detach(Operation *op);
+  /// Unlinks `op` and tombstones it and everything nested in it: operand
+  /// uses are dropped, `Operation::erased()` turns true, and the memory
+  /// stays valid (but must not be reattached) until the arena resets. The
+  /// op's results must be unused.
   void erase(Operation *op);
 
-  /// Returns the iterator pointing at `op` within this block.
-  OpList::iterator iterator_to(Operation *op);
-
 private:
+  friend class Operation;
+  Arena *arena_;
   Region *parent_;
-  std::vector<std::unique_ptr<Value>> arguments_;
-  OpList ops_;
+  std::vector<Value *> arguments_;
+  Operation *first_ = nullptr;
+  Operation *last_ = nullptr;
+  std::size_t size_ = 0;
 };
 
-/// A generic operation. Ops are identified by a "dialect.mnemonic" name and
-/// are extensible via attributes and regions; dialects attach verifiers
-/// through the Context registry.
+/// A generic operation. Ops are identified by an interned "dialect.mnemonic"
+/// name and are extensible via attributes and regions; dialects attach
+/// verifiers through the Context registry. Arena-owned and pointer-stable.
 class Operation {
 public:
-  /// Creates a detached operation. Use Block::push_back / OpBuilder to place it.
-  static std::unique_ptr<Operation> create(std::string_view name,
-                                           std::vector<Value *> operands,
-                                           std::vector<Type> result_types,
-                                           AttrDict attributes = {},
-                                           std::size_t num_regions = 0);
-  static std::unique_ptr<Operation> create(Symbol name,
-                                           std::vector<Value *> operands,
-                                           std::vector<Type> result_types,
-                                           AttrDict attributes = {},
-                                           std::size_t num_regions = 0);
+  /// Creates a detached operation in `arena`. Use Block::attach / OpBuilder
+  /// to place it. String-based creation is an OpBuilder convenience that
+  /// interns eagerly — there is deliberately no string_view overload here.
+  static Operation *create(Arena &arena, Symbol name,
+                           std::vector<Value *> operands,
+                           std::vector<Type> result_types,
+                           AttrDict attributes = {},
+                           std::size_t num_regions = 0);
 
-  ~Operation();
   Operation(const Operation &) = delete;
   Operation &operator=(const Operation &) = delete;
 
@@ -163,6 +259,13 @@ public:
   /// Mnemonic suffix of the name ("contract" for "ekl.contract").
   [[nodiscard]] std::string_view mnemonic() const { return name_.mnemonic(); }
 
+  /// The arena this op (and everything it references) lives in.
+  [[nodiscard]] Arena &arena() const { return *arena_; }
+  /// True once the op has been erased (tombstoned). The object stays
+  /// readable until the arena resets; rewrite drivers use this to skip
+  /// stale worklist entries.
+  [[nodiscard]] bool erased() const { return erased_; }
+
   [[nodiscard]] std::size_t num_operands() const { return operands_.size(); }
   [[nodiscard]] Value *operand(std::size_t i) const { return operands_.at(i); }
   [[nodiscard]] const std::vector<Value *> &operands() const { return operands_; }
@@ -171,12 +274,13 @@ public:
   void drop_all_operands();
 
   [[nodiscard]] std::size_t num_results() const { return results_.size(); }
-  [[nodiscard]] Value *result(std::size_t i = 0) {
-    return results_.at(i).get();
-  }
+  [[nodiscard]] Value *result(std::size_t i = 0) { return results_.at(i); }
   [[nodiscard]] const Value *result(std::size_t i = 0) const {
-    return results_.at(i).get();
+    return results_.at(i);
   }
+  /// Appends a result value (parser use: results become known only after the
+  /// signature is read). Returns the new value.
+  Value *add_result(Type type);
 
   [[nodiscard]] const AttrDict &attributes() const { return attributes_; }
   void set_attr(std::string_view key, Attribute value) {
@@ -213,6 +317,9 @@ public:
   [[nodiscard]] Block *parent_block() const { return parent_; }
   /// The op owning the region this op lives in (nullptr at module level).
   [[nodiscard]] Operation *parent_op() const;
+  /// Intrusive-list neighbours within the parent block (nullptr at ends).
+  [[nodiscard]] Operation *next_in_block() const { return next_; }
+  [[nodiscard]] Operation *prev_in_block() const { return prev_; }
 
   /// Replaces every use of this op's results with `replacements` (one value
   /// per result).
@@ -226,22 +333,91 @@ public:
   [[nodiscard]] std::string str() const;
 
 private:
+  friend class Arena;
   friend class Block;
-  Operation(Symbol name, std::vector<Value *> operands, AttrDict attributes);
+  Operation(Arena &arena, Symbol name, std::vector<Value *> operands,
+            AttrDict attributes);
 
   Symbol name_;
   std::vector<Value *> operands_;
-  std::vector<std::unique_ptr<Value>> results_;
+  std::vector<Value *> results_;
   AttrDict attributes_;
-  std::vector<std::unique_ptr<Region>> regions_;
+  std::vector<Region *> regions_;
+  Arena *arena_;
   Block *parent_ = nullptr;
+  Operation *prev_ = nullptr;
+  Operation *next_ = nullptr;
+  bool erased_ = false;
 };
 
-/// The top-level container: an op named "builtin.module" with one region
-/// holding one block.
+template <bool Const>
+class Block::OpIter {
+public:
+  using OpT = std::conditional_t<Const, const Operation, Operation>;
+  using iterator_category = std::forward_iterator_tag;
+  using value_type = OpT;
+  using reference = OpT &;
+  using pointer = OpT *;
+  using difference_type = std::ptrdiff_t;
+
+  explicit OpIter(OpT *op = nullptr) : op_(op) {}
+  reference operator*() const { return *op_; }
+  pointer operator->() const { return op_; }
+  OpIter &operator++() {
+    op_ = op_->next_in_block();
+    return *this;
+  }
+  OpIter operator++(int) {
+    OpIter copy = *this;
+    op_ = op_->next_in_block();
+    return copy;
+  }
+  friend bool operator==(OpIter a, OpIter b) { return a.op_ == b.op_; }
+  friend bool operator!=(OpIter a, OpIter b) { return a.op_ != b.op_; }
+
+private:
+  OpT *op_;
+};
+
+template <bool Const>
+Block::OpIter<Const> Block::OpRangeT<Const>::begin() const {
+  return OpIter<Const>(block->empty() ? nullptr : &block->front());
+}
+template <bool Const>
+Block::OpIter<Const> Block::OpRangeT<Const>::end() const {
+  return OpIter<Const>(nullptr);
+}
+
+inline Block::iterator Block::begin() { return operations().begin(); }
+inline Block::iterator Block::end() { return operations().end(); }
+inline Block::const_iterator Block::begin() const {
+  return operations().begin();
+}
+inline Block::const_iterator Block::end() const { return operations().end(); }
+
+/// The top-level container: an arena plus an op named "builtin.module" with
+/// one region holding one block. The Module is the owning handle — move-only;
+/// destroying it resets the arena and with it every op/value/block/region.
 class Module {
 public:
   Module();
+  Module(Module &&other) noexcept
+      : arena_(std::move(other.arena_)), op_(other.op_) {
+    other.op_ = nullptr;
+  }
+  Module &operator=(Module &&other) noexcept {
+    if (this != &other) {
+      arena_ = std::move(other.arena_);
+      op_ = other.op_;
+      other.op_ = nullptr;
+    }
+    return *this;
+  }
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  /// The arena owning all IR reachable from this module.
+  [[nodiscard]] Arena &arena() const { return *arena_; }
 
   [[nodiscard]] Operation &op() { return *op_; }
   [[nodiscard]] const Operation &op() const { return *op_; }
@@ -264,13 +440,23 @@ public:
   [[nodiscard]] std::string str() const;
 
 private:
-  std::unique_ptr<Operation> op_;
+  std::unique_ptr<Arena> arena_;
+  Operation *op_ = nullptr;
 };
 
-/// Deep-copies a module: fresh operations, values, blocks, and regions with
-/// identical structure, names, types, and attributes. The clone prints
-/// byte-identically to the original (the compile cache relies on this to
-/// hand out private copies of cached IR without a print/parse round trip).
-[[nodiscard]] std::shared_ptr<Module> clone_module(const Module &module);
+/// Deep-copies a module into a fresh arena-owning Module handle: new
+/// operations, values, blocks, and regions with identical structure, names,
+/// types, and attributes. The clone prints byte-identically to the original
+/// (the compile cache relies on this to hand out private copies of cached IR
+/// without a print/parse round trip).
+[[nodiscard]] Module clone_module(const Module &module);
+
+/// Deep-copies one operation (with nested regions) into `dst`'s arena,
+/// splicing the clone before `before` (nullptr appends). `src` must be
+/// self-contained: its operands may only reference values defined inside the
+/// cloned subtree (true for func-like ops, which is what the per-pass
+/// incremental cache clones). Returns the clone.
+Operation *clone_op_into(const Operation &src, Block &dst,
+                         Operation *before = nullptr);
 
 }  // namespace everest::ir

@@ -210,12 +210,11 @@ private:
     }
     if (!cur_.consume(')')) return fail("expected ')' after operands");
 
-    // Create the op now (types filled in after parsing the signature);
-    // regions are parsed directly into it.
-    auto op_owned =
-        Operation::create(*op_name, std::move(operands), {}, {}, 0);
-    Operation *op = op_owned.get();
-    block.push_back(std::move(op_owned));
+    // Create the op now (result types are appended after parsing the
+    // signature via add_result); regions are parsed directly into it.
+    Operation *op = Operation::create(block.arena(), Symbol(*op_name),
+                                      std::move(operands), {}, {}, 0);
+    block.attach(op);
 
     // Optional regions: " ({ ... }, { ... })".
     if (cur_.peek() == '(') {
@@ -259,26 +258,10 @@ private:
     if (result_types.size() != result_names.size())
       return fail("result name/type count mismatch for op " + *op_name);
 
-    // Rebuild the op with results (Operation results are fixed at creation):
-    // take it back out, recreate with types, move regions over.
-    auto taken = block.take(op);
-    auto final_op = Operation::create(taken->name(), taken->operands(),
-                                      std::move(result_types),
-                                      taken->attributes(), 0);
-    // Move regions: re-add each region's blocks.
-    for (std::size_t r = 0; r < taken->num_regions(); ++r) {
-      Region &dst = final_op->add_region();
-      auto &src_blocks = taken->region(r).blocks();
-      for (auto &b : src_blocks) {
-        b->set_parent_region(&dst);
-        dst.blocks().push_back(std::move(b));
-      }
-      src_blocks.clear();
-    }
-    taken->drop_all_operands();
-    Operation &placed = block.push_back(std::move(final_op));
-    for (std::size_t i = 0; i < result_names.size(); ++i)
-      values_[result_names[i]] = placed.result(i);
+    // Results become known only now; append them in place (arena values are
+    // pointer-stable, so no rebuild or region shuffling is needed).
+    for (std::size_t i = 0; i < result_types.size(); ++i)
+      values_[result_names[i]] = op->add_result(std::move(result_types[i]));
     return true;
   }
 
@@ -289,7 +272,7 @@ private:
         if (auto s = parse_block_header(region); !s) return s;
       } else {
         if (region.empty()) region.add_block();
-        if (auto s = parse_op(*region.blocks().back()); !s) return s;
+        if (auto s = parse_op(region.back()); !s) return s;
       }
     }
     cur_.consume('}');

@@ -2,8 +2,83 @@
 
 namespace everest::ir {
 
+support::Status Pass::run(Module &, Context &) {
+  return support::Status::failure("pass '" + name() +
+                                  "' is not module-anchored");
+}
+
+support::Status Pass::run_on_func(Operation &, Context &) {
+  return support::Status::failure("pass '" + name() +
+                                  "' is not func-anchored");
+}
+
+std::uint64_t pass_fingerprint(std::string_view pass_name,
+                               std::string_view func_text) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](std::string_view s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(pass_name);
+  mix("\x1f");
+  mix(func_text);
+  return h;
+}
+
+support::Status PassManager::run_func_pass(Pass &pass, Module &module) {
+  // Snapshot the top-level ops: cache hits splice replacements in place and
+  // the funcs themselves never move relative to each other.
+  std::vector<Operation *> funcs;
+  funcs.reserve(module.body().size());
+  for (Operation &op : module.body()) funcs.push_back(&op);
+
+  // Serial cache phase: fingerprint each func's pre-pass text, splice in
+  // cached post-pass clones on hits, and collect the misses.
+  std::vector<Operation *> pending;
+  std::vector<std::uint64_t> pending_keys;
+  if (pass_cache_ != nullptr) {
+    for (Operation *func : funcs) {
+      std::uint64_t key = pass_fingerprint(pass.name(), func->str());
+      if (const Operation *cached = pass_cache_->lookup(key)) {
+        ++cache_stats_.hits;
+        Block &body = module.body();
+        clone_op_into(*cached, body, func);
+        body.erase(func);
+      } else {
+        ++cache_stats_.misses;
+        pending.push_back(func);
+        pending_keys.push_back(key);
+      }
+    }
+  } else {
+    pending = funcs;
+  }
+
+  // Parallel phase: run the pass on every miss. Each invocation only touches
+  // IR nested under its func; creation goes through the mutex-guarded module
+  // arena, and results merge in index order, so the output is byte-identical
+  // to the serial run.
+  std::vector<support::Status> statuses = support::parallel_indexed(
+      pool_, pending.size(), [&](std::size_t i) -> support::Status {
+        return pass.run_on_func(*pending[i], ctx_);
+      });
+  for (const auto &status : statuses) {
+    if (!status.is_ok()) return status;
+  }
+
+  // Serial store phase: memoize post-pass forms under the pre-pass keys.
+  if (pass_cache_ != nullptr) {
+    for (std::size_t i = 0; i < pending.size(); ++i)
+      pass_cache_->store(pending_keys[i], *pending[i]);
+  }
+  return support::Status::ok();
+}
+
 support::Status PassManager::run(Module &module) {
   timings_.clear();
+  cache_stats_ = {};
   obs::TraceRecorder *recorder =
       recorder_ != nullptr ? recorder_ : obs::global_recorder();
   if (verify_each_) {
@@ -18,7 +93,9 @@ support::Status PassManager::run(Module &module) {
     timing.ops_before = module.op_count();
     double span_start = recorder != nullptr ? recorder->now_us() : 0.0;
     auto start = std::chrono::steady_clock::now();
-    auto result = pass->run(module, ctx_);
+    auto result = pass->anchor() == PassAnchor::Func
+                      ? run_func_pass(*pass, module)
+                      : pass->run(module, ctx_);
     auto stop = std::chrono::steady_clock::now();
     timing.milliseconds =
         std::chrono::duration<double, std::milli>(stop - start).count();

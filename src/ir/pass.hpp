@@ -1,43 +1,87 @@
 // everest/ir/pass.hpp
 //
-// Pass infrastructure: named module passes composed in a PassManager that
-// verifies the module between passes and records per-pass timing (the
-// Fig. 5 bench reports these timings per lowering path).
+// Pass infrastructure: a pipeline of anchored passes composed in a
+// PassManager that verifies the module between passes and records per-pass
+// timing (the Fig. 5 bench reports these timings per lowering path).
+//
+// Anchoring (paper §V-B; MLIR-lineage pass managers work the same way):
+//  - Module-scoped passes see the whole module and run serially.
+//  - Func-scoped passes run once per top-level op of the module body and may
+//    only mutate IR nested under that op. The pass manager fans them out on
+//    a support::ThreadPool; because each invocation is confined to its own
+//    func and ops are created on the (mutex-guarded) module arena, the
+//    parallel run is byte-identical to the serial one.
+//
+// Func-scoped passes can additionally be memoized through a PassCache: the
+// pre-pass func text is fingerprinted per pass, and on a hit the cached
+// post-pass func is cloned in instead of re-running the pass — so a
+// one-kernel edit re-runs only that kernel's passes.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/dialect.hpp"
 #include "ir/ir.hpp"
 #include "obs/trace.hpp"
 #include "support/expected.hpp"
+#include "support/thread_pool.hpp"
 
 namespace everest::ir {
 
-/// A module-level transformation.
+/// Where a pass is anchored: the whole module, or each top-level func-like
+/// op of the module body.
+enum class PassAnchor { Module, Func };
+
+/// A transformation with a name and an anchor. Module-anchored passes
+/// override `run`; func-anchored passes override `run_on_func`.
 class Pass {
 public:
-  explicit Pass(std::string name) : name_(std::move(name)) {}
+  explicit Pass(std::string name, PassAnchor anchor = PassAnchor::Module)
+      : name_(std::move(name)), anchor_(anchor) {}
   virtual ~Pass() = default;
 
   [[nodiscard]] const std::string &name() const { return name_; }
-  virtual support::Status run(Module &module, Context &ctx) = 0;
+  [[nodiscard]] PassAnchor anchor() const { return anchor_; }
+
+  /// Module-anchored entry point.
+  virtual support::Status run(Module &module, Context &ctx);
+  /// Func-anchored entry point. Must only mutate IR nested under `func`
+  /// (the pass manager may invoke it from worker threads).
+  virtual support::Status run_on_func(Operation &func, Context &ctx);
 
 private:
   std::string name_;
+  PassAnchor anchor_;
 };
 
-/// Adapts a plain function into a Pass.
+/// Adapts a plain function into a module-anchored Pass.
 class LambdaPass final : public Pass {
 public:
   using Fn = std::function<support::Status(Module &, Context &)>;
-  LambdaPass(std::string name, Fn fn) : Pass(std::move(name)), fn_(std::move(fn)) {}
+  LambdaPass(std::string name, Fn fn)
+      : Pass(std::move(name), PassAnchor::Module), fn_(std::move(fn)) {}
   support::Status run(Module &module, Context &ctx) override {
     return fn_(module, ctx);
+  }
+
+private:
+  Fn fn_;
+};
+
+/// Adapts a plain function into a func-anchored Pass.
+class LambdaFuncPass final : public Pass {
+public:
+  using Fn = std::function<support::Status(Operation &, Context &)>;
+  LambdaFuncPass(std::string name, Fn fn)
+      : Pass(std::move(name), PassAnchor::Func), fn_(std::move(fn)) {}
+  support::Status run_on_func(Operation &func, Context &ctx) override {
+    return fn_(func, ctx);
   }
 
 private:
@@ -52,7 +96,26 @@ struct PassTiming {
   std::size_t ops_after = 0;
 };
 
-/// Runs a pipeline of passes with inter-pass verification.
+/// Incremental memo for func-anchored passes, keyed by
+/// `pass_fingerprint(pass name, pre-pass func text)`. Implementations must
+/// be thread-compatible with the pass manager's serial lookup/store phases
+/// and safe to share across pass managers (sdk::CompileCache provides the
+/// production implementation; it locks internally). A returned op pointer
+/// stays valid until the next `store`/eviction on the same cache.
+class PassCache {
+public:
+  virtual ~PassCache() = default;
+  /// The cached post-pass func for `key`, or nullptr on miss.
+  virtual const Operation *lookup(std::uint64_t key) = 0;
+  /// Memoizes the post-pass func under `key` (the implementation clones).
+  virtual void store(std::uint64_t key, const Operation &func) = 0;
+};
+
+/// FNV-1a fingerprint binding a pass name to a func's printed form.
+[[nodiscard]] std::uint64_t pass_fingerprint(std::string_view pass_name,
+                                             std::string_view func_text);
+
+/// Runs a pipeline of anchored passes with inter-pass verification.
 class PassManager {
 public:
   explicit PassManager(Context &ctx, bool verify_each = true)
@@ -61,9 +124,15 @@ public:
   void add_pass(std::unique_ptr<Pass> pass) {
     passes_.push_back(std::move(pass));
   }
+  /// Module-anchored lambda pass.
   void add_pass(std::string name, LambdaPass::Fn fn) {
     passes_.push_back(
         std::make_unique<LambdaPass>(std::move(name), std::move(fn)));
+  }
+  /// Func-anchored lambda pass.
+  void add_func_pass(std::string name, LambdaFuncPass::Fn fn) {
+    passes_.push_back(
+        std::make_unique<LambdaFuncPass>(std::move(name), std::move(fn)));
   }
 
   [[nodiscard]] std::size_t size() const { return passes_.size(); }
@@ -73,6 +142,13 @@ public:
   /// none is attached; spans are skipped when neither exists.
   void attach_recorder(obs::TraceRecorder *recorder) { recorder_ = recorder; }
 
+  /// Fans func-anchored passes out across `pool` (nullptr or a one-worker
+  /// pool runs them inline). Output is byte-identical either way.
+  void set_thread_pool(support::ThreadPool *pool) { pool_ = pool; }
+
+  /// Attaches the per-pass incremental cache used for func-anchored passes.
+  void set_pass_cache(PassCache *cache) { pass_cache_ = cache; }
+
   /// Runs all passes in order; stops at the first failure. When verification
   /// is enabled, a verifier failure after pass P reports P by name.
   support::Status run(Module &module);
@@ -81,12 +157,24 @@ public:
     return timings_;
   }
 
+  /// Per-run func-pass cache traffic (both zero when no cache is attached).
+  struct CacheStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+  };
+  [[nodiscard]] const CacheStats &cache_stats() const { return cache_stats_; }
+
 private:
+  support::Status run_func_pass(Pass &pass, Module &module);
+
   Context &ctx_;
   bool verify_each_;
   obs::TraceRecorder *recorder_ = nullptr;
+  support::ThreadPool *pool_ = nullptr;
+  PassCache *pass_cache_ = nullptr;
   std::vector<std::unique_ptr<Pass>> passes_;
   std::vector<PassTiming> timings_;
+  CacheStats cache_stats_;
 };
 
 }  // namespace everest::ir

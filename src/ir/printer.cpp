@@ -31,8 +31,8 @@ public:
     out_.reserve(ops * kBytesPerOpEstimate + 16);
     names_.reserve(ops);
     out_ += "module {\n";
-    for (const auto &op : module_op.region(0).front().operations())
-      print_op(*op, 1);
+    for (const Operation &op : module_op.region(0).front().operations())
+      print_op(op, 1);
     out_ += "}\n";
     return std::move(out_);
   }
@@ -80,8 +80,8 @@ private:
       for (std::size_t r = 0; r < op.num_regions(); ++r) {
         if (r != 0) out_ += ", ";
         out_ += "{\n";
-        for (const auto &block : op.region(r).blocks())
-          print_block(*block, depth + 1);
+        for (const Block &block : op.region(r).blocks())
+          print_block(block, depth + 1);
         indent(depth);
         out_ += '}';
       }
@@ -134,7 +134,7 @@ private:
       out_ += ')';
     }
     out_ += ":\n";
-    for (const auto &op : block.operations()) print_op(*op, depth);
+    for (const Operation &op : block.operations()) print_op(op, depth);
   }
 
   std::string out_;

@@ -71,6 +71,10 @@ private:
   bool has_specific_ = false;
 };
 
+/// Visits every op in rewrite scope. The module form walks the module body;
+/// the op-rooted form walks the ops nested under the root (excluding it).
+using ScopeWalk = std::function<void(const std::function<void(Operation &)> &)>;
+
 void report_common(const RewriteStats &stats) {
   if (auto *rec = obs::global_recorder()) {
     rec->counter("ir.rewrite.ops_visited")
@@ -96,7 +100,7 @@ private:
   void on_erase(Operation *op) override { pending.push_back(op); }
 };
 
-RewriteStats apply_legacy_sweep(Module &module, PatternSet &patterns,
+RewriteStats apply_legacy_sweep(const ScopeWalk &walk, PatternSet &patterns,
                                 std::size_t max_iterations) {
   RewriteStats stats;
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
@@ -106,11 +110,11 @@ RewriteStats apply_legacy_sweep(Module &module, PatternSet &patterns,
 
     // Snapshot ops first: rewrites may append new ops (visited next sweep).
     std::vector<Operation *> ops;
-    module.walk([&](Operation &op) { ops.push_back(&op); });
+    walk([&](Operation &op) { ops.push_back(&op); });
 
-    std::unordered_set<Operation *> erased;
+    std::unordered_set<Operation *> pending_marked;
     for (Operation *op : ops) {
-      if (erased.count(op)) continue;
+      if (pending_marked.count(op)) continue;
       ++stats.ops_visited;
       for (const auto &[pattern, index] : patterns.candidates(op->name_symbol())) {
         if (pattern->match_and_rewrite(*op, rewriter)) {
@@ -119,19 +123,21 @@ RewriteStats apply_legacy_sweep(Module &module, PatternSet &patterns,
           // Mark pending ops (and anything nested in them) so the rest of
           // the sweep skips soon-to-be-erased ops.
           for (Operation *e : rewriter.pending) {
-            if (!erased.count(e))
-              e->walk([&](Operation &nested) { erased.insert(&nested); });
+            if (!pending_marked.count(e))
+              e->walk([&](Operation &nested) { pending_marked.insert(&nested); });
           }
           break;  // one pattern per op per sweep
         }
       }
     }
 
-    // Erase in reverse discovery order so nested ops go before parents.
+    // Erase in reverse discovery order so nested ops go before parents
+    // (Block::erase tombstones the subtree, so the second visit is a no-op).
     for (auto it = rewriter.pending.rbegin(); it != rewriter.pending.rend();
          ++it) {
       Operation *op = *it;
-      if (op->parent_block() != nullptr) op->parent_block()->erase(op);
+      if (!op->erased() && op->parent_block() != nullptr)
+        op->parent_block()->erase(op);
     }
 
     stats.rewrites += fired;
@@ -146,14 +152,15 @@ RewriteStats apply_legacy_sweep(Module &module, PatternSet &patterns,
 // ----------------------------------------------------------------- worklist
 
 /// Worklist-mode rewriter/driver state. Invariant: no op is visited after
-/// its erasure — erased ops (including everything nested in them) are
-/// tombstoned in `erased`, and notify_created clears the tombstone if the
-/// allocator reuses a freed address for a new op.
+/// its erasure — Block::erase tombstones the op (and everything nested in
+/// it) in place, and the arena guarantees the tombstoned memory stays
+/// readable and its address is never reused until the module tears down, so
+/// stale worklist entries are detected with a plain flag check.
 class WorklistDriver final : public PatternRewriter {
 public:
-  RewriteStats run(Module &module, PatternSet &patterns,
+  RewriteStats run(const ScopeWalk &walk, PatternSet &patterns,
                    std::size_t max_iterations) {
-    module.walk([&](Operation &op) { push(&op); });
+    walk([&](Operation &op) { push(&op); });
 
     for (;;) {
       if (current_.empty()) {
@@ -168,7 +175,7 @@ public:
         Operation *op = current_.front();
         current_.pop_front();
         scheduled_.erase(op);
-        if (erased_.count(op)) continue;
+        if (op->erased()) continue;
         ++stats_.ops_visited;
 
         for (const auto &[pattern, index] :
@@ -184,7 +191,7 @@ public:
           // so it lands in the next round, bounding re-fires).
           if (parent != nullptr && parent->parent_block() != nullptr)
             push(parent);
-          if (!erased_.count(op)) push(op);
+          if (!op->erased()) push(op);
           break;  // one pattern per visit
         }
       }
@@ -195,12 +202,9 @@ public:
 
 private:
   void on_created(Operation *op) override {
-    // A new op may land on an address previously tombstoned: un-tombstone
-    // and enqueue it (and anything nested in it).
-    op->walk([&](Operation &nested) {
-      erased_.erase(&nested);
-      push(&nested);
-    });
+    // Arena allocation never reuses addresses before a reset, so a created
+    // op (and its nested subtree) is guaranteed fresh: just enqueue it.
+    op->walk([&](Operation &nested) { push(&nested); });
   }
 
   void on_replace(Operation *op,
@@ -216,17 +220,16 @@ private:
 
   /// Performs erasures deferred during one pattern fire. Operand definers
   /// are re-enqueued first (losing a use may make them dead), then the op
-  /// and its nested subtree are tombstoned and removed.
+  /// and its nested subtree are tombstoned and detached by Block::erase.
   void flush_erasures() {
     for (auto it = pending_erasure_.rbegin(); it != pending_erasure_.rend();
          ++it) {
       Operation *dead = *it;
-      if (erased_.count(dead)) continue;
+      if (dead->erased()) continue;
       for (Value *v : dead->operands()) {
         Operation *def = v->defining_op();
         if (def != nullptr && def != dead) push(def);
       }
-      dead->walk([&](Operation &nested) { erased_.insert(&nested); });
       if (dead->parent_block() != nullptr) dead->parent_block()->erase(dead);
     }
     pending_erasure_.clear();
@@ -237,7 +240,7 @@ private:
   /// cascades (e.g. a dead chain unwinding) resolve without extra rounds.
   void push(Operation *op) {
     if (op->parent_block() == nullptr) return;  // module op / detached
-    if (erased_.count(op) || scheduled_.count(op)) return;
+    if (op->erased() || scheduled_.count(op)) return;
     scheduled_.insert(op);
     ++stats_.worklist_pushes;
     if (fired_this_round_.count(op))
@@ -250,10 +253,24 @@ private:
   std::deque<Operation *> current_;
   std::deque<Operation *> next_;
   std::unordered_set<Operation *> scheduled_;
-  std::unordered_set<Operation *> erased_;
   std::unordered_set<Operation *> fired_this_round_;
   std::vector<Operation *> pending_erasure_;
 };
+
+RewriteStats apply_with_driver(const ScopeWalk &walk, PatternSet &set,
+                               std::size_t max_iterations,
+                               RewriteDriver driver) {
+  RewriteStats stats;
+  if (driver == RewriteDriver::LegacySweep) {
+    stats = apply_legacy_sweep(walk, set, max_iterations);
+  } else {
+    WorklistDriver worklist;
+    stats = worklist.run(walk, set, max_iterations);
+  }
+  if (auto *rec = obs::global_recorder()) set.report_fires(*rec);
+  report_common(stats);
+  return stats;
+}
 
 }  // namespace
 
@@ -262,16 +279,27 @@ RewriteStats apply_patterns_greedily(
     const std::vector<std::shared_ptr<RewritePattern>> &patterns,
     std::size_t max_iterations, RewriteDriver driver) {
   PatternSet set(patterns);
-  RewriteStats stats;
-  if (driver == RewriteDriver::LegacySweep) {
-    stats = apply_legacy_sweep(module, set, max_iterations);
-  } else {
-    WorklistDriver worklist;
-    stats = worklist.run(module, set, max_iterations);
-  }
-  if (auto *rec = obs::global_recorder()) set.report_fires(*rec);
-  report_common(stats);
-  return stats;
+  return apply_with_driver(
+      [&](const std::function<void(Operation &)> &fn) { module.walk(fn); },
+      set, max_iterations, driver);
+}
+
+RewriteStats apply_patterns_greedily(
+    Operation &root,
+    const std::vector<std::shared_ptr<RewritePattern>> &patterns,
+    std::size_t max_iterations, RewriteDriver driver) {
+  PatternSet set(patterns);
+  auto walk_children = [&](const std::function<void(Operation &)> &fn) {
+    for (std::size_t r = 0; r < root.num_regions(); ++r) {
+      for (Block &block : root.region(r).blocks()) {
+        std::vector<Operation *> ops;
+        ops.reserve(block.size());
+        for (Operation &op : block) ops.push_back(&op);
+        for (Operation *op : ops) op->walk(fn);
+      }
+    }
+  };
+  return apply_with_driver(walk_children, set, max_iterations, driver);
 }
 
 }  // namespace everest::ir

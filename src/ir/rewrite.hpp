@@ -141,4 +141,14 @@ RewriteStats apply_patterns_greedily(
     std::size_t max_iterations = 32,
     RewriteDriver driver = RewriteDriver::Worklist);
 
+/// Same, scoped to the ops nested under `root` (the root itself is not
+/// matched, mirroring how the module form excludes the module op). This is
+/// the form func-scoped passes use: multiple roots of one module can be
+/// rewritten concurrently as long as the rewrites stay inside their root.
+RewriteStats apply_patterns_greedily(
+    Operation &root,
+    const std::vector<std::shared_ptr<RewritePattern>> &patterns,
+    std::size_t max_iterations = 32,
+    RewriteDriver driver = RewriteDriver::Worklist);
+
 }  // namespace everest::ir

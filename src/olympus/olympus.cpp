@@ -101,13 +101,13 @@ Expected<std::shared_ptr<ir::Module>> SystemGenerator::generate_ir(
   if (!est) return est.error();
 
   auto module = std::make_shared<ir::Module>();
-  auto system =
-      Operation::create("olympus.system", {}, {},
+  Operation *system =
+      Operation::create(module->arena(), ir::Symbol("olympus.system"), {}, {},
                         {{"sym_name", Attribute(kernel.name + "_system")},
                          {"platform", Attribute(device_.name)}},
                         1);
   ir::Block &body = system->region(0).add_block();
-  module->body().push_back(std::move(system));
+  module->body().attach(system);
   ir::OpBuilder b(&body);
 
   Value *hbm = b.create_value(

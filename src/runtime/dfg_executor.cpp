@@ -111,9 +111,9 @@ Expected<std::map<std::string, Stream>> execute_dfg(
     const std::map<std::string, Stream> &inputs, const DfgExecOptions &options,
     DfgRunStats *stats, obs::TraceRecorder *recorder) {
   const Operation *graph = nullptr;
-  for (const auto &op : module.body().operations()) {
-    if (op->name() == "dfg.graph") {
-      graph = op.get();
+  for (const Operation &op : module.body().operations()) {
+    if (op.name() == "dfg.graph") {
+      graph = &op;
       break;
     }
   }
@@ -152,8 +152,7 @@ Expected<std::map<std::string, Stream>> execute_dfg(
         " us stage deadline"));
   };
 
-  for (const auto &op_ptr : graph->region(0).front().operations()) {
-    const Operation &op = *op_ptr;
+  for (const Operation &op : graph->region(0).front().operations()) {
     const std::string &name = op.name();
 
     if (name == "dfg.input") {

@@ -71,13 +71,60 @@ olympus::SystemEstimate estimate_from_json(const Json &j) {
 /// Deep-copies an entry so masters and handed-out copies never alias.
 CompileCacheEntry clone_entry(const CompileCacheEntry &entry) {
   CompileCacheEntry copy = entry;
-  copy.teil_ir = ir::clone_module(*entry.teil_ir);
-  copy.loop_ir = ir::clone_module(*entry.loop_ir);
-  copy.system_ir = ir::clone_module(*entry.system_ir);
+  copy.teil_ir = std::make_shared<ir::Module>(ir::clone_module(*entry.teil_ir));
+  copy.loop_ir = std::make_shared<ir::Module>(ir::clone_module(*entry.loop_ir));
+  copy.system_ir =
+      std::make_shared<ir::Module>(ir::clone_module(*entry.system_ir));
   return copy;
 }
 
 }  // namespace
+
+// ------------------------------------------------------------ pass tier
+
+const ir::Operation *PassResultCache::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    if (recorder_) recorder_->counter("sdk.cache.pass.miss").add(1);
+    return nullptr;
+  }
+  ++hits_;
+  if (recorder_) recorder_->counter("sdk.cache.pass.hit").add(1);
+  return &it->second.body().front();
+}
+
+void PassResultCache::store(std::uint64_t key, const ir::Operation &func) {
+  ir::Module holder;
+  ir::clone_op_into(func, holder.body());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ > 0 && entries_.size() >= capacity_ && !entries_.count(key))
+    entries_.clear();  // wholesale reset keeps the lifetime contract trivial
+  entries_.insert_or_assign(key, std::move(holder));
+}
+
+void PassResultCache::attach_recorder(obs::TraceRecorder *recorder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorder_ = recorder;
+}
+
+std::int64_t PassResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+std::int64_t PassResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+std::size_t PassResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+void PassResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
 
 CompileCache::CompileCache(std::string dir) : dir_(std::move(dir)) {}
 
@@ -104,6 +151,7 @@ std::uint64_t CompileCache::key(const std::string &canonical_ir,
 }
 
 void CompileCache::attach_recorder(obs::TraceRecorder *recorder) {
+  pass_tier_.attach_recorder(recorder);
   std::lock_guard<std::mutex> lock(mu_);
   recorder_ = recorder;
 }
@@ -257,11 +305,25 @@ void CompileCache::store(std::uint64_t key, const CompileCacheEntry &entry) {
 
 std::optional<std::uint64_t> CompileCache::direct_lookup(
     const std::string &fingerprint) {
+  auto hit = direct_lookup_full(fingerprint);
+  if (!hit) return std::nullopt;
+  return hit->key;
+}
+
+std::optional<CompileCache::DirectHit> CompileCache::direct_lookup_full(
+    const std::string &fingerprint) {
   std::uint64_t fp = support::fnv1a(fingerprint);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = direct_.find(fp);
-    if (it != direct_.end()) return it->second;
+    if (it != direct_.end()) {
+      DirectHit hit;
+      hit.key = it->second.key;
+      if (it->second.frontend)
+        hit.frontend =
+            std::make_shared<ir::Module>(ir::clone_module(*it->second.frontend));
+      return hit;
+    }
   }
   if (dir_.empty()) return std::nullopt;
   std::ifstream file(dir_ + "/direct-" + hex16(fp) + ".json");
@@ -270,19 +332,38 @@ std::optional<std::uint64_t> CompileCache::direct_lookup(
   text << file.rdbuf();
   auto json = Json::parse(text.str());
   if (!json || !(*json)["key"].is_string()) return std::nullopt;
-  std::uint64_t key =
-      std::strtoull((*json)["key"].as_string().c_str(), nullptr, 16);
+  DirectEntry entry;
+  entry.key = std::strtoull((*json)["key"].as_string().c_str(), nullptr, 16);
+  if ((*json)["frontend_ir"].is_string()) {
+    // Optional field; older entries (or hand-edited files) simply fall back
+    // to re-parsing the source on a hit.
+    if (auto parsed = ir::parse_module((*json)["frontend_ir"].as_string()))
+      entry.frontend = *parsed;
+  }
+  DirectHit hit;
+  hit.key = entry.key;
+  if (entry.frontend)
+    hit.frontend =
+        std::make_shared<ir::Module>(ir::clone_module(*entry.frontend));
   std::lock_guard<std::mutex> lock(mu_);
-  direct_.emplace(fp, key);
-  return key;
+  direct_.emplace(fp, std::move(entry));
+  return hit;
 }
 
 void CompileCache::direct_store(const std::string &fingerprint,
-                                std::uint64_t key) {
+                                std::uint64_t key,
+                                std::shared_ptr<const ir::Module> frontend) {
   std::uint64_t fp = support::fnv1a(fingerprint);
+  // Master copy: callers keep (and may mutate) their module, so the tier
+  // snapshots it. Refreshing with a null frontend keeps the existing master.
+  std::shared_ptr<const ir::Module> master;
+  if (frontend)
+    master = std::make_shared<const ir::Module>(ir::clone_module(*frontend));
   {
     std::lock_guard<std::mutex> lock(mu_);
-    direct_[fp] = key;
+    DirectEntry &entry = direct_[fp];
+    entry.key = key;
+    if (master) entry.frontend = master;
   }
   if (dir_.empty()) return;
   std::error_code ec;
@@ -290,6 +371,7 @@ void CompileCache::direct_store(const std::string &fingerprint,
   if (ec) return;
   auto json = Json::object();
   json.set("key", hex16(key));
+  if (frontend) json.set("frontend_ir", frontend->str());
   std::ofstream file(dir_ + "/direct-" + hex16(fp) + ".json");
   file << json.dump();
 }

@@ -29,6 +29,7 @@
 
 #include "hls/scheduler.hpp"
 #include "ir/ir.hpp"
+#include "ir/pass.hpp"
 #include "obs/trace.hpp"
 #include "olympus/olympus.hpp"
 #include "sdk/options.hpp"
@@ -45,6 +46,43 @@ struct CompileCacheEntry {
   hls::KernelReport kernel;
   olympus::SystemEstimate estimate;
   int datapath_bits = 64;
+};
+
+/// Per-pass incremental tier, plugged into ir::PassManager::set_pass_cache.
+/// Keys are ir::pass_fingerprint(pass name, printed func text); values are
+/// the post-pass funcs, each held as a self-contained master module so the
+/// arena that owns the cached op lives exactly as long as the entry. A
+/// lookup hit means "this exact func already went through this exact pass":
+/// on a one-kernel edit only the edited kernel's fingerprint changes, so
+/// only its passes re-run. Thread-safe; when the entry count exceeds the
+/// capacity the tier resets wholesale (the PassManager clones hits
+/// immediately, so no returned pointer outlives the next mutation).
+class PassResultCache : public ir::PassCache {
+public:
+  explicit PassResultCache(std::size_t capacity = 1024)
+      : capacity_(capacity) {}
+
+  PassResultCache(const PassResultCache &) = delete;
+  PassResultCache &operator=(const PassResultCache &) = delete;
+
+  [[nodiscard]] const ir::Operation *lookup(std::uint64_t key) override;
+  void store(std::uint64_t key, const ir::Operation &func) override;
+
+  /// Mirrors hits/misses onto sdk.cache.pass.hit / .miss counters.
+  void attach_recorder(obs::TraceRecorder *recorder);
+
+  [[nodiscard]] std::int64_t hits() const;
+  [[nodiscard]] std::int64_t misses() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::map<std::uint64_t, ir::Module> entries_;  // each holds one func op
+  obs::TraceRecorder *recorder_ = nullptr;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
 };
 
 class CompileCache {
@@ -78,10 +116,26 @@ public:
   /// beyond the capacity, and persists it when a directory is configured.
   void store(std::uint64_t key, const CompileCacheEntry &entry);
 
-  /// Direct tier: maps a frontend fingerprint to a content key.
+  /// Direct tier: maps a frontend fingerprint to a content key, plus (in
+  /// memory) the parsed frontend module, so a repeat compile of identical
+  /// source skips the frontend parse along with the backend. The frontend
+  /// lives beside the fingerprint — not in the content entry — because EKL
+  /// and CFDlang sources lowering to the same TeIL share one content entry
+  /// but have different frontends.
+  struct DirectHit {
+    std::uint64_t key = 0;
+    std::shared_ptr<ir::Module> frontend;  // private clone; null if unknown
+  };
   [[nodiscard]] std::optional<std::uint64_t> direct_lookup(
       const std::string &fingerprint);
-  void direct_store(const std::string &fingerprint, std::uint64_t key);
+  [[nodiscard]] std::optional<DirectHit> direct_lookup_full(
+      const std::string &fingerprint);
+  void direct_store(const std::string &fingerprint, std::uint64_t key,
+                    std::shared_ptr<const ir::Module> frontend = nullptr);
+
+  /// Per-pass incremental tier; hand it to
+  /// ir::PassManager::set_pass_cache so unchanged funcs skip their passes.
+  [[nodiscard]] PassResultCache &pass_tier() { return pass_tier_; }
 
   /// Mirrors cache events onto `recorder` counters: sdk.cache.hit / .miss /
   /// .eviction / .corrupt, plus the sdk.cache.entries gauge.
@@ -115,9 +169,15 @@ private:
 
   mutable std::mutex mu_;
   std::string dir_;
+  PassResultCache pass_tier_;
+  struct DirectEntry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const ir::Module> frontend;  // master; null if unknown
+  };
+
   std::map<std::uint64_t, Master> entries_;
   std::list<std::uint64_t> lru_;  // front = most recently used
-  std::map<std::uint64_t, std::uint64_t> direct_;  // fp hash -> content key
+  std::map<std::uint64_t, DirectEntry> direct_;  // fp hash -> content key
   std::size_t capacity_ = 0;
   obs::TraceRecorder *recorder_ = nullptr;
   std::int64_t hits_ = 0;

@@ -22,8 +22,7 @@ support::Expected<std::unique_ptr<DfgBackend>> DfgBackend::create(
   }
   std::vector<std::string> input_names;
   support::Status bad = support::Status::ok();
-  for (const auto &op_ptr : dfg->region(0).front().operations()) {
-    const ir::Operation &op = *op_ptr;
+  for (const ir::Operation &op : dfg->region(0).front().operations()) {
     if (op.name() == "dfg.input") {
       input_names.push_back(op.attr_string("name"));
     } else if (op.name() == "dfg.fold") {

@@ -74,14 +74,14 @@ Expected<int> annotate_base2(ir::Module &module, const std::string &spec) {
     }
   }
 
-  for (auto &op : func->region(0).front().operations()) {
-    if (op->num_results() == 0) continue;
-    op->set_attr("base2.format", ir::Attribute(spec));
-    const ir::Type &t = op->result(0)->type();
+  for (ir::Operation &op : func->region(0).front().operations()) {
+    if (op.num_results() == 0) continue;
+    op.set_attr("base2.format", ir::Attribute(spec));
+    const ir::Type &t = op.result(0)->type();
     if (t.is_tensor() && elem.is_custom()) {
-      op->result(0)->set_type(ir::Type::tensor(t.dims(), elem));
+      op.result(0)->set_type(ir::Type::tensor(t.dims(), elem));
     } else if (t.is_float() && elem.is_custom()) {
-      op->result(0)->set_type(elem);
+      op.result(0)->set_type(elem);
     }
   }
   return (*fmt)->bit_width();

@@ -228,11 +228,10 @@ std::size_t cse_block(ir::Block &block) {
   std::size_t replaced = 0;
   std::map<std::string, Value *> seen;
   std::vector<Operation *> to_erase;
-  for (auto &op_ptr : block.operations()) {
-    Operation &op = *op_ptr;
+  for (Operation &op : block.operations()) {
     // Recurse into nested regions first (their values cannot escape).
     for (std::size_t r = 0; r < op.num_regions(); ++r) {
-      for (auto &nested : op.region(r).blocks()) replaced += cse_block(*nested);
+      for (ir::Block &nested : op.region(r).blocks()) replaced += cse_block(nested);
     }
     if (!cse_eligible(op)) continue;
     std::string sig = signature(op);
@@ -251,18 +250,29 @@ std::size_t cse_block(ir::Block &block) {
 
 std::size_t common_subexpression_elimination(ir::Module &module) {
   std::size_t replaced = 0;
-  for (auto &op : module.body().operations()) {
-    for (std::size_t r = 0; r < op->num_regions(); ++r) {
-      for (auto &block : op->region(r).blocks()) replaced += cse_block(*block);
+  for (Operation &op : module.body().operations()) {
+    for (std::size_t r = 0; r < op.num_regions(); ++r) {
+      for (ir::Block &block : op.region(r).blocks()) replaced += cse_block(block);
     }
   }
   replaced += cse_block(module.body());
   return replaced;
 }
 
-std::size_t fold_broadcast_chains(ir::Module &module) {
+std::size_t common_subexpression_elimination(ir::Operation &root) {
+  std::size_t replaced = 0;
+  for (std::size_t r = 0; r < root.num_regions(); ++r) {
+    for (ir::Block &block : root.region(r).blocks())
+      replaced += cse_block(block);
+  }
+  return replaced;
+}
+
+namespace {
+
+std::size_t fold_broadcast_list(const std::vector<Operation *> &broadcasts) {
   std::size_t folded = 0;
-  for (Operation *outer : module.find_all("teil.broadcast")) {
+  for (Operation *outer : broadcasts) {
     Operation *inner = outer->operand(0)->defining_op();
     if (!inner || inner->name() != "teil.broadcast") continue;
     // outer.map[d] selects inner dims; compose to reach inner's source.
@@ -278,6 +288,26 @@ std::size_t fold_broadcast_chains(ir::Module &module) {
     ++folded;
   }
   return folded;
+}
+
+}  // namespace
+
+std::size_t fold_broadcast_chains(ir::Module &module) {
+  return fold_broadcast_list(module.find_all("teil.broadcast"));
+}
+
+std::size_t fold_broadcast_chains(ir::Operation &root) {
+  std::vector<Operation *> broadcasts;
+  for (std::size_t r = 0; r < root.num_regions(); ++r) {
+    for (ir::Block &block : root.region(r).blocks()) {
+      for (Operation &op : block.operations()) {
+        op.walk([&](Operation &nested) {
+          if (nested.name() == "teil.broadcast") broadcasts.push_back(&nested);
+        });
+      }
+    }
+  }
+  return fold_broadcast_list(broadcasts);
 }
 
 CanonicalizeStats canonicalize(ir::Module &module, std::size_t max_iterations,
@@ -305,6 +335,80 @@ CanonicalizeStats canonicalize(ir::Module &module, std::size_t max_iterations,
     }
   }
   return stats;
+}
+
+namespace {
+
+/// Dead-op elimination confined to the IR nested under `root` (same
+/// eligibility as eliminate_dead_code; `root` itself is never removed).
+std::size_t dce_under(ir::Operation &root) {
+  std::size_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Operation *> dead;
+    auto consider = [&](Operation &op) {
+      if (&op == &root) return;
+      if (op.num_results() == 0 || op.num_regions() > 0) return;
+      for (std::size_t r = 0; r < op.num_results(); ++r) {
+        if (op.result(r)->has_uses()) return;
+      }
+      dead.push_back(&op);
+    };
+    root.walk(consider);
+    for (Operation *op : dead) {
+      op->parent_block()->erase(op);
+      ++removed;
+      changed = true;
+    }
+  }
+  return removed;
+}
+
+}  // namespace
+
+CanonicalizeStats canonicalize_func(ir::Operation &func,
+                                    std::size_t max_iterations,
+                                    ir::RewriteDriver driver) {
+  CanonicalizeStats stats;
+  std::size_t dce_fired = 0;
+  auto patterns = canonicalize_patterns(&dce_fired);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    ++stats.iterations;
+    std::size_t dce_before = dce_fired;
+    auto rewrite = ir::apply_patterns_greedily(func, patterns,
+                                               /*max_iterations=*/32, driver);
+    std::size_t cse = common_subexpression_elimination(func);
+    std::size_t bcast = fold_broadcast_chains(func);
+    std::size_t dce = dce_under(func);
+    std::size_t pattern_dce = dce_fired - dce_before;
+    stats.folded_constants += rewrite.rewrites - pattern_dce;
+    stats.cse_replaced += cse;
+    stats.broadcasts_folded += bcast;
+    stats.dce_removed += dce + pattern_dce;
+    if (!rewrite.converged) break;  // inner driver hit its bound
+    if (rewrite.rewrites == 0 && cse == 0 && bcast == 0 && dce == 0) {
+      stats.converged = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+support::Status canonicalize_func_checked(ir::Operation &func,
+                                          CanonicalizeStats *out,
+                                          std::size_t max_iterations,
+                                          ir::RewriteDriver driver) {
+  CanonicalizeStats stats = canonicalize_func(func, max_iterations, driver);
+  if (out != nullptr) *out = stats;
+  if (!stats.converged) {
+    return support::Status::failure(
+        "canonicalize: no fixpoint within " + std::to_string(max_iterations) +
+            " iterations (" + std::to_string(stats.folded_constants) +
+            " folds, " + std::to_string(stats.dce_removed) + " dce so far)",
+        support::ErrorCode::Internal);
+  }
+  return support::Status::ok();
 }
 
 support::Status canonicalize_checked(ir::Module &module, CanonicalizeStats *out,

@@ -30,9 +30,17 @@ std::vector<std::shared_ptr<ir::RewritePattern>> canonicalize_patterns(
 /// the number of ops replaced.
 std::size_t common_subexpression_elimination(ir::Module &module);
 
+/// Func-scoped CSE: same elimination, confined to the blocks nested under
+/// `root` (the op itself is untouched). Safe to run concurrently on sibling
+/// funcs of one module.
+std::size_t common_subexpression_elimination(ir::Operation &root);
+
 /// Folds teil.broadcast(teil.broadcast(x)) into one composed broadcast.
 /// Returns the number of chains folded.
 std::size_t fold_broadcast_chains(ir::Module &module);
+
+/// Func-scoped broadcast-chain folding under `root`.
+std::size_t fold_broadcast_chains(ir::Operation &root);
 
 /// Summary of one canonicalization run.
 struct CanonicalizeStats {
@@ -49,6 +57,22 @@ struct CanonicalizeStats {
 /// Runs fold + CSE + broadcast folding + DCE to fixpoint (bounded).
 CanonicalizeStats canonicalize(
     ir::Module &module, std::size_t max_iterations = 8,
+    ir::RewriteDriver driver = ir::RewriteDriver::Worklist);
+
+/// Func-scoped canonicalization: the same fold + CSE + broadcast folding +
+/// DCE fixpoint, confined to the IR nested under `func` (the func op itself
+/// is never matched or mutated). This is the body of the func-anchored
+/// "canonicalize" pass: the PassManager may run it concurrently on the
+/// top-level funcs of one module, and the per-pass cache keys its result by
+/// the func's printed text.
+CanonicalizeStats canonicalize_func(
+    ir::Operation &func, std::size_t max_iterations = 8,
+    ir::RewriteDriver driver = ir::RewriteDriver::Worklist);
+
+/// Like canonicalize_func(), surfacing non-convergence as a failed Status.
+support::Status canonicalize_func_checked(
+    ir::Operation &func, CanonicalizeStats *out = nullptr,
+    std::size_t max_iterations = 8,
     ir::RewriteDriver driver = ir::RewriteDriver::Worklist);
 
 /// Like canonicalize(), but surfaces non-convergence as a failed Status

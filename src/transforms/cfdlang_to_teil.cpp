@@ -25,26 +25,25 @@ char letter(std::size_t i) { return static_cast<char>('a' + i); }
 Expected<std::shared_ptr<ir::Module>> lower_cfdlang_to_teil(
     const ir::Module &module) {
   const Operation *program = nullptr;
-  for (const auto &op : module.body().operations()) {
-    if (op->name() == "cfdlang.program") {
-      program = op.get();
+  for (const Operation &op : module.body().operations()) {
+    if (op.name() == "cfdlang.program") {
+      program = &op;
       break;
     }
   }
   if (!program) return Error::make("cfdlang->teil: no cfdlang.program");
 
   auto out = std::make_shared<ir::Module>();
-  auto func = Operation::create(
-      "teil.func", {}, {},
+  Operation *func = Operation::create(
+      out->arena(), ir::Symbol("teil.func"), {}, {},
       {{"sym_name", Attribute(program->attr_string("sym_name"))}}, 1);
   ir::Block &body = func->region(0).add_block();
-  out->body().push_back(std::move(func));
+  out->body().attach(func);
   ir::OpBuilder b(&body);
 
   std::map<const Value *, Value *> mapped;
 
-  for (const auto &op_ptr : program->region(0).front().operations()) {
-    const Operation &op = *op_ptr;
+  for (const Operation &op : program->region(0).front().operations()) {
     const std::string &name = op.name();
 
     if (name == "cfdlang.input") {

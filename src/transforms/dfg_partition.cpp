@@ -55,18 +55,18 @@ Expected<PlacementResult> partition_dfg(
   std::map<std::string, std::vector<std::string>> consumers;
   std::map<const Value *, std::string> producer_of;
 
-  for (auto &op : graph->region(0).front().operations()) {
-    if (op->name() != "dfg.node" && op->name() != "dfg.fold") continue;
+  for (Operation &op : graph->region(0).front().operations()) {
+    if (op.name() != "dfg.node" && op.name() != "dfg.fold") continue;
     GraphNode n;
-    n.op = op.get();
-    n.name = op->attr_string("callee");
-    n.pinned = op->attr_string("placement", "");
+    n.op = &op;
+    n.name = op.attr_string("callee");
+    n.pinned = op.attr_string("placement", "");
     if (!costs.count(n.name))
       return Error::make("dfg partition: no cost model for '" + n.name + "'");
     // Folds are stateful and ordered; they stay on CPU unless pinned.
-    if (op->name() == "dfg.fold" && n.pinned.empty()) n.pinned = "cpu";
-    for (std::size_t r = 0; r < op->num_results(); ++r)
-      producer_of[op->result(r)] = n.name;
+    if (op.name() == "dfg.fold" && n.pinned.empty()) n.pinned = "cpu";
+    for (std::size_t r = 0; r < op.num_results(); ++r)
+      producer_of[op.result(r)] = n.name;
     nodes.push_back(n);
   }
   if (nodes.empty()) return Error::make("dfg partition: graph has no nodes");
@@ -81,9 +81,9 @@ Expected<PlacementResult> partition_dfg(
   }
   // Streams ultimately return to the host: dfg.output consumers are the host
   // itself, so a producer placed on the FPGA pays the egress transfer.
-  for (auto &op : graph->region(0).front().operations()) {
-    if (op->name() != "dfg.output") continue;
-    auto it = producer_of.find(op->operand(0));
+  for (Operation &op : graph->region(0).front().operations()) {
+    if (op.name() != "dfg.output") continue;
+    auto it = producer_of.find(op.operand(0));
     if (it != producer_of.end()) consumers[it->second].push_back("__host");
   }
 

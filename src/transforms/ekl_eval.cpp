@@ -51,8 +51,8 @@ Shape shape_of(const std::vector<std::string> &names, const ExtentMap &extents) 
 }
 
 const ir::Operation *find_kernel(const ir::Module &module) {
-  for (const auto &op : module.body().operations()) {
-    if (op->name() == "ekl.kernel") return op.get();
+  for (const ir::Operation &op : module.body().operations()) {
+    if (op.name() == "ekl.kernel") return &op;
   }
   return nullptr;
 }
@@ -75,13 +75,13 @@ Expected<ExtentMap> resolve_ekl_extents(const ir::Operation &kernel,
   ExtentMap extents = bindings.extents;
 
   // Extents from inputs.
-  for (const auto &op : kernel.region(0).front().operations()) {
-    if (op->name() == "ekl.input") {
-      std::string name = op->attr_string("name");
+  for (const ir::Operation &op : kernel.region(0).front().operations()) {
+    if (op.name() == "ekl.input") {
+      std::string name = op.attr_string("name");
       auto it = bindings.inputs.find(name);
       if (it == bindings.inputs.end())
         return Error::make("ekl eval: missing input tensor '" + name + "'");
-      auto idx = op->attr("indices")->as_string_vector();
+      auto idx = op.attr("indices")->as_string_vector();
       if (it->second.rank() != idx.size())
         return Error::make("ekl eval: input '" + name + "' rank mismatch");
       for (std::size_t d = 0; d < idx.size(); ++d) {
@@ -89,25 +89,25 @@ Expected<ExtentMap> resolve_ekl_extents(const ir::Operation &kernel,
             !s.is_ok())
           return Error::make(s.message());
       }
-    } else if (op->name() == "ekl.stack") {
-      std::string new_index = op->attr_string("new_index");
+    } else if (op.name() == "ekl.stack") {
+      std::string new_index = op.attr_string("new_index");
       if (auto s = merge_extent(extents, new_index,
-                                static_cast<std::int64_t>(op->num_operands()));
+                                static_cast<std::int64_t>(op.num_operands()));
           !s.is_ok())
         return Error::make(s.message());
     }
   }
 
   // Every index referenced anywhere must now have an extent.
-  for (const auto &op : kernel.region(0).front().operations()) {
-    const ir::Attribute *idx = op->attr("indices");
+  for (const ir::Operation &op : kernel.region(0).front().operations()) {
+    const ir::Attribute *idx = op.attr("indices");
     if (!idx || !idx->is_array()) continue;
     for (const auto &name : idx->as_string_vector()) {
       if (!extents.count(name))
         return Error::make("ekl eval: unknown extent for index '" + name +
                            "' (supply it via EklBindings::extents)");
     }
-    const ir::Attribute *reduce = op->attr("reduce");
+    const ir::Attribute *reduce = op.attr("reduce");
     if (reduce && reduce->is_array()) {
       for (const auto &name : reduce->as_string_vector()) {
         if (!extents.count(name))
@@ -134,8 +134,7 @@ Expected<std::map<std::string, Tensor>> evaluate_ekl(
   auto operand_tensor = [&](const ir::Operation &op, std::size_t i)
       -> const Tensor & { return values.at(op.operand(i)); };
 
-  for (const auto &op_ptr : kernel->region(0).front().operations()) {
-    const ir::Operation &op = *op_ptr;
+  for (const ir::Operation &op : kernel->region(0).front().operations()) {
     const std::string &name = op.name();
 
     if (name == "ekl.output") {

@@ -56,15 +56,15 @@ public:
 
   Expected<std::shared_ptr<ir::Module>> run() {
     auto out = std::make_shared<ir::Module>();
-    auto func = Operation::create(
-        "teil.func", {}, {},
+    Operation *func = Operation::create(
+        out->arena(), ir::Symbol("teil.func"), {}, {},
         {{"sym_name", Attribute(kernel_.attr_string("sym_name"))}}, 1);
     ir::Block &body = func->region(0).add_block();
-    out->body().push_back(std::move(func));
+    out->body().attach(func);
     ir::OpBuilder b(&body);
 
-    for (const auto &op_ptr : kernel_.region(0).front().operations()) {
-      if (auto s = lower_op(b, *op_ptr); !s.is_ok())
+    for (const Operation &op : kernel_.region(0).front().operations()) {
+      if (auto s = lower_op(b, op); !s.is_ok())
         return Error::make(s.message());
     }
     return out;
@@ -170,9 +170,9 @@ private:
 Expected<std::shared_ptr<ir::Module>> lower_ekl_to_teil(
     const ir::Module &module, const EklBindings &bindings) {
   const Operation *kernel = nullptr;
-  for (const auto &op : module.body().operations()) {
-    if (op->name() == "ekl.kernel") {
-      kernel = op.get();
+  for (const Operation &op : module.body().operations()) {
+    if (op.name() == "ekl.kernel") {
+      kernel = &op;
       break;
     }
   }

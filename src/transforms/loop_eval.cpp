@@ -28,8 +28,8 @@ public:
 
 private:
   support::Status execute_block(const ir::Block &block) {
-    for (const auto &op_ptr : block.operations()) {
-      if (auto s = execute_op(*op_ptr); !s.is_ok()) return s;
+    for (const ir::Operation &op : block.operations()) {
+      if (auto s = execute_op(op); !s.is_ok()) return s;
     }
     return support::Status::ok();
   }
@@ -175,9 +175,9 @@ private:
 Expected<std::map<std::string, Tensor>> evaluate_loops(
     const ir::Module &module, const std::map<std::string, Tensor> &inputs) {
   const ir::Operation *func = nullptr;
-  for (const auto &op : module.body().operations()) {
-    if (op->name() == "func.func") {
-      func = op.get();
+  for (const ir::Operation &op : module.body().operations()) {
+    if (op.name() == "func.func") {
+      func = &op;
       break;
     }
   }

@@ -19,8 +19,8 @@ Shape shape_from_type(const ir::Type &t) {
 }
 
 const ir::Operation *find_func(const ir::Module &module) {
-  for (const auto &op : module.body().operations()) {
-    if (op->name() == "teil.func") return op.get();
+  for (const ir::Operation &op : module.body().operations()) {
+    if (op.name() == "teil.func") return &op;
   }
   return nullptr;
 }
@@ -51,8 +51,7 @@ Expected<std::map<std::string, Tensor>> evaluate_teil(
     return values.at(op.operand(i));
   };
 
-  for (const auto &op_ptr : func->region(0).front().operations()) {
-    const ir::Operation &op = *op_ptr;
+  for (const ir::Operation &op : func->region(0).front().operations()) {
     const std::string &name = op.name();
 
     if (name == "teil.output") {
@@ -224,23 +223,23 @@ std::size_t teil_flop_count(const ir::Module &module) {
   const ir::Operation *func = find_func(module);
   if (!func) return 0;
   std::size_t flops = 0;
-  for (const auto &op : func->region(0).front().operations()) {
-    const std::string &name = op->name();
-    if (op->num_results() == 0) continue;
-    const ir::Type &t = op->result(0)->type();
+  for (const ir::Operation &op : func->region(0).front().operations()) {
+    const std::string &name = op.name();
+    if (op.num_results() == 0) continue;
+    const ir::Type &t = op.result(0)->type();
     auto elems = static_cast<std::size_t>(std::max<std::int64_t>(
         t.num_elements(), 1));
     if (name == "teil.map") {
       flops += elems;
     } else if (name == "teil.reduce") {
-      const ir::Type &src = op->operand(0)->type();
+      const ir::Type &src = op.operand(0)->type();
       flops += static_cast<std::size_t>(
           std::max<std::int64_t>(src.num_elements(), 1));
     } else if (name == "teil.contract") {
       // ~2 flops per accumulated product over the full iteration space.
-      const ir::Type &l = op->operand(0)->type();
-      const ir::Type &r = op->operand(1)->type();
-      std::string ls = op->attr_string("lhs"), rs = op->attr_string("rhs");
+      const ir::Type &l = op.operand(0)->type();
+      const ir::Type &r = op.operand(1)->type();
+      std::string ls = op.attr_string("lhs"), rs = op.attr_string("rhs");
       std::map<char, std::int64_t> ext;
       for (std::size_t d = 0; d < ls.size(); ++d) ext[ls[d]] = l.dims()[d];
       for (std::size_t d = 0; d < rs.size(); ++d) ext[rs[d]] = r.dims()[d];

@@ -50,15 +50,15 @@ public:
 
   Expected<std::shared_ptr<ir::Module>> run() {
     auto out = std::make_shared<ir::Module>();
-    auto fn = Operation::create(
-        "func.func", {}, {},
+    Operation *fn = Operation::create(
+        out->arena(), ir::Symbol("func.func"), {}, {},
         {{"sym_name", Attribute(func_.attr_string("sym_name"))}}, 1);
     ir::Block &body = fn->region(0).add_block();
-    out->body().push_back(std::move(fn));
+    out->body().attach(fn);
     ir::OpBuilder b(&body);
 
-    for (const auto &op_ptr : func_.region(0).front().operations()) {
-      if (auto s = lower(b, *op_ptr); !s.is_ok())
+    for (const Operation &op : func_.region(0).front().operations()) {
+      if (auto s = lower(b, op); !s.is_ok())
         return Error::make(s.message());
     }
     return out;
@@ -299,9 +299,9 @@ private:
 Expected<std::shared_ptr<ir::Module>> lower_teil_to_loops(
     const ir::Module &module) {
   const Operation *func = nullptr;
-  for (const auto &op : module.body().operations()) {
-    if (op->name() == "teil.func") {
-      func = op.get();
+  for (const Operation &op : module.body().operations()) {
+    if (op.name() == "teil.func") {
+      func = &op;
       break;
     }
   }

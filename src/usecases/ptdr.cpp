@@ -120,10 +120,11 @@ std::shared_ptr<ir::Module> sampling_kernel_ir(std::size_t samples,
   using ir::Value;
 
   auto module = std::make_shared<ir::Module>();
-  auto fn = ir::Operation::create(
-      "func.func", {}, {}, {{"sym_name", Attribute("ptdr_sample")}}, 1);
+  ir::Operation *fn = ir::Operation::create(
+      module->arena(), ir::Symbol("func.func"), {}, {},
+      {{"sym_name", Attribute("ptdr_sample")}}, 1);
   ir::Block &body = fn->region(0).add_block();
-  module->body().push_back(std::move(fn));
+  module->body().attach(fn);
   ir::OpBuilder b(&body);
   Type f64 = Type::floating(64);
 

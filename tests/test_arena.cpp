@@ -1,0 +1,265 @@
+// Arena / IR-ownership lifetime tests: bump allocation, destructor records,
+// erase -> tombstone semantics, address stability, bulk reset, and clone
+// fidelity. These are the invariants the parallel pass manager and the
+// rewrite drivers rely on, so they also run under the asan preset
+// (-fsanitize=address,undefined) where a stale pointer would abort.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/arena.hpp"
+#include "ir/builder.hpp"
+#include "ir/ir.hpp"
+
+namespace ei = everest::ir;
+
+namespace {
+
+struct DtorProbe {
+  explicit DtorProbe(std::vector<int> *log, int id) : log(log), id(id) {}
+  ~DtorProbe() { log->push_back(id); }
+  std::vector<int> *log;
+  int id;
+};
+
+}  // namespace
+
+// ----------------------------------------------------------------- Arena core
+
+TEST(Arena, AllocationsAreAlignedAndCounted) {
+  ei::Arena arena;
+  void *a = arena.allocate(3, 1);
+  void *b = arena.allocate(8, 8);
+  void *c = arena.allocate(1, 64);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+  auto stats = arena.stats();
+  EXPECT_EQ(stats.allocations, 3u);
+  EXPECT_GE(stats.bytes_used, 12u);
+  EXPECT_GE(stats.bytes_reserved, stats.bytes_used);
+}
+
+TEST(Arena, GrowsNewSlabsForOversizeRequests) {
+  ei::Arena arena(/*slab_bytes=*/4096);
+  // Larger than a whole slab: must land in a dedicated slab, not truncate.
+  void *big = arena.allocate(10000, 16);
+  ASSERT_NE(big, nullptr);
+  auto stats = arena.stats();
+  EXPECT_GE(stats.bytes_reserved, 10000u);
+  EXPECT_GE(stats.slabs, 1u);
+}
+
+TEST(Arena, ResetRunsDestructorsInReverseOrder) {
+  std::vector<int> log;
+  ei::Arena arena;
+  arena.create<DtorProbe>(&log, 1);
+  arena.create<DtorProbe>(&log, 2);
+  arena.create<DtorProbe>(&log, 3);
+  EXPECT_TRUE(log.empty());
+  arena.reset();
+  EXPECT_EQ(log, (std::vector<int>{3, 2, 1}));
+  EXPECT_EQ(arena.stats().resets, 1u);
+  EXPECT_EQ(arena.stats().bytes_used, 0u);
+}
+
+TEST(Arena, DestructorRunsOnArenaDestruction) {
+  std::vector<int> log;
+  {
+    ei::Arena arena;
+    arena.create<DtorProbe>(&log, 7);
+  }
+  EXPECT_EQ(log, (std::vector<int>{7}));
+}
+
+TEST(Arena, ResetRecyclesMemoryForReuse) {
+  ei::Arena arena(/*slab_bytes=*/4096);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) arena.allocate(32, 8);
+    arena.reset();
+  }
+  // After resets the arena holds at most one slab again.
+  EXPECT_EQ(arena.stats().slabs, 1u);
+  EXPECT_EQ(arena.stats().resets, 3u);
+}
+
+// ------------------------------------------------------- Op lifetime/tombstones
+
+TEST(ArenaIr, EraseTombstonesWithoutFreeing) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Value *x = b.constant_f64(1.0);
+  ei::Operation &neg = b.create("arith.negf", {x}, {ei::Type::floating(64)});
+  ei::Operation *neg_ptr = &neg;
+
+  module.body().erase(neg_ptr);
+
+  // The op is out of the list but its memory is still readable (tombstone):
+  // worklist drivers may hold stale pointers until they observe erased().
+  EXPECT_TRUE(neg_ptr->erased());
+  EXPECT_EQ(neg_ptr->name(), "arith.negf");
+  EXPECT_EQ(neg_ptr->parent_block(), nullptr);
+  EXPECT_EQ(module.body().size(), 1u);
+  // Use-lists were unhooked, so DCE-style queries see the def as dead.
+  EXPECT_TRUE(x->users().empty());
+}
+
+TEST(ArenaIr, EraseTombstonesNestedSubtree) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Operation &outer = b.create("scf.execute_region", {}, {}, {}, 1);
+  ei::Block &body = outer.region(0).add_block();
+  ei::OpBuilder inner(&body);
+  ei::Value *c = inner.constant_f64(2.0);
+  ei::Operation &use = inner.create("arith.negf", {c}, {ei::Type::floating(64)});
+  ei::Operation *use_ptr = &use;
+  ei::Operation *def_ptr = c->defining_op();
+
+  module.body().erase(&outer);
+
+  EXPECT_TRUE(outer.erased());
+  EXPECT_TRUE(use_ptr->erased());
+  EXPECT_TRUE(def_ptr->erased());
+  // Nested operand uses were dropped too: no dangling use-list entries.
+  EXPECT_TRUE(c->users().empty());
+}
+
+TEST(ArenaIr, ErasedAddressesAreNeverReusedBeforeReset) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  std::set<const ei::Operation *> seen;
+  for (int i = 0; i < 200; ++i) {
+    ei::Value *v = b.constant_f64(static_cast<double>(i));
+    const ei::Operation *op = v->defining_op();
+    // Bump allocation without reuse: every op gets a fresh address even
+    // though earlier ones were erased. This is what lets the worklist
+    // driver use raw pointers as identities without an ABA hazard.
+    EXPECT_TRUE(seen.insert(op).second);
+    module.body().erase(const_cast<ei::Operation *>(op));
+  }
+  EXPECT_EQ(module.body().size(), 0u);
+}
+
+TEST(ArenaIr, DetachReattachMovesWithoutTombstoning) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Operation &a = b.create("test.a", {}, {});
+  ei::Operation &c = b.create("test.c", {}, {});
+  ei::Operation *mid = ei::Operation::create(module.arena(),
+                                             ei::Symbol("test.b"), {}, {});
+  module.body().attach_before(mid, &c);
+  EXPECT_EQ(module.body().size(), 3u);
+  EXPECT_EQ(a.next_in_block(), mid);
+  EXPECT_EQ(mid->next_in_block(), &c);
+
+  module.body().detach(mid);
+  EXPECT_FALSE(mid->erased());
+  EXPECT_EQ(mid->parent_block(), nullptr);
+  EXPECT_EQ(module.body().size(), 2u);
+  EXPECT_EQ(a.next_in_block(), &c);
+
+  module.body().attach(mid);
+  EXPECT_EQ(module.body().size(), 3u);
+  EXPECT_EQ(&module.body().back(), mid);
+}
+
+TEST(ArenaIr, ModuleStatsReflectArenaOwnership) {
+  ei::Module module;
+  auto before = module.arena().stats();
+  ei::OpBuilder b(&module.body());
+  for (int i = 0; i < 50; ++i) b.constant_f64(static_cast<double>(i));
+  auto after = module.arena().stats();
+  EXPECT_GT(after.allocations, before.allocations);
+  EXPECT_GT(after.bytes_used, before.bytes_used);
+}
+
+// ------------------------------------------------------------------- Clones
+
+TEST(ArenaIr, CloneModuleIsByteIdenticalAndIndependent) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Value *x = b.constant_f64(1.5);
+  ei::Value *y = b.constant_f64(2.5);
+  ei::Value *sum = b.create_value("arith.addf", {x, y}, ei::Type::floating(64));
+  ei::Operation &region_op =
+      b.create("scf.execute_region", {sum}, {ei::Type::floating(64)}, {}, 1);
+  ei::Block &inner = region_op.region(0).add_block();
+  inner.add_argument(ei::Type::index());
+  ei::OpBuilder ib(&inner);
+  ib.create("scf.yield", {sum}, {});
+
+  ei::Module copy = ei::clone_module(module);
+  EXPECT_EQ(copy.str(), module.str());
+
+  // Mutating the clone must not bleed into the original (separate arenas).
+  copy.find_first("arith.addf")->set_attr("tag", ei::Attribute(true));
+  ei::OpBuilder cb(&copy.body());
+  cb.constant_f64(9.0);
+  EXPECT_NE(copy.str(), module.str());
+  EXPECT_EQ(module.find_first("arith.addf")->attr("tag"), nullptr);
+}
+
+TEST(ArenaIr, CloneOpIntoSplicesSelfContainedFunc) {
+  ei::Module src;
+  {
+    ei::Operation *func = ei::Operation::create(
+        src.arena(), ei::Symbol("teil.func"), {}, {},
+        {{"sym_name", ei::Attribute(std::string("k"))}}, 1);
+    ei::Block &body = func->region(0).add_block();
+    ei::OpBuilder b(&body);
+    ei::Value *c = b.constant_f64(4.0);
+    b.create("teil.output", {c}, {}, {{"name", ei::Attribute(std::string("o"))}});
+    src.body().attach(func);
+  }
+
+  ei::Module dst;
+  const ei::Operation &func = src.body().front();
+  ei::Operation *copy = ei::clone_op_into(func, dst.body());
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(dst.str(), src.str());
+  EXPECT_EQ(&dst.body().front(), copy);
+}
+
+TEST(ArenaIr, ModuleMoveTransfersOwnership) {
+  ei::Module a;
+  ei::OpBuilder b(&a.body());
+  b.constant_f64(3.0);
+  std::string printed = a.str();
+
+  ei::Module moved = std::move(a);
+  EXPECT_EQ(moved.str(), printed);
+  ei::Module assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.str(), printed);
+}
+
+// ------------------------------------------------------- Region/Block ranges
+
+TEST(ArenaIr, RegionBlocksRangeDoesNotExposeOwnership) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Operation &op = b.create("scf.execute_region", {}, {}, {}, 1);
+  op.region(0).add_block();
+  op.region(0).add_block();
+
+  std::size_t count = 0;
+  for (ei::Block &block : op.region(0).blocks()) {
+    (void)block;
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(op.region(0).num_blocks(), 2u);
+  EXPECT_EQ(&op.region(0).front(), &op.region(0).block(0));
+  EXPECT_EQ(&op.region(0).back(), &op.region(0).block(1));
+
+  const ei::Region &cregion = op.region(0);
+  count = 0;
+  for (const ei::Block &block : cregion.blocks()) {
+    (void)block;
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}

@@ -469,8 +469,9 @@ TEST(PrintParseFixpoint, EveryRegisteredOpRoundTrips) {
         ei::Block &body = module.body();
         std::vector<ei::Value *> pool;
         for (int i = 0; i < 4; ++i) {
-          auto &src = body.push_back(
-              ei::Operation::create("fixture.src", {}, {random_type(rng)}));
+          auto &src = body.attach(ei::Operation::create(
+              module.arena(), ei::Symbol("fixture.src"), {},
+              {random_type(rng)}));
           pool.push_back(src.result(0));
         }
 
@@ -491,14 +492,17 @@ TEST(PrintParseFixpoint, EveryRegisteredOpRoundTrips) {
           attrs.set(key, random_attr(rng));
         if (rng.next() % 2 == 0) attrs.set("extra", random_attr(rng));
 
-        auto op = ei::Operation::create(op_name, operands, results, attrs,
-                                        static_cast<std::size_t>(nreg));
+        ei::Operation *op = ei::Operation::create(
+            module.arena(), ei::Symbol(op_name), operands, results, attrs,
+            static_cast<std::size_t>(nreg));
         for (int r = 0; r < nreg; ++r) {
           ei::Block &inner = op->region(static_cast<std::size_t>(r)).add_block();
           if (rng.next() % 2 == 0) inner.add_argument(random_type(rng));
-          inner.push_back(ei::Operation::create("fixture.inner", {}, {}));
+          inner.attach(ei::Operation::create(module.arena(),
+                                             ei::Symbol("fixture.inner"), {},
+                                             {}));
         }
-        body.push_back(std::move(op));
+        body.attach(op);
 
         const std::string text1 = module.str();
         auto parsed = ei::parse_module(text1);
@@ -532,7 +536,8 @@ TEST(Verifier, RejectsMalformedOps) {
       // An op that requires regions, built with none.
       if (def.num_regions > 0 && def.num_operands <= 0 && missing_region < 3) {
         ei::Module m;
-        m.body().push_back(ei::Operation::create(op_name, {}, {}, {}, 0));
+        m.body().attach(ei::Operation::create(m.arena(), ei::Symbol(op_name),
+                                              {}, {}, {}, 0));
         EXPECT_FALSE(ctx.verify(m).is_ok()) << op_name;
         ++missing_region;
       }
@@ -540,9 +545,10 @@ TEST(Verifier, RejectsMalformedOps) {
       if (def.num_regions == 0 && def.num_operands <= 0 &&
           def.required_attrs.empty() && extra_region < 3) {
         ei::Module m;
-        auto op = ei::Operation::create(op_name, {}, {}, {}, 1);
+        ei::Operation *op = ei::Operation::create(
+            m.arena(), ei::Symbol(op_name), {}, {}, {}, 1);
         op->region(0).add_block();
-        m.body().push_back(std::move(op));
+        m.body().attach(op);
         EXPECT_FALSE(ctx.verify(m).is_ok()) << op_name;
         ++extra_region;
       }
@@ -550,19 +556,20 @@ TEST(Verifier, RejectsMalformedOps) {
       if (!def.required_attrs.empty() && def.num_operands <= 0 &&
           missing_attr < 3) {
         ei::Module m;
-        auto op = ei::Operation::create(
-            op_name, {}, {}, {},
+        ei::Operation *op = ei::Operation::create(
+            m.arena(), ei::Symbol(op_name), {}, {}, {},
             static_cast<std::size_t>(std::max(def.num_regions, 0)));
         for (std::size_t r = 0; r < op->num_regions(); ++r)
           op->region(r).add_block();
-        m.body().push_back(std::move(op));
+        m.body().attach(op);
         EXPECT_FALSE(ctx.verify(m).is_ok()) << op_name;
         ++missing_attr;
       }
       // Fixed operand arity violated.
       if (def.num_operands > 0 && bad_arity < 3) {
         ei::Module m;
-        m.body().push_back(ei::Operation::create(op_name, {}, {}, {}, 0));
+        m.body().attach(ei::Operation::create(m.arena(), ei::Symbol(op_name),
+                                              {}, {}, {}, 0));
         EXPECT_FALSE(ctx.verify(m).is_ok()) << op_name;
         ++bad_arity;
       }

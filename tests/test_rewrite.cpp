@@ -70,7 +70,8 @@ std::unique_ptr<ei::Module> random_arith_module(std::uint64_t seed) {
   }
 
   if (rng.next() % 2 == 0) {
-    auto region_op = ei::Operation::create("test.region", {}, {}, {}, 1);
+    ei::Operation *region_op = ei::Operation::create(
+        module->arena(), ei::Symbol("test.region"), {}, {}, {}, 1);
     ei::Block &inner = region_op->region(0).add_block();
     ei::OpBuilder ib(&inner);
     ei::Value *c0 = ib.constant_f64(static_cast<double>(rng.next() % 5));
@@ -79,7 +80,7 @@ std::unique_ptr<ei::Module> random_arith_module(std::uint64_t seed) {
     ei::Value *dead = ib.create_value("arith.mulf", {sum, c0}, kF64);
     (void)dead;  // unused: DCE food inside a nested region
     ib.create("test.sink", {sum}, {});
-    module->body().push_back(std::move(region_op));
+    module->body().attach(region_op);
   }
 
   std::vector<ei::Value *> live;
@@ -116,12 +117,12 @@ std::vector<std::shared_ptr<ei::RewritePattern>> differential_patterns(
 bool drivers_agree(const ei::Module &module, bool with_expansion,
                    std::string *why) {
   auto patterns = differential_patterns(with_expansion);
-  auto wl_mod = ei::clone_module(module);
-  auto lg_mod = ei::clone_module(module);
-  auto wl = ei::apply_patterns_greedily(*wl_mod, patterns,
+  ei::Module wl_mod = ei::clone_module(module);
+  ei::Module lg_mod = ei::clone_module(module);
+  auto wl = ei::apply_patterns_greedily(wl_mod, patterns,
                                         /*max_iterations=*/64,
                                         ei::RewriteDriver::Worklist);
-  auto lg = ei::apply_patterns_greedily(*lg_mod, patterns,
+  auto lg = ei::apply_patterns_greedily(lg_mod, patterns,
                                         /*max_iterations=*/64,
                                         ei::RewriteDriver::LegacySweep);
   if (!wl.converged || !lg.converged) {
@@ -133,8 +134,8 @@ bool drivers_agree(const ei::Module &module, bool with_expansion,
            std::to_string(lg.rewrites);
     return false;
   }
-  const std::string wl_text = wl_mod->str();
-  const std::string lg_text = lg_mod->str();
+  const std::string wl_text = wl_mod.str();
+  const std::string lg_text = lg_mod.str();
   if (wl_text != lg_text) {
     *why = "modules diverged:\n--- worklist ---\n" + wl_text +
            "--- legacy ---\n" + lg_text;
@@ -244,18 +245,18 @@ TEST(RewritePerf, WorklistVisitsScaleWithChangeNotModuleSize) {
 
   const std::size_t module_size = module.op_count();
   auto patterns = et::canonicalize_patterns();
-  auto wl_mod = ei::clone_module(module);
-  auto wl = ei::apply_patterns_greedily(*wl_mod, patterns,
+  ei::Module wl_mod = ei::clone_module(module);
+  auto wl = ei::apply_patterns_greedily(wl_mod, patterns,
                                         /*max_iterations=*/64,
                                         ei::RewriteDriver::Worklist);
-  auto lg_mod = ei::clone_module(module);
-  auto lg = ei::apply_patterns_greedily(*lg_mod, patterns,
+  ei::Module lg_mod = ei::clone_module(module);
+  auto lg = ei::apply_patterns_greedily(lg_mod, patterns,
                                         /*max_iterations=*/64,
                                         ei::RewriteDriver::LegacySweep);
 
   ASSERT_TRUE(wl.converged);
   ASSERT_TRUE(lg.converged);
-  EXPECT_EQ(wl_mod->str(), lg_mod->str());
+  EXPECT_EQ(wl_mod.str(), lg_mod.str());
   // The legacy driver erases one dead-chain level per sweep.
   EXPECT_GT(lg.iterations, 40u);
   // The worklist must beat "iterations x module size" by a wide margin, and

@@ -117,9 +117,9 @@ everest::transforms::EklBindings synthesize_bindings(
   everest::transforms::EklBindings bindings;
   everest::support::Pcg32 rng(42);
   const everest::ir::Operation *kernel = nullptr;
-  for (const auto &op : module.body().operations()) {
-    if (op->name() == "ekl.kernel") {
-      kernel = op.get();
+  for (const everest::ir::Operation &op : module.body().operations()) {
+    if (op.name() == "ekl.kernel") {
+      kernel = &op;
       break;
     }
   }
@@ -130,14 +130,14 @@ everest::transforms::EklBindings synthesize_bindings(
     return it == extents.end() ? 8 : it->second;
   };
 
-  for (const auto &op : kernel->region(0).front().operations()) {
-    if (op->name() == "ekl.input") {
-      auto indices = op->attr("indices")->as_string_vector();
+  for (const everest::ir::Operation &op : kernel->region(0).front().operations()) {
+    if (op.name() == "ekl.input") {
+      auto indices = op.attr("indices")->as_string_vector();
       everest::numerics::Shape shape;
       for (const auto &idx : indices) shape.push_back(extent_of(idx));
       everest::numerics::Tensor t(shape);
       for (auto &v : t.data()) v = rng.uniform();
-      bindings.inputs.emplace(op->attr_string("name"), std::move(t));
+      bindings.inputs.emplace(op.attr_string("name"), std::move(t));
     }
   }
   for (const auto &[name, value] : extents) bindings.extents[name] = value;
