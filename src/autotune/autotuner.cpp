@@ -49,10 +49,10 @@ double Autotuner::correction(const std::string &metric) const {
   return it == corrections_.end() ? 1.0 : it->second;
 }
 
-double Autotuner::corrected(const OperatingPoint &point,
-                            const std::string &metric) const {
+std::optional<double> Autotuner::corrected(const OperatingPoint &point,
+                                           const std::string &metric) const {
   auto it = point.metrics.find(metric);
-  if (it == point.metrics.end()) return 0.0;
+  if (it == point.metrics.end()) return std::nullopt;
   return it->second * correction(metric);
 }
 
@@ -78,9 +78,14 @@ Expected<OperatingPoint> Autotuner::select() {
           if (c.priority == relax_order[k]) dropped = true;
         }
         if (dropped) continue;
-        double value = corrected(point, c.metric);
-        if (c.kind == Constraint::Kind::LessEqual && value > c.bound) ok = false;
-        if (c.kind == Constraint::Kind::GreaterEqual && value < c.bound)
+        auto value = corrected(point, c.metric);
+        // A point that never measured a constrained metric is infeasible
+        // under that constraint — an absent value must not read as 0.0 and
+        // sail under a LessEqual bound.
+        if (!value.has_value()) ok = false;
+        else if (c.kind == Constraint::Kind::LessEqual && *value > c.bound)
+          ok = false;
+        else if (c.kind == Constraint::Kind::GreaterEqual && *value < c.bound)
           ok = false;
       }
       if (ok) feasible.push_back(&point);
@@ -88,12 +93,19 @@ Expected<OperatingPoint> Autotuner::select() {
     if (feasible.empty()) continue;
 
     last_relaxations_ = static_cast<int>(level);
+    // Points that never measured the rank metric rank behind every point
+    // that did (previously an absent value read as 0.0 and won any
+    // minimization outright).
+    auto beats = [&](const OperatingPoint &p, const OperatingPoint &b) {
+      auto pv = corrected(p, rank_.metric);
+      auto bv = corrected(b, rank_.metric);
+      if (!pv.has_value()) return false;
+      if (!bv.has_value()) return true;
+      return rank_.maximize ? *pv > *bv : *pv < *bv;
+    };
     const OperatingPoint *best = feasible.front();
-    for (const OperatingPoint *p : feasible) {
-      double pv = corrected(*p, rank_.metric);
-      double bv = corrected(*best, rank_.metric);
-      if (rank_.maximize ? pv > bv : pv < bv) best = p;
-    }
+    for (const OperatingPoint *p : feasible)
+      if (beats(*p, *best)) best = p;
     current_ = best;
     return *best;
   }

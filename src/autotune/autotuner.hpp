@@ -14,6 +14,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -95,9 +96,12 @@ public:
   /// Current correction factor for a metric (1.0 when unobserved).
   [[nodiscard]] double correction(const std::string &metric) const;
 
-  /// Expected value of `metric` for `point` after correction.
-  [[nodiscard]] double corrected(const OperatingPoint &point,
-                                 const std::string &metric) const;
+  /// Expected value of `metric` for `point` after correction; nullopt when
+  /// the point never measured that metric. select() treats an absent
+  /// constrained metric as infeasible and an absent rank metric as
+  /// ranking behind every measured point.
+  [[nodiscard]] std::optional<double> corrected(
+      const OperatingPoint &point, const std::string &metric) const;
 
   /// Number of constraint-relaxation levels used by the last select().
   [[nodiscard]] int last_relaxations() const { return last_relaxations_; }

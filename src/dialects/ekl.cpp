@@ -231,6 +231,14 @@ Value *make_gather(ir::OpBuilder &b, Value *source,
   std::vector<std::string> indices;
   for (Value *e : index_exprs)
     indices = union_indices(indices, result_indices(*e));
+  // Subscripts bind positionally to the leading source dims; unsubscripted
+  // trailing dims keep their index names (ekl_parser.hpp): m[r, i]
+  // subscripted as m[r] stays indexed by i. Without them in "indices" the
+  // result type drops the retained dims and both the evaluator and the
+  // teil lowering lose those iteration axes.
+  const auto source_indices = result_indices(*source);
+  for (std::size_t d = index_exprs.size(); d < source_indices.size(); ++d)
+    indices = union_indices(indices, {source_indices[d]});
   std::vector<Value *> operands{source};
   operands.insert(operands.end(), index_exprs.begin(), index_exprs.end());
   return b.create_value("ekl.gather", operands, ekl_type(indices),

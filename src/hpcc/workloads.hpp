@@ -1,0 +1,79 @@
+// everest/hpcc/workloads.hpp
+//
+// The seven HPCC-FPGA workloads over the shared harness. Each benchmark
+// compiles its kernel source from tests/data/hpcc/ through Basecamp,
+// validates the compiled loop-level IR against an independent scalar host
+// reference, times the deployed system on the device model, and reports a
+// measured-vs-roofline ratio against the axis it stresses:
+//
+//   STREAM        GB/s     HBM pseudo-channel aggregate bandwidth
+//   GEMM          GFLOP/s  HLS scheduling + Olympus PLM tiling
+//   PTRANS        GB/s     HBM pseudo-channels (strided 2-d walk)
+//   FFT           GFLOP/s  HLS scheduling + packing/double buffering
+//   RandomAccess  GUPS     DMA/link latency (single-element updates)
+//   LINPACK       GFLOP/s  HLS scheduling (rank-1 update per step)
+//   b_eff         GB/s     inter-FPGA ZRLMPI network (message-size sweep)
+#pragma once
+
+#include "hpcc/hpcc_benchmark.hpp"
+#include "runtime/dfg_executor.hpp"
+
+namespace everest::hpcc {
+
+class StreamBenchmark final : public HpccBenchmark {
+public:
+  StreamBenchmark();
+  support::Expected<BenchmarkResult> run(HpccHarness &harness) override;
+};
+
+class GemmBenchmark final : public HpccBenchmark {
+public:
+  GemmBenchmark();
+  support::Expected<BenchmarkResult> run(HpccHarness &harness) override;
+};
+
+class PtransBenchmark final : public HpccBenchmark {
+public:
+  PtransBenchmark();
+  support::Expected<BenchmarkResult> run(HpccHarness &harness) override;
+};
+
+class FftBenchmark final : public HpccBenchmark {
+public:
+  FftBenchmark();
+  support::Expected<BenchmarkResult> run(HpccHarness &harness) override;
+};
+
+class RandomAccessBenchmark final : public HpccBenchmark {
+public:
+  RandomAccessBenchmark();
+  support::Expected<BenchmarkResult> run(HpccHarness &harness) override;
+};
+
+class LinpackBenchmark final : public HpccBenchmark {
+public:
+  LinpackBenchmark();
+  support::Expected<BenchmarkResult> run(HpccHarness &harness) override;
+};
+
+class BeffBenchmark final : public HpccBenchmark {
+public:
+  BeffBenchmark();
+  support::Expected<BenchmarkResult> run(HpccHarness &harness) override;
+};
+
+/// The RandomAccess coordination program: a dfg.graph whose ordered fold
+/// applies (index, value) update records to the table state. Shared with
+/// the serving layer's fold regression tests.
+struct RandomAccessGraph {
+  std::shared_ptr<ir::Module> graph;
+  std::shared_ptr<runtime::NodeRegistry> registry;
+};
+
+/// Parses `source` (the randomaccess.rs ConDRust program) and registers the
+/// apply_update fold with `initial_table` as the starting table state; each
+/// update record is (slot index, addend) and out-of-range slots clamp.
+support::Expected<RandomAccessGraph> make_randomaccess_graph(
+    const std::string &source, runtime::Record initial_table);
+
+}  // namespace everest::hpcc

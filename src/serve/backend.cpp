@@ -21,17 +21,22 @@ support::Expected<std::unique_ptr<DfgBackend>> DfgBackend::create(
         "serve: module contains no dfg.graph to serve");
   }
   std::vector<std::string> input_names;
+  bool has_fold = false;
   support::Status bad = support::Status::ok();
   for (const ir::Operation &op : dfg->region(0).front().operations()) {
     if (op.name() == "dfg.input") {
       input_names.push_back(op.attr_string("name"));
     } else if (op.name() == "dfg.fold") {
-      // A fold collapses the whole stream into one record, so running two
-      // requests in one batch would fuse their data — batching must refuse.
-      bad = support::Error::unsupported(
-          "serve: graph contains dfg.fold '" + op.attr_string("callee") +
-          "' — fold stages are stateful across the stream and cannot be "
-          "batched");
+      // A fold collapses the whole stream into one record, so the batch
+      // cannot be run as one concatenated stream — run_batch executes fold
+      // graphs per request instead (each request's fold starts from the
+      // initial state and sees only that request's records).
+      has_fold = true;
+      std::string callee = op.attr_string("callee");
+      if (registry->find_fold(callee) == nullptr) {
+        bad = support::Error::not_found(
+            "serve: dfg.fold callee '" + callee + "' is not registered");
+      }
     } else if (op.name() == "dfg.node") {
       std::string callee = op.attr_string("callee");
       if (registry->find_node(callee) == nullptr) {
@@ -47,13 +52,51 @@ support::Expected<std::unique_ptr<DfgBackend>> DfgBackend::create(
   }
   return std::unique_ptr<DfgBackend>(
       new DfgBackend(std::move(graph), std::move(registry), options, recorder,
-                     std::move(input_names)));
+                     std::move(input_names), has_fold));
 }
 
 support::Expected<std::map<std::string, runtime::Stream>> DfgBackend::run_batch(
     const std::map<std::string, runtime::Stream> &inputs) {
-  return runtime::execute_dfg(*graph_, *registry_, inputs, options_,
-                              /*stats=*/nullptr, recorder_);
+  if (!has_fold_) {
+    return runtime::execute_dfg(*graph_, *registry_, inputs, options_,
+                                /*stats=*/nullptr, recorder_);
+  }
+  // Fold graphs: batching as one concatenated stream would fuse the
+  // requests' data into a single fold state. Execute per request instead —
+  // slice one record per input stream, run the graph, and concatenate the
+  // per-request outputs back into batch-ordered streams. Each request's
+  // input streams hold exactly one record, so every per-request output
+  // stream has length one and the batch contract (same length and order as
+  // the inputs) is preserved.
+  std::size_t batch = 0;
+  for (const auto &[name, stream] : inputs) {
+    (void)name;
+    batch = std::max(batch, stream.size());
+  }
+  std::map<std::string, runtime::Stream> outputs;
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::map<std::string, runtime::Stream> slice;
+    for (const auto &[name, stream] : inputs) {
+      if (b >= stream.size()) {
+        return support::Error::invalid_argument(
+            "serve: ragged batch — input stream '" + name + "' has " +
+            std::to_string(stream.size()) + " records, batch needs " +
+            std::to_string(batch));
+      }
+      slice[name] = runtime::Stream{stream[b]};
+    }
+    auto result = runtime::execute_dfg(*graph_, *registry_, slice, options_,
+                                       /*stats=*/nullptr, recorder_);
+    if (!result) {
+      return result.error().with_context("serve: fold graph, batch element " +
+                                         std::to_string(b));
+    }
+    for (auto &[name, stream] : *result) {
+      auto &out = outputs[name];
+      out.insert(out.end(), stream.begin(), stream.end());
+    }
+  }
+  return outputs;
 }
 
 support::Expected<std::unique_ptr<DeviceBackend>> DeviceBackend::create(

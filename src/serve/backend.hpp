@@ -41,9 +41,12 @@ public:
 };
 
 /// Host-CPU backend over execute_dfg. Construction validates that the graph
-/// is batchable: it must contain a dfg.graph with at least one dfg.input, no
-/// dfg.fold stages (a fold collapses the stream, so batching would change
-/// results), and every dfg.node callee must be registered.
+/// is servable: it must contain a dfg.graph with at least one dfg.input and
+/// every dfg.node / dfg.fold callee must be registered. Fold-free graphs run
+/// each batch as one concatenated stream; graphs with dfg.fold stages (a
+/// fold collapses the stream, so concatenation would fuse requests) run per
+/// request — one element at a time, outputs re-concatenated in batch order —
+/// so batched and unbatched results stay byte-identical either way.
 class DfgBackend final : public Backend {
 public:
   static support::Expected<std::unique_ptr<DfgBackend>> create(
@@ -64,10 +67,10 @@ private:
   DfgBackend(std::shared_ptr<const ir::Module> graph,
              std::shared_ptr<const runtime::NodeRegistry> registry,
              runtime::DfgExecOptions options, obs::TraceRecorder *recorder,
-             std::vector<std::string> input_names)
+             std::vector<std::string> input_names, bool has_fold)
       : graph_(std::move(graph)), registry_(std::move(registry)),
         options_(options), recorder_(recorder),
-        input_names_(std::move(input_names)) {}
+        input_names_(std::move(input_names)), has_fold_(has_fold) {}
 
   std::string name_ = "host-cpu";
   std::shared_ptr<const ir::Module> graph_;
@@ -75,6 +78,7 @@ private:
   runtime::DfgExecOptions options_;
   obs::TraceRecorder *recorder_;
   std::vector<std::string> input_names_;
+  bool has_fold_ = false;
 };
 
 /// FPGA backend: one simulated kernel launch per batch (this is where

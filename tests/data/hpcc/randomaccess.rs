@@ -1,0 +1,8 @@
+// HPCC-FPGA RandomAccess coordination program (ConDRust subset): the
+// update stream folds into the table state one (index, value) record at a
+// time — an ordered, stateful fold, exactly the shape a batching serving
+// layer must not fuse across requests.
+fn randomaccess(updates: Stream<Update>) -> Stream<Table> {
+    let table = fold apply_update(updates);
+    return table;
+}

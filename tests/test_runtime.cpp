@@ -610,6 +610,41 @@ TEST(Autotuner, SelectsByRankUnderConstraints) {
   EXPECT_DOUBLE_EQ(best->knobs.at("variant"), 2.0);
 }
 
+TEST(Autotuner, MissingConstrainedMetricIsInfeasible) {
+  // A point that never measured a constrained metric used to read as 0.0,
+  // trivially passing any LessEqual bound and beating measured points.
+  ea::Autotuner tuner;
+  tuner.add_knowledge({{{"v", 0}}, {{"time_ms", 50}, {"error", 0.02}}});
+  tuner.add_knowledge({{{"v", 1}}, {{"time_ms", 10}}});  // no error metric
+  tuner.add_constraint({"error", ea::Constraint::Kind::LessEqual, 0.05, 2});
+  tuner.set_rank({"time_ms", false});
+  auto best = tuner.select();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->knobs.at("v"), 0.0)
+      << "unmeasured point must not satisfy the error constraint";
+  EXPECT_EQ(tuner.last_relaxations(), 0);
+}
+
+TEST(Autotuner, MissingRankMetricRanksLast) {
+  // An absent rank metric used to read as 0.0 and win any minimization.
+  ea::Autotuner tuner;
+  tuner.add_knowledge({{{"v", 0}}, {{"error", 0.01}}});  // no time_ms
+  tuner.add_knowledge({{{"v", 1}}, {{"time_ms", 40}, {"error", 0.02}}});
+  tuner.set_rank({"time_ms", false});
+  auto best = tuner.select();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->knobs.at("v"), 1.0)
+      << "a measured point must outrank an unmeasured one";
+
+  // All points unmeasured: selection still succeeds (first feasible wins).
+  ea::Autotuner bare;
+  bare.add_knowledge({{{"v", 7}}, {{"error", 0.01}}});
+  bare.set_rank({"time_ms", false});
+  auto fallback = bare.select();
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_DOUBLE_EQ(fallback->knobs.at("v"), 7.0);
+}
+
 TEST(Autotuner, RelaxesLowPriorityConstraints) {
   ea::Autotuner tuner;
   tuner.add_knowledge({{{"v", 0}}, {{"time_ms", 10}, {"error", 0.5}}});

@@ -234,7 +234,11 @@ TEST(DynamicBatcher, DispatchPolicy) {
 
 // ------------------------------------------------------------- backends
 
-TEST(DfgBackend, RejectsFoldGraphs) {
+TEST(DfgBackend, ServesFoldGraphsPerRequest) {
+  // A fold collapses its stream, so a concatenated batch would fuse the
+  // requests' data into one fold state. The backend must instead run fold
+  // graphs per request and return batch-ordered, batch-length outputs that
+  // are byte-identical to unbatched execution.
   auto parsed = everest::frontend::parse_condrust(R"(
 fn agg(xs: Stream<f64>) -> Stream<f64> {
     let doubled = mul2(xs);
@@ -244,14 +248,41 @@ fn agg(xs: Stream<f64>) -> Stream<f64> {
 )");
   ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
   auto registry = pipe_registry();
-  registry->register_fold("acc", {0.0},
+  registry->register_fold("acc", {10.0},
                           [](const er::Record &state,
                              const std::vector<const er::Record *> &in) {
                             return er::Record{state[0] + in.at(0)->at(0)};
                           });
   auto backend = es::DfgBackend::create(*parsed, registry);
+  ASSERT_TRUE(backend.has_value()) << backend.error().message;
+
+  er::Stream batch;
+  for (int i = 0; i < 5; ++i) batch.push_back({static_cast<double>(i)});
+  auto batched = (*backend)->run_batch({{"xs", batch}});
+  ASSERT_TRUE(batched.has_value()) << batched.error().message;
+  ASSERT_EQ(batched->at("total").size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    // Each request folds only its own record from the initial state.
+    er::Record expected{10.0 + 2.0 * batch[i][0]};
+    EXPECT_EQ(batched->at("total")[i], expected) << "request " << i;
+    auto single = (*backend)->run_batch({{"xs", er::Stream{batch[i]}}});
+    ASSERT_TRUE(single.has_value());
+    EXPECT_EQ(single->at("total").front(), batched->at("total")[i])
+        << "batched result diverged from unbatched, request " << i;
+  }
+}
+
+TEST(DfgBackend, RejectsUnregisteredFoldCallees) {
+  auto parsed = everest::frontend::parse_condrust(R"(
+fn agg(xs: Stream<f64>) -> Stream<f64> {
+    let total = fold acc(xs);
+    return total;
+}
+)");
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  auto backend = es::DfgBackend::create(*parsed, pipe_registry());
   ASSERT_FALSE(backend.has_value());
-  EXPECT_EQ(backend.error().code_enum(), esup::ErrorCode::Unsupported);
+  EXPECT_EQ(backend.error().code_enum(), esup::ErrorCode::NotFound);
 }
 
 TEST(DfgBackend, RejectsUnregisteredCallees) {
@@ -655,7 +686,7 @@ TEST(Basecamp, MakeServerServesWithDeviceAndRecordsMetrics) {
   EXPECT_GT(device.stats().kernel_launches, 0);
 }
 
-TEST(Basecamp, MakeServerRejectsFoldGraphs) {
+TEST(Basecamp, MakeServerServesFoldGraphs) {
   everest::sdk::Basecamp basecamp;
   auto parsed = everest::frontend::parse_condrust(R"(
 fn agg(xs: Stream<f64>) -> Stream<f64> {
@@ -664,7 +695,32 @@ fn agg(xs: Stream<f64>) -> Stream<f64> {
 }
 )");
   ASSERT_TRUE(parsed.has_value());
-  auto server = basecamp.make_server(*parsed, pipe_registry());
-  ASSERT_FALSE(server.has_value());
-  EXPECT_EQ(server.error().code_enum(), esup::ErrorCode::Unsupported);
+  auto registry = pipe_registry();
+  registry->register_fold("acc", {0.0},
+                          [](const er::Record &state,
+                             const std::vector<const er::Record *> &in) {
+                            return er::Record{state[0] + in.at(0)->at(0)};
+                          });
+  es::ServerOptions options;
+  options.batch.max_batch = 4;
+  auto server = basecamp.make_server(*parsed, registry, options);
+  ASSERT_TRUE(server.has_value()) << server.error().message;
+  (*server)->start();
+  std::vector<std::future<es::Response>> futures;
+  for (int i = 0; i < 8; ++i) {
+    es::Request req;
+    req.inputs["xs"] = {static_cast<double>(i)};
+    auto submitted = (*server)->submit(std::move(req));
+    ASSERT_TRUE(submitted.has_value());
+    futures.push_back(std::move(*submitted));
+  }
+  (*server)->drain();
+  for (int i = 0; i < 8; ++i) {
+    es::Response response = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_TRUE(response.status.is_ok()) << response.status.error().message;
+    // Batching must not fuse fold states across requests.
+    EXPECT_EQ(response.outputs.at("total"),
+              er::Record{static_cast<double>(i)});
+  }
+  (*server)->stop();
 }
