@@ -1,0 +1,405 @@
+// Cluster serving benchmark: shards everest::serve across simulated FPGA
+// nodes and sweeps the node count 1 -> 8 over the same request trace.
+// Throughput is measured on the simulated device timeline (max per-node
+// accelerator busy time — nodes run in parallel), so the sweep is
+// deterministic and CI-stable. Emits one BENCH_serve_cluster.json and
+// self-checks the serving invariants; any violation makes the process exit
+// non-zero:
+//   - scaling: throughput at 8 nodes >= 5x the single-node run;
+//   - correctness: every node count produces byte-identical outputs to the
+//     single-node run on the same trace;
+//   - QoS: zero requests shed at nominal load (shedding only under the
+//     overload segment's tight queue bounds, where it must fire);
+//   - elasticity: VF hot-plug scales up under backlog and back down after.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/condrust_parser.hpp"
+#include "serve/cluster.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace es = everest::serve;
+namespace er = everest::runtime;
+using everest::support::Json;
+
+namespace {
+
+constexpr const char *kGraph = R"(
+fn serve_pipe(xs: Stream<f64>) -> Stream<f64> {
+    let scaled = mul2(xs);
+    let biased = add1(scaled);
+    return biased;
+}
+)";
+
+std::shared_ptr<er::NodeRegistry> make_registry() {
+  auto registry = std::make_shared<er::NodeRegistry>();
+  registry->register_node("mul2",
+                          [](const std::vector<const er::Record *> &in) {
+                            er::Record out = *in.at(0);
+                            for (double &v : out) v *= 2.0;
+                            return out;
+                          });
+  registry->register_node("add1",
+                          [](const std::vector<const er::Record *> &in) {
+                            er::Record out = *in.at(0);
+                            for (double &v : out) v += 1.0;
+                            return out;
+                          });
+  return registry;
+}
+
+constexpr int kTenants = 64;
+constexpr int kRequestsPerTenant = 8;
+constexpr int kRequests = kTenants * kRequestsPerTenant;
+
+std::string tenant_name(int t) { return "tenant-" + std::to_string(t); }
+
+es::ClusterOptions base_options(int nodes) {
+  es::ClusterOptions options;
+  options.nodes = nodes;
+  options.replicas = std::min(3, nodes);
+  options.server.batch.max_batch = 16;
+  options.server.batch.max_wait_us = 200.0;
+  options.server.dispatchers = 1;
+  options.server.queue_bound = 4'096;
+  return options;
+}
+
+struct TraceResult {
+  std::int64_t completed = 0;
+  std::int64_t shed = 0;
+  std::int64_t forwarded = 0;
+  double busy_us = 0.0;          // max per-node accelerator busy time
+  double forward_net_us = 0.0;   // simulated fabric time spent on forwards
+  double max_node_share = 0.0;   // largest node's fraction of admissions
+  /// request index -> output records, for byte-identity checks.
+  std::map<int, std::map<std::string, er::Record>> outputs;
+  /// tenant -> sorted request latencies (us).
+  std::map<std::string, std::vector<double>> latencies;
+};
+
+// Runs the fixed trace through a cluster of `nodes` nodes. The whole trace
+// is submitted before start() so batch formation and load-aware routing see
+// the same deterministic queue-depth sequence on every run.
+everest::support::Expected<TraceResult> run_trace(
+    const std::shared_ptr<const everest::ir::Module> &graph,
+    const std::shared_ptr<const er::NodeRegistry> &registry, int nodes) {
+  auto cluster = es::Cluster::create(graph, registry, base_options(nodes));
+  if (!cluster) return cluster.error();
+
+  std::vector<std::pair<int, std::future<es::Response>>> futures;
+  futures.reserve(kRequests);
+  TraceResult result;
+  for (int round = 0; round < kRequestsPerTenant; ++round) {
+    for (int t = 0; t < kTenants; ++t) {
+      const int index = round * kTenants + t;
+      es::Request request;
+      request.tenant = tenant_name(t);
+      request.inputs["xs"] = {static_cast<double>(index),
+                              static_cast<double>(index) * 0.5};
+      auto submitted = (*cluster)->submit(std::move(request));
+      if (!submitted) continue;  // counted below via cluster stats
+      futures.emplace_back(index, std::move(*submitted));
+    }
+  }
+
+  (*cluster)->start();
+  (*cluster)->drain();
+  for (auto &[index, future] : futures) {
+    es::Response response = future.get();
+    if (!response.status.is_ok()) continue;
+    ++result.completed;
+    result.outputs[index] = response.outputs;
+    result.latencies[response.tenant].push_back(response.latency_us);
+  }
+  (*cluster)->stop();
+
+  auto stats = (*cluster)->stats();
+  result.shed = stats.shed + (stats.admitted - result.completed);
+  result.forwarded = stats.forwarded;
+  for (const auto &node : stats.nodes) {
+    result.busy_us = std::max(result.busy_us, node.device_busy_us);
+    result.forward_net_us += node.forward_net_us;
+    if (stats.admitted > 0) {
+      result.max_node_share =
+          std::max(result.max_node_share,
+                   static_cast<double>(node.routed) /
+                       static_cast<double>(stats.admitted));
+    }
+  }
+  for (auto &[tenant, lat] : result.latencies)
+    std::sort(lat.begin(), lat.end());
+  return result;
+}
+
+double percentile(const std::vector<double> &sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  auto index = static_cast<std::size_t>(p * static_cast<double>(sorted.size()));
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+bool identical_outputs(const TraceResult &a, const TraceResult &b) {
+  return a.outputs == b.outputs;
+}
+
+std::string fmt(double v, const char *pattern = "%.1f") {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, pattern, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char **argv) {
+  std::string out_path = "BENCH_serve_cluster.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+  }
+
+  std::printf("== serve: cluster front door, node sweep 1 -> 8 ==\n\n");
+
+  auto graph = everest::frontend::parse_condrust(kGraph);
+  if (!graph) {
+    std::fprintf(stderr, "parse failed: %s\n", graph.error().message.c_str());
+    return 1;
+  }
+  auto registry = make_registry();
+
+  std::vector<std::string> violations;
+  auto violation = [&](std::string msg) {
+    std::fprintf(stderr, "VIOLATION: %s\n", msg.c_str());
+    violations.push_back(std::move(msg));
+  };
+
+  // ---- Scaling sweep: same trace, node count 1 -> 8 --------------------
+  const int kNodeCounts[] = {1, 2, 4, 8};
+  std::map<int, TraceResult> runs;
+  for (int nodes : kNodeCounts) {
+    auto run = run_trace(*graph, registry, nodes);
+    if (!run) {
+      std::fprintf(stderr, "cluster run (%d nodes) failed: %s\n", nodes,
+                   run.error().message.c_str());
+      return 1;
+    }
+    runs.emplace(nodes, std::move(*run));
+  }
+
+  const TraceResult &single = runs.at(1);
+  const double single_busy = single.busy_us;
+  everest::support::Table table({"nodes", "completed", "shed", "forwarded",
+                                 "busy [us]", "throughput [req/s]", "speedup",
+                                 "max share", "identical"});
+  Json scaling = Json::array();
+  double speedup_8x = 0.0;
+  for (int nodes : kNodeCounts) {
+    const TraceResult &run = runs.at(nodes);
+    const double throughput =
+        run.busy_us > 0.0
+            ? static_cast<double>(run.completed) / (run.busy_us * 1e-6)
+            : 0.0;
+    const double speedup = run.busy_us > 0.0 ? single_busy / run.busy_us : 0.0;
+    const bool identical = identical_outputs(single, run);
+    if (nodes == 8) speedup_8x = speedup;
+
+    table.add_row({std::to_string(nodes), std::to_string(run.completed),
+                   std::to_string(run.shed), std::to_string(run.forwarded),
+                   fmt(run.busy_us), fmt(throughput, "%.0f"),
+                   fmt(speedup, "%.2f"), fmt(run.max_node_share, "%.3f"),
+                   identical ? "yes" : "NO"});
+
+    if (run.completed != kRequests)
+      violation("nominal load, " + std::to_string(nodes) + " nodes: only " +
+                std::to_string(run.completed) + "/" +
+                std::to_string(kRequests) + " requests completed");
+    if (run.shed != 0)
+      violation("nominal load, " + std::to_string(nodes) + " nodes: " +
+                std::to_string(run.shed) + " requests shed");
+    if (!identical)
+      violation(std::to_string(nodes) +
+                "-node outputs differ from the single-node run");
+
+    Json row = Json::object();
+    row.set("nodes", nodes);
+    row.set("requests", kRequests);
+    row.set("completed", run.completed);
+    row.set("shed", run.shed);
+    row.set("forwarded", run.forwarded);
+    row.set("busy_us", run.busy_us);
+    row.set("forward_net_us", run.forward_net_us);
+    row.set("throughput_rps", throughput);
+    row.set("speedup", speedup);
+    row.set("max_node_share", run.max_node_share);
+    row.set("identical", identical);
+    scaling.push_back(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  if (speedup_8x < 5.0)
+    violation("8-node speedup " + fmt(speedup_8x, "%.2f") + " < 5.0");
+
+  // Per-tenant tail latency on the 8-node run.
+  Json tenants = Json::array();
+  for (const auto &[tenant, latencies] : runs.at(8).latencies) {
+    const double p99 = percentile(latencies, 0.99);
+    if (!(p99 > 0.0))
+      violation("tenant " + tenant + ": p99 latency not positive");
+    Json row = Json::object();
+    row.set("tenant", tenant);
+    row.set("requests", latencies.size());
+    row.set("p50_us", percentile(latencies, 0.50));
+    row.set("p99_us", p99);
+    tenants.push_back(std::move(row));
+  }
+
+  // ---- Overload segment: tight queue bounds must shed, books must close --
+  std::int64_t overload_shed = 0;
+  std::int64_t overload_completed = 0;
+  std::int64_t overload_submitted = 0;
+  {
+    es::ClusterOptions options = base_options(8);
+    options.server.queue_bound = 8;  // per tenant per node: forces shedding
+    auto cluster = es::Cluster::create(*graph, registry, options);
+    if (!cluster) {
+      std::fprintf(stderr, "overload cluster failed: %s\n",
+                   cluster.error().message.c_str());
+      return 1;
+    }
+    std::vector<std::future<es::Response>> futures;
+    const int kOverloadTenants = 8;
+    const int kPerTenant = 200;
+    for (int r = 0; r < kPerTenant; ++r) {
+      for (int t = 0; t < kOverloadTenants; ++t) {
+        es::Request request;
+        request.tenant = tenant_name(t);
+        request.inputs["xs"] = {static_cast<double>(r), 1.0};
+        ++overload_submitted;
+        auto submitted = (*cluster)->submit(std::move(request));
+        if (submitted) futures.push_back(std::move(*submitted));
+      }
+    }
+    (*cluster)->start();
+    (*cluster)->drain();
+    for (auto &future : futures)
+      if (future.get().status.is_ok()) ++overload_completed;
+    (*cluster)->stop();
+    auto stats = (*cluster)->stats();
+    overload_shed = stats.shed;
+    if (overload_shed == 0)
+      violation("overload segment shed nothing despite queue_bound=8");
+    if (stats.admitted + stats.shed != overload_submitted)
+      violation("overload accounting: admitted + shed != submitted");
+    if (overload_completed != stats.admitted)
+      violation("overload segment: admitted requests did not all complete");
+  }
+
+  // ---- Elasticity segment: VF hot-plug follows the queue-depth gauge ----
+  std::int64_t scale_ups = 0;
+  std::int64_t scale_downs = 0;
+  int peak_vfs = 0;
+  int final_vfs = 0;
+  {
+    es::ClusterOptions options = base_options(1);
+    options.min_vfs = 1;
+    options.max_vfs = 4;
+    options.scale_up_depth = 32.0;
+    options.scale_down_depth = 2.0;
+    auto cluster = es::Cluster::create(*graph, registry, options);
+    if (!cluster) {
+      std::fprintf(stderr, "elastic cluster failed: %s\n",
+                   cluster.error().message.c_str());
+      return 1;
+    }
+    std::vector<std::future<es::Response>> futures;
+    for (int i = 0; i < 256; ++i) {
+      es::Request request;
+      request.tenant = tenant_name(i % kTenants);
+      request.inputs["xs"] = {static_cast<double>(i), 2.0};
+      auto submitted = (*cluster)->submit(std::move(request));
+      if (submitted) futures.push_back(std::move(*submitted));
+    }
+    for (int pass = 0; pass < 4; ++pass) (*cluster)->autoscale();
+    peak_vfs = (*cluster)->stats().nodes.at(0).vfs;
+    (*cluster)->start();
+    (*cluster)->drain();
+    for (auto &future : futures) future.get();
+    for (int pass = 0; pass < 4; ++pass) (*cluster)->autoscale();
+    auto stats = (*cluster)->stats();
+    scale_ups = stats.scale_ups;
+    scale_downs = stats.scale_downs;
+    final_vfs = stats.nodes.at(0).vfs;
+    (*cluster)->stop();
+    if (scale_ups < 1)
+      violation("elasticity: backlog of 256 requests triggered no scale-up");
+    if (peak_vfs <= options.min_vfs)
+      violation("elasticity: VF count never grew past min_vfs");
+    if (scale_downs < 1 || final_vfs != options.min_vfs)
+      violation("elasticity: idle cluster did not scale back to min_vfs");
+  }
+  std::printf("elasticity: %lld scale-ups to %d VFs, %lld scale-downs "
+              "back to %d\n",
+              static_cast<long long>(scale_ups), peak_vfs,
+              static_cast<long long>(scale_downs), final_vfs);
+
+  // ---- Report ----------------------------------------------------------
+  es::ClusterOptions probe = base_options(1);
+  Json doc = Json::object();
+  doc.set("suite", "serve_cluster");
+  Json network = Json::object();
+  network.set("gbps", probe.network.gbps);
+  network.set("latency_us", probe.network.latency_us);
+  {
+    // Round-trip price of one forwarded request, straight from the model.
+    auto pricing = es::Cluster::create(*graph, registry, probe);
+    if (pricing)
+      network.set("forward_cost_us",
+                  (*pricing)->forward_cost_us(probe.request_bytes));
+  }
+  doc.set("network", std::move(network));
+  doc.set("scaling", std::move(scaling));
+  doc.set("speedup_8x", speedup_8x);
+  doc.set("tenants", std::move(tenants));
+  Json overload = Json::object();
+  overload.set("submitted", overload_submitted);
+  overload.set("completed", overload_completed);
+  overload.set("shed", overload_shed);
+  doc.set("overload", std::move(overload));
+  Json elastic = Json::object();
+  elastic.set("scale_ups", scale_ups);
+  elastic.set("scale_downs", scale_downs);
+  elastic.set("peak_vfs", peak_vfs);
+  elastic.set("final_vfs", final_vfs);
+  doc.set("elastic", std::move(elastic));
+  Json violation_list = Json::array();
+  for (const std::string &v : violations) violation_list.push_back(v);
+  doc.set("violations", std::move(violation_list));
+
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << doc.dump(2) << "\n";
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!violations.empty()) {
+    std::fprintf(stderr, "%zu violation(s)\n", violations.size());
+    return 1;
+  }
+  std::printf("self-check passed: 8-node speedup %.2fx, outputs "
+              "byte-identical, shed only under overload\n",
+              speedup_8x);
+  return 0;
+}

@@ -16,9 +16,16 @@ FailoverGroup::FailoverGroup(std::vector<platform::Device *> devices,
 
 Expected<FailoverOutcome> FailoverGroup::run(const std::string &kernel,
                                              bool dataflow) {
+  std::lock_guard<std::mutex> lock(mu_);
   Error last = Error::unavailable("resil: failover group has no devices");
   int attempts = 0;
-  for (std::size_t d = 0; d < devices_.size(); ++d) {
+  std::size_t start = 0;
+  if (options_.placement == FailoverOptions::Placement::RoundRobin &&
+      !devices_.empty()) {
+    start = next_start_++ % devices_.size();
+  }
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    std::size_t d = (start + i) % devices_.size();
     platform::Device &dev = *devices_[d];
     if (!breakers_[d].allow(dev.now_us())) {
       ++stats_.breaker_rejections;
@@ -35,7 +42,9 @@ Expected<FailoverOutcome> FailoverGroup::run(const std::string &kernel,
         "run." + dev.spec().name);
     if (result) {
       breakers_[d].on_success();
-      bool primary = d == 0;
+      // "Primary" is the device this launch tried first (ring start under
+      // RoundRobin); landing anywhere else means the launch was degraded.
+      bool primary = i == 0;
       if (primary) ++stats_.primary_runs;
       else ++stats_.failover_runs;
       if (recorder_ && !primary)
@@ -54,6 +63,40 @@ Expected<FailoverOutcome> FailoverGroup::run(const std::string &kernel,
   }
   return last.with_context("resil: kernel '" + kernel +
                            "' failed on every device in the group");
+}
+
+void FailoverGroup::add_device(platform::Device *device) {
+  std::lock_guard<std::mutex> lock(mu_);
+  devices_.push_back(device);
+  breakers_.emplace_back(options_.breaker);
+}
+
+Expected<platform::Device *> FailoverGroup::remove_last_device() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (devices_.size() <= 1) {
+    return Error::unavailable(
+        "resil: cannot remove the last device of a failover group");
+  }
+  platform::Device *device = devices_.back();
+  devices_.pop_back();
+  breakers_.pop_back();
+  if (next_start_ >= devices_.size()) next_start_ = 0;
+  return device;
+}
+
+FailoverStats FailoverGroup::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+CircuitBreaker::State FailoverGroup::breaker_state(std::size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breakers_[i].state();
+}
+
+std::size_t FailoverGroup::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return devices_.size();
 }
 
 }  // namespace everest::resil

@@ -6,9 +6,16 @@
 // back to a host-CPU execution estimate with degraded-mode accounting.
 // This is the PCIe-vs-network trade-off of the EVEREST design environment
 // made operational: work migrates across the devices that remain healthy.
+//
+// The group is thread-safe and its membership is dynamic: the serving
+// layer's VF elasticity hot-plugs SR-IOV virtual functions in and out of a
+// node's replica group at runtime (add_device / remove_last_device), and
+// Placement::RoundRobin rotates the starting replica per launch so plugged
+// capacity actually spreads load instead of only absorbing failures.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +31,12 @@ struct FailoverOptions {
   Deadline deadline;              // per-launch deadline (watchdog abort)
   CircuitBreaker::Options breaker;
   double host_fallback_us = -1.0; // host-CPU estimate; < 0 disables fallback
+  /// How the group picks the device that a launch tries first. PrimaryFirst
+  /// is the classic primary + ordered backups; RoundRobin rotates the start
+  /// index per launch (replica load balancing), still failing over through
+  /// the remaining devices in ring order.
+  enum class Placement { PrimaryFirst, RoundRobin };
+  Placement placement = Placement::PrimaryFirst;
 };
 
 /// Where and how one launch finally ran.
@@ -31,7 +44,7 @@ struct FailoverOutcome {
   double latency_us = 0.0;
   std::string executed_on;  // device name, or "host-cpu"
   int attempts = 0;         // total launch attempts across all devices
-  bool degraded = false;    // did not run on the primary device
+  bool degraded = false;    // did not run on the device tried first
 };
 
 /// Cumulative degraded-mode accounting.
@@ -43,7 +56,9 @@ struct FailoverStats {
 };
 
 /// A primary device plus ordered backups, each behind a circuit breaker.
-/// Kernels must already be loaded on every member device.
+/// Kernels must already be loaded on every member device. Launches, stats
+/// reads, and membership changes serialize on an internal mutex, so the
+/// group may be shared by concurrent dispatcher threads.
 class FailoverGroup {
 public:
   FailoverGroup(std::vector<platform::Device *> devices,
@@ -55,18 +70,26 @@ public:
   support::Expected<FailoverOutcome> run(const std::string &kernel,
                                          bool dataflow = false);
 
-  [[nodiscard]] const FailoverStats &stats() const { return stats_; }
-  [[nodiscard]] const CircuitBreaker &breaker(std::size_t i) const {
-    return breakers_[i];
-  }
-  [[nodiscard]] std::size_t size() const { return devices_.size(); }
+  /// Appends a device (fresh closed breaker) to the replica ring. The
+  /// caller keeps ownership and must have loaded the kernels already.
+  void add_device(platform::Device *device);
+  /// Removes the most recently added device from the ring and returns it so
+  /// the owner can unplug it. Fails when it would empty the group. Safe
+  /// against in-flight launches: removal holds the same lock launches do.
+  support::Expected<platform::Device *> remove_last_device();
+
+  [[nodiscard]] FailoverStats stats() const;
+  [[nodiscard]] CircuitBreaker::State breaker_state(std::size_t i) const;
+  [[nodiscard]] std::size_t size() const;
 
 private:
+  mutable std::mutex mu_;
   std::vector<platform::Device *> devices_;
   std::vector<CircuitBreaker> breakers_;
   FailoverOptions options_;
   obs::TraceRecorder *recorder_;
   FailoverStats stats_;
+  std::size_t next_start_ = 0;  // RoundRobin rotation cursor
 };
 
 }  // namespace everest::resil

@@ -32,19 +32,34 @@ public:
   [[nodiscard]] std::size_t max_batch() const { return options_.max_batch; }
 
   /// Whether a dispatcher holding the queue lock should cut a batch now.
+  /// `earliest_deadline_us` is the soonest absolute deadline pending in the
+  /// queue (< 0 when none): once it has passed, the dispatcher must cut
+  /// immediately so the expired request is shed eagerly instead of sitting
+  /// in the queue until the wait budget of `max_wait_us` runs out.
   [[nodiscard]] bool should_dispatch(std::size_t depth, double oldest_admit_us,
-                                     double now_us, bool draining) const {
+                                     double now_us, bool draining,
+                                     double earliest_deadline_us = -1.0) const {
     if (depth == 0) return false;
     if (depth >= options_.max_batch) return true;
     if (draining) return true;
+    if (earliest_deadline_us >= 0.0 && now_us >= earliest_deadline_us) {
+      return true;
+    }
     return now_us - oldest_admit_us >= options_.max_wait_us;
   }
 
   /// How long (us) the dispatcher may keep waiting for the batch to fill
-  /// before the oldest request's wait budget runs out.
-  [[nodiscard]] double wait_budget_us(double oldest_admit_us,
-                                      double now_us) const {
-    return std::max(0.0, options_.max_wait_us - (now_us - oldest_admit_us));
+  /// before the oldest request's wait budget runs out — capped at the
+  /// earliest pending deadline, so a request never outlives its deadline
+  /// inside the queue just because `max_wait_us` is large.
+  [[nodiscard]] double wait_budget_us(double oldest_admit_us, double now_us,
+                                      double earliest_deadline_us = -1.0) const {
+    double budget =
+        std::max(0.0, options_.max_wait_us - (now_us - oldest_admit_us));
+    if (earliest_deadline_us >= 0.0) {
+      budget = std::min(budget, std::max(0.0, earliest_deadline_us - now_us));
+    }
+    return budget;
   }
 
 private:

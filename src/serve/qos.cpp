@@ -43,7 +43,12 @@ void AdmissionQueue::configure_tenant(const std::string &name,
   Tenant &t = tenant(name);
   t.config = config;
   if (t.config.weight <= 0.0) t.config.weight = 1.0;
-  t.bucket = TokenBucket(config.rate_per_s, config.burst);
+  // A bucket whose burst is below one token could never accumulate the one
+  // token an admission costs, so a rate-limited tenant with burst < 1 would
+  // shed every request forever. Clamp at the QoS layer so the effective
+  // config is what introspection reports.
+  if (t.config.burst < 1.0) t.config.burst = 1.0;
+  t.bucket = TokenBucket(t.config.rate_per_s, t.config.burst);
 }
 
 support::Status AdmissionQueue::admit(PendingRequest &pending, double now_us,
@@ -71,6 +76,10 @@ support::Status AdmissionQueue::admit(PendingRequest &pending, double now_us,
                           [&](const PendingRequest &q) {
                             return q.request.priority < pending.request.priority;
                           });
+  admit_times_.insert(pending.admit_us);
+  if (pending.request.deadline_us >= 0.0) {
+    deadlines_.insert(pending.request.deadline_us);
+  }
   t.waiting.insert(pos, std::move(pending));
   ++size_;
   return support::Status::ok();
@@ -91,16 +100,21 @@ std::optional<PendingRequest> AdmissionQueue::pop(double /*now_us*/) {
   --size_;
   global_vtime_ = best->vtime;
   best->vtime += 1.0 / best->config.weight;
+  auto admit_it = admit_times_.find(out.admit_us);
+  if (admit_it != admit_times_.end()) admit_times_.erase(admit_it);
+  if (out.request.deadline_us >= 0.0) {
+    auto deadline_it = deadlines_.find(out.request.deadline_us);
+    if (deadline_it != deadlines_.end()) deadlines_.erase(deadline_it);
+  }
   return out;
 }
 
 double AdmissionQueue::oldest_admit_us() const {
-  if (size_ == 0) return 0.0;
-  double oldest = std::numeric_limits<double>::infinity();
-  for (const auto &[name, t] : tenants_) {
-    for (const auto &p : t.waiting) oldest = std::min(oldest, p.admit_us);
-  }
-  return oldest;
+  return admit_times_.empty() ? 0.0 : *admit_times_.begin();
+}
+
+double AdmissionQueue::earliest_deadline_us() const {
+  return deadlines_.empty() ? -1.0 : *deadlines_.begin();
 }
 
 std::size_t AdmissionQueue::tenant_depth(const std::string &name) const {

@@ -13,6 +13,7 @@
 #include <future>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "serve/request.hpp"
@@ -88,8 +89,13 @@ public:
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
   /// Earliest admit_us over all queued requests (0 when empty). The batcher
-  /// ages batches off this.
+  /// ages batches off this. O(log n): admit/pop maintain a running multiset
+  /// of admit times, so the dispatcher's wait loop never scans the queues.
   [[nodiscard]] double oldest_admit_us() const;
+  /// Earliest absolute deadline over all queued requests that carry one
+  /// (-1 when none). The dispatcher caps its batch-fill wait at this time so
+  /// an expired request is shed eagerly instead of aging in the queue.
+  [[nodiscard]] double earliest_deadline_us() const;
   [[nodiscard]] std::size_t tenant_depth(const std::string &name) const;
 
 private:
@@ -106,6 +112,12 @@ private:
   std::size_t size_ = 0;
   double global_vtime_ = 0.0;
   std::map<std::string, Tenant> tenants_;
+  /// Running minima maintained by admit()/pop(): admit times of every queued
+  /// request, and the absolute deadlines of the queued requests that have
+  /// one. Keeps oldest_admit_us()/earliest_deadline_us() off the O(queue)
+  /// scan the dispatcher wait loop would otherwise repeat per iteration.
+  std::multiset<double> admit_times_;
+  std::multiset<double> deadlines_;
 };
 
 }  // namespace everest::serve

@@ -92,6 +92,15 @@ support::Expected<std::future<Response>> Server::submit(Request request) {
   if (stopping_) {
     return support::Error::unavailable("serve: server is stopped");
   }
+  if (draining_) {
+    // Admitting here would keep the queue non-empty and livelock drain()'s
+    // idle predicate under sustained load; shed instead.
+    ++stats_.submitted;
+    ++stats_.shed_drain;
+    ++stats_.tenants[request.tenant].shed;
+    if (recorder_) recorder_->counter("serve.shed.drain").add(1);
+    return support::Error::unavailable("serve: server is draining");
+  }
   double now = clock_.now_us();
   if (request.deadline_us < 0.0 && options_.default_deadline_budget_us >= 0.0) {
     request.deadline_us = now + options_.default_deadline_budget_us;
@@ -192,10 +201,12 @@ void Server::dispatcher_loop(int worker_index) {
     while (!stopping_ && !draining_) {
       double now = clock_.now_us();
       if (batcher_.should_dispatch(queue_.size(), queue_.oldest_admit_us(),
-                                   now, /*draining=*/false)) {
+                                   now, /*draining=*/false,
+                                   queue_.earliest_deadline_us())) {
         break;
       }
-      double budget = batcher_.wait_budget_us(queue_.oldest_admit_us(), now);
+      double budget = batcher_.wait_budget_us(queue_.oldest_admit_us(), now,
+                                              queue_.earliest_deadline_us());
       auto status = work_cv_.wait_for(
           lock, std::chrono::duration<double, std::micro>(budget));
       if (queue_.empty()) break;  // another dispatcher took the work
@@ -324,9 +335,16 @@ void Server::execute_batch(std::vector<PendingRequest> batch,
         if (stream.size() != batch.size()) shape_ok = false;
       }
       if (!shape_ok) {
+        // A malformed result is a backend failure like any other: trip the
+        // breaker so a persistently malformed backend stops being retried
+        // first on every batch, and fail over to the next backend.
+        breakers_[i].on_failure(clock_.now_us());
         last_error = support::Error::internal(
             "serve: backend '" + backends_[i]->name() +
             "' returned streams whose length differs from the batch size");
+        if (recorder_ && i + 1 < backends_.size()) {
+          recorder_->counter("serve.failover").add(1);
+        }
         continue;
       }
       outputs = std::move(*result);
@@ -404,6 +422,11 @@ void Server::execute_batch(std::vector<PendingRequest> batch,
 ServerStats Server::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+std::size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 }  // namespace everest::serve

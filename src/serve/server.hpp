@@ -66,6 +66,10 @@ struct ServerStats {
   std::int64_t shed_queue = 0;
   std::int64_t shed_rate = 0;
   std::int64_t shed_deadline = 0;
+  /// Submits rejected because the server was draining. drain() flushes the
+  /// requests admitted before it began; concurrent submitters are shed with
+  /// Unavailable instead of being allowed to livelock the drain.
+  std::int64_t shed_drain = 0;
   std::int64_t batches = 0;
   std::int64_t failovers = 0;
   std::int64_t breaker_rejections = 0;
@@ -97,11 +101,15 @@ public:
   /// Submits a request. On admission returns a future resolving to the
   /// Response (which itself may carry a shed/failed status, e.g.
   /// DeadlineExceeded discovered at dispatch). Requests shed *at admission*
-  /// (queue bound, rate limit) fail fast here with Unavailable instead.
+  /// (queue bound, rate limit, server draining or stopped) fail fast here
+  /// with Unavailable instead.
   support::Expected<std::future<Response>> submit(Request request);
 
   /// Blocks until the queue is empty and no batch is in flight, flushing
-  /// partial batches immediately.
+  /// partial batches immediately. Submits racing a drain are shed with
+  /// Unavailable (otherwise a sustained submitter could keep the queue
+  /// non-empty forever and livelock the drain); submitting resumes once
+  /// drain() returns.
   void drain();
 
   /// Drains, then joins the dispatcher threads. Further submits fail.
@@ -115,6 +123,8 @@ public:
   }
 
   [[nodiscard]] ServerStats stats() const;
+  /// Requests currently waiting for a batch (the serve.queue_depth gauge).
+  [[nodiscard]] std::size_t queue_depth() const;
   [[nodiscard]] const std::vector<std::unique_ptr<Backend>> &backends() const {
     return backends_;
   }

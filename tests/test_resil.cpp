@@ -433,7 +433,7 @@ TEST(Failover, BreakerShedsARepeatedlyFailingPrimary) {
   }
   // Two launches trip the threshold; later runs skip the primary outright.
   EXPECT_GT(group.stats().breaker_rejections, 0);
-  EXPECT_EQ(group.breaker(0).state(), rs::CircuitBreaker::State::Open);
+  EXPECT_EQ(group.breaker_state(0), rs::CircuitBreaker::State::Open);
 }
 
 // ----------------------------------------------------------- network faults

@@ -7,9 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -723,4 +728,301 @@ fn agg(xs: Stream<f64>) -> Stream<f64> {
               er::Record{static_cast<double>(i)});
   }
   (*server)->stop();
+}
+
+// ------------------------------------------------- satellite regressions
+
+// The queue's oldest-admit / earliest-deadline views are maintained as
+// running minima by admit()/pop(). Differential check against shadow
+// multisets across a deterministic interleaving of admits and pops.
+TEST(AdmissionQueue, RunningMinimaMatchShadowAccounting) {
+  es::AdmissionQueue queue(256);
+  std::multiset<double> admits;
+  std::multiset<double> deadlines;
+  auto check = [&] {
+    EXPECT_EQ(queue.oldest_admit_us(),
+              admits.empty() ? 0.0 : *admits.begin());
+    EXPECT_EQ(queue.earliest_deadline_us(),
+              deadlines.empty() ? -1.0 : *deadlines.begin());
+  };
+  std::uint64_t lcg = 42;
+  auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>((lcg >> 33) % 10'000);
+  };
+  double now = 0.0;
+  for (int round = 0; round < 200; ++round) {
+    now += 1.0;
+    if (round % 3 != 2) {
+      auto pending =
+          make_pending(static_cast<std::uint64_t>(round),
+                       "tenant-" + std::to_string(round % 5), round % 3, now);
+      // Roughly half the requests carry a deadline.
+      pending.request.deadline_us = round % 2 == 0 ? now + next() : -1.0;
+      double admit_us = pending.admit_us;
+      double deadline_us = pending.request.deadline_us;
+      ASSERT_TRUE(queue.admit(pending, now).is_ok());
+      admits.insert(admit_us);
+      if (deadline_us >= 0.0) deadlines.insert(deadline_us);
+    } else {
+      auto popped = queue.pop(now);
+      if (popped.has_value()) {
+        admits.erase(admits.find(popped->admit_us));
+        if (popped->request.deadline_us >= 0.0)
+          deadlines.erase(deadlines.find(popped->request.deadline_us));
+      }
+    }
+    check();
+  }
+  while (auto popped = queue.pop(now)) {
+    admits.erase(admits.find(popped->admit_us));
+    if (popped->request.deadline_us >= 0.0)
+      deadlines.erase(deadlines.find(popped->request.deadline_us));
+    check();
+  }
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.oldest_admit_us(), 0.0);
+  EXPECT_EQ(queue.earliest_deadline_us(), -1.0);
+}
+
+TEST(DynamicBatcher, DeadlineCapsWaitBudgetAndForcesDispatch) {
+  es::DynamicBatcher batcher({/*max_batch=*/8, /*max_wait_us=*/100.0});
+  // A pending deadline already in the past forces an immediate cut even
+  // though neither the batch is full nor the oldest request aged out.
+  EXPECT_TRUE(batcher.should_dispatch(1, /*oldest=*/0.0, /*now=*/10.0,
+                                      /*draining=*/false,
+                                      /*earliest_deadline_us=*/5.0));
+  // A future deadline does not dispatch early...
+  EXPECT_FALSE(batcher.should_dispatch(1, 0.0, 10.0, false, 50.0));
+  // ...but it caps the wait budget: 30 us to the deadline beats the 90 us
+  // left on the batch-age budget.
+  EXPECT_EQ(batcher.wait_budget_us(0.0, 10.0, 40.0), 30.0);
+  // No deadline pending: the full batch-age budget applies.
+  EXPECT_EQ(batcher.wait_budget_us(0.0, 10.0, -1.0), 90.0);
+  EXPECT_EQ(batcher.wait_budget_us(0.0, 10.0), 90.0);
+  // Expired deadline: never sleep on it.
+  EXPECT_EQ(batcher.wait_budget_us(0.0, 10.0, 5.0), 0.0);
+}
+
+// Regression: with a huge max_wait_us and a non-full batch, an expired
+// deadline must still be shed eagerly. Before the earliest-deadline cap the
+// dispatcher would sleep out the full batch-age budget (5 s here) with the
+// expired request stuck in the queue.
+TEST(Server, ExpiredDeadlineIsShedEagerlyNotAfterMaxWait) {
+  es::ServerOptions options;
+  options.dispatchers = 1;
+  options.batch.max_batch = 64;
+  options.batch.max_wait_us = 5e6;  // 5 s: far beyond the test's patience
+  auto server = make_pipe_server(options, nullptr);
+  server->start();
+  es::Request req;
+  req.inputs["xs"] = {1.0};
+  req.deadline_us = 0.0;  // already expired on the server clock
+  auto submitted = server->submit(std::move(req));
+  ASSERT_TRUE(submitted.has_value());
+  ASSERT_EQ(submitted->wait_for(std::chrono::seconds(2)),
+            std::future_status::ready)
+      << "expired request sat in the queue behind the batch-age budget";
+  es::Response response = submitted->get();
+  ASSERT_FALSE(response.status.is_ok());
+  EXPECT_EQ(response.status.error().code_enum(),
+            esup::ErrorCode::DeadlineExceeded);
+  server->stop();
+}
+
+namespace {
+
+// Backend that blocks inside run_batch until released; used to hold a batch
+// in flight while a drain is pending.
+class GatedEchoBackend final : public es::Backend {
+public:
+  [[nodiscard]] const std::string &name() const override { return name_; }
+  [[nodiscard]] const std::vector<std::string> &input_names() const override {
+    return inputs_;
+  }
+
+  esup::Expected<std::map<std::string, er::Stream>> run_batch(
+      const std::map<std::string, er::Stream> &inputs) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_ = true;
+    entered_cv_.notify_all();
+    released_cv_.wait(lock, [this] { return released_; });
+    return inputs;
+  }
+
+  void wait_entered() {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait(lock, [this] { return entered_; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    released_cv_.notify_all();
+  }
+
+private:
+  std::string name_ = "gated-echo";
+  std::vector<std::string> inputs_{"xs"};
+  std::mutex mu_;
+  std::condition_variable entered_cv_;
+  std::condition_variable released_cv_;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+}  // namespace
+
+// Regression: submits racing a drain() must be shed with Unavailable. Before
+// the draining_ check in submit(), a sustained submitter could keep the
+// queue non-empty forever and livelock the drain; racing admits during the
+// flush were also silently accepted and then flushed, making drain()'s
+// completion point meaningless.
+TEST(Server, SubmitDuringDrainIsShedWithUnavailable) {
+  auto gated = std::make_unique<GatedEchoBackend>();
+  GatedEchoBackend *gate = gated.get();
+  std::vector<std::unique_ptr<es::Backend>> backends;
+  backends.push_back(std::move(gated));
+  es::ServerOptions options;
+  options.dispatchers = 1;
+  options.batch.max_batch = 1;
+  auto server = es::Server::create(std::move(backends), options, nullptr);
+  ASSERT_TRUE(server.has_value());
+  (*server)->start();
+
+  es::Request first;
+  first.inputs["xs"] = {1.0};
+  auto in_flight = (*server)->submit(std::move(first));
+  ASSERT_TRUE(in_flight.has_value());
+  gate->wait_entered();  // the batch is now stuck inside the backend
+
+  std::thread drainer([&] { (*server)->drain(); });
+  // The drain is blocked on the in-flight batch; concurrent submits must be
+  // shed with Unavailable instead of queueing behind the drain.
+  bool shed_during_drain = false;
+  for (int i = 0; i < 5'000 && !shed_during_drain; ++i) {
+    es::Request racing;
+    racing.inputs["xs"] = {2.0};
+    auto submitted = (*server)->submit(std::move(racing));
+    if (!submitted.has_value()) {
+      EXPECT_EQ(submitted.error().code_enum(), esup::ErrorCode::Unavailable);
+      EXPECT_NE(submitted.error().message.find("drain"), std::string::npos);
+      shed_during_drain = true;
+    } else {
+      // Raced ahead of the drain flag: the request was admitted and will be
+      // flushed by the drain.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_TRUE(shed_during_drain);
+  gate->release();
+  drainer.join();
+  EXPECT_TRUE(in_flight->get().status.is_ok());
+  EXPECT_GE((*server)->stats().shed_drain, 1);
+  (*server)->stop();
+}
+
+namespace {
+
+// Backend that returns streams one element short of the batch — the
+// wrong-length contract violation the Server must treat as a failure.
+class TruncatingBackend final : public es::Backend {
+public:
+  [[nodiscard]] const std::string &name() const override { return name_; }
+  [[nodiscard]] const std::vector<std::string> &input_names() const override {
+    return inputs_;
+  }
+
+  esup::Expected<std::map<std::string, er::Stream>> run_batch(
+      const std::map<std::string, er::Stream> &inputs) override {
+    ++calls;
+    std::map<std::string, er::Stream> out = inputs;
+    for (auto &[key, stream] : out)
+      if (!stream.empty()) stream.pop_back();
+    return out;
+  }
+
+  int calls = 0;
+
+private:
+  std::string name_ = "truncating";
+  std::vector<std::string> inputs_{"xs"};
+};
+
+}  // namespace
+
+// Regression: a backend returning wrong-length streams previously failed the
+// batch over to the next backend WITHOUT tripping its circuit breaker, so a
+// persistently malformed backend was retried first on every single batch.
+TEST(Server, MalformedBackendTripsItsBreaker) {
+  auto truncating = std::make_unique<TruncatingBackend>();
+  TruncatingBackend *malformed = truncating.get();
+  auto host = es::DfgBackend::create(pipe_graph(), pipe_registry(), {}, nullptr);
+  ASSERT_TRUE(host.has_value());
+  std::vector<std::unique_ptr<es::Backend>> backends;
+  backends.push_back(std::move(truncating));
+  backends.push_back(std::move(*host));
+  es::ServerOptions options;
+  options.dispatchers = 1;
+  options.batch.max_batch = 2;
+  options.breaker.failure_threshold = 1;
+  options.breaker.open_us = 1e12;  // stays open for the rest of the test
+  auto server = es::Server::create(std::move(backends), options, nullptr);
+  ASSERT_TRUE(server.has_value());
+
+  auto run_batch_of_two = [&] {
+    std::vector<std::future<es::Response>> futures;
+    for (int i = 0; i < 2; ++i) {
+      es::Request req;
+      req.inputs["xs"] = {static_cast<double>(i)};
+      auto submitted = (*server)->submit(std::move(req));
+      ASSERT_TRUE(submitted.has_value());
+      futures.push_back(std::move(*submitted));
+    }
+    (*server)->start();
+    (*server)->drain();
+    for (auto &future : futures) {
+      es::Response response = future.get();
+      ASSERT_TRUE(response.status.is_ok());
+      EXPECT_EQ(response.backend, "host-cpu") << "must fail over";
+      EXPECT_TRUE(response.degraded);
+    }
+  };
+
+  run_batch_of_two();
+  EXPECT_EQ(malformed->calls, 1);
+  run_batch_of_two();
+  // The breaker tripped by the malformed first batch must have skipped the
+  // backend entirely on the second one.
+  EXPECT_EQ(malformed->calls, 1);
+  auto stats = (*server)->stats();
+  EXPECT_GE(stats.breaker_rejections, 1);
+  EXPECT_EQ(stats.completed, 4);
+}
+
+// Regression guard: a tenant configured with burst < 1 must still be able to
+// admit one request at a time — the burst is clamped to >= 1 at
+// configure_tenant (and defensively in TokenBucket itself). An unclamped
+// sub-1 burst could never accumulate a whole token, permanently shedding the
+// tenant.
+TEST(Server, ConfigureTenantClampsSubUnityBurst) {
+  es::ServerOptions options;
+  es::TenantConfig tiny;
+  tiny.rate_per_s = 1e-9;  // effectively no refill within the test
+  tiny.burst = 0.25;
+  options.tenants["t"] = tiny;
+  auto server = make_pipe_server(options, nullptr);
+  es::Request first;
+  first.tenant = "t";
+  first.inputs["xs"] = {1.0};
+  auto a = server->submit(std::move(first));
+  ASSERT_TRUE(a.has_value()) << "burst must clamp to 1, not shed forever";
+  es::Request second;
+  second.tenant = "t";
+  second.inputs["xs"] = {2.0};
+  auto b = server->submit(std::move(second));
+  ASSERT_FALSE(b.has_value()) << "exactly one token at burst 1";
+  EXPECT_EQ(b.error().code_enum(), esup::ErrorCode::Unavailable);
+  server->start();
+  server->drain();
+  EXPECT_TRUE(a->get().status.is_ok());
 }

@@ -1,0 +1,381 @@
+// everest::serve::Cluster tests: consistent-hash ring determinism, balance
+// and minimal reshuffle; byte-identity of sharded serving against a single
+// node; load-aware forwarding priced through the network model; front-door
+// failover when nodes shed; and VF elasticity via autoscale(). Labeled
+// "concurrency" + "serving" so the tsan and asan presets both run the
+// cluster's dispatcher threads and concurrent submitters.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "frontend/condrust_parser.hpp"
+#include "platform/network.hpp"
+#include "serve/cluster.hpp"
+
+namespace es = everest::serve;
+namespace er = everest::runtime;
+namespace ep = everest::platform;
+namespace esup = everest::support;
+
+namespace {
+
+constexpr const char *kPipe = R"(
+fn serve_pipe(xs: Stream<f64>) -> Stream<f64> {
+    let scaled = mul2(xs);
+    let biased = add1(scaled);
+    return biased;
+}
+)";
+
+std::shared_ptr<er::NodeRegistry> pipe_registry() {
+  auto registry = std::make_shared<er::NodeRegistry>();
+  registry->register_node("mul2",
+                          [](const std::vector<const er::Record *> &in) {
+                            er::Record out = *in.at(0);
+                            for (double &v : out) v *= 2.0;
+                            return out;
+                          });
+  registry->register_node("add1",
+                          [](const std::vector<const er::Record *> &in) {
+                            er::Record out = *in.at(0);
+                            for (double &v : out) v += 1.0;
+                            return out;
+                          });
+  return registry;
+}
+
+std::shared_ptr<const everest::ir::Module> pipe_graph() {
+  auto parsed = everest::frontend::parse_condrust(kPipe);
+  if (!parsed) {
+    ADD_FAILURE() << parsed.error().message;
+    return nullptr;
+  }
+  return *parsed;
+}
+
+std::unique_ptr<es::Cluster> make_cluster(es::ClusterOptions options) {
+  auto cluster = es::Cluster::create(pipe_graph(), pipe_registry(), options);
+  EXPECT_TRUE(cluster.has_value())
+      << (cluster ? "" : cluster.error().message);
+  return cluster ? std::move(*cluster) : nullptr;
+}
+
+es::Request make_request(const std::string &tenant, double value) {
+  es::Request request;
+  request.tenant = tenant;
+  request.inputs["xs"] = {value, value * 0.5};
+  return request;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- hash ring
+
+TEST(HashRing, RoutingIsDeterministic) {
+  es::HashRing a(8, 96);
+  es::HashRing b(8, 96);
+  for (int t = 0; t < 64; ++t) {
+    const std::string tenant = "tenant-" + std::to_string(t);
+    EXPECT_EQ(a.route(tenant), b.route(tenant));
+    EXPECT_EQ(a.replicas(tenant, 3), b.replicas(tenant, 3));
+  }
+}
+
+TEST(HashRing, ReplicasAreDistinctAndLedByThePrimary) {
+  es::HashRing ring(8, 96);
+  for (int t = 0; t < 64; ++t) {
+    const std::string tenant = "tenant-" + std::to_string(t);
+    auto replicas = ring.replicas(tenant, 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(replicas.front(), ring.route(tenant));
+    std::sort(replicas.begin(), replicas.end());
+    EXPECT_EQ(std::unique(replicas.begin(), replicas.end()), replicas.end());
+  }
+  // Asking for more candidates than nodes clamps to the node count.
+  EXPECT_EQ(ring.replicas("tenant-0", 99).size(), 8u);
+  EXPECT_EQ(es::HashRing(1, 16).replicas("tenant-0", 3).size(), 1u);
+}
+
+TEST(HashRing, SpreadsTenantsAcrossAllNodes) {
+  es::HashRing ring(8, 96);
+  std::map<int, int> primaries;
+  const int kTenants = 512;
+  for (int t = 0; t < kTenants; ++t)
+    primaries[ring.route("tenant-" + std::to_string(t))]++;
+  ASSERT_EQ(primaries.size(), 8u) << "every node must own some tenants";
+  for (const auto &[node, count] : primaries) {
+    EXPECT_GT(count, kTenants / 8 / 4)
+        << "node " << node << " owns far too few tenants";
+    EXPECT_LT(count, kTenants / 8 * 4)
+        << "node " << node << " owns far too many tenants";
+  }
+}
+
+TEST(HashRing, GrowingTheClusterOnlyRemapsToTheNewNode) {
+  // Consistent hashing's defining property: adding node N to an N-node ring
+  // only moves the tenants whose arc the new node's points claim — every
+  // tenant either keeps its primary or moves to the NEW node, never between
+  // old nodes.
+  es::HashRing before(7, 96);
+  es::HashRing after(8, 96);
+  int moved = 0;
+  const int kTenants = 512;
+  for (int t = 0; t < kTenants; ++t) {
+    const std::string tenant = "tenant-" + std::to_string(t);
+    const int old_node = before.route(tenant);
+    const int new_node = after.route(tenant);
+    if (old_node != new_node) {
+      EXPECT_EQ(new_node, 7) << "tenant moved between pre-existing nodes";
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, kTenants / 4) << "reshuffle should be ~1/8 of tenants";
+}
+
+// ----------------------------------------------------------------- cluster
+
+TEST(Cluster, ShardedOutputsAreByteIdenticalToSingleNode) {
+  const int kTenants = 16;
+  const int kPerTenant = 4;
+  std::map<int, std::map<std::string, er::Record>> reference;
+  for (int nodes : {1, 4}) {
+    es::ClusterOptions options;
+    options.nodes = nodes;
+    options.replicas = 2;
+    options.server.batch.max_batch = 4;
+    auto cluster = make_cluster(options);
+    ASSERT_NE(cluster, nullptr);
+    std::vector<std::pair<int, std::future<es::Response>>> futures;
+    for (int r = 0; r < kPerTenant; ++r) {
+      for (int t = 0; t < kTenants; ++t) {
+        const int index = r * kTenants + t;
+        auto submitted = cluster->submit(make_request(
+            "tenant-" + std::to_string(t), static_cast<double>(index)));
+        ASSERT_TRUE(submitted.has_value());
+        futures.emplace_back(index, std::move(*submitted));
+      }
+    }
+    cluster->start();
+    cluster->drain();
+    std::map<int, std::map<std::string, er::Record>> outputs;
+    for (auto &[index, future] : futures) {
+      es::Response response = future.get();
+      ASSERT_TRUE(response.status.is_ok()) << response.status.error().message;
+      outputs[index] = response.outputs;
+    }
+    cluster->stop();
+    if (nodes == 1) {
+      reference = std::move(outputs);
+    } else {
+      EXPECT_EQ(outputs, reference)
+          << "sharded outputs differ from the single-node run";
+    }
+  }
+}
+
+TEST(Cluster, ForwardingIsPricedByTheNetworkModel) {
+  es::ClusterOptions options;
+  options.nodes = 4;
+  auto cluster = make_cluster(options);
+  ASSERT_NE(cluster, nullptr);
+  // The forward price is the model's round trip: request out, response back.
+  const double one_way =
+      ep::message_seconds(options.network, options.request_bytes) * 1e6;
+  EXPECT_DOUBLE_EQ(cluster->forward_cost_us(options.request_bytes),
+                   2.0 * one_way);
+  EXPECT_GT(cluster->forward_cost_us(options.request_bytes),
+            2.0 * options.network.latency_us);
+  // More bytes cost more fabric time.
+  EXPECT_GT(cluster->forward_cost_us(1 << 20),
+            cluster->forward_cost_us(4'096));
+  cluster->stop();
+}
+
+TEST(Cluster, BackloggedPrimarySpillsToReplicasAndBooksTheFabricTime) {
+  es::ClusterOptions options;
+  options.nodes = 2;
+  options.replicas = 2;
+  options.server.batch.max_batch = 4;
+  // Make queueing expensive relative to the fabric round trip so a single
+  // hot tenant spills from its primary onto the replica.
+  options.service_estimate_us = 500.0;
+  auto cluster = make_cluster(options);
+  ASSERT_NE(cluster, nullptr);
+  const std::string tenant = "hot-tenant";
+  const int primary = cluster->primary_node(tenant);
+  std::vector<std::future<es::Response>> futures;
+  for (int i = 0; i < 64; ++i) {
+    auto submitted =
+        cluster->submit(make_request(tenant, static_cast<double>(i)));
+    ASSERT_TRUE(submitted.has_value());
+    futures.push_back(std::move(*submitted));
+  }
+  cluster->start();
+  cluster->drain();
+  for (auto &future : futures) EXPECT_TRUE(future.get().status.is_ok());
+  auto stats = cluster->stats();
+  cluster->stop();
+  EXPECT_GT(stats.forwarded, 0) << "hot tenant never spilled off its primary";
+  std::int64_t forwarded_in = 0;
+  double forward_net_us = 0.0;
+  for (const auto &node : stats.nodes) {
+    forwarded_in += node.forwarded_in;
+    forward_net_us += node.forward_net_us;
+  }
+  EXPECT_EQ(forwarded_in, stats.forwarded);
+  EXPECT_EQ(stats.nodes.at(static_cast<std::size_t>(primary)).forwarded_in, 0)
+      << "nothing forwards INTO the tenant's own primary";
+  // Every forward is booked at exactly the model's round-trip price.
+  EXPECT_DOUBLE_EQ(
+      forward_net_us,
+      static_cast<double>(stats.forwarded) *
+          cluster->forward_cost_us(options.request_bytes));
+}
+
+TEST(Cluster, FailsOverAcrossNodesAndShedsOnlyWhenAllCandidatesDo) {
+  es::ClusterOptions options;
+  options.nodes = 2;
+  options.replicas = 2;
+  options.server.queue_bound = 4;  // per tenant per node
+  // Keep the breaker out of the way: this test is about queue-bound sheds.
+  options.node_breaker.failure_threshold = 1'000;
+  auto cluster = make_cluster(options);
+  ASSERT_NE(cluster, nullptr);
+  const std::string tenant = "bounded-tenant";
+  int admitted = 0;
+  int shed = 0;
+  esup::Error last_error = esup::Error::internal("no shed seen");
+  for (int i = 0; i < 16; ++i) {
+    auto submitted =
+        cluster->submit(make_request(tenant, static_cast<double>(i)));
+    if (submitted.has_value()) {
+      ++admitted;
+    } else {
+      ++shed;
+      last_error = submitted.error();
+    }
+  }
+  // Two nodes x queue_bound 4: the front door fails over to the replica
+  // before shedding, so exactly both bounds fill before anything sheds.
+  EXPECT_EQ(admitted, 8);
+  EXPECT_EQ(shed, 8);
+  EXPECT_EQ(last_error.code_enum(), esup::ErrorCode::Unavailable);
+  EXPECT_NE(last_error.message.find("every candidate"), std::string::npos)
+      << last_error.message;
+  auto stats = cluster->stats();
+  EXPECT_EQ(stats.admitted, 8);
+  EXPECT_EQ(stats.shed, 8);
+  EXPECT_EQ(stats.submitted, 16);
+  for (const auto &node : stats.nodes)
+    EXPECT_EQ(node.routed, 4) << node.name << " queue bound not respected";
+  cluster->stop();
+}
+
+TEST(Cluster, AutoscaleFollowsTheQueueDepthGauge) {
+  es::ClusterOptions options;
+  options.nodes = 1;
+  options.min_vfs = 1;
+  options.max_vfs = 3;
+  options.scale_up_depth = 8.0;
+  options.scale_down_depth = 1.0;
+  auto cluster = make_cluster(options);
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(cluster->stats().nodes.at(0).vfs, 1);
+
+  // No backlog: no scale-up.
+  auto idle = cluster->autoscale();
+  EXPECT_EQ(idle.attached, 0);
+
+  std::vector<std::future<es::Response>> futures;
+  for (int i = 0; i < 32; ++i) {
+    auto submitted =
+        cluster->submit(make_request("tenant-" + std::to_string(i % 4),
+                                     static_cast<double>(i)));
+    ASSERT_TRUE(submitted.has_value());
+    futures.push_back(std::move(*submitted));
+  }
+  // Backlog of 32 >= watermark 8: one VF plugs per pass up to max_vfs.
+  EXPECT_EQ(cluster->autoscale().attached, 1);
+  EXPECT_EQ(cluster->autoscale().attached, 1);
+  EXPECT_EQ(cluster->autoscale().attached, 0) << "max_vfs reached";
+  EXPECT_EQ(cluster->stats().nodes.at(0).vfs, 3);
+
+  cluster->start();
+  cluster->drain();
+  for (auto &future : futures) EXPECT_TRUE(future.get().status.is_ok());
+
+  // Queue drained: scale back down to the floor, one VF per pass.
+  EXPECT_EQ(cluster->autoscale().detached, 1);
+  EXPECT_EQ(cluster->autoscale().detached, 1);
+  EXPECT_EQ(cluster->autoscale().detached, 0) << "min_vfs is the floor";
+  auto stats = cluster->stats();
+  EXPECT_EQ(stats.nodes.at(0).vfs, 1);
+  EXPECT_EQ(stats.scale_ups, 2);
+  EXPECT_EQ(stats.scale_downs, 2);
+
+  // Serving still works on the shrunk replica ring.
+  auto after = cluster->submit(make_request("tenant-0", 7.0));
+  ASSERT_TRUE(after.has_value());
+  cluster->drain();
+  EXPECT_TRUE(after->get().status.is_ok());
+  cluster->stop();
+}
+
+TEST(Cluster, ConcurrentSubmittersAcrossNodesAllComplete) {
+  es::ClusterOptions options;
+  options.nodes = 4;
+  options.replicas = 2;
+  options.server.batch.max_batch = 8;
+  options.server.batch.max_wait_us = 50.0;
+  auto cluster = make_cluster(options);
+  ASSERT_NE(cluster, nullptr);
+  cluster->start();
+  const int kThreads = 4, kPerThread = 32;
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::future<es::Response>>> futures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto submitted = cluster->submit(
+            make_request("tenant-" + std::to_string((t * kPerThread + i) % 8),
+                         static_cast<double>(i)));
+        if (submitted.has_value())
+          futures[static_cast<std::size_t>(t)].push_back(
+              std::move(*submitted));
+      }
+    });
+  }
+  for (auto &client : clients) client.join();
+  cluster->drain();
+  std::size_t completed = 0;
+  for (auto &lane : futures) {
+    for (auto &future : lane) {
+      if (future.get().status.is_ok()) ++completed;
+    }
+  }
+  cluster->stop();
+  EXPECT_EQ(completed, static_cast<std::size_t>(kThreads * kPerThread));
+  auto stats = cluster->stats();
+  EXPECT_EQ(stats.admitted, kThreads * kPerThread);
+  EXPECT_EQ(stats.shed, 0);
+}
+
+TEST(Cluster, CreateValidatesItsOptions) {
+  es::ClusterOptions bad_nodes;
+  bad_nodes.nodes = 0;
+  EXPECT_FALSE(
+      es::Cluster::create(pipe_graph(), pipe_registry(), bad_nodes).has_value());
+  es::ClusterOptions bad_vfs;
+  bad_vfs.min_vfs = 3;
+  bad_vfs.max_vfs = 2;
+  EXPECT_FALSE(
+      es::Cluster::create(pipe_graph(), pipe_registry(), bad_vfs).has_value());
+}
