@@ -9,10 +9,13 @@
 // wall clock), asserts the two produce byte-identical modules, and writes
 // BENCH_rewrite.json.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "dialects/registry.hpp"
@@ -25,6 +28,7 @@
 #include "frontend/condrust_parser.hpp"
 #include "frontend/ekl_parser.hpp"
 #include "numerics/tensor.hpp"
+#include "support/alloc_hook.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
 #include "transforms/canonicalize.hpp"
@@ -128,6 +132,50 @@ everest::ir::Module build_pass_module(int num_funcs, int ops_per_func) {
     m.body().attach(func);
   }
   return m;
+}
+
+/// Module clone the way it worked before the arena fast path, kept in-tree
+/// as the measured baseline: per-op heap vectors for operands and result
+/// types, a node-based unordered_map for the value remap, and per-key
+/// attribute copies. This is exactly the allocation profile clone_module's
+/// fast path (exact-capacity inline storage, open-addressed remap table,
+/// COW attribute/type handles) took off the global heap.
+void generic_clone_block(
+    const everest::ir::Block &src, everest::ir::Block &dst,
+    std::unordered_map<const everest::ir::Value *, everest::ir::Value *> &map) {
+  namespace ei = everest::ir;
+  for (std::size_t i = 0; i < src.num_arguments(); ++i)
+    map[&src.argument(i)] = &dst.add_argument(src.argument(i).type());
+  for (const ei::Operation &op : src) {
+    std::vector<ei::Value *> operands;
+    operands.reserve(op.num_operands());
+    for (std::size_t i = 0; i < op.num_operands(); ++i)
+      operands.push_back(map.at(op.operand(i)));
+    std::vector<ei::Type> result_types;
+    result_types.reserve(op.num_results());
+    for (std::size_t i = 0; i < op.num_results(); ++i)
+      result_types.push_back(op.result(i)->type());
+    ei::Operation *cloned =
+        ei::Operation::create(dst.arena(), op.name_symbol(), operands,
+                              result_types, {}, op.num_regions());
+    for (const auto &attr : op.attributes())
+      cloned->set_attr(attr.first, attr.second);
+    for (std::size_t i = 0; i < op.num_results(); ++i)
+      map[op.result(i)] = cloned->result(i);
+    dst.attach(cloned);
+    for (std::size_t r = 0; r < op.num_regions(); ++r)
+      for (const ei::Block &block : op.region(r).blocks())
+        generic_clone_block(block, cloned->region(r).add_block(), map);
+  }
+}
+
+everest::ir::Module generic_clone_module(const everest::ir::Module &module) {
+  everest::ir::Module copy;
+  for (const auto &attr : module.op().attributes())
+    copy.op().set_attr(attr.first, attr.second);
+  std::unordered_map<const everest::ir::Value *, everest::ir::Value *> map;
+  generic_clone_block(module.body(), copy.body(), map);
+  return copy;
 }
 
 /// Canonicalize-as-a-func-pass pipeline over `m`; optional pool and cache.
@@ -376,6 +424,82 @@ output r
   // (a) Pass pipeline on a 24-func module.
   const int kFuncs = 24, kOpsPerFunc = 40, kReps = 5;
   everest::ir::Module pass_ref = build_pass_module(kFuncs, kOpsPerFunc);
+
+  // (a0) clone_module: the arena fast path vs the generic baseline it
+  // replaced. Byte identity against the source text first, then best-of wall
+  // clock, then the allocation story when the counting hook is live (it is
+  // stubbed out under the sanitizer presets).
+  const std::size_t clone_ops = pass_ref.op_count();
+  const std::string clone_ref_text = pass_ref.str();
+  bool clone_identical;
+  {
+    everest::ir::Module fast = everest::ir::clone_module(pass_ref);
+    everest::ir::Module generic = generic_clone_module(pass_ref);
+    clone_identical =
+        fast.str() == clone_ref_text && generic.str() == clone_ref_text;
+  }
+  const int kCloneReps = 20;
+  double clone_fast_ms = 0.0, clone_generic_ms = 0.0;
+  for (int r = 0; r < kCloneReps; ++r) {
+    double ms =
+        wall_ms([&] { everest::ir::Module m = everest::ir::clone_module(pass_ref); });
+    if (r == 0 || ms < clone_fast_ms) clone_fast_ms = ms;
+    ms = wall_ms([&] { everest::ir::Module m = generic_clone_module(pass_ref); });
+    if (r == 0 || ms < clone_generic_ms) clone_generic_ms = ms;
+  }
+  double clone_speedup =
+      clone_fast_ms > 0.0 ? clone_generic_ms / clone_fast_ms : 0.0;
+
+  const bool alloc_available = everest::support::alloc_counter_available();
+  double allocs_per_op = 0.0, generic_allocs_per_op = 0.0;
+  if (alloc_available) {
+    everest::support::alloc_counter_reset();
+    everest::support::alloc_counter_enable(true);
+    {
+      everest::ir::Module counted = everest::ir::clone_module(pass_ref);
+      everest::support::alloc_counter_enable(false);
+    }
+    allocs_per_op = static_cast<double>(everest::support::alloc_counter_news()) /
+                    static_cast<double>(clone_ops);
+    everest::support::alloc_counter_reset();
+    everest::support::alloc_counter_enable(true);
+    {
+      everest::ir::Module counted = generic_clone_module(pass_ref);
+      everest::support::alloc_counter_enable(false);
+    }
+    generic_allocs_per_op =
+        static_cast<double>(everest::support::alloc_counter_news()) /
+        static_cast<double>(clone_ops);
+  }
+  // ~zero heap allocations per cloned op: arena slabs and the remap table
+  // amortize to a small fraction of an allocation per op.
+  bool clone_ok = clone_identical && clone_speedup >= 1.5 &&
+                  (!alloc_available || allocs_per_op <= 0.25);
+  {
+    auto cl = everest::support::Json::object();
+    cl.set("module_ops", static_cast<std::int64_t>(clone_ops));
+    cl.set("fast_ms", clone_fast_ms);
+    cl.set("generic_ms", clone_generic_ms);
+    cl.set("speedup_vs_generic", clone_speedup);
+    cl.set("target_speedup", 1.5);
+    cl.set("byte_identical", clone_identical);
+    cl.set("alloc_counter_available", alloc_available);
+    cl.set("allocs_per_cloned_op", allocs_per_op);
+    cl.set("generic_allocs_per_cloned_op", generic_allocs_per_op);
+    cjson.set("clone", std::move(cl));
+  }
+  std::printf("clone_module (%zu ops): fast %.3fms vs generic %.3fms "
+              "(%.2fx), %s\n",
+              clone_ops, clone_fast_ms, clone_generic_ms, clone_speedup,
+              clone_identical ? "byte-identical" : "DIVERGED");
+  if (alloc_available)
+    std::printf("clone heap traffic: %.4f allocs/op fast vs %.2f allocs/op "
+                "generic\n",
+                allocs_per_op, generic_allocs_per_op);
+  else
+    std::printf("clone heap traffic: alloc counter stubbed (sanitizer "
+                "build), gate skipped\n");
+
   everest::support::ThreadPool pass_pool(4);
   double pass_serial_ms = 0.0, pass_parallel_ms = 0.0;
   double pass_cold_ms = 0.0, pass_warm_ms = 0.0;
@@ -446,20 +570,43 @@ output r
     jobs.push_back(std::move(job));
   }
 
+  // Serial and parallel cold compiles, best of three each: the parallel
+  // speedup is a gated claim, so both sides get the same noise treatment as
+  // the warm runs below (fresh result vectors keep destruction of the
+  // previous run outside the timed region).
   everest::sdk::Basecamp serial_bc;
   std::vector<everest::support::Expected<everest::sdk::CompileResult>>
       serial_results;
-  double compile_serial_ms =
-      wall_ms([&] { serial_results = serial_bc.compile_many(jobs, 1); });
+  double compile_serial_ms = 0.0;
+  for (int r = 0; r < 3; ++r) {
+    std::vector<everest::support::Expected<everest::sdk::CompileResult>> run;
+    double ms = wall_ms([&] { run = serial_bc.compile_many(jobs, 1); });
+    if (r == 0 || ms < compile_serial_ms) compile_serial_ms = ms;
+    serial_results = std::move(run);
+  }
   std::string compile_serial_text = results_text(serial_results);
 
   everest::sdk::Basecamp parallel_bc;
   std::vector<everest::support::Expected<everest::sdk::CompileResult>>
       parallel_results;
-  double compile_parallel_ms =
-      wall_ms([&] { parallel_results = parallel_bc.compile_many(jobs, 4); });
+  double compile_parallel_ms = 0.0;
+  for (int r = 0; r < 3; ++r) {
+    std::vector<everest::support::Expected<everest::sdk::CompileResult>> run;
+    double ms = wall_ms([&] { run = parallel_bc.compile_many(jobs, 4); });
+    if (r == 0 || ms < compile_parallel_ms) compile_parallel_ms = ms;
+    parallel_results = std::move(run);
+  }
   bool compile_parallel_identical =
       results_text(parallel_results) == compile_serial_text;
+  double compile_parallel_speedup =
+      compile_parallel_ms > 0.0 ? compile_serial_ms / compile_parallel_ms : 0.0;
+  // The speedup floor scales with the machine: four workers must beat serial
+  // by >=1.25x wherever there are cores to run them; on a single-core host
+  // parallelism cannot win, so the gate degrades to "the worker pool costs
+  // at most modest overhead" instead of demanding the impossible.
+  const unsigned hw_cores =
+      std::max(1u, std::thread::hardware_concurrency());
+  const double parallel_target = hw_cores >= 2 ? 1.25 : 0.80;
 
   everest::sdk::CompileCache cache;
   everest::sdk::Basecamp cached_bc;
@@ -521,6 +668,9 @@ output r
     c.set("kernels", static_cast<std::int64_t>(kKernels));
     c.set("serial_cold_ms", compile_serial_ms);
     c.set("parallel_cold_ms", compile_parallel_ms);
+    c.set("parallel_speedup", compile_parallel_speedup);
+    c.set("parallel_target_speedup", parallel_target);
+    c.set("hardware_concurrency", static_cast<std::int64_t>(hw_cores));
     c.set("parallel_byte_identical", compile_parallel_identical);
     c.set("cached_cold_ms", compile_cold_ms);
     c.set("incremental_ms", compile_warm_ms);
@@ -537,10 +687,10 @@ output r
     e.set("only_edited_kernel_recompiled", edit_incremental);
     cjson.set("one_kernel_edit", std::move(e));
   }
-  std::printf("compile_many (%d kernels): serial %.1fms, parallel %.1fms, "
-              "incremental %.1fms (%.1fx)%s\n",
+  std::printf("compile_many (%d kernels): serial %.1fms, parallel %.1fms "
+              "(%.2fx), incremental %.1fms (%.1fx)%s\n",
               kKernels, compile_serial_ms, compile_parallel_ms,
-              compile_warm_ms, incremental_speedup,
+              compile_parallel_speedup, compile_warm_ms, incremental_speedup,
               compile_warm_identical ? "" : " DIVERGED");
   std::printf("one-kernel edit: content hits %lld/%d, pass misses %lld "
               "(expect 1) -> %s\n",
@@ -549,9 +699,10 @@ output r
               edit_incremental ? "only the edited kernel recompiled"
                                : "INVARIANT VIOLATED");
 
-  bool compile_ok = pass_ok && pass_identical && compile_parallel_identical &&
-                    compile_warm_identical && incremental_speedup >= 3.0 &&
-                    edit_incremental;
+  bool compile_ok = pass_ok && pass_identical && clone_ok &&
+                    compile_parallel_identical && compile_warm_identical &&
+                    compile_parallel_speedup >= parallel_target &&
+                    incremental_speedup >= 3.0 && edit_incremental;
   cjson.set("target_speedup", 3.0);
   cjson.set("pass_pipeline_ok", pass_ok);
   cjson.set("ok", compile_ok);

@@ -33,6 +33,8 @@ public:
     std::size_t allocations = 0;     ///< allocate() calls since last reset.
     std::size_t slabs = 0;           ///< Live slab count.
     std::size_t resets = 0;          ///< Lifetime reset() count.
+    std::size_t high_water = 0;      ///< Lifetime peak of bytes_used.
+    std::size_t use_nodes = 0;       ///< Use-list slots allocated since reset.
   };
 
   explicit Arena(std::size_t slab_bytes = kDefaultSlabBytes)
@@ -74,6 +76,51 @@ public:
     return obj;
   }
 
+  /// Constructs a T with `trailing_bytes` of uninitialized storage appended
+  /// in the same bump allocation, starting at `(char *)obj + sizeof(T)`.
+  /// Operation uses this for its inline operand/result/region arrays: one
+  /// allocation, one cache-friendly span, no per-array bookkeeping. Callers
+  /// must guarantee the trailing element types need no more alignment than
+  /// T itself (static_asserted at the call sites).
+  template <typename T, typename... Args>
+  T *create_with_trailing(std::size_t trailing_bytes, Args &&...args) {
+    void *mem = nullptr;
+    DtorRecord *record = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      mem = allocate_locked(sizeof(T) + trailing_bytes, alignof(T));
+      if constexpr (!std::is_trivially_destructible_v<T>) {
+        record = static_cast<DtorRecord *>(
+            allocate_locked(sizeof(DtorRecord), alignof(DtorRecord)));
+      }
+    }
+    T *obj = new (mem) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      record->object = obj;
+      record->dtor = [](void *p) { static_cast<T *>(p)->~T(); };
+      std::lock_guard<std::mutex> lock(mu_);
+      record->prev = dtors_;
+      dtors_ = record;
+    }
+    return obj;
+  }
+
+  /// Uninitialized array of a trivially-destructible element type (operand
+  /// spill arrays, result/region pointer tables). The array is never freed
+  /// individually — growth abandons the old array in place.
+  template <typename T>
+  T *allocate_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena arrays never run element destructors");
+    return static_cast<T *>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Accounts `count` freshly allocated use-list slots (Stats::use_nodes).
+  void note_use_nodes(std::size_t count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.use_nodes += count;
+  }
+
   /// Destroys every object (reverse construction order) and recycles the
   /// slabs. Every pointer previously handed out — including tombstoned
   /// ops — is invalid afterwards.
@@ -84,6 +131,7 @@ public:
     if (!slabs_.empty()) slabs_.front().used = 0;
     stats_.bytes_used = 0;
     stats_.allocations = 0;
+    stats_.use_nodes = 0;
     stats_.slabs = slabs_.size();
     stats_.bytes_reserved = slabs_.empty() ? 0 : slabs_.front().cap;
     ++stats_.resets;
@@ -118,6 +166,8 @@ private:
       if (at + size <= top.cap) {
         top.used = at + size;
         stats_.bytes_used += size;
+        if (stats_.bytes_used > stats_.high_water)
+          stats_.high_water = stats_.bytes_used;
         ++stats_.allocations;
         return top.data.get() + at;
       }
@@ -134,6 +184,8 @@ private:
     std::size_t at = aligned_offset(top, align);
     top.used = at + size;
     stats_.bytes_used += size;
+    if (stats_.bytes_used > stats_.high_water)
+      stats_.high_water = stats_.bytes_used;
     ++stats_.allocations;
     return top.data.get() + at;
   }

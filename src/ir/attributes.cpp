@@ -10,16 +10,30 @@
 
 namespace everest::ir {
 
+const AttrDict::Items &AttrDict::empty_items() {
+  static const Items empty;
+  return empty;
+}
+
+AttrDict::Items &AttrDict::mutable_items() {
+  if (!items_)
+    items_ = std::make_shared<Items>();
+  else if (items_.use_count() > 1)
+    items_ = std::make_shared<Items>(*items_);
+  return *items_;
+}
+
 void AttrDict::set(Symbol key, Attribute value) {
-  auto it = items_.begin();
-  for (; it != items_.end(); ++it) {
+  Items &items = mutable_items();
+  auto it = items.begin();
+  for (; it != items.end(); ++it) {
     if (it->first == key) {
       it->second = std::move(value);
       return;
     }
     if (key < it->first) break;
   }
-  items_.insert(it, NamedAttribute(key, std::move(value)));
+  items.insert(it, NamedAttribute(key, std::move(value)));
 }
 
 std::vector<std::int64_t> Attribute::as_int_vector() const {

@@ -108,6 +108,10 @@ using NamedAttribute = std::pair<Symbol, Attribute>;
 /// over contiguous storage — no per-node heap traffic like std::map — and
 /// iteration order stays lexicographic, which the printer relies on for
 /// canonical output.
+///
+/// Storage is copy-on-write: copying a dictionary (every op clone does)
+/// shares the entry vector behind a refcount; the first set() on a shared
+/// dictionary takes a private copy. An empty dictionary holds no storage.
 class AttrDict {
 public:
   AttrDict() = default;
@@ -124,13 +128,13 @@ public:
   /// Returns the value or nullptr. The Symbol overload is a pure pointer
   /// scan; the string overload compares spellings without interning.
   [[nodiscard]] const Attribute *find(Symbol key) const {
-    for (const auto &item : items_) {
+    for (const auto &item : items()) {
       if (item.first == key) return &item.second;
     }
     return nullptr;
   }
   [[nodiscard]] const Attribute *find(std::string_view key) const {
-    for (const auto &item : items_) {
+    for (const auto &item : items()) {
       if (item.first.view() == key) return &item.second;
     }
     return nullptr;
@@ -139,17 +143,27 @@ public:
     return find(key) != nullptr;
   }
 
-  [[nodiscard]] bool empty() const { return items_.empty(); }
-  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items().empty(); }
+  [[nodiscard]] std::size_t size() const { return items().size(); }
   [[nodiscard]] std::vector<NamedAttribute>::const_iterator begin() const {
-    return items_.begin();
+    return items().begin();
   }
   [[nodiscard]] std::vector<NamedAttribute>::const_iterator end() const {
-    return items_.end();
+    return items().end();
   }
 
 private:
-  std::vector<NamedAttribute> items_;
+  using Items = std::vector<NamedAttribute>;
+
+  [[nodiscard]] const Items &items() const {
+    return items_ ? *items_ : empty_items();
+  }
+  static const Items &empty_items();
+  /// Storage writable by this handle alone: allocates when null, clones when
+  /// shared with another dictionary.
+  Items &mutable_items();
+
+  std::shared_ptr<Items> items_;
 };
 
 }  // namespace everest::ir

@@ -37,31 +37,32 @@ public:
   [[nodiscard]] Block *insertion_block() const { return block_; }
   [[nodiscard]] Arena &arena() const { return block_->arena(); }
 
-  /// Creates an op at the insertion point and returns it.
-  Operation &create(Symbol name, std::vector<Value *> operands,
-                    std::vector<Type> result_types, AttrDict attributes = {},
-                    std::size_t num_regions = 0) {
-    Operation *op = Operation::create(block_->arena(), name,
-                                      std::move(operands),
-                                      std::move(result_types),
-                                      std::move(attributes), num_regions);
+  /// Creates an op at the insertion point and returns it. Operands and
+  /// result types are lightweight views (braced lists and vectors convert
+  /// implicitly); the pointers/types are copied straight into the op's
+  /// inline arena storage without any intermediate heap buffer.
+  Operation &create(Symbol name, ValueRange operands, TypeRange result_types,
+                    AttrDict attributes = {}, std::size_t num_regions = 0) {
+    Operation *op =
+        Operation::create(block_->arena(), name, operands, result_types,
+                          std::move(attributes), num_regions);
     return block_->attach_before(op, before_);
   }
 
   /// String-name convenience: interns eagerly and forwards to the Symbol
   /// overload (the one-line sugar that replaced the legacy
   /// `Operation::create(std::string_view, ...)`).
-  Operation &create(std::string_view name, std::vector<Value *> operands,
-                    std::vector<Type> result_types, AttrDict attributes = {},
+  Operation &create(std::string_view name, ValueRange operands,
+                    TypeRange result_types, AttrDict attributes = {},
                     std::size_t num_regions = 0) {
-    return create(Symbol(name), std::move(operands), std::move(result_types),
-                  std::move(attributes), num_regions);
+    return create(Symbol(name), operands, result_types, std::move(attributes),
+                  num_regions);
   }
 
   /// Creates a single-result op and returns the result value.
-  Value *create_value(std::string_view name, std::vector<Value *> operands,
+  Value *create_value(std::string_view name, ValueRange operands,
                       Type result_type, AttrDict attributes = {}) {
-    return create(name, std::move(operands), {std::move(result_type)},
+    return create(name, operands, TypeRange(&result_type, 1),
                   std::move(attributes))
         .result(0);
   }

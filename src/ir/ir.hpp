@@ -1,9 +1,10 @@
 // everest/ir/ir.hpp
 //
-// Core IR data structures: Value, Operation, Block, Region, Module. This is
-// the EVEREST SDK's analogue of MLIR's core IR (paper §V-B): operations carry
-// a dialect-qualified name, typed operands/results, an attribute dictionary,
-// and nested regions; SSA def-use chains are maintained automatically.
+// Core IR data structures: Value, Use, Operation, Block, Region, Module. This
+// is the EVEREST SDK's analogue of MLIR's core IR (paper §V-B): operations
+// carry a dialect-qualified name, typed operands/results, an attribute
+// dictionary, and nested regions; SSA def-use chains are maintained
+// automatically through intrusive use-lists.
 //
 // Ownership model: every IR object is allocated from the owning Module's
 // Arena. Creation returns raw pointers (`Operation::create(arena, ...)`),
@@ -11,11 +12,23 @@
 // and erasure tombstones the op in place — the memory stays valid (reads are
 // safe, e.g. for worklist deduplication) until the arena resets. The Module
 // handle owns the arena; destroying or moving-from it is the only bulk
-// deallocation point. See DESIGN.md "IR ownership and memory model".
+// deallocation point.
+//
+// Storage model: an Operation's operand/result/region arrays live inline in
+// the op's own arena allocation (trailing storage); growth past the inline
+// capacity spills to a fresh arena array and abandons the old one. Each
+// operand slot is a Use node — {value, user, operand_index} threaded on a
+// doubly-linked per-Value use-list — so there is exactly one Use per slot
+// (duplicate operands included) and set_operand / drop_all_operands /
+// replace_all_uses_with unlink in O(1) per use instead of scanning a users
+// vector. Nothing on the build path touches the global heap. See DESIGN.md
+// "IR ownership and memory model".
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -31,6 +44,61 @@ namespace everest::ir {
 class Operation;
 class Block;
 class Region;
+class Value;
+
+/// One operand slot: records which operation uses which value at which
+/// operand index, and threads itself on the value's intrusive use-list.
+/// Use nodes live inline in their op's operand array (arena storage) — they
+/// are never allocated individually and never freed; unlinking just splices
+/// the node out of the value's list.
+class Use {
+public:
+  Use() = default;
+  Use(const Use &) = delete;
+  Use &operator=(const Use &) = delete;
+
+  /// The value occupying this operand slot (nullptr while unlinked).
+  [[nodiscard]] Value *get() const { return value_; }
+  /// The operation owning this slot.
+  [[nodiscard]] Operation *user() const { return user_; }
+  /// Which operand slot of `user()` this is.
+  [[nodiscard]] std::uint32_t operand_index() const { return index_; }
+  /// Next use of the same value (use-list order is most-recently-linked
+  /// first; nullptr at the end).
+  [[nodiscard]] const Use *next_use() const { return next_; }
+
+private:
+  friend class Operation;
+  friend class Value;
+
+  inline void link(Value *v);
+  inline void unlink();
+
+  Value *value_ = nullptr;
+  Operation *user_ = nullptr;
+  Use *next_ = nullptr;
+  Use **prev_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+namespace detail {
+
+/// Range over an intrusive singly-walked list of iterators whose end is a
+/// default-constructed iterator (use-lists). size() is O(length).
+template <typename Iter>
+struct ChainRange {
+  Iter first;
+  [[nodiscard]] Iter begin() const { return first; }
+  [[nodiscard]] Iter end() const { return Iter(); }
+  [[nodiscard]] bool empty() const { return !(first != Iter()); }
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (Iter it = first; it != Iter(); ++it) ++n;
+    return n;
+  }
+};
+
+}  // namespace detail
 
 /// An SSA value: either an operation result or a block argument. Arena-owned;
 /// pointer-stable for the life of the owning module.
@@ -55,22 +123,177 @@ public:
   [[nodiscard]] std::size_t index() const { return index_; }
   [[nodiscard]] bool is_block_argument() const { return owner_block_ != nullptr; }
 
-  /// Operations currently using this value (duplicates per use).
-  [[nodiscard]] const std::vector<Operation *> &users() const { return users_; }
-  [[nodiscard]] bool has_uses() const { return !users_.empty(); }
+  /// Forward iterator over the value's Use nodes.
+  class use_iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Use;
+    using reference = const Use &;
+    using pointer = const Use *;
+    using difference_type = std::ptrdiff_t;
+
+    explicit use_iterator(const Use *use = nullptr) : use_(use) {}
+    reference operator*() const { return *use_; }
+    pointer operator->() const { return use_; }
+    use_iterator &operator++() {
+      use_ = use_->next_use();
+      return *this;
+    }
+    use_iterator operator++(int) {
+      use_iterator copy = *this;
+      ++(*this);
+      return copy;
+    }
+    friend bool operator==(use_iterator a, use_iterator b) {
+      return a.use_ == b.use_;
+    }
+    friend bool operator!=(use_iterator a, use_iterator b) {
+      return a.use_ != b.use_;
+    }
+
+  private:
+    const Use *use_;
+  };
+
+  /// Forward iterator over the using operations (one entry per use, so an op
+  /// appears once per operand slot referencing this value).
+  class user_iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Operation *;
+    using reference = Operation *;
+    using pointer = Operation *const *;
+    using difference_type = std::ptrdiff_t;
+
+    explicit user_iterator(const Use *use = nullptr) : use_(use) {}
+    reference operator*() const { return use_->user(); }
+    user_iterator &operator++() {
+      use_ = use_->next_use();
+      return *this;
+    }
+    user_iterator operator++(int) {
+      user_iterator copy = *this;
+      ++(*this);
+      return copy;
+    }
+    friend bool operator==(user_iterator a, user_iterator b) {
+      return a.use_ == b.use_;
+    }
+    friend bool operator!=(user_iterator a, user_iterator b) {
+      return a.use_ != b.use_;
+    }
+
+  private:
+    const Use *use_;
+  };
+
+  using UseRange = detail::ChainRange<use_iterator>;
+  using UserRange = detail::ChainRange<user_iterator>;
+
+  /// The value's uses as Use nodes (slot-level: user + operand index).
+  [[nodiscard]] UseRange uses() const { return {use_iterator(first_use_)}; }
+  /// Operations currently using this value, one entry per use (an op shows
+  /// up once per operand slot). Iterable range — use has_uses()/use_count()
+  /// for emptiness and counting; do not assume any particular order.
+  [[nodiscard]] UserRange users() const { return {user_iterator(first_use_)}; }
+  [[nodiscard]] bool has_uses() const { return first_use_ != nullptr; }
+  /// Number of uses (O(uses) list walk).
+  [[nodiscard]] std::size_t use_count() const { return uses().size(); }
 
 private:
   friend class Operation;
+  friend class Use;
   Type type_;
   Operation *defining_op_ = nullptr;
   Block *owner_block_ = nullptr;
   std::size_t index_ = 0;
-  std::vector<Operation *> users_;
+  Use *first_use_ = nullptr;
+};
+
+inline void Use::link(Value *v) {
+  value_ = v;
+  next_ = v->first_use_;
+  prev_ = &v->first_use_;
+  if (next_ != nullptr) next_->prev_ = &next_;
+  v->first_use_ = this;
+}
+
+inline void Use::unlink() {
+  if (value_ == nullptr) return;
+  *prev_ = next_;
+  if (next_ != nullptr) next_->prev_ = prev_;
+  value_ = nullptr;
+  next_ = nullptr;
+  prev_ = nullptr;
+}
+
+/// A non-owning view of a contiguous run of `Value *` — the operand-passing
+/// currency of `Operation::create`/`OpBuilder::create`. Implicitly built from
+/// braced lists and vectors so call sites read unchanged, but no
+/// std::allocator runs anywhere on the path: the callee copies the pointers
+/// straight into arena storage.
+class ValueRange {
+public:
+  ValueRange() = default;
+  // The view never outlives the full expression it is an argument in, so
+  // pointing at the initializer_list's backing array is safe (same contract
+  // as LLVM's ArrayRef); GCC cannot see that and warns.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+  ValueRange(std::initializer_list<Value *> values)
+      : data_(values.begin()), size_(values.size()) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  ValueRange(const std::vector<Value *> &values)
+      : data_(values.data()), size_(values.size()) {}
+  ValueRange(Value *const *data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] Value *operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] Value *const *begin() const { return data_; }
+  [[nodiscard]] Value *const *end() const { return data_ + size_; }
+
+private:
+  Value *const *data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Non-owning view of a contiguous run of `Type` (result types at creation).
+class TypeRange {
+public:
+  TypeRange() = default;
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+  TypeRange(std::initializer_list<Type> types)
+      : data_(types.begin()), size_(types.size()) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  TypeRange(const std::vector<Type> &types)
+      : data_(types.data()), size_(types.size()) {}
+  TypeRange(const Type *data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] const Type &operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] const Type *begin() const { return data_; }
+  [[nodiscard]] const Type *end() const { return data_ + size_; }
+
+private:
+  const Type *data_ = nullptr;
+  std::size_t size_ = 0;
 };
 
 namespace detail {
 
-/// Forward iterator over a vector of element pointers, dereferencing to
+/// Forward iterator over an array of element pointers, dereferencing to
 /// references (Region::blocks()).
 template <typename T>
 class DerefIterator {
@@ -115,7 +338,8 @@ struct IterRange {
 
 /// A region: an ordered list of blocks owned by an operation. Blocks are
 /// arena-allocated; `add_block` is the single insertion choke point (blocks
-/// are never removed individually — they die with the arena).
+/// are never removed individually — they die with the arena). The block
+/// pointer table itself is an arena array.
 class Region {
 public:
   Region(Arena &arena, Operation *parent) : arena_(&arena), parent_(parent) {}
@@ -124,19 +348,23 @@ public:
 
   [[nodiscard]] Operation *parent_op() const { return parent_; }
   [[nodiscard]] Arena &arena() const { return *arena_; }
-  [[nodiscard]] bool empty() const { return blocks_.empty(); }
-  [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+  [[nodiscard]] bool empty() const { return num_blocks_ == 0; }
+  [[nodiscard]] std::size_t num_blocks() const { return num_blocks_; }
 
   /// Appends a new empty block and returns it. The only way blocks enter a
   /// region.
   Block &add_block();
 
-  [[nodiscard]] Block &front() { return *blocks_.front(); }
-  [[nodiscard]] const Block &front() const { return *blocks_.front(); }
-  [[nodiscard]] Block &back() { return *blocks_.back(); }
-  [[nodiscard]] Block &block(std::size_t i) { return *blocks_.at(i); }
+  [[nodiscard]] Block &front() { return *blocks_[0]; }
+  [[nodiscard]] const Block &front() const { return *blocks_[0]; }
+  [[nodiscard]] Block &back() { return *blocks_[num_blocks_ - 1]; }
+  [[nodiscard]] Block &block(std::size_t i) {
+    assert(i < num_blocks_ && "block index out of range");
+    return *blocks_[i];
+  }
   [[nodiscard]] const Block &block(std::size_t i) const {
-    return *blocks_.at(i);
+    assert(i < num_blocks_ && "block index out of range");
+    return *blocks_[i];
   }
 
   using block_iterator = detail::DerefIterator<Block>;
@@ -144,23 +372,25 @@ public:
 
   /// Iteration over blocks as `Block&` (the container itself is private).
   [[nodiscard]] detail::IterRange<block_iterator> blocks() {
-    return {block_iterator(blocks_.data()),
-            block_iterator(blocks_.data() + blocks_.size())};
+    return {block_iterator(blocks_), block_iterator(blocks_ + num_blocks_)};
   }
   [[nodiscard]] detail::IterRange<const_block_iterator> blocks() const {
-    auto *data = const_cast<const Block *const *>(blocks_.data());
+    auto *data = const_cast<const Block *const *>(blocks_);
     return {const_block_iterator(data),
-            const_block_iterator(data + blocks_.size())};
+            const_block_iterator(data + num_blocks_)};
   }
 
 private:
   Arena *arena_;
   Operation *parent_;
-  std::vector<Block *> blocks_;
+  Block **blocks_ = nullptr;
+  std::uint32_t num_blocks_ = 0;
+  std::uint32_t block_cap_ = 0;
 };
 
 /// A basic block: typed arguments plus an intrusively linked operation list.
 /// Membership changes are pointer splices; no per-op allocation happens here.
+/// The argument pointer table is an arena array.
 class Block {
 public:
   Block(Arena &arena, Region *parent) : arena_(&arena), parent_(parent) {}
@@ -174,10 +404,14 @@ public:
   [[nodiscard]] Arena &arena() const { return *arena_; }
 
   Value &add_argument(Type type);
-  [[nodiscard]] std::size_t num_arguments() const { return arguments_.size(); }
-  [[nodiscard]] Value &argument(std::size_t i) { return *arguments_.at(i); }
+  [[nodiscard]] std::size_t num_arguments() const { return num_arguments_; }
+  [[nodiscard]] Value &argument(std::size_t i) {
+    assert(i < num_arguments_ && "argument index out of range");
+    return *arguments_[i];
+  }
   [[nodiscard]] const Value &argument(std::size_t i) const {
-    return *arguments_.at(i);
+    assert(i < num_arguments_ && "argument index out of range");
+    return *arguments_[i];
   }
 
   template <bool Const>
@@ -227,7 +461,9 @@ private:
   friend class Operation;
   Arena *arena_;
   Region *parent_;
-  std::vector<Value *> arguments_;
+  Value **arguments_ = nullptr;
+  std::uint32_t num_arguments_ = 0;
+  std::uint32_t argument_cap_ = 0;
   Operation *first_ = nullptr;
   Operation *last_ = nullptr;
   std::size_t size_ = 0;
@@ -236,16 +472,31 @@ private:
 /// A generic operation. Ops are identified by an interned "dialect.mnemonic"
 /// name and are extensible via attributes and regions; dialects attach
 /// verifiers through the Context registry. Arena-owned and pointer-stable.
+///
+/// Operand/result/region storage lives inline after the Operation object in
+/// its arena allocation, sized exactly at creation; `append_operand`/
+/// `add_result`/`add_region` past the inline capacity spill to fresh arena
+/// arrays (the parser's create-then-add pattern). Operand slots are Use
+/// nodes threaded on each operand value's use-list.
 class Operation {
 public:
   /// Creates a detached operation in `arena`. Use Block::attach / OpBuilder
   /// to place it. String-based creation is an OpBuilder convenience that
   /// interns eagerly — there is deliberately no string_view overload here.
-  static Operation *create(Arena &arena, Symbol name,
-                           std::vector<Value *> operands,
-                           std::vector<Type> result_types,
-                           AttrDict attributes = {},
+  static Operation *create(Arena &arena, Symbol name, ValueRange operands,
+                           TypeRange result_types, AttrDict attributes = {},
                            std::size_t num_regions = 0);
+
+  /// Low-level creation: pre-sizes the inline operand/result/region storage
+  /// but fills nothing in (operands are appended, results/regions added
+  /// afterwards without spilling). The clone fast path builds ops this way
+  /// to map operands in place with no intermediate buffers; everyone else
+  /// should call create().
+  static Operation *create_with_capacity(Arena &arena, Symbol name,
+                                         AttrDict attributes,
+                                         std::size_t operand_capacity,
+                                         std::size_t result_capacity,
+                                         std::size_t region_capacity);
 
   Operation(const Operation &) = delete;
   Operation &operator=(const Operation &) = delete;
@@ -266,23 +517,93 @@ public:
   /// stale worklist entries.
   [[nodiscard]] bool erased() const { return erased_; }
 
-  [[nodiscard]] std::size_t num_operands() const { return operands_.size(); }
-  [[nodiscard]] Value *operand(std::size_t i) const { return operands_.at(i); }
-  [[nodiscard]] const std::vector<Value *> &operands() const { return operands_; }
+  [[nodiscard]] std::size_t num_operands() const { return num_operands_; }
+  [[nodiscard]] Value *operand(std::size_t i) const {
+    assert(i < num_operands_ && "operand index out of range");
+    return operands_[i].get();
+  }
+  /// The Use node for operand slot `i` (user back-pointer + slot index).
+  [[nodiscard]] const Use &operand_use(std::size_t i) const {
+    assert(i < num_operands_ && "operand index out of range");
+    return operands_[i];
+  }
+
+  /// Iterator over operand slots yielding `Value *`.
+  class operand_iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Value *;
+    using reference = Value *;
+    using pointer = Value *const *;
+    using difference_type = std::ptrdiff_t;
+
+    explicit operand_iterator(const Use *slot = nullptr) : slot_(slot) {}
+    reference operator*() const { return slot_->get(); }
+    operand_iterator &operator++() {
+      ++slot_;
+      return *this;
+    }
+    operand_iterator operator++(int) {
+      operand_iterator copy = *this;
+      ++slot_;
+      return copy;
+    }
+    friend bool operator==(operand_iterator a, operand_iterator b) {
+      return a.slot_ == b.slot_;
+    }
+    friend bool operator!=(operand_iterator a, operand_iterator b) {
+      return a.slot_ != b.slot_;
+    }
+
+  private:
+    const Use *slot_;
+  };
+
+  /// Indexable range over operand values. Replaces the old
+  /// `const std::vector<Value*>&` accessor — same range-for call sites, but
+  /// the storage behind it is the inline Use array.
+  struct OperandRange {
+    const Use *slots = nullptr;
+    std::size_t count = 0;
+    [[nodiscard]] operand_iterator begin() const {
+      return operand_iterator(slots);
+    }
+    [[nodiscard]] operand_iterator end() const {
+      return operand_iterator(slots + count);
+    }
+    [[nodiscard]] std::size_t size() const { return count; }
+    [[nodiscard]] bool empty() const { return count == 0; }
+    [[nodiscard]] Value *operator[](std::size_t i) const {
+      return slots[i].get();
+    }
+  };
+
+  [[nodiscard]] OperandRange operands() const {
+    return {operands_, num_operands_};
+  }
   void set_operand(std::size_t i, Value *v);
   void append_operand(Value *v);
   void drop_all_operands();
 
-  [[nodiscard]] std::size_t num_results() const { return results_.size(); }
-  [[nodiscard]] Value *result(std::size_t i = 0) { return results_.at(i); }
+  [[nodiscard]] std::size_t num_results() const { return num_results_; }
+  [[nodiscard]] Value *result(std::size_t i = 0) {
+    assert(i < num_results_ && "result index out of range");
+    return results_[i];
+  }
   [[nodiscard]] const Value *result(std::size_t i = 0) const {
-    return results_.at(i);
+    assert(i < num_results_ && "result index out of range");
+    return results_[i];
   }
   /// Appends a result value (parser use: results become known only after the
   /// signature is read). Returns the new value.
   Value *add_result(Type type);
 
   [[nodiscard]] const AttrDict &attributes() const { return attributes_; }
+  /// Replaces the whole dictionary (clone path: one COW handoff instead of
+  /// per-key set calls).
+  void set_attributes(AttrDict attributes) {
+    attributes_ = std::move(attributes);
+  }
   void set_attr(std::string_view key, Attribute value) {
     attributes_.set(key, std::move(value));
   }
@@ -307,10 +628,14 @@ public:
   [[nodiscard]] std::string attr_string(std::string_view key,
                                         std::string fallback = "") const;
 
-  [[nodiscard]] std::size_t num_regions() const { return regions_.size(); }
-  [[nodiscard]] Region &region(std::size_t i = 0) { return *regions_.at(i); }
+  [[nodiscard]] std::size_t num_regions() const { return num_regions_; }
+  [[nodiscard]] Region &region(std::size_t i = 0) {
+    assert(i < num_regions_ && "region index out of range");
+    return *regions_[i];
+  }
   [[nodiscard]] const Region &region(std::size_t i = 0) const {
-    return *regions_.at(i);
+    assert(i < num_regions_ && "region index out of range");
+    return *regions_[i];
   }
   Region &add_region();
 
@@ -322,8 +647,10 @@ public:
   [[nodiscard]] Operation *prev_in_block() const { return prev_; }
 
   /// Replaces every use of this op's results with `replacements` (one value
-  /// per result).
-  void replace_all_uses_with(const std::vector<Value *> &replacements);
+  /// per result), as a simultaneous substitution: uses are all unlinked
+  /// before any relink, so a replacement that is itself one of this op's
+  /// results (r0 -> r1) is not chased through the later r1 pass.
+  void replace_all_uses_with(ValueRange replacements);
 
   /// Pre-order walk over this op and all nested ops.
   void walk(const std::function<void(Operation &)> &fn);
@@ -335,18 +662,30 @@ public:
 private:
   friend class Arena;
   friend class Block;
-  Operation(Arena &arena, Symbol name, std::vector<Value *> operands,
-            AttrDict attributes);
+  Operation(Arena &arena, Symbol name, AttrDict attributes)
+      : name_(name), attributes_(std::move(attributes)), arena_(&arena) {}
+
+  /// Placement-initializes operand slot `i` (caller manages num_operands_).
+  void init_operand(std::uint32_t i, Value *v);
+  void grow_operands(std::uint32_t min_cap);
+  void grow_results(std::uint32_t min_cap);
+  void grow_regions(std::uint32_t min_cap);
 
   Symbol name_;
-  std::vector<Value *> operands_;
-  std::vector<Value *> results_;
   AttrDict attributes_;
-  std::vector<Region *> regions_;
   Arena *arena_;
   Block *parent_ = nullptr;
   Operation *prev_ = nullptr;
   Operation *next_ = nullptr;
+  Use *operands_ = nullptr;
+  Value **results_ = nullptr;
+  Region **regions_ = nullptr;
+  std::uint32_t num_operands_ = 0;
+  std::uint32_t operand_cap_ = 0;
+  std::uint32_t num_results_ = 0;
+  std::uint32_t result_cap_ = 0;
+  std::uint32_t num_regions_ = 0;
+  std::uint32_t region_cap_ = 0;
   bool erased_ = false;
 };
 
@@ -448,7 +787,9 @@ private:
 /// operations, values, blocks, and regions with identical structure, names,
 /// types, and attributes. The clone prints byte-identically to the original
 /// (the compile cache relies on this to hand out private copies of cached IR
-/// without a print/parse round trip).
+/// without a print/parse round trip). Fast path: per-op storage is rebuilt
+/// arena-to-arena through pre-sized inline arrays and a single open-addressed
+/// value map — amortized zero global-heap allocations per cloned op.
 [[nodiscard]] Module clone_module(const Module &module);
 
 /// Deep-copies one operation (with nested regions) into `dst`'s arena,

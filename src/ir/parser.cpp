@@ -211,9 +211,13 @@ private:
     if (!cur_.consume(')')) return fail("expected ')' after operands");
 
     // Create the op now (result types are appended after parsing the
-    // signature via add_result); regions are parsed directly into it.
-    Operation *op = Operation::create(block.arena(), Symbol(*op_name),
-                                      std::move(operands), {}, {}, 0);
+    // signature via add_result); regions are parsed directly into it. The
+    // result count is already known from the lhs names, so the inline
+    // storage is sized exactly and add_result never spills.
+    Operation *op = Operation::create_with_capacity(
+        block.arena(), Symbol(*op_name), {}, operands.size(),
+        result_names.size(), 0);
+    for (Value *v : operands) op->append_operand(v);
     block.attach(op);
 
     // Optional regions: " ({ ... }, { ... })".

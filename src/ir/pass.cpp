@@ -123,6 +123,18 @@ support::Status PassManager::run(Module &module) {
       }
     }
   }
+  if (recorder != nullptr) {
+    // Storage telemetry next to the ir.rewrite.* counters: how much arena
+    // the pipeline left behind and how many use-list slots it allocated.
+    Arena::Stats stats = module.arena().stats();
+    recorder->gauge("ir.arena.slabs").set(static_cast<double>(stats.slabs));
+    recorder->gauge("ir.arena.bytes")
+        .set(static_cast<double>(stats.bytes_used));
+    recorder->gauge("ir.arena.high_water")
+        .set(static_cast<double>(stats.high_water));
+    recorder->gauge("ir.uselist.nodes")
+        .set(static_cast<double>(stats.use_nodes));
+  }
   return support::Status::ok();
 }
 

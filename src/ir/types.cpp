@@ -29,31 +29,70 @@ Type Type::index() {
 }
 
 Type Type::tensor(std::vector<std::int64_t> dims, Type element) {
+  auto payload = std::make_shared<Payload>();
+  payload->dims = std::move(dims);
+  payload->element = std::make_shared<const Type>(std::move(element));
   Type t;
   t.kind_ = Kind::Tensor;
-  t.dims_ = std::move(dims);
-  t.element_ = std::make_shared<const Type>(std::move(element));
+  t.payload_ = std::move(payload);
   return t;
 }
 
 Type Type::custom(std::string dialect, std::string name,
                   std::vector<std::string> params) {
+  auto payload = std::make_shared<Payload>();
+  payload->dialect = std::move(dialect);
+  payload->name = std::move(name);
+  payload->params = std::move(params);
   Type t;
   t.kind_ = Kind::Custom;
-  t.dialect_ = std::move(dialect);
-  t.name_ = std::move(name);
-  t.params_ = std::move(params);
+  t.payload_ = std::move(payload);
   return t;
 }
 
+namespace {
+
+/// Statics returned for payload-less kinds so the reference-returning
+/// accessors keep their signatures after the COW-payload change.
+const std::vector<std::int64_t> &empty_dims() {
+  static const std::vector<std::int64_t> empty;
+  return empty;
+}
+const std::string &empty_string() {
+  static const std::string empty;
+  return empty;
+}
+const std::vector<std::string> &empty_params() {
+  static const std::vector<std::string> empty;
+  return empty;
+}
+
+}  // namespace
+
+const std::vector<std::int64_t> &Type::dims() const {
+  return payload_ ? payload_->dims : empty_dims();
+}
+
+const std::string &Type::dialect() const {
+  return payload_ ? payload_->dialect : empty_string();
+}
+
+const std::string &Type::name() const {
+  return payload_ ? payload_->name : empty_string();
+}
+
+const std::vector<std::string> &Type::params() const {
+  return payload_ ? payload_->params : empty_params();
+}
+
 Type Type::element() const {
-  return element_ ? *element_ : Type();
+  return payload_ && payload_->element ? *payload_->element : Type();
 }
 
 std::int64_t Type::num_elements() const {
   if (!is_tensor()) return 1;
   std::int64_t n = 1;
-  for (auto d : dims_) {
+  for (auto d : dims()) {
     if (d < 0) return -1;
     n *= d;
   }
@@ -62,6 +101,7 @@ std::int64_t Type::num_elements() const {
 
 bool Type::operator==(const Type &other) const {
   if (kind_ != other.kind_) return false;
+  if (payload_ == other.payload_) return width_ == other.width_;
   switch (kind_) {
     case Kind::None:
     case Kind::Index:
@@ -70,10 +110,10 @@ bool Type::operator==(const Type &other) const {
     case Kind::Float:
       return width_ == other.width_;
     case Kind::Tensor:
-      return dims_ == other.dims_ && element() == other.element();
+      return dims() == other.dims() && element() == other.element();
     case Kind::Custom:
-      return dialect_ == other.dialect_ && name_ == other.name_ &&
-             params_ == other.params_;
+      return dialect() == other.dialect() && name() == other.name() &&
+             params() == other.params();
   }
   return false;
 }
@@ -90,7 +130,7 @@ std::string Type::str() const {
       return "index";
     case Kind::Tensor: {
       std::string out = "tensor<";
-      for (auto d : dims_) {
+      for (auto d : dims()) {
         out += d < 0 ? std::string("?") : std::to_string(d);
         out += 'x';
       }
@@ -99,10 +139,10 @@ std::string Type::str() const {
       return out;
     }
     case Kind::Custom: {
-      std::string out = "!" + dialect_ + "." + name_;
-      if (!params_.empty()) {
+      std::string out = "!" + dialect() + "." + name();
+      if (!params().empty()) {
         out += '<';
-        out += support::join(params_, ",");
+        out += support::join(params(), ",");
         out += '>';
       }
       return out;

@@ -49,15 +49,15 @@ public:
   [[nodiscard]] int width() const { return width_; }
 
   /// Tensor shape (empty for non-tensors). Dim value -1 means dynamic.
-  [[nodiscard]] const std::vector<std::int64_t> &dims() const { return dims_; }
+  [[nodiscard]] const std::vector<std::int64_t> &dims() const;
 
   /// Tensor element type; None for non-tensors.
   [[nodiscard]] Type element() const;
 
   /// Custom type coordinates.
-  [[nodiscard]] const std::string &dialect() const { return dialect_; }
-  [[nodiscard]] const std::string &name() const { return name_; }
-  [[nodiscard]] const std::vector<std::string> &params() const { return params_; }
+  [[nodiscard]] const std::string &dialect() const;
+  [[nodiscard]] const std::string &name() const;
+  [[nodiscard]] const std::vector<std::string> &params() const;
 
   /// True if this is a scalar numeric type (integer/float/index).
   [[nodiscard]] bool is_scalar_numeric() const {
@@ -78,13 +78,21 @@ public:
   static support::Expected<Type> parse(std::string_view text);
 
 private:
+  /// Heap-bearing pieces (tensor shape, custom-type coordinates) live behind
+  /// one shared immutable payload: copying a Type — which the IR build and
+  /// clone paths do constantly — is a refcount bump, never an allocation.
+  /// Scalar kinds carry no payload at all.
+  struct Payload {
+    std::vector<std::int64_t> dims;
+    std::shared_ptr<const Type> element;
+    std::string dialect;
+    std::string name;
+    std::vector<std::string> params;
+  };
+
   Kind kind_ = Kind::None;
   int width_ = 0;
-  std::vector<std::int64_t> dims_;
-  std::shared_ptr<const Type> element_;
-  std::string dialect_;
-  std::string name_;
-  std::vector<std::string> params_;
+  std::shared_ptr<const Payload> payload_;
 };
 
 }  // namespace everest::ir

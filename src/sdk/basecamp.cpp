@@ -246,6 +246,10 @@ Expected<CompileResult> Basecamp::backend(std::shared_ptr<ir::Module> frontend_i
     // kernel pays one print + hash instead of the rewrite fixpoint.
     auto status = timed(recorder_, timings, "canonicalize", [&] {
       ir::PassManager pm(ctx_);
+      // Route pass spans and the ir.arena.* / ir.uselist.nodes storage
+      // gauges into this Basecamp's recorder so they land in --trace-out
+      // summaries instead of the process-global fallback.
+      pm.attach_recorder(&recorder_);
       pm.add_func_pass("canonicalize",
                        [](ir::Operation &func, ir::Context &) {
                          return transforms::canonicalize_func_checked(func);

@@ -1,0 +1,93 @@
+#include "support/alloc_hook.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// Sanitizer runtimes intercept malloc/operator new themselves; defining the
+// replacement operators alongside them is undefined behaviour territory.
+// Compile the hook to a stub there.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define EVEREST_ALLOC_HOOK_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define EVEREST_ALLOC_HOOK_DISABLED 1
+#endif
+#endif
+
+namespace everest::support {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_news{0};
+
+}  // namespace
+
+bool alloc_counter_available() {
+#if defined(EVEREST_ALLOC_HOOK_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+void alloc_counter_enable(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void alloc_counter_reset() { g_news.store(0, std::memory_order_relaxed); }
+
+std::uint64_t alloc_counter_news() {
+  return g_news.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+inline void *counted_alloc(std::size_t size) {
+  if (g_enabled.load(std::memory_order_relaxed))
+    g_news.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+}  // namespace detail
+}  // namespace everest::support
+
+#if !defined(EVEREST_ALLOC_HOOK_DISABLED)
+
+// Replacement global allocation functions. The default operators are
+// malloc/free based, so pairing these with the default-looking deletes below
+// is safe regardless of which TU an allocation came from.
+
+void *operator new(std::size_t size) {
+  void *p = everest::support::detail::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void *operator new[](std::size_t size) {
+  void *p = everest::support::detail::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void *operator new(std::size_t size, const std::nothrow_t &) noexcept {
+  return everest::support::detail::counted_alloc(size);
+}
+
+void *operator new[](std::size_t size, const std::nothrow_t &) noexcept {
+  return everest::support::detail::counted_alloc(size);
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, const std::nothrow_t &) noexcept {
+  std::free(p);
+}
+void operator delete[](void *p, const std::nothrow_t &) noexcept {
+  std::free(p);
+}
+
+#endif  // !EVEREST_ALLOC_HOOK_DISABLED

@@ -1,0 +1,35 @@
+// everest/support/alloc_hook.hpp
+//
+// Opt-in global-heap allocation counter for benchmarks and perf gates.
+// Linking alloc_hook.cpp into a binary replaces the global operator new /
+// operator delete with malloc/free wrappers that bump an atomic counter
+// while counting is enabled; the bench_compile section uses this to prove
+// the clone fast path performs ~zero global-heap allocations per cloned op.
+//
+// The hook is deliberately NOT part of the everest libraries: only binaries
+// that need the gate (bench_fig5_dialect_lowerings and the arena tests) add
+// the translation unit. Under asan/tsan the replacement operators would
+// fight the sanitizer runtime's interceptors, so the hook compiles to a
+// no-op there and alloc_counter_available() reports false — callers skip
+// the gate instead of measuring garbage.
+#pragma once
+
+#include <cstdint>
+
+namespace everest::support {
+
+/// True when the replacement operators are live (hook TU linked in and not
+/// compiled under a sanitizer). When false the counters always read zero.
+[[nodiscard]] bool alloc_counter_available();
+
+/// Starts/stops counting. Counting is process-global and thread-safe;
+/// keep the measured section single-threaded for attributable numbers.
+void alloc_counter_enable(bool enabled);
+
+/// Zeroes the counter.
+void alloc_counter_reset();
+
+/// Number of global operator new / new[] calls observed while enabled.
+[[nodiscard]] std::uint64_t alloc_counter_news();
+
+}  // namespace everest::support

@@ -1,0 +1,72 @@
+# Standalone schema/threshold check for BENCH_compile.json (cmake -P,
+# CI-friendly): revalidates the gated numbers the bench binary self-checks,
+# so a silent regression in the emitted document cannot pass unnoticed.
+# Usage:
+#   cmake -DCOMPILE_JSON=<path> -P check_compile_json.cmake
+if(NOT DEFINED COMPILE_JSON)
+  message(FATAL_ERROR "pass -DCOMPILE_JSON=<path to BENCH_compile.json>")
+endif()
+file(READ "${COMPILE_JSON}" doc)
+
+string(JSON bench GET "${doc}" bench)
+if(NOT bench STREQUAL "compile")
+  message(FATAL_ERROR "bench != compile (got '${bench}')")
+endif()
+
+function(require_true path)
+  string(JSON value GET "${doc}" ${ARGN})
+  if(NOT value STREQUAL "ON" AND NOT value STREQUAL "true")
+    message(FATAL_ERROR "${path}: expected true, got '${value}'")
+  endif()
+endfunction()
+
+function(require_at_least path threshold)
+  string(JSON value GET "${doc}" ${ARGN})
+  if(NOT value GREATER_EQUAL ${threshold})
+    message(FATAL_ERROR "${path}: ${value} < required ${threshold}")
+  endif()
+endfunction()
+
+# Clone fast path: byte-identical to the generic baseline and at least the
+# gated speedup over it.
+require_true("clone.byte_identical" clone byte_identical)
+require_at_least("clone.speedup_vs_generic" 1.5 clone speedup_vs_generic)
+
+# Allocation gate: only meaningful when the counting hook is live (it is
+# stubbed out under the sanitizer presets, where the bench reports
+# alloc_counter_available=false and the per-op number is zero by fiat).
+string(JSON alloc_available GET "${doc}" clone alloc_counter_available)
+if(alloc_available STREQUAL "ON" OR alloc_available STREQUAL "true")
+  string(JSON per_op GET "${doc}" clone allocs_per_cloned_op)
+  if(per_op GREATER 0.25)
+    message(FATAL_ERROR
+      "clone.allocs_per_cloned_op: ${per_op} > 0.25 — the clone fast path "
+      "is touching the global heap per op again")
+  endif()
+endif()
+
+# Parallel + incremental compile_many: byte identity and gated speedups.
+# The parallel floor is derived independently of the bench's self-declared
+# target: four workers must beat serial by >=1.25x on any multi-core host;
+# a single-core host cannot show a parallel win, so the floor degrades to
+# an overhead-tolerance bound there (mirroring the bench's own gate).
+require_true("compile_many.parallel_byte_identical"
+  compile_many parallel_byte_identical)
+require_true("compile_many.incremental_byte_identical"
+  compile_many incremental_byte_identical)
+cmake_host_system_information(RESULT cores QUERY NUMBER_OF_LOGICAL_CORES)
+if(cores GREATER_EQUAL 2)
+  set(parallel_floor 1.25)
+else()
+  set(parallel_floor 0.8)
+endif()
+require_at_least("compile_many.parallel_speedup" ${parallel_floor}
+  compile_many parallel_speedup)
+require_at_least("compile_many.incremental_speedup" 3.0
+  compile_many incremental_speedup)
+
+# Pass pipeline identity and the bench's own verdict.
+require_true("passes.byte_identical" passes byte_identical)
+require_true("ok" ok)
+
+message(STATUS "BENCH_compile.json: clone + parallel compile gates hold")

@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <set>
+#include <utility>
+
 #include "dialects/ekl.hpp"
 #include "dialects/registry.hpp"
 #include "ir/builder.hpp"
@@ -110,11 +115,11 @@ TEST(IrBasics, UseListsMaintained) {
   ei::Value *x = b.constant_f64(1.0);
   ei::Value *y = b.constant_f64(2.0);
   ei::Operation &add = b.create("arith.addf", {x, y}, {ei::Type::floating(64)});
-  EXPECT_EQ(x->users().size(), 1u);
-  EXPECT_EQ(x->users()[0], &add);
+  EXPECT_EQ(x->use_count(), 1u);
+  EXPECT_EQ(*x->users().begin(), &add);
   add.set_operand(0, y);
-  EXPECT_TRUE(x->users().empty());
-  EXPECT_EQ(y->users().size(), 2u);
+  EXPECT_FALSE(x->has_uses());
+  EXPECT_EQ(y->use_count(), 2u);
 }
 
 TEST(IrBasics, ReplaceAllUsesWith) {
@@ -124,8 +129,8 @@ TEST(IrBasics, ReplaceAllUsesWith) {
   ei::Value *y = b.constant_f64(2.0);
   b.create("arith.addf", {x, x}, {ei::Type::floating(64)});
   x->defining_op()->replace_all_uses_with({y});
-  EXPECT_TRUE(x->users().empty());
-  EXPECT_EQ(y->users().size(), 2u);
+  EXPECT_FALSE(x->has_uses());
+  EXPECT_EQ(y->use_count(), 2u);
 }
 
 TEST(IrBasics, EraseUpdatesUseLists) {
@@ -134,7 +139,7 @@ TEST(IrBasics, EraseUpdatesUseLists) {
   ei::Value *x = b.constant_f64(1.0);
   ei::Operation &neg = b.create("arith.negf", {x}, {ei::Type::floating(64)});
   module.body().erase(&neg);
-  EXPECT_TRUE(x->users().empty());
+  EXPECT_FALSE(x->has_uses());
   EXPECT_EQ(module.body().size(), 1u);
 }
 
@@ -160,6 +165,274 @@ TEST(IrBasics, ParentLinks) {
   ei::Value *c = inner.constant_f64(1.0);
   EXPECT_EQ(c->defining_op()->parent_op(), &outer);
   EXPECT_EQ(outer.parent_op(), &module.op());
+}
+
+// ----------------------------------------------------------- Use-list suite
+//
+// The intrusive use-list invariant: a value's list holds exactly one Use
+// node per operand slot referencing it, each carrying the right user and
+// slot index. `scan_uses` recomputes the ground truth from every live op's
+// operand array; `list_uses` reads the intrusive list and cross-checks each
+// node's back-pointers. The two must agree after any mutation sequence.
+
+namespace {
+
+using UseSet = std::multiset<std::pair<const ei::Operation *, std::size_t>>;
+
+UseSet scan_uses(ei::Module &module, const ei::Value *v) {
+  UseSet out;
+  module.walk([&](ei::Operation &op) {
+    for (std::size_t i = 0; i < op.num_operands(); ++i) {
+      if (op.operand(i) == v) out.insert({&op, i});
+    }
+  });
+  return out;
+}
+
+UseSet list_uses(const ei::Value *v) {
+  UseSet out;
+  for (const ei::Use &use : v->uses()) {
+    EXPECT_EQ(use.get(), v);
+    EXPECT_NE(use.user(), nullptr);
+    EXPECT_EQ(use.user()->operand(use.operand_index()), v);
+    out.insert({use.user(), use.operand_index()});
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(UseLists, DuplicateOperandsOneUsePerSlot) {
+  // An op using the same value in two slots must contribute exactly two Use
+  // nodes with distinct slot indices — the vector-based users_ list could
+  // desync this count under mixed set_operand/drop sequences; the intrusive
+  // list holds it by construction.
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Value *x = b.constant_f64(1.0);
+  ei::Value *y = b.constant_f64(2.0);
+  ei::Operation &add = b.create("arith.addf", {x, x}, {ei::Type::floating(64)});
+  EXPECT_EQ(x->use_count(), 2u);
+  EXPECT_EQ(list_uses(x), scan_uses(module, x));
+
+  add.set_operand(0, y);
+  EXPECT_EQ(x->use_count(), 1u);
+  EXPECT_EQ(y->use_count(), 1u);
+  EXPECT_EQ((*x->uses().begin()).operand_index(), 1u);
+  EXPECT_EQ((*y->uses().begin()).operand_index(), 0u);
+  EXPECT_EQ(list_uses(x), scan_uses(module, x));
+  EXPECT_EQ(list_uses(y), scan_uses(module, y));
+
+  add.drop_all_operands();
+  EXPECT_FALSE(x->has_uses());
+  EXPECT_FALSE(y->has_uses());
+  EXPECT_EQ(add.num_operands(), 0u);
+}
+
+TEST(UseLists, DuplicateOperandsSurviveReplaceAllUses) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Value *x = b.constant_f64(1.0);
+  ei::Value *y = b.constant_f64(2.0);
+  ei::Operation &add = b.create("arith.addf", {x, x}, {ei::Type::floating(64)});
+  x->defining_op()->replace_all_uses_with({y});
+  EXPECT_FALSE(x->has_uses());
+  EXPECT_EQ(y->use_count(), 2u);
+  EXPECT_EQ(add.operand(0), y);
+  EXPECT_EQ(add.operand(1), y);
+  EXPECT_EQ(list_uses(y), scan_uses(module, y));
+}
+
+TEST(UseLists, ReplaceAllUsesWithIsSimultaneous) {
+  // Regression: replacing r0 with r1 (another result of the same op) and r1
+  // with z must behave as a simultaneous substitution. The old vector-based
+  // implementation relinked eagerly, so the use just retargeted r0 -> r1
+  // landed on r1's list and was replaced again with z in the r1 pass.
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Type f64 = ei::Type::floating(64);
+  ei::Operation &pair = b.create("test.pair", {}, {f64, f64});
+  ei::Value *z = b.constant_f64(0.0);
+  ei::Operation &user =
+      b.create("test.use", {pair.result(0), pair.result(1)}, {});
+
+  pair.replace_all_uses_with({pair.result(1), z});
+  EXPECT_EQ(user.operand(0), pair.result(1));
+  EXPECT_EQ(user.operand(1), z);
+  EXPECT_FALSE(pair.result(0)->has_uses());
+  EXPECT_EQ(pair.result(1)->use_count(), 1u);
+  EXPECT_EQ(z->use_count(), 1u);
+  EXPECT_EQ(list_uses(pair.result(1)), scan_uses(module, pair.result(1)));
+}
+
+TEST(UseLists, EraseWhileIterating) {
+  // Consuming the use-list while erasing its users: each erase unlinks the
+  // head use, so `*users().begin()` always yields a live op and the loop
+  // terminates exactly after all users are gone.
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Value *x = b.constant_f64(1.0);
+  for (int i = 0; i < 3; ++i) b.create("test.sink", {x, x}, {});
+
+  std::size_t erased = 0;
+  while (x->has_uses()) {
+    ei::Operation *user = *x->users().begin();
+    module.body().erase(user);
+    ++erased;
+  }
+  EXPECT_EQ(erased, 3u);
+  EXPECT_EQ(module.body().size(), 1u);
+  EXPECT_EQ(list_uses(x), scan_uses(module, x));
+}
+
+TEST(UseLists, SelfReferenceCycle) {
+  // An op using its own result (feedback edges in dfg loops). The self-use
+  // must count once, replace cleanly, and not confuse erase's tombstoning.
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Type f64 = ei::Type::floating(64);
+  ei::Operation &loop = b.create("test.loop", {}, {f64});
+  loop.append_operand(loop.result(0));
+  EXPECT_EQ(loop.result(0)->use_count(), 1u);
+  EXPECT_EQ((*loop.result(0)->uses().begin()).user(), &loop);
+  EXPECT_EQ(list_uses(loop.result(0)), scan_uses(module, loop.result(0)));
+
+  ei::Value *c = b.constant_f64(0.0);
+  loop.replace_all_uses_with({c});
+  EXPECT_EQ(loop.operand(0), c);
+  EXPECT_FALSE(loop.result(0)->has_uses());
+
+  module.body().erase(&loop);
+  EXPECT_FALSE(c->has_uses());
+  EXPECT_TRUE(loop.erased());
+}
+
+TEST(UseLists, SelfReferenceEraseDirect) {
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Type f64 = ei::Type::floating(64);
+  ei::Operation &loop = b.create("test.loop", {}, {f64});
+  loop.append_operand(loop.result(0));
+  // erase drops the subtree's operands first, so the self-use does not
+  // violate the results-must-be-unused precondition.
+  module.body().erase(&loop);
+  EXPECT_TRUE(loop.erased());
+  EXPECT_FALSE(loop.result(0)->has_uses());
+}
+
+TEST(UseLists, OperandGrowthPreservesUses) {
+  // append_operand past the inline capacity spills the Use array to a fresh
+  // arena array and relinks every node; nothing may be lost or reordered.
+  ei::Module module;
+  ei::OpBuilder b(&module.body());
+  ei::Value *x = b.constant_f64(1.0);
+  ei::Value *y = b.constant_f64(2.0);
+  ei::Operation &op = b.create("test.variadic", {x}, {});
+  for (int i = 1; i < 21; ++i) op.append_operand(i % 2 == 0 ? x : y);
+
+  ASSERT_EQ(op.num_operands(), 21u);
+  for (std::size_t i = 0; i < op.num_operands(); ++i) {
+    EXPECT_EQ(op.operand(i), i % 2 == 0 ? x : y) << i;
+    EXPECT_EQ(op.operand_use(i).user(), &op);
+    EXPECT_EQ(op.operand_use(i).operand_index(), i);
+  }
+  EXPECT_EQ(x->use_count(), 11u);
+  EXPECT_EQ(y->use_count(), 10u);
+  EXPECT_EQ(list_uses(x), scan_uses(module, x));
+  EXPECT_EQ(list_uses(y), scan_uses(module, y));
+}
+
+TEST(UseLists, RandomizedInvariant) {
+  // N random mutation sequences over a flat module: create ops with random
+  // operands (duplicates and self-references included), retarget and append
+  // operands, replace result uses, erase dead ops. After every sequence the
+  // recomputed users of every live value must equal the intrusive list.
+  ei::Type f64 = ei::Type::floating(64);
+  for (std::uint32_t seed = 1; seed <= 5; ++seed) {
+    std::mt19937 rng(seed * 7919u);
+    ei::Module module;
+    ei::OpBuilder b(&module.body());
+    std::vector<ei::Value *> pool;
+    std::vector<ei::Operation *> ops;
+    for (int i = 0; i < 4; ++i) pool.push_back(b.constant_f64(i));
+
+    auto random_value = [&]() {
+      return pool[rng() % pool.size()];
+    };
+
+    for (int step = 0; step < 300; ++step) {
+      switch (rng() % 6) {
+        case 0:
+        case 1: {  // create an op with random operands / results
+          std::vector<ei::Value *> operands;
+          for (std::size_t i = 0, n = rng() % 5; i < n; ++i)
+            operands.push_back(random_value());
+          std::vector<ei::Type> results(rng() % 3, f64);
+          ei::Operation &op = b.create("test.node", operands, results);
+          ops.push_back(&op);
+          for (std::size_t r = 0; r < op.num_results(); ++r)
+            pool.push_back(op.result(r));
+          break;
+        }
+        case 2: {  // retarget a random operand slot
+          if (ops.empty()) break;
+          ei::Operation *op = ops[rng() % ops.size()];
+          if (op->num_operands() == 0) break;
+          op->set_operand(rng() % op->num_operands(), random_value());
+          break;
+        }
+        case 3: {  // append an operand (occasionally a self-result)
+          if (ops.empty()) break;
+          ei::Operation *op = ops[rng() % ops.size()];
+          ei::Value *v = op->num_results() != 0 && rng() % 4 == 0
+                             ? op->result(rng() % op->num_results())
+                             : random_value();
+          op->append_operand(v);
+          break;
+        }
+        case 4: {  // replace all result uses with random pool values
+          if (ops.empty()) break;
+          ei::Operation *op = ops[rng() % ops.size()];
+          std::vector<ei::Value *> replacements;
+          for (std::size_t r = 0; r < op->num_results(); ++r)
+            replacements.push_back(random_value());
+          op->replace_all_uses_with(replacements);
+          break;
+        }
+        case 5: {  // erase an op whose results are all unused
+          if (ops.empty()) break;
+          std::size_t at = rng() % ops.size();
+          ei::Operation *op = ops[at];
+          bool dead = true;
+          for (std::size_t r = 0; r < op->num_results(); ++r) {
+            // A self-use alone does not keep an op alive: erase drops the
+            // subtree's operands before checking dangles.
+            for (const ei::Use &use : op->result(r)->uses()) {
+              if (use.user() != op) dead = false;
+            }
+          }
+          if (!dead) break;
+          module.body().erase(op);
+          ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(at));
+          for (std::size_t r = 0; r < op->num_results(); ++r) {
+            auto it = std::find(pool.begin(), pool.end(), op->result(r));
+            if (it != pool.end()) pool.erase(it);
+          }
+          break;
+        }
+      }
+    }
+
+    for (ei::Value *v : pool) {
+      EXPECT_EQ(list_uses(v), scan_uses(module, v)) << "seed " << seed;
+    }
+    for (ei::Operation *op : ops) {
+      for (std::size_t i = 0; i < op->num_operands(); ++i) {
+        EXPECT_EQ(op->operand_use(i).user(), op);
+        EXPECT_EQ(op->operand_use(i).operand_index(), i);
+      }
+    }
+  }
 }
 
 // ----------------------------------------------------------------- Verifier
